@@ -1,0 +1,178 @@
+/**
+ * @file
+ * E2 — the cache coherence problem (Section 1.1).
+ *
+ * Three tables:
+ *  (a) the paper's two-processor counterexample, quantified: without
+ *      an invalidation mechanism, reads return stale values;
+ *  (b) coherence cost scaling: a shared cell is read by p processors
+ *      and then written — the write must invalidate p-1 copies, and
+ *      the total cost of a read-write round grows with p;
+ *  (c) store-through vs. store-in traffic on a private-dominated
+ *      workload ("the complexity goes up and the performance goes
+ *      down rapidly as the machine is scaled").
+ */
+
+#include <iostream>
+
+#include "common/random.hh"
+#include "common/table.hh"
+#include "mem/coherence.hh"
+#include "mem/directory.hh"
+
+namespace
+{
+
+mem::CoherentCacheSystem::Config
+base(std::uint32_t procs)
+{
+    mem::CoherentCacheSystem::Config cfg;
+    cfg.processors = procs;
+    cfg.linesPerCache = 64;
+    cfg.wordsPerBlock = 4;
+    cfg.hitLatency = 1;
+    cfg.busLatency = 3;
+    cfg.memoryLatency = 10;
+    return cfg;
+}
+
+} // namespace
+
+int
+main()
+{
+    // (a) The two-processor staleness counterexample.
+    {
+        sim::Table t("E2a: the paper's 2-processor scenario - shared "
+                     "cell cached by both, P1 writes, P0 reads");
+        t.header({"configuration", "P0 sees", "stale reads"});
+        auto scenario = [&](bool store_through, bool invalidate) {
+            auto cfg = base(2);
+            cfg.storeThrough = store_through;
+            cfg.invalidate = invalidate;
+            mem::CoherentCacheSystem sys(cfg, 1024);
+            sys.read(0, 0);
+            sys.read(1, 0);
+            sys.write(1, 0, 99);
+            auto r = sys.read(0, 0);
+            t.addRow({sim::format("{}{}",
+                                  store_through ? "store-through"
+                                                : "store-in",
+                                  invalidate ? " + invalidate"
+                                             : ", no invalidate"),
+                      sim::Table::num(std::uint64_t{r.value}),
+                      sim::Table::num(sys.stats().staleReads.value())});
+        };
+        scenario(true, false);  // the paper's broken case
+        scenario(true, true);
+        scenario(false, true);
+        t.print(std::cout);
+    }
+
+    // (b) Invalidation cost grows with the number of sharers.
+    {
+        sim::Table t("E2b: cost of one write to a cell shared by p "
+                     "caches (write-invalidate MSI)");
+        t.header({"p", "invalidations", "write cost (cycles)",
+                  "re-read cost sum (cycles)"});
+        for (std::uint32_t p : {2u, 4u, 8u, 16u, 32u, 64u}) {
+            mem::CoherentCacheSystem sys(base(p), 1024);
+            for (std::uint32_t i = 0; i < p; ++i)
+                sys.read(i, 0);
+            const auto wcost = sys.write(0, 0, 1);
+            sim::Cycle reread = 0;
+            for (std::uint32_t i = 1; i < p; ++i)
+                reread += sys.read(i, 0).cycles;
+            t.addRow({sim::Table::num(p),
+                      sim::Table::num(
+                          sys.stats().invalidationsSent.value()),
+                      sim::Table::num(std::uint64_t{wcost}),
+                      sim::Table::num(std::uint64_t{reread})});
+        }
+        t.print(std::cout);
+    }
+
+    // (c) Bus traffic under a mixed workload, store-in vs -through.
+    {
+        sim::Table t("E2c: bus transactions per 1000 accesses "
+                     "(90% private, 10% shared hot set)");
+        t.header({"p", "store-in", "store-through"});
+        for (std::uint32_t p : {2u, 4u, 8u, 16u}) {
+            auto run = [&](bool st) {
+                auto cfg = base(p);
+                cfg.storeThrough = st;
+                mem::CoherentCacheSystem sys(cfg, 65536);
+                sim::Rng rng(42);
+                const int accesses = 1000;
+                for (int i = 0; i < accesses; ++i) {
+                    const auto proc = static_cast<std::uint32_t>(
+                        rng.below(p));
+                    std::uint64_t addr;
+                    if (rng.chance(0.10)) {
+                        addr = rng.below(16); // shared hot set
+                    } else {
+                        addr = 1024 + proc * 2048 + rng.below(128);
+                    }
+                    if (rng.chance(0.3))
+                        sys.write(proc, addr, i);
+                    else
+                        sys.read(proc, addr);
+                }
+                return sys.stats().busTransactions.value();
+            };
+            t.addRow({sim::Table::num(p), sim::Table::num(run(false)),
+                      sim::Table::num(run(true))});
+        }
+        t.print(std::cout);
+    }
+
+    // (d) Snooping broadcast vs. Censier & Feautrier's directory
+    // (the coherence solution the paper cites): remote caches
+    // disturbed per 1000 accesses.
+    {
+        sim::Table t("E2d: remote-cache disturbances per 1000 "
+                     "accesses - snooping broadcast vs. directory");
+        t.header({"p", "snoop probes (bus ops x (p-1))",
+                  "directory probes (true sharers)"});
+        for (std::uint32_t p : {2u, 4u, 8u, 16u, 32u}) {
+            mem::CoherentCacheSystem snoop(base(p), 65536);
+            mem::DirectoryCacheSystem::Config dcfg;
+            dcfg.processors = p;
+            dcfg.linesPerCache = 64;
+            dcfg.wordsPerBlock = 4;
+            mem::DirectoryCacheSystem directory(dcfg, 65536);
+            sim::Rng rng(7);
+            for (int i = 0; i < 1000; ++i) {
+                const auto proc =
+                    static_cast<std::uint32_t>(rng.below(p));
+                std::uint64_t addr;
+                if (rng.chance(0.10))
+                    addr = rng.below(16);
+                else
+                    addr = 1024 + proc * 2048 + rng.below(128);
+                if (rng.chance(0.3)) {
+                    snoop.write(proc, addr, i);
+                    directory.write(proc, addr, i);
+                } else {
+                    snoop.read(proc, addr);
+                    directory.read(proc, addr);
+                }
+            }
+            t.addRow({sim::Table::num(p),
+                      sim::Table::num(
+                          snoop.stats().busTransactions.value() *
+                          (p - 1)),
+                      sim::Table::num(
+                          directory.stats()
+                              .remoteCacheProbes.value())});
+        }
+        t.print(std::cout);
+    }
+
+    std::cout << "\nShape check (paper): without invalidation the "
+                 "processors 'never see any changes\ncaused by the "
+                 "other processor'; with it, every shared write pays "
+                 "p-1 invalidations\nplus re-fetches - overhead that "
+                 "grows as the machine scales.\n";
+    return 0;
+}

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * E7 — the NYU Ultracomputer's FETCH-AND-ADD (Section 1.2.3).
+ *
+ * Tables:
+ *  (a) hot-spot: n processors FETCH-AND-ADD one shared cell
+ *      simultaneously, with and without switch combining — combining
+ *      turns the memory-side serialization into log-depth tree work;
+ *  (b) the cost the paper highlights: "one memory reference may
+ *      involve as many as log2 n additions, and implies substantial
+ *      hardware complexity" — switch-adder operations per reference;
+ *  (c) uniform (non-hot-spot) traffic, where combining buys nothing.
+ */
+
+#include <iostream>
+
+#include "common/random.hh"
+#include "common/table.hh"
+#include "net/combining_omega.hh"
+
+namespace
+{
+
+/** Run a workload to completion; returns total cycles. */
+sim::Cycle
+drain(net::CombiningOmega &sys)
+{
+    while (!sys.idle()) {
+        sys.step();
+        for (sim::NodeId p = 0; p < sys.numPorts(); ++p)
+            while (sys.pollResult(p)) {}
+    }
+    return sys.now();
+}
+
+} // namespace
+
+int
+main()
+{
+    {
+        sim::Table t("E7a: simultaneous hot-spot FETCH-AND-ADD on one "
+                     "cell (one request per processor)");
+        t.header({"n", "no combining: cycles", "combining: cycles",
+                  "speedup", "memory busy cycles (no comb/comb)"});
+        for (sim::NodeId n : {4u, 8u, 16u, 32u, 64u, 128u, 256u}) {
+            net::CombiningOmega plain(n, false);
+            net::CombiningOmega comb(n, true);
+            for (sim::NodeId p = 0; p < n; ++p) {
+                plain.issueFaa(p, 5, 1);
+                comb.issueFaa(p, 5, 1);
+            }
+            const auto t_plain = drain(plain);
+            const auto t_comb = drain(comb);
+            t.addRow({sim::Table::num(n),
+                      sim::Table::num(std::uint64_t{t_plain}),
+                      sim::Table::num(std::uint64_t{t_comb}),
+                      sim::Table::num(
+                          static_cast<double>(t_plain) / t_comb, 2),
+                      sim::format("{} / {}",
+                                  plain.stats().memoryCycles.value(),
+                                  comb.stats().memoryCycles.value())});
+        }
+        t.print(std::cout);
+    }
+
+    {
+        sim::Table t("E7b: the hardware cost - switch additions per "
+                     "reference (hot-spot workload)");
+        t.header({"n", "log2 n", "combines", "switch adds",
+                  "mean adds/ref", "max combine depth"});
+        for (sim::NodeId n : {8u, 32u, 128u, 512u}) {
+            net::CombiningOmega comb(n, true);
+            for (int round = 0; round < 4; ++round) {
+                for (sim::NodeId p = 0; p < n; ++p)
+                    comb.issueFaa(p, 9, 1);
+                drain(comb);
+            }
+            const double per_ref =
+                static_cast<double>(comb.stats().switchAdds.value()) /
+                comb.stats().requests.value();
+            std::uint32_t log2n = 0;
+            for (sim::NodeId v = n; v > 1; v >>= 1)
+                ++log2n;
+            t.addRow({sim::Table::num(n), sim::Table::num(log2n),
+                      sim::Table::num(comb.stats().combines.value()),
+                      sim::Table::num(comb.stats().switchAdds.value()),
+                      sim::Table::num(per_ref, 2),
+                      sim::Table::num(
+                          comb.stats().combineDepth.max(), 0)});
+        }
+        t.print(std::cout);
+    }
+
+    {
+        sim::Table t("E7c: uniform random addresses - combining is "
+                     "irrelevant without a hot spot");
+        t.header({"n", "no combining: cycles", "combining: cycles",
+                  "combines"});
+        for (sim::NodeId n : {16u, 64u}) {
+            auto run = [&](bool combining) {
+                net::CombiningOmega sys(n, combining);
+                sim::Rng rng(13);
+                for (int round = 0; round < 8; ++round)
+                    for (sim::NodeId p = 0; p < n; ++p)
+                        sys.issueFaa(p, rng.below(n * 16), 1);
+                const auto cycles = drain(sys);
+                return std::pair{cycles,
+                                 sys.stats().combines.value()};
+            };
+            auto [tp, cp] = run(false);
+            auto [tc, cc] = run(true);
+            (void)cp;
+            t.addRow({sim::Table::num(n),
+                      sim::Table::num(std::uint64_t{tp}),
+                      sim::Table::num(std::uint64_t{tc}),
+                      sim::Table::num(cc)});
+        }
+        t.print(std::cout);
+    }
+
+    std::cout << "\nShape check (paper): without combining a hot spot "
+                 "serializes n requests at one\nmemory port; combining "
+                 "completes the wave in O(log n) with up to log2 n "
+                 "adder\noperations folded into the switches - the "
+                 "'substantial hardware complexity'.\n";
+    return 0;
+}

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * E14 — the thesis, head to head: the same distributed row-sum
+ * workload on (a) a blocking von Neumann multiprocessor, (b) the same
+ * machine with 8 HEP-style hardware contexts per core, and (c) the
+ * tagged-token dataflow machine — all over the same Ideal network at
+ * the same latency, with distributed memory.
+ *
+ * Caveats are printed with the table: the ISAs differ (the TTDA
+ * executes ~3x the "instructions" for the same arithmetic — dataflow
+ * overhead operators), so the comparison is about *scaling shape*
+ * under latency, not absolute instruction efficiency.
+ */
+
+#include "bench_util.hh"
+
+#include "workloads/rowsum.hh"
+
+namespace
+{
+
+sim::Cycle
+runVn(std::uint32_t cores, std::uint32_t contexts, std::int64_t n,
+      sim::Cycle latency)
+{
+    vn::VnMachineConfig cfg;
+    cfg.numCores = cores;
+    cfg.topology = vn::VnMachineConfig::Topology::Ideal;
+    cfg.netLatency = latency;
+    cfg.memLatency = 2;
+    cfg.core.numContexts = contexts;
+    cfg.wordsPerModule = 4096;
+    cfg.blockedAddressing = false; // interleave the array
+    cfg.colocated = false;
+    vn::VnMachine m(cfg);
+
+    static const auto prog = workloads::buildRowSumVn();
+    const std::uint64_t total_addr =
+        static_cast<std::uint64_t>(n) * n; // first word past the array
+    for (std::int64_t ij = 0; ij < n * n; ++ij)
+        m.poke(static_cast<std::uint64_t>(ij), mem::fromInt(ij % 7));
+    m.poke(total_addr, 0);
+
+    for (std::uint32_t c = 0; c < cores; ++c) {
+        auto &core = m.core(c);
+        core.attachProgram(&prog);
+        for (std::uint32_t ctx = 0; ctx < contexts; ++ctx) {
+            // Contexts partition rows as if they were extra cores.
+            core.setReg(ctx, 1,
+                        mem::fromInt(c * contexts + ctx));
+            core.setReg(ctx, 2, mem::fromInt(n));
+            core.setReg(ctx, 3,
+                        mem::fromInt(static_cast<std::int64_t>(cores) *
+                                     contexts));
+            core.setReg(ctx, 4,
+                        mem::fromInt(
+                            static_cast<std::int64_t>(total_addr)));
+        }
+    }
+    const auto cycles = m.run();
+    SIM_ASSERT_MSG(mem::toInt(m.peek(total_addr)) ==
+                       workloads::rowSumExpected(n),
+                   "vn row-sum produced the wrong total");
+    return cycles;
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::int64_t n = 24;
+    // Pure consumer version: the TTDA reads the same pre-initialized
+    // array the vN machines do.
+    const id::Compiled compiled = id::compile(R"(
+        def sumrow(a, n, r) =
+          (initial s <- 0
+           for j from 0 to n - 1 do
+             new s <- s + a[r * n + j]
+           return s);
+        def main(a, n) =
+          (initial s <- 0
+           for r from 0 to n - 1 do
+             new s <- s + sumrow(a, n, r)
+           return s);
+    )");
+    std::vector<graph::Value> array_values;
+    for (std::int64_t ij = 0; ij < n * n; ++ij)
+        array_values.emplace_back(ij % 7);
+
+    sim::Table t(sim::format(
+        "E14: {}x{} distributed row-sum, same network latency - "
+        "completion cycles", n, n));
+    t.header({"latency", "vN blocking (8 cores)",
+              "vN 8 contexts (8 cores)", "TTDA (8 PEs)",
+              "blocking/TTDA"});
+    for (sim::Cycle latency : {2u, 8u, 32u, 128u}) {
+        const auto vn_blocking = runVn(8, 1, n, latency);
+        const auto vn_ctx = runVn(8, 8, n, latency);
+
+        ttda::MachineConfig cfg;
+        cfg.numPEs = 8;
+        cfg.netLatency = latency;
+        // Distribute work by invocation (one row's loop per PE), the
+        // real TTDA's unit of work distribution.
+        cfg.mapping = ttda::MachineConfig::Mapping::ByContext;
+        ttda::Machine m(compiled.program, cfg);
+        const graph::IPtr arr = m.preload(array_values);
+        m.input(compiled.startCb, 0, graph::Value{arr});
+        m.input(compiled.startCb, 1, graph::Value{n});
+        auto out = m.run();
+        SIM_ASSERT_MSG(!out.empty() &&
+                           out[0].value.asInt() ==
+                               workloads::rowSumExpected(n),
+                       "ttda row-sum produced the wrong total");
+        bench::TtdaRun ttda;
+        ttda.cycles = m.cycles();
+
+        t.addRow({sim::Table::num(std::uint64_t{latency}),
+                  sim::Table::num(std::uint64_t{vn_blocking}),
+                  sim::Table::num(std::uint64_t{vn_ctx}),
+                  sim::Table::num(ttda.cycles),
+                  sim::Table::num(static_cast<double>(vn_blocking) /
+                                      ttda.cycles, 2) + "x"});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nBoth machine families read the same "
+                 "pre-initialized distributed array. Dataflow\n"
+                 "executes ~3x the operations for the same arithmetic "
+                 "- yet as latency grows the\nblocking machine's "
+                 "completion time inflates with L while the TTDA's "
+                 "barely\nmoves. Hardware contexts track the TTDA "
+                 "until k is exhausted. This is the\npaper's argument "
+                 "in one table.\n";
+    return 0;
+}

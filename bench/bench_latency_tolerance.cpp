@@ -1,0 +1,110 @@
+/**
+ * @file
+ * E1 — Issue 1 (Section 1.1, Figure 1-1): the ability to tolerate
+ * memory latency.
+ *
+ * Sweeps the network round-trip latency and reports, for each
+ * mitigation the paper discusses:
+ *
+ *   - blocking von Neumann core (Cm*-style): utilization ~ c/(c+L);
+ *   - k hardware contexts (HEP-style low-level context switching):
+ *     utilization holds until L exceeds what k contexts can cover,
+ *     then falls — the paper's point that a *fixed* k cannot scale;
+ *   - the tagged-token dataflow machine: completion time nearly flat
+ *     while program parallelism exceeds the latency.
+ *
+ * Second table: the k-contexts knee, showing the required k grows
+ * with L (the paper: "the number of low-level contexts ... will also
+ * have to increase to match the increase in memory latency time").
+ */
+
+#include "bench_util.hh"
+
+namespace
+{
+
+double
+vnUtil(std::uint32_t contexts, sim::Cycle latency)
+{
+    vn::VnMachineConfig cfg;
+    cfg.numCores = 4;
+    cfg.topology = vn::VnMachineConfig::Topology::Ideal;
+    cfg.netLatency = latency;
+    cfg.core.numContexts = contexts;
+    cfg.wordsPerModule = 4096;
+    auto m = bench::runVnTrace(cfg, 500, 3, 1.0);
+    return m.meanUtilization();
+}
+
+} // namespace
+
+int
+main()
+{
+    // TTDA workload: 24 independent row pipelines (see DESIGN.md E1).
+    const id::Compiled compiled = id::compile(R"(
+        def fillrow(a, n, r) =
+          (initial t <- a
+           for j from 0 to n - 1 do
+             new t <- store(t, r * n + j, 2 * (r * n + j))
+           return t);
+        def sumrow(a, n, r) =
+          (initial s <- 0
+           for j from 0 to n - 1 do
+             new s <- s + a[r * n + j]
+           return s);
+        def main(n) =
+          let a = array(n * n) in
+          let launch = (initial z <- 0
+                        for r from 0 to n - 1 do
+                          new z <- z + 0 * fillrow(a, n, r)[r * n]
+                        return z) in
+          (initial s <- 0
+           for r from 0 to n - 1 do
+             new s <- s + sumrow(a, n, r)
+           return s);
+    )");
+
+    sim::Table t1("E1a: utilization vs. memory latency "
+                  "(4 processors, all references remote)");
+    t1.header({"latency L", "vN blocking", "vN k=2", "vN k=4",
+               "vN k=8", "vN k=16", "TTDA ops/cyc", "TTDA cycles"});
+    sim::Cycle base_cycles = 0;
+    for (sim::Cycle latency : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+        ttda::MachineConfig cfg;
+        cfg.numPEs = 4;
+        cfg.netLatency = latency;
+        auto ttda = bench::runTtda(
+            compiled, cfg, {graph::Value{std::int64_t{24}}});
+        if (base_cycles == 0)
+            base_cycles = ttda.cycles;
+        t1.addRow({sim::Table::num(std::uint64_t{latency}),
+                   sim::Table::num(vnUtil(1, latency), 3),
+                   sim::Table::num(vnUtil(2, latency), 3),
+                   sim::Table::num(vnUtil(4, latency), 3),
+                   sim::Table::num(vnUtil(8, latency), 3),
+                   sim::Table::num(vnUtil(16, latency), 3),
+                   sim::Table::num(ttda.opsPerCycle, 2),
+                   sim::Table::num(ttda.cycles)});
+    }
+    t1.print(std::cout);
+
+    sim::Table t2("E1b: contexts needed to stay above 90% utilization "
+                  "grow with latency");
+    t2.header({"latency L", "smallest k with util >= 0.9"});
+    for (sim::Cycle latency : {2u, 8u, 32u, 128u}) {
+        std::uint32_t k = 1;
+        while (k <= 512 && vnUtil(k, latency) < 0.9)
+            k *= 2;
+        t2.addRow({sim::Table::num(std::uint64_t{latency}),
+                   k > 512 ? ">512" : sim::Table::num(k)});
+    }
+    t2.print(std::cout);
+
+    std::cout << "\nShape check (paper): blocking utilization falls "
+                 "roughly as 1/(1+L/4); fixed k only\nshifts the "
+                 "collapse; required k grows with L; the TTDA's "
+                 "completion time moves far\nless than "
+                 "proportionally to L.\n";
+    return 0;
+}

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * E8 — the processing element pipeline (Figures 2-3 / 2-4).
+ *
+ * Tables:
+ *  (a) stage occupancy for a realistic run: how busy the
+ *      waiting-matching section, ALU, I-structure controller and
+ *      output section are, per PE;
+ *  (b) waiting-matching store residency: peak unmatched-token
+ *      population as network jitter grows (tokens arrive further out
+ *      of order but matching absorbs it);
+ *  (c) out-of-order tolerance: results are bit-identical across
+ *      jitter levels.
+ */
+
+#include "bench_util.hh"
+
+namespace
+{
+
+const char *kSource = R"(
+def filla(t, n) =
+  (initial a <- t
+   for ij from 0 to n * n - 1 do
+     new a <- store(a, ij, (ij / n) + 2 * (ij % n))
+   return a);
+def fillb(t, n) =
+  (initial b <- t
+   for ij from 0 to n * n - 1 do
+     new b <- store(b, ij, (ij / n) * (ij % n) + 1)
+   return b);
+def cell(a, b, n, ij) =
+  let i = ij / n; j = ij % n in
+  (initial s <- 0
+   for k from 0 to n - 1 do
+     new s <- s + a[i * n + k] * b[k * n + j]
+   return s);
+def main(n) =
+  let a = array(n * n); b = array(n * n) in
+  let da = filla(a, n); db = fillb(b, n) in
+  (initial s <- 0
+   for ij from 0 to n * n - 1 do
+     new s <- s + cell(a, b, n, ij)
+   return s);
+)";
+
+} // namespace
+
+int
+main()
+{
+    const id::Compiled compiled = id::compile(kSource);
+    const std::int64_t n = 6;
+
+    // (a) Stage occupancy on 4 PEs.
+    {
+        ttda::MachineConfig cfg;
+        cfg.numPEs = 4;
+        cfg.netLatency = 2;
+        ttda::Machine m(compiled.program, cfg);
+        m.input(compiled.startCb, 0, graph::Value{n});
+        m.run();
+
+        sim::Table t("E8a: per-PE stage occupancy, 6x6 matmul, 4 PEs "
+                     "(fraction of cycles busy)");
+        t.header({"PE", "tokens in", "fired", "wait-match", "ALU",
+                  "IS ctrl", "out tokens", "WM peak"});
+        for (std::uint32_t p = 0; p < 4; ++p) {
+            const auto &s = m.peStats(p);
+            const double c = static_cast<double>(m.cycles());
+            t.addRow({sim::Table::num(p),
+                      sim::Table::num(s.tokensIn.value()),
+                      sim::Table::num(s.fired.value()),
+                      sim::Table::num(s.matchBusyCycles.value() / c, 2),
+                      sim::Table::num(s.aluBusyCycles.value() / c, 2),
+                      sim::Table::num(s.isBusyCycles.value() / c, 2),
+                      sim::Table::num(s.outputTokens.value()),
+                      sim::Table::num(s.waitStorePeak)});
+        }
+        t.print(std::cout);
+    }
+
+    // (b)+(c) Jitter sweep: matching absorbs out-of-order arrivals.
+    {
+        sim::Table t("E8b: waiting-matching residency and correctness "
+                     "vs. network jitter (8 PEs)");
+        t.header({"jitter (cycles)", "cycles", "peak WM entries",
+                  "median WM", "p99 WM", "result"});
+        double reference = 0.0;
+        bool first = true;
+        for (sim::Cycle jitter : {0u, 4u, 16u, 64u, 256u}) {
+            ttda::MachineConfig cfg;
+            cfg.numPEs = 8;
+            cfg.netLatency = 2;
+            cfg.netJitter = jitter;
+            cfg.seed = 1234;
+            ttda::Machine m(compiled.program, cfg);
+            m.input(compiled.startCb, 0, graph::Value{n});
+            auto out = m.run();
+            std::uint64_t peak = 0;
+            for (std::uint32_t p = 0; p < 8; ++p)
+                peak = std::max(peak, m.peStats(p).waitStorePeak);
+            const double v = out.at(0).value.asReal();
+            if (first) {
+                reference = v;
+                first = false;
+            }
+            t.addRow({sim::Table::num(std::uint64_t{jitter}),
+                      sim::Table::num(m.cycles()),
+                      sim::Table::num(peak),
+                      sim::Table::num(
+                          m.waitStoreResidency().quantile(0.5), 0),
+                      sim::Table::num(
+                          m.waitStoreResidency().quantile(0.99), 0),
+                      v == reference ? "identical" : "DIFFERS"});
+        }
+        t.print(std::cout);
+    }
+
+    std::cout << "\nShape check (paper): 'by having each datum carry "
+                 "context-identifying information\nwith it, no "
+                 "time-ordering ambiguities can arise' - arbitrary "
+                 "reordering changes\nonly the waiting-matching "
+                 "population, never the answer.\n";
+    return 0;
+}

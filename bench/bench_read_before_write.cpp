@@ -1,0 +1,127 @@
+/**
+ * @file
+ * E3 — Issue 2 (Section 1.1): synchronizing reads-before-writes
+ * without sacrificing parallelism.
+ *
+ * One strictly serial in-order producer pipes an array to a serial
+ * consumer of equal per-element cost. The only difference between the
+ * rows is the synchronization granularity (the gate): none
+ * (I-structure element level), per-chunk, or whole-array barrier.
+ * The paper's prediction: the barrier costs ~2x the element-level
+ * discipline (production and consumption cannot overlap at all), and
+ * chunking falls in between, approaching element level as chunks
+ * shrink.
+ */
+
+#include "bench_util.hh"
+
+namespace
+{
+
+std::string
+commonDefs()
+{
+    return R"(
+def pay(v) =
+  (initial q <- 0
+   for k from 1 to 8 do
+     new q <- q + v
+   return q) / 4;
+def put(a, idx, g) = store(a, idx, pay(idx) + g)[idx];
+def fill(a, m, g0) =
+  (initial g <- g0
+   for i from 0 to m - 1 do
+     new g <- 0 * put(a, i, g)
+   return g);
+def burn(s) =
+  (initial q <- s
+   for k from 1 to 8 do
+     new q <- q + 1
+   return q) - s - 8;
+def sumrange(a, lo, hi, s0) =
+  (initial s <- s0
+   for i from lo to hi do
+     new s <- s + a[i] + burn(s)
+   return s);
+)";
+}
+
+/** Consumer gated per chunk of `chunk` elements (0 = ungated). */
+std::string
+mainFor(int chunk, int barrier)
+{
+    if (barrier) {
+        return commonDefs() + R"(
+def main(m) =
+  let a = array(m) in
+  let launch = fill(a, m, 0) in
+  sumrange(a, 0, m - 1, 0 * a[m - 1]);
+)";
+    }
+    if (chunk == 0) {
+        return commonDefs() + R"(
+def main(m) =
+  let a = array(m) in
+  let launch = fill(a, m, 0) in
+  sumrange(a, 0, m - 1, 0);
+)";
+    }
+    return commonDefs() + sim::format(R"(
+def chunk(a, lo, hi) = sumrange(a, lo, hi, 0 * a[hi]);
+def main(m) =
+  let a = array(m) in
+  let launch = fill(a, m, 0) in
+  (initial s <- 0
+   for c from 0 to m / {} - 1 do
+     new s <- s + chunk(a, {} * c, {} * c + {})
+   return s);
+)",
+                                      chunk, chunk, chunk, chunk - 1);
+}
+
+bench::TtdaRun
+run(const std::string &src, std::int64_t m)
+{
+    id::Compiled c = id::compile(src);
+    ttda::MachineConfig cfg;
+    cfg.numPEs = 16;
+    cfg.netLatency = 2;
+    return bench::runTtda(c, cfg, {graph::Value{m}});
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::int64_t m = 24;
+    const double expect = static_cast<double>(m * (m - 1));
+
+    auto element = run(mainFor(0, false), m);
+
+    sim::Table t("E3: producer/consumer completion time vs. "
+                 "synchronization granularity (24-element pipeline, "
+                 "16 PEs)");
+    t.header({"granularity", "cycles", "slowdown", "deferred reads",
+              "correct"});
+    auto row = [&](const std::string &name, const bench::TtdaRun &r) {
+        t.addRow({name, sim::Table::num(r.cycles),
+                  sim::Table::num(static_cast<double>(r.cycles) /
+                                      element.cycles, 2),
+                  sim::Table::num(r.deferred),
+                  r.value == expect && !r.deadlocked ? "yes" : "NO"});
+    };
+    row("per-element (I-structure)", element);
+    for (int chunk : {2, 4, 6, 12})
+        row(sim::format("chunk of {}", chunk),
+            run(mainFor(chunk, false), m));
+    row("whole-array barrier", run(mainFor(0, true), m));
+    t.print(std::cout);
+
+    std::cout << "\nShape check (paper): with equal production and "
+                 "consumption costs the barrier\napproaches 2x the "
+                 "element-level time; finer granularity recovers the "
+                 "overlap, and\nper-element I-structure "
+                 "synchronization loses none of it.\n";
+    return 0;
+}

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * E5 — the Figure 2-2 program end to end.
+ *
+ * Tables:
+ *  (a) TTDA scaling: cycles / ops-per-cycle for the paper's
+ *      trapezoidal-rule loop versus PE count, against the sequential
+ *      von Neumann uniprocessor baseline;
+ *  (b) mapping-policy ablation (DESIGN.md): hashing the full tag vs.
+ *      keeping an iteration's activities on one PE;
+ *  (c) the emulator's ideal parallelism profile (the program's
+ *      intrinsic concurrency the machine can exploit).
+ */
+
+#include "bench_util.hh"
+
+#include "ttda/emulator.hh"
+#include "vn/core.hh"
+#include "workloads/dfg_programs.hh"
+#include "workloads/vn_programs.hh"
+
+namespace
+{
+
+const char *kSource = R"(
+def f(x) = x * x;
+def main(a, b, n) =
+  let h = (b - a) / n in
+  (initial s <- (f(a) + f(b)) / 2.0; x <- a + h
+   for i from 1 to n - 1 do
+     new x <- x + h;
+     new s <- s + f(x)
+   return s) * h;
+)";
+
+} // namespace
+
+int
+main()
+{
+    const double a = 0.0, b = 2.0;
+    const std::int64_t n = 256;
+    const id::Compiled compiled = id::compile(kSource);
+    const std::vector<graph::Value> inputs{
+        graph::Value{a}, graph::Value{b}, graph::Value{n}};
+    const double reference = workloads::trapezoidReference(a, b, n);
+
+    // Sequential von Neumann baseline (pure register program).
+    sim::Cycle vn_cycles = 0;
+    {
+        auto prog = workloads::buildTrapezoidVn();
+        vn::VnCore core(0, vn::VnCoreConfig{});
+        core.attachProgram(&prog);
+        core.setReg(0, 10, mem::fromDouble(a));
+        core.setReg(0, 11, mem::fromDouble(b));
+        core.setReg(0, 12, mem::fromInt(n));
+        while (!core.halted())
+            core.step(vn_cycles++);
+    }
+
+    sim::Table t1(sim::format(
+        "E5a: trapezoid (n = {}) - TTDA vs. sequential vN "
+        "uniprocessor", n));
+    t1.header({"machine", "cycles", "activities", "ops/cycle",
+               "result ok"});
+    t1.addRow({"vN uniprocessor (1 instr/cycle)",
+               sim::Table::num(std::uint64_t{vn_cycles}), "-", "1.00",
+               "yes"});
+    for (std::uint32_t pes : {1u, 2u, 4u, 8u, 16u, 32u}) {
+        ttda::MachineConfig cfg;
+        cfg.numPEs = pes;
+        cfg.netLatency = 2;
+        auto r = bench::runTtda(compiled, cfg, inputs);
+        t1.addRow({sim::format("TTDA {} PEs", pes),
+                   sim::Table::num(r.cycles),
+                   sim::Table::num(r.fired),
+                   sim::Table::num(r.opsPerCycle, 2),
+                   std::abs(r.value - reference) < 1e-9 ? "yes"
+                                                        : "NO"});
+    }
+    t1.print(std::cout);
+
+    sim::Table t2("E5b: mapping-policy ablation (8 PEs)");
+    t2.header({"policy", "cycles", "ops/cycle", "net packets"});
+    for (auto [name, policy] :
+         {std::pair{"hash full tag",
+                    ttda::MachineConfig::Mapping::HashTag},
+          std::pair{"by context",
+                    ttda::MachineConfig::Mapping::ByContext},
+          std::pair{"by iteration",
+                    ttda::MachineConfig::Mapping::ByIteration},
+          std::pair{"single PE",
+                    ttda::MachineConfig::Mapping::SinglePe}})
+    {
+        ttda::MachineConfig cfg;
+        cfg.numPEs = 8;
+        cfg.netLatency = 2;
+        cfg.mapping = policy;
+        ttda::Machine m(compiled.program, cfg);
+        for (std::size_t p = 0; p < inputs.size(); ++p)
+            m.input(compiled.startCb, static_cast<std::uint16_t>(p),
+                    inputs[p]);
+        m.run();
+        t2.addRow({name, sim::Table::num(m.cycles()),
+                   sim::Table::num(m.opsPerCycle(), 2),
+                   sim::Table::num(m.netStats().sent.value())});
+    }
+    t2.print(std::cout);
+
+    // (d) Restructuring for parallelism: the integral is additive, so
+    // splitting [a,b] into k sub-ranges turns one serial s-chain into
+    // k independent loops — the constructive reading of the paper's
+    // "sufficiently parallel" caveat.
+    {
+        sim::Table t2d("E5d: splitting the integral into k concurrent "
+                       "loops (8 PEs, n = 256 total)");
+        t2d.header({"k loops", "cycles", "ops/cycle", "speedup vs 1"});
+        sim::Cycle base_cycles = 0;
+        for (int k : {1, 2, 4, 8, 16}) {
+            std::string src = R"(
+def f(x) = x * x;
+def trap(a, b, n) =
+  let h = (b - a) / n in
+  (initial s <- (f(a) + f(b)) / 2.0; x <- a + h
+   for i from 1 to n - 1 do
+     new x <- x + h;
+     new s <- s + f(x)
+   return s) * h;
+def main(a, b, n) =
+)";
+            // Sum of k sub-integrals, built textually.
+            src += "  let q = (b - a) / " + std::to_string(k) +
+                   " in\n  ";
+            for (int j = 0; j < k; ++j) {
+                if (j)
+                    src += " + ";
+                src += "trap(a + " + std::to_string(j) +
+                       " * q, a + " + std::to_string(j + 1) +
+                       " * q, n / " + std::to_string(k) + ")";
+            }
+            src += ";\n";
+            const id::Compiled split = id::compile(src);
+            ttda::MachineConfig cfg;
+            cfg.numPEs = 8;
+            cfg.netLatency = 2;
+            auto r = bench::runTtda(split, cfg, inputs);
+            if (base_cycles == 0)
+                base_cycles = r.cycles;
+            const bool ok = std::abs(r.value - reference) < 1e-6;
+            t2d.addRow({sim::Table::num(k), sim::Table::num(r.cycles),
+                        sim::Table::num(r.opsPerCycle, 2),
+                        sim::Table::num(static_cast<double>(
+                                            base_cycles) / r.cycles,
+                                        2) + (ok ? "" : " (BAD)")});
+        }
+        t2d.print(std::cout);
+    }
+
+    // Ideal parallelism profile from the emulator.
+    ttda::Emulator emu(compiled.program);
+    for (std::size_t p = 0; p < inputs.size(); ++p)
+        emu.input(compiled.startCb, static_cast<std::uint16_t>(p),
+                  inputs[p]);
+    emu.run();
+    sim::Table t3("E5c: ideal parallelism profile (emulator waves)");
+    t3.header({"metric", "value"});
+    t3.addRow({"dataflow depth (waves)",
+               sim::Table::num(emu.stats().waves)});
+    t3.addRow({"total activities", sim::Table::num(emu.stats().fired)});
+    t3.addRow({"mean parallelism",
+               sim::Table::num(emu.stats().avgParallelism, 2)});
+    t3.addRow({"peak parallelism",
+               sim::Table::num(emu.stats().maxWaveWidth)});
+    t3.print(std::cout);
+
+    std::cout << "\nShape check: the loop's s-accumulation is a serial "
+                 "chain, so speedup saturates\nat the program's mean "
+                 "parallelism - the machine exploits exactly what the "
+                 "graph\nexposes, no more (paper Section 2.3's "
+                 "'sufficiently parallel' caveat).\n";
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Shared helpers for the experiment binaries. Each experiment (E1-E11
+ * in DESIGN.md) prints one or more tables reproducing a figure or
+ * claim from the paper; EXPERIMENTS.md records paper-vs-measured.
+ */
+
+#ifndef TTDA_BENCH_BENCH_UTIL_HH
+#define TTDA_BENCH_BENCH_UTIL_HH
+
+#include <iostream>
+#include <string>
+
+#include "common/table.hh"
+#include "id/codegen.hh"
+#include "ttda/machine.hh"
+#include "vn/machine.hh"
+#include "workloads/vn_programs.hh"
+
+namespace bench
+{
+
+/** Summary of one tagged-token machine run. */
+struct TtdaRun
+{
+    double value = 0.0;
+    sim::Cycle cycles = 0;
+    std::uint64_t fired = 0;
+    double opsPerCycle = 0.0;
+    double aluUtil = 0.0;
+    std::uint64_t deferred = 0;
+    bool deadlocked = false;
+};
+
+/** Compile-once cache is the caller's job; this runs one config. */
+inline TtdaRun
+runTtda(const id::Compiled &compiled, ttda::MachineConfig cfg,
+        const std::vector<graph::Value> &inputs)
+{
+    ttda::Machine m(compiled.program, cfg);
+    for (std::size_t p = 0; p < inputs.size(); ++p)
+        m.input(compiled.startCb, static_cast<std::uint16_t>(p),
+                inputs[p]);
+    auto out = m.run();
+    TtdaRun r;
+    if (!out.empty())
+        r.value = out[0].value.isReal() ? out[0].value.asReal()
+                                        : static_cast<double>(
+                                              out[0].value.asInt());
+    r.cycles = m.cycles();
+    r.fired = m.totalFired();
+    r.opsPerCycle = m.opsPerCycle();
+    r.aluUtil = m.aluUtilization();
+    r.deferred = m.istructureTotals().fetchesDeferred.value();
+    r.deadlocked = m.deadlocked();
+    return r;
+}
+
+/** Run a synthetic-trace von Neumann machine; returns the machine so
+ *  callers can read any statistic. */
+inline vn::VnMachine
+runVnTrace(vn::VnMachineConfig cfg, std::uint64_t references,
+           std::uint32_t compute_per_ref, double remote_fraction,
+           std::uint64_t seed = 7)
+{
+    vn::VnMachine m(cfg);
+    for (std::uint32_t c = 0; c < cfg.numCores; ++c) {
+        workloads::TraceConfig tc;
+        tc.coreId = c;
+        tc.numCores = cfg.numCores;
+        tc.wordsPerModule = cfg.wordsPerModule;
+        tc.references = references;
+        tc.computePerRef = compute_per_ref;
+        tc.remoteFraction = remote_fraction;
+        tc.seed = seed;
+        m.core(c).attachTrace(workloads::makeUniformTrace(tc));
+    }
+    m.run();
+    return m;
+}
+
+} // namespace bench
+
+#endif // TTDA_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * E13 — VLIW architectures (Section 1.2.4, ELI-512 / Polycyclic).
+ *
+ * Tables:
+ *  (a) issue-width scaling on three DAG shapes: independent ops scale,
+ *      a serial chain does not, and a realistic loop body lands in
+ *      between — the paper's "effective ... with small scale (4 to 8)
+ *      parallelism, but ... not sufficiently general as to allow
+ *      significant scaling up";
+ *  (b) static latency planning vs. dynamic reality: the compiler
+ *      schedules for an assumed load latency; when actual latency
+ *      exceeds it, the lockstep machine stalls in full — contrast
+ *      with the TTDA, whose completion time barely moves over the
+ *      same sweep (from E1).
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "vn/vliw.hh"
+
+int
+main()
+{
+    {
+        sim::Table t("E13a: schedule length vs. issue width "
+                     "(192 operations per DAG)");
+        t.header({"width", "independent", "serial chain",
+                  "loop body (48 iters)", "loop slots used"});
+        const auto indep = vn::makeIndependentDag(192);
+        const auto chain = vn::makeChainDag(192);
+        const auto loop = vn::makeLoopDag(48);
+        for (std::uint32_t w : {1u, 2u, 4u, 8u, 16u, 32u}) {
+            const auto s1 = vn::scheduleDag(indep, w, 4);
+            const auto s2 = vn::scheduleDag(chain, w, 4);
+            const auto s3 = vn::scheduleDag(loop, w, 4);
+            t.addRow({sim::Table::num(w),
+                      sim::Table::num(std::uint64_t{s1.length}),
+                      sim::Table::num(std::uint64_t{s2.length}),
+                      sim::Table::num(std::uint64_t{s3.length}),
+                      sim::Table::num(s3.slotUtilization(), 2)});
+        }
+        std::uint64_t cp = loop.criticalPath(1, 4);
+        t.addRow({"critical path", "-", "-", sim::Table::num(cp),
+                  "-"});
+        t.print(std::cout);
+    }
+
+    {
+        sim::Table t("E13b: lockstep stalls when actual memory "
+                     "latency exceeds the compiler's plan (width 8, "
+                     "assumed latency 4)");
+        t.header({"actual latency", "run cycles", "stall cycles",
+                  "slowdown vs plan"});
+        const auto loop = vn::makeLoopDag(48);
+        const auto sched = vn::scheduleDag(loop, 8, 4);
+        const auto planned =
+            vn::executeSchedule(loop, sched, 4).cycles;
+        for (sim::Cycle actual : {1u, 4u, 8u, 16u, 32u, 64u}) {
+            const auto run = vn::executeSchedule(loop, sched, actual);
+            t.addRow({sim::Table::num(std::uint64_t{actual}),
+                      sim::Table::num(std::uint64_t{run.cycles}),
+                      sim::Table::num(std::uint64_t{run.stallCycles}),
+                      sim::Table::num(
+                          static_cast<double>(run.cycles) / planned,
+                          2) + "x"});
+        }
+        t.print(std::cout);
+    }
+
+    std::cout << "\nShape check (paper): width beyond the DAG's "
+                 "parallelism buys nothing (the loop\nsaturates near "
+                 "width 4-8 with falling slot utilization); and a "
+                 "statically planned\nmachine pays every cycle of "
+                 "unplanned latency - 'clearly, these machines are "
+                 "not\nsuited at all to ... anything which relies on "
+                 "the ability to efficiently switch\ncontexts.'\n";
+    return 0;
+}

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * idc: a command-line driver for the mini-ID compiler.
+ *
+ * Usage:
+ *   idc <file.id> run [args...]    compile and run on the emulator
+ *   idc <file.id> sim [args...]    compile and run on the machine
+ *   idc <file.id> trace [args...]  as sim, with a per-event trace
+ *   idc <file.id> stats [args...]  as sim, then dump all statistics
+ *   idc <file.id> dot [block]      dump GraphViz for a code block
+ *   idc <file.id> asm [block]      disassemble code blocks
+ *   idc <file.id> list             list compiled code blocks
+ *
+ * Numeric arguments containing '.' are passed as reals, otherwise as
+ * integers. The environment variable IDC_PES overrides the machine's
+ * PE count (default 8) for sim/trace/stats.
+ */
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "id/codegen.hh"
+#include "ttda/emulator.hh"
+#include "ttda/machine.hh"
+
+namespace
+{
+
+graph::Value
+parseArg(const std::string &s)
+{
+    if (s.find('.') != std::string::npos)
+        return graph::Value{std::stod(s)};
+    return graph::Value{static_cast<std::int64_t>(std::stoll(s))};
+}
+
+int
+usage()
+{
+    std::cerr << "usage: idc <file.id> (run|sim|dot|list) [args...]\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    std::ifstream in(argv[1]);
+    if (!in) {
+        std::cerr << "idc: cannot open " << argv[1] << "\n";
+        return 1;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+
+    id::Compiled compiled;
+    try {
+        compiled = id::compile(buf.str());
+    } catch (const id::CompileError &err) {
+        std::cerr << "idc: " << err.what() << "\n";
+        return 1;
+    }
+
+    const std::string mode = argv[2];
+    if (mode == "list") {
+        for (std::size_t cb = 0; cb < compiled.program.numCodeBlocks();
+             ++cb)
+        {
+            const auto &block = compiled.program.codeBlock(
+                static_cast<std::uint16_t>(cb));
+            std::cout << cb << ": " << block.name << " ("
+                      << block.instrs.size() << " instructions, "
+                      << block.numParams << " params)\n";
+        }
+        return 0;
+    }
+    if (mode == "dot") {
+        std::uint16_t cb = compiled.mainCb;
+        if (argc >= 4)
+            cb = static_cast<std::uint16_t>(std::stoi(argv[3]));
+        std::cout << compiled.program.toDot(cb);
+        return 0;
+    }
+    if (mode == "asm") {
+        std::uint16_t cb = 0xffff;
+        if (argc >= 4)
+            cb = static_cast<std::uint16_t>(std::stoi(argv[3]));
+        std::cout << compiled.program.disassemble(cb);
+        return 0;
+    }
+
+    if (mode != "run" && mode != "sim" && mode != "trace" &&
+        mode != "stats")
+    {
+        return usage();
+    }
+    const std::uint32_t nargs = static_cast<std::uint32_t>(argc - 3);
+    if (nargs != compiled.numInputs) {
+        std::cerr << "idc: main expects " << compiled.numInputs
+                  << " inputs, got " << nargs << "\n";
+        return 1;
+    }
+
+    if (mode == "run") {
+        ttda::Emulator emu(compiled.program);
+        for (std::uint32_t p = 0; p < nargs; ++p)
+            emu.input(compiled.startCb, static_cast<std::uint16_t>(p),
+                      parseArg(argv[3 + p]));
+        auto out = emu.run();
+        for (const auto &rec : out)
+            std::cout << rec.value << "\n";
+        std::cerr << "[emulator: " << emu.stats().fired
+                  << " activities, depth " << emu.stats().waves
+                  << ", ideal parallelism "
+                  << emu.stats().avgParallelism << "]\n";
+        if (emu.outstandingReads() > 0) {
+            std::cerr << "idc: DEADLOCK - " << emu.outstandingReads()
+                      << " reads were never satisfied\n";
+            return 1;
+        }
+    } else {
+        ttda::MachineConfig cfg;
+        cfg.numPEs = 8;
+        if (const char *pes = std::getenv("IDC_PES"))
+            cfg.numPEs = static_cast<std::uint32_t>(
+                std::max(1, std::atoi(pes)));
+        if (mode == "trace")
+            cfg.trace = &std::cerr;
+        ttda::Machine m(compiled.program, cfg);
+        for (std::uint32_t p = 0; p < nargs; ++p)
+            m.input(compiled.startCb, static_cast<std::uint16_t>(p),
+                    parseArg(argv[3 + p]));
+        auto out = m.run();
+        for (const auto &rec : out)
+            std::cout << rec.value << "\n";
+        std::cerr << "[machine: " << m.totalFired() << " activities, "
+                  << m.cycles() << " cycles, " << m.opsPerCycle()
+                  << " ops/cycle]\n";
+        if (mode == "stats")
+            m.dumpStats(std::cerr);
+        if (m.deadlocked()) {
+            std::cerr << "idc: DEADLOCK detected\n";
+            return 1;
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Issue 1 demo: the ability to tolerate memory latency, side by side.
+ *
+ * As the network round trip grows, a blocking von Neumann core's
+ * utilization collapses, a fixed number of hardware contexts only
+ * defers the collapse, and the dataflow machine keeps its pipeline
+ * busy because every activity is independent once its operands arrive.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "id/codegen.hh"
+#include "ttda/machine.hh"
+#include "vn/machine.hh"
+#include "workloads/vn_programs.hh"
+
+namespace
+{
+
+double
+vnUtilization(std::uint32_t contexts, sim::Cycle latency)
+{
+    vn::VnMachineConfig cfg;
+    cfg.numCores = 4;
+    cfg.topology = vn::VnMachineConfig::Topology::Ideal;
+    cfg.netLatency = latency;
+    cfg.core.numContexts = contexts;
+    cfg.wordsPerModule = 4096;
+    vn::VnMachine m(cfg);
+    for (std::uint32_t c = 0; c < cfg.numCores; ++c) {
+        workloads::TraceConfig tc;
+        tc.coreId = c;
+        tc.numCores = cfg.numCores;
+        tc.wordsPerModule = cfg.wordsPerModule;
+        tc.references = 400;
+        tc.computePerRef = 3;
+        tc.remoteFraction = 1.0;
+        m.core(c).attachTrace(workloads::makeUniformTrace(tc));
+    }
+    m.run();
+    return m.meanUtilization();
+}
+
+double
+ttdaUtilization(sim::Cycle latency, sim::Cycle &cycles)
+{
+    // Latency tolerance requires program parallelism (the paper's
+    // own caveat): 24 independent row consumers keep ~24 memory
+    // requests outstanding at once.
+    static const id::Compiled compiled = id::compile(R"(
+        def fillrow(a, n, r) =
+          (initial t <- a
+           for j from 0 to n - 1 do
+             new t <- store(t, r * n + j, 2 * (r * n + j))
+           return t);
+        def sumrow(a, n, r) =
+          (initial s <- 0
+           for j from 0 to n - 1 do
+             new s <- s + a[r * n + j]
+           return s);
+        def main(n) =
+          let a = array(n * n) in
+          let launch = (initial z <- 0
+                        for r from 0 to n - 1 do
+                          new z <- z + 0 * fillrow(a, n, r)[r * n]
+                        return z) in
+          (initial s <- 0
+           for r from 0 to n - 1 do
+             new s <- s + sumrow(a, n, r)
+           return s);
+    )");
+    ttda::MachineConfig cfg;
+    cfg.numPEs = 4;
+    cfg.netLatency = latency;
+    ttda::Machine m(compiled.program, cfg);
+    m.input(compiled.startCb, 0, graph::Value{std::int64_t{24}});
+    m.run();
+    cycles = m.cycles();
+    return m.aluUtilization();
+}
+
+} // namespace
+
+int
+main()
+{
+    sim::Table t("Issue 1: utilization as memory latency grows");
+    t.header({"round-trip latency", "vN blocking", "vN 4 contexts",
+              "vN 16 contexts", "TTDA util", "TTDA cycles"});
+    for (sim::Cycle latency : {1u, 4u, 16u, 64u}) {
+        sim::Cycle ttda_cycles = 0;
+        const double ttda = ttdaUtilization(latency, ttda_cycles);
+        t.addRow({sim::Table::num(std::uint64_t{latency}),
+                  sim::Table::num(vnUtilization(1, latency), 3),
+                  sim::Table::num(vnUtilization(4, latency), 3),
+                  sim::Table::num(vnUtilization(16, latency), 3),
+                  sim::Table::num(ttda, 3),
+                  sim::Table::num(std::uint64_t{ttda_cycles})});
+    }
+    t.print(std::cout);
+    std::cout << "\nBlocking cores degrade ~1/(1+L); fixed contexts "
+                 "only shift the knee;\nthe dataflow machine's "
+                 "completion time barely moves.\n";
+    return 0;
+}

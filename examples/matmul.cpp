@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Matrix multiply on the tagged-token machine: a heavier structured
+ * workload with two producers and n*n consumers all synchronized
+ * element-wise through I-structure storage.
+ *
+ * C = A * B with A[i][j] = i + 2j, B[i][j] = i*j + 1; the program
+ * outputs sum(C) and the host cross-checks it.
+ *
+ * Usage: matmul [n numPEs]    (defaults: 8 8)
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table.hh"
+#include "id/codegen.hh"
+#include "ttda/machine.hh"
+
+namespace
+{
+
+const char *kSource = R"(
+def filla(t, n) =
+  (initial a <- t
+   for ij from 0 to n * n - 1 do
+     new a <- store(a, ij, (ij / n) + 2 * (ij % n))
+   return a);
+
+def fillb(t, n) =
+  (initial b <- t
+   for ij from 0 to n * n - 1 do
+     new b <- store(b, ij, (ij / n) * (ij % n) + 1)
+   return b);
+
+-- C[i][j] for ij = i*n + j, reading A and B element-wise.
+def cell(a, b, n, ij) =
+  let i = ij / n; j = ij % n in
+  (initial s <- 0
+   for k from 0 to n - 1 do
+     new s <- s + a[i * n + k] * b[k * n + j]
+   return s);
+
+def main(n) =
+  let a = array(n * n); b = array(n * n) in
+  let da = filla(a, n); db = fillb(b, n) in
+  (initial s <- 0
+   for ij from 0 to n * n - 1 do
+     new s <- s + cell(a, b, n, ij)
+   return s);
+)";
+
+std::int64_t
+reference(std::int64_t n)
+{
+    std::int64_t sum = 0;
+    for (std::int64_t i = 0; i < n; ++i)
+        for (std::int64_t j = 0; j < n; ++j)
+            for (std::int64_t k = 0; k < n; ++k)
+                sum += (i + 2 * k) * (k * j + 1);
+    return sum;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::int64_t n = 8;
+    std::uint32_t pes = 8;
+    if (argc == 3) {
+        n = std::atoll(argv[1]);
+        pes = static_cast<std::uint32_t>(std::atoi(argv[2]));
+    }
+
+    id::Compiled c = id::compile(kSource);
+    ttda::MachineConfig cfg;
+    cfg.numPEs = pes;
+    cfg.netLatency = 2;
+    ttda::Machine m(c.program, cfg);
+    m.input(c.startCb, 0, graph::Value{n});
+    auto out = m.run();
+
+    const std::int64_t got = out.at(0).value.asInt();
+    const std::int64_t want = reference(n);
+    const auto is = m.istructureTotals();
+
+    sim::Table t(sim::format("{}x{} matmul on {} PEs", n, n, pes));
+    t.header({"metric", "value"});
+    t.addRow({"sum(C)", sim::Table::num(got)});
+    t.addRow({"reference", sim::Table::num(want)});
+    t.addRow({"cycles", sim::Table::num(m.cycles())});
+    t.addRow({"activities fired", sim::Table::num(m.totalFired())});
+    t.addRow({"ops/cycle", sim::Table::num(m.opsPerCycle(), 2)});
+    t.addRow({"ALU utilization", sim::Table::num(m.aluUtilization(), 2)});
+    t.addRow({"i-structure fetches", sim::Table::num(is.fetches.value())});
+    t.addRow({"  of which deferred",
+              sim::Table::num(is.fetchesDeferred.value())});
+    t.addRow({"contexts created",
+              sim::Table::num(m.contexts().totalCreated())});
+    t.print(std::cout);
+
+    if (got != want) {
+        std::cerr << "MISMATCH!\n";
+        return 1;
+    }
+    std::cout << "\nConsumers raced ahead of the producers and parked "
+              << is.fetchesDeferred.value()
+              << " reads on deferred lists - all were satisfied.\n";
+    return 0;
+}

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Issue 2 demo: sharing data between a producer and a consumer without
+ * constraining parallelism.
+ *
+ * Three synchronization disciplines over identical work on the same
+ * 8-PE tagged-token machine. All three use the same row-parallel
+ * producer and the same row-structured consumer; they differ ONLY in
+ * how the consumer is gated:
+ *
+ *   element — I-structure synchronization: consumers start
+ *             immediately; reads of unwritten cells park on deferred
+ *             lists ("synchronization ... with no loss of
+ *             parallelism");
+ *   per-row — the consumer of row r waits for row r's producer to
+ *             return (the paper's "more common scheme");
+ *   barrier — no consumer starts until *every* producer has returned
+ *             ("there is no synchronization problem, but neither is
+ *             there any chance for parallelism").
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "id/codegen.hh"
+#include "ttda/machine.hh"
+
+namespace
+{
+
+const char *kCommon = R"(
+-- pay(v) = 2*v in 8 serial ticks: each element costs real time.
+def pay(v) =
+  (initial q <- 0
+   for k from 1 to 8 do
+     new q <- q + v
+   return q) / 4;
+
+-- Write element idx, then read it back, so the chain value g is
+-- available only after the datum is really in I-structure storage.
+def put(a, idx, g) = store(a, idx, pay(idx) + g)[idx];
+
+-- Strictly serial in-order producer: element i+1 is not even started
+-- until element i is in memory (the g chain).
+def fill(a, m, g0) =
+  (initial g <- g0
+   for i from 0 to m - 1 do
+     new g <- 0 * put(a, i, g)
+   return g);
+
+-- burn(s) = 0 in 8 serial ticks: per-element consumption cost.
+def burn(s) =
+  (initial q <- s
+   for k from 1 to 8 do
+     new q <- q + 1
+   return q) - s - 8;
+
+-- Serial consumer of a[lo..hi]; s0 also acts as the gate.
+def sumrange(a, lo, hi, s0) =
+  (initial s <- s0
+   for i from lo to hi do
+     new s <- s + a[i] + burn(s)
+   return s);
+)";
+
+// Element-level: the consumer starts immediately and trails the
+// producer element by element through deferred reads.
+const std::string kElement = std::string(kCommon) + R"(
+def main(m) =
+  let a = array(m) in
+  let launch = fill(a, m, 0) in
+  sumrange(a, 0, m - 1, 0);
+)";
+
+// Per-chunk ("per-row"): the consumer of each 6-element chunk waits
+// for the chunk's last element (in-order production makes that a
+// chunk-completion signal).
+const std::string kPerRow = std::string(kCommon) + R"(
+def chunk(a, lo, hi) = sumrange(a, lo, hi, 0 * a[hi]);
+def main(m) =
+  let a = array(m) in
+  let launch = fill(a, m, 0) in
+  (initial s <- 0
+   for c from 0 to m / 6 - 1 do
+     new s <- s + chunk(a, 6 * c, 6 * c + 5)
+   return s);
+)";
+
+// Whole-array barrier: the consumer is gated on the final element, so
+// not one read begins before the entire array is written.
+const std::string kBarrier = std::string(kCommon) + R"(
+def main(m) =
+  let a = array(m) in
+  let launch = fill(a, m, 0) in
+  sumrange(a, 0, m - 1, 0 * a[m - 1]);
+)";
+
+struct RunResult
+{
+    double value = 0;
+    sim::Cycle cycles = 0;
+    std::uint64_t deferred = 0;
+};
+
+RunResult
+run(const std::string &source, std::int64_t n)
+{
+    id::Compiled c = id::compile(source);
+    ttda::MachineConfig cfg;
+    cfg.numPEs = 16;
+    cfg.netLatency = 2;
+    ttda::Machine m(c.program, cfg);
+    m.input(c.startCb, 0, graph::Value{n});
+    auto out = m.run();
+    RunResult r;
+    r.value = out.at(0).value.asReal();
+    r.cycles = m.cycles();
+    r.deferred = m.istructureTotals().fetchesDeferred.value();
+    return r;
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::int64_t m = 24; // elements (4 chunks of 6)
+    const double expect =
+        static_cast<double>(m * (m - 1)); // sum of 2*i for i < m
+
+    auto element = run(kElement, m);
+    auto per_row = run(kPerRow, m);
+    auto barrier = run(kBarrier, m);
+
+    sim::Table t(sim::format(
+        "Issue 2: producer/consumer pipeline over {} elements, 16 PEs",
+        m));
+    t.header({"synchronization", "cycles", "slowdown vs element",
+              "deferred reads", "result ok"});
+    auto row = [&](const char *name, const RunResult &r) {
+        t.addRow({name, sim::Table::num(r.cycles),
+                  sim::Table::num(static_cast<double>(r.cycles) /
+                                      element.cycles, 2),
+                  sim::Table::num(r.deferred),
+                  r.value == expect ? "yes" : "NO"});
+    };
+    row("per-element (I-structure)", element);
+    row("per-chunk (6 elems)", per_row);
+    row("whole-array barrier", barrier);
+    t.print(std::cout);
+
+    std::cout << "\nIdentical producers and consumers; only the gating "
+                 "differs. Element-level\nsynchronization overlaps "
+                 "production and consumption completely - the paper's\n"
+                 "claim, measured.\n";
+    return 0;
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Wavefront relaxation: the Cm* survey's "chaotic relaxation" workload
+ * class (paper Section 1.2.2) expressed as pure dataflow.
+ *
+ * w[i][j] = w[i-1][j] + w[i][0..j-1]'s neighbour; every anti-diagonal
+ * is computable in parallel, and every dependency is an I-structure
+ * element read. The launch loop sprays all n*n cell computations at
+ * once; the I-structures serialize exactly the true dependencies and
+ * nothing else — consumers of row i race ahead of producers of row
+ * i-1 and park on deferred lists.
+ *
+ * Usage: wavefront [n numPEs]   (defaults: 10 8)
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table.hh"
+#include "id/codegen.hh"
+#include "ttda/emulator.hh"
+#include "ttda/machine.hh"
+#include "workloads/id_sources.hh"
+
+namespace
+{
+
+std::int64_t
+binomial(std::int64_t n, std::int64_t k)
+{
+    std::int64_t r = 1;
+    for (std::int64_t i = 1; i <= k; ++i)
+        r = r * (n - k + i) / i;
+    return r;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::int64_t n = 10;
+    std::uint32_t pes = 8;
+    if (argc == 3) {
+        n = std::atoll(argv[1]);
+        pes = static_cast<std::uint32_t>(std::atoi(argv[2]));
+    }
+
+    id::Compiled c = id::compile(workloads::src::wavefront);
+
+    // Ideal parallelism from the emulator.
+    ttda::Emulator emu(c.program);
+    emu.input(c.startCb, 0, graph::Value{n});
+    auto emu_out = emu.run();
+
+    // Cycle-level machine.
+    ttda::MachineConfig cfg;
+    cfg.numPEs = pes;
+    cfg.netLatency = 2;
+    ttda::Machine m(c.program, cfg);
+    m.input(c.startCb, 0, graph::Value{n});
+    auto out = m.run();
+
+    const std::int64_t expect = binomial(2 * (n - 1), n - 1);
+    const auto is = m.istructureTotals();
+
+    sim::Table t(sim::format("{}x{} wavefront on {} PEs", n, n, pes));
+    t.header({"metric", "value"});
+    t.addRow({"w[n-1][n-1]",
+              sim::Table::num(out.at(0).value.asInt())});
+    t.addRow({"closed form C(2n-2, n-1)", sim::Table::num(expect)});
+    t.addRow({"cycles", sim::Table::num(m.cycles())});
+    t.addRow({"ops/cycle", sim::Table::num(m.opsPerCycle(), 2)});
+    t.addRow({"ideal mean parallelism",
+              sim::Table::num(emu.stats().avgParallelism, 2)});
+    t.addRow({"ideal peak parallelism",
+              sim::Table::num(emu.stats().maxWaveWidth)});
+    t.addRow({"deferred reads",
+              sim::Table::num(is.fetchesDeferred.value())});
+    t.print(std::cout);
+
+    if (out.at(0).value.asInt() != expect) {
+        std::cerr << "MISMATCH!\n";
+        return 1;
+    }
+    std::cout << "\nEvery cell launched at once; "
+              << is.fetchesDeferred.value()
+              << " reads waited on exactly their true dependencies - "
+                 "per-element synchronization\nwith no loss of "
+                 "parallelism (Issue 2, resolved).\n";
+    return 0;
+}

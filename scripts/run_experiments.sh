@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Build, test, and regenerate every experiment table (E1-E15).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+for b in build/bench/*; do
+    [ -x "$b" ] || continue
+    echo
+    echo "===================================================================="
+    echo "$b"
+    echo "===================================================================="
+    "$b"
+done

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Minimal std::format replacement for toolchains without <format>
+ * (libstdc++ shipped it only with GCC 13).
+ *
+ * Supports positional "{}" placeholders only; each consumes the next
+ * argument, streamed with operator<<. A literal brace is written as
+ * "{{" or "}}". Unmatched placeholders/arguments are rendered verbatim
+ * rather than throwing, since this is used on error paths.
+ */
+
+#ifndef TTDA_COMMON_FORMAT_HH
+#define TTDA_COMMON_FORMAT_HH
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace sim
+{
+
+namespace detail
+{
+
+template <typename T>
+std::string
+stringify(const T &value)
+{
+    std::ostringstream os;
+    os << value;
+    return os.str();
+}
+
+inline std::string
+formatImpl(std::string_view fmt, const std::vector<std::string> &args)
+{
+    std::string out;
+    out.reserve(fmt.size() + 16 * args.size());
+    std::size_t next = 0;
+    for (std::size_t i = 0; i < fmt.size(); ++i) {
+        const char c = fmt[i];
+        if (c == '{') {
+            if (i + 1 < fmt.size() && fmt[i + 1] == '{') {
+                out.push_back('{');
+                ++i;
+            } else if (i + 1 < fmt.size() && fmt[i + 1] == '}') {
+                out += next < args.size() ? args[next] : "{}";
+                ++next;
+                ++i;
+            } else {
+                out.push_back('{');
+            }
+        } else if (c == '}' && i + 1 < fmt.size() && fmt[i + 1] == '}') {
+            out.push_back('}');
+            ++i;
+        } else {
+            out.push_back(c);
+        }
+    }
+    return out;
+}
+
+} // namespace detail
+
+/** Substitute "{}" placeholders with the stringified arguments. */
+template <typename... Args>
+std::string
+format(std::string_view fmt, Args &&...args)
+{
+    const std::vector<std::string> rendered{
+        detail::stringify(std::forward<Args>(args))...};
+    return detail::formatImpl(fmt, rendered);
+}
+
+} // namespace sim
+
+#endif // TTDA_COMMON_FORMAT_HH

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Error and status reporting helpers, in the spirit of gem5's
+ * panic()/fatal()/warn() trio.
+ *
+ *  - panic():  an internal invariant of the simulator was violated; this
+ *              is a bug in the simulator itself. Aborts.
+ *  - fatal():  the simulation cannot continue because of a user error
+ *              (bad configuration, malformed program). Exits with code 1.
+ *  - warn():   something suspicious happened but simulation continues.
+ */
+
+#ifndef TTDA_COMMON_LOGGING_HH
+#define TTDA_COMMON_LOGGING_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "common/format.hh"
+
+namespace sim
+{
+
+namespace detail
+{
+
+[[noreturn]] inline void
+panicExit(const std::string &msg)
+{
+    std::cerr << "panic: " << msg << std::endl;
+    std::abort();
+}
+
+[[noreturn]] inline void
+fatalExit(const std::string &msg)
+{
+    std::cerr << "fatal: " << msg << std::endl;
+    std::exit(1);
+}
+
+} // namespace detail
+
+/** Abort with a formatted message; use for simulator bugs. */
+template <typename... Args>
+[[noreturn]] void
+panic(std::string_view fmt, Args &&...args)
+{
+    detail::panicExit(format(fmt, std::forward<Args>(args)...));
+}
+
+/** Exit with a formatted message; use for user/configuration errors. */
+template <typename... Args>
+[[noreturn]] void
+fatal(std::string_view fmt, Args &&...args)
+{
+    detail::fatalExit(format(fmt, std::forward<Args>(args)...));
+}
+
+/** Print a non-fatal warning to stderr. */
+template <typename... Args>
+void
+warn(std::string_view fmt, Args &&...args)
+{
+    std::cerr << "warn: " << format(fmt, std::forward<Args>(args)...)
+              << std::endl;
+}
+
+/** Print an informational message to stderr. */
+template <typename... Args>
+void
+inform(std::string_view fmt, Args &&...args)
+{
+    std::cerr << "info: " << format(fmt, std::forward<Args>(args)...)
+              << std::endl;
+}
+
+/** panic() unless the condition holds. */
+#define SIM_ASSERT(cond)                                                    \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::sim::panic("assertion '{}' failed at {}:{}",                  \
+                         #cond, __FILE__, __LINE__);                        \
+        }                                                                   \
+    } while (0)
+
+/** panic() unless the condition holds, with a formatted explanation. */
+#define SIM_ASSERT_MSG(cond, ...)                                           \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::sim::panic("assertion '{}' failed at {}:{}: {}",              \
+                         #cond, __FILE__, __LINE__,                         \
+                         ::sim::format(__VA_ARGS__));                       \
+        }                                                                   \
+    } while (0)
+
+} // namespace sim
+
+#endif // TTDA_COMMON_LOGGING_HH

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Lightweight statistics primitives for the machine models.
+ *
+ * Three kinds of statistic cover everything the experiments need:
+ *
+ *  - Counter:   a monotonically increasing event count.
+ *  - Accumulator: tracks sum / min / max / mean of a sampled quantity.
+ *  - Histogram: bucketed distribution with fixed-width bins.
+ *
+ * A StatGroup gathers named statistics belonging to one modelled unit so
+ * benchmarks and tests can dump them uniformly.
+ */
+
+#ifndef TTDA_COMMON_STATS_HH
+#define TTDA_COMMON_STATS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace sim
+{
+
+/** A monotonically increasing event counter. */
+class Counter
+{
+  public:
+    void inc(std::uint64_t n = 1) { value_ += n; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Tracks sum, count, min, max, and mean of a sampled quantity. */
+class Accumulator
+{
+  public:
+    void
+    sample(double v)
+    {
+        sum_ += v;
+        count_ += 1;
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+
+    double sum() const { return sum_; }
+    std::uint64_t count() const { return count_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+    void
+    reset()
+    {
+        sum_ = 0.0;
+        count_ = 0;
+        min_ = std::numeric_limits<double>::infinity();
+        max_ = -std::numeric_limits<double>::infinity();
+    }
+
+  private:
+    double sum_ = 0.0;
+    std::uint64_t count_ = 0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/** Fixed-bin-width histogram; samples beyond the last bin saturate. */
+class Histogram
+{
+  public:
+    /**
+     * @param bin_width width of each bin (must be > 0)
+     * @param num_bins  number of bins; values >= bin_width*num_bins
+     *                  land in the final bin
+     */
+    explicit Histogram(double bin_width = 1.0, std::size_t num_bins = 64)
+        : binWidth_(bin_width), bins_(num_bins, 0)
+    {
+        SIM_ASSERT(bin_width > 0.0);
+        SIM_ASSERT(num_bins > 0);
+    }
+
+    void
+    sample(double v)
+    {
+        acc_.sample(v);
+        std::size_t idx = v <= 0.0
+                              ? 0
+                              : static_cast<std::size_t>(v / binWidth_);
+        idx = std::min(idx, bins_.size() - 1);
+        bins_[idx] += 1;
+    }
+
+    const std::vector<std::uint64_t> &bins() const { return bins_; }
+    double binWidth() const { return binWidth_; }
+    const Accumulator &summary() const { return acc_; }
+
+    /** Smallest sample value at or below which fraction q of samples
+     *  fall, estimated from bin boundaries. */
+    double
+    quantile(double q) const
+    {
+        SIM_ASSERT(q >= 0.0 && q <= 1.0);
+        const std::uint64_t total = acc_.count();
+        if (total == 0)
+            return 0.0;
+        const double target = q * static_cast<double>(total);
+        double running = 0.0;
+        for (std::size_t i = 0; i < bins_.size(); ++i) {
+            running += static_cast<double>(bins_[i]);
+            if (running >= target)
+                return static_cast<double>(i + 1) * binWidth_;
+        }
+        return static_cast<double>(bins_.size()) * binWidth_;
+    }
+
+  private:
+    double binWidth_;
+    std::vector<std::uint64_t> bins_;
+    Accumulator acc_;
+};
+
+/** A named bag of scalar statistics, dumpable for reports. */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    void set(const std::string &key, double v) { scalars_[key] = v; }
+
+    double
+    get(const std::string &key) const
+    {
+        auto it = scalars_.find(key);
+        return it == scalars_.end() ? 0.0 : it->second;
+    }
+
+    const std::string &name() const { return name_; }
+    const std::map<std::string, double> &scalars() const { return scalars_; }
+
+    void
+    dump(std::ostream &os) const
+    {
+        for (const auto &[key, value] : scalars_)
+            os << name_ << "." << key << " = " << value << "\n";
+    }
+
+  private:
+    std::string name_;
+    std::map<std::string, double> scalars_;
+};
+
+} // namespace sim
+
+#endif // TTDA_COMMON_STATS_HH

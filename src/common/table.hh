@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Plain-text table printer used by the benchmark harnesses.
+ *
+ * Every experiment binary prints its results as an aligned table with a
+ * caption naming the paper anchor it reproduces, so bench output reads
+ * like the evaluation section of a paper.
+ */
+
+#ifndef TTDA_COMMON_TABLE_HH
+#define TTDA_COMMON_TABLE_HH
+
+#include <algorithm>
+#include <cstdio>
+#include <iomanip>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sim
+{
+
+/** An aligned, plain-text results table. */
+class Table
+{
+  public:
+    explicit Table(std::string caption) : caption_(std::move(caption)) {}
+
+    /** Define the column headers. Must be called before addRow(). */
+    void
+    header(std::vector<std::string> cols)
+    {
+        header_ = std::move(cols);
+    }
+
+    /** Append a row of already-formatted cells. */
+    void
+    addRow(std::vector<std::string> cells)
+    {
+        rows_.push_back(std::move(cells));
+    }
+
+    /** Format a double with a sensible fixed precision. */
+    static std::string
+    num(double v, int precision = 2)
+    {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+        return buf;
+    }
+
+    static std::string num(std::uint64_t v) { return std::to_string(v); }
+    static std::string num(std::int64_t v) { return std::to_string(v); }
+    static std::string num(int v) { return std::to_string(v); }
+    static std::string num(unsigned v) { return std::to_string(v); }
+
+    /** Render the table. */
+    void
+    print(std::ostream &os) const
+    {
+        std::vector<std::size_t> width(header_.size(), 0);
+        for (std::size_t c = 0; c < header_.size(); ++c)
+            width[c] = header_[c].size();
+        for (const auto &row : rows_)
+            for (std::size_t c = 0; c < row.size() && c < width.size(); ++c)
+                width[c] = std::max(width[c], row[c].size());
+
+        os << "\n== " << caption_ << " ==\n";
+        auto rule = [&] {
+            for (std::size_t c = 0; c < width.size(); ++c)
+                os << std::string(width[c] + 2, '-')
+                   << (c + 1 < width.size() ? "+" : "");
+            os << "\n";
+        };
+        auto line = [&](const std::vector<std::string> &cells) {
+            for (std::size_t c = 0; c < width.size(); ++c) {
+                const std::string &cell =
+                    c < cells.size() ? cells[c] : std::string{};
+                os << " " << std::setw(static_cast<int>(width[c]))
+                   << cell << " " << (c + 1 < width.size() ? "|" : "");
+            }
+            os << "\n";
+        };
+        line(header_);
+        rule();
+        for (const auto &row : rows_)
+            line(row);
+        os.flush();
+    }
+
+  private:
+    std::string caption_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace sim
+
+#endif // TTDA_COMMON_TABLE_HH

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every simulated subsystem.
+ *
+ * All machine models in this project are cycle-stepped: every modelled
+ * unit exposes a step() that advances it by exactly one Cycle. Keeping
+ * the clock type in one place makes the convention visible.
+ */
+
+#ifndef TTDA_COMMON_TYPES_HH
+#define TTDA_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace sim
+{
+
+/** Simulated time, measured in machine cycles since reset. */
+using Cycle = std::uint64_t;
+
+/** Identifier of a node (processing element, memory module, switch port)
+ *  on an interconnection network. Dense, zero-based. */
+using NodeId = std::uint32_t;
+
+/** Sentinel for "no node". */
+inline constexpr NodeId invalidNode = ~NodeId{0};
+
+} // namespace sim
+
+#endif // TTDA_COMMON_TYPES_HH

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * BlockBuilder: a small construction API for dataflow code blocks.
+ *
+ * Used by tests, examples, and the ID compiler's code generator.
+ * Instructions are appended with add(); edges are wired with to();
+ * build() installs the block into the program (validate() afterwards
+ * catches anything mis-wired).
+ */
+
+#ifndef TTDA_GRAPH_BUILDER_HH
+#define TTDA_GRAPH_BUILDER_HH
+
+#include <string>
+#include <utility>
+
+#include "common/logging.hh"
+#include "graph/program.hh"
+
+namespace graph
+{
+
+/** Builder for one code block. */
+class BlockBuilder
+{
+  public:
+    /**
+     * Start a block. Creates numParams IDENT receiver instructions
+     * (statements 0..numParams-1) per the calling convention.
+     */
+    BlockBuilder(Program &program, std::string name,
+                 std::uint16_t num_params)
+        : program_(program)
+    {
+        cb_.name = std::move(name);
+        cb_.numParams = num_params;
+        for (std::uint16_t p = 0; p < num_params; ++p) {
+            Instruction in;
+            in.op = Opcode::Ident;
+            in.nt = 1;
+            in.label = sim::format("param{}", p);
+            cb_.instrs.push_back(std::move(in));
+        }
+    }
+
+    /** Append an instruction; returns its statement number. */
+    std::uint16_t
+    add(Opcode op, std::uint8_t nt, std::string label = {})
+    {
+        Instruction in;
+        in.op = op;
+        in.nt = nt;
+        in.label = std::move(label);
+        cb_.instrs.push_back(std::move(in));
+        return static_cast<std::uint16_t>(cb_.instrs.size() - 1);
+    }
+
+    /** Attach a compile-time literal operand to `stmt`. */
+    BlockBuilder &
+    constant(std::uint16_t stmt, Value v)
+    {
+        instr(stmt).constant = std::move(v);
+        return *this;
+    }
+
+    /** Wire an edge from `from` to (`to_stmt`, `port`). For SWITCH,
+     *  on_false selects the false-side destination list. */
+    BlockBuilder &
+    to(std::uint16_t from, std::uint16_t to_stmt, std::uint8_t port,
+       bool on_false = false)
+    {
+        Instruction &in = instr(from);
+        (on_false ? in.falseDests : in.dests).push_back(
+            Dest{to_stmt, port});
+        return *this;
+    }
+
+    /** Wire a LoopExit/Return-style edge whose destination lies in the
+     *  caller's code block. */
+    BlockBuilder &
+    toCaller(std::uint16_t from, std::uint16_t caller_stmt,
+             std::uint8_t port)
+    {
+        Instruction &in = instr(from);
+        in.destsInCaller = true;
+        in.dests.push_back(Dest{caller_stmt, port});
+        return *this;
+    }
+
+    /** Configure a LoopEntry: the loop block it enters and its site
+     *  id (must be unique among the block's loops). */
+    BlockBuilder &
+    loop(std::uint16_t l_stmt, std::uint16_t target_cb,
+         std::uint16_t site)
+    {
+        Instruction &in = instr(l_stmt);
+        SIM_ASSERT(in.op == Opcode::LoopEntry);
+        in.targetCb = target_cb;
+        in.site = site;
+        return *this;
+    }
+
+    /** Declare the LoopExit count (context reclamation; see
+     *  CodeBlock::numExits). */
+    BlockBuilder &
+    numExits(std::uint16_t n)
+    {
+        cb_.numExits = n;
+        return *this;
+    }
+
+    /** Relabel an already-added instruction. */
+    BlockBuilder &
+    label(std::uint16_t stmt, std::string text)
+    {
+        instr(stmt).label = std::move(text);
+        return *this;
+    }
+
+    std::uint16_t numInstrs() const
+    {
+        return static_cast<std::uint16_t>(cb_.instrs.size());
+    }
+
+    /** Install the block into the program; returns its id. */
+    std::uint16_t
+    build()
+    {
+        SIM_ASSERT_MSG(!built_, "block '{}' already built", cb_.name);
+        built_ = true;
+        return program_.addCodeBlock(std::move(cb_));
+    }
+
+    /** Install the block into a previously reserved id. */
+    std::uint16_t
+    buildInto(std::uint16_t id)
+    {
+        SIM_ASSERT_MSG(!built_, "block '{}' already built", cb_.name);
+        built_ = true;
+        program_.fillCodeBlock(id, std::move(cb_));
+        return id;
+    }
+
+  private:
+    Instruction &
+    instr(std::uint16_t stmt)
+    {
+        SIM_ASSERT_MSG(stmt < cb_.instrs.size(),
+                       "builder: no statement {} in '{}'", stmt,
+                       cb_.name);
+        return cb_.instrs[stmt];
+    }
+
+    Program &program_;
+    CodeBlock cb_;
+    bool built_ = false;
+};
+
+} // namespace graph
+
+#endif // TTDA_GRAPH_BUILDER_HH

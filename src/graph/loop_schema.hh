@@ -1,0 +1,182 @@
+/**
+ * @file
+ * LoopBuilder: constructs the paper's Figure 2-2 loop schema.
+ *
+ * A loop is its own code block. Each circulating variable v_j has:
+ *
+ *   receiver_j  (IDENT, statement j)  — tokens arrive here each
+ *                                       iteration (from L on entry,
+ *                                       from D afterwards);
+ *   switch_j    (SWITCH)              — gated by the loop predicate:
+ *                                       true routes v_j into the body,
+ *                                       false routes it out of the loop;
+ *   D_j         (LoopNext)            — carries the *new* value of v_j
+ *                                       to receiver_j at iteration i+1;
+ *   L⁻¹_j       (LoopExit, optional)  — returns the final value of a
+ *                                       returned variable to the
+ *                                       caller's code block.
+ *
+ * On the caller's side, one L (LoopEntry) per variable injects the
+ * initial values under a fresh loop context at iteration 1; all Ls of
+ * one loop share a site id so they intern the same context.
+ *
+ * The predicate is built by the caller from the receiver outputs
+ * (it must fire before any switch can) and registered with
+ * setPredicate().
+ */
+
+#ifndef TTDA_GRAPH_LOOP_SCHEMA_HH
+#define TTDA_GRAPH_LOOP_SCHEMA_HH
+
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "graph/builder.hh"
+
+namespace graph
+{
+
+/** Builds a loop code block following the Figure 2-2 schema. */
+class LoopBuilder
+{
+  public:
+    /**
+     * @param program  program being extended
+     * @param name     loop block name (debugging)
+     * @param nvars    number of circulating variables
+     */
+    LoopBuilder(Program &program, std::string name, std::size_t nvars)
+        : builder_(program, std::move(name),
+                   static_cast<std::uint16_t>(nvars)),
+          nvars_(nvars)
+    {
+        SIM_ASSERT(nvars >= 1);
+        switches_.reserve(nvars);
+        for (std::size_t j = 0; j < nvars; ++j) {
+            const std::uint16_t sw = builder_.add(
+                Opcode::Switch, 2, sim::format("switch v{}", j));
+            builder_.to(recv(j), sw, 0);
+            switches_.push_back(sw);
+        }
+        nexts_.assign(nvars, kUnset);
+        exits_.assign(nvars, kUnset);
+    }
+
+    /** The underlying builder: add body/predicate instructions here. */
+    BlockBuilder &b() { return builder_; }
+
+    /** Receiver statement of variable j (== j by construction). */
+    std::uint16_t
+    recv(std::size_t j) const
+    {
+        SIM_ASSERT(j < nvars_);
+        return static_cast<std::uint16_t>(j);
+    }
+
+    /** SWITCH statement of variable j. Wire body consumers from it
+     *  with b().to(sw(j), consumer, port) — the true side. */
+    std::uint16_t
+    sw(std::size_t j) const
+    {
+        SIM_ASSERT(j < nvars_);
+        return switches_[j];
+    }
+
+    /** Register the boolean predicate instruction: its output becomes
+     *  the control (port 1) of every variable's switch. */
+    void
+    setPredicate(std::uint16_t pred_stmt)
+    {
+        for (std::size_t j = 0; j < nvars_; ++j)
+            builder_.to(pred_stmt, switches_[j], 1);
+    }
+
+    /** The D operator of variable j (created on first use). Wire the
+     *  body's new value into it: b().to(new_value_stmt, next(j), 0). */
+    std::uint16_t
+    next(std::size_t j)
+    {
+        SIM_ASSERT(j < nvars_);
+        if (nexts_[j] == kUnset) {
+            nexts_[j] = builder_.add(Opcode::LoopNext, 1,
+                                     sim::format("D v{}", j));
+            builder_.to(nexts_[j], recv(j), 0);
+        }
+        return nexts_[j];
+    }
+
+    /** Variable j is loop-invariant: circulate it unchanged. */
+    void
+    circulateUnchanged(std::size_t j)
+    {
+        builder_.to(sw(j), next(j), 0);
+    }
+
+    /** The L⁻¹ operator of variable j (created on first use), fed from
+     *  the false side of its switch. */
+    std::uint16_t
+    exitStmt(std::size_t j)
+    {
+        SIM_ASSERT(j < nvars_);
+        if (exits_[j] == kUnset) {
+            exits_[j] = builder_.add(Opcode::LoopExit, 1,
+                                     sim::format("L-1 v{}", j));
+            builder_.to(sw(j), exits_[j], 0, /*on_false=*/true);
+        }
+        return exits_[j];
+    }
+
+    /** Send variable j's final value to (caller_stmt, port) in the
+     *  caller's code block. */
+    void
+    exitTo(std::size_t j, std::uint16_t caller_stmt, std::uint8_t port)
+    {
+        builder_.toCaller(exitStmt(j), caller_stmt, port);
+    }
+
+    /** Finish the loop block; returns its code block id. */
+    std::uint16_t
+    build()
+    {
+        std::uint16_t exits = 0;
+        for (auto e : exits_)
+            exits += e != kUnset;
+        builder_.numExits(exits);
+        return builder_.build();
+    }
+
+    /**
+     * Caller-side entry: add one L per variable to `parent`, all
+     * sharing `site`, targeting `loop_cb`. Returns the L statements;
+     * the caller wires each initial value into its L (port 0).
+     */
+    static std::vector<std::uint16_t>
+    entries(BlockBuilder &parent, std::uint16_t loop_cb,
+            std::uint16_t site, std::size_t nvars)
+    {
+        std::vector<std::uint16_t> ls;
+        ls.reserve(nvars);
+        for (std::size_t j = 0; j < nvars; ++j) {
+            const std::uint16_t l = parent.add(
+                Opcode::LoopEntry, 1, sim::format("L v{}", j));
+            parent.loop(l, loop_cb, site);
+            parent.to(l, static_cast<std::uint16_t>(j), 0);
+            ls.push_back(l);
+        }
+        return ls;
+    }
+
+  private:
+    static constexpr std::uint16_t kUnset = 0xffff;
+
+    BlockBuilder builder_;
+    std::size_t nvars_;
+    std::vector<std::uint16_t> switches_;
+    std::vector<std::uint16_t> nexts_;
+    std::vector<std::uint16_t> exits_;
+};
+
+} // namespace graph
+
+#endif // TTDA_GRAPH_LOOP_SCHEMA_HH

@@ -1,0 +1,52 @@
+#include "graph/opcode.hh"
+
+#include "common/logging.hh"
+
+namespace graph
+{
+
+std::string_view
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Ident: return "IDENT";
+      case Opcode::Lit: return "LIT";
+      case Opcode::Output: return "OUTPUT";
+      case Opcode::Add: return "ADD";
+      case Opcode::Sub: return "SUB";
+      case Opcode::Mul: return "MUL";
+      case Opcode::Div: return "DIV";
+      case Opcode::Mod: return "MOD";
+      case Opcode::Neg: return "NEG";
+      case Opcode::Lt: return "LT";
+      case Opcode::Le: return "LE";
+      case Opcode::Gt: return "GT";
+      case Opcode::Ge: return "GE";
+      case Opcode::Eq: return "EQ";
+      case Opcode::Ne: return "NE";
+      case Opcode::And: return "AND";
+      case Opcode::Or: return "OR";
+      case Opcode::Not: return "NOT";
+      case Opcode::Switch: return "SWITCH";
+      case Opcode::LoopEntry: return "L";
+      case Opcode::LoopNext: return "D";
+      case Opcode::LoopReset: return "D-1";
+      case Opcode::LoopExit: return "L-1";
+      case Opcode::Apply: return "APPLY";
+      case Opcode::Return: return "RETURN";
+      case Opcode::Alloc: return "ALLOC";
+      case Opcode::IFetch: return "I-FETCH";
+      case Opcode::IStore: return "I-STORE";
+      case Opcode::Append: return "APPEND";
+    }
+    sim::panic("unknown opcode {}", static_cast<int>(op));
+}
+
+bool
+isStructureOp(Opcode op)
+{
+    return op == Opcode::Alloc || op == Opcode::IFetch ||
+           op == Opcode::IStore || op == Opcode::Append;
+}
+
+} // namespace graph

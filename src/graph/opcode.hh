@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Instruction opcodes of the tagged-token machine.
+ *
+ * Three families:
+ *  - ordinary operators (arithmetic, relational, boolean, SWITCH),
+ *    executed entirely inside a processing element;
+ *  - tag-manipulating operators (L, D, D⁻¹, L⁻¹, APPLY, RETURN) that
+ *    implement the U-interpreter's loop and procedure schemata by
+ *    rewriting context/iteration fields (paper Section 2.2.1);
+ *  - structure operators (ALLOC, I_FETCH, I_STORE) that turn into
+ *    d=1 tokens bound for an I-structure controller (Section 2.2.4).
+ */
+
+#ifndef TTDA_GRAPH_OPCODE_HH
+#define TTDA_GRAPH_OPCODE_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace graph
+{
+
+enum class Opcode : std::uint8_t
+{
+    // Plumbing.
+    Ident,   //!< pass the operand through (parameter receivers, forks)
+    Lit,     //!< emit the constant; the operand is only a trigger
+    Output,  //!< deliver the operand to the host (program result)
+
+    // Arithmetic (int/real polymorphic; DIV always yields real).
+    Add, Sub, Mul, Div, Mod, Neg,
+
+    // Relational (yield booleans).
+    Lt, Le, Gt, Ge, Eq, Ne,
+
+    // Boolean.
+    And, Or, Not,
+
+    // Control: port 0 = data, port 1 = boolean control; the datum is
+    // forwarded to dests on true, falseDests on false.
+    Switch,
+
+    // Tag manipulation (loops).
+    LoopEntry,   //!< L : enter a loop code block under a fresh context
+    LoopNext,    //!< D : advance the iteration number (i := i + 1)
+    LoopReset,   //!< D⁻¹ : reset the iteration number (i := 1)
+    LoopExit,    //!< L⁻¹ : restore the caller's context on loop exit
+
+    // Tag manipulation (procedures).
+    Apply,   //!< invoke a code block: port 0 = function, 1.. = args
+    Return,  //!< send the result to the caller's recorded destinations
+
+    // I-structure operations.
+    Alloc,   //!< allocate operand-many fresh cells; yields an IPtr
+    IFetch,  //!< port 0 = IPtr, port 1 = index; yields the element
+    IStore,  //!< port 0 = IPtr, port 1 = index, port 2 = value
+    Append,  //!< functional update: copy the structure, replace one
+             //!< element, yield the new IPtr (paper Section 2.2.4)
+};
+
+/** Mnemonic used in dumps and DOT output. */
+std::string_view opcodeName(Opcode op);
+
+/** True for operators that produce no local output token directly
+ *  (their results arrive later via the I-structure controller). */
+bool isStructureOp(Opcode op);
+
+} // namespace graph
+
+#endif // TTDA_GRAPH_OPCODE_HH

@@ -1,0 +1,271 @@
+#include "graph/program.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace graph
+{
+
+namespace
+{
+
+/** Token-operand count an opcode requires (0 = caller-specified). */
+int
+requiredArity(Opcode op)
+{
+    switch (op) {
+      case Opcode::Ident:
+      case Opcode::Lit:
+      case Opcode::Output:
+      case Opcode::Neg:
+      case Opcode::Not:
+      case Opcode::LoopEntry:
+      case Opcode::LoopNext:
+      case Opcode::LoopReset:
+      case Opcode::LoopExit:
+      case Opcode::Return:
+      case Opcode::Alloc:
+        return 1;
+      case Opcode::Switch:
+        return 2;
+      case Opcode::IStore:
+      case Opcode::Append:
+        return 3;
+      case Opcode::Apply:
+        return 0; // 1 + arity, checked separately
+      default:
+        return 0; // binary ops may take a constant as second operand
+    }
+}
+
+} // namespace
+
+std::uint16_t
+Program::addCodeBlock(CodeBlock cb)
+{
+    cb.id = static_cast<std::uint16_t>(blocks_.size());
+    blocks_.push_back(std::move(cb));
+    return blocks_.back().id;
+}
+
+std::uint16_t
+Program::reserveCodeBlock(std::string name)
+{
+    CodeBlock cb;
+    cb.name = std::move(name);
+    return addCodeBlock(std::move(cb));
+}
+
+void
+Program::fillCodeBlock(std::uint16_t id, CodeBlock cb)
+{
+    SIM_ASSERT_MSG(id < blocks_.size(), "fill of unreserved block {}",
+                   id);
+    SIM_ASSERT_MSG(blocks_[id].instrs.empty(),
+                   "code block {} ('{}') filled twice", id,
+                   blocks_[id].name);
+    cb.id = id;
+    blocks_[id] = std::move(cb);
+}
+
+const CodeBlock &
+Program::codeBlock(std::uint16_t id) const
+{
+    SIM_ASSERT_MSG(id < blocks_.size(), "no code block {}", id);
+    return blocks_[id];
+}
+
+CodeBlock &
+Program::codeBlock(std::uint16_t id)
+{
+    SIM_ASSERT_MSG(id < blocks_.size(), "no code block {}", id);
+    return blocks_[id];
+}
+
+const CodeBlock &
+Program::codeBlockByName(const std::string &name) const
+{
+    for (const auto &cb : blocks_)
+        if (cb.name == name)
+            return cb;
+    sim::fatal("no code block named '{}'", name);
+}
+
+std::size_t
+Program::totalInstructions() const
+{
+    std::size_t n = 0;
+    for (const auto &cb : blocks_)
+        n += cb.instrs.size();
+    return n;
+}
+
+void
+Program::validate() const
+{
+    for (const auto &cb : blocks_) {
+        SIM_ASSERT_MSG(cb.numParams <= cb.instrs.size(),
+                       "code block '{}' declares {} params but has {} "
+                       "instructions", cb.name, cb.numParams,
+                       cb.instrs.size());
+        for (std::size_t s = 0; s < cb.instrs.size(); ++s) {
+            const Instruction &in = cb.instrs[s];
+            const std::string where =
+                sim::format("{}:{} ({})", cb.name, s, opcodeName(in.op));
+
+            SIM_ASSERT_MSG(in.nt >= 1 && in.nt <= 4,
+                           "{}: nt {} out of range", where, in.nt);
+            const int req = requiredArity(in.op);
+            if (req > 0) {
+                SIM_ASSERT_MSG(in.nt == req,
+                               "{}: needs nt {} but has {}", where, req,
+                               in.nt);
+            }
+            if (in.op == Opcode::Apply) {
+                SIM_ASSERT_MSG(in.nt >= 1,
+                               "{}: APPLY needs the function operand",
+                               where);
+            }
+            SIM_ASSERT_MSG(in.falseDests.empty() ||
+                               in.op == Opcode::Switch,
+                           "{}: only SWITCH may have false dests", where);
+            SIM_ASSERT_MSG(!in.destsInCaller ||
+                               in.op == Opcode::LoopExit ||
+                               in.op == Opcode::Return,
+                           "{}: only L-1/RETURN target the caller",
+                           where);
+            if (in.op == Opcode::LoopEntry) {
+                SIM_ASSERT_MSG(in.targetCb < blocks_.size(),
+                               "{}: loop target cb {} does not exist",
+                               where, in.targetCb);
+            }
+            if (in.op == Opcode::Lit) {
+                SIM_ASSERT_MSG(in.constant.has_value(),
+                               "{}: LIT needs a constant", where);
+            }
+            if (in.op == Opcode::Alloc || in.op == Opcode::IFetch ||
+                in.op == Opcode::Append)
+            {
+                // The d=1 token carries a single reply continuation;
+                // fan-out needs an explicit IDENT.
+                SIM_ASSERT_MSG(in.dests.size() == 1,
+                               "{}: structure ops need exactly one "
+                               "destination, found {}", where,
+                               in.dests.size());
+            }
+            if ((in.op == Opcode::Add || in.op == Opcode::Sub ||
+                 in.op == Opcode::Mul || in.op == Opcode::Div ||
+                 in.op == Opcode::Mod || in.op == Opcode::Lt ||
+                 in.op == Opcode::Le || in.op == Opcode::Gt ||
+                 in.op == Opcode::Ge || in.op == Opcode::Eq ||
+                 in.op == Opcode::Ne || in.op == Opcode::And ||
+                 in.op == Opcode::Or) &&
+                in.nt == 1)
+            {
+                SIM_ASSERT_MSG(in.constant.has_value(),
+                               "{}: single-operand binary op needs a "
+                               "constant", where);
+            }
+
+            // Edge validation. Destinations of caller-targeting
+            // instructions cannot be checked statically here (the
+            // caller block is dynamic); everything else must resolve.
+            if (in.destsInCaller || in.op == Opcode::Return)
+                continue;
+            const CodeBlock &dest_cb =
+                in.op == Opcode::LoopEntry ? blocks_[in.targetCb] : cb;
+            auto check = [&](const Dest &d) {
+                SIM_ASSERT_MSG(d.stmt < dest_cb.instrs.size(),
+                               "{}: dest stmt {} beyond block '{}'",
+                               where, d.stmt, dest_cb.name);
+                const Instruction &t = dest_cb.instrs[d.stmt];
+                SIM_ASSERT_MSG(d.port < t.nt,
+                               "{}: dest port {} >= nt {} of {}:{}",
+                               where, d.port, t.nt, dest_cb.name,
+                               d.stmt);
+            };
+            for (const Dest &d : in.dests)
+                check(d);
+            for (const Dest &d : in.falseDests)
+                check(d);
+        }
+    }
+}
+
+std::string
+Program::disassemble(std::uint16_t cb_id) const
+{
+    std::ostringstream os;
+    auto one = [&](const CodeBlock &cb) {
+        os << "code block " << cb.id << " '" << cb.name << "' ("
+           << cb.numParams << " params)\n";
+        for (std::size_t s_i = 0; s_i < cb.instrs.size(); ++s_i) {
+            const Instruction &in = cb.instrs[s_i];
+            os << "  " << s_i << ": " << opcodeName(in.op) << " nt="
+               << int(in.nt);
+            if (in.constant)
+                os << " const=" << in.constant->toString();
+            if (in.op == Opcode::LoopEntry)
+                os << " ->cb" << in.targetCb << " site=" << in.site;
+            if (!in.dests.empty()) {
+                os << " ->";
+                for (const Dest &d : in.dests)
+                    os << " " << (in.destsInCaller ? "caller:" : "")
+                       << d.stmt << "." << int(d.port);
+            }
+            if (!in.falseDests.empty()) {
+                os << " =F=>";
+                for (const Dest &d : in.falseDests)
+                    os << " " << d.stmt << "." << int(d.port);
+            }
+            if (!in.label.empty())
+                os << "   ; " << in.label;
+            os << "\n";
+        }
+    };
+    if (cb_id == 0xffff) {
+        for (const auto &cb : blocks_)
+            one(cb);
+    } else {
+        one(codeBlock(cb_id));
+    }
+    return os.str();
+}
+
+std::string
+Program::toDot(std::uint16_t cb_id) const
+{
+    const CodeBlock &cb = codeBlock(cb_id);
+    std::ostringstream os;
+    os << "digraph \"" << cb.name << "\" {\n"
+       << "  node [shape=box, fontname=\"monospace\"];\n";
+    for (std::size_t s = 0; s < cb.instrs.size(); ++s) {
+        const Instruction &in = cb.instrs[s];
+        os << "  n" << s << " [label=\"" << s << ": "
+           << opcodeName(in.op);
+        if (!in.label.empty())
+            os << "\\n" << in.label;
+        if (in.constant)
+            os << "\\nconst=" << in.constant->toString();
+        os << "\"];\n";
+    }
+    for (std::size_t s = 0; s < cb.instrs.size(); ++s) {
+        const Instruction &in = cb.instrs[s];
+        if (in.destsInCaller || in.op == Opcode::Return ||
+            in.op == Opcode::LoopEntry)
+        {
+            continue; // cross-block edges not drawn
+        }
+        for (const Dest &d : in.dests)
+            os << "  n" << s << " -> n" << d.stmt << " [label=\"p"
+               << int(d.port) << "\"];\n";
+        for (const Dest &d : in.falseDests)
+            os << "  n" << s << " -> n" << d.stmt << " [label=\"p"
+               << int(d.port) << " (F)\", style=dashed];\n";
+    }
+    os << "}\n";
+    return os.str();
+}
+
+} // namespace graph

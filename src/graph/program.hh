@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Program representation: instructions, code blocks, and the compiled
+ * program (the contents of the machine's program memory).
+ *
+ * "Data flow compilers translate high-level programs into directed
+ * graphs; vertices in the graph correspond to machine instructions,
+ * and edges correspond to the data dependencies" (paper Section
+ * 2.2.1). A Dest is such an edge: it names the consumer instruction
+ * and which operand port the value feeds.
+ */
+
+#ifndef TTDA_GRAPH_PROGRAM_HH
+#define TTDA_GRAPH_PROGRAM_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/opcode.hh"
+#include "graph/value.hh"
+
+namespace graph
+{
+
+/** One outgoing edge of an instruction. */
+struct Dest
+{
+    std::uint16_t stmt = 0; //!< consumer instruction number
+    std::uint8_t port = 0;  //!< operand position at the consumer
+
+    bool operator==(const Dest &) const = default;
+};
+
+/** A machine instruction (a vertex of the dataflow graph). */
+struct Instruction
+{
+    Opcode op = Opcode::Ident;
+
+    /** Number of token operands (nt). 1 bypasses waiting-matching. */
+    std::uint8_t nt = 1;
+
+    /** Optional compile-time literal, appended after the token
+     *  operands (so an ADD with one token input and a constant has
+     *  nt = 1). */
+    std::optional<Value> constant;
+
+    /** Ordinary destinations (SWITCH: the true side). */
+    std::vector<Dest> dests;
+
+    /** SWITCH only: destinations taken when the control is false. */
+    std::vector<Dest> falseDests;
+
+    /** LoopEntry/Apply: the code block entered. For LoopEntry this is
+     *  fixed at compile time; Apply reads it from its function
+     *  operand, and this field (if set) is only advisory. */
+    std::uint16_t targetCb = 0;
+
+    /** LoopEntry: identifies the loop, so every L of the same loop
+     *  invocation interns the same child context. */
+    std::uint16_t site = 0;
+
+    /** LoopExit: destinations lie in the *caller's* code block. */
+    bool destsInCaller = false;
+
+    /** Debugging aid shown in dumps and DOT output. */
+    std::string label;
+};
+
+/** A procedure or loop body: a numbered list of instructions. */
+struct CodeBlock
+{
+    std::string name;
+    std::uint16_t id = 0;
+
+    /** Instructions 0..numParams-1 receive the block's inputs (port 0)
+     *  by convention. */
+    std::uint16_t numParams = 0;
+
+    /** Loop blocks: number of LoopExit instructions. Each invocation
+     *  fires every exit exactly once, so the context manager can
+     *  reclaim the loop's context after the last one (0 = the context
+     *  is never reclaimed, e.g. a pure producer loop). */
+    std::uint16_t numExits = 0;
+
+    std::vector<Instruction> instrs;
+
+    const Instruction &
+    at(std::uint16_t stmt) const
+    {
+        return instrs.at(stmt);
+    }
+};
+
+/** A compiled program: the contents of program memory. */
+class Program
+{
+  public:
+    /** Append a code block; returns its id. */
+    std::uint16_t addCodeBlock(CodeBlock cb);
+
+    /** Reserve an id for a block filled in later (forward references
+     *  between mutually recursive functions). */
+    std::uint16_t reserveCodeBlock(std::string name);
+
+    /** Fill a previously reserved id. */
+    void fillCodeBlock(std::uint16_t id, CodeBlock cb);
+
+    const CodeBlock &codeBlock(std::uint16_t id) const;
+    CodeBlock &codeBlock(std::uint16_t id);
+    std::size_t numCodeBlocks() const { return blocks_.size(); }
+
+    /** Code block lookup by name; fatal if absent. */
+    const CodeBlock &codeBlockByName(const std::string &name) const;
+
+    /** The instruction a (codeBlock, stmt) pair names. */
+    const Instruction &
+    instruction(std::uint16_t cb, std::uint16_t stmt) const
+    {
+        return codeBlock(cb).at(stmt);
+    }
+
+    /**
+     * Structural validation: every Dest must name an existing
+     * instruction and a port below its operand count; SWITCHes must be
+     * dyadic; structure ops must have the right arity. Fatal on the
+     * first violation (these are compiler bugs, not user errors).
+     */
+    void validate() const;
+
+    /** GraphViz rendering of one code block (Figure 2-2 style). */
+    std::string toDot(std::uint16_t cb) const;
+
+    /** Human-readable listing of one code block (or all, id = 0xffff). */
+    std::string disassemble(std::uint16_t cb = 0xffff) const;
+
+    /** Total instruction count across all code blocks. */
+    std::size_t totalInstructions() const;
+
+  private:
+    std::vector<CodeBlock> blocks_;
+};
+
+} // namespace graph
+
+#endif // TTDA_GRAPH_PROGRAM_HH

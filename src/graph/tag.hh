@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Activity names (tags) — paper Section 2.2.2.
+ *
+ * A token's next-instruction label has four parts:
+ *   u — the context in which the code block is invoked (recursive in
+ *       the abstract model; at run time an id into the context table),
+ *   c — the code block name,
+ *   s — the statement (instruction) number within the code block,
+ *   i — the initiation (loop iteration) number, 1 outside loops.
+ *
+ * Two tokens are partners when their full tags match; the operand
+ * position (port) is carried beside the tag, not inside it.
+ */
+
+#ifndef TTDA_GRAPH_TAG_HH
+#define TTDA_GRAPH_TAG_HH
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace graph
+{
+
+/** Runtime context id (the finite mapping of the unbounded u). */
+using ContextId = std::uint32_t;
+
+/** The root context in which `main` executes. */
+inline constexpr ContextId rootContext = 0;
+
+/** A fully qualified activity name <u, c, s, i>. */
+struct Tag
+{
+    ContextId ctx = rootContext;  //!< u
+    std::uint16_t codeBlock = 0;  //!< c
+    std::uint16_t stmt = 0;       //!< s
+    std::uint32_t iter = 1;       //!< i
+
+    bool operator==(const Tag &) const = default;
+
+    /** Stable 64-bit packing (used for hashing and PE mapping). */
+    std::uint64_t
+    packed() const
+    {
+        return (static_cast<std::uint64_t>(ctx) << 32) ^
+               (static_cast<std::uint64_t>(codeBlock) << 48) ^
+               (static_cast<std::uint64_t>(stmt) << 16) ^ iter;
+    }
+};
+
+inline std::ostream &
+operator<<(std::ostream &os, const Tag &t)
+{
+    return os << "<u" << t.ctx << ",c" << t.codeBlock << ",s" << t.stmt
+              << ",i" << t.iter << ">";
+}
+
+/** Where a fetched/allocated datum must be sent: a tag plus port. */
+struct Continuation
+{
+    Tag tag;
+    std::uint8_t port = 0;
+    std::uint8_t nt = 1; //!< operand count of the target instruction
+
+    bool operator==(const Continuation &) const = default;
+};
+
+struct TagHash
+{
+    std::size_t
+    operator()(const Tag &t) const
+    {
+        // SplitMix64 finalizer over the packed representation.
+        std::uint64_t z = t.packed() + 0x9e3779b97f4a7c15ULL;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return static_cast<std::size_t>(z ^ (z >> 31));
+    }
+};
+
+} // namespace graph
+
+#endif // TTDA_GRAPH_TAG_HH

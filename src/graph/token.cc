@@ -1,0 +1,37 @@
+#include "graph/token.hh"
+
+namespace graph
+{
+
+std::ostream &
+operator<<(std::ostream &os, const Token &t)
+{
+    switch (t.kind) {
+      case TokenKind::Normal:
+        os << "<d=0,PE" << static_cast<std::int64_t>(
+                               t.pe == sim::invalidNode ? -1
+                                                        : int(t.pe))
+           << "," << t.tag << ",nt" << int(t.nt) << ",p" << int(t.port)
+           << "," << t.data << ">";
+        break;
+      case TokenKind::IsFetch:
+        os << "<d=1,FETCH @" << t.addr << " -> " << t.reply.tag << ">";
+        break;
+      case TokenKind::IsStore:
+        os << "<d=1,STORE @" << t.addr << " = " << t.data << ">";
+        break;
+      case TokenKind::IsAlloc:
+        os << "<d=1,ALLOC " << t.data << " -> " << t.reply.tag << ">";
+        break;
+      case TokenKind::IsAppend:
+        os << "<d=1,APPEND @" << t.addr << "[" << (t.aux & 0xffffffff)
+           << "] = " << t.data << " -> " << t.reply.tag << ">";
+        break;
+      case TokenKind::Output:
+        os << "<d=2,OUTPUT " << t.tag << " = " << t.data << ">";
+        break;
+    }
+    return os;
+}
+
+} // namespace graph

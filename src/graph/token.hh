@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Tokens — paper Section 2.2.2: <d, PE, tag, nt, port, data>.
+ *
+ * d classifies the token:
+ *   d=0 (Normal)  — an operand bound for an instruction; routed through
+ *                   waiting-matching when nt >= 2.
+ *   d=1 (IsFetch/IsStore/IsAlloc) — an I-structure storage operation
+ *                   bound for an I-structure controller (Section 2.2.4).
+ *   d=2 (Output)  — bound for the PE controller; here, program results
+ *                   delivered to the host.
+ *
+ * The PE field is filled in by the output section of the producing
+ * processing element (or by the emulator's trivial mapper).
+ */
+
+#ifndef TTDA_GRAPH_TOKEN_HH
+#define TTDA_GRAPH_TOKEN_HH
+
+#include <cstdint>
+#include <ostream>
+
+#include "common/types.hh"
+#include "graph/tag.hh"
+#include "graph/value.hh"
+
+namespace graph
+{
+
+/** The d discriminator of a token. */
+enum class TokenKind : std::uint8_t
+{
+    Normal,  //!< d=0: ordinary operand token
+    IsFetch, //!< d=1: read `addr`, reply to `reply`
+    IsStore, //!< d=1: write `data` to `addr`
+    IsAlloc, //!< d=1: allocate asInt(data) cells, reply IPtr to `reply`
+    IsAppend, //!< d=1: copy the array at `addr`, replace one element
+    Output,  //!< d=2: program result for the PE controller / host
+};
+
+/** A token in flight. */
+struct Token
+{
+    TokenKind kind = TokenKind::Normal;
+    sim::NodeId pe = sim::invalidNode; //!< destination PE (filled late)
+
+    // Normal/Output tokens: the target activity and operand slot.
+    Tag tag;
+    std::uint8_t port = 0;
+    std::uint8_t nt = 1;
+    Value data;
+
+    // I-structure tokens.
+    std::uint64_t addr = 0;
+    //! IsAppend: packed (source length << 32) | element index.
+    std::uint64_t aux = 0;
+    Continuation reply; //!< IsFetch/IsAlloc/IsAppend: reply target
+};
+
+std::ostream &operator<<(std::ostream &os, const Token &t);
+
+/**
+ * Continuation for I-structure storage replies. A satisfied read is
+ * normally forwarded to an instruction (`cont`), but a copy in
+ * progress (APPEND of a not-yet-written cell) instead forwards the
+ * datum to a *cell* of the new structure — non-strict functional
+ * arrays fall out of the same deferral machinery.
+ */
+struct IsCont
+{
+    bool toCell = false;
+    Continuation cont{};          //!< !toCell: the reader instruction
+    std::uint64_t cellAddr = 0;   //!< toCell: global target cell
+};
+
+} // namespace graph
+
+#endif // TTDA_GRAPH_TOKEN_HH

@@ -1,0 +1,40 @@
+#include "graph/value.hh"
+
+#include <sstream>
+
+namespace graph
+{
+
+std::string
+Value::toString() const
+{
+    std::ostringstream os;
+    os << *this;
+    return os.str();
+}
+
+std::ostream &
+operator<<(std::ostream &os, const Value &v)
+{
+    std::visit(
+        [&os](const auto &alt) {
+            using T = std::decay_t<decltype(alt)>;
+            if constexpr (std::is_same_v<T, std::monostate>) {
+                os << "unit";
+            } else if constexpr (std::is_same_v<T, bool>) {
+                os << (alt ? "true" : "false");
+            } else if constexpr (std::is_same_v<T, std::int64_t>) {
+                os << alt;
+            } else if constexpr (std::is_same_v<T, double>) {
+                os << alt;
+            } else if constexpr (std::is_same_v<T, FnRef>) {
+                os << "fn<cb" << alt.codeBlock << ">";
+            } else {
+                os << "iptr<" << alt.base << "+" << alt.length << ">";
+            }
+        },
+        v.rep());
+    return os;
+}
+
+} // namespace graph

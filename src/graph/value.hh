@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Runtime values carried by dataflow tokens.
+ *
+ * ID (the Irvine Dataflow language) is dynamically typed; a token's
+ * datum is one of: unit (no useful value, used by trigger/sync arcs),
+ * boolean, integer, real, a function reference (the target of APPLY),
+ * or an I-structure pointer (base address + extent, so SELECTs can be
+ * bounds-checked).
+ */
+
+#ifndef TTDA_GRAPH_VALUE_HH
+#define TTDA_GRAPH_VALUE_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <variant>
+
+#include "common/logging.hh"
+
+namespace graph
+{
+
+/** Reference to a compiled code block (a function value). */
+struct FnRef
+{
+    std::uint16_t codeBlock = 0;
+
+    bool operator==(const FnRef &) const = default;
+};
+
+/** Pointer into I-structure storage: base word address and extent. */
+struct IPtr
+{
+    std::uint64_t base = 0;
+    std::uint32_t length = 0;
+
+    bool operator==(const IPtr &) const = default;
+};
+
+/** A dynamically typed dataflow value. */
+class Value
+{
+  public:
+    using Rep = std::variant<std::monostate, bool, std::int64_t, double,
+                             FnRef, IPtr>;
+
+    Value() = default;
+    Value(bool b) : rep_(b) {}
+    Value(std::int64_t v) : rep_(v) {}
+    Value(int v) : rep_(static_cast<std::int64_t>(v)) {}
+    Value(double d) : rep_(d) {}
+    Value(FnRef f) : rep_(f) {}
+    Value(IPtr p) : rep_(p) {}
+
+    bool isUnit() const { return std::holds_alternative<std::monostate>(rep_); }
+    bool isBool() const { return std::holds_alternative<bool>(rep_); }
+    bool isInt() const { return std::holds_alternative<std::int64_t>(rep_); }
+    bool isReal() const { return std::holds_alternative<double>(rep_); }
+    bool isFn() const { return std::holds_alternative<FnRef>(rep_); }
+    bool isPtr() const { return std::holds_alternative<IPtr>(rep_); }
+    bool isNumeric() const { return isInt() || isReal(); }
+
+    bool
+    asBool() const
+    {
+        SIM_ASSERT_MSG(isBool(), "value {} is not a boolean", toString());
+        return std::get<bool>(rep_);
+    }
+
+    std::int64_t
+    asInt() const
+    {
+        SIM_ASSERT_MSG(isInt(), "value {} is not an integer", toString());
+        return std::get<std::int64_t>(rep_);
+    }
+
+    /** Numeric coercion: integers widen to double. */
+    double
+    asReal() const
+    {
+        if (isInt())
+            return static_cast<double>(std::get<std::int64_t>(rep_));
+        SIM_ASSERT_MSG(isReal(), "value {} is not numeric", toString());
+        return std::get<double>(rep_);
+    }
+
+    FnRef
+    asFn() const
+    {
+        SIM_ASSERT_MSG(isFn(), "value {} is not a function", toString());
+        return std::get<FnRef>(rep_);
+    }
+
+    IPtr
+    asPtr() const
+    {
+        SIM_ASSERT_MSG(isPtr(), "value {} is not an i-structure pointer",
+                       toString());
+        return std::get<IPtr>(rep_);
+    }
+
+    bool operator==(const Value &) const = default;
+
+    /** Human-readable rendering (tests, DOT dumps, OUTPUT tokens). */
+    std::string toString() const;
+
+    const Rep &rep() const { return rep_; }
+
+  private:
+    Rep rep_;
+};
+
+std::ostream &operator<<(std::ostream &os, const Value &v);
+
+} // namespace graph
+
+#endif // TTDA_GRAPH_VALUE_HH

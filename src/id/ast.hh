@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Abstract syntax for mini-ID.
+ *
+ * A program is a list of function definitions; `main` is the entry.
+ * Expressions include the paper's loop expression form:
+ *
+ *   (initial s <- e1; x <- e2
+ *    for i from lo to hi do
+ *      new x <- ...;
+ *      new s <- ...
+ *    return expr)
+ *
+ * plus conditionals, arithmetic/relational/boolean operators, calls,
+ * I-structure operations (array/select/store), and literals.
+ */
+
+#ifndef TTDA_ID_AST_HH
+#define TTDA_ID_AST_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace id
+{
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class BinOp : std::uint8_t
+{
+    Add, Sub, Mul, Div, Mod,
+    Lt, Le, Gt, Ge, Eq, Ne,
+    And, Or,
+};
+
+enum class UnOp : std::uint8_t { Neg, Not };
+
+/** Expression node (a closed discriminated union). */
+struct Expr
+{
+    enum class Kind : std::uint8_t
+    {
+        IntLit, RealLit,
+        Var,
+        Binary, Unary,
+        Call,     //!< callee(args...)
+        If,       //!< if cond then a else b
+        Loop,     //!< the initial/for/return loop expression
+        Let,      //!< let x = e; ... in body
+        ArrayNew, //!< array(n)
+        Select,   //!< a[i]
+        StoreOp,  //!< store(a, i, v) — value is a
+        AppendOp, //!< append(a, i, v) — value is the *new* array
+    };
+
+    Kind kind;
+    int line = 0;
+
+    // Literals.
+    std::int64_t intValue = 0;
+    double realValue = 0.0;
+
+    // Var / Call.
+    std::string name;
+
+    // Operators.
+    BinOp bin{};
+    UnOp un{};
+
+    // Children: Binary {lhs, rhs}; Unary {operand};
+    // Call {args...}; If {cond, then, else};
+    // ArrayNew {n}; Select {array, index}; StoreOp {array, index, value}.
+    std::vector<ExprPtr> kids;
+
+    // Loop form.
+    struct Binding
+    {
+        std::string name;
+        ExprPtr init;
+    };
+    std::vector<Binding> initials;   //!< initial v <- e / let v = e
+    std::string counter;             //!< for <counter>
+    ExprPtr loopFrom, loopTo;        //!< from/to bounds
+    std::vector<Binding> updates;    //!< new v <- e
+    ExprPtr loopReturn;              //!< return expression
+};
+
+/** One function definition. */
+struct Def
+{
+    std::string name;
+    std::vector<std::string> params;
+    ExprPtr body;
+    int line = 0;
+};
+
+/** A parsed program. */
+struct Module
+{
+    std::vector<Def> defs;
+};
+
+} // namespace id
+
+#endif // TTDA_ID_AST_HH

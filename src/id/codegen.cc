@@ -1,0 +1,587 @@
+#include "id/codegen.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/format.hh"
+#include "graph/builder.hh"
+#include "graph/loop_schema.hh"
+#include "id/lexer.hh"
+#include "id/parser.hh"
+
+namespace id
+{
+
+namespace
+{
+
+using graph::BlockBuilder;
+using graph::LoopBuilder;
+using graph::Opcode;
+using graph::Value;
+
+[[noreturn]] void
+fail(int line, const std::string &what)
+{
+    throw CompileError(sim::format("compile error at line {}: {}",
+                                   line, what));
+}
+
+/** A value source inside the current code block: an instruction output
+ *  (possibly the false side of a SWITCH). */
+struct Src
+{
+    std::uint16_t stmt = 0;
+    bool falseSide = false;
+};
+
+/** Compilation scope: variable sources plus the literal trigger. */
+struct Scope
+{
+    std::map<std::string, Src> vars;
+    Src trigger;
+};
+
+/** Either an already-placed instruction output or a literal. */
+struct Operand
+{
+    bool isLit = false;
+    Value lit;
+    Src src;
+};
+
+void
+collectFreeVars(const Expr &e, std::set<std::string> &bound,
+                std::set<std::string> &out)
+{
+    switch (e.kind) {
+      case Expr::Kind::Var:
+        if (!bound.contains(e.name))
+            out.insert(e.name);
+        return;
+      case Expr::Kind::Loop: {
+        for (const auto &b : e.initials)
+            collectFreeVars(*b.init, bound, out);
+        collectFreeVars(*e.loopFrom, bound, out);
+        collectFreeVars(*e.loopTo, bound, out);
+        std::set<std::string> inner = bound;
+        for (const auto &b : e.initials)
+            inner.insert(b.name);
+        inner.insert(e.counter);
+        for (const auto &b : e.updates)
+            collectFreeVars(*b.init, inner, out);
+        collectFreeVars(*e.loopReturn, inner, out);
+        return;
+      }
+      case Expr::Kind::Let: {
+        std::set<std::string> inner = bound;
+        for (const auto &b : e.initials) {
+            collectFreeVars(*b.init, inner, out);
+            inner.insert(b.name);
+        }
+        collectFreeVars(*e.kids[0], inner, out);
+        return;
+      }
+      default:
+        for (const auto &k : e.kids)
+            collectFreeVars(*k, bound, out);
+        return;
+    }
+}
+
+std::set<std::string>
+freeVars(const Expr &e)
+{
+    std::set<std::string> bound, out;
+    collectFreeVars(e, bound, out);
+    return out;
+}
+
+Opcode
+binOpcode(BinOp op)
+{
+    switch (op) {
+      case BinOp::Add: return Opcode::Add;
+      case BinOp::Sub: return Opcode::Sub;
+      case BinOp::Mul: return Opcode::Mul;
+      case BinOp::Div: return Opcode::Div;
+      case BinOp::Mod: return Opcode::Mod;
+      case BinOp::Lt: return Opcode::Lt;
+      case BinOp::Le: return Opcode::Le;
+      case BinOp::Gt: return Opcode::Gt;
+      case BinOp::Ge: return Opcode::Ge;
+      case BinOp::Eq: return Opcode::Eq;
+      case BinOp::Ne: return Opcode::Ne;
+      case BinOp::And: return Opcode::And;
+      case BinOp::Or: return Opcode::Or;
+    }
+    throw CompileError("unknown binary operator");
+}
+
+bool
+isCommutative(BinOp op)
+{
+    switch (op) {
+      case BinOp::Add:
+      case BinOp::Mul:
+      case BinOp::Eq:
+      case BinOp::Ne:
+      case BinOp::And:
+      case BinOp::Or:
+        return true;
+      default:
+        return false;
+    }
+}
+
+class CodeGen
+{
+  public:
+    explicit CodeGen(const Module &mod) : mod_(mod) {}
+
+    Compiled
+    run()
+    {
+        // Pass 1: reserve a code block per definition so calls can be
+        // wired regardless of declaration order (mutual recursion).
+        for (const auto &def : mod_.defs) {
+            if (fns_.contains(def.name))
+                fail(def.line,
+                     sim::format("duplicate definition of '{}'",
+                                 def.name));
+            if (def.params.empty())
+                fail(def.line,
+                     sim::format("function '{}' needs at least one "
+                                 "parameter", def.name));
+            if (def.params.size() > 4)
+                fail(def.line,
+                     sim::format("function '{}' has {} parameters; "
+                                 "the token format supports at most 4",
+                                 def.name, def.params.size()));
+            const auto id = out_.program.reserveCodeBlock(def.name);
+            fns_[def.name] = {id, def.params.size()};
+        }
+
+        // Pass 2: compile bodies.
+        for (const auto &def : mod_.defs)
+            compileDef(def);
+
+        auto main_it = fns_.find("main");
+        if (main_it == fns_.end())
+            throw CompileError("no 'main' definition");
+        out_.mainCb = main_it->second.first;
+        out_.numInputs =
+            static_cast<std::uint32_t>(main_it->second.second);
+
+        // Synthesize __start: inputs -> APPLY main -> OUTPUT.
+        BlockBuilder start(out_.program, "__start", out_.numInputs);
+        const auto apply = start.add(
+            Opcode::Apply, static_cast<std::uint8_t>(out_.numInputs),
+            "apply main");
+        start.constant(apply, Value{graph::FnRef{out_.mainCb}});
+        for (std::uint16_t p = 0; p < out_.numInputs; ++p)
+            start.to(p, apply, static_cast<std::uint8_t>(p));
+        const auto output = start.add(Opcode::Output, 1);
+        start.to(apply, output, 0);
+        out_.startCb = start.build();
+
+        out_.program.validate();
+        return std::move(out_);
+    }
+
+  private:
+    void
+    wire(BlockBuilder &b, const Src &src, std::uint16_t dst,
+         std::uint8_t port)
+    {
+        b.to(src.stmt, dst, port, src.falseSide);
+    }
+
+    /** Materialize an operand into an instruction output. */
+    Src
+    place(BlockBuilder &b, Scope &sc, const Operand &op)
+    {
+        if (!op.isLit)
+            return op.src;
+        const auto lit = b.add(Opcode::Lit, 1, "lit");
+        b.constant(lit, op.lit);
+        wire(b, sc.trigger, lit, 0);
+        return Src{lit, false};
+    }
+
+    Operand
+    genOperand(BlockBuilder &b, Scope &sc, const Expr &e)
+    {
+        switch (e.kind) {
+          case Expr::Kind::IntLit:
+            return Operand{true, Value{e.intValue}, {}};
+          case Expr::Kind::RealLit:
+            return Operand{true, Value{e.realValue}, {}};
+          default:
+            return Operand{false, {}, gen(b, sc, e)};
+        }
+    }
+
+    /** Compile `e` into block `b`; returns the source of its value. */
+    Src
+    gen(BlockBuilder &b, Scope &sc, const Expr &e)
+    {
+        switch (e.kind) {
+          case Expr::Kind::IntLit:
+          case Expr::Kind::RealLit:
+            return place(b, sc, genOperand(b, sc, e));
+
+          case Expr::Kind::Var: {
+            auto it = sc.vars.find(e.name);
+            if (it == sc.vars.end())
+                fail(e.line, sim::format("unknown variable '{}'",
+                                         e.name));
+            return it->second;
+          }
+
+          case Expr::Kind::Binary:
+            return genBinary(b, sc, e);
+
+          case Expr::Kind::Unary: {
+            const auto op =
+                e.un == UnOp::Neg ? Opcode::Neg : Opcode::Not;
+            const auto stmt = b.add(op, 1);
+            wire(b, gen(b, sc, *e.kids[0]), stmt, 0);
+            return Src{stmt, false};
+          }
+
+          case Expr::Kind::Call:
+            return genCall(b, sc, e);
+
+          case Expr::Kind::If:
+            return genIf(b, sc, e);
+
+          case Expr::Kind::Loop:
+            return genLoop(b, sc, e);
+
+          case Expr::Kind::Let: {
+            Scope inner = sc;
+            for (const auto &bind : e.initials) {
+                inner.vars[bind.name] = place(
+                    b, inner, genOperand(b, inner, *bind.init));
+            }
+            return gen(b, inner, *e.kids[0]);
+          }
+
+          case Expr::Kind::ArrayNew: {
+            const auto alloc = b.add(Opcode::Alloc, 1, "array");
+            wire(b, gen(b, sc, *e.kids[0]), alloc, 0);
+            // ALLOC/I-FETCH carry one reply continuation; an IDENT
+            // fan-out point makes the value freely consumable.
+            const auto fan = b.add(Opcode::Ident, 1);
+            b.to(alloc, fan, 0);
+            return Src{fan, false};
+          }
+
+          case Expr::Kind::Select: {
+            const Src arr = gen(b, sc, *e.kids[0]);
+            const Operand idx = genOperand(b, sc, *e.kids[1]);
+            std::uint16_t fetch;
+            if (idx.isLit) {
+                fetch = b.add(Opcode::IFetch, 1, "select");
+                b.constant(fetch, idx.lit);
+            } else {
+                fetch = b.add(Opcode::IFetch, 2, "select");
+                wire(b, idx.src, fetch, 1);
+            }
+            wire(b, arr, fetch, 0);
+            const auto fan = b.add(Opcode::Ident, 1);
+            b.to(fetch, fan, 0);
+            return Src{fan, false};
+          }
+
+          case Expr::Kind::StoreOp: {
+            const Src arr = gen(b, sc, *e.kids[0]);
+            const Src idx = place(b, sc, genOperand(b, sc, *e.kids[1]));
+            const Src val = place(b, sc, genOperand(b, sc, *e.kids[2]));
+            const auto store = b.add(Opcode::IStore, 3, "store");
+            wire(b, arr, store, 0);
+            wire(b, idx, store, 1);
+            wire(b, val, store, 2);
+            // The expression's value is the array itself.
+            return arr;
+          }
+
+          case Expr::Kind::AppendOp: {
+            const Src arr = gen(b, sc, *e.kids[0]);
+            const Src idx = place(b, sc, genOperand(b, sc, *e.kids[1]));
+            const Src val = place(b, sc, genOperand(b, sc, *e.kids[2]));
+            const auto app = b.add(Opcode::Append, 3, "append");
+            wire(b, arr, app, 0);
+            wire(b, idx, app, 1);
+            wire(b, val, app, 2);
+            const auto fan = b.add(Opcode::Ident, 1);
+            b.to(app, fan, 0);
+            return Src{fan, false};
+          }
+        }
+        throw CompileError("unhandled expression kind");
+    }
+
+    Src
+    genBinary(BlockBuilder &b, Scope &sc, const Expr &e)
+    {
+        Operand lhs = genOperand(b, sc, *e.kids[0]);
+        Operand rhs = genOperand(b, sc, *e.kids[1]);
+        // Fold a left literal into the constant slot of commutative
+        // operators; otherwise materialize it.
+        if (lhs.isLit && !rhs.isLit && isCommutative(e.bin))
+            std::swap(lhs, rhs);
+        if (lhs.isLit)
+            lhs.src = place(b, sc, lhs);
+
+        std::uint16_t stmt;
+        if (rhs.isLit) {
+            stmt = b.add(binOpcode(e.bin), 1);
+            b.constant(stmt, rhs.lit);
+        } else {
+            stmt = b.add(binOpcode(e.bin), 2);
+            wire(b, rhs.src, stmt, 1);
+        }
+        wire(b, lhs.src, stmt, 0);
+        return Src{stmt, false};
+    }
+
+    Src
+    genCall(BlockBuilder &b, Scope &sc, const Expr &e)
+    {
+        auto it = fns_.find(e.name);
+        if (it == fns_.end())
+            fail(e.line,
+                 sim::format("call of undefined function '{}'",
+                             e.name));
+        const auto [cb, arity] = it->second;
+        if (e.kids.size() != arity)
+            fail(e.line,
+                 sim::format("'{}' expects {} arguments, got {}",
+                             e.name, arity, e.kids.size()));
+        const auto apply = b.add(
+            Opcode::Apply, static_cast<std::uint8_t>(arity),
+            sim::format("call {}", e.name));
+        b.constant(apply, Value{graph::FnRef{cb}});
+        for (std::size_t j = 0; j < arity; ++j) {
+            const Src arg = place(b, sc, genOperand(b, sc, *e.kids[j]));
+            wire(b, arg, apply, static_cast<std::uint8_t>(j));
+        }
+        return Src{apply, false};
+    }
+
+    Src
+    genIf(BlockBuilder &b, Scope &sc, const Expr &e)
+    {
+        const Src cond = gen(b, sc, *e.kids[0]);
+
+        // Gate every free variable the branches use, plus the literal
+        // trigger (the condition steered by itself).
+        std::set<std::string> used = freeVars(*e.kids[1]);
+        for (const auto &v : freeVars(*e.kids[2]))
+            used.insert(v);
+
+        const auto trig_sw = b.add(Opcode::Switch, 2, "if trigger");
+        wire(b, cond, trig_sw, 0);
+        wire(b, cond, trig_sw, 1);
+
+        Scope then_sc, else_sc;
+        then_sc.trigger = Src{trig_sw, false};
+        else_sc.trigger = Src{trig_sw, true};
+        for (const auto &v : used) {
+            auto it = sc.vars.find(v);
+            if (it == sc.vars.end())
+                continue; // function names etc. resolve elsewhere
+            const auto sw = b.add(Opcode::Switch, 2,
+                                  sim::format("if gate {}", v));
+            wire(b, it->second, sw, 0);
+            wire(b, cond, sw, 1);
+            then_sc.vars[v] = Src{sw, false};
+            else_sc.vars[v] = Src{sw, true};
+        }
+
+        const Src then_v = gen(b, then_sc, *e.kids[1]);
+        const Src else_v = gen(b, else_sc, *e.kids[2]);
+        // Merge: only one branch produces a token per activation.
+        const auto merge = b.add(Opcode::Ident, 1, "if merge");
+        wire(b, then_v, merge, 0);
+        wire(b, else_v, merge, 0);
+        return Src{merge, false};
+    }
+
+    Src
+    genLoop(BlockBuilder &b, Scope &sc, const Expr &e)
+    {
+        // Identify the circulating set: initials, counter, limit, and
+        // the loop-invariant free variables of the body.
+        std::set<std::string> bound;
+        for (const auto &bind : e.initials)
+            bound.insert(bind.name);
+        if (bound.contains(e.counter))
+            fail(e.line, sim::format("loop counter '{}' shadows an "
+                                     "initial binding", e.counter));
+        bound.insert(e.counter);
+
+        std::set<std::string> body_free;
+        for (const auto &u : e.updates) {
+            if (!bound.contains(u.name) || u.name == e.counter)
+                fail(e.line, sim::format("'new {}' does not update an "
+                                         "initial binding", u.name));
+            std::set<std::string> bb = bound;
+            collectFreeVars(*u.init, bb, body_free);
+        }
+        {
+            std::set<std::string> bb = bound;
+            collectFreeVars(*e.loopReturn, bb, body_free);
+        }
+        std::vector<std::string> invariants;
+        for (const auto &v : body_free) {
+            if (fns_.contains(v))
+                continue;
+            if (!sc.vars.contains(v))
+                fail(e.line, sim::format("unknown variable '{}' in "
+                                         "loop body", v));
+            invariants.push_back(v);
+        }
+
+        // Variable order: initials, counter, limit, invariants.
+        std::vector<std::string> names;
+        for (const auto &bind : e.initials)
+            names.push_back(bind.name);
+        const std::size_t ci = names.size();
+        names.push_back(e.counter);
+        const std::size_t li = names.size();
+        names.push_back("__limit");
+        std::map<std::string, std::size_t> index;
+        for (std::size_t j = 0; j < names.size(); ++j)
+            index[names[j]] = j;
+        for (const auto &v : invariants) {
+            index[v] = names.size();
+            names.push_back(v);
+        }
+        const std::size_t nvars = names.size();
+
+        // ---- Build the loop code block -----------------------------
+        LoopBuilder loop(out_.program,
+                         sim::format("loop@{}", e.line), nvars);
+
+        const auto pred = loop.b().add(Opcode::Le, 2, "i<=limit");
+        loop.b().to(loop.recv(ci), pred, 0);
+        loop.b().to(loop.recv(li), pred, 1);
+        loop.setPredicate(pred);
+
+        Scope body_sc;
+        body_sc.trigger = Src{loop.sw(ci), false};
+        for (std::size_t j = 0; j < nvars; ++j)
+            body_sc.vars[names[j]] = Src{loop.sw(j), false};
+        body_sc.vars.erase("__limit");
+
+        std::set<std::string> updated;
+        for (const auto &u : e.updates) {
+            const Src nv = gen(loop.b(), body_sc, *u.init);
+            wire(loop.b(), nv, loop.next(index[u.name]), 0);
+            updated.insert(u.name);
+        }
+        for (const auto &bind : e.initials)
+            if (!updated.contains(bind.name))
+                loop.circulateUnchanged(index[bind.name]);
+        {
+            const auto inc = loop.b().add(Opcode::Add, 1, "i+1");
+            loop.b().constant(inc, Value{std::int64_t{1}});
+            loop.b().to(loop.sw(ci), inc, 0);
+            loop.b().to(inc, loop.next(ci), 0);
+        }
+        loop.circulateUnchanged(li);
+        for (const auto &v : invariants)
+            loop.circulateUnchanged(index[v]);
+
+        // Exits: circulating variables used by the return expression
+        // come out through L⁻¹ into fresh receivers in the parent.
+        std::set<std::string> ret_bound;
+        std::set<std::string> ret_free;
+        collectFreeVars(*e.loopReturn, ret_bound, ret_free);
+        Scope ret_sc = sc; // parent scope + exit receivers
+        std::vector<std::pair<std::size_t, std::uint16_t>> exits;
+        for (const auto &v : ret_free) {
+            auto idx = index.find(v);
+            if (idx == index.end() ||
+                std::find(invariants.begin(), invariants.end(), v) !=
+                    invariants.end())
+            {
+                continue; // parent variable: already in ret_sc
+            }
+            const auto recv = b.add(Opcode::Ident, 1,
+                                    sim::format("{} (exit)", v));
+            exits.emplace_back(idx->second, recv);
+            ret_sc.vars[v] = Src{recv, false};
+        }
+        for (const auto &[j, recv] : exits)
+            loop.exitTo(j, recv, 0);
+        const std::uint16_t loop_cb = loop.build();
+
+        // ---- Parent-side entries -----------------------------------
+        const std::uint16_t site = nextSite_++;
+        auto ls = LoopBuilder::entries(b, loop_cb, site, nvars);
+        for (std::size_t j = 0; j < e.initials.size(); ++j) {
+            const Src init = place(
+                b, sc, genOperand(b, sc, *e.initials[j].init));
+            wire(b, init, ls[j], 0);
+        }
+        const Src from =
+            place(b, sc, genOperand(b, sc, *e.loopFrom));
+        wire(b, from, ls[ci], 0);
+        const Src to_v = place(b, sc, genOperand(b, sc, *e.loopTo));
+        wire(b, to_v, ls[li], 0);
+        for (const auto &v : invariants)
+            wire(b, sc.vars.at(v), ls[index[v]], 0);
+
+        // The loop's value: the return expression, evaluated in the
+        // parent with the exit receivers bound.
+        return gen(b, ret_sc, *e.loopReturn);
+    }
+
+    void
+    compileDef(const Def &def)
+    {
+        const auto [cb_id, arity] = fns_.at(def.name);
+        BlockBuilder b(out_.program, def.name,
+                       static_cast<std::uint16_t>(arity));
+        Scope sc;
+        sc.trigger = Src{0, false}; // param 0 triggers literals
+        for (std::size_t p = 0; p < def.params.size(); ++p) {
+            if (sc.vars.contains(def.params[p]))
+                fail(def.line,
+                     sim::format("duplicate parameter '{}'",
+                                 def.params[p]));
+            sc.vars[def.params[p]] =
+                Src{static_cast<std::uint16_t>(p), false};
+        }
+        const Src result = gen(b, sc, *def.body);
+        const auto ret = b.add(Opcode::Return, 1);
+        wire(b, result, ret, 0);
+        b.buildInto(cb_id);
+    }
+
+    const Module &mod_;
+    Compiled out_;
+    std::map<std::string, std::pair<std::uint16_t, std::size_t>> fns_;
+    std::uint16_t nextSite_ = 1;
+};
+
+} // namespace
+
+Compiled
+compileModule(const Module &module)
+{
+    return CodeGen(module).run();
+}
+
+Compiled
+compile(const std::string &source)
+{
+    return compileModule(parse(source));
+}
+
+} // namespace id

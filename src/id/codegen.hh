@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Code generation from mini-ID to tagged-token dataflow graphs.
+ *
+ * Each function definition compiles to a code block; each loop
+ * expression compiles to its own code block following the Figure 2-2
+ * schema (graph::LoopBuilder). A synthetic `__start` block receives
+ * the program inputs, APPLYs `main`, and OUTPUTs the result, so main
+ * remains an ordinary callable function.
+ *
+ * Conditionals compile to the standard gated schema: every free
+ * variable used by a branch flows through a SWITCH steered by the
+ * condition, and literal triggers are gated the same way so untaken
+ * branches leave no stray tokens.
+ */
+
+#ifndef TTDA_ID_CODEGEN_HH
+#define TTDA_ID_CODEGEN_HH
+
+#include <cstdint>
+#include <string>
+
+#include "graph/program.hh"
+#include "id/ast.hh"
+#include "id/lexer.hh" // CompileError
+
+namespace id
+{
+
+/** The result of compiling a module. */
+struct Compiled
+{
+    graph::Program program;
+    std::uint16_t startCb = 0;  //!< inject inputs here; emits OUTPUT
+    std::uint16_t mainCb = 0;   //!< the user's main (callable)
+    std::uint32_t numInputs = 0; //!< main's parameter count
+};
+
+/** Compile a parsed module; throws CompileError on semantic errors. */
+Compiled compileModule(const Module &module);
+
+/** Convenience: lex + parse + compile. */
+Compiled compile(const std::string &source);
+
+} // namespace id
+
+#endif // TTDA_ID_CODEGEN_HH

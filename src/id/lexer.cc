@@ -1,0 +1,235 @@
+#include "id/lexer.hh"
+
+#include <cctype>
+#include <map>
+
+#include "common/format.hh"
+
+namespace id
+{
+
+namespace
+{
+
+const std::map<std::string, Tok> keywords = {
+    {"def", Tok::KwDef},       {"initial", Tok::KwInitial},
+    {"for", Tok::KwFor},       {"from", Tok::KwFrom},
+    {"to", Tok::KwTo},         {"do", Tok::KwDo},
+    {"new", Tok::KwNew},       {"return", Tok::KwReturn},
+    {"if", Tok::KwIf},         {"then", Tok::KwThen},
+    {"else", Tok::KwElse},     {"let", Tok::KwLet},
+    {"in", Tok::KwIn},         {"array", Tok::KwArray},
+    {"store", Tok::KwStore},   {"append", Tok::KwAppend},
+    {"and", Tok::KwAnd},
+    {"or", Tok::KwOr},         {"not", Tok::KwNot},
+};
+
+[[noreturn]] void
+fail(int line, int col, const std::string &what)
+{
+    throw CompileError(
+        sim::format("lex error at {}:{}: {}", line, col, what));
+}
+
+} // namespace
+
+std::string
+tokName(Tok t)
+{
+    switch (t) {
+      case Tok::Ident: return "identifier";
+      case Tok::Int: return "integer";
+      case Tok::Real: return "real";
+      case Tok::KwDef: return "'def'";
+      case Tok::KwInitial: return "'initial'";
+      case Tok::KwFor: return "'for'";
+      case Tok::KwFrom: return "'from'";
+      case Tok::KwTo: return "'to'";
+      case Tok::KwDo: return "'do'";
+      case Tok::KwNew: return "'new'";
+      case Tok::KwReturn: return "'return'";
+      case Tok::KwIf: return "'if'";
+      case Tok::KwThen: return "'then'";
+      case Tok::KwElse: return "'else'";
+      case Tok::KwLet: return "'let'";
+      case Tok::KwIn: return "'in'";
+      case Tok::KwArray: return "'array'";
+      case Tok::KwStore: return "'store'";
+      case Tok::KwAppend: return "'append'";
+      case Tok::KwAnd: return "'and'";
+      case Tok::KwOr: return "'or'";
+      case Tok::KwNot: return "'not'";
+      case Tok::LParen: return "'('";
+      case Tok::RParen: return "')'";
+      case Tok::LBracket: return "'['";
+      case Tok::RBracket: return "']'";
+      case Tok::Comma: return "','";
+      case Tok::Semi: return "';'";
+      case Tok::Assign: return "'<-'";
+      case Tok::Plus: return "'+'";
+      case Tok::Minus: return "'-'";
+      case Tok::Star: return "'*'";
+      case Tok::Slash: return "'/'";
+      case Tok::Percent: return "'%'";
+      case Tok::Lt: return "'<'";
+      case Tok::Le: return "'<='";
+      case Tok::Gt: return "'>'";
+      case Tok::Ge: return "'>='";
+      case Tok::EqTok: return "'='";
+      case Tok::Ne: return "'<>'";
+      case Tok::End: return "end of input";
+    }
+    return "?";
+}
+
+std::vector<Token>
+lex(const std::string &source)
+{
+    std::vector<Token> out;
+    int line = 1, col = 1;
+    std::size_t i = 0;
+    const std::size_t n = source.size();
+
+    auto peek = [&](std::size_t k = 0) -> char {
+        return i + k < n ? source[i + k] : '\0';
+    };
+    auto advance = [&] {
+        if (source[i] == '\n') {
+            ++line;
+            col = 1;
+        } else {
+            ++col;
+        }
+        ++i;
+    };
+    auto push = [&](Tok kind, int l, int c) {
+        Token t;
+        t.kind = kind;
+        t.line = l;
+        t.col = c;
+        out.push_back(std::move(t));
+    };
+
+    while (i < n) {
+        const char c = peek();
+        const int l0 = line, c0 = col;
+
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            advance();
+            continue;
+        }
+        // Comments: "--" to end of line.
+        if (c == '-' && peek(1) == '-') {
+            while (i < n && peek() != '\n')
+                advance();
+            continue;
+        }
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            std::string word;
+            while (i < n && (std::isalnum(
+                                 static_cast<unsigned char>(peek())) ||
+                             peek() == '_'))
+            {
+                word.push_back(peek());
+                advance();
+            }
+            Token t;
+            auto kw = keywords.find(word);
+            t.kind = kw == keywords.end() ? Tok::Ident : kw->second;
+            t.text = std::move(word);
+            t.line = l0;
+            t.col = c0;
+            out.push_back(std::move(t));
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            std::string num;
+            bool is_real = false;
+            while (i < n &&
+                   std::isdigit(static_cast<unsigned char>(peek())))
+            {
+                num.push_back(peek());
+                advance();
+            }
+            if (peek() == '.' &&
+                std::isdigit(static_cast<unsigned char>(peek(1))))
+            {
+                is_real = true;
+                num.push_back('.');
+                advance();
+                while (i < n &&
+                       std::isdigit(static_cast<unsigned char>(peek())))
+                {
+                    num.push_back(peek());
+                    advance();
+                }
+            }
+            Token t;
+            t.line = l0;
+            t.col = c0;
+            if (is_real) {
+                t.kind = Tok::Real;
+                t.realValue = std::stod(num);
+            } else {
+                t.kind = Tok::Int;
+                try {
+                    t.intValue = std::stoll(num);
+                } catch (const std::out_of_range &) {
+                    fail(l0, c0, "integer literal out of range");
+                }
+            }
+            out.push_back(std::move(t));
+            continue;
+        }
+
+        switch (c) {
+          case '(': advance(); push(Tok::LParen, l0, c0); break;
+          case ')': advance(); push(Tok::RParen, l0, c0); break;
+          case '[': advance(); push(Tok::LBracket, l0, c0); break;
+          case ']': advance(); push(Tok::RBracket, l0, c0); break;
+          case ',': advance(); push(Tok::Comma, l0, c0); break;
+          case ';': advance(); push(Tok::Semi, l0, c0); break;
+          case '+': advance(); push(Tok::Plus, l0, c0); break;
+          case '-': advance(); push(Tok::Minus, l0, c0); break;
+          case '*': advance(); push(Tok::Star, l0, c0); break;
+          case '/': advance(); push(Tok::Slash, l0, c0); break;
+          case '%': advance(); push(Tok::Percent, l0, c0); break;
+          case '=': advance(); push(Tok::EqTok, l0, c0); break;
+          case '>':
+            advance();
+            if (peek() == '=') {
+                advance();
+                push(Tok::Ge, l0, c0);
+            } else {
+                push(Tok::Gt, l0, c0);
+            }
+            break;
+          case '<':
+            advance();
+            if (peek() == '-') {
+                advance();
+                push(Tok::Assign, l0, c0);
+            } else if (peek() == '=') {
+                advance();
+                push(Tok::Le, l0, c0);
+            } else if (peek() == '>') {
+                advance();
+                push(Tok::Ne, l0, c0);
+            } else {
+                push(Tok::Lt, l0, c0);
+            }
+            break;
+          default:
+            fail(l0, c0,
+                 sim::format("unexpected character '{}'", c));
+        }
+    }
+    Token end;
+    end.kind = Tok::End;
+    end.line = line;
+    end.col = col;
+    out.push_back(end);
+    return out;
+}
+
+} // namespace id

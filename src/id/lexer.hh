@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Lexer for the mini-ID language (a small subset of the Irvine
+ * Dataflow language the paper's compiler accepted — enough to express
+ * its Figure 2-2 program verbatim modulo ASCII syntax).
+ *
+ * Errors are reported as id::CompileError with line/column positions.
+ */
+
+#ifndef TTDA_ID_LEXER_HH
+#define TTDA_ID_LEXER_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace id
+{
+
+/** A user-facing compilation failure. */
+class CompileError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+enum class Tok : std::uint8_t
+{
+    // Literals and names.
+    Ident, Int, Real,
+    // Keywords.
+    KwDef, KwInitial, KwFor, KwFrom, KwTo, KwDo, KwNew, KwReturn,
+    KwIf, KwThen, KwElse, KwLet, KwIn,
+    KwArray, KwStore, KwAppend, KwAnd, KwOr, KwNot,
+    // Punctuation and operators.
+    LParen, RParen, LBracket, RBracket, Comma, Semi,
+    Assign,   // <-
+    Plus, Minus, Star, Slash, Percent,
+    Lt, Le, Gt, Ge, EqTok, Ne,
+    End,
+};
+
+/** One lexed token. */
+struct Token
+{
+    Tok kind = Tok::End;
+    std::string text;        //!< identifier spelling
+    std::int64_t intValue = 0;
+    double realValue = 0.0;
+    int line = 1;
+    int col = 1;
+};
+
+/** Tokenize `source`; throws CompileError on bad input. */
+std::vector<Token> lex(const std::string &source);
+
+/** Printable token-kind name for diagnostics. */
+std::string tokName(Tok t);
+
+} // namespace id
+
+#endif // TTDA_ID_LEXER_HH

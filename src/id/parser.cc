@@ -1,0 +1,394 @@
+#include "id/parser.hh"
+
+#include "common/format.hh"
+#include "id/lexer.hh"
+
+namespace id
+{
+
+namespace
+{
+
+class Parser
+{
+  public:
+    explicit Parser(std::vector<Token> toks) : toks_(std::move(toks)) {}
+
+    Module
+    module()
+    {
+        Module m;
+        while (peek().kind != Tok::End)
+            m.defs.push_back(def());
+        return m;
+    }
+
+  private:
+    const Token &peek(std::size_t k = 0) const
+    {
+        const std::size_t i = pos_ + k;
+        return i < toks_.size() ? toks_[i] : toks_.back();
+    }
+
+    Token
+    advance()
+    {
+        Token t = peek();
+        if (pos_ + 1 < toks_.size())
+            ++pos_;
+        return t;
+    }
+
+    bool
+    accept(Tok kind)
+    {
+        if (peek().kind != kind)
+            return false;
+        advance();
+        return true;
+    }
+
+    Token
+    expect(Tok kind, const std::string &where)
+    {
+        if (peek().kind != kind) {
+            fail(sim::format("expected {} {} but found {}",
+                             tokName(kind), where,
+                             tokName(peek().kind)));
+        }
+        return advance();
+    }
+
+    [[noreturn]] void
+    fail(const std::string &what) const
+    {
+        throw CompileError(sim::format("parse error at {}:{}: {}",
+                                       peek().line, peek().col, what));
+    }
+
+    ExprPtr
+    make(Expr::Kind kind)
+    {
+        auto e = std::make_unique<Expr>();
+        e->kind = kind;
+        e->line = peek().line;
+        return e;
+    }
+
+    Def
+    def()
+    {
+        Def d;
+        d.line = peek().line;
+        expect(Tok::KwDef, "to start a definition");
+        d.name = expect(Tok::Ident, "as the function name").text;
+        expect(Tok::LParen, "after the function name");
+        if (peek().kind != Tok::RParen) {
+            d.params.push_back(
+                expect(Tok::Ident, "as a parameter").text);
+            while (accept(Tok::Comma))
+                d.params.push_back(
+                    expect(Tok::Ident, "as a parameter").text);
+        }
+        expect(Tok::RParen, "after the parameters");
+        expect(Tok::EqTok, "before the function body");
+        d.body = expr();
+        expect(Tok::Semi, "after the function body");
+        return d;
+    }
+
+    ExprPtr
+    expr()
+    {
+        if (peek().kind == Tok::KwIf)
+            return ifExpr();
+        if (peek().kind == Tok::KwLet)
+            return letExpr();
+        return orExpr();
+    }
+
+    ExprPtr
+    letExpr()
+    {
+        auto e = make(Expr::Kind::Let);
+        expect(Tok::KwLet, "");
+        auto one = [&] {
+            Expr::Binding b;
+            b.name = expect(Tok::Ident, "as a let binding").text;
+            expect(Tok::EqTok, "after the let variable");
+            b.init = expr();
+            e->initials.push_back(std::move(b));
+        };
+        one();
+        while (accept(Tok::Semi)) {
+            if (peek().kind == Tok::KwIn)
+                fail("stray ';' before 'in'");
+            one();
+        }
+        expect(Tok::KwIn, "after the let bindings");
+        e->kids.push_back(expr());
+        return e;
+    }
+
+    ExprPtr
+    ifExpr()
+    {
+        auto e = make(Expr::Kind::If);
+        expect(Tok::KwIf, "");
+        e->kids.push_back(expr());
+        expect(Tok::KwThen, "after the condition");
+        e->kids.push_back(expr());
+        expect(Tok::KwElse, "after the then-branch");
+        e->kids.push_back(expr());
+        return e;
+    }
+
+    Expr::Binding
+    binding()
+    {
+        Expr::Binding b;
+        b.name = expect(Tok::Ident, "as a loop variable").text;
+        expect(Tok::Assign, "after the loop variable");
+        b.init = expr();
+        return b;
+    }
+
+    ExprPtr
+    loopExpr()
+    {
+        auto e = make(Expr::Kind::Loop);
+        expect(Tok::LParen, "");
+        expect(Tok::KwInitial, "");
+        e->initials.push_back(binding());
+        while (accept(Tok::Semi)) {
+            if (peek().kind == Tok::KwFor)
+                fail("stray ';' before 'for'");
+            e->initials.push_back(binding());
+        }
+        expect(Tok::KwFor, "after the initial bindings");
+        e->counter = expect(Tok::Ident, "as the loop counter").text;
+        expect(Tok::KwFrom, "after the loop counter");
+        e->loopFrom = expr();
+        expect(Tok::KwTo, "after the lower bound");
+        e->loopTo = expr();
+        expect(Tok::KwDo, "after the upper bound");
+        auto update = [&] {
+            expect(Tok::KwNew, "to start a loop body statement");
+            Expr::Binding b;
+            b.name = expect(Tok::Ident, "as the updated variable").text;
+            expect(Tok::Assign, "after the updated variable");
+            b.init = expr();
+            e->updates.push_back(std::move(b));
+        };
+        update();
+        while (accept(Tok::Semi)) {
+            if (peek().kind == Tok::KwReturn)
+                fail("stray ';' before 'return'");
+            update();
+        }
+        expect(Tok::KwReturn, "after the loop body");
+        e->loopReturn = expr();
+        expect(Tok::RParen, "to close the loop expression");
+        return e;
+    }
+
+    ExprPtr
+    binary(BinOp op, ExprPtr lhs, ExprPtr rhs)
+    {
+        auto e = std::make_unique<Expr>();
+        e->kind = Expr::Kind::Binary;
+        e->line = lhs->line;
+        e->bin = op;
+        e->kids.push_back(std::move(lhs));
+        e->kids.push_back(std::move(rhs));
+        return e;
+    }
+
+    ExprPtr
+    orExpr()
+    {
+        auto lhs = andExpr();
+        while (accept(Tok::KwOr))
+            lhs = binary(BinOp::Or, std::move(lhs), andExpr());
+        return lhs;
+    }
+
+    ExprPtr
+    andExpr()
+    {
+        auto lhs = cmpExpr();
+        while (accept(Tok::KwAnd))
+            lhs = binary(BinOp::And, std::move(lhs), cmpExpr());
+        return lhs;
+    }
+
+    ExprPtr
+    cmpExpr()
+    {
+        auto lhs = addExpr();
+        BinOp op;
+        switch (peek().kind) {
+          case Tok::Lt: op = BinOp::Lt; break;
+          case Tok::Le: op = BinOp::Le; break;
+          case Tok::Gt: op = BinOp::Gt; break;
+          case Tok::Ge: op = BinOp::Ge; break;
+          case Tok::EqTok: op = BinOp::Eq; break;
+          case Tok::Ne: op = BinOp::Ne; break;
+          default: return lhs;
+        }
+        advance();
+        return binary(op, std::move(lhs), addExpr());
+    }
+
+    ExprPtr
+    addExpr()
+    {
+        auto lhs = mulExpr();
+        while (true) {
+            if (accept(Tok::Plus))
+                lhs = binary(BinOp::Add, std::move(lhs), mulExpr());
+            else if (accept(Tok::Minus))
+                lhs = binary(BinOp::Sub, std::move(lhs), mulExpr());
+            else
+                return lhs;
+        }
+    }
+
+    ExprPtr
+    mulExpr()
+    {
+        auto lhs = unExpr();
+        while (true) {
+            if (accept(Tok::Star))
+                lhs = binary(BinOp::Mul, std::move(lhs), unExpr());
+            else if (accept(Tok::Slash))
+                lhs = binary(BinOp::Div, std::move(lhs), unExpr());
+            else if (accept(Tok::Percent))
+                lhs = binary(BinOp::Mod, std::move(lhs), unExpr());
+            else
+                return lhs;
+        }
+    }
+
+    ExprPtr
+    unExpr()
+    {
+        if (accept(Tok::Minus)) {
+            auto e = std::make_unique<Expr>();
+            e->kind = Expr::Kind::Unary;
+            e->un = UnOp::Neg;
+            e->kids.push_back(unExpr());
+            return e;
+        }
+        if (accept(Tok::KwNot)) {
+            auto e = std::make_unique<Expr>();
+            e->kind = Expr::Kind::Unary;
+            e->un = UnOp::Not;
+            e->kids.push_back(unExpr());
+            return e;
+        }
+        return postfix();
+    }
+
+    ExprPtr
+    postfix()
+    {
+        auto e = primary();
+        while (accept(Tok::LBracket)) {
+            auto sel = std::make_unique<Expr>();
+            sel->kind = Expr::Kind::Select;
+            sel->line = e->line;
+            sel->kids.push_back(std::move(e));
+            sel->kids.push_back(expr());
+            expect(Tok::RBracket, "to close the selection");
+            e = std::move(sel);
+        }
+        return e;
+    }
+
+    ExprPtr
+    primary()
+    {
+        switch (peek().kind) {
+          case Tok::Int: {
+            auto e = make(Expr::Kind::IntLit);
+            e->intValue = advance().intValue;
+            return e;
+          }
+          case Tok::Real: {
+            auto e = make(Expr::Kind::RealLit);
+            e->realValue = advance().realValue;
+            return e;
+          }
+          case Tok::KwArray: {
+            auto e = make(Expr::Kind::ArrayNew);
+            advance();
+            expect(Tok::LParen, "after 'array'");
+            e->kids.push_back(expr());
+            expect(Tok::RParen, "to close 'array'");
+            return e;
+          }
+          case Tok::KwStore:
+          case Tok::KwAppend: {
+            auto e = make(peek().kind == Tok::KwStore
+                              ? Expr::Kind::StoreOp
+                              : Expr::Kind::AppendOp);
+            const char *what =
+                peek().kind == Tok::KwStore ? "'store'" : "'append'";
+            advance();
+            expect(Tok::LParen, what);
+            e->kids.push_back(expr());
+            expect(Tok::Comma, "after the array");
+            e->kids.push_back(expr());
+            expect(Tok::Comma, "after the index");
+            e->kids.push_back(expr());
+            expect(Tok::RParen, what);
+            return e;
+          }
+          case Tok::Ident: {
+            Token name = advance();
+            if (accept(Tok::LParen)) {
+                auto e = make(Expr::Kind::Call);
+                e->name = name.text;
+                e->line = name.line;
+                if (peek().kind != Tok::RParen) {
+                    e->kids.push_back(expr());
+                    while (accept(Tok::Comma))
+                        e->kids.push_back(expr());
+                }
+                expect(Tok::RParen, "to close the call");
+                return e;
+            }
+            auto e = make(Expr::Kind::Var);
+            e->name = name.text;
+            e->line = name.line;
+            return e;
+          }
+          case Tok::LParen: {
+            // A loop expression is itself parenthesized, so it can
+            // appear anywhere a primary can: (initial ...) * h.
+            if (peek(1).kind == Tok::KwInitial)
+                return loopExpr();
+            advance();
+            auto e = expr();
+            expect(Tok::RParen, "to close the parenthesis");
+            return e;
+          }
+          default:
+            fail(sim::format("unexpected {}", tokName(peek().kind)));
+        }
+    }
+
+    std::vector<Token> toks_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+Module
+parse(const std::string &source)
+{
+    return Parser(lex(source)).module();
+}
+
+} // namespace id

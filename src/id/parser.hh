@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Recursive-descent parser for mini-ID.
+ *
+ * Grammar (precedence low to high):
+ *   module   := def*
+ *   def      := 'def' ID '(' params ')' '=' expr ';'
+ *   expr     := ifexpr | loopexpr | orexpr
+ *   ifexpr   := 'if' expr 'then' expr 'else' expr
+ *   loopexpr := '(' 'initial' binding (';' binding)*
+ *               'for' ID 'from' expr 'to' expr
+ *               'do' update (';' update)*
+ *               'return' expr ')'
+ *   orexpr   := andexpr ('or' andexpr)*
+ *   andexpr  := cmpexpr ('and' cmpexpr)*
+ *   cmpexpr  := addexpr (('<'|'<='|'>'|'>='|'='|'<>') addexpr)?
+ *   addexpr  := mulexpr (('+'|'-') mulexpr)*
+ *   mulexpr  := unexpr (('*'|'/'|'%') unexpr)*
+ *   unexpr   := ('-'|'not') unexpr | postfix
+ *   postfix  := primary ('[' expr ']')*
+ *   primary  := NUM | ID | ID '(' args ')' | '(' expr ')'
+ *             | 'array' '(' expr ')' | 'store' '(' e ',' e ',' e ')'
+ */
+
+#ifndef TTDA_ID_PARSER_HH
+#define TTDA_ID_PARSER_HH
+
+#include <string>
+
+#include "id/ast.hh"
+
+namespace id
+{
+
+/** Parse mini-ID source; throws CompileError on syntax errors. */
+Module parse(const std::string &source);
+
+} // namespace id
+
+#endif // TTDA_ID_PARSER_HH

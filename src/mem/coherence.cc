@@ -1,0 +1,213 @@
+#include "mem/coherence.hh"
+
+#include "common/logging.hh"
+
+namespace mem
+{
+
+CoherentCacheSystem::CoherentCacheSystem(Config cfg,
+                                         std::size_t memory_words)
+    : cfg_(cfg), memory_(memory_words, 0), architectural_(memory_words, 0)
+{
+    SIM_ASSERT(cfg.processors >= 1);
+    SIM_ASSERT(cfg.linesPerCache >= 1);
+    SIM_ASSERT(cfg.wordsPerBlock >= 1);
+    caches_.resize(cfg.processors);
+    for (auto &cache : caches_) {
+        cache.resize(cfg.linesPerCache);
+        for (auto &ln : cache)
+            ln.data.assign(cfg.wordsPerBlock, 0);
+    }
+}
+
+std::uint64_t
+CoherentCacheSystem::blockOf(std::uint64_t addr) const
+{
+    return addr / cfg_.wordsPerBlock * cfg_.wordsPerBlock;
+}
+
+std::size_t
+CoherentCacheSystem::indexOf(std::uint64_t block) const
+{
+    return (block / cfg_.wordsPerBlock) % cfg_.linesPerCache;
+}
+
+CoherentCacheSystem::Line &
+CoherentCacheSystem::line(std::uint32_t proc, std::uint64_t block)
+{
+    return caches_[proc][indexOf(block)];
+}
+
+const CoherentCacheSystem::Line *
+CoherentCacheSystem::findLine(std::uint32_t proc,
+                              std::uint64_t block) const
+{
+    const Line &ln = caches_[proc][indexOf(block)];
+    return ln.valid() && ln.blockAddr == block ? &ln : nullptr;
+}
+
+void
+CoherentCacheSystem::writeback(Line &ln)
+{
+    for (std::uint32_t w = 0; w < cfg_.wordsPerBlock; ++w)
+        memory_[ln.blockAddr + w] = ln.data[w];
+    stats_.writebacks.inc();
+    stats_.busTransactions.inc();
+}
+
+std::uint64_t
+CoherentCacheSystem::invalidateOthers(std::uint32_t proc,
+                                      std::uint64_t block)
+{
+    std::uint64_t killed = 0;
+    for (std::uint32_t p = 0; p < cfg_.processors; ++p) {
+        if (p == proc)
+            continue;
+        Line &ln = line(p, block);
+        if (ln.valid() && ln.blockAddr == block) {
+            if (ln.state == LineState::Modified)
+                writeback(ln);
+            ln.state = LineState::Invalid;
+            ++killed;
+        }
+    }
+    stats_.invalidationsSent.inc(killed);
+    return killed;
+}
+
+sim::Cycle
+CoherentCacheSystem::fill(std::uint32_t proc, std::uint64_t block,
+                          LineState new_state)
+{
+    sim::Cycle cost = cfg_.busLatency + cfg_.memoryLatency;
+    stats_.busTransactions.inc();
+
+    // A remote Modified copy must be written back before the fill so
+    // we read the latest data.
+    for (std::uint32_t p = 0; p < cfg_.processors; ++p) {
+        if (p == proc)
+            continue;
+        Line &remote = line(p, block);
+        if (remote.valid() && remote.blockAddr == block &&
+            remote.state == LineState::Modified)
+        {
+            writeback(remote);
+            remote.state = LineState::Shared;
+            cost += cfg_.busLatency;
+        }
+    }
+
+    Line &ln = line(proc, block);
+    if (ln.valid() && ln.blockAddr != block &&
+        ln.state == LineState::Modified)
+    {
+        writeback(ln); // eviction of a dirty conflicting line
+        cost += cfg_.busLatency;
+    }
+    ln.blockAddr = block;
+    ln.state = new_state;
+    for (std::uint32_t w = 0; w < cfg_.wordsPerBlock; ++w)
+        ln.data[w] = memory_[block + w];
+    return cost;
+}
+
+CoherentCacheSystem::ReadResult
+CoherentCacheSystem::read(std::uint32_t proc, std::uint64_t addr)
+{
+    SIM_ASSERT(proc < cfg_.processors);
+    SIM_ASSERT(addr < memory_.size());
+    const std::uint64_t block = blockOf(addr);
+
+    ReadResult res;
+    Line &ln = line(proc, block);
+    if (ln.valid() && ln.blockAddr == block) {
+        stats_.readHits.inc();
+        res.cycles = cfg_.hitLatency;
+        res.value = ln.data[addr - block];
+    } else {
+        stats_.readMisses.inc();
+        res.cycles = cfg_.hitLatency + fill(proc, block,
+                                            LineState::Shared);
+        res.value = line(proc, block).data[addr - block];
+    }
+    if (res.value != architectural_[addr])
+        stats_.staleReads.inc();
+    return res;
+}
+
+sim::Cycle
+CoherentCacheSystem::write(std::uint32_t proc, std::uint64_t addr,
+                           Word value)
+{
+    SIM_ASSERT(proc < cfg_.processors);
+    SIM_ASSERT(addr < memory_.size());
+    const std::uint64_t block = blockOf(addr);
+    architectural_[addr] = value;
+
+    sim::Cycle cost = cfg_.hitLatency;
+    Line &ln = line(proc, block);
+    const bool present = ln.valid() && ln.blockAddr == block;
+
+    if (cfg_.storeThrough) {
+        // Write-through: always update memory over the bus.
+        if (present) {
+            stats_.writeHits.inc();
+            ln.data[addr - block] = value;
+        } else {
+            stats_.writeMisses.inc();
+        }
+        memory_[addr] = value;
+        stats_.busTransactions.inc();
+        cost += cfg_.busLatency + cfg_.memoryLatency;
+        if (cfg_.invalidate) {
+            // "What is logically required is a mechanism which, upon
+            // the occurrence of a write to location x, invalidates all
+            // other cached copies."
+            if (invalidateOthers(proc, block) > 0)
+                cost += cfg_.busLatency;
+        }
+        return cost;
+    }
+
+    // Store-in (write-back) MSI.
+    if (present && ln.state == LineState::Modified) {
+        stats_.writeHits.inc();
+        ln.data[addr - block] = value;
+        return cost;
+    }
+    if (present && ln.state == LineState::Shared) {
+        // Upgrade: bus invalidation, no data transfer.
+        stats_.writeHits.inc();
+        stats_.busTransactions.inc();
+        cost += cfg_.busLatency;
+        if (cfg_.invalidate)
+            invalidateOthers(proc, block);
+        ln.state = LineState::Modified;
+        ln.data[addr - block] = value;
+        return cost;
+    }
+    // Write miss: read-for-ownership.
+    stats_.writeMisses.inc();
+    cost += fill(proc, block, LineState::Modified);
+    if (cfg_.invalidate)
+        invalidateOthers(proc, block);
+    line(proc, block).data[addr - block] = value;
+    return cost;
+}
+
+LineState
+CoherentCacheSystem::stateOf(std::uint32_t proc, std::uint64_t addr) const
+{
+    const std::uint64_t block = blockOf(addr);
+    const Line *ln = findLine(proc, block);
+    return ln ? ln->state : LineState::Invalid;
+}
+
+Word
+CoherentCacheSystem::latest(std::uint64_t addr) const
+{
+    SIM_ASSERT(addr < architectural_.size());
+    return architectural_[addr];
+}
+
+} // namespace mem

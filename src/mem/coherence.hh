@@ -1,0 +1,127 @@
+/**
+ * @file
+ * CoherentCacheSystem: private per-processor caches over a shared bus
+ * and main memory — the machinery whose scaling cost the paper's Issue
+ * 1 discussion critiques.
+ *
+ * Censier & Feautrier's definition is modelled directly: "a memory
+ * scheme is coherent if the value returned on a LOAD instruction is
+ * always the value given by the latest STORE instruction with the same
+ * address". Three configurations are available:
+ *
+ *  - store-in (write-back) MSI with write-invalidate snooping: correct,
+ *    but every shared write costs a bus transaction that invalidates
+ *    all other cached copies;
+ *  - store-through with invalidation: correct, writes always cross the
+ *    bus;
+ *  - store-through *without* invalidation: the paper's counterexample —
+ *    "the individual processors can read and write the address and
+ *    never see any changes caused by the other processor". Reads may
+ *    return stale values; tests demonstrate exactly this.
+ *
+ * The model is immediate-mode: each access returns the cycles it costs,
+ * which the Issue-1/E2 benchmarks accumulate per processor.
+ */
+
+#ifndef TTDA_MEM_COHERENCE_HH
+#define TTDA_MEM_COHERENCE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/word.hh"
+
+namespace mem
+{
+
+/** MSI line state. */
+enum class LineState : std::uint8_t { Invalid, Shared, Modified };
+
+/** Snooping cache system with selectable write policy. */
+class CoherentCacheSystem
+{
+  public:
+    struct Config
+    {
+        std::uint32_t processors = 2;
+        std::size_t linesPerCache = 64; //!< direct-mapped
+        std::uint32_t wordsPerBlock = 4;
+        bool storeThrough = false; //!< write-through instead of write-back
+        bool invalidate = true;    //!< snoop-invalidate on writes
+        sim::Cycle hitLatency = 1;
+        sim::Cycle busLatency = 3;    //!< arbitration + transfer
+        sim::Cycle memoryLatency = 10;
+    };
+
+    struct Stats
+    {
+        sim::Counter readHits;
+        sim::Counter readMisses;
+        sim::Counter writeHits;
+        sim::Counter writeMisses;
+        sim::Counter invalidationsSent; //!< copies killed in other caches
+        sim::Counter busTransactions;
+        sim::Counter writebacks;
+        sim::Counter staleReads; //!< reads that returned a stale value
+    };
+
+    CoherentCacheSystem(Config cfg, std::size_t memory_words);
+
+    /** LOAD by processor `proc`; returns (cycles, value). */
+    struct ReadResult
+    {
+        sim::Cycle cycles = 0;
+        Word value = 0;
+    };
+    ReadResult read(std::uint32_t proc, std::uint64_t addr);
+
+    /** STORE by processor `proc`; returns the cycles consumed. */
+    sim::Cycle write(std::uint32_t proc, std::uint64_t addr, Word value);
+
+    /** Current state of the block containing addr in proc's cache. */
+    LineState stateOf(std::uint32_t proc, std::uint64_t addr) const;
+
+    /** The architecturally latest value (for staleness checks). */
+    Word latest(std::uint64_t addr) const;
+
+    const Stats &stats() const { return stats_; }
+    const Config &config() const { return cfg_; }
+
+  private:
+    struct Line
+    {
+        LineState state = LineState::Invalid;
+        std::uint64_t blockAddr = 0; //!< block-aligned word address
+        std::vector<Word> data;
+        bool valid() const { return state != LineState::Invalid; }
+    };
+
+    std::uint64_t blockOf(std::uint64_t addr) const;
+    std::size_t indexOf(std::uint64_t block) const;
+    Line &line(std::uint32_t proc, std::uint64_t block);
+    const Line *findLine(std::uint32_t proc, std::uint64_t block) const;
+
+    /** Write a dirty line back to memory. */
+    void writeback(Line &ln);
+
+    /** Invalidate every other cache's copy; returns copies killed. */
+    std::uint64_t invalidateOthers(std::uint32_t proc,
+                                   std::uint64_t block);
+
+    /** Fill proc's line for `block`, evicting as needed; returns the
+     *  bus/memory cycles consumed. */
+    sim::Cycle fill(std::uint32_t proc, std::uint64_t block,
+                    LineState new_state);
+
+    Config cfg_;
+    std::vector<Word> memory_;       //!< backing store
+    std::vector<Word> architectural_; //!< latest-store-wins oracle
+    std::vector<std::vector<Line>> caches_;
+    Stats stats_;
+};
+
+} // namespace mem
+
+#endif // TTDA_MEM_COHERENCE_HH

@@ -1,0 +1,227 @@
+#include "mem/directory.hh"
+
+#include "common/logging.hh"
+
+namespace mem
+{
+
+DirectoryCacheSystem::DirectoryCacheSystem(Config cfg,
+                                           std::size_t memory_words)
+    : cfg_(cfg), memory_(memory_words, 0),
+      architectural_(memory_words, 0)
+{
+    SIM_ASSERT(cfg.processors >= 1 && cfg.processors <= 64);
+    SIM_ASSERT(cfg.linesPerCache >= 1 && cfg.wordsPerBlock >= 1);
+    caches_.resize(cfg.processors);
+    for (auto &cache : caches_) {
+        cache.resize(cfg.linesPerCache);
+        for (auto &ln : cache)
+            ln.data.assign(cfg.wordsPerBlock, 0);
+    }
+    directory_.resize((memory_words + cfg.wordsPerBlock - 1) /
+                      cfg.wordsPerBlock);
+}
+
+std::uint64_t
+DirectoryCacheSystem::blockOf(std::uint64_t addr) const
+{
+    return addr / cfg_.wordsPerBlock * cfg_.wordsPerBlock;
+}
+
+std::size_t
+DirectoryCacheSystem::indexOf(std::uint64_t block) const
+{
+    return (block / cfg_.wordsPerBlock) % cfg_.linesPerCache;
+}
+
+DirectoryCacheSystem::Line &
+DirectoryCacheSystem::line(std::uint32_t proc, std::uint64_t block)
+{
+    return caches_[proc][indexOf(block)];
+}
+
+DirectoryCacheSystem::DirEntry &
+DirectoryCacheSystem::dir(std::uint64_t block)
+{
+    return directory_[block / cfg_.wordsPerBlock];
+}
+
+const DirectoryCacheSystem::DirEntry &
+DirectoryCacheSystem::dir(std::uint64_t block) const
+{
+    return directory_[block / cfg_.wordsPerBlock];
+}
+
+void
+DirectoryCacheSystem::writebackOwner(std::uint64_t block)
+{
+    DirEntry &entry = dir(block);
+    SIM_ASSERT(entry.dirty);
+    Line &owner_line = line(entry.owner, block);
+    SIM_ASSERT(owner_line.valid() && owner_line.blockAddr == block);
+    for (std::uint32_t w = 0; w < cfg_.wordsPerBlock; ++w)
+        memory_[block + w] = owner_line.data[w];
+    owner_line.state = LineState::Shared;
+    entry.dirty = false;
+    stats_.writebacks.inc();
+    stats_.messages.inc(2); // recall request + data response
+    stats_.remoteCacheProbes.inc();
+}
+
+sim::Cycle
+DirectoryCacheSystem::evictVictim(std::uint32_t proc,
+                                  std::uint64_t block)
+{
+    Line &ln = line(proc, block);
+    if (!ln.valid() || ln.blockAddr == block)
+        return 0;
+    sim::Cycle cost = 0;
+    DirEntry &victim = dir(ln.blockAddr);
+    if (ln.state == LineState::Modified) {
+        for (std::uint32_t w = 0; w < cfg_.wordsPerBlock; ++w)
+            memory_[ln.blockAddr + w] = ln.data[w];
+        stats_.writebacks.inc();
+        stats_.messages.inc();
+        cost += cfg_.networkLatency;
+        victim.dirty = false;
+    }
+    victim.presence &= ~(1ull << proc);
+    ln.state = LineState::Invalid;
+    return cost;
+}
+
+DirectoryCacheSystem::ReadResult
+DirectoryCacheSystem::read(std::uint32_t proc, std::uint64_t addr)
+{
+    SIM_ASSERT(proc < cfg_.processors && addr < memory_.size());
+    const std::uint64_t block = blockOf(addr);
+
+    ReadResult res;
+    Line &ln = line(proc, block);
+    if (ln.valid() && ln.blockAddr == block) {
+        stats_.readHits.inc();
+        res.cycles = cfg_.hitLatency;
+        res.value = ln.data[addr - block];
+        if (res.value != architectural_[addr])
+            stats_.staleReads.inc();
+        return res;
+    }
+
+    stats_.readMisses.inc();
+    sim::Cycle cost = cfg_.hitLatency + cfg_.networkLatency +
+                      cfg_.directoryLatency; // request to directory
+    stats_.messages.inc();
+    cost += evictVictim(proc, block);
+
+    DirEntry &entry = dir(block);
+    if (entry.dirty) {
+        writebackOwner(block);
+        cost += 2 * cfg_.networkLatency;
+    }
+    cost += cfg_.memoryLatency + cfg_.networkLatency; // data back
+    stats_.messages.inc();
+
+    entry.presence |= 1ull << proc;
+    Line &fill = line(proc, block);
+    fill.blockAddr = block;
+    fill.state = LineState::Shared;
+    for (std::uint32_t w = 0; w < cfg_.wordsPerBlock; ++w)
+        fill.data[w] = memory_[block + w];
+
+    res.cycles = cost;
+    res.value = fill.data[addr - block];
+    if (res.value != architectural_[addr])
+        stats_.staleReads.inc();
+    return res;
+}
+
+sim::Cycle
+DirectoryCacheSystem::write(std::uint32_t proc, std::uint64_t addr,
+                            Word value)
+{
+    SIM_ASSERT(proc < cfg_.processors && addr < memory_.size());
+    const std::uint64_t block = blockOf(addr);
+    architectural_[addr] = value;
+
+    Line &ln = line(proc, block);
+    const bool present = ln.valid() && ln.blockAddr == block;
+    DirEntry &entry = dir(block);
+
+    if (present && ln.state == LineState::Modified) {
+        stats_.writeHits.inc();
+        ln.data[addr - block] = value;
+        return cfg_.hitLatency;
+    }
+
+    sim::Cycle cost = cfg_.hitLatency + cfg_.networkLatency +
+                      cfg_.directoryLatency; // ownership request
+    stats_.messages.inc();
+    if (present)
+        stats_.writeHits.inc();
+    else
+        stats_.writeMisses.inc();
+    cost += evictVictim(proc, block);
+
+    if (entry.dirty && entry.owner != proc) {
+        writebackOwner(block);
+        cost += 2 * cfg_.networkLatency;
+    }
+
+    // Invalidate exactly the recorded sharers (point-to-point).
+    std::uint32_t killed = 0;
+    for (std::uint32_t p = 0; p < cfg_.processors; ++p) {
+        if (p == proc || !(entry.presence >> p & 1ull))
+            continue;
+        Line &remote = line(p, block);
+        if (remote.valid() && remote.blockAddr == block)
+            remote.state = LineState::Invalid;
+        entry.presence &= ~(1ull << p);
+        ++killed;
+    }
+    stats_.invalidationsSent.inc(killed);
+    stats_.messages.inc(killed); // one message per sharer, no broadcast
+    stats_.remoteCacheProbes.inc(killed);
+    if (killed > 0)
+        cost += cfg_.networkLatency; // invalidations overlap
+
+    if (!present) {
+        cost += cfg_.memoryLatency + cfg_.networkLatency;
+        stats_.messages.inc();
+        Line &fill = line(proc, block);
+        fill.blockAddr = block;
+        for (std::uint32_t w = 0; w < cfg_.wordsPerBlock; ++w)
+            fill.data[w] = memory_[block + w];
+    }
+    Line &mine = line(proc, block);
+    mine.state = LineState::Modified;
+    mine.data[addr - block] = value;
+    entry.presence = 1ull << proc;
+    entry.dirty = true;
+    entry.owner = proc;
+    return cost;
+}
+
+std::uint32_t
+DirectoryCacheSystem::sharers(std::uint64_t addr) const
+{
+    const auto &entry = dir(blockOf(addr));
+    std::uint32_t n = 0;
+    for (std::uint64_t bits = entry.presence; bits; bits >>= 1)
+        n += bits & 1ull;
+    return n;
+}
+
+bool
+DirectoryCacheSystem::dirty(std::uint64_t addr) const
+{
+    return dir(blockOf(addr)).dirty;
+}
+
+Word
+DirectoryCacheSystem::latest(std::uint64_t addr) const
+{
+    SIM_ASSERT(addr < architectural_.size());
+    return architectural_[addr];
+}
+
+} // namespace mem

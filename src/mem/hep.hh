@@ -1,0 +1,114 @@
+/**
+ * @file
+ * HepMemory: Denelcor-HEP-style full/empty-bit memory (paper footnote
+ * 2 in Section 2.1).
+ *
+ * Like I-structure storage, every cell carries a status bit; unlike it,
+ * "unsatisfiable requests result in a busy-waiting condition — i.e.,
+ * there is no such thing as a deferred read list". A synchronized read
+ * of an empty cell NACKs and the requester must retry; every retry is
+ * a fresh memory (and network) transaction. The nackedReads counter is
+ * exactly the extra traffic the paper's deferred lists eliminate.
+ *
+ * Operations:
+ *   readFull   — succeeds only when full; optionally empties the cell
+ *                (consuming read, HEP's producer/consumer idiom).
+ *   writeEmpty — succeeds only when empty; sets full.
+ *   read/write — ordinary unsynchronized accesses.
+ */
+
+#ifndef TTDA_MEM_HEP_HH
+#define TTDA_MEM_HEP_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/stats.hh"
+#include "mem/word.hh"
+
+namespace mem
+{
+
+/** Full/empty-bit memory with busy-wait (NACK) semantics. */
+class HepMemory
+{
+  public:
+    struct Stats
+    {
+        sim::Counter reads;
+        sim::Counter writes;
+        sim::Counter nackedReads;  //!< retries a real machine would issue
+        sim::Counter nackedWrites;
+    };
+
+    explicit HepMemory(std::size_t words)
+        : values_(words, 0), full_(words, false)
+    {
+    }
+
+    std::size_t size() const { return values_.size(); }
+
+    /**
+     * Synchronized read: value if the cell is full, nullopt (NACK)
+     * otherwise. @param consume also mark the cell empty on success.
+     */
+    std::optional<Word>
+    readFull(std::uint64_t addr, bool consume = false)
+    {
+        stats_.reads.inc();
+        if (!full_[addr]) {
+            stats_.nackedReads.inc();
+            return std::nullopt;
+        }
+        if (consume)
+            full_[addr] = false;
+        return values_[addr];
+    }
+
+    /** Synchronized write: succeeds only into an empty cell. */
+    bool
+    writeEmpty(std::uint64_t addr, Word value)
+    {
+        stats_.writes.inc();
+        if (full_[addr]) {
+            stats_.nackedWrites.inc();
+            return false;
+        }
+        values_[addr] = value;
+        full_[addr] = true;
+        return true;
+    }
+
+    /** Unsynchronized accessors. */
+    Word read(std::uint64_t addr) const { return values_[addr]; }
+
+    void
+    write(std::uint64_t addr, Word value)
+    {
+        values_[addr] = value;
+        full_[addr] = true;
+    }
+
+    bool isFull(std::uint64_t addr) const { return full_[addr]; }
+
+    void
+    clear(std::uint64_t addr, std::size_t n)
+    {
+        for (std::size_t i = 0; i < n; ++i) {
+            values_[addr + i] = 0;
+            full_[addr + i] = false;
+        }
+    }
+
+    const Stats &stats() const { return stats_; }
+
+  private:
+    std::vector<Word> values_;
+    std::vector<bool> full_;
+    Stats stats_;
+};
+
+} // namespace mem
+
+#endif // TTDA_MEM_HEP_HH

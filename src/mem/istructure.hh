@@ -1,0 +1,325 @@
+/**
+ * @file
+ * I-Structure Storage (paper Section 2.1, Figure 2-1).
+ *
+ * Each memory cell carries presence bits with three states:
+ *
+ *   Empty    — never written; a read must wait.
+ *   Deferred — unwritten, and one or more read requests are queued on
+ *              the cell's deferred-read list.
+ *   Present  — written; reads are satisfied immediately.
+ *
+ * A read of an Empty/Deferred cell is *put aside* on the deferred list
+ * (the paper's key difference from the HEP's busy-waiting full/empty
+ * bits). The matching write forwards the datum to every deferred reader
+ * as well as storing it. A second write to the same cell violates the
+ * single-assignment discipline and is reported, not silently applied.
+ *
+ * Two layers are provided:
+ *  - IStructure<Cont>:          the functional storage itself;
+ *  - IStructureController<Cont>: a cycle-timed controller in front of
+ *    it, with the paper's cost model (a read is as efficient as an
+ *    ordinary memory read; a write takes twice as long because the
+ *    presence bits are examined first).
+ *
+ * Cont is the requester continuation — for the TTDA it is the
+ * destination instruction's tag; tests use simple integers.
+ */
+
+#ifndef TTDA_MEM_ISTRUCTURE_HH
+#define TTDA_MEM_ISTRUCTURE_HH
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/word.hh"
+
+namespace mem
+{
+
+/** Presence-bit state of an I-structure cell. */
+enum class Presence : std::uint8_t { Empty, Deferred, Present };
+
+/** Statistics for one I-structure storage unit. */
+struct IStructureStats
+{
+    sim::Counter fetches;          //!< read requests received
+    sim::Counter fetchesDeferred;  //!< reads that had to wait
+    sim::Counter stores;           //!< write requests received
+    sim::Counter deferredServed;   //!< deferred reads satisfied by writes
+    sim::Counter multipleWrites;   //!< single-assignment violations
+    sim::Accumulator deferredListLen; //!< list length sampled at writes
+};
+
+/**
+ * The storage proper: presence-bit cells plus deferred-read lists.
+ */
+template <typename Cont, typename ValueT = Word>
+class IStructure
+{
+  public:
+    using ValueType = ValueT;
+
+    explicit IStructure(std::size_t words)
+        : cells_(words)
+    {
+    }
+
+    std::size_t size() const { return cells_.size(); }
+
+    /**
+     * Allocate `n` fresh (Empty) words; returns the base address.
+     * Allocation is a bump pointer — the paper's machine allocates
+     * structure storage up front per code block invocation.
+     */
+    std::uint64_t
+    allocate(std::size_t n)
+    {
+        const std::uint64_t base = allocPtr_;
+        if (allocPtr_ + n > cells_.size())
+            return ~std::uint64_t{0}; // out of storage; caller checks
+        allocPtr_ += n;
+        return base;
+    }
+
+    /** Remaining unallocated words. */
+    std::size_t freeWords() const { return cells_.size() - allocPtr_; }
+
+    /**
+     * Process a read request for `addr` on behalf of continuation `c`.
+     *
+     * @param out  receives (continuation, value) for satisfied reads
+     * @return true if satisfied now, false if deferred
+     */
+    bool
+    fetch(std::uint64_t addr, Cont c,
+          std::vector<std::pair<Cont, ValueT>> &out)
+    {
+        Cell &cell = at(addr);
+        stats_.fetches.inc();
+        if (cell.presence == Presence::Present) {
+            out.emplace_back(std::move(c), cell.value);
+            return true;
+        }
+        cell.presence = Presence::Deferred;
+        cell.deferred.push_back(std::move(c));
+        stats_.fetchesDeferred.inc();
+        return false;
+    }
+
+    /**
+     * Process a write of `value` to `addr`: store it, set the presence
+     * bits, and forward the datum to every deferred reader.
+     *
+     * @param out  receives (continuation, value) for each deferred read
+     * @return false if the cell was already written (single-assignment
+     *         violation; the store is ignored)
+     */
+    bool
+    store(std::uint64_t addr, ValueT value,
+          std::vector<std::pair<Cont, ValueT>> &out)
+    {
+        Cell &cell = at(addr);
+        stats_.stores.inc();
+        if (cell.presence == Presence::Present) {
+            stats_.multipleWrites.inc();
+            return false;
+        }
+        stats_.deferredListLen.sample(
+            static_cast<double>(cell.deferred.size()));
+        cell.value = value;
+        cell.presence = Presence::Present;
+        for (auto &c : cell.deferred) {
+            out.emplace_back(std::move(c), value);
+            stats_.deferredServed.inc();
+        }
+        cell.deferred.clear();
+        return true;
+    }
+
+    /** Presence state of a cell (for tests and controllers). */
+    Presence
+    presence(std::uint64_t addr) const
+    {
+        return at(addr).presence;
+    }
+
+    /** Value of a Present cell. */
+    ValueT
+    peek(std::uint64_t addr) const
+    {
+        const Cell &cell = at(addr);
+        return cell.value;
+    }
+
+    /** Reset a range back to Empty (storage reuse between runs). */
+    void
+    clear(std::uint64_t addr, std::size_t n)
+    {
+        for (std::size_t i = 0; i < n; ++i) {
+            Cell &cell = at(addr + i);
+            cell.presence = Presence::Empty;
+            cell.value = ValueT{};
+            cell.deferred.clear();
+        }
+    }
+
+    /** Number of reads currently parked on deferred lists. */
+    std::size_t
+    outstandingReads() const
+    {
+        std::size_t n = 0;
+        for (const auto &cell : cells_)
+            n += cell.deferred.size();
+        return n;
+    }
+
+    /** Local addresses that still have parked readers (diagnosis of
+     *  read-never-written deadlocks), capped at `limit` entries. */
+    std::vector<std::uint64_t>
+    deferredAddresses(std::size_t limit = 16) const
+    {
+        std::vector<std::uint64_t> out;
+        for (std::size_t a = 0; a < cells_.size() && out.size() < limit;
+             ++a)
+        {
+            if (!cells_[a].deferred.empty())
+                out.push_back(a);
+        }
+        return out;
+    }
+
+    const IStructureStats &stats() const { return stats_; }
+
+  private:
+    struct Cell
+    {
+        Presence presence = Presence::Empty;
+        ValueT value{};
+        std::vector<Cont> deferred;
+    };
+
+    Cell &
+    at(std::uint64_t addr)
+    {
+        SIM_ASSERT_MSG(addr < cells_.size(),
+                       "i-structure address {} beyond size {}", addr,
+                       cells_.size());
+        return cells_[addr];
+    }
+
+    const Cell &
+    at(std::uint64_t addr) const
+    {
+        SIM_ASSERT_MSG(addr < cells_.size(),
+                       "i-structure address {} beyond size {}", addr,
+                       cells_.size());
+        return cells_[addr];
+    }
+
+    std::vector<Cell> cells_;
+    std::uint64_t allocPtr_ = 0;
+    IStructureStats stats_;
+};
+
+/** A request presented to an I-structure controller. */
+template <typename Cont, typename ValueT = Word>
+struct IStructureRequest
+{
+    enum class Kind : std::uint8_t { Fetch, Store };
+
+    Kind kind = Kind::Fetch;
+    std::uint64_t addr = 0;
+    ValueT value{};  //!< stores only
+    Cont cont{};     //!< fetches only: where the datum must go
+};
+
+/**
+ * Cycle-timed controller in front of an IStructure.
+ *
+ * Service costs model the paper's analysis: a read occupies the
+ * controller for `readCost` cycles (default 1, "as efficient as in a
+ * traditional memory"), a write for `writeCost` cycles (default 2,
+ * "twice as long, due to the prefetching of presence bits").
+ */
+template <typename Cont, typename ValueT = Word>
+class IStructureController
+{
+  public:
+    using Request = IStructureRequest<Cont, ValueT>;
+
+    IStructureController(std::size_t words, sim::Cycle read_cost = 1,
+                         sim::Cycle write_cost = 2)
+        : storage_(words), readCost_(read_cost), writeCost_(write_cost)
+    {
+        SIM_ASSERT(read_cost >= 1 && write_cost >= 1);
+    }
+
+    IStructure<Cont, ValueT> &storage() { return storage_; }
+    const IStructure<Cont, ValueT> &storage() const { return storage_; }
+
+    void
+    request(Request req)
+    {
+        queue_.push_back(std::move(req));
+    }
+
+    /** Advance one cycle; satisfied reads appear via pollResponse(). */
+    void
+    step(sim::Cycle)
+    {
+        if (busy_ > 0) {
+            --busy_;
+            return;
+        }
+        if (queue_.empty())
+            return;
+        Request req = std::move(queue_.front());
+        queue_.pop_front();
+        std::vector<std::pair<Cont, ValueT>> out;
+        if (req.kind == Request::Kind::Fetch) {
+            storage_.fetch(req.addr, std::move(req.cont), out);
+            busy_ = readCost_ - 1;
+        } else {
+            storage_.store(req.addr, req.value, out);
+            busy_ = writeCost_ - 1;
+        }
+        for (auto &p : out)
+            responses_.push_back(std::move(p));
+    }
+
+    std::optional<std::pair<Cont, ValueT>>
+    pollResponse()
+    {
+        if (responses_.empty())
+            return std::nullopt;
+        auto r = std::move(responses_.front());
+        responses_.pop_front();
+        return r;
+    }
+
+    /** Idle means no queued work; deferred reads may still be parked
+     *  in the storage awaiting their writes. */
+    bool
+    idle() const
+    {
+        return busy_ == 0 && queue_.empty() && responses_.empty();
+    }
+
+  private:
+    IStructure<Cont, ValueT> storage_;
+    sim::Cycle readCost_;
+    sim::Cycle writeCost_;
+    sim::Cycle busy_ = 0;
+    std::deque<Request> queue_;
+    std::deque<std::pair<Cont, ValueT>> responses_;
+};
+
+} // namespace mem
+
+#endif // TTDA_MEM_ISTRUCTURE_HH

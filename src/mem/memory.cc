@@ -1,0 +1,103 @@
+#include "mem/memory.hh"
+
+#include "common/logging.hh"
+
+namespace mem
+{
+
+MemoryModule::MemoryModule(std::size_t words, sim::Cycle access_latency,
+                           std::uint32_t banks)
+    : cells_(words, 0), accessLatency_(access_latency), banks_(banks),
+      bankQueues_(banks)
+{
+    SIM_ASSERT(words > 0);
+    SIM_ASSERT(access_latency >= 1);
+    SIM_ASSERT(banks >= 1);
+}
+
+void
+MemoryModule::request(MemRequest req)
+{
+    SIM_ASSERT_MSG(req.addr < cells_.size(),
+                   "memory request to {} beyond size {}", req.addr,
+                   cells_.size());
+    bankQueues_[req.addr % banks_].push_back(Pending{req, now_});
+}
+
+void
+MemoryModule::step(sim::Cycle now)
+{
+    now_ = now + 1;
+
+    for (auto &q : bankQueues_) {
+        if (q.empty())
+            continue;
+        Pending p = std::move(q.front());
+        q.pop_front();
+        stats_.busyBankCycles.inc();
+        stats_.queueDelay.sample(static_cast<double>(now_ - p.enqueued));
+
+        MemResponse rsp;
+        rsp.kind = p.req.kind;
+        rsp.addr = p.req.addr;
+        rsp.cookie = p.req.cookie;
+        Word &cell = cells_[p.req.addr];
+        switch (p.req.kind) {
+          case MemRequest::Kind::Read:
+            stats_.reads.inc();
+            rsp.data = cell;
+            break;
+          case MemRequest::Kind::Write:
+            stats_.writes.inc();
+            cell = p.req.data;
+            rsp.data = p.req.data;
+            break;
+          case MemRequest::Kind::FetchAndAdd:
+            stats_.fetchAndAdds.inc();
+            rsp.data = cell;
+            cell = fromInt(toInt(cell) + toInt(p.req.data));
+            break;
+        }
+        inService_.emplace(now_ + accessLatency_ - 1, rsp);
+    }
+
+    while (!inService_.empty() && inService_.begin()->first <= now_) {
+        completed_.push_back(inService_.begin()->second);
+        inService_.erase(inService_.begin());
+    }
+}
+
+std::optional<MemResponse>
+MemoryModule::pollResponse()
+{
+    if (completed_.empty())
+        return std::nullopt;
+    MemResponse rsp = completed_.front();
+    completed_.pop_front();
+    return rsp;
+}
+
+bool
+MemoryModule::idle() const
+{
+    for (const auto &q : bankQueues_)
+        if (!q.empty())
+            return false;
+    return inService_.empty() && completed_.empty();
+}
+
+Word
+MemoryModule::peek(std::uint64_t addr) const
+{
+    SIM_ASSERT(addr < cells_.size());
+    return cells_[addr];
+}
+
+void
+MemoryModule::poke(std::uint64_t addr, Word value)
+{
+    SIM_ASSERT(addr < cells_.size());
+    cells_[addr] = value;
+}
+
+} // namespace mem

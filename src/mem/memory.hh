@@ -1,0 +1,107 @@
+/**
+ * @file
+ * MemoryModule: a conventional banked memory element (paper Figure 1-1).
+ *
+ * Each bank serves one request per cycle; a request completes
+ * `accessLatency` cycles after it is accepted by its bank. Requests
+ * carry an opaque 64-bit cookie the owner uses to match responses —
+ * responses can therefore be consumed out of order by a processor that
+ * tolerates it (Issue 1), or force stalls in one that does not.
+ */
+
+#ifndef TTDA_MEM_MEMORY_HH
+#define TTDA_MEM_MEMORY_HH
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/word.hh"
+
+namespace mem
+{
+
+/** A request presented to a memory module. */
+struct MemRequest
+{
+    enum class Kind : std::uint8_t { Read, Write, FetchAndAdd };
+
+    Kind kind = Kind::Read;
+    std::uint64_t addr = 0;
+    Word data = 0;           //!< write value / FAA increment
+    std::uint64_t cookie = 0; //!< opaque requester tag, echoed back
+};
+
+/** The completion of a MemRequest. */
+struct MemResponse
+{
+    MemRequest::Kind kind = MemRequest::Kind::Read;
+    std::uint64_t addr = 0;
+    Word data = 0;            //!< read value / FAA old value
+    std::uint64_t cookie = 0;
+};
+
+/** Banked, fixed-latency random access memory. */
+class MemoryModule
+{
+  public:
+    struct Stats
+    {
+        sim::Counter reads;
+        sim::Counter writes;
+        sim::Counter fetchAndAdds;
+        sim::Counter busyBankCycles;
+        sim::Accumulator queueDelay; //!< cycles spent waiting for a bank
+    };
+
+    /**
+     * @param words           addressable size
+     * @param access_latency  cycles from bank acceptance to response
+     * @param banks           independent banks (addr % banks selects)
+     */
+    MemoryModule(std::size_t words, sim::Cycle access_latency = 1,
+                 std::uint32_t banks = 1);
+
+    std::size_t size() const { return cells_.size(); }
+
+    /** Enqueue a request; it is serviced in FIFO order per bank. */
+    void request(MemRequest req);
+
+    /** Advance one cycle. */
+    void step(sim::Cycle now);
+
+    /** Pop one completed response, if any. */
+    std::optional<MemResponse> pollResponse();
+
+    bool idle() const;
+
+    /** Debug/workload access without timing. */
+    Word peek(std::uint64_t addr) const;
+    void poke(std::uint64_t addr, Word value);
+
+    const Stats &stats() const { return stats_; }
+
+  private:
+    struct Pending
+    {
+        MemRequest req;
+        sim::Cycle enqueued = 0;
+    };
+
+    std::vector<Word> cells_;
+    sim::Cycle accessLatency_;
+    std::uint32_t banks_;
+    sim::Cycle now_ = 0;
+    std::vector<std::deque<Pending>> bankQueues_;
+    std::multimap<sim::Cycle, MemResponse> inService_;
+    std::deque<MemResponse> completed_;
+    Stats stats_;
+};
+
+} // namespace mem
+
+#endif // TTDA_MEM_MEMORY_HH

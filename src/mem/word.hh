@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Machine word type for the memory subsystems.
+ *
+ * Memory modules store raw 64-bit words; processors give them meaning.
+ * Helpers bit-cast between words and doubles/signed integers so both
+ * the von Neumann cores and the dataflow machine can store either.
+ */
+
+#ifndef TTDA_MEM_WORD_HH
+#define TTDA_MEM_WORD_HH
+
+#include <bit>
+#include <cstdint>
+
+namespace mem
+{
+
+/** Raw 64-bit memory word. */
+using Word = std::uint64_t;
+
+inline Word fromDouble(double d) { return std::bit_cast<Word>(d); }
+inline double toDouble(Word w) { return std::bit_cast<double>(w); }
+inline Word fromInt(std::int64_t v) { return static_cast<Word>(v); }
+inline std::int64_t toInt(Word w) { return static_cast<std::int64_t>(w); }
+
+} // namespace mem
+
+#endif // TTDA_MEM_WORD_HH

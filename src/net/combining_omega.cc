@@ -1,0 +1,251 @@
+#include "net/combining_omega.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "net/omega.hh" // detail::isPow2 / detail::log2 / shuffle
+
+namespace net
+{
+
+CombiningOmega::CombiningOmega(sim::NodeId ports, bool combining)
+    : ports_(ports), stages_(detail::log2(ports)), combining_(combining)
+{
+    SIM_ASSERT_MSG(detail::isPow2(ports) && ports >= 2,
+                   "combining omega needs a power-of-two port count, "
+                   "got {}", ports);
+    stageQueues_.assign(stages_,
+                        std::vector<std::deque<Request>>(ports_));
+    rr_.assign(stages_, std::vector<std::uint8_t>(ports_ / 2, 0));
+    memQueues_.resize(ports_);
+    results_.resize(ports_);
+}
+
+sim::NodeId
+CombiningOmega::memoryPortOf(std::uint64_t address) const
+{
+    return static_cast<sim::NodeId>(address % ports_);
+}
+
+std::uint32_t
+CombiningOmega::routeBit(std::uint64_t address, std::uint32_t stage) const
+{
+    return (memoryPortOf(address) >> (stages_ - 1 - stage)) & 1u;
+}
+
+std::uint32_t
+CombiningOmega::inputLine(std::uint32_t sw, std::uint32_t half) const
+{
+    const std::uint32_t post = 2 * sw + half;
+    const std::uint32_t mask = (1u << stages_) - 1;
+    return ((post >> 1) | (post << (stages_ - 1))) & mask;
+}
+
+void
+CombiningOmega::issueFaa(sim::NodeId proc, std::uint64_t address,
+                         std::int64_t increment)
+{
+    SIM_ASSERT(proc < ports_);
+    Request req;
+    req.id = nextId_++;
+    req.proc = proc;
+    req.address = address;
+    req.increment = increment;
+    req.issued = now_;
+    req.stage = 0;
+    req.line = proc;
+    stageQueues_[0][proc].push_back(std::move(req));
+    stats_.requests.inc();
+}
+
+void
+CombiningOmega::advance(Request req, std::uint32_t out_line)
+{
+    const std::uint32_t next_stage = req.stage + 1;
+    if (next_stage == stages_) {
+        memQueues_[out_line].push_back(std::move(req));
+    } else {
+        req.stage = next_stage;
+        req.line = out_line;
+        stageQueues_[next_stage][out_line].push_back(std::move(req));
+    }
+}
+
+void
+CombiningOmega::serveStage(std::uint32_t s)
+{
+    auto &lines = stageQueues_[s];
+    for (std::uint32_t sw = 0; sw < ports_ / 2; ++sw) {
+        const std::uint32_t in0 = inputLine(sw, 0);
+        const std::uint32_t in1 = inputLine(sw, 1);
+        for (std::uint32_t bit = 0; bit < 2; ++bit) {
+            auto wants = [&](std::uint32_t line) {
+                return !lines[line].empty() &&
+                       routeBit(lines[line].front().address, s) == bit;
+            };
+            const bool w0 = wants(in0);
+            const bool w1 = wants(in1);
+            if (!w0 && !w1)
+                continue;
+            const std::uint32_t out = 2 * sw + bit;
+            if (w0 && w1 && combining_ &&
+                lines[in0].front().address == lines[in1].front().address)
+            {
+                // Combine: forward FETCH-AND-ADD(A, x + y), hold x.
+                Request a = std::move(lines[in0].front());
+                Request b = std::move(lines[in1].front());
+                lines[in0].pop_front();
+                lines[in1].pop_front();
+                Request parent;
+                parent.id = nextId_++;
+                parent.proc = sim::invalidNode;
+                parent.address = a.address;
+                parent.increment = a.increment + b.increment;
+                parent.issued = std::min(a.issued, b.issued);
+                parent.stage = s;
+                parent.bornStage = s;
+                parent.depth = std::max(a.depth, b.depth) + 1;
+                waitBuffer_.emplace(parent.id,
+                                    WaitEntry{std::move(a), std::move(b)});
+                stats_.combines.inc();
+                stats_.switchAdds.inc();
+                advance(std::move(parent), out);
+                continue;
+            }
+            std::uint32_t pick;
+            if (w0 && w1) {
+                pick = rr_[s][sw] ? in1 : in0;
+                rr_[s][sw] ^= 1;
+            } else {
+                pick = w0 ? in0 : in1;
+            }
+            Request req = std::move(lines[pick].front());
+            lines[pick].pop_front();
+            advance(std::move(req), out);
+        }
+    }
+}
+
+void
+CombiningOmega::deliver(Response rsp)
+{
+    SIM_ASSERT(rsp.proc < ports_);
+    FaaResult res;
+    res.address = rsp.address;
+    res.oldValue = rsp.value;
+    res.issued = rsp.issued;
+    res.completed = now_;
+    stats_.completed.inc();
+    stats_.latency.sample(static_cast<double>(now_ - rsp.issued));
+    results_[rsp.proc].push_back(res);
+}
+
+void
+CombiningOmega::step()
+{
+    now_ += 1;
+
+    // Forward path: serve the deepest stage first so each request moves
+    // through at most one switch per cycle.
+    for (std::uint32_t s = stages_; s-- > 0;)
+        serveStage(s);
+
+    // Memory modules: one FETCH-AND-ADD per port per cycle.
+    for (sim::NodeId port = 0; port < ports_; ++port) {
+        auto &q = memQueues_[port];
+        if (q.empty())
+            continue;
+        Request req = std::move(q.front());
+        q.pop_front();
+        stats_.memoryCycles.inc();
+        stats_.combineDepth.sample(static_cast<double>(req.depth));
+        std::int64_t &cell = memory_[req.address];
+        const std::int64_t old = cell;
+        cell += req.increment;
+        Response rsp;
+        rsp.id = req.id;
+        rsp.proc = req.proc;
+        rsp.address = req.address;
+        rsp.value = old;
+        rsp.issued = req.issued;
+        rsp.stagesLeft = stages_ - req.bornStage;
+        rsp.bornStage = req.bornStage;
+        responses_.push_back(std::move(rsp));
+    }
+
+    // Return path: one switch hop per cycle; a response reaching the
+    // switch where its request was formed by combining splits back into
+    // the two original requests' responses.
+    std::vector<Response> next;
+    next.reserve(responses_.size());
+    for (auto &rsp : responses_) {
+        if (rsp.stagesLeft > 0) {
+            rsp.stagesLeft -= 1;
+            next.push_back(std::move(rsp));
+            continue;
+        }
+        auto it = waitBuffer_.find(rsp.id);
+        if (it == waitBuffer_.end()) {
+            deliver(std::move(rsp));
+            continue;
+        }
+        // The split happens at the switch where the combined packet was
+        // formed: stage rsp.bornStage. Each child still has the hops it
+        // made before the combine to retrace.
+        const WaitEntry &entry = it->second;
+        Response a;
+        a.id = entry.first.id;
+        a.proc = entry.first.proc;
+        a.address = rsp.address;
+        a.value = rsp.value;
+        a.issued = entry.first.issued;
+        a.stagesLeft = rsp.bornStage - entry.first.bornStage;
+        a.bornStage = entry.first.bornStage;
+        Response b = a;
+        b.id = entry.second.id;
+        b.proc = entry.second.proc;
+        b.value = rsp.value + entry.first.increment;
+        b.issued = entry.second.issued;
+        b.stagesLeft = rsp.bornStage - entry.second.bornStage;
+        b.bornStage = entry.second.bornStage;
+        stats_.switchAdds.inc();
+        waitBuffer_.erase(it);
+        next.push_back(std::move(a));
+        next.push_back(std::move(b));
+    }
+    responses_ = std::move(next);
+}
+
+std::optional<FaaResult>
+CombiningOmega::pollResult(sim::NodeId proc)
+{
+    SIM_ASSERT(proc < ports_);
+    auto &q = results_[proc];
+    if (q.empty())
+        return std::nullopt;
+    FaaResult res = q.front();
+    q.pop_front();
+    return res;
+}
+
+bool
+CombiningOmega::idle() const
+{
+    for (const auto &stage : stageQueues_)
+        for (const auto &q : stage)
+            if (!q.empty())
+                return false;
+    for (const auto &q : memQueues_)
+        if (!q.empty())
+            return false;
+    return responses_.empty();
+}
+
+std::int64_t
+CombiningOmega::peekMemory(std::uint64_t address) const
+{
+    auto it = memory_.find(address);
+    return it == memory_.end() ? 0 : it->second;
+}
+
+} // namespace net

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * CombiningOmega: the NYU Ultracomputer's FETCH-AND-ADD combining
+ * network (paper Section 1.2.3), modelled as a closed system of
+ * processors, an omega network whose 2x2 switches combine colliding
+ * FETCH-AND-ADD packets, and n single-port memory modules.
+ *
+ * Semantics follow the paper's description exactly: when two packets
+ * FETCH-AND-ADD(A, x) and FETCH-AND-ADD(A, y) collide at a switch, the
+ * switch forwards FETCH-AND-ADD(A, x + y), temporarily storing x. When
+ * the memory returns the old value (A), the switch returns the two
+ * values (A) and (A) + x. One memory reference may therefore trigger up
+ * to log2(n) switch additions — the hardware-complexity cost the paper
+ * calls "substantial".
+ *
+ * Modelling notes: the forward path models full per-switch-output
+ * contention (one packet per output per cycle); the return path is
+ * modelled as a contention-free one-stage-per-cycle pipeline, which is
+ * conservative in favour of the *non*-combining configuration (it never
+ * penalizes it), so the measured combining advantage is a lower bound.
+ */
+
+#ifndef TTDA_NET_COMBINING_OMEGA_HH
+#define TTDA_NET_COMBINING_OMEGA_HH
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace net
+{
+
+/** A completed FETCH-AND-ADD: the old value read from memory. */
+struct FaaResult
+{
+    std::uint64_t address = 0;
+    std::int64_t oldValue = 0;
+    sim::Cycle issued = 0;    //!< cycle the request entered the network
+    sim::Cycle completed = 0; //!< cycle the response reached the CPU
+};
+
+/**
+ * Closed-system model of an n-processor, n-memory omega network with
+ * optional FETCH-AND-ADD combining in the switches.
+ */
+class CombiningOmega
+{
+  public:
+    struct Stats
+    {
+        sim::Counter requests;      //!< FETCH-AND-ADDs issued
+        sim::Counter completed;     //!< responses delivered
+        sim::Counter combines;      //!< switch-level merges
+        sim::Counter switchAdds;    //!< additions performed in switches
+        sim::Counter memoryCycles;  //!< cycles any memory port was busy
+        sim::Accumulator latency;   //!< request round-trip cycles
+        //! Combining-tree depth of each request reaching memory; the
+        //! max is the paper's "as many as log2 n additions".
+        sim::Accumulator combineDepth;
+    };
+
+    /**
+     * @param ports      processor (and memory) count; power of two >= 2
+     * @param combining  enable switch-level combining
+     */
+    CombiningOmega(sim::NodeId ports, bool combining);
+
+    sim::NodeId numPorts() const { return ports_; }
+    std::uint32_t numStages() const { return stages_; }
+    bool combiningEnabled() const { return combining_; }
+
+    /** Issue FETCH-AND-ADD(address, increment) from processor `proc`. */
+    void issueFaa(sim::NodeId proc, std::uint64_t address,
+                  std::int64_t increment);
+
+    /** Advance the whole system (network + memories) one cycle. */
+    void step();
+
+    /** Pop one completed FETCH-AND-ADD result for processor `proc`. */
+    std::optional<FaaResult> pollResult(sim::NodeId proc);
+
+    /** True when no request or response is anywhere in the system. */
+    bool idle() const;
+
+    /** Direct read of a memory word (for checking final sums). */
+    std::int64_t peekMemory(std::uint64_t address) const;
+
+    sim::Cycle now() const { return now_; }
+    const Stats &stats() const { return stats_; }
+
+  private:
+    struct Request
+    {
+        std::uint64_t id = 0;
+        sim::NodeId proc = sim::invalidNode; //!< originating processor
+        std::uint64_t address = 0;
+        std::int64_t increment = 0;
+        sim::Cycle issued = 0;
+        std::uint32_t stage = 0; //!< stage whose input it waits at
+        std::uint32_t line = 0;  //!< pre-shuffle line at that stage
+        //! Stage at which this request entered the network as an
+        //! independent packet: 0 for CPU-issued requests, s for a
+        //! combined packet formed at a stage-s switch.
+        std::uint32_t bornStage = 0;
+        //! Height of the combining tree folded into this packet.
+        std::uint32_t depth = 0;
+    };
+
+    /** A switch's record of a combine, awaiting the memory response. */
+    struct WaitEntry
+    {
+        Request first;  //!< receives the raw old value
+        Request second; //!< receives old value + first.increment
+    };
+
+    struct Response
+    {
+        std::uint64_t id = 0;
+        sim::NodeId proc = sim::invalidNode;
+        std::uint64_t address = 0;
+        std::int64_t value = 0;
+        sim::Cycle issued = 0;
+        std::uint32_t stagesLeft = 0; //!< switch hops before resolution
+        std::uint32_t bornStage = 0;  //!< bornStage of the request
+    };
+
+    sim::NodeId memoryPortOf(std::uint64_t address) const;
+    std::uint32_t routeBit(std::uint64_t address,
+                           std::uint32_t stage) const;
+    std::uint32_t inputLine(std::uint32_t sw, std::uint32_t half) const;
+    void serveStage(std::uint32_t s);
+    void advance(Request req, std::uint32_t out_line);
+    void deliver(Response rsp);
+
+    sim::NodeId ports_;
+    std::uint32_t stages_;
+    bool combining_;
+    sim::Cycle now_ = 0;
+    std::uint64_t nextId_ = 1;
+
+    // stageQueues_[s][line]: requests queued at the input of stage s.
+    std::vector<std::vector<std::deque<Request>>> stageQueues_;
+    std::vector<std::vector<std::uint8_t>> rr_;
+    // Per-memory-port input queue (one service per cycle).
+    std::vector<std::deque<Request>> memQueues_;
+    // Wait buffers: request id -> combine record.
+    std::unordered_map<std::uint64_t, WaitEntry> waitBuffer_;
+    // Responses in flight (contention-free pipeline back to the CPUs).
+    std::vector<Response> responses_;
+    std::vector<std::deque<FaaResult>> results_;
+    std::unordered_map<std::uint64_t, std::int64_t> memory_;
+    Stats stats_;
+};
+
+} // namespace net
+
+#endif // TTDA_NET_COMBINING_OMEGA_HH

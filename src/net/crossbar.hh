@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Crossbar: the C.mmp-style n x n switch (paper Section 1.2.1).
+ *
+ * Every source has a private queue; each cycle, each *output* port
+ * accepts at most one packet (round-robin arbitration among contending
+ * sources), and delivers it after a fixed switch latency. The model also
+ * reports the crosspoint count — the paper's observation that crossbar
+ * cost "grows at least quadratically" — for experiment E11.
+ */
+
+#ifndef TTDA_NET_CROSSBAR_HH
+#define TTDA_NET_CROSSBAR_HH
+
+#include <deque>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hh"
+#include "net/network.hh"
+
+namespace net
+{
+
+/** n x n crossbar with per-output arbitration. */
+template <typename Payload>
+class Crossbar : public Network<Payload>
+{
+  public:
+    /**
+     * @param ports    number of input/output ports
+     * @param latency  switch transit latency once a packet wins
+     *                 arbitration (>= 1)
+     */
+    Crossbar(sim::NodeId ports, sim::Cycle latency = 1)
+        : ports_(ports), latency_(latency), inputQueues_(ports),
+          rrPointer_(ports, 0), arrivals_(ports)
+    {
+        SIM_ASSERT(ports > 0);
+        SIM_ASSERT(latency >= 1);
+    }
+
+    sim::NodeId numPorts() const override { return ports_; }
+
+    /** Crosspoint count: the quadratically growing hardware cost. */
+    std::uint64_t
+    crosspoints() const
+    {
+        return static_cast<std::uint64_t>(ports_) * ports_;
+    }
+
+    void
+    send(sim::NodeId src, sim::NodeId dst, Payload payload) override
+    {
+        SIM_ASSERT(src < ports_ && dst < ports_);
+        Packet<Payload> pkt;
+        pkt.src = src;
+        pkt.dst = dst;
+        pkt.issued = now_;
+        pkt.payload = std::move(payload);
+        inputQueues_[src].push_back(std::move(pkt));
+        this->stats_.sent.inc();
+    }
+
+    void
+    step(sim::Cycle now) override
+    {
+        now_ = now + 1;
+
+        // Arbitrate: each output accepts one packet this cycle. We scan
+        // inputs starting from a per-output round-robin pointer so a hot
+        // output is shared fairly.
+        std::vector<bool> output_granted(ports_, false);
+        for (sim::NodeId out = 0; out < ports_; ++out) {
+            for (sim::NodeId k = 0; k < ports_; ++k) {
+                const sim::NodeId in = (rrPointer_[out] + k) % ports_;
+                auto &q = inputQueues_[in];
+                if (q.empty() || q.front().dst != out)
+                    continue;
+                Packet<Payload> pkt = std::move(q.front());
+                q.pop_front();
+                pkt.hops = 1;
+                inFlight_.emplace(now_ + latency_ - 1, std::move(pkt));
+                output_granted[out] = true;
+                rrPointer_[out] = (in + 1) % ports_;
+                break;
+            }
+        }
+
+        // Packets still queued are blocked (head-of-line or lost
+        // arbitration): account the contention.
+        for (const auto &q : inputQueues_)
+            this->stats_.blockedCycles.inc(q.size());
+
+        while (!inFlight_.empty() && inFlight_.begin()->first <= now_) {
+            auto node = inFlight_.extract(inFlight_.begin());
+            arrivals_.push(node.mapped().dst, std::move(node.mapped()));
+        }
+    }
+
+    std::optional<Payload>
+    receive(sim::NodeId dst) override
+    {
+        auto pkt = arrivals_.pop(dst);
+        if (!pkt)
+            return std::nullopt;
+        this->stats_.delivered.inc();
+        this->stats_.latency.sample(
+            static_cast<double>(now_ - pkt->issued));
+        this->stats_.hops.sample(static_cast<double>(pkt->hops));
+        return std::move(pkt->payload);
+    }
+
+    bool
+    idle() const override
+    {
+        for (const auto &q : inputQueues_)
+            if (!q.empty())
+                return false;
+        return inFlight_.empty() && arrivals_.empty();
+    }
+
+  private:
+    sim::NodeId ports_;
+    sim::Cycle latency_;
+    sim::Cycle now_ = 0;
+    std::vector<std::deque<Packet<Payload>>> inputQueues_;
+    std::vector<sim::NodeId> rrPointer_;
+    std::multimap<sim::Cycle, Packet<Payload>> inFlight_;
+    detail::ArrivalQueues<Payload> arrivals_;
+};
+
+} // namespace net
+
+#endif // TTDA_NET_CROSSBAR_HH

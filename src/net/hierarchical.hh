@@ -1,0 +1,189 @@
+/**
+ * @file
+ * HierarchicalNet: the Cm*-style two-level cluster interconnect
+ * (paper Section 1.2.2).
+ *
+ * Nodes are grouped into clusters. Each cluster owns a local bus (the
+ * "Map bus") serving one packet per cycle; clusters are joined by one
+ * shared intercluster bus (the Kmap fabric), also one packet per cycle.
+ *
+ *  - intra-cluster packet:  src -> cluster bus -> dst
+ *  - inter-cluster packet:  src -> cluster bus -> intercluster bus ->
+ *                           destination cluster bus -> dst
+ *
+ * Greater interprocessor distance therefore translates directly into
+ * longer reference times — the property the paper says capped Cm*'s
+ * useful processor count.
+ */
+
+#ifndef TTDA_NET_HIERARCHICAL_HH
+#define TTDA_NET_HIERARCHICAL_HH
+
+#include <deque>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hh"
+#include "net/network.hh"
+
+namespace net
+{
+
+/** Two-level cluster network: local buses plus one intercluster bus. */
+template <typename Payload>
+class HierarchicalNet : public Network<Payload>
+{
+  public:
+    /**
+     * @param ports         total number of nodes
+     * @param cluster_size  nodes per cluster (ports must divide evenly)
+     * @param local_latency   transit cycles across a cluster bus (>= 1)
+     * @param global_latency  transit cycles across the intercluster
+     *                        bus (>= 1); Cm* remote references were
+     *                        several times slower than local ones
+     */
+    HierarchicalNet(sim::NodeId ports, sim::NodeId cluster_size,
+                    sim::Cycle local_latency = 2,
+                    sim::Cycle global_latency = 8)
+        : ports_(ports), clusterSize_(cluster_size),
+          localLatency_(local_latency), globalLatency_(global_latency),
+          clusterQueues_(ports / cluster_size), arrivals_(ports)
+    {
+        SIM_ASSERT(ports > 0 && cluster_size > 0);
+        SIM_ASSERT_MSG(ports % cluster_size == 0,
+                       "ports {} not a multiple of cluster size {}",
+                       ports, cluster_size);
+        SIM_ASSERT(local_latency >= 1 && global_latency >= 1);
+    }
+
+    sim::NodeId numPorts() const override { return ports_; }
+    sim::NodeId numClusters() const { return ports_ / clusterSize_; }
+    sim::NodeId clusterOf(sim::NodeId node) const
+    {
+        return node / clusterSize_;
+    }
+
+    void
+    send(sim::NodeId src, sim::NodeId dst, Payload payload) override
+    {
+        SIM_ASSERT(src < ports_ && dst < ports_);
+        Transit t;
+        t.pkt.src = src;
+        t.pkt.dst = dst;
+        t.pkt.issued = now_;
+        t.pkt.payload = std::move(payload);
+        t.leg = Leg::SourceBus;
+        clusterQueues_[clusterOf(src)].push_back(std::move(t));
+        this->stats_.sent.inc();
+    }
+
+    void
+    step(sim::Cycle now) override
+    {
+        now_ = now + 1;
+
+        // Each cluster bus serves one packet per cycle.
+        for (auto &q : clusterQueues_) {
+            if (q.empty()) {
+                continue;
+            }
+            Transit t = std::move(q.front());
+            q.pop_front();
+            t.pkt.hops += 1;
+            t.readyAt = now_ + localLatency_ - 1;
+            busTransit_.emplace(t.readyAt, std::move(t));
+            this->stats_.blockedCycles.inc(q.size());
+        }
+
+        // The intercluster bus serves one packet per cycle.
+        if (!globalQueue_.empty()) {
+            Transit t = std::move(globalQueue_.front());
+            globalQueue_.pop_front();
+            t.pkt.hops += 1;
+            t.leg = Leg::DestBus;
+            t.readyAt = now_ + globalLatency_ - 1;
+            busTransit_.emplace(t.readyAt, std::move(t));
+            this->stats_.blockedCycles.inc(globalQueue_.size());
+        }
+
+        // Retire bus traversals that complete this cycle.
+        while (!busTransit_.empty() && busTransit_.begin()->first <= now_) {
+            auto node = busTransit_.extract(busTransit_.begin());
+            Transit &t = node.mapped();
+            switch (t.leg) {
+              case Leg::SourceBus:
+                if (clusterOf(t.pkt.src) == clusterOf(t.pkt.dst)) {
+                    arrivals_.push(t.pkt.dst, std::move(t.pkt));
+                } else {
+                    t.leg = Leg::GlobalBus;
+                    globalQueue_.push_back(std::move(t));
+                }
+                break;
+              case Leg::GlobalBus:
+                // Set in the service loop above; not reachable here.
+                sim::panic("hierarchical net: packet completed a bus "
+                           "traversal while still marked GlobalBus");
+              case Leg::DestBus:
+                // Completed the intercluster hop: needs the destination
+                // cluster bus next, then arrives.
+                if (t.enteredDestBus) {
+                    arrivals_.push(t.pkt.dst, std::move(t.pkt));
+                } else {
+                    t.enteredDestBus = true;
+                    clusterQueues_[clusterOf(t.pkt.dst)]
+                        .push_back(std::move(t));
+                }
+                break;
+            }
+        }
+    }
+
+    std::optional<Payload>
+    receive(sim::NodeId dst) override
+    {
+        auto pkt = arrivals_.pop(dst);
+        if (!pkt)
+            return std::nullopt;
+        this->stats_.delivered.inc();
+        this->stats_.latency.sample(
+            static_cast<double>(now_ - pkt->issued));
+        this->stats_.hops.sample(static_cast<double>(pkt->hops));
+        return std::move(pkt->payload);
+    }
+
+    bool
+    idle() const override
+    {
+        for (const auto &q : clusterQueues_)
+            if (!q.empty())
+                return false;
+        return globalQueue_.empty() && busTransit_.empty() &&
+               arrivals_.empty();
+    }
+
+  private:
+    enum class Leg { SourceBus, GlobalBus, DestBus };
+
+    struct Transit
+    {
+        Packet<Payload> pkt;
+        Leg leg = Leg::SourceBus;
+        bool enteredDestBus = false;
+        sim::Cycle readyAt = 0;
+    };
+
+    sim::NodeId ports_;
+    sim::NodeId clusterSize_;
+    sim::Cycle localLatency_;
+    sim::Cycle globalLatency_;
+    sim::Cycle now_ = 0;
+    std::vector<std::deque<Transit>> clusterQueues_;
+    std::deque<Transit> globalQueue_;
+    std::multimap<sim::Cycle, Transit> busTransit_;
+    detail::ArrivalQueues<Payload> arrivals_;
+};
+
+} // namespace net
+
+#endif // TTDA_NET_HIERARCHICAL_HH

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * IdealNetwork: constant-latency, contention-free interconnect.
+ *
+ * The control case for every experiment: infinite bandwidth inside the
+ * fabric (arrival queues still drain one packet per port per cycle),
+ * fixed or uniformly jittered latency. With jitter enabled, responses
+ * arrive out of order — the property the paper says a scalable processor
+ * must tolerate (Issue 1).
+ */
+
+#ifndef TTDA_NET_IDEAL_HH
+#define TTDA_NET_IDEAL_HH
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "net/network.hh"
+
+namespace net
+{
+
+/** Constant-latency (optionally jittered) contention-free network. */
+template <typename Payload>
+class IdealNetwork : public Network<Payload>
+{
+  public:
+    /**
+     * @param ports       number of attached nodes
+     * @param latency     fixed transit latency in cycles (>= 1)
+     * @param jitter      extra uniform random delay in [0, jitter]
+     * @param seed        RNG seed for the jitter stream
+     */
+    IdealNetwork(sim::NodeId ports, sim::Cycle latency,
+                 sim::Cycle jitter = 0, std::uint64_t seed = 1)
+        : ports_(ports), latency_(latency), jitter_(jitter), rng_(seed),
+          arrivals_(ports)
+    {
+        SIM_ASSERT(ports > 0);
+        SIM_ASSERT(latency >= 1);
+    }
+
+    sim::NodeId numPorts() const override { return ports_; }
+
+    void
+    send(sim::NodeId src, sim::NodeId dst, Payload payload) override
+    {
+        SIM_ASSERT(src < ports_ && dst < ports_);
+        Packet<Payload> pkt;
+        pkt.src = src;
+        pkt.dst = dst;
+        pkt.issued = now_;
+        pkt.payload = std::move(payload);
+        const sim::Cycle delay =
+            latency_ + (jitter_ ? rng_.delay(0, jitter_) : 0);
+        inFlight_.emplace(now_ + delay, std::move(pkt));
+        this->stats_.sent.inc();
+    }
+
+    void
+    step(sim::Cycle now) override
+    {
+        now_ = now + 1;
+        while (!inFlight_.empty() && inFlight_.begin()->first <= now_) {
+            auto node = inFlight_.extract(inFlight_.begin());
+            Packet<Payload> &pkt = node.mapped();
+            pkt.hops = 1;
+            arrivals_.push(pkt.dst, std::move(pkt));
+        }
+    }
+
+    std::optional<Payload>
+    receive(sim::NodeId dst) override
+    {
+        auto pkt = arrivals_.pop(dst);
+        if (!pkt)
+            return std::nullopt;
+        this->stats_.delivered.inc();
+        this->stats_.latency.sample(
+            static_cast<double>(now_ - pkt->issued));
+        this->stats_.hops.sample(1.0);
+        return std::move(pkt->payload);
+    }
+
+    bool
+    idle() const override
+    {
+        return inFlight_.empty() && arrivals_.empty();
+    }
+
+  private:
+    sim::NodeId ports_;
+    sim::Cycle latency_;
+    sim::Cycle jitter_;
+    sim::Rng rng_;
+    sim::Cycle now_ = 0;
+    std::multimap<sim::Cycle, Packet<Payload>> inFlight_;
+    detail::ArrivalQueues<Payload> arrivals_;
+};
+
+} // namespace net
+
+#endif // TTDA_NET_IDEAL_HH

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Abstract interconnection network interface (the "communication
+ * elements" of the paper's Figure 1-1).
+ *
+ * All topologies are cycle-stepped and model two properties the paper's
+ * argument rests on:
+ *
+ *  - bounded port bandwidth: at most one packet is injected per source
+ *    port per cycle, and at most one packet is delivered per destination
+ *    port per cycle (receive() pops one arrival);
+ *  - latency that grows with machine size and contention, so memory
+ *    responses can return out of order.
+ *
+ * Networks are templated on the payload type so the same topology model
+ * carries dataflow tokens, von Neumann memory transactions, or plain
+ * test payloads.
+ */
+
+#ifndef TTDA_NET_NETWORK_HH
+#define TTDA_NET_NETWORK_HH
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace net
+{
+
+/** Aggregate traffic statistics kept by every network model. */
+struct NetStats
+{
+    sim::Counter sent;          //!< packets injected
+    sim::Counter delivered;     //!< packets handed to receive()
+    sim::Accumulator latency;   //!< cycles from send to arrival
+    sim::Accumulator hops;      //!< switch hops traversed
+    sim::Counter blockedCycles; //!< packet-cycles spent queued on links
+};
+
+/**
+ * A packet in flight: payload plus the bookkeeping the timing models
+ * need. The network never inspects the payload.
+ */
+template <typename Payload>
+struct Packet
+{
+    sim::NodeId src = sim::invalidNode;
+    sim::NodeId dst = sim::invalidNode;
+    sim::Cycle issued = 0;  //!< cycle the packet entered the network
+    std::uint32_t hops = 0; //!< switch traversals so far
+    Payload payload{};
+};
+
+/**
+ * Interface shared by every topology model.
+ *
+ * Usage per simulated cycle: any number of send() calls (the models
+ * queue excess injections), then one step(), then receive() per port to
+ * drain that port's single-arrival budget.
+ */
+template <typename Payload>
+class Network
+{
+  public:
+    virtual ~Network() = default;
+
+    /** Number of ports (== number of attached nodes). */
+    virtual sim::NodeId numPorts() const = 0;
+
+    /** Inject a packet at port src bound for port dst. */
+    virtual void send(sim::NodeId src, sim::NodeId dst, Payload payload) = 0;
+
+    /** Advance the network by one cycle. @param now the current cycle. */
+    virtual void step(sim::Cycle now) = 0;
+
+    /** Pop one packet that has arrived at dst, if any. */
+    virtual std::optional<Payload> receive(sim::NodeId dst) = 0;
+
+    /** True when no packets are queued or in flight anywhere. */
+    virtual bool idle() const = 0;
+
+    const NetStats &stats() const { return stats_; }
+
+  protected:
+    NetStats stats_;
+};
+
+namespace detail
+{
+
+/** FIFO of arrived packets per destination port, drained 1/cycle. */
+template <typename Payload>
+class ArrivalQueues
+{
+  public:
+    explicit ArrivalQueues(std::size_t ports) : queues_(ports) {}
+
+    void
+    push(sim::NodeId dst, Packet<Payload> pkt)
+    {
+        queues_[dst].push_back(std::move(pkt));
+    }
+
+    std::optional<Packet<Payload>>
+    pop(sim::NodeId dst)
+    {
+        auto &q = queues_[dst];
+        if (q.empty())
+            return std::nullopt;
+        Packet<Payload> pkt = std::move(q.front());
+        q.pop_front();
+        return pkt;
+    }
+
+    bool
+    empty() const
+    {
+        for (const auto &q : queues_)
+            if (!q.empty())
+                return false;
+        return true;
+    }
+
+    std::size_t
+    totalQueued() const
+    {
+        std::size_t n = 0;
+        for (const auto &q : queues_)
+            n += q.size();
+        return n;
+    }
+
+  private:
+    std::vector<std::deque<Packet<Payload>>> queues_;
+};
+
+} // namespace detail
+
+} // namespace net
+
+#endif // TTDA_NET_NETWORK_HH

@@ -1,0 +1,202 @@
+#include "ttda/emulator.hh"
+
+#include "common/logging.hh"
+
+namespace ttda
+{
+
+Emulator::Emulator(const graph::Program &program, std::size_t is_words)
+    : program_(program), executor_(program, contexts_),
+      istructure_(is_words)
+{
+    program_.validate();
+}
+
+void
+Emulator::input(std::uint16_t cb, std::uint16_t param, graph::Value v)
+{
+    const graph::CodeBlock &block = program_.codeBlock(cb);
+    SIM_ASSERT_MSG(param < block.numParams,
+                   "input param {} beyond the {} params of '{}'", param,
+                   block.numParams, block.name);
+    graph::Token t;
+    t.kind = graph::TokenKind::Normal;
+    t.tag = graph::Tag{graph::rootContext, cb, param, 1};
+    t.port = 0;
+    t.nt = block.at(param).nt;
+    t.data = std::move(v);
+    wave_.push_back(std::move(t));
+}
+
+void
+Emulator::fire(const graph::Tag &tag, std::vector<graph::Value> operands,
+               std::deque<graph::Token> &next)
+{
+    const graph::Instruction &in =
+        program_.instruction(tag.codeBlock, tag.stmt);
+    if (in.constant)
+        operands.push_back(*in.constant);
+    graph::EnabledInstruction enabled{tag, std::move(operands)};
+    std::vector<graph::Token> produced = executor_.execute(enabled);
+    stats_.fired += 1;
+    stats_.tokens += produced.size();
+    for (auto &t : produced)
+        next.push_back(std::move(t));
+}
+
+namespace
+{
+
+/** Turn a satisfied I-structure read into the token that carries it:
+ *  to its reader instruction, or onward to a copy-target cell. */
+graph::Token
+forwardServed(const graph::IsCont &cont, const graph::Value &value)
+{
+    graph::Token t;
+    if (cont.toCell) {
+        t.kind = graph::TokenKind::IsStore;
+        t.addr = cont.cellAddr;
+        t.data = value;
+    } else {
+        t.kind = graph::TokenKind::Normal;
+        t.tag = cont.cont.tag;
+        t.port = cont.cont.port;
+        t.nt = cont.cont.nt;
+        t.data = value;
+    }
+    return t;
+}
+
+} // namespace
+
+void
+Emulator::deliver(graph::Token tok, std::deque<graph::Token> &next)
+{
+    using graph::TokenKind;
+    switch (tok.kind) {
+      case TokenKind::Normal: {
+        if (tok.nt == 1) {
+            fire(tok.tag, {std::move(tok.data)}, next);
+            break;
+        }
+        Waiting &w = waiting_[tok.tag];
+        if (w.expected == 0) {
+            w.expected = tok.nt;
+            w.slots.resize(tok.nt);
+        }
+        SIM_ASSERT_MSG(tok.port < w.expected,
+                       "token port {} out of range for nt {} at tag",
+                       tok.port, w.expected);
+        w.slots[tok.port] = std::move(tok.data);
+        w.arrived += 1;
+        if (w.arrived == w.expected) {
+            auto node = waiting_.extract(tok.tag);
+            fire(tok.tag, std::move(node.mapped().slots), next);
+        }
+        break;
+      }
+
+      case TokenKind::IsFetch: {
+        std::vector<std::pair<graph::IsCont, graph::Value>> out;
+        istructure_.fetch(tok.addr,
+                          graph::IsCont{false, tok.reply, 0}, out);
+        for (auto &[cont, value] : out)
+            next.push_back(forwardServed(cont, value));
+        break;
+      }
+
+      case TokenKind::IsStore: {
+        std::vector<std::pair<graph::IsCont, graph::Value>> out;
+        const bool ok = istructure_.store(tok.addr, tok.data, out);
+        if (!ok) {
+            sim::warn("emulator: multiple write to i-structure cell {}",
+                      tok.addr);
+        }
+        for (auto &[cont, value] : out)
+            next.push_back(forwardServed(cont, value));
+        break;
+      }
+
+      case TokenKind::IsAlloc: {
+        const auto n = static_cast<std::size_t>(tok.data.asInt());
+        const std::uint64_t base = istructure_.allocate(n);
+        SIM_ASSERT_MSG(base != ~std::uint64_t{0},
+                       "i-structure storage exhausted allocating {}", n);
+        graph::Token t;
+        t.kind = TokenKind::Normal;
+        t.tag = tok.reply.tag;
+        t.port = tok.reply.port;
+        t.nt = tok.reply.nt;
+        t.data = graph::Value{
+            graph::IPtr{base, static_cast<std::uint32_t>(n)}};
+        next.push_back(std::move(t));
+        break;
+      }
+
+      case TokenKind::IsAppend: {
+        // Functional update (paper Section 2.2.4, footnote 4): copy
+        // the structure, replacing one element. A source cell that is
+        // not yet written is copied *non-strictly*: a deferred read
+        // is parked on it whose continuation stores into the new
+        // structure's cell when the producer's write arrives.
+        const std::uint32_t len =
+            static_cast<std::uint32_t>(tok.aux >> 32);
+        const std::uint64_t idx = tok.aux & 0xffffffffu;
+        const std::uint64_t base = istructure_.allocate(len);
+        SIM_ASSERT_MSG(base != ~std::uint64_t{0},
+                       "i-structure storage exhausted appending {}",
+                       len);
+        std::vector<std::pair<graph::IsCont, graph::Value>> out;
+        for (std::uint32_t k = 0; k < len; ++k) {
+            if (k == idx) {
+                istructure_.store(base + k, tok.data, out);
+                continue;
+            }
+            istructure_.fetch(tok.addr + k,
+                              graph::IsCont{true, {}, base + k}, out);
+        }
+        for (auto &[cont, value] : out)
+            next.push_back(forwardServed(cont, value));
+        graph::Token t;
+        t.kind = TokenKind::Normal;
+        t.tag = tok.reply.tag;
+        t.port = tok.reply.port;
+        t.nt = tok.reply.nt;
+        t.data = graph::Value{graph::IPtr{base, len}};
+        next.push_back(std::move(t));
+        break;
+      }
+
+      case TokenKind::Output:
+        outputs_.push_back(OutputRecord{tok.tag, std::move(tok.data)});
+        break;
+    }
+}
+
+std::vector<OutputRecord>
+Emulator::run(std::uint64_t max_fired)
+{
+    while (!wave_.empty()) {
+        stats_.waves += 1;
+        const std::uint64_t fired_before = stats_.fired;
+        std::deque<graph::Token> next;
+        while (!wave_.empty()) {
+            graph::Token tok = std::move(wave_.front());
+            wave_.pop_front();
+            deliver(std::move(tok), next);
+        }
+        const std::uint64_t width = stats_.fired - fired_before;
+        stats_.profile.push_back(width);
+        stats_.maxWaveWidth = std::max(stats_.maxWaveWidth, width);
+        SIM_ASSERT_MSG(stats_.fired <= max_fired,
+                       "emulator exceeded {} activities; runaway "
+                       "program?", max_fired);
+        wave_ = std::move(next);
+    }
+    stats_.avgParallelism =
+        stats_.waves ? static_cast<double>(stats_.fired) / stats_.waves
+                     : 0.0;
+    return outputs_;
+}
+
+} // namespace ttda

@@ -1,0 +1,592 @@
+#include "ttda/machine.hh"
+
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "net/crossbar.hh"
+#include "net/hierarchical.hh"
+#include "net/hypercube.hh"
+#include "net/ideal.hh"
+#include "net/omega.hh"
+
+namespace ttda
+{
+
+namespace
+{
+
+std::unique_ptr<net::Network<graph::Token>>
+makeNetwork(const MachineConfig &cfg)
+{
+    using Topology = MachineConfig::Topology;
+    switch (cfg.topology) {
+      case Topology::Ideal:
+        return std::make_unique<net::IdealNetwork<graph::Token>>(
+            cfg.numPEs, cfg.netLatency, cfg.netJitter, cfg.seed);
+      case Topology::Crossbar:
+        return std::make_unique<net::Crossbar<graph::Token>>(
+            cfg.numPEs, cfg.netLatency);
+      case Topology::Hypercube: {
+        SIM_ASSERT_MSG(net::detail::isPow2(cfg.numPEs),
+                       "hypercube machine needs 2^d PEs, got {}",
+                       cfg.numPEs);
+        const std::uint32_t dim =
+            cfg.numPEs == 1 ? 1 : net::detail::log2(cfg.numPEs);
+        SIM_ASSERT_MSG(cfg.numPEs >= 2, "hypercube needs >= 2 PEs");
+        return std::make_unique<net::Hypercube<graph::Token>>(
+            dim, cfg.hopLatency);
+      }
+      case Topology::Omega:
+        SIM_ASSERT_MSG(net::detail::isPow2(cfg.numPEs) &&
+                           cfg.numPEs >= 2,
+                       "omega machine needs 2^k >= 2 PEs, got {}",
+                       cfg.numPEs);
+        return std::make_unique<net::OmegaNet<graph::Token>>(
+            cfg.numPEs);
+      case Topology::Hierarchical:
+        return std::make_unique<net::HierarchicalNet<graph::Token>>(
+            cfg.numPEs, cfg.clusterSize, cfg.localLatency,
+            cfg.globalLatency);
+    }
+    sim::panic("unknown topology");
+}
+
+} // namespace
+
+Machine::Machine(const graph::Program &program, MachineConfig config)
+    : program_(program), cfg_(config), executor_(program, contexts_)
+{
+    SIM_ASSERT_MSG(cfg_.numPEs >= 1, "machine needs at least one PE");
+    program_.validate();
+    net_ = makeNetwork(cfg_);
+    pes_.reserve(cfg_.numPEs);
+    for (std::uint32_t p = 0; p < cfg_.numPEs; ++p)
+        pes_.push_back(std::make_unique<Pe>(cfg_.isWordsPerPe));
+}
+
+Machine::~Machine() = default;
+
+sim::NodeId
+Machine::mapTag(const graph::Tag &tag) const
+{
+    switch (cfg_.mapping) {
+      case MachineConfig::Mapping::HashTag:
+        return static_cast<sim::NodeId>(graph::TagHash{}(tag) %
+                                        cfg_.numPEs);
+      case MachineConfig::Mapping::ByContext: {
+        std::uint64_t z = tag.ctx + 0x9e3779b97f4a7c15ULL;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        return static_cast<sim::NodeId>(z % cfg_.numPEs);
+      }
+      case MachineConfig::Mapping::ByIteration:
+        return static_cast<sim::NodeId>(
+            (static_cast<std::uint64_t>(tag.ctx) * 31 + tag.iter) %
+            cfg_.numPEs);
+      case MachineConfig::Mapping::SinglePe:
+        return 0;
+    }
+    sim::panic("unknown mapping policy");
+}
+
+sim::NodeId
+Machine::mapToken(const graph::Token &t) const
+{
+    switch (t.kind) {
+      case graph::TokenKind::Normal:
+        return mapTag(t.tag);
+      case graph::TokenKind::IsFetch:
+      case graph::TokenKind::IsStore:
+        return static_cast<sim::NodeId>(t.addr % cfg_.numPEs);
+      case graph::TokenKind::IsAlloc:
+      case graph::TokenKind::IsAppend:
+        // Serviced by any controller; keep it where the request's
+        // reply will be needed to save a network trip.
+        return mapTag(t.reply.tag);
+      case graph::TokenKind::Output:
+        return 0; // the host's PE controller
+    }
+    sim::panic("unknown token kind");
+}
+
+std::uint64_t
+Machine::allocateGlobal(std::uint64_t n)
+{
+    const std::uint64_t capacity =
+        static_cast<std::uint64_t>(cfg_.isWordsPerPe) * cfg_.numPEs;
+    SIM_ASSERT_MSG(allocPtr_ + n <= capacity,
+                   "i-structure storage exhausted: {} + {} > {}",
+                   allocPtr_, n, capacity);
+    const std::uint64_t base = allocPtr_;
+    allocPtr_ += n;
+    return base;
+}
+
+void
+Machine::route(sim::NodeId src, graph::Token t)
+{
+    const sim::NodeId dst = mapToken(t);
+    t.pe = dst;
+    if (cfg_.localBypass && dst == src) {
+        pes_[src]->stats.bypassTokens.inc();
+        pes_[src]->inQ.push_back(std::move(t));
+    } else {
+        net_->send(src, dst, std::move(t));
+    }
+}
+
+void
+Machine::input(std::uint16_t cb, std::uint16_t param, graph::Value v)
+{
+    const graph::CodeBlock &block = program_.codeBlock(cb);
+    SIM_ASSERT_MSG(param < block.numParams,
+                   "input param {} beyond the {} params of '{}'", param,
+                   block.numParams, block.name);
+    graph::Token t;
+    t.kind = graph::TokenKind::Normal;
+    t.tag = graph::Tag{graph::rootContext, cb, param, 1};
+    t.port = 0;
+    t.nt = block.at(param).nt;
+    t.data = std::move(v);
+    const sim::NodeId dst = mapToken(t);
+    t.pe = dst;
+    pes_[dst]->inQ.push_back(std::move(t));
+}
+
+graph::IPtr
+Machine::preload(const std::vector<graph::Value> &values)
+{
+    const std::uint64_t base = allocateGlobal(values.size());
+    std::vector<std::pair<graph::IsCont, graph::Value>> no_wake;
+    for (std::size_t k = 0; k < values.size(); ++k) {
+        const std::uint64_t addr = base + k;
+        pes_[addr % cfg_.numPEs]->isStore.store(addr / cfg_.numPEs,
+                                                values[k], no_wake);
+    }
+    SIM_ASSERT(no_wake.empty());
+    return graph::IPtr{base, static_cast<std::uint32_t>(values.size())};
+}
+
+void
+Machine::stepInput(Pe &pe, sim::NodeId)
+{
+    // The waiting-matching section accepts one token per cycle; a
+    // multi-cycle match holds the stage busy.
+    if (pe.matchBusy > 0) {
+        pe.stats.matchBusyCycles.inc();
+        --pe.matchBusy;
+        return;
+    }
+    if (pe.inQ.empty())
+        return;
+    graph::Token tok = std::move(pe.inQ.front());
+    pe.inQ.pop_front();
+    pe.stats.tokensIn.inc();
+    if (cfg_.trace) {
+        *cfg_.trace << now_ << " pe" << tok.pe << " in    " << tok
+                    << "\n";
+    }
+
+    using graph::TokenKind;
+    switch (tok.kind) {
+      case TokenKind::Normal: {
+        if (tok.nt == 1) {
+            // Monadic tokens go straight to instruction fetch.
+            pe.fetchQ.push_back(ReadyOp{
+                graph::EnabledInstruction{tok.tag,
+                                          {std::move(tok.data)}},
+                now_ + cfg_.fetchCycles});
+            break;
+        }
+        pe.stats.matchBusyCycles.inc();
+        pe.matchBusy = cfg_.matchCycles - 1;
+        if (cfg_.matchCapacity != 0 &&
+            pe.waitStore.size() >= cfg_.matchCapacity &&
+            !pe.waitStore.contains(tok.tag))
+        {
+            // Associative store full: the entry spills to overflow
+            // memory; the section stalls for the slow access.
+            pe.stats.matchOverflows.inc();
+            pe.matchBusy += cfg_.matchOverflowPenalty;
+        }
+        Waiting &w = pe.waitStore[tok.tag];
+        if (w.expected == 0) {
+            w.expected = tok.nt;
+            w.slots.resize(tok.nt);
+        }
+        SIM_ASSERT_MSG(tok.port < w.expected,
+                       "token port {} out of range (nt {})", tok.port,
+                       w.expected);
+        w.slots[tok.port] = std::move(tok.data);
+        w.arrived += 1;
+        pe.stats.waitStorePeak = std::max<std::uint64_t>(
+            pe.stats.waitStorePeak, pe.waitStore.size());
+        if (w.arrived == w.expected) {
+            auto node = pe.waitStore.extract(tok.tag);
+            pe.fetchQ.push_back(ReadyOp{
+                graph::EnabledInstruction{
+                    tok.tag, std::move(node.mapped().slots)},
+                now_ + cfg_.fetchCycles});
+        }
+        break;
+      }
+
+      case TokenKind::IsFetch:
+      case TokenKind::IsStore:
+      case TokenKind::IsAlloc:
+      case TokenKind::IsAppend:
+        pe.isQ.push_back(std::move(tok));
+        break;
+
+      case TokenKind::Output:
+        if (cfg_.trace) {
+            *cfg_.trace << now_ << " OUTPUT " << tok.data << "\n";
+        }
+        outputs_.push_back(OutputRecord{tok.tag, std::move(tok.data)});
+        break;
+    }
+}
+
+void
+Machine::stepAlu(Pe &pe)
+{
+    if (pe.aluBusy > 0) {
+        pe.stats.aluBusyCycles.inc();
+        --pe.aluBusy;
+        return;
+    }
+    if (pe.fetchQ.empty() || pe.fetchQ.front().readyAt > now_)
+        return;
+    ReadyOp op = std::move(pe.fetchQ.front());
+    pe.fetchQ.pop_front();
+
+    // Append the compile-time constant, if any, as the last operand.
+    const graph::Instruction &in = program_.instruction(
+        op.enabled.tag.codeBlock, op.enabled.tag.stmt);
+    if (in.constant)
+        op.enabled.operands.push_back(*in.constant);
+
+    if (cfg_.trace) {
+        *cfg_.trace << now_ << " fire  " << op.enabled.tag << " "
+                    << graph::opcodeName(in.op) << "\n";
+    }
+    std::vector<graph::Token> produced = executor_.execute(op.enabled);
+    pe.stats.fired.inc();
+    pe.stats.aluBusyCycles.inc();
+    sim::Cycle latency = cfg_.aluCycles;
+    if (auto it = cfg_.opLatency.find(in.op);
+        it != cfg_.opLatency.end())
+    {
+        latency = it->second;
+    }
+    pe.aluBusy = latency - 1;
+    for (auto &t : produced)
+        pe.outQ.push_back(std::move(t));
+}
+
+void
+Machine::stepIs(Pe &pe, sim::NodeId id)
+{
+    if (pe.isBusy > 0) {
+        pe.stats.isBusyCycles.inc();
+        --pe.isBusy;
+        return;
+    }
+    if (pe.isQ.empty())
+        return;
+    graph::Token tok = std::move(pe.isQ.front());
+    pe.isQ.pop_front();
+    pe.stats.isBusyCycles.inc();
+
+    std::vector<std::pair<graph::IsCont, graph::Value>> served;
+    using graph::TokenKind;
+    switch (tok.kind) {
+      case TokenKind::IsFetch: {
+        SIM_ASSERT_MSG(tok.addr % cfg_.numPEs == id,
+                       "i-structure fetch for word {} misrouted to PE "
+                       "{}", tok.addr, id);
+        pe.isBusy = cfg_.isReadCycles - 1;
+        pe.isStore.fetch(tok.addr / cfg_.numPEs,
+                         graph::IsCont{false, tok.reply, 0}, served);
+        break;
+      }
+      case TokenKind::IsStore: {
+        SIM_ASSERT_MSG(tok.addr % cfg_.numPEs == id,
+                       "i-structure store for word {} misrouted to PE "
+                       "{}", tok.addr, id);
+        pe.isBusy = cfg_.isWriteCycles - 1;
+        if (!pe.isStore.store(tok.addr / cfg_.numPEs, tok.data,
+                              served))
+        {
+            sim::warn("machine: multiple write to i-structure cell {}",
+                      tok.addr);
+        }
+        break;
+      }
+      case TokenKind::IsAlloc: {
+        pe.isBusy = cfg_.isReadCycles - 1;
+        const auto n = static_cast<std::uint64_t>(tok.data.asInt());
+        const std::uint64_t base = allocateGlobal(n);
+        graph::Token reply;
+        reply.kind = TokenKind::Normal;
+        reply.tag = tok.reply.tag;
+        reply.port = tok.reply.port;
+        reply.nt = tok.reply.nt;
+        reply.data = graph::Value{
+            graph::IPtr{base, static_cast<std::uint32_t>(n)}};
+        pe.outQ.push_back(std::move(reply));
+        break;
+      }
+      case TokenKind::IsAppend: {
+        // Functional update: allocate and copy. The copy touches
+        // cells on every PE; it is modelled as a block operation of
+        // this controller charged read+write time per element (the
+        // real machine would stream per-cell requests). A source cell
+        // not yet written is copied non-strictly: a deferred read is
+        // parked on it whose continuation stores into the new cell
+        // when the producer's write lands.
+        const auto len = static_cast<std::uint32_t>(tok.aux >> 32);
+        const std::uint64_t idx = tok.aux & 0xffffffffu;
+        pe.isBusy = len > 0
+            ? static_cast<sim::Cycle>(len) *
+                  (cfg_.isReadCycles + cfg_.isWriteCycles) - 1
+            : cfg_.isReadCycles - 1;
+        const std::uint64_t base = allocateGlobal(len);
+        for (std::uint32_t k = 0; k < len; ++k) {
+            const std::uint64_t dst = base + k;
+            if (k == idx) {
+                pes_[dst % cfg_.numPEs]->isStore.store(
+                    dst / cfg_.numPEs, tok.data, served);
+                continue;
+            }
+            const std::uint64_t src = tok.addr + k;
+            // The parked continuation lives on the *source* cell's
+            // controller; its wake-up is emitted from that PE.
+            std::vector<std::pair<graph::IsCont, graph::Value>> now;
+            pes_[src % cfg_.numPEs]->isStore.fetch(
+                src / cfg_.numPEs, graph::IsCont{true, {}, dst}, now);
+            for (auto &[cont, value] : now) {
+                pes_[dst % cfg_.numPEs]->isStore.store(
+                    dst / cfg_.numPEs, value, served);
+            }
+        }
+        graph::Token reply;
+        reply.kind = TokenKind::Normal;
+        reply.tag = tok.reply.tag;
+        reply.port = tok.reply.port;
+        reply.nt = tok.reply.nt;
+        reply.data = graph::Value{graph::IPtr{base, len}};
+        pe.outQ.push_back(std::move(reply));
+        break;
+      }
+      default:
+        sim::panic("non-structure token in i-structure queue");
+    }
+
+    for (auto &[cont, value] : served) {
+        graph::Token t;
+        if (cont.toCell) {
+            // A copy target: forward the datum as a store to the new
+            // structure's cell (routed to its controller).
+            t.kind = TokenKind::IsStore;
+            t.addr = cont.cellAddr;
+            t.data = value;
+        } else {
+            t.kind = TokenKind::Normal;
+            t.tag = cont.cont.tag;
+            t.port = cont.cont.port;
+            t.nt = cont.cont.nt;
+            t.data = value;
+        }
+        pe.outQ.push_back(std::move(t));
+    }
+}
+
+void
+Machine::stepOutput(Pe &pe, sim::NodeId id)
+{
+    for (std::uint32_t k = 0;
+         k < cfg_.outputBandwidth && !pe.outQ.empty(); ++k)
+    {
+        graph::Token t = std::move(pe.outQ.front());
+        pe.outQ.pop_front();
+        pe.stats.outputTokens.inc();
+        route(id, std::move(t));
+    }
+}
+
+bool
+Machine::idle() const
+{
+    for (const auto &pe : pes_) {
+        if (!pe->inQ.empty() || !pe->fetchQ.empty() ||
+            !pe->outQ.empty() || !pe->isQ.empty() ||
+            pe->matchBusy > 0 || pe->aluBusy > 0 || pe->isBusy > 0)
+        {
+            return false;
+        }
+    }
+    return net_->idle();
+}
+
+std::vector<OutputRecord>
+Machine::run()
+{
+    while (!idle()) {
+        for (std::uint32_t p = 0; p < cfg_.numPEs; ++p) {
+            Pe &pe = *pes_[p];
+            stepInput(pe, p);
+            stepAlu(pe);
+            stepIs(pe, p);
+            stepOutput(pe, p);
+        }
+        net_->step(now_);
+        ++now_;
+        std::size_t wm_total = 0;
+        for (std::uint32_t p = 0; p < cfg_.numPEs; ++p) {
+            if (auto tok = net_->receive(p))
+                pes_[p]->inQ.push_back(std::move(*tok));
+            wm_total += pes_[p]->waitStore.size();
+        }
+        wmResidency_.sample(static_cast<double>(wm_total));
+        SIM_ASSERT_MSG(now_ < cfg_.maxCycles,
+                       "machine exceeded {} cycles; livelock?",
+                       cfg_.maxCycles);
+    }
+
+    // Quiescent. Unmatched partners or parked reads mean deadlock.
+    deadlocked_ = outstandingReads() > 0;
+    for (const auto &pe : pes_)
+        if (!pe->waitStore.empty())
+            deadlocked_ = true;
+    return outputs_;
+}
+
+std::string
+Machine::deadlockReport() const
+{
+    std::ostringstream os;
+    os << "deadlock report: " << outstandingReads()
+       << " parked reads\n";
+    for (std::uint32_t p = 0; p < cfg_.numPEs; ++p) {
+        for (auto local : pes_[p]->isStore.deferredAddresses()) {
+            os << "  i-structure cell "
+               << local * cfg_.numPEs + p
+               << " (PE " << p << ") was never written; "
+               << "readers are parked on it\n";
+        }
+        if (!pes_[p]->waitStore.empty()) {
+            os << "  PE " << p << ": " << pes_[p]->waitStore.size()
+               << " activities still waiting for partner tokens\n";
+        }
+    }
+    return os.str();
+}
+
+std::size_t
+Machine::outstandingReads() const
+{
+    std::size_t n = 0;
+    for (const auto &pe : pes_)
+        n += pe->isStore.outstandingReads();
+    return n;
+}
+
+std::uint64_t
+Machine::totalFired() const
+{
+    std::uint64_t n = 0;
+    for (const auto &pe : pes_)
+        n += pe->stats.fired.value();
+    return n;
+}
+
+double
+Machine::aluUtilization() const
+{
+    if (now_ == 0)
+        return 0.0;
+    std::uint64_t busy = 0;
+    for (const auto &pe : pes_)
+        busy += pe->stats.aluBusyCycles.value();
+    return static_cast<double>(busy) /
+           (static_cast<double>(now_) * cfg_.numPEs);
+}
+
+double
+Machine::opsPerCycle() const
+{
+    return now_ ? static_cast<double>(totalFired()) / now_ : 0.0;
+}
+
+const PeStats &
+Machine::peStats(std::uint32_t pe) const
+{
+    SIM_ASSERT(pe < pes_.size());
+    return pes_[pe]->stats;
+}
+
+const net::NetStats &
+Machine::netStats() const
+{
+    return net_->stats();
+}
+
+void
+Machine::dumpStats(std::ostream &os) const
+{
+    sim::StatGroup machine("machine");
+    machine.set("cycles", static_cast<double>(now_));
+    machine.set("activities", static_cast<double>(totalFired()));
+    machine.set("opsPerCycle", opsPerCycle());
+    machine.set("aluUtilization", aluUtilization());
+    machine.set("contextsCreated",
+                static_cast<double>(contexts_.totalCreated()));
+    machine.set("netPacketsSent",
+                static_cast<double>(net_->stats().sent.value()));
+    machine.set("netMeanLatency", net_->stats().latency.mean());
+    const auto is = istructureTotals();
+    machine.set("isFetches", static_cast<double>(is.fetches.value()));
+    machine.set("isFetchesDeferred",
+                static_cast<double>(is.fetchesDeferred.value()));
+    machine.set("isStores", static_cast<double>(is.stores.value()));
+    machine.dump(os);
+
+    for (std::uint32_t p = 0; p < cfg_.numPEs; ++p) {
+        const PeStats &st = pes_[p]->stats;
+        sim::StatGroup pe(sim::format("pe{}", p));
+        pe.set("tokensIn", static_cast<double>(st.tokensIn.value()));
+        pe.set("fired", static_cast<double>(st.fired.value()));
+        pe.set("matchBusyCycles",
+               static_cast<double>(st.matchBusyCycles.value()));
+        pe.set("aluBusyCycles",
+               static_cast<double>(st.aluBusyCycles.value()));
+        pe.set("isBusyCycles",
+               static_cast<double>(st.isBusyCycles.value()));
+        pe.set("outputTokens",
+               static_cast<double>(st.outputTokens.value()));
+        pe.set("bypassTokens",
+               static_cast<double>(st.bypassTokens.value()));
+        pe.set("matchOverflows",
+               static_cast<double>(st.matchOverflows.value()));
+        pe.set("waitStorePeak", static_cast<double>(st.waitStorePeak));
+        pe.dump(os);
+    }
+}
+
+mem::IStructureStats
+Machine::istructureTotals() const
+{
+    mem::IStructureStats total;
+    for (const auto &pe : pes_) {
+        const auto &s = pe->isStore.stats();
+        total.fetches.inc(s.fetches.value());
+        total.fetchesDeferred.inc(s.fetchesDeferred.value());
+        total.stores.inc(s.stores.value());
+        total.deferredServed.inc(s.deferredServed.value());
+        total.multipleWrites.inc(s.multipleWrites.value());
+    }
+    return total;
+}
+
+} // namespace ttda

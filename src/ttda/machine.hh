@@ -1,0 +1,242 @@
+/**
+ * @file
+ * The cycle-level Tagged-Token Dataflow Machine (paper Figures 2-3 and
+ * 2-4).
+ *
+ * The machine is a set of processing elements joined by a packet
+ * network. Each PE is the pipeline of Figure 2-4:
+ *
+ *   input -> [classify] -> waiting-matching -> instruction fetch
+ *         -> ALU -> output section -> network
+ *
+ * with an I-structure controller beside it servicing d=1 tokens
+ * against the PE's partition of structure storage, and a PE controller
+ * absorbing d=2 (OUTPUT) tokens. Every stage accepts at most one item
+ * per cycle, with configurable per-stage latencies, so stage occupancy
+ * statistics (experiment E8) fall directly out of the model.
+ *
+ * Idealizations (documented in DESIGN.md):
+ *  - context interning and structure-storage allocation are shared
+ *    constant-time services charged as ordinary ALU work;
+ *  - queues are unbounded (the real machine asserts back-pressure).
+ *
+ * Global I-structure addresses interleave across PEs: word g lives on
+ * PE (g mod numPEs) at local offset (g div numPEs).
+ */
+
+#ifndef TTDA_TTDA_MACHINE_HH
+#define TTDA_TTDA_MACHINE_HH
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "graph/context.hh"
+#include "graph/exec.hh"
+#include "graph/program.hh"
+#include "graph/token.hh"
+#include "mem/istructure.hh"
+#include "net/network.hh"
+#include "ttda/emulator.hh" // OutputRecord
+
+namespace ttda
+{
+
+/** Machine-level configuration. */
+struct MachineConfig
+{
+    std::uint32_t numPEs = 4;
+
+    enum class Topology
+    {
+        Ideal,        //!< fixed latency + jitter, no contention
+        Crossbar,     //!< C.mmp-style n x n switch
+        Hypercube,    //!< emulation-facility cube (numPEs = 2^d)
+        Omega,        //!< multistage shuffle (numPEs = 2^k)
+        Hierarchical, //!< Cm*-style clusters
+    };
+    Topology topology = Topology::Ideal;
+
+    sim::Cycle netLatency = 2;  //!< Ideal: fixed transit latency
+    sim::Cycle netJitter = 0;   //!< Ideal: extra uniform random delay
+    std::uint32_t clusterSize = 4;   //!< Hierarchical
+    sim::Cycle localLatency = 2;     //!< Hierarchical cluster bus
+    sim::Cycle globalLatency = 8;    //!< Hierarchical intercluster bus
+    sim::Cycle hopLatency = 1;       //!< Hypercube per-link
+
+    // PE stage service times (cycles per item).
+    sim::Cycle matchCycles = 1;  //!< waiting-matching per token
+    sim::Cycle fetchCycles = 1;  //!< instruction fetch
+    sim::Cycle aluCycles = 1;    //!< ALU per operation (default)
+
+    /** Per-opcode ALU latency overrides (e.g. multi-cycle divide). */
+    std::map<graph::Opcode, sim::Cycle> opLatency;
+    std::uint32_t outputBandwidth = 2; //!< tokens the output section
+                                       //!< can emit per cycle
+
+    /** Capacity of the waiting-matching associative store (entries);
+     *  0 = unbounded. Beyond it, inserts spill to slow overflow
+     *  memory, costing matchOverflowPenalty extra cycles each — the
+     *  finite-associative-store pressure the real TTDA faced. */
+    std::uint32_t matchCapacity = 0;
+    sim::Cycle matchOverflowPenalty = 10;
+
+    // I-structure controller.
+    sim::Cycle isReadCycles = 1;
+    sim::Cycle isWriteCycles = 2;
+    std::size_t isWordsPerPe = 1u << 18;
+
+    /** How activities are spread over PEs. */
+    enum class Mapping
+    {
+        HashTag,     //!< hash of the full tag (default)
+        ByContext,   //!< hash of the context: one code-block
+                     //!< invocation stays on one PE, so loop control
+                     //!< never crosses the network (the real TTDA's
+                     //!< work-distribution unit)
+        ByIteration, //!< (ctx + iter) mod n: keeps an iteration local
+        SinglePe,    //!< everything on PE 0 (sequential baseline)
+    };
+    Mapping mapping = Mapping::HashTag;
+
+    bool localBypass = true; //!< same-PE tokens skip the network
+
+    std::uint64_t seed = 1;
+    std::uint64_t maxCycles = 50'000'000;
+
+    /** When set, one line per machine event (token classified,
+     *  activity fired, structure operation, output) is written here —
+     *  the simulator's debug trace. Hot path cost is a null check. */
+    std::ostream *trace = nullptr;
+};
+
+/** Per-PE statistics (stage occupancy for experiment E8). */
+struct PeStats
+{
+    sim::Counter tokensIn;        //!< tokens classified
+    sim::Counter fired;           //!< activities executed
+    sim::Counter matchBusyCycles; //!< waiting-matching occupied
+    sim::Counter aluBusyCycles;   //!< ALU occupied
+    sim::Counter isBusyCycles;    //!< I-structure controller occupied
+    sim::Counter outputTokens;    //!< tokens through the output section
+    sim::Counter bypassTokens;    //!< tokens short-circuited locally
+    sim::Counter matchOverflows;  //!< inserts beyond the WM capacity
+    std::uint64_t waitStorePeak = 0; //!< peak waiting-matching entries
+};
+
+/** The multi-PE cycle-level machine. */
+class Machine
+{
+  public:
+    Machine(const graph::Program &program, MachineConfig config);
+    ~Machine();
+
+    /** Inject an input value into `param` of code block `cb` before
+     *  run() (root context, iteration 1). */
+    void input(std::uint16_t cb, std::uint16_t param, graph::Value v);
+
+    /** Pre-populate I-structure storage with a fully written array
+     *  (workload setup); returns the pointer to pass as an input. */
+    graph::IPtr preload(const std::vector<graph::Value> &values);
+
+    /** Run to quiescence (or deadlock / maxCycles). */
+    std::vector<OutputRecord> run();
+
+    sim::Cycle cycles() const { return now_; }
+    bool deadlocked() const { return deadlocked_; }
+
+    /** Reads parked on deferred lists when the machine went idle. */
+    std::size_t outstandingReads() const;
+
+    std::uint64_t totalFired() const;
+    double aluUtilization() const; //!< busy ALU cycles / (cycles*PEs)
+    double opsPerCycle() const;    //!< fired / cycles
+
+    const PeStats &peStats(std::uint32_t pe) const;
+    const net::NetStats &netStats() const;
+    const MachineConfig &config() const { return cfg_; }
+    graph::ContextManager &contexts() { return contexts_; }
+
+    /** Aggregated I-structure statistics across all controllers. */
+    mem::IStructureStats istructureTotals() const;
+
+    /** Distribution of total waiting-matching residency, sampled
+     *  every cycle (experiment E8). */
+    const sim::Histogram &waitStoreResidency() const
+    {
+        return wmResidency_;
+    }
+
+    /** gem5-style statistics listing (machine and per-PE groups). */
+    void dumpStats(std::ostream &os) const;
+
+    /** Human-readable diagnosis after a deadlocked run: which global
+     *  I-structure cells still have parked readers, and how many
+     *  unmatched partner tokens remain per PE. */
+    std::string deadlockReport() const;
+
+  private:
+    struct Waiting
+    {
+        std::vector<graph::Value> slots;
+        std::uint8_t arrived = 0;
+        std::uint8_t expected = 0;
+    };
+
+    struct ReadyOp
+    {
+        graph::EnabledInstruction enabled;
+        sim::Cycle readyAt = 0;
+    };
+
+    struct Pe
+    {
+        explicit Pe(std::size_t is_words) : isStore(is_words) {}
+
+        std::deque<graph::Token> inQ;
+        std::unordered_map<graph::Tag, Waiting, graph::TagHash>
+            waitStore;
+        sim::Cycle matchBusy = 0;
+        std::deque<ReadyOp> fetchQ;
+        sim::Cycle aluBusy = 0;
+        std::deque<graph::Token> outQ;
+        std::deque<graph::Token> isQ;
+        sim::Cycle isBusy = 0;
+        mem::IStructure<graph::IsCont, graph::Value> isStore;
+        PeStats stats;
+    };
+
+    sim::NodeId mapTag(const graph::Tag &tag) const;
+    sim::NodeId mapToken(const graph::Token &t) const;
+    std::uint64_t allocateGlobal(std::uint64_t n);
+    void route(sim::NodeId src, graph::Token t);
+
+    void stepInput(Pe &pe, sim::NodeId id);
+    void stepAlu(Pe &pe);
+    void stepIs(Pe &pe, sim::NodeId id);
+    void stepOutput(Pe &pe, sim::NodeId id);
+
+    bool idle() const;
+
+    const graph::Program &program_;
+    MachineConfig cfg_;
+    graph::ContextManager contexts_;
+    graph::Executor executor_;
+    std::unique_ptr<net::Network<graph::Token>> net_;
+    std::vector<std::unique_ptr<Pe>> pes_;
+    std::vector<OutputRecord> outputs_;
+    std::uint64_t allocPtr_ = 0;
+    sim::Cycle now_ = 0;
+    bool deadlocked_ = false;
+    sim::Histogram wmResidency_{4.0, 128};
+};
+
+} // namespace ttda
+
+#endif // TTDA_TTDA_MACHINE_HH

@@ -1,0 +1,283 @@
+#include "vn/core.hh"
+
+#include "common/logging.hh"
+
+namespace vn
+{
+
+VnCore::VnCore(std::uint32_t core_id, VnCoreConfig cfg)
+    : id_(core_id), cfg_(cfg)
+{
+    SIM_ASSERT_MSG(cfg.numContexts >= 1,
+                   "core needs at least one context");
+    contexts_.resize(cfg.numContexts);
+}
+
+void
+VnCore::attachProgram(const VnProgram *program)
+{
+    SIM_ASSERT(program != nullptr);
+    program_ = program;
+    trace_ = nullptr;
+    for (std::uint32_t c = 0; c < contexts_.size(); ++c) {
+        contexts_[c] = Context{};
+        contexts_[c].regs[1] = c; // context id for self-identification
+    }
+}
+
+void
+VnCore::attachTrace(TraceSource source)
+{
+    trace_ = std::move(source);
+    program_ = nullptr;
+    for (auto &ctx : contexts_)
+        ctx = Context{};
+}
+
+bool
+VnCore::halted() const
+{
+    for (const auto &ctx : contexts_)
+        if (ctx.state != CtxState::Done)
+            return false;
+    return true;
+}
+
+mem::Word
+VnCore::reg(std::uint32_t ctx, Reg r) const
+{
+    SIM_ASSERT(ctx < contexts_.size() && r < 32);
+    return r == 0 ? 0 : contexts_[ctx].regs[r];
+}
+
+void
+VnCore::setReg(std::uint32_t ctx, Reg r, mem::Word v)
+{
+    SIM_ASSERT(ctx < contexts_.size() && r < 32 && r != 0);
+    contexts_[ctx].regs[r] = v;
+}
+
+double
+VnCore::utilization() const
+{
+    const double busy = static_cast<double>(stats_.busyCycles.value());
+    const double total = busy +
+        static_cast<double>(stats_.stallCycles.value()) +
+        static_cast<double>(stats_.switchCycles.value());
+    return total > 0.0 ? busy / total : 0.0;
+}
+
+bool
+VnCore::selectContext()
+{
+    if (contexts_[current_].state == CtxState::Ready)
+        return true;
+    for (std::uint32_t k = 1; k <= contexts_.size(); ++k) {
+        const std::uint32_t c =
+            (current_ + k) % static_cast<std::uint32_t>(contexts_.size());
+        if (contexts_[c].state == CtxState::Ready) {
+            current_ = c;
+            switchPenalty_ = cfg_.switchCost;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::optional<MemAccess>
+VnCore::step(sim::Cycle)
+{
+    if (halted())
+        return std::nullopt;
+
+    if (switchPenalty_ > 0) {
+        --switchPenalty_;
+        stats_.switchCycles.inc();
+        return std::nullopt;
+    }
+
+    if (!selectContext()) {
+        // Every context is blocked on memory: the processor idles —
+        // the situation Issue 1 is about.
+        stats_.stallCycles.inc();
+        return std::nullopt;
+    }
+    if (switchPenalty_ > 0) {
+        // A switch was initiated this cycle; pay for it first.
+        --switchPenalty_;
+        stats_.switchCycles.inc();
+        return std::nullopt;
+    }
+
+    Context &ctx = contexts_[current_];
+    stats_.busyCycles.inc();
+    return program_ ? execInstr(ctx, current_) : execTrace(ctx, current_);
+}
+
+std::optional<MemAccess>
+VnCore::execTrace(Context &ctx, std::uint32_t ci)
+{
+    if (ctx.computeLeft > 0) {
+        --ctx.computeLeft;
+        return std::nullopt;
+    }
+    auto op = trace_(ci);
+    if (!op) {
+        ctx.state = CtxState::Done;
+        return std::nullopt;
+    }
+    stats_.instructions.inc();
+    switch (op->kind) {
+      case TraceOp::Kind::Compute:
+        // This cycle did one unit; any remainder keeps the core busy.
+        ctx.computeLeft = op->cycles > 0 ? op->cycles - 1 : 0;
+        return std::nullopt;
+      case TraceOp::Kind::Load: {
+        stats_.loads.inc();
+        ctx.state = CtxState::WaitingMem;
+        MemAccess acc;
+        acc.kind = MemAccess::Kind::Load;
+        acc.core = id_;
+        acc.ctx = ci;
+        acc.reg = 2;
+        acc.addr = op->addr;
+        return acc;
+      }
+      case TraceOp::Kind::Store: {
+        // Stores are fire-and-forget: the core does not wait.
+        stats_.stores.inc();
+        MemAccess acc;
+        acc.kind = MemAccess::Kind::Store;
+        acc.core = id_;
+        acc.ctx = ci;
+        acc.addr = op->addr;
+        acc.data = 0;
+        return acc;
+      }
+    }
+    return std::nullopt;
+}
+
+std::optional<MemAccess>
+VnCore::execInstr(Context &ctx, std::uint32_t ci)
+{
+    SIM_ASSERT_MSG(ctx.pc < program_->size(),
+                   "core {} ctx {} ran off the program at pc {}", id_,
+                   ci, ctx.pc);
+    const VnInstr &in = (*program_)[ctx.pc];
+    stats_.instructions.inc();
+
+    auto rr = [&](Reg r) -> mem::Word {
+        return r == 0 ? 0 : ctx.regs[r];
+    };
+    auto wr = [&](Reg r, mem::Word v) {
+        if (r != 0)
+            ctx.regs[r] = v;
+    };
+    auto ri = [&](Reg r) { return mem::toInt(rr(r)); };
+    auto rf = [&](Reg r) { return mem::toDouble(rr(r)); };
+
+    std::uint64_t next_pc = ctx.pc + 1;
+    std::optional<MemAccess> access;
+
+    switch (in.op) {
+      case VnOp::Halt:
+        ctx.state = CtxState::Done;
+        next_pc = ctx.pc;
+        break;
+      case VnOp::Nop:
+        break;
+      case VnOp::Li:
+        wr(in.rd, static_cast<mem::Word>(in.imm));
+        break;
+      case VnOp::Move:
+        wr(in.rd, rr(in.ra));
+        break;
+      case VnOp::Add: wr(in.rd, mem::fromInt(ri(in.ra) + ri(in.rb))); break;
+      case VnOp::Sub: wr(in.rd, mem::fromInt(ri(in.ra) - ri(in.rb))); break;
+      case VnOp::Mul: wr(in.rd, mem::fromInt(ri(in.ra) * ri(in.rb))); break;
+      case VnOp::DivOp:
+        SIM_ASSERT_MSG(ri(in.rb) != 0, "division by zero at pc {}",
+                       ctx.pc);
+        wr(in.rd, mem::fromInt(ri(in.ra) / ri(in.rb)));
+        break;
+      case VnOp::Addi:
+        wr(in.rd, mem::fromInt(ri(in.ra) + in.imm));
+        break;
+      case VnOp::FAdd: wr(in.rd, mem::fromDouble(rf(in.ra) + rf(in.rb))); break;
+      case VnOp::FSub: wr(in.rd, mem::fromDouble(rf(in.ra) - rf(in.rb))); break;
+      case VnOp::FMul: wr(in.rd, mem::fromDouble(rf(in.ra) * rf(in.rb))); break;
+      case VnOp::FDiv: wr(in.rd, mem::fromDouble(rf(in.ra) / rf(in.rb))); break;
+      case VnOp::IntToFp:
+        wr(in.rd, mem::fromDouble(static_cast<double>(ri(in.ra))));
+        break;
+      case VnOp::Slt: wr(in.rd, mem::fromInt(ri(in.ra) < ri(in.rb))); break;
+      case VnOp::Sle: wr(in.rd, mem::fromInt(ri(in.ra) <= ri(in.rb))); break;
+      case VnOp::Seq: wr(in.rd, mem::fromInt(ri(in.ra) == ri(in.rb))); break;
+      case VnOp::FSlt: wr(in.rd, mem::fromInt(rf(in.ra) < rf(in.rb))); break;
+      case VnOp::Beqz:
+        if (ri(in.ra) == 0)
+            next_pc = static_cast<std::uint64_t>(in.imm);
+        break;
+      case VnOp::Bnez:
+        if (ri(in.ra) != 0)
+            next_pc = static_cast<std::uint64_t>(in.imm);
+        break;
+      case VnOp::Jmp:
+        next_pc = static_cast<std::uint64_t>(in.imm);
+        break;
+      case VnOp::Load: {
+        stats_.loads.inc();
+        ctx.state = CtxState::WaitingMem;
+        MemAccess acc;
+        acc.kind = MemAccess::Kind::Load;
+        acc.core = id_;
+        acc.ctx = ci;
+        acc.reg = in.rd;
+        acc.addr = static_cast<std::uint64_t>(ri(in.ra) + in.imm);
+        access = acc;
+        break;
+      }
+      case VnOp::Store: {
+        stats_.stores.inc();
+        MemAccess acc;
+        acc.kind = MemAccess::Kind::Store;
+        acc.core = id_;
+        acc.ctx = ci;
+        acc.addr = static_cast<std::uint64_t>(ri(in.ra) + in.imm);
+        acc.data = rr(in.rb);
+        access = acc;
+        break;
+      }
+      case VnOp::Faa: {
+        stats_.loads.inc();
+        ctx.state = CtxState::WaitingMem;
+        MemAccess acc;
+        acc.kind = MemAccess::Kind::Faa;
+        acc.core = id_;
+        acc.ctx = ci;
+        acc.reg = in.rd;
+        acc.addr = static_cast<std::uint64_t>(ri(in.ra) + in.imm);
+        acc.data = rr(in.rb);
+        access = acc;
+        break;
+      }
+    }
+    ctx.pc = next_pc;
+    return access;
+}
+
+void
+VnCore::complete(const MemAccess &response)
+{
+    SIM_ASSERT(response.ctx < contexts_.size());
+    Context &ctx = contexts_[response.ctx];
+    SIM_ASSERT_MSG(ctx.state == CtxState::WaitingMem,
+                   "memory response for context {} that is not waiting",
+                   response.ctx);
+    if (response.kind != MemAccess::Kind::Store && response.reg != 0)
+        ctx.regs[response.reg] = response.data;
+    ctx.state = CtxState::Ready;
+}
+
+} // namespace vn

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * VnCore: the von Neumann processing element the paper critiques.
+ *
+ * The core executes one instruction per cycle until it issues a LOAD
+ * (or FETCH-AND-ADD); then the issuing context *blocks* until the
+ * response returns. Two mitigations from Section 1.1 are modelled:
+ *
+ *  - multiple hardware contexts (Denelcor-HEP-style low-level context
+ *    switching): on a blocking reference the core switches to the next
+ *    ready context, paying switchCost cycles. The number of contexts
+ *    is fixed in hardware — the paper's point is that a scalable
+ *    machine would need an *unbounded* number;
+ *  - nothing (numContexts = 1): the Cm*-style processor that idles for
+ *    the whole remote reference.
+ *
+ * Two front-ends share the timing model:
+ *  - program mode: executes the vn::VnProgram ISA;
+ *  - trace mode: consumes synthetic {Compute, Load, Store} operations
+ *    from a TraceSource — used by the latency/utilization sweeps where
+ *    the reference pattern, not the computation, is the subject.
+ */
+
+#ifndef TTDA_VN_CORE_HH
+#define TTDA_VN_CORE_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/word.hh"
+#include "vn/isa.hh"
+
+namespace vn
+{
+
+/** A memory transaction between a core and the memory system. */
+struct MemAccess
+{
+    enum class Kind : std::uint8_t { Load, Store, Faa };
+
+    Kind kind = Kind::Load;
+    std::uint32_t core = 0;
+    std::uint32_t ctx = 0;
+    Reg reg = 0;            //!< destination register (loads/FAA)
+    std::uint64_t addr = 0;
+    mem::Word data = 0;     //!< store value / FAA increment / response
+};
+
+/** One synthetic operation from a trace source. */
+struct TraceOp
+{
+    enum class Kind : std::uint8_t { Compute, Load, Store };
+
+    Kind kind = Kind::Compute;
+    std::uint64_t addr = 0;
+    std::uint32_t cycles = 1; //!< Compute: busy time
+};
+
+/** Per-context synthetic operation stream; nullopt ends the stream. */
+using TraceSource =
+    std::function<std::optional<TraceOp>(std::uint32_t ctx)>;
+
+/** Core configuration. */
+struct VnCoreConfig
+{
+    std::uint32_t numContexts = 1;
+    sim::Cycle switchCost = 0; //!< cycles to switch hardware contexts
+};
+
+/** The von Neumann core model. */
+class VnCore
+{
+  public:
+    struct Stats
+    {
+        sim::Counter instructions; //!< instructions / trace ops retired
+        sim::Counter busyCycles;   //!< cycles doing useful work
+        sim::Counter stallCycles;  //!< cycles idle waiting on memory
+        sim::Counter switchCycles; //!< cycles burnt switching contexts
+        sim::Counter loads;
+        sim::Counter stores;
+    };
+
+    VnCore(std::uint32_t core_id, VnCoreConfig cfg);
+
+    /** Program mode: all contexts run `program`, starting at pc 0.
+     *  Context c starts with r1 = c (so code can self-identify). */
+    void attachProgram(const VnProgram *program);
+
+    /** Trace mode: contexts consume ops from `source`. */
+    void attachTrace(TraceSource source);
+
+    /**
+     * Advance one cycle. At most one memory access is issued per
+     * cycle; the issuing context blocks until complete() is called
+     * with the response.
+     */
+    std::optional<MemAccess> step(sim::Cycle now);
+
+    /** Deliver a memory response for (ctx, reg). */
+    void complete(const MemAccess &response);
+
+    /** All contexts halted (program) or exhausted (trace). */
+    bool halted() const;
+
+    /** Register file access for tests/result extraction. */
+    mem::Word reg(std::uint32_t ctx, Reg r) const;
+    void setReg(std::uint32_t ctx, Reg r, mem::Word v);
+
+    std::uint32_t id() const { return id_; }
+    const Stats &stats() const { return stats_; }
+
+    /** busy / (busy + stall + switch): the paper's ALU utilization
+     *  figure of merit. */
+    double utilization() const;
+
+  private:
+    enum class CtxState : std::uint8_t { Ready, WaitingMem, Done };
+
+    struct Context
+    {
+        CtxState state = CtxState::Ready;
+        std::uint64_t pc = 0;
+        std::array<mem::Word, 32> regs{};
+        sim::Cycle computeLeft = 0; //!< trace mode: busy remainder
+    };
+
+    /** Select the next Ready context (round robin); returns false if
+     *  none. Accounts switch cost when the selection changes. */
+    bool selectContext();
+
+    /** Execute one program-mode instruction for the context; may
+     *  return a memory access. */
+    std::optional<MemAccess> execInstr(Context &ctx, std::uint32_t ci);
+
+    /** Execute one trace-mode op. */
+    std::optional<MemAccess> execTrace(Context &ctx, std::uint32_t ci);
+
+    std::uint32_t id_;
+    VnCoreConfig cfg_;
+    const VnProgram *program_ = nullptr;
+    TraceSource trace_;
+    std::vector<Context> contexts_;
+    std::uint32_t current_ = 0;
+    sim::Cycle switchPenalty_ = 0; //!< cycles of switch stall pending
+    Stats stats_;
+};
+
+} // namespace vn
+
+#endif // TTDA_VN_CORE_HH

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * A minimal von Neumann RISC ISA for the baseline processor models.
+ *
+ * The critique's content is timing behaviour (sequential control,
+ * blocking memory references), not ISA detail, so the ISA is the
+ * smallest register machine that can express the benchmark loops:
+ * 32 general 64-bit registers (r0 reads as zero), integer and floating
+ * arithmetic, compares, branches, loads/stores, and FETCH-AND-ADD for
+ * the Ultracomputer-style experiments.
+ *
+ * VnAsm is a tiny two-pass assembler-builder with labels.
+ */
+
+#ifndef TTDA_VN_ISA_HH
+#define TTDA_VN_ISA_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "mem/word.hh"
+
+namespace vn
+{
+
+/** Register index (0..31); r0 is hardwired to zero. */
+using Reg = std::uint8_t;
+
+enum class VnOp : std::uint8_t
+{
+    Halt, Nop,
+    Li,                      //!< rd <- imm (raw word)
+    Move,                    //!< rd <- ra
+    Add, Sub, Mul, DivOp,    //!< integer rd <- ra op rb
+    Addi,                    //!< rd <- ra + imm
+    FAdd, FSub, FMul, FDiv,  //!< double rd <- ra op rb
+    IntToFp,                 //!< rd <- double(int ra)
+    Slt, Sle, Seq,           //!< integer compare, rd <- 0/1
+    FSlt,                    //!< double compare
+    Beqz, Bnez,              //!< branch to imm when ra ==/!= 0
+    Jmp,                     //!< unconditional branch to imm
+    Load,                    //!< rd <- mem[ra + imm]
+    Store,                   //!< mem[ra + imm] <- rb
+    Faa,                     //!< rd <- FETCH-AND-ADD(mem[ra+imm], rb)
+};
+
+/** One instruction word. */
+struct VnInstr
+{
+    VnOp op = VnOp::Nop;
+    Reg rd = 0;
+    Reg ra = 0;
+    Reg rb = 0;
+    std::int64_t imm = 0;
+};
+
+/** A compiled von Neumann program. */
+using VnProgram = std::vector<VnInstr>;
+
+/** Small assembler with label fixups. */
+class VnAsm
+{
+  public:
+    /** Define a label at the current position. */
+    void
+    label(const std::string &name)
+    {
+        SIM_ASSERT_MSG(!labels_.contains(name),
+                       "duplicate label '{}'", name);
+        labels_[name] = static_cast<std::int64_t>(prog_.size());
+    }
+
+    VnAsm &halt() { return emit({VnOp::Halt, 0, 0, 0, 0}); }
+    VnAsm &nop() { return emit({VnOp::Nop, 0, 0, 0, 0}); }
+
+    VnAsm &
+    li(Reg rd, std::int64_t v)
+    {
+        return emit({VnOp::Li, rd, 0, 0, v});
+    }
+
+    VnAsm &
+    lid(Reg rd, double v)
+    {
+        return emit({VnOp::Li, rd, 0, 0,
+                     static_cast<std::int64_t>(mem::fromDouble(v))});
+    }
+
+    VnAsm &move(Reg rd, Reg ra) { return emit({VnOp::Move, rd, ra, 0, 0}); }
+    VnAsm &add(Reg rd, Reg ra, Reg rb) { return emit({VnOp::Add, rd, ra, rb, 0}); }
+    VnAsm &sub(Reg rd, Reg ra, Reg rb) { return emit({VnOp::Sub, rd, ra, rb, 0}); }
+    VnAsm &mul(Reg rd, Reg ra, Reg rb) { return emit({VnOp::Mul, rd, ra, rb, 0}); }
+    VnAsm &divi(Reg rd, Reg ra, Reg rb) { return emit({VnOp::DivOp, rd, ra, rb, 0}); }
+    VnAsm &addi(Reg rd, Reg ra, std::int64_t imm) { return emit({VnOp::Addi, rd, ra, 0, imm}); }
+    VnAsm &fadd(Reg rd, Reg ra, Reg rb) { return emit({VnOp::FAdd, rd, ra, rb, 0}); }
+    VnAsm &fsub(Reg rd, Reg ra, Reg rb) { return emit({VnOp::FSub, rd, ra, rb, 0}); }
+    VnAsm &fmul(Reg rd, Reg ra, Reg rb) { return emit({VnOp::FMul, rd, ra, rb, 0}); }
+    VnAsm &fdiv(Reg rd, Reg ra, Reg rb) { return emit({VnOp::FDiv, rd, ra, rb, 0}); }
+    VnAsm &itof(Reg rd, Reg ra) { return emit({VnOp::IntToFp, rd, ra, 0, 0}); }
+    VnAsm &slt(Reg rd, Reg ra, Reg rb) { return emit({VnOp::Slt, rd, ra, rb, 0}); }
+    VnAsm &sle(Reg rd, Reg ra, Reg rb) { return emit({VnOp::Sle, rd, ra, rb, 0}); }
+    VnAsm &seq(Reg rd, Reg ra, Reg rb) { return emit({VnOp::Seq, rd, ra, rb, 0}); }
+    VnAsm &fslt(Reg rd, Reg ra, Reg rb) { return emit({VnOp::FSlt, rd, ra, rb, 0}); }
+    VnAsm &load(Reg rd, Reg ra, std::int64_t imm = 0) { return emit({VnOp::Load, rd, ra, 0, imm}); }
+    VnAsm &store(Reg ra, std::int64_t imm, Reg rb) { return emit({VnOp::Store, 0, ra, rb, imm}); }
+    VnAsm &faa(Reg rd, Reg ra, std::int64_t imm, Reg rb) { return emit({VnOp::Faa, rd, ra, rb, imm}); }
+
+    VnAsm &
+    beqz(Reg ra, const std::string &target)
+    {
+        fixups_.emplace_back(prog_.size(), target);
+        return emit({VnOp::Beqz, 0, ra, 0, 0});
+    }
+
+    VnAsm &
+    bnez(Reg ra, const std::string &target)
+    {
+        fixups_.emplace_back(prog_.size(), target);
+        return emit({VnOp::Bnez, 0, ra, 0, 0});
+    }
+
+    VnAsm &
+    jmp(const std::string &target)
+    {
+        fixups_.emplace_back(prog_.size(), target);
+        return emit({VnOp::Jmp, 0, 0, 0, 0});
+    }
+
+    /** Resolve labels and return the program. */
+    VnProgram
+    assemble()
+    {
+        for (auto &[pos, name] : fixups_) {
+            auto it = labels_.find(name);
+            SIM_ASSERT_MSG(it != labels_.end(),
+                           "undefined label '{}'", name);
+            prog_[pos].imm = it->second;
+        }
+        return prog_;
+    }
+
+  private:
+    VnAsm &
+    emit(VnInstr in)
+    {
+        prog_.push_back(in);
+        return *this;
+    }
+
+    VnProgram prog_;
+    std::map<std::string, std::int64_t> labels_;
+    std::vector<std::pair<std::size_t, std::string>> fixups_;
+};
+
+} // namespace vn
+
+#endif // TTDA_VN_ISA_HH

@@ -1,0 +1,269 @@
+#include "vn/machine.hh"
+
+#include "common/logging.hh"
+#include "net/crossbar.hh"
+#include "net/hierarchical.hh"
+#include "net/ideal.hh"
+#include "net/omega.hh"
+
+namespace vn
+{
+
+namespace
+{
+
+/** Pack the requester identity into a memory cookie. */
+std::uint64_t
+packCookie(const MemAccess &acc)
+{
+    return (static_cast<std::uint64_t>(acc.core) << 32) |
+           (static_cast<std::uint64_t>(acc.ctx) << 16) |
+           (static_cast<std::uint64_t>(acc.reg) << 8) |
+           static_cast<std::uint64_t>(acc.kind);
+}
+
+MemAccess
+unpackCookie(std::uint64_t cookie, std::uint64_t addr, mem::Word data)
+{
+    MemAccess acc;
+    acc.core = static_cast<std::uint32_t>(cookie >> 32);
+    acc.ctx = static_cast<std::uint32_t>((cookie >> 16) & 0xffff);
+    acc.reg = static_cast<Reg>((cookie >> 8) & 0xff);
+    acc.kind = static_cast<MemAccess::Kind>(cookie & 0xff);
+    acc.addr = addr;
+    acc.data = data;
+    return acc;
+}
+
+mem::MemRequest::Kind
+toMemKind(MemAccess::Kind k)
+{
+    switch (k) {
+      case MemAccess::Kind::Load: return mem::MemRequest::Kind::Read;
+      case MemAccess::Kind::Store: return mem::MemRequest::Kind::Write;
+      case MemAccess::Kind::Faa:
+        return mem::MemRequest::Kind::FetchAndAdd;
+    }
+    sim::panic("unknown access kind");
+}
+
+} // namespace
+
+VnMachine::VnMachine(VnMachineConfig cfg) : cfg_(cfg)
+{
+    SIM_ASSERT_MSG(cfg_.numCores >= 1, "machine needs at least 1 core");
+    using Topology = VnMachineConfig::Topology;
+    switch (cfg_.topology) {
+      case Topology::Ideal:
+        net_ = std::make_unique<net::IdealNetwork<NetMsg>>(
+            cfg_.numCores, cfg_.netLatency, cfg_.netJitter, cfg_.seed);
+        break;
+      case Topology::Crossbar:
+        net_ = std::make_unique<net::Crossbar<NetMsg>>(cfg_.numCores,
+                                                       cfg_.netLatency);
+        break;
+      case Topology::Omega:
+        net_ = std::make_unique<net::OmegaNet<NetMsg>>(cfg_.numCores);
+        break;
+      case Topology::Hierarchical:
+        net_ = std::make_unique<net::HierarchicalNet<NetMsg>>(
+            cfg_.numCores, cfg_.clusterSize, cfg_.localLatency,
+            cfg_.globalLatency);
+        break;
+    }
+    for (std::uint32_t c = 0; c < cfg_.numCores; ++c) {
+        cores_.push_back(std::make_unique<VnCore>(c, cfg_.core));
+        modules_.push_back(std::make_unique<mem::MemoryModule>(
+            cfg_.wordsPerModule, cfg_.memLatency, cfg_.banksPerModule));
+    }
+}
+
+VnMachine::VnMachine(VnMachine &&) noexcept = default;
+VnMachine &VnMachine::operator=(VnMachine &&) noexcept = default;
+VnMachine::~VnMachine() = default;
+
+VnCore &
+VnMachine::core(std::uint32_t i)
+{
+    SIM_ASSERT(i < cores_.size());
+    return *cores_[i];
+}
+
+const VnCore &
+VnMachine::core(std::uint32_t i) const
+{
+    SIM_ASSERT(i < cores_.size());
+    return *cores_[i];
+}
+
+std::uint32_t
+VnMachine::moduleOf(std::uint64_t addr) const
+{
+    const std::uint32_t m = cfg_.blockedAddressing
+        ? static_cast<std::uint32_t>(addr / cfg_.wordsPerModule)
+        : static_cast<std::uint32_t>(addr % cfg_.numCores);
+    SIM_ASSERT_MSG(m < cfg_.numCores,
+                   "address {} beyond the machine's memory", addr);
+    return m;
+}
+
+std::uint64_t
+VnMachine::offsetOf(std::uint64_t addr) const
+{
+    return cfg_.blockedAddressing ? addr % cfg_.wordsPerModule
+                                  : addr / cfg_.numCores;
+}
+
+mem::Word
+VnMachine::peek(std::uint64_t addr) const
+{
+    return modules_[moduleOf(addr)]->peek(offsetOf(addr));
+}
+
+void
+VnMachine::poke(std::uint64_t addr, mem::Word value)
+{
+    modules_[moduleOf(addr)]->poke(offsetOf(addr), value);
+}
+
+void
+VnMachine::issue(std::uint32_t core_id, MemAccess acc)
+{
+    const std::uint32_t module = moduleOf(acc.addr);
+    if (cfg_.colocated && module == core_id) {
+        mem::MemRequest req;
+        req.kind = toMemKind(acc.kind);
+        req.addr = offsetOf(acc.addr);
+        req.data = acc.data;
+        req.cookie = packCookie(acc);
+        modules_[module]->request(req);
+    } else {
+        net_->send(core_id, module, NetMsg{false, acc});
+    }
+}
+
+void
+VnMachine::respond(std::uint32_t module, const mem::MemResponse &rsp)
+{
+    if (rsp.kind == mem::MemRequest::Kind::Write)
+        return; // stores are fire-and-forget
+    MemAccess acc = unpackCookie(rsp.cookie, rsp.addr, rsp.data);
+    if (cfg_.colocated && acc.core == module) {
+        cores_[acc.core]->complete(acc);
+    } else {
+        net_->send(module, acc.core, NetMsg{true, acc});
+    }
+}
+
+void
+VnMachine::step()
+{
+    for (std::uint32_t c = 0; c < cfg_.numCores; ++c) {
+        if (auto acc = cores_[c]->step(now_))
+            issue(c, *acc);
+    }
+
+    net_->step(now_);
+    for (std::uint32_t p = 0; p < cfg_.numCores; ++p) {
+        if (auto msg = net_->receive(p)) {
+            if (msg->isResponse) {
+                cores_[p]->complete(msg->access);
+            } else {
+                mem::MemRequest req;
+                req.kind = toMemKind(msg->access.kind);
+                req.addr = offsetOf(msg->access.addr);
+                req.data = msg->access.data;
+                req.cookie = packCookie(msg->access);
+                modules_[p]->request(req);
+            }
+        }
+    }
+
+    for (std::uint32_t m = 0; m < cfg_.numCores; ++m) {
+        modules_[m]->step(now_);
+        while (auto rsp = modules_[m]->pollResponse())
+            respond(m, *rsp);
+    }
+    ++now_;
+}
+
+bool
+VnMachine::allHalted() const
+{
+    for (const auto &core : cores_)
+        if (!core->halted())
+            return false;
+    return true;
+}
+
+sim::Cycle
+VnMachine::run()
+{
+    auto drained = [&] {
+        if (!net_->idle())
+            return false;
+        for (const auto &m : modules_)
+            if (!m->idle())
+                return false;
+        return true;
+    };
+    while (!(allHalted() && drained())) {
+        step();
+        SIM_ASSERT_MSG(now_ < cfg_.maxCycles,
+                       "vn machine exceeded {} cycles; livelock?",
+                       cfg_.maxCycles);
+    }
+    return now_;
+}
+
+double
+VnMachine::meanUtilization() const
+{
+    double sum = 0.0;
+    for (const auto &core : cores_)
+        sum += core->utilization();
+    return cores_.empty() ? 0.0 : sum / cores_.size();
+}
+
+void
+VnMachine::dumpStats(std::ostream &os) const
+{
+    sim::StatGroup machine("vnmachine");
+    machine.set("cycles", static_cast<double>(now_));
+    machine.set("meanUtilization", meanUtilization());
+    machine.set("netPacketsSent",
+                static_cast<double>(net_->stats().sent.value()));
+    machine.set("netMeanLatency", net_->stats().latency.mean());
+    machine.dump(os);
+    for (std::uint32_t c = 0; c < cfg_.numCores; ++c) {
+        const auto &st = cores_[c]->stats();
+        sim::StatGroup core(sim::format("core{}", c));
+        core.set("instructions",
+                 static_cast<double>(st.instructions.value()));
+        core.set("busyCycles",
+                 static_cast<double>(st.busyCycles.value()));
+        core.set("stallCycles",
+                 static_cast<double>(st.stallCycles.value()));
+        core.set("switchCycles",
+                 static_cast<double>(st.switchCycles.value()));
+        core.set("loads", static_cast<double>(st.loads.value()));
+        core.set("stores", static_cast<double>(st.stores.value()));
+        core.set("utilization", cores_[c]->utilization());
+        core.dump(os);
+    }
+}
+
+const net::NetStats &
+VnMachine::netStats() const
+{
+    return net_->stats();
+}
+
+const mem::MemoryModule::Stats &
+VnMachine::memStats(std::uint32_t module) const
+{
+    SIM_ASSERT(module < modules_.size());
+    return modules_[module]->stats();
+}
+
+} // namespace vn

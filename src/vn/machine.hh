@@ -1,0 +1,131 @@
+/**
+ * @file
+ * VnMachine: a von Neumann shared-memory multiprocessor assembled
+ * from VnCore processors, MemoryModule banks, and one of the network
+ * models — the abstract multiprocessor of the paper's Figure 1-1,
+ * configurable to approximate the surveyed machines:
+ *
+ *  - C.mmp:  Crossbar topology, blocking single-context cores;
+ *  - Cm*:    Hierarchical topology, colocated memory, blocking cores —
+ *            nonlocal references idle the processor;
+ *  - HEP-ish: numContexts > 1 with low-level context switching;
+ *  - dance-hall Ultracomputer-style: Omega topology, interleaved
+ *    addressing (FETCH-AND-ADD combining itself is modelled separately
+ *    by net::CombiningOmega).
+ *
+ * Memory module i is colocated with core i on network port i. A
+ * reference to a word owned by the local module bypasses the network
+ * (Cm*'s fast local path) when `colocated` is set.
+ */
+
+#ifndef TTDA_VN_MACHINE_HH
+#define TTDA_VN_MACHINE_HH
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/memory.hh"
+#include "net/network.hh"
+#include "vn/core.hh"
+
+namespace vn
+{
+
+/** Machine configuration. */
+struct VnMachineConfig
+{
+    std::uint32_t numCores = 4;
+
+    enum class Topology { Ideal, Crossbar, Omega, Hierarchical };
+    Topology topology = Topology::Ideal;
+
+    sim::Cycle netLatency = 2;      //!< Ideal/Crossbar latency
+    sim::Cycle netJitter = 0;       //!< Ideal only
+    std::uint32_t clusterSize = 4;  //!< Hierarchical
+    sim::Cycle localLatency = 2;    //!< Hierarchical cluster bus
+    sim::Cycle globalLatency = 8;   //!< Hierarchical intercluster bus
+
+    VnCoreConfig core;              //!< per-core configuration
+
+    std::size_t wordsPerModule = 1u << 16;
+    sim::Cycle memLatency = 2;
+    std::uint32_t banksPerModule = 1;
+
+    /** true: word g lives on module (g div wordsPerModule) — blocked,
+     *  Cm*-style locality. false: module (g mod numCores) —
+     *  interleaved, dance-hall style. */
+    bool blockedAddressing = true;
+
+    /** Local references bypass the network. */
+    bool colocated = true;
+
+    std::uint64_t seed = 1;
+    std::uint64_t maxCycles = 50'000'000;
+};
+
+/** The multiprocessor. */
+class VnMachine
+{
+  public:
+    explicit VnMachine(VnMachineConfig cfg);
+    VnMachine(VnMachine &&) noexcept;
+    VnMachine &operator=(VnMachine &&) noexcept;
+    ~VnMachine();
+
+    VnCore &core(std::uint32_t i);
+    const VnCore &core(std::uint32_t i) const;
+    std::uint32_t numCores() const { return cfg_.numCores; }
+
+    /** Untimed memory access for workload setup / result checks. */
+    mem::Word peek(std::uint64_t addr) const;
+    void poke(std::uint64_t addr, mem::Word value);
+
+    /** Run until every core halts (or maxCycles). @return cycles. */
+    sim::Cycle run();
+
+    /** Advance exactly one cycle (for interleaved test driving). */
+    void step();
+
+    sim::Cycle cycles() const { return now_; }
+    bool allHalted() const;
+
+    /** Mean core utilization (busy / total non-halted time). */
+    double meanUtilization() const;
+
+    const net::NetStats &netStats() const;
+    const mem::MemoryModule::Stats &memStats(std::uint32_t module) const;
+    const VnMachineConfig &config() const { return cfg_; }
+
+    /** gem5-style statistics listing (machine and per-core groups). */
+    void dumpStats(std::ostream &os) const;
+
+    /** The module owning a word under the configured addressing. */
+    std::uint32_t moduleOf(std::uint64_t addr) const;
+    /** Word offset within its module. */
+    std::uint64_t offsetOf(std::uint64_t addr) const;
+
+  private:
+    /** Payload moved through the network. */
+    struct NetMsg
+    {
+        bool isResponse = false;
+        MemAccess access;
+    };
+
+    void issue(std::uint32_t core_id, MemAccess acc);
+    void respond(std::uint32_t module, const mem::MemResponse &rsp);
+
+    VnMachineConfig cfg_;
+    std::vector<std::unique_ptr<VnCore>> cores_;
+    std::vector<std::unique_ptr<mem::MemoryModule>> modules_;
+    std::unique_ptr<net::Network<NetMsg>> net_;
+    sim::Cycle now_ = 0;
+};
+
+} // namespace vn
+
+#endif // TTDA_VN_MACHINE_HH

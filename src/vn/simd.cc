@@ -1,0 +1,85 @@
+#include "vn/simd.hh"
+
+#include "common/logging.hh"
+
+namespace vn
+{
+
+SimdMachine::SimdMachine(
+    std::unique_ptr<net::Network<std::uint64_t>> network)
+    : net_(std::move(network))
+{
+    SIM_ASSERT(net_ != nullptr);
+}
+
+sim::Cycle
+SimdMachine::execute(const SimdStep &step)
+{
+    if (step.kind == SimdStep::Kind::Compute) {
+        stats_.computeCycles += step.computeCycles;
+        return step.computeCycles;
+    }
+
+    // Communicate: inject every processor's message, then run the
+    // network until the global all-delivered flag rises.
+    std::uint64_t outstanding = 0;
+    for (sim::NodeId p = 0; p < net_->numPorts(); ++p) {
+        const sim::NodeId dst = step.pattern(p);
+        if (dst == sim::invalidNode)
+            continue;
+        SIM_ASSERT_MSG(dst < net_->numPorts(),
+                       "simd message from {} to invalid node {}", p,
+                       dst);
+        net_->send(p, dst, p);
+        ++outstanding;
+        stats_.messages.inc();
+    }
+    sim::Cycle elapsed = 0;
+    while (outstanding > 0) {
+        net_->step(netClock_);
+        ++netClock_;
+        ++elapsed;
+        for (sim::NodeId p = 0; p < net_->numPorts(); ++p)
+            while (net_->receive(p))
+                --outstanding;
+        SIM_ASSERT_MSG(elapsed < (1u << 22),
+                       "simd communicate step failed to drain");
+    }
+    stats_.commCycles += elapsed;
+    stats_.commStepCost.sample(static_cast<double>(elapsed));
+    return elapsed;
+}
+
+sim::Cycle
+SimdMachine::run(const std::vector<SimdStep> &program)
+{
+    sim::Cycle total = 0;
+    for (const auto &step : program)
+        total += execute(step);
+    return total;
+}
+
+SimdPattern
+gridShift(std::uint32_t side, std::uint32_t direction)
+{
+    return [side, direction](sim::NodeId p) -> sim::NodeId {
+        const std::uint32_t x = p % side;
+        const std::uint32_t y = p / side;
+        switch (direction) {
+          case 0: return y * side + (x + 1) % side;          // east
+          case 1: return y * side + (x + side - 1) % side;   // west
+          case 2: return ((y + 1) % side) * side + x;        // south
+          default: return ((y + side - 1) % side) * side + x; // north
+        }
+    };
+}
+
+SimdPattern
+singleMessage(sim::NodeId who, sim::NodeId dst)
+{
+    return [who, dst](sim::NodeId p) {
+        return p == who ? dst : sim::invalidNode;
+    };
+}
+
+} // namespace vn

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * SimdMachine: the single-instruction-stream machines of paper
+ * Section 1.2.5 (Illiac IV, the Connection Machine proposal).
+ *
+ * One instruction stream drives every processor in lockstep. A
+ * program is a sequence of steps:
+ *
+ *  - Compute(c): every (participating) processor spends c cycles on
+ *    its 1-bit ALU — a 32-bit add on the CM is 32 such cycles;
+ *  - Communicate(pattern): each processor sends at most one message
+ *    through the routing network. "A global flag is raised when all
+ *    processors are done communicating, and only then can the next
+ *    instruction begin" — the step costs as long as the *slowest*
+ *    message, so one straggler stalls the whole machine.
+ *
+ * The network is pluggable (GridNet for Illiac IV, Hypercube for the
+ * CM). The statistics separate compute cycles from communication
+ * cycles — the paper's "a processor will spend almost all (90%?,
+ * 99%?) of its time communicating".
+ */
+
+#ifndef TTDA_VN_SIMD_HH
+#define TTDA_VN_SIMD_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "net/network.hh"
+
+namespace vn
+{
+
+/** Destination pattern: proc -> destination (invalidNode = silent). */
+using SimdPattern = std::function<sim::NodeId(sim::NodeId)>;
+
+/** One lockstep instruction. */
+struct SimdStep
+{
+    enum class Kind : std::uint8_t { Compute, Communicate };
+
+    Kind kind = Kind::Compute;
+    sim::Cycle computeCycles = 1; //!< Compute only
+    SimdPattern pattern;          //!< Communicate only
+
+    static SimdStep
+    compute(sim::Cycle cycles)
+    {
+        SimdStep s;
+        s.kind = Kind::Compute;
+        s.computeCycles = cycles;
+        return s;
+    }
+
+    static SimdStep
+    communicate(SimdPattern pattern)
+    {
+        SimdStep s;
+        s.kind = Kind::Communicate;
+        s.pattern = std::move(pattern);
+        return s;
+    }
+};
+
+/** The lockstep machine. */
+class SimdMachine
+{
+  public:
+    struct Stats
+    {
+        sim::Cycle computeCycles = 0;
+        sim::Cycle commCycles = 0;
+        sim::Counter messages;
+        sim::Accumulator commStepCost; //!< cycles per Communicate step
+
+        double
+        commFraction() const
+        {
+            const double total = static_cast<double>(computeCycles) +
+                                 static_cast<double>(commCycles);
+            return total > 0.0 ? commCycles / total : 0.0;
+        }
+    };
+
+    /** Takes ownership of the routing network. */
+    explicit SimdMachine(
+        std::unique_ptr<net::Network<std::uint64_t>> network);
+
+    sim::NodeId numProcessors() const { return net_->numPorts(); }
+
+    /** Execute one step; returns the cycles it consumed. */
+    sim::Cycle execute(const SimdStep &step);
+
+    /** Execute a whole program. @return total cycles. */
+    sim::Cycle run(const std::vector<SimdStep> &program);
+
+    const Stats &stats() const { return stats_; }
+
+  private:
+    std::unique_ptr<net::Network<std::uint64_t>> net_;
+    sim::Cycle netClock_ = 0;
+    Stats stats_;
+};
+
+/** Illiac-IV-style uniform shift on a k x k grid: everyone sends one
+ *  step in the same direction (0=E, 1=W, 2=S, 3=N). */
+SimdPattern gridShift(std::uint32_t side, std::uint32_t direction);
+
+/** All processors silent except `who`, who sends to `dst` — the
+ *  straggler that stalls the whole lockstep machine. */
+SimdPattern singleMessage(sim::NodeId who, sim::NodeId dst);
+
+} // namespace vn
+
+#endif // TTDA_VN_SIMD_HH

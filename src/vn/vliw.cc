@@ -1,0 +1,187 @@
+#include "vn/vliw.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.hh"
+
+namespace vn
+{
+
+std::uint32_t
+VliwDag::compute(std::vector<std::uint32_t> deps, std::string label)
+{
+    for (auto d : deps)
+        SIM_ASSERT_MSG(d < ops_.size(), "dep {} of op {} undefined", d,
+                       ops_.size());
+    VliwOp op;
+    op.kind = VliwOp::Kind::Compute;
+    op.deps = std::move(deps);
+    op.label = std::move(label);
+    ops_.push_back(std::move(op));
+    return static_cast<std::uint32_t>(ops_.size() - 1);
+}
+
+std::uint32_t
+VliwDag::load(std::vector<std::uint32_t> deps, std::string label)
+{
+    const auto id = compute(std::move(deps), std::move(label));
+    ops_[id].kind = VliwOp::Kind::Load;
+    return id;
+}
+
+std::uint64_t
+VliwDag::criticalPath(sim::Cycle compute_latency,
+                      sim::Cycle load_latency) const
+{
+    std::vector<std::uint64_t> finish(ops_.size(), 0);
+    std::uint64_t longest = 0;
+    for (std::size_t i = 0; i < ops_.size(); ++i) {
+        std::uint64_t start = 0;
+        for (auto d : ops_[i].deps)
+            start = std::max(start, finish[d]);
+        const sim::Cycle lat = ops_[i].kind == VliwOp::Kind::Load
+                                   ? load_latency
+                                   : compute_latency;
+        finish[i] = start + lat;
+        longest = std::max(longest, finish[i]);
+    }
+    return longest;
+}
+
+double
+VliwSchedule::slotUtilization() const
+{
+    if (length == 0 || width == 0)
+        return 0.0;
+    return static_cast<double>(issueCycle.size()) /
+           (static_cast<double>(length) * width);
+}
+
+VliwSchedule
+scheduleDag(const VliwDag &dag, std::uint32_t width,
+            sim::Cycle assumed_load_latency, sim::Cycle compute_latency)
+{
+    SIM_ASSERT(width >= 1);
+    SIM_ASSERT(assumed_load_latency >= 1 && compute_latency >= 1);
+
+    VliwSchedule sched;
+    sched.width = width;
+    sched.assumedLoadLatency = assumed_load_latency;
+    sched.computeLatency = compute_latency;
+    sched.issueCycle.assign(dag.size(), 0);
+
+    const auto &ops = dag.ops();
+    std::vector<bool> placed(ops.size(), false);
+    std::vector<sim::Cycle> resultAt(ops.size(), 0);
+    std::size_t remaining = ops.size();
+    sim::Cycle cycle = 0;
+
+    while (remaining > 0) {
+        std::uint32_t used = 0;
+        for (std::size_t i = 0; i < ops.size() && used < width; ++i) {
+            if (placed[i])
+                continue;
+            bool ready = true;
+            for (auto d : ops[i].deps) {
+                if (!placed[d] || resultAt[d] > cycle) {
+                    ready = false;
+                    break;
+                }
+            }
+            if (!ready)
+                continue;
+            placed[i] = true;
+            sched.issueCycle[i] = cycle;
+            const sim::Cycle lat = ops[i].kind == VliwOp::Kind::Load
+                                       ? assumed_load_latency
+                                       : compute_latency;
+            resultAt[i] = cycle + lat;
+            sched.length = std::max(sched.length, resultAt[i]);
+            ++used;
+            --remaining;
+        }
+        ++cycle;
+        SIM_ASSERT_MSG(cycle < (1u << 28), "vliw scheduler livelock");
+    }
+    return sched;
+}
+
+VliwRun
+executeSchedule(const VliwDag &dag, const VliwSchedule &sched,
+                sim::Cycle actual_load_latency)
+{
+    const auto &ops = dag.ops();
+    SIM_ASSERT(sched.issueCycle.size() == ops.size());
+
+    // Group ops by their scheduled wide instruction.
+    std::map<sim::Cycle, std::vector<std::uint32_t>> groups;
+    for (std::uint32_t i = 0; i < ops.size(); ++i)
+        groups[sched.issueCycle[i]].push_back(i);
+
+    auto actual_latency = [&](std::uint32_t i) {
+        return ops[i].kind == VliwOp::Kind::Load
+                   ? actual_load_latency
+                   : sched.computeLatency;
+    };
+
+    std::vector<sim::Cycle> actualIssue(ops.size(), 0);
+    sim::Cycle slip = 0;
+    VliwRun run;
+    for (auto &[sched_cycle, members] : groups) {
+        sim::Cycle when = sched_cycle + slip;
+        // Lockstep: the wide instruction waits until every member's
+        // operands have actually arrived.
+        sim::Cycle required = when;
+        for (auto i : members)
+            for (auto d : ops[i].deps)
+                required = std::max(required,
+                                    actualIssue[d] + actual_latency(d));
+        if (required > when) {
+            run.stallCycles += required - when;
+            slip += required - when;
+            when = required;
+        }
+        for (auto i : members) {
+            actualIssue[i] = when;
+            run.cycles = std::max(run.cycles,
+                                  when + actual_latency(i));
+        }
+    }
+    return run;
+}
+
+VliwDag
+makeIndependentDag(std::uint32_t n)
+{
+    VliwDag dag;
+    for (std::uint32_t i = 0; i < n; ++i)
+        dag.compute({}, sim::format("op{}", i));
+    return dag;
+}
+
+VliwDag
+makeChainDag(std::uint32_t n)
+{
+    VliwDag dag;
+    std::uint32_t prev = dag.compute({}, "op0");
+    for (std::uint32_t i = 1; i < n; ++i)
+        prev = dag.compute({prev}, sim::format("op{}", i));
+    return dag;
+}
+
+VliwDag
+makeLoopDag(std::uint32_t iters)
+{
+    VliwDag dag;
+    std::uint32_t acc = dag.compute({}, "acc0");
+    for (std::uint32_t i = 0; i < iters; ++i) {
+        const auto ld = dag.load({}, sim::format("load{}", i));
+        const auto m1 = dag.compute({ld}, sim::format("f1.{}", i));
+        const auto m2 = dag.compute({m1}, sim::format("f2.{}", i));
+        acc = dag.compute({m2, acc}, sim::format("acc{}", i + 1));
+    }
+    return dag;
+}
+
+} // namespace vn

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * VliwMachine: the horizontally-microprogrammed machines of paper
+ * Section 1.2.4 (ELI-512, the ESL Polycyclic processor, the AP-120B).
+ *
+ * These machines "resolve run-time sharing conflicts by moving them to
+ * compile time" and "plan memory references and control transfers in
+ * advance of the need". The model captures exactly that contract:
+ *
+ *  - the program is a dependence DAG of unit operations (compute ops
+ *    of fixed latency, memory loads whose latency the *compiler
+ *    assumed* at schedule time);
+ *  - a greedy list scheduler (the "smart compiler") packs the DAG
+ *    into wide instructions of `width` slots, honouring dependences
+ *    and the assumed latencies — this is done once, statically;
+ *  - at run time the machine issues one wide instruction per cycle in
+ *    lockstep. If a load's *actual* latency exceeds the assumed one,
+ *    the whole machine stalls (there is no scoreboard — that is the
+ *    point).
+ *
+ * Metrics: schedule length, slot utilization, and run-time cycles
+ * under a given actual memory latency — enough to reproduce the
+ * paper's judgement that the technique works for "small scale (4 to
+ * 8) parallelism" but cannot tolerate dynamic latency.
+ */
+
+#ifndef TTDA_VN_VLIW_HH
+#define TTDA_VN_VLIW_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace vn
+{
+
+/** One unit operation in the dependence DAG. */
+struct VliwOp
+{
+    enum class Kind : std::uint8_t { Compute, Load };
+
+    Kind kind = Kind::Compute;
+    std::vector<std::uint32_t> deps; //!< operand producers (op ids)
+    std::string label;
+};
+
+/** A dependence DAG (the compiler's view of one code region). */
+class VliwDag
+{
+  public:
+    /** Append a compute op depending on `deps`; returns its id. */
+    std::uint32_t compute(std::vector<std::uint32_t> deps = {},
+                          std::string label = {});
+
+    /** Append a load depending on `deps`; returns its id. */
+    std::uint32_t load(std::vector<std::uint32_t> deps = {},
+                       std::string label = {});
+
+    const std::vector<VliwOp> &ops() const { return ops_; }
+    std::size_t size() const { return ops_.size(); }
+
+    /** Length of the longest dependence chain with the given assumed
+     *  latencies (the schedule-length lower bound). */
+    std::uint64_t criticalPath(sim::Cycle compute_latency,
+                               sim::Cycle load_latency) const;
+
+  private:
+    std::vector<VliwOp> ops_;
+};
+
+/** The static schedule: for each op, its issue slot. */
+struct VliwSchedule
+{
+    std::uint32_t width = 1;
+    sim::Cycle assumedLoadLatency = 1;
+    sim::Cycle computeLatency = 1;
+    std::vector<sim::Cycle> issueCycle; //!< per op id
+    sim::Cycle length = 0;              //!< cycles in the schedule
+
+    /** Fraction of issue slots carrying an operation. */
+    double slotUtilization() const;
+};
+
+/**
+ * The greedy cycle-by-cycle list scheduler ("a smart compiler or a
+ * patient and talented human").
+ */
+VliwSchedule scheduleDag(const VliwDag &dag, std::uint32_t width,
+                         sim::Cycle assumed_load_latency,
+                         sim::Cycle compute_latency = 1);
+
+/**
+ * Execute a schedule under the *actual* memory latency. Every load
+ * whose result is consumed earlier than it arrives stalls the whole
+ * machine for the difference (lockstep, no out-of-order anything).
+ *
+ * @return total run cycles.
+ */
+struct VliwRun
+{
+    sim::Cycle cycles = 0;
+    sim::Cycle stallCycles = 0;
+};
+VliwRun executeSchedule(const VliwDag &dag, const VliwSchedule &sched,
+                        sim::Cycle actual_load_latency);
+
+// ---------------------------------------------------------------------
+// DAG generators for the experiments.
+
+/** `n` fully independent compute ops (embarrassing parallelism). */
+VliwDag makeIndependentDag(std::uint32_t n);
+
+/** A serial chain of `n` compute ops (no parallelism at all). */
+VliwDag makeChainDag(std::uint32_t n);
+
+/**
+ * The trapezoid-like loop body, unrolled `iters` times: per iteration
+ * a load (the paper's planned memory reference), two compute ops on
+ * it, and a serial accumulation edge to the next iteration.
+ */
+VliwDag makeLoopDag(std::uint32_t iters);
+
+} // namespace vn
+
+#endif // TTDA_VN_VLIW_HH

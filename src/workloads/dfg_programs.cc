@@ -1,0 +1,385 @@
+#include "workloads/dfg_programs.hh"
+
+#include "graph/builder.hh"
+#include "graph/loop_schema.hh"
+
+namespace workloads
+{
+
+using graph::BlockBuilder;
+using graph::FnRef;
+using graph::LoopBuilder;
+using graph::Opcode;
+using graph::Program;
+using graph::Value;
+
+double
+trapezoidIntegrand(double x)
+{
+    return x * x;
+}
+
+double
+trapezoidReference(double a, double b, std::int64_t n)
+{
+    const double h = (b - a) / static_cast<double>(n);
+    double s = (trapezoidIntegrand(a) + trapezoidIntegrand(b)) / 2.0;
+    double x = a;
+    for (std::int64_t i = 1; i <= n - 1; ++i) {
+        x += h;
+        s += trapezoidIntegrand(x);
+    }
+    return s * h;
+}
+
+namespace
+{
+
+/** Build f(x) = x*x as its own code block (the "box marked f"). */
+std::uint16_t
+buildIntegrand(Program &program)
+{
+    BlockBuilder f(program, "f", 1);
+    const auto mul = f.add(Opcode::Mul, 2, "x*x");
+    f.to(0, mul, 0).to(0, mul, 1);
+    const auto ret = f.add(Opcode::Return, 1);
+    f.to(mul, ret, 0);
+    return f.build();
+}
+
+} // namespace
+
+std::uint16_t
+buildTrapezoid(Program &program)
+{
+    const std::uint16_t f_cb = buildIntegrand(program);
+
+    // ---- Loop code block: circulating vars [s, x, i, hi, h] --------
+    // (hi = n-1 and h are loop invariants.)
+    const std::uint16_t loop_cb_expected =
+        static_cast<std::uint16_t>(program.numCodeBlocks());
+    LoopBuilder loop(program, "trapezoid.loop", 5);
+    enum Var { S = 0, X = 1, I = 2, HI = 3, H = 4 };
+
+    // Predicate: i <= hi, from the receivers.
+    const auto pred = loop.b().add(Opcode::Le, 2, "i<=hi");
+    loop.b().to(loop.recv(I), pred, 0).to(loop.recv(HI), pred, 1);
+    loop.setPredicate(pred);
+
+    // Body: new x <- x + h; new s <- s + f(new x); new i <- i + 1.
+    const auto new_x = loop.b().add(Opcode::Add, 2, "x+h");
+    loop.b().to(loop.sw(X), new_x, 0).to(loop.sw(H), new_x, 1);
+
+    // "new s <- s + f(x)": f is applied to the *old* x (the initial
+    // value is already a + h), matching the paper's ID text.
+    const auto call_f = loop.b().add(Opcode::Apply, 1, "f(x)");
+    loop.b().constant(call_f, Value{FnRef{f_cb}});
+    loop.b().to(loop.sw(X), call_f, 0);
+
+    const auto new_s = loop.b().add(Opcode::Add, 2, "s+f(x)");
+    loop.b().to(loop.sw(S), new_s, 0).to(call_f, new_s, 1);
+
+    const auto new_i = loop.b().add(Opcode::Add, 1, "i+1");
+    loop.b().constant(new_i, Value{std::int64_t{1}});
+    loop.b().to(loop.sw(I), new_i, 0);
+
+    loop.b().to(new_s, loop.next(S), 0);
+    loop.b().to(new_x, loop.next(X), 0);
+    loop.b().to(new_i, loop.next(I), 0);
+    loop.circulateUnchanged(HI);
+    loop.circulateUnchanged(H);
+
+    // ---- Main code block: params a(0) b(1) n(2) ---------------------
+    BlockBuilder main(program, "main", 3);
+
+    const auto b_minus_a = main.add(Opcode::Sub, 2, "b-a");
+    main.to(1, b_minus_a, 0).to(0, b_minus_a, 1);
+    const auto h = main.add(Opcode::Div, 2, "h=(b-a)/n");
+    main.to(b_minus_a, h, 0).to(2, h, 1);
+
+    const auto fa = main.add(Opcode::Apply, 1, "f(a)");
+    main.constant(fa, Value{FnRef{f_cb}});
+    main.to(0, fa, 0);
+    const auto fb = main.add(Opcode::Apply, 1, "f(b)");
+    main.constant(fb, Value{FnRef{f_cb}});
+    main.to(1, fb, 0);
+
+    const auto fafb = main.add(Opcode::Add, 2, "f(a)+f(b)");
+    main.to(fa, fafb, 0).to(fb, fafb, 1);
+    const auto s0 = main.add(Opcode::Div, 1, "s0=(f(a)+f(b))/2");
+    main.constant(s0, Value{2.0});
+    main.to(fafb, s0, 0);
+
+    const auto x0 = main.add(Opcode::Add, 2, "x0=a+h");
+    main.to(0, x0, 0).to(h, x0, 1);
+
+    const auto i0 = main.add(Opcode::Lit, 1, "i0=1");
+    main.constant(i0, Value{std::int64_t{1}});
+    main.to(2, i0, 0); // n triggers the literal
+
+    const auto hi = main.add(Opcode::Sub, 1, "hi=n-1");
+    main.constant(hi, Value{std::int64_t{1}});
+    main.to(2, hi, 0);
+
+    // Exit continuation: result = s_final * h.
+    const auto s_exit = main.add(Opcode::Ident, 1, "s (exit)");
+    const auto result = main.add(Opcode::Mul, 2, "s*h");
+    main.to(s_exit, result, 0).to(h, result, 1);
+    const auto out = main.add(Opcode::Output, 1);
+    main.to(result, out, 0);
+
+    // Loop exit target must be known while building the loop — wire it
+    // now that both statement numbers exist.
+    loop.exitTo(S, s_exit, 0);
+    const std::uint16_t loop_cb = loop.build();
+    SIM_ASSERT_MSG(loop_cb == loop_cb_expected,
+                   "loop code block id drifted");
+
+    // Entries: one L per circulating variable (site 1).
+    auto ls = LoopBuilder::entries(main, loop_cb, 1, 5);
+    main.to(s0, ls[S], 0);
+    main.to(x0, ls[X], 0);
+    main.to(i0, ls[I], 0);
+    main.to(hi, ls[HI], 0);
+    main.to(h, ls[H], 0);
+
+    return main.build();
+}
+
+namespace
+{
+
+/** Producer loop: vars [i, hi, arr]; stores payload(i) at arr[i]. */
+std::uint16_t
+buildProducerLoop(Program &program, int delay_stages)
+{
+    LoopBuilder loop(program, "producer.loop", 3);
+    enum Var { I = 0, HI = 1, ARR = 2 };
+
+    const auto pred = loop.b().add(Opcode::Le, 2, "i<=hi");
+    loop.b().to(loop.recv(I), pred, 0).to(loop.recv(HI), pred, 1);
+    loop.setPredicate(pred);
+
+    // Payload: 2*i, optionally through a delay chain of IDENTs to
+    // model a slow producer.
+    const auto payload = loop.b().add(Opcode::Mul, 1, "2*i");
+    loop.b().constant(payload, Value{2.0});
+    loop.b().to(loop.sw(I), payload, 0);
+    std::uint16_t payload_end = payload;
+    for (int d = 0; d < delay_stages; ++d) {
+        const auto stage = loop.b().add(Opcode::Ident, 1, "delay");
+        loop.b().to(payload_end, stage, 0);
+        payload_end = stage;
+    }
+
+    const auto store = loop.b().add(Opcode::IStore, 3, "arr[i]<-2i");
+    loop.b().to(loop.sw(ARR), store, 0);
+    loop.b().to(loop.sw(I), store, 1);
+    loop.b().to(payload_end, store, 2);
+
+    const auto new_i = loop.b().add(Opcode::Add, 1, "i+1");
+    loop.b().constant(new_i, Value{std::int64_t{1}});
+    loop.b().to(loop.sw(I), new_i, 0);
+    loop.b().to(new_i, loop.next(I), 0);
+    loop.circulateUnchanged(HI);
+    loop.circulateUnchanged(ARR);
+    return loop.build();
+}
+
+/** Consumer loop: vars [s, i, hi, arr]; sums arr[i]; returns s. */
+std::uint16_t
+buildConsumerLoop(Program &program, std::uint16_t exit_stmt)
+{
+    LoopBuilder loop(program, "consumer.loop", 4);
+    enum Var { S = 0, I = 1, HI = 2, ARR = 3 };
+
+    const auto pred = loop.b().add(Opcode::Le, 2, "i<=hi");
+    loop.b().to(loop.recv(I), pred, 0).to(loop.recv(HI), pred, 1);
+    loop.setPredicate(pred);
+
+    const auto fetch = loop.b().add(Opcode::IFetch, 2, "arr[i]");
+    loop.b().to(loop.sw(ARR), fetch, 0);
+    loop.b().to(loop.sw(I), fetch, 1);
+
+    const auto new_s = loop.b().add(Opcode::Add, 2, "s+arr[i]");
+    loop.b().to(loop.sw(S), new_s, 0);
+    loop.b().to(fetch, new_s, 1);
+
+    const auto new_i = loop.b().add(Opcode::Add, 1, "i+1");
+    loop.b().constant(new_i, Value{std::int64_t{1}});
+    loop.b().to(loop.sw(I), new_i, 0);
+
+    loop.b().to(new_s, loop.next(S), 0);
+    loop.b().to(new_i, loop.next(I), 0);
+    loop.circulateUnchanged(HI);
+    loop.circulateUnchanged(ARR);
+
+    loop.exitTo(S, exit_stmt, 0);
+    return loop.build();
+}
+
+std::uint16_t
+buildProducerConsumerImpl(Program &program, int delay_stages)
+{
+    const std::uint16_t prod_cb =
+        buildProducerLoop(program, delay_stages);
+
+    // Main: params n(0).
+    BlockBuilder main(program, "main", 1);
+    const auto alloc = main.add(Opcode::Alloc, 1, "array(n)");
+    main.to(0, alloc, 0);
+    const auto arr = main.add(Opcode::Ident, 1, "arr");
+    main.to(alloc, arr, 0);
+
+    const auto i0 = main.add(Opcode::Lit, 1, "i0=0");
+    main.constant(i0, Value{std::int64_t{0}});
+    main.to(0, i0, 0);
+    const auto s0 = main.add(Opcode::Lit, 1, "s0=0");
+    main.constant(s0, Value{0.0});
+    main.to(0, s0, 0);
+    const auto hi = main.add(Opcode::Sub, 1, "hi=n-1");
+    main.constant(hi, Value{std::int64_t{1}});
+    main.to(0, hi, 0);
+
+    const auto s_exit = main.add(Opcode::Ident, 1, "sum (exit)");
+    const auto out = main.add(Opcode::Output, 1);
+    main.to(s_exit, out, 0);
+
+    const std::uint16_t cons_cb =
+        buildConsumerLoop(program, s_exit);
+
+    // Producer entries (site 1): [i, hi, arr].
+    auto pls = LoopBuilder::entries(main, prod_cb, 1, 3);
+    main.to(i0, pls[0], 0);
+    main.to(hi, pls[1], 0);
+    main.to(arr, pls[2], 0);
+
+    // Consumer entries (site 2): [s, i, hi, arr].
+    auto cls = LoopBuilder::entries(main, cons_cb, 2, 4);
+    main.to(s0, cls[0], 0);
+    main.to(i0, cls[1], 0);
+    main.to(hi, cls[2], 0);
+    main.to(arr, cls[3], 0);
+
+    return main.build();
+}
+
+} // namespace
+
+std::uint16_t
+buildProducerConsumer(Program &program)
+{
+    return buildProducerConsumerImpl(program, 0);
+}
+
+std::uint16_t
+buildProducerConsumerDelayed(Program &program, int delay_stages)
+{
+    return buildProducerConsumerImpl(program, delay_stages);
+}
+
+std::uint16_t
+buildFib(Program &program)
+{
+    const std::uint16_t fib_cb_id =
+        static_cast<std::uint16_t>(program.numCodeBlocks());
+
+    BlockBuilder fib(program, "fib", 1);
+    const auto is_base = fib.add(Opcode::Lt, 1, "n<2");
+    fib.constant(is_base, Value{std::int64_t{2}});
+    fib.to(0, is_base, 0);
+
+    const auto gate = fib.add(Opcode::Switch, 2, "base?");
+    fib.to(0, gate, 0).to(is_base, gate, 1);
+
+    const auto ret_base = fib.add(Opcode::Return, 1, "return n");
+    fib.to(gate, ret_base, 0); // true side
+
+    const auto n1 = fib.add(Opcode::Sub, 1, "n-1");
+    fib.constant(n1, Value{std::int64_t{1}});
+    const auto n2 = fib.add(Opcode::Sub, 1, "n-2");
+    fib.constant(n2, Value{std::int64_t{2}});
+    fib.to(gate, n1, 0, /*on_false=*/true);
+    fib.to(gate, n2, 0, /*on_false=*/true);
+
+    const auto call1 = fib.add(Opcode::Apply, 1, "fib(n-1)");
+    fib.constant(call1, Value{FnRef{fib_cb_id}});
+    fib.to(n1, call1, 0);
+    const auto call2 = fib.add(Opcode::Apply, 1, "fib(n-2)");
+    fib.constant(call2, Value{FnRef{fib_cb_id}});
+    fib.to(n2, call2, 0);
+
+    const auto sum = fib.add(Opcode::Add, 2);
+    fib.to(call1, sum, 0).to(call2, sum, 1);
+    const auto ret = fib.add(Opcode::Return, 1);
+    fib.to(sum, ret, 0);
+    const std::uint16_t built = fib.build();
+    SIM_ASSERT_MSG(built == fib_cb_id, "fib code block id drifted");
+
+    BlockBuilder main(program, "main", 1);
+    const auto call = main.add(Opcode::Apply, 1, "fib(n)");
+    main.constant(call, Value{FnRef{fib_cb_id}});
+    main.to(0, call, 0);
+    const auto out = main.add(Opcode::Output, 1);
+    main.to(call, out, 0);
+    return main.build();
+}
+
+std::uint16_t
+buildVectorSum(Program &program)
+{
+    // Producer fills arr[i] = i (integers); consumer sums.
+    LoopBuilder fill(program, "vecsum.fill", 3);
+    {
+        enum Var { I = 0, HI = 1, ARR = 2 };
+        const auto pred = fill.b().add(Opcode::Le, 2, "i<=hi");
+        fill.b().to(fill.recv(I), pred, 0).to(fill.recv(HI), pred, 1);
+        fill.setPredicate(pred);
+        const auto store = fill.b().add(Opcode::IStore, 3, "arr[i]<-i");
+        fill.b().to(fill.sw(ARR), store, 0);
+        fill.b().to(fill.sw(I), store, 1);
+        fill.b().to(fill.sw(I), store, 2);
+        const auto new_i = fill.b().add(Opcode::Add, 1, "i+1");
+        fill.b().constant(new_i, Value{std::int64_t{1}});
+        fill.b().to(fill.sw(I), new_i, 0);
+        fill.b().to(new_i, fill.next(I), 0);
+        fill.circulateUnchanged(HI);
+        fill.circulateUnchanged(ARR);
+    }
+    const std::uint16_t fill_cb = fill.build();
+
+    BlockBuilder main(program, "main", 1);
+    const auto alloc = main.add(Opcode::Alloc, 1, "array(n)");
+    main.to(0, alloc, 0);
+    const auto arr = main.add(Opcode::Ident, 1, "arr");
+    main.to(alloc, arr, 0);
+    const auto i0 = main.add(Opcode::Lit, 1, "0");
+    main.constant(i0, Value{std::int64_t{0}});
+    main.to(0, i0, 0);
+    const auto s0 = main.add(Opcode::Lit, 1, "0");
+    main.constant(s0, Value{std::int64_t{0}});
+    main.to(0, s0, 0);
+    const auto hi = main.add(Opcode::Sub, 1, "n-1");
+    main.constant(hi, Value{std::int64_t{1}});
+    main.to(0, hi, 0);
+    const auto s_exit = main.add(Opcode::Ident, 1, "sum");
+    const auto out = main.add(Opcode::Output, 1);
+    main.to(s_exit, out, 0);
+
+    const std::uint16_t cons_cb = buildConsumerLoop(program, s_exit);
+
+    auto fls = LoopBuilder::entries(main, fill_cb, 1, 3);
+    main.to(i0, fls[0], 0);
+    main.to(hi, fls[1], 0);
+    main.to(arr, fls[2], 0);
+
+    auto cls = LoopBuilder::entries(main, cons_cb, 2, 4);
+    main.to(s0, cls[0], 0);
+    main.to(i0, cls[1], 0);
+    main.to(hi, cls[2], 0);
+    main.to(arr, cls[3], 0);
+
+    return main.build();
+}
+
+} // namespace workloads

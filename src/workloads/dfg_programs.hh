@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Hand-compiled dataflow graph workloads.
+ *
+ * These construct the paper's example programs directly with the
+ * GraphBuilder/LoopBuilder APIs (the ID compiler in src/id produces
+ * the same schemata from source text; integration tests check the two
+ * agree).
+ *
+ *  - buildTrapezoid: the paper's Figure 2-2 program — integrate f from
+ *    a to b over n intervals by the trapezoidal rule;
+ *  - buildProducerConsumer: the Issue 2 example — one loop produces
+ *    array elements, a concurrent loop consumes them through
+ *    I-structure storage;
+ *  - buildFib: doubly recursive Fibonacci — exercises APPLY/RETURN
+ *    context creation (generalized procedures);
+ *  - buildVectorOps: allocate/fill/reduce a vector — a minimal
+ *    structure-storage workload with a configurable element count.
+ */
+
+#ifndef TTDA_WORKLOADS_DFG_PROGRAMS_HH
+#define TTDA_WORKLOADS_DFG_PROGRAMS_HH
+
+#include <cstdint>
+
+#include "graph/program.hh"
+
+namespace workloads
+{
+
+/** Integrand used by the trapezoid workload: f(x) = x*x. */
+double trapezoidIntegrand(double x);
+
+/** Closed-form trapezoidal-rule reference value for f(x)=x^2. */
+double trapezoidReference(double a, double b, std::int64_t n);
+
+/**
+ * Build the Figure 2-2 program. main(a, b, n) integrates f(x)=x^2 from
+ * a to b over n intervals and OUTPUTs the result.
+ * @return the main code block id.
+ */
+std::uint16_t buildTrapezoid(graph::Program &program);
+
+/**
+ * Build the Issue-2 producer/consumer program. main(n) allocates an
+ * n-element I-structure; a producer loop stores element i = 2*i while
+ * a concurrent consumer loop sums all elements and OUTPUTs the total
+ * (which equals n*(n-1)).
+ * @return the main code block id.
+ */
+std::uint16_t buildProducerConsumer(graph::Program &program);
+
+/**
+ * As buildProducerConsumer, but the producer runs its payload through
+ * `delay_stages` extra IDENT stages per element, so consumers
+ * genuinely race ahead of the producer and park on deferred lists.
+ */
+std::uint16_t buildProducerConsumerDelayed(graph::Program &program,
+                                           int delay_stages);
+
+/** Doubly recursive Fibonacci; main(n) OUTPUTs fib(n). */
+std::uint16_t buildFib(graph::Program &program);
+
+/**
+ * Vector workload: main(n) allocates an n-vector, fills element i with
+ * i (producer loop), reads every element back and OUTPUTs the sum
+ * n*(n-1)/2.
+ */
+std::uint16_t buildVectorSum(graph::Program &program);
+
+} // namespace workloads
+
+#endif // TTDA_WORKLOADS_DFG_PROGRAMS_HH

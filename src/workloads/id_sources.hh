@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Canonical mini-ID workload sources shared by tests, examples, and
+ * benchmarks.
+ *
+ * Each is a complete program with a `main`; inputs and the closed-form
+ * expected outputs are documented per program.
+ */
+
+#ifndef TTDA_WORKLOADS_ID_SOURCES_HH
+#define TTDA_WORKLOADS_ID_SOURCES_HH
+
+namespace workloads::src
+{
+
+/** The paper's Figure 2-2 program. main(a real, b real, n int) ->
+ *  trapezoidal-rule integral of x^2 over [a,b] with n intervals. */
+inline const char *trapezoid = R"(
+def f(x) = x * x;
+def main(a, b, n) =
+  let h = (b - a) / n in
+  (initial s <- (f(a) + f(b)) / 2.0; x <- a + h
+   for i from 1 to n - 1 do
+     new x <- x + h;
+     new s <- s + f(x)
+   return s) * h;
+)";
+
+/** main(n int) -> fib(n), doubly recursive. */
+inline const char *fib = R"(
+def fib(n) = if n < 2 then n else fib(n - 1) + fib(n - 2);
+def main(n) = fib(n);
+)";
+
+/** main(x int, y int, z int) -> tak(x,y,z) — the classic call-heavy
+ *  benchmark; deep mutual recursion through APPLY/RETURN. */
+inline const char *tak = R"(
+def tak(x, y, z) =
+  if y < x
+  then tak(tak(x - 1, y, z), tak(y - 1, z, x), tak(z - 1, x, y))
+  else z;
+def main(x, y, z) = tak(x, y, z);
+)";
+
+/** main(n int) -> sum(A*B) for A[i][j] = i + 2j, B[i][j] = i*j + 1,
+ *  with producers and n^2 dot-product consumers overlapping through
+ *  I-structures. */
+inline const char *matmul = R"(
+def filla(t, n) =
+  (initial a <- t
+   for ij from 0 to n * n - 1 do
+     new a <- store(a, ij, (ij / n) + 2 * (ij % n))
+   return a);
+def fillb(t, n) =
+  (initial b <- t
+   for ij from 0 to n * n - 1 do
+     new b <- store(b, ij, (ij / n) * (ij % n) + 1)
+   return b);
+def cell(a, b, n, ij) =
+  let i = ij / n; j = ij % n in
+  (initial s <- 0
+   for k from 0 to n - 1 do
+     new s <- s + a[i * n + k] * b[k * n + j]
+   return s);
+def main(n) =
+  let a = array(n * n); b = array(n * n) in
+  let da = filla(a, n); db = fillb(b, n) in
+  (initial s <- 0
+   for ij from 0 to n * n - 1 do
+     new s <- s + cell(a, b, n, ij)
+   return s);
+)";
+
+/**
+ * Wavefront relaxation — the Cm* workload class ("chaotic
+ * relaxation") as pure dataflow. w[i][j] = w[i-1][j] + w[i][j-1] with
+ * w[0][j] = w[i][0] = 1: every anti-diagonal is computable in
+ * parallel, and every dependency is an I-structure element read —
+ * consumers of row i race ahead of producers of row i-1 and park on
+ * deferred lists.
+ *
+ * main(n int) -> w[n-1][n-1] = C(2(n-1), n-1) (binomial).
+ */
+inline const char *wavefront = R"(
+def north_or_west(w, n, ij) =
+  let i = ij / n; j = ij % n in
+  if i = 0 or j = 0
+  then 1
+  else w[(i - 1) * n + j] + w[i * n + j - 1];
+
+def fillcell(w, n, ij) = store(w, ij, north_or_west(w, n, ij));
+
+def main(n) =
+  let w = array(n * n) in
+  let done = (initial t <- w
+              for ij from 0 to n * n - 1 do
+                new t <- fillcell(t, n, ij)
+              return t) in
+  w[n * n - 1];
+)";
+
+/** The E3 pipeline (equal-cost producer/consumer); main(m int) ->
+ *  sum of 2*i for i < m == m*(m-1). Consumer ungated. */
+inline const char *pipeline = R"(
+def pay(v) =
+  (initial q <- 0
+   for k from 1 to 8 do
+     new q <- q + v
+   return q) / 4;
+def put(a, idx, g) = store(a, idx, pay(idx) + g)[idx];
+def fill(a, m, g0) =
+  (initial g <- g0
+   for i from 0 to m - 1 do
+     new g <- 0 * put(a, i, g)
+   return g);
+def sumrange(a, lo, hi, s0) =
+  (initial s <- s0
+   for i from lo to hi do
+     new s <- s + a[i]
+   return s);
+def main(m) =
+  let a = array(m) in
+  let launch = fill(a, m, 0) in
+  sumrange(a, 0, m - 1, 0);
+)";
+
+/**
+ * Divide-and-conquer tree sum over an I-structure array — O(log n)
+ * dataflow depth instead of a serial accumulation chain; the shape of
+ * program the paper's "thousand-fold parallelism grail" needs.
+ * main(n) -> sum of i for i < n  ==  n*(n-1)/2.
+ */
+inline const char *treeSum = R"(
+def fill(a, m, g0) =
+  (initial g <- g0
+   for i from 0 to m - 1 do
+     new g <- g + 0 * store(a, i, i)[i]
+   return g);
+def tsum(a, lo, hi) =
+  if hi - lo < 1
+  then a[lo]
+  else let mid = (lo + hi) / 2 in
+       tsum(a, lo, mid) + tsum(a, mid + 1, hi);
+def main(n) =
+  let a = array(n) in
+  let launch = fill(a, n, 0) in
+  tsum(a, 0, n - 1);
+)";
+
+/**
+ * Top-down merge sort over I-structure arrays: each merge allocates a
+ * fresh output structure (single assignment), and the two recursive
+ * sorts of every level run concurrently. main(n) sorts the array
+ * v[i] = (i * 37 + 11) % 101 and outputs
+ * disorder * 1000000 + sum(sorted), where disorder counts adjacent
+ * inversions in the result — a correct run outputs just the sum.
+ */
+inline const char *mergesort = R"(
+def copy1(a, lo) = store(array(1), 0, a[lo]);
+
+def merge(l, nl, r, nr) =
+  let out = array(nl + nr) in
+  (initial t <- out; i <- 0; j <- 0
+   for k from 0 to nl + nr - 1 do
+     new t <- store(t, k,
+                    if j >= nr then l[i]
+                    else if i >= nl then r[j]
+                    else if l[i] <= r[j] then l[i] else r[j]);
+     new i <- if j >= nr then i + 1
+              else if i >= nl then i
+              else if l[i] <= r[j] then i + 1 else i;
+     new j <- if j >= nr then j
+              else if i >= nl then j + 1
+              else if l[i] <= r[j] then j else j + 1
+   return t);
+
+def msort(a, lo, hi) =
+  if hi - lo < 1
+  then copy1(a, lo)
+  else let mid = (lo + hi) / 2 in
+       merge(msort(a, lo, mid), mid - lo + 1,
+             msort(a, mid + 1, hi), hi - mid);
+
+def fill(a, n, g0) =
+  (initial g <- g0
+   for i from 0 to n - 1 do
+     new g <- g + 0 * store(a, i, (i * 37 + 11) % 101)[i]
+   return g);
+
+def main(n) =
+  let a = array(n) in
+  let z = fill(a, n, 0) in
+  let out = msort(a, 0, n - 1 + z) in
+  (initial sum <- out[0]; bad <- 0
+   for i from 1 to n - 1 do
+     new sum <- sum + out[i];
+     new bad <- bad + (if out[i - 1] > out[i] then 1 else 0)
+   return bad * 1000000 + sum);
+)";
+
+} // namespace workloads::src
+
+#endif // TTDA_WORKLOADS_ID_SOURCES_HH

@@ -1,0 +1,73 @@
+#include "workloads/rowsum.hh"
+
+namespace workloads
+{
+
+vn::VnProgram
+buildRowSumVn()
+{
+    using namespace vn;
+    VnAsm a;
+    // r1=id r2=n r3=cores r4=&total | r5=s r6=row r7=cond r8=rowbase
+    // r9=j r10=addr r11=elem
+    a.li(5, 0);               // s = 0
+    a.move(6, 1);             // row = id
+    a.label("rows");
+    a.slt(7, 6, 2);           // row < n ?
+    a.beqz(7, "reduce");
+    a.mul(8, 6, 2);           // rowbase = row * n
+    a.li(9, 0);               // j = 0
+    a.label("cols");
+    a.slt(7, 9, 2);           // j < n ?
+    a.beqz(7, "nextrow");
+    a.add(10, 8, 9);          // addr = rowbase + j
+    a.load(11, 10, 0);        // elem = mem[addr]   (blocks!)
+    a.add(5, 5, 11);          // s += elem
+    a.addi(9, 9, 1);
+    a.jmp("cols");
+    a.label("nextrow");
+    a.add(6, 6, 3);           // row += cores
+    a.jmp("rows");
+    a.label("reduce");
+    a.faa(12, 4, 0, 5);       // total += s (atomic)
+    a.halt();
+    return a.assemble();
+}
+
+std::string
+rowSumIdSource()
+{
+    return R"(
+def fillrow(a, n, r) =
+  (initial t <- a
+   for j from 0 to n - 1 do
+     new t <- store(t, r * n + j, (r * n + j) % 7)
+   return t);
+def sumrow(a, n, r) =
+  (initial s <- 0
+   for j from 0 to n - 1 do
+     new s <- s + a[r * n + j]
+   return s);
+def main(n) =
+  let a = array(n * n) in
+  let launch = (initial z <- 0
+                for r from 0 to n - 1 do
+                  new z <- z + 0 * fillrow(a, n, r)[r * n]
+                return z) in
+  (initial s <- 0
+   for r from 0 to n - 1 do
+     new s <- s + sumrow(a, n, r)
+   return s);
+)";
+}
+
+std::int64_t
+rowSumExpected(std::int64_t n)
+{
+    std::int64_t total = 0;
+    for (std::int64_t ij = 0; ij < n * n; ++ij)
+        total += ij % 7;
+    return total;
+}
+
+} // namespace workloads

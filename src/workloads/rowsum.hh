@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The row-sum workload, implemented for both machine families so the
+ * paper's thesis can be measured head to head (experiment E14): sum
+ * all elements of an n x n array that lives in distributed memory.
+ *
+ *  - von Neumann version: each core strides over rows id, id+C,
+ *    id+2C, ... loading every element (mostly remote), accumulating
+ *    locally, and finally FETCH-AND-ADDing its partial sum into a
+ *    shared total;
+ *  - dataflow version: the same row decomposition, with rows as
+ *    independent consumer loops over I-structure storage.
+ */
+
+#ifndef TTDA_WORKLOADS_ROWSUM_HH
+#define TTDA_WORKLOADS_ROWSUM_HH
+
+#include <cstdint>
+#include <string>
+
+#include "vn/isa.hh"
+
+namespace workloads
+{
+
+/**
+ * Von Neumann row-sum. Register conventions: r1 = core id (preset by
+ * attachProgram), r2 = n, r3 = number of cores, r4 = address of the
+ * shared total (all preset via setReg). The array occupies global
+ * addresses [0, n*n).
+ */
+vn::VnProgram buildRowSumVn();
+
+/**
+ * Dataflow row-sum in mini-ID: main(n) fills an n x n array with
+ * element ij = ij % 7 and concurrently sums it by rows; outputs the
+ * total.
+ */
+std::string rowSumIdSource();
+
+/** Expected total for the fill pattern element = ij % 7. */
+std::int64_t rowSumExpected(std::int64_t n);
+
+} // namespace workloads
+
+#endif // TTDA_WORKLOADS_ROWSUM_HH

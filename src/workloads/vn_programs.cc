@@ -1,0 +1,88 @@
+#include "workloads/vn_programs.hh"
+
+#include <memory>
+#include <unordered_map>
+
+#include "common/random.hh"
+
+namespace workloads
+{
+
+vn::VnProgram
+buildTrapezoidVn()
+{
+    using namespace vn;
+    VnAsm a;
+    // r10=a r11=b r12=n | r13=h r14=tmp r15..r17 scratch
+    // r19=x r20=i r21=n-1 r22=cond r23=result r24=s
+    a.fsub(13, 11, 10);      // h = b - a
+    a.itof(14, 12);          // (double) n
+    a.fdiv(13, 13, 14);      // h /= n
+    a.fmul(15, 10, 10);      // f(a)
+    a.fmul(16, 11, 11);      // f(b)
+    a.fadd(24, 15, 16);      // s = f(a)+f(b)
+    a.lid(18, 2.0);
+    a.fdiv(24, 24, 18);      // s /= 2
+    a.move(19, 10);          // x = a
+    a.li(20, 1);             // i = 1
+    a.addi(21, 12, -1);      // limit = n-1
+    a.label("loop");
+    a.sle(22, 20, 21);       // i <= n-1 ?
+    a.beqz(22, "end");
+    a.fadd(19, 19, 13);      // x += h
+    a.fmul(17, 19, 19);      // f(x)
+    a.fadd(24, 24, 17);      // s += f(x)
+    a.addi(20, 20, 1);       // ++i
+    a.jmp("loop");
+    a.label("end");
+    a.fmul(23, 24, 13);      // result = s * h
+    a.halt();
+    return a.assemble();
+}
+
+vn::TraceSource
+makeUniformTrace(const TraceConfig &cfg)
+{
+    struct CtxState
+    {
+        sim::Rng rng{1};
+        std::uint64_t issued = 0;
+        std::uint32_t computeLeft = 0;
+        bool seeded = false;
+    };
+    auto states = std::make_shared<
+        std::unordered_map<std::uint32_t, CtxState>>();
+    const TraceConfig c = cfg;
+
+    return [states, c](std::uint32_t ctx) -> std::optional<vn::TraceOp> {
+        CtxState &st = (*states)[ctx];
+        if (!st.seeded) {
+            st.rng.reseed(c.seed * 7919 + c.coreId * 131 + ctx);
+            st.computeLeft = c.computePerRef;
+            st.seeded = true;
+        }
+        if (st.issued >= c.references)
+            return std::nullopt;
+        if (st.computeLeft > 0) {
+            --st.computeLeft;
+            return vn::TraceOp{vn::TraceOp::Kind::Compute, 0, 1};
+        }
+        st.issued += 1;
+        st.computeLeft = c.computePerRef;
+
+        std::uint32_t module = c.coreId;
+        if (c.numCores > 1 && st.rng.chance(c.remoteFraction)) {
+            // Uniform among the *other* modules.
+            module = static_cast<std::uint32_t>(
+                st.rng.below(c.numCores - 1));
+            if (module >= c.coreId)
+                ++module;
+        }
+        const std::uint64_t offset =
+            st.rng.below(c.wordsPerModule);
+        return vn::TraceOp{vn::TraceOp::Kind::Load,
+                           module * c.wordsPerModule + offset, 1};
+    };
+}
+
+} // namespace workloads

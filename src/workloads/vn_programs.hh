@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Von Neumann workloads: the sequential trapezoid baseline (E5) and
+ * the synthetic memory-reference traces used by the latency-tolerance
+ * and Cm* utilization sweeps (E1, E6).
+ */
+
+#ifndef TTDA_WORKLOADS_VN_PROGRAMS_HH
+#define TTDA_WORKLOADS_VN_PROGRAMS_HH
+
+#include <cstdint>
+
+#include "vn/core.hh"
+#include "vn/isa.hh"
+
+namespace workloads
+{
+
+/**
+ * Sequential trapezoidal-rule program (f(x) = x*x, matching the
+ * dataflow version). Inputs are preloaded registers:
+ *   r10 = a (double), r11 = b (double), r12 = n (int).
+ * The result is left in r23 (double).
+ */
+vn::VnProgram buildTrapezoidVn();
+
+/** Register holding the trapezoid result. */
+inline constexpr vn::Reg trapezoidVnResultReg = 23;
+
+/** Parameters for the synthetic reference-trace generator. */
+struct TraceConfig
+{
+    std::uint32_t coreId = 0;
+    std::uint32_t numCores = 1;
+    std::uint64_t wordsPerModule = 1u << 16;
+    std::uint64_t references = 1000;   //!< loads per context
+    std::uint32_t computePerRef = 4;   //!< compute ops between loads
+    double remoteFraction = 0.0;       //!< P(reference is nonlocal)
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Build a per-context synthetic trace: `references` loads, each
+ * preceded by `computePerRef` single-cycle compute operations. With
+ * probability remoteFraction the load targets a uniformly random
+ * remote module, otherwise the core's own module. Assumes blocked
+ * (Cm*-style) addressing.
+ */
+vn::TraceSource makeUniformTrace(const TraceConfig &cfg);
+
+} // namespace workloads
+
+#endif // TTDA_WORKLOADS_VN_PROGRAMS_HH

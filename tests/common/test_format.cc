@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Tests for the std::format replacement shim.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/format.hh"
+
+namespace
+{
+
+TEST(Format, BasicSubstitution)
+{
+    EXPECT_EQ(sim::format("a={} b={}", 1, "two"), "a=1 b=two");
+    EXPECT_EQ(sim::format("{}", 3.5), "3.5");
+    EXPECT_EQ(sim::format("no placeholders"), "no placeholders");
+}
+
+TEST(Format, EscapedBraces)
+{
+    EXPECT_EQ(sim::format("{{}}"), "{}");
+    EXPECT_EQ(sim::format("{{{}}}", 7), "{7}");
+    EXPECT_EQ(sim::format("a }} b {{ c"), "a } b { c");
+}
+
+TEST(Format, TooFewArgumentsRendersPlaceholder)
+{
+    // Error paths must never throw: leftover placeholders render
+    // verbatim.
+    EXPECT_EQ(sim::format("x={} y={}", 1), "x=1 y={}");
+}
+
+TEST(Format, ExtraArgumentsIgnored)
+{
+    EXPECT_EQ(sim::format("x={}", 1, 2, 3), "x=1");
+}
+
+TEST(Format, LoneBraces)
+{
+    EXPECT_EQ(sim::format("{ not a placeholder }"),
+              "{ not a placeholder }");
+    EXPECT_EQ(sim::format("end {"), "end {");
+}
+
+TEST(Format, MixedTypes)
+{
+    EXPECT_EQ(sim::format("{} {} {} {}", true, 'c',
+                          static_cast<unsigned>(9), -4L),
+              "1 c 9 -4");
+}
+
+} // namespace

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Unit tests for the statistics primitives.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/stats.hh"
+
+namespace
+{
+
+TEST(Counter, StartsAtZeroAndAccumulates)
+{
+    sim::Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(9);
+    EXPECT_EQ(c.value(), 10u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Accumulator, TracksMoments)
+{
+    sim::Accumulator a;
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_EQ(a.mean(), 0.0);
+    a.sample(2.0);
+    a.sample(4.0);
+    a.sample(6.0);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.sum(), 12.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(a.min(), 2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 6.0);
+}
+
+TEST(Accumulator, EmptyMinMaxAreZero)
+{
+    sim::Accumulator a;
+    EXPECT_EQ(a.min(), 0.0);
+    EXPECT_EQ(a.max(), 0.0);
+}
+
+TEST(Histogram, BinsAndSaturates)
+{
+    sim::Histogram h(10.0, 4); // bins [0,10) [10,20) [20,30) [30,inf)
+    h.sample(0.0);
+    h.sample(9.9);
+    h.sample(10.0);
+    h.sample(25.0);
+    h.sample(1000.0); // saturates into the last bin
+    ASSERT_EQ(h.bins().size(), 4u);
+    EXPECT_EQ(h.bins()[0], 2u);
+    EXPECT_EQ(h.bins()[1], 1u);
+    EXPECT_EQ(h.bins()[2], 1u);
+    EXPECT_EQ(h.bins()[3], 1u);
+    EXPECT_EQ(h.summary().count(), 5u);
+}
+
+TEST(Histogram, NegativeSamplesClampToFirstBin)
+{
+    sim::Histogram h(1.0, 8);
+    h.sample(-5.0);
+    EXPECT_EQ(h.bins()[0], 1u);
+}
+
+TEST(Histogram, QuantileEstimates)
+{
+    sim::Histogram h(1.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.sample(static_cast<double>(i) + 0.5);
+    EXPECT_NEAR(h.quantile(0.5), 50.0, 2.0);
+    EXPECT_NEAR(h.quantile(0.99), 99.0, 2.0);
+    EXPECT_NEAR(h.quantile(0.0), 0.0, 1.0);
+}
+
+TEST(StatGroup, SetGetDump)
+{
+    sim::StatGroup g("pe0");
+    g.set("utilization", 0.75);
+    g.set("tokens", 123);
+    EXPECT_DOUBLE_EQ(g.get("utilization"), 0.75);
+    EXPECT_DOUBLE_EQ(g.get("missing"), 0.0);
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_NE(os.str().find("pe0.utilization = 0.75"), std::string::npos);
+    EXPECT_NE(os.str().find("pe0.tokens = 123"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Tests for the benchmark table printer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/table.hh"
+
+namespace
+{
+
+TEST(Table, RendersAlignedColumns)
+{
+    sim::Table t("Demo");
+    t.header({"name", "value"});
+    t.addRow({"alpha", "1.00"});
+    t.addRow({"b", "12345.67"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("== Demo =="), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("12345.67"), std::string::npos);
+    // Header separator appears.
+    EXPECT_NE(out.find("--"), std::string::npos);
+}
+
+TEST(Table, NumFormatsPrecision)
+{
+    EXPECT_EQ(sim::Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(sim::Table::num(3.14159, 4), "3.1416");
+    EXPECT_EQ(sim::Table::num(std::uint64_t{42}), "42");
+    EXPECT_EQ(sim::Table::num(-7), "-7");
+}
+
+TEST(Table, ShortRowsPadWithEmptyCells)
+{
+    sim::Table t("Pad");
+    t.header({"a", "b", "c"});
+    t.addRow({"only"});
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find("only"), std::string::npos);
+}
+
+} // namespace

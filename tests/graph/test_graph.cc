@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Unit tests for the dataflow IR: values, tags, context management,
+ * program validation, and single-instruction firing semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hh"
+#include "graph/context.hh"
+#include "graph/exec.hh"
+#include "graph/program.hh"
+
+namespace
+{
+
+using graph::Dest;
+using graph::Opcode;
+using graph::Tag;
+using graph::Value;
+
+TEST(Value, TypePredicatesAndCoercion)
+{
+    EXPECT_TRUE(Value{}.isUnit());
+    EXPECT_TRUE(Value{true}.isBool());
+    EXPECT_TRUE(Value{std::int64_t{3}}.isInt());
+    EXPECT_TRUE(Value{2.5}.isReal());
+    EXPECT_TRUE(Value{graph::FnRef{1}}.isFn());
+    EXPECT_TRUE((Value{graph::IPtr{0, 4}}.isPtr()));
+    EXPECT_DOUBLE_EQ(Value{std::int64_t{3}}.asReal(), 3.0);
+    EXPECT_EQ(Value{std::int64_t{7}}.toString(), "7");
+    EXPECT_EQ(Value{true}.toString(), "true");
+}
+
+TEST(Value, WrongTypeAccessPanics)
+{
+    EXPECT_DEATH(Value{2.5}.asBool(), "not a boolean");
+    EXPECT_DEATH(Value{true}.asInt(), "not an integer");
+    EXPECT_DEATH(Value{std::int64_t{1}}.asPtr(), "pointer");
+}
+
+TEST(Tag, PackingAndHashSpread)
+{
+    Tag a{1, 2, 3, 4};
+    Tag b{1, 2, 3, 5};
+    EXPECT_NE(a.packed(), b.packed());
+    EXPECT_NE(graph::TagHash{}(a), graph::TagHash{}(b));
+    EXPECT_EQ(a, (Tag{1, 2, 3, 4}));
+}
+
+TEST(ContextManager, InternIsIdempotentPerInvocation)
+{
+    graph::ContextManager cm;
+    Tag caller{graph::rootContext, 0, 5, 2};
+    auto c1 = cm.intern(caller, 7, 1, {});
+    Tag sibling{graph::rootContext, 0, 6, 2}; // same ctx+iter, other stmt
+    auto c2 = cm.intern(sibling, 7, 1, {});
+    EXPECT_EQ(c1, c2); // sibling L operators share the child context
+
+    Tag next_iter{graph::rootContext, 0, 5, 3};
+    auto c3 = cm.intern(next_iter, 7, 1, {});
+    EXPECT_NE(c1, c3); // new iteration, new inner context
+
+    auto c4 = cm.intern(caller, 8, 1, {});
+    EXPECT_NE(c1, c4); // different site, different context
+}
+
+TEST(ContextManager, InfoAndRelease)
+{
+    graph::ContextManager cm;
+    Tag caller{graph::rootContext, 0, 1, 1};
+    auto id = cm.intern(caller, 1, 2, {Dest{9, 0}});
+    const auto &info = cm.info(id);
+    EXPECT_EQ(info.caller, caller);
+    EXPECT_EQ(info.targetCb, 2);
+    ASSERT_EQ(info.resultDests.size(), 1u);
+    EXPECT_EQ(info.resultDests[0].stmt, 9);
+    EXPECT_EQ(cm.liveContexts(), 2u); // root + this one
+    cm.release(id);
+    EXPECT_EQ(cm.liveContexts(), 1u);
+    EXPECT_DEATH(cm.info(id), "dead or unknown");
+}
+
+TEST(ContextManager, CannotReleaseRoot)
+{
+    graph::ContextManager cm;
+    EXPECT_DEATH(cm.release(graph::rootContext), "root");
+}
+
+TEST(Program, ValidateCatchesBadPort)
+{
+    graph::Program program;
+    graph::BlockBuilder b(program, "bad", 1);
+    const auto neg = b.add(Opcode::Neg, 1);
+    b.to(0, neg, 3); // port 3 on a monadic instruction
+    b.build();
+    EXPECT_DEATH(program.validate(), "port");
+}
+
+TEST(Program, ValidateCatchesDanglingDest)
+{
+    graph::Program program;
+    graph::BlockBuilder b(program, "bad", 1);
+    b.to(0, 57, 0);
+    b.build();
+    EXPECT_DEATH(program.validate(), "beyond");
+}
+
+TEST(Program, ValidateCatchesMultiDestFetch)
+{
+    graph::Program program;
+    graph::BlockBuilder b(program, "bad", 1);
+    const auto fetch = b.add(Opcode::IFetch, 2);
+    const auto a = b.add(Opcode::Ident, 1);
+    const auto c = b.add(Opcode::Ident, 1);
+    b.to(0, fetch, 0).to(0, fetch, 1);
+    b.to(fetch, a, 0).to(fetch, c, 0);
+    b.build();
+    EXPECT_DEATH(program.validate(), "one");
+}
+
+TEST(Program, DotDumpContainsInstructions)
+{
+    graph::Program program;
+    graph::BlockBuilder b(program, "demo", 1);
+    const auto add = b.add(Opcode::Add, 1, "x+1");
+    b.constant(add, Value{std::int64_t{1}});
+    b.to(0, add, 0);
+    const auto cb = b.build();
+    program.validate();
+    const std::string dot = program.toDot(cb);
+    EXPECT_NE(dot.find("digraph"), std::string::npos);
+    EXPECT_NE(dot.find("ADD"), std::string::npos);
+    EXPECT_NE(dot.find("x+1"), std::string::npos);
+    EXPECT_NE(dot.find("->"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Single-instruction firing semantics.
+
+struct ExecFixture : ::testing::Test
+{
+    /** Fire one instruction in a throwaway block and return the
+     *  produced tokens. The instruction gets a single IDENT sink. */
+    std::vector<graph::Token>
+    fire(Opcode op, std::uint8_t nt, std::vector<Value> operands,
+         std::optional<Value> constant = std::nullopt)
+    {
+        graph::Program program;
+        graph::BlockBuilder b(program, "t", 0);
+        const auto instr = b.add(op, nt);
+        if (constant)
+            b.constant(instr, *constant);
+        const auto sink = b.add(Opcode::Ident, 1);
+        b.to(instr, sink, 0);
+        b.build();
+
+        graph::ContextManager cm;
+        graph::Executor ex(program, cm);
+        if (constant)
+            operands.push_back(*constant);
+        return ex.execute(graph::EnabledInstruction{
+            Tag{graph::rootContext, 0, instr, 1}, std::move(operands)});
+    }
+};
+
+TEST_F(ExecFixture, ArithmeticIntAndReal)
+{
+    auto t = fire(Opcode::Add, 2,
+                  {Value{std::int64_t{2}}, Value{std::int64_t{3}}});
+    ASSERT_EQ(t.size(), 1u);
+    EXPECT_EQ(t[0].data.asInt(), 5);
+
+    t = fire(Opcode::Mul, 2, {Value{2.5}, Value{std::int64_t{4}}});
+    EXPECT_DOUBLE_EQ(t[0].data.asReal(), 10.0);
+
+    t = fire(Opcode::Div, 2,
+             {Value{std::int64_t{7}}, Value{std::int64_t{2}}});
+    EXPECT_EQ(t[0].data.asInt(), 3); // integer division
+
+    t = fire(Opcode::Div, 2, {Value{7.0}, Value{std::int64_t{2}}});
+    EXPECT_DOUBLE_EQ(t[0].data.asReal(), 3.5);
+
+    t = fire(Opcode::Mod, 2,
+             {Value{std::int64_t{7}}, Value{std::int64_t{3}}});
+    EXPECT_EQ(t[0].data.asInt(), 1);
+
+    t = fire(Opcode::Neg, 1, {Value{4.5}});
+    EXPECT_DOUBLE_EQ(t[0].data.asReal(), -4.5);
+}
+
+TEST_F(ExecFixture, DivideByZeroPanics)
+{
+    EXPECT_DEATH(fire(Opcode::Div, 2, {Value{std::int64_t{1}},
+                                       Value{std::int64_t{0}}}),
+                 "division by zero");
+    EXPECT_DEATH(fire(Opcode::Mod, 2, {Value{std::int64_t{1}},
+                                       Value{std::int64_t{0}}}),
+                 "modulo by zero");
+}
+
+TEST_F(ExecFixture, Comparisons)
+{
+    EXPECT_TRUE(fire(Opcode::Lt, 2, {Value{std::int64_t{1}},
+                                     Value{2.0}})[0].data.asBool());
+    EXPECT_FALSE(fire(Opcode::Gt, 2, {Value{std::int64_t{1}},
+                                      Value{2.0}})[0].data.asBool());
+    EXPECT_TRUE(fire(Opcode::Eq, 2,
+                     {Value{true}, Value{true}})[0].data.asBool());
+    EXPECT_TRUE(fire(Opcode::Ne, 2, {Value{std::int64_t{1}},
+                                     Value{1.5}})[0].data.asBool());
+}
+
+TEST_F(ExecFixture, ConstantOperandAppends)
+{
+    auto t = fire(Opcode::Sub, 1, {Value{std::int64_t{10}}},
+                  Value{std::int64_t{4}});
+    EXPECT_EQ(t[0].data.asInt(), 6);
+}
+
+TEST_F(ExecFixture, LitEmitsConstantNotTrigger)
+{
+    auto t = fire(Opcode::Lit, 1, {Value{std::int64_t{999}}},
+                  Value{42.0});
+    EXPECT_DOUBLE_EQ(t[0].data.asReal(), 42.0);
+}
+
+TEST_F(ExecFixture, BooleanOps)
+{
+    EXPECT_FALSE(fire(Opcode::And, 2,
+                      {Value{true}, Value{false}})[0].data.asBool());
+    EXPECT_TRUE(fire(Opcode::Or, 2,
+                     {Value{true}, Value{false}})[0].data.asBool());
+    EXPECT_TRUE(fire(Opcode::Not, 1, {Value{false}})[0].data.asBool());
+}
+
+TEST(ExecSwitch, RoutesBySides)
+{
+    graph::Program program;
+    graph::BlockBuilder b(program, "t", 0);
+    const auto sw = b.add(Opcode::Switch, 2);
+    const auto t_sink = b.add(Opcode::Ident, 1);
+    const auto f_sink = b.add(Opcode::Ident, 1);
+    b.to(sw, t_sink, 0);
+    b.to(sw, f_sink, 0, /*on_false=*/true);
+    b.build();
+
+    graph::ContextManager cm;
+    graph::Executor ex(program, cm);
+    auto fire_switch = [&](bool ctrl) {
+        return ex.execute(graph::EnabledInstruction{
+            Tag{graph::rootContext, 0, sw, 1},
+            {Value{std::int64_t{7}}, Value{ctrl}}});
+    };
+    auto t_true = fire_switch(true);
+    ASSERT_EQ(t_true.size(), 1u);
+    EXPECT_EQ(t_true[0].tag.stmt, t_sink);
+    auto t_false = fire_switch(false);
+    ASSERT_EQ(t_false.size(), 1u);
+    EXPECT_EQ(t_false[0].tag.stmt, f_sink);
+}
+
+TEST(ExecLoopOps, DAdvancesIterationDResetResets)
+{
+    graph::Program program;
+    graph::BlockBuilder b(program, "t", 0);
+    const auto d = b.add(Opcode::LoopNext, 1);
+    const auto dinv = b.add(Opcode::LoopReset, 1);
+    const auto sink = b.add(Opcode::Ident, 1);
+    b.to(d, sink, 0);
+    b.to(dinv, sink, 0);
+    b.build();
+
+    graph::ContextManager cm;
+    graph::Executor ex(program, cm);
+    auto t = ex.execute(graph::EnabledInstruction{
+        Tag{graph::rootContext, 0, d, 6}, {Value{std::int64_t{1}}}});
+    ASSERT_EQ(t.size(), 1u);
+    EXPECT_EQ(t[0].tag.iter, 7u);
+
+    t = ex.execute(graph::EnabledInstruction{
+        Tag{graph::rootContext, 0, dinv, 6}, {Value{std::int64_t{1}}}});
+    EXPECT_EQ(t[0].tag.iter, 1u);
+}
+
+TEST(ExecStructure, FetchOutOfBoundsPanics)
+{
+    graph::Program program;
+    graph::BlockBuilder b(program, "t", 0);
+    const auto fetch = b.add(Opcode::IFetch, 2);
+    const auto sink = b.add(Opcode::Ident, 1);
+    b.to(fetch, sink, 0);
+    b.build();
+
+    graph::ContextManager cm;
+    graph::Executor ex(program, cm);
+    EXPECT_DEATH(
+        ex.execute(graph::EnabledInstruction{
+            Tag{graph::rootContext, 0, fetch, 1},
+            {Value{graph::IPtr{0, 4}}, Value{std::int64_t{4}}}}),
+        "out of bounds");
+}
+
+} // namespace

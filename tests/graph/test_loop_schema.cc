@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Direct tests of the Figure 2-2 loop schema builder, independent of
+ * the ID compiler: a hand-assembled counting loop, invariant
+ * circulation, multiple exits, and nested entry contexts.
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/loop_schema.hh"
+#include "ttda/emulator.hh"
+
+namespace
+{
+
+using graph::LoopBuilder;
+using graph::Opcode;
+using graph::Value;
+
+/**
+ * Build: main(n) = loop summing k for k in [1, n], returning both the
+ * final sum and the final counter via two exits.
+ */
+std::uint16_t
+buildSumLoop(graph::Program &program, bool exit_counter)
+{
+    LoopBuilder loop(program, "sum.loop", 3); // vars: s, k, hi
+    enum { S = 0, K = 1, HI = 2 };
+    const auto pred = loop.b().add(Opcode::Le, 2, "k<=hi");
+    loop.b().to(loop.recv(K), pred, 0).to(loop.recv(HI), pred, 1);
+    loop.setPredicate(pred);
+
+    const auto add = loop.b().add(Opcode::Add, 2, "s+k");
+    loop.b().to(loop.sw(S), add, 0).to(loop.sw(K), add, 1);
+    loop.b().to(add, loop.next(S), 0);
+
+    const auto inc = loop.b().add(Opcode::Add, 1, "k+1");
+    loop.b().constant(inc, Value{std::int64_t{1}});
+    loop.b().to(loop.sw(K), inc, 0);
+    loop.b().to(inc, loop.next(K), 0);
+    loop.circulateUnchanged(HI);
+
+    graph::BlockBuilder main(program, "main", 1);
+    const auto s_exit = main.add(Opcode::Ident, 1, "s out");
+    const auto out = main.add(Opcode::Output, 1);
+    main.to(s_exit, out, 0);
+    std::uint16_t k_out = 0;
+    if (exit_counter) {
+        k_out = main.add(Opcode::Ident, 1, "k out");
+        const auto out2 = main.add(Opcode::Output, 1);
+        main.to(k_out, out2, 0);
+    }
+
+    loop.exitTo(S, s_exit, 0);
+    if (exit_counter)
+        loop.exitTo(K, k_out, 0);
+    const auto loop_cb = loop.build();
+
+    const auto s0 = main.add(Opcode::Lit, 1, "0");
+    main.constant(s0, Value{std::int64_t{0}});
+    main.to(0, s0, 0);
+    const auto k0 = main.add(Opcode::Lit, 1, "1");
+    main.constant(k0, Value{std::int64_t{1}});
+    main.to(0, k0, 0);
+
+    auto ls = LoopBuilder::entries(main, loop_cb, 1, 3);
+    main.to(s0, ls[S], 0);
+    main.to(k0, ls[K], 0);
+    main.to(0, ls[HI], 0); // hi = n
+
+    return main.build();
+}
+
+TEST(LoopSchema, HandBuiltSumLoop)
+{
+    graph::Program program;
+    const auto main_cb = buildSumLoop(program, false);
+    program.validate();
+    ttda::Emulator emu(program);
+    emu.input(main_cb, 0, Value{std::int64_t{100}});
+    auto out = emu.run();
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].value.asInt(), 5050);
+}
+
+TEST(LoopSchema, TwoExitsBothDeliver)
+{
+    graph::Program program;
+    const auto main_cb = buildSumLoop(program, true);
+    program.validate();
+    ttda::Emulator emu(program);
+    emu.input(main_cb, 0, Value{std::int64_t{10}});
+    auto out = emu.run();
+    ASSERT_EQ(out.size(), 2u);
+    std::int64_t sum = 0, counter = 0;
+    for (auto &rec : out) {
+        if (rec.value.asInt() == 55)
+            sum = rec.value.asInt();
+        else
+            counter = rec.value.asInt();
+    }
+    EXPECT_EQ(sum, 55);
+    EXPECT_EQ(counter, 11); // counter exits after its last increment
+}
+
+TEST(LoopSchema, ZeroIterationLoopReturnsInitials)
+{
+    graph::Program program;
+    const auto main_cb = buildSumLoop(program, false);
+    ttda::Emulator emu(program);
+    emu.input(main_cb, 0, Value{std::int64_t{0}}); // hi = 0, k0 = 1
+    auto out = emu.run();
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].value.asInt(), 0);
+}
+
+TEST(LoopSchema, SiblingEntriesShareContext)
+{
+    // After running, each loop invocation interned exactly one
+    // context despite three L operators.
+    graph::Program program;
+    const auto main_cb = buildSumLoop(program, false);
+    ttda::Emulator emu(program);
+    emu.input(main_cb, 0, Value{std::int64_t{5}});
+    emu.run();
+    EXPECT_EQ(emu.contexts().totalCreated(), 1u);
+}
+
+} // namespace

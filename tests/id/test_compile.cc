@@ -1,0 +1,293 @@
+/**
+ * @file
+ * End-to-end compiler tests: mini-ID source -> dataflow graph -> both
+ * execution engines. The centerpiece compiles the paper's trapezoidal
+ * rule program verbatim (modulo ASCII) and checks it against the
+ * hand-built Figure 2-2 graph and the numeric reference.
+ */
+
+#include <gtest/gtest.h>
+
+#include "id/codegen.hh"
+#include "ttda/emulator.hh"
+#include "ttda/machine.hh"
+#include "workloads/dfg_programs.hh"
+
+namespace
+{
+
+using graph::Value;
+
+/** The paper's Figure 2-2 program, in mini-ID. */
+const char *kTrapezoidSource = R"(
+def f(x) = x * x;
+
+def main(a, b, n) =
+  let h = (b - a) / n in
+  (initial s <- (f(a) + f(b)) / 2.0; x <- a + h
+   for i from 1 to n - 1 do
+     new x <- x + h;
+     new s <- s + f(x)
+   return s) * h;
+)";
+
+/** Run a compiled program on the emulator with the given inputs. */
+graph::Value
+runEmulator(const id::Compiled &c, std::vector<Value> inputs)
+{
+    ttda::Emulator emu(c.program);
+    for (std::size_t p = 0; p < inputs.size(); ++p)
+        emu.input(c.startCb, static_cast<std::uint16_t>(p), inputs[p]);
+    auto out = emu.run();
+    EXPECT_EQ(out.size(), 1u) << "program must produce one output";
+    EXPECT_EQ(emu.outstandingReads(), 0u);
+    return out.empty() ? Value{} : out[0].value;
+}
+
+TEST(IdCompile, SimpleArithmetic)
+{
+    auto c = id::compile("def main(x) = (x + 3) * 2 - 1;");
+    EXPECT_EQ(runEmulator(c, {Value{std::int64_t{5}}}).asInt(), 15);
+}
+
+TEST(IdCompile, LetBindingsChain)
+{
+    auto c = id::compile(
+        "def main(x) = let a = x + 1; b = a * a in b - a;");
+    // x=3: a=4, b=16, out=12.
+    EXPECT_EQ(runEmulator(c, {Value{std::int64_t{3}}}).asInt(), 12);
+}
+
+TEST(IdCompile, FunctionCallAndRecursion)
+{
+    auto c = id::compile(R"(
+        def fib(n) = if n < 2 then n else fib(n - 1) + fib(n - 2);
+        def main(n) = fib(n);
+    )");
+    EXPECT_EQ(runEmulator(c, {Value{std::int64_t{12}}}).asInt(), 144);
+}
+
+TEST(IdCompile, MutualRecursionForwardReference)
+{
+    auto c = id::compile(R"(
+        def is_even(n) = if n = 0 then 1 else is_odd(n - 1);
+        def is_odd(n) = if n = 0 then 0 else is_even(n - 1);
+        def main(n) = is_even(n);
+    )");
+    EXPECT_EQ(runEmulator(c, {Value{std::int64_t{10}}}).asInt(), 1);
+    auto c2 = id::compile(R"(
+        def is_even(n) = if n = 0 then 1 else is_odd(n - 1);
+        def is_odd(n) = if n = 0 then 0 else is_even(n - 1);
+        def main(n) = is_even(n);
+    )");
+    EXPECT_EQ(runEmulator(c2, {Value{std::int64_t{7}}}).asInt(), 0);
+}
+
+TEST(IdCompile, ConditionalLeavesNoStrayTokens)
+{
+    // Literals inside branches are gated: after the run, no unmatched
+    // tokens or deferred reads may remain.
+    auto c = id::compile(
+        "def main(x) = if x > 0 then x * 100 else x - 100;");
+    ttda::Emulator emu(c.program);
+    emu.input(c.startCb, 0, Value{std::int64_t{4}});
+    auto out = emu.run();
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].value.asInt(), 400);
+}
+
+TEST(IdCompile, SimpleLoopSum)
+{
+    auto c = id::compile(R"(
+        def main(n) =
+          (initial s <- 0
+           for i from 1 to n do
+             new s <- s + i
+           return s);
+    )");
+    EXPECT_EQ(runEmulator(c, {Value{std::int64_t{100}}}).asInt(), 5050);
+}
+
+TEST(IdCompile, LoopWithZeroIterations)
+{
+    auto c = id::compile(R"(
+        def main(n) =
+          (initial s <- 7
+           for i from 1 to n do
+             new s <- s + 1000
+           return s);
+    )");
+    EXPECT_EQ(runEmulator(c, {Value{std::int64_t{0}}}).asInt(), 7);
+}
+
+TEST(IdCompile, NestedLoops)
+{
+    // sum_{i=1..n} sum_{j=1..i} j  ==  sum of triangular numbers.
+    auto c = id::compile(R"(
+        def main(n) =
+          (initial t <- 0
+           for i from 1 to n do
+             new t <- t + (initial s <- 0
+                           for j from 1 to i do
+                             new s <- s + j
+                           return s)
+           return t);
+    )");
+    EXPECT_EQ(runEmulator(c, {Value{std::int64_t{6}}}).asInt(),
+              1 + 3 + 6 + 10 + 15 + 21);
+}
+
+TEST(IdCompile, LoopCounterInReturn)
+{
+    auto c = id::compile(R"(
+        def main(n) =
+          (initial s <- 0
+           for i from 1 to n do
+             new s <- s
+           return i);
+    )");
+    // After the last iteration the counter has advanced to n+1.
+    EXPECT_EQ(runEmulator(c, {Value{std::int64_t{9}}}).asInt(), 10);
+}
+
+TEST(IdCompile, PaperTrapezoidMatchesReferenceAndHandBuiltGraph)
+{
+    auto c = id::compile(kTrapezoidSource);
+    const double got =
+        runEmulator(c, {Value{0.0}, Value{2.0}, Value{std::int64_t{64}}})
+            .asReal();
+    EXPECT_NEAR(got, workloads::trapezoidReference(0.0, 2.0, 64), 1e-9);
+
+    // The hand-built Figure 2-2 graph computes the same value.
+    graph::Program hand;
+    const auto hand_main = workloads::buildTrapezoid(hand);
+    ttda::Emulator emu(hand);
+    emu.input(hand_main, 0, Value{0.0});
+    emu.input(hand_main, 1, Value{2.0});
+    emu.input(hand_main, 2, Value{std::int64_t{64}});
+    auto out = emu.run();
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_NEAR(got, out[0].value.asReal(), 1e-12);
+}
+
+TEST(IdCompile, PaperTrapezoidOnCycleLevelMachine)
+{
+    auto c = id::compile(kTrapezoidSource);
+    ttda::MachineConfig cfg;
+    cfg.numPEs = 8;
+    ttda::Machine m(c.program, cfg);
+    m.input(c.startCb, 0, Value{1.0});
+    m.input(c.startCb, 1, Value{4.0});
+    m.input(c.startCb, 2, Value{std::int64_t{48}});
+    auto out = m.run();
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_FALSE(m.deadlocked());
+    EXPECT_NEAR(out[0].value.asReal(),
+                workloads::trapezoidReference(1.0, 4.0, 48), 1e-9);
+}
+
+TEST(IdCompile, ArraysProducerConsumer)
+{
+    // The Issue-2 example in source form: concurrent fill and sum.
+    auto c = id::compile(R"(
+        def fill(a, n) =
+          (initial t <- a
+           for i from 0 to n - 1 do
+             new t <- store(t, i, 2 * i)
+           return t);
+        def total(a, n) =
+          (initial s <- 0
+           for i from 0 to n - 1 do
+             new s <- s + a[i]
+           return s);
+        def main(n) =
+          let a = array(n) in
+          let b = fill(a, n) in
+          total(a, n);
+    )");
+    EXPECT_EQ(runEmulator(c, {Value{std::int64_t{20}}}).asInt(),
+              20 * 19);
+}
+
+TEST(IdCompile, SelectWithConstantIndex)
+{
+    auto c = id::compile(R"(
+        def main(n) =
+          let a = store(array(4), 0, n * 10) in a[0];
+    )");
+    EXPECT_EQ(runEmulator(c, {Value{std::int64_t{7}}}).asInt(), 70);
+}
+
+TEST(IdCompile, UnaryOperators)
+{
+    auto c = id::compile("def main(x) = -x + (if not (x > 0) "
+                         "then 1 else 2);");
+    EXPECT_EQ(runEmulator(c, {Value{std::int64_t{5}}}).asInt(), -3);
+}
+
+TEST(IdCompile, ModuloAndComparisonChain)
+{
+    auto c = id::compile(R"(
+        def main(n) =
+          (initial evens <- 0
+           for i from 1 to n do
+             new evens <- evens + (if i % 2 = 0 then 1 else 0)
+           return evens);
+    )");
+    EXPECT_EQ(runEmulator(c, {Value{std::int64_t{11}}}).asInt(), 5);
+}
+
+// ----------------------------- errors --------------------------------
+
+TEST(IdCompileErrors, UnknownVariable)
+{
+    EXPECT_THROW(id::compile("def main(x) = y;"), id::CompileError);
+}
+
+TEST(IdCompileErrors, UnknownFunction)
+{
+    EXPECT_THROW(id::compile("def main(x) = g(x);"), id::CompileError);
+}
+
+TEST(IdCompileErrors, ArityMismatch)
+{
+    EXPECT_THROW(id::compile(R"(
+        def g(a, b) = a + b;
+        def main(x) = g(x);
+    )"),
+                 id::CompileError);
+}
+
+TEST(IdCompileErrors, MissingMain)
+{
+    EXPECT_THROW(id::compile("def f(x) = x;"), id::CompileError);
+}
+
+TEST(IdCompileErrors, DuplicateDefinition)
+{
+    EXPECT_THROW(id::compile(R"(
+        def f(x) = x;
+        def f(y) = y;
+        def main(x) = f(x);
+    )"),
+                 id::CompileError);
+}
+
+TEST(IdCompileErrors, NewOfUnboundVariable)
+{
+    EXPECT_THROW(id::compile(R"(
+        def main(n) =
+          (initial s <- 0
+           for i from 1 to n do
+             new q <- s + 1
+           return s);
+    )"),
+                 id::CompileError);
+}
+
+TEST(IdCompileErrors, ZeroParamFunction)
+{
+    EXPECT_THROW(id::compile("def main() = 1;"), id::CompileError);
+}
+
+} // namespace

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Lexer and parser tests for mini-ID.
+ */
+
+#include <gtest/gtest.h>
+
+#include "id/lexer.hh"
+#include "id/parser.hh"
+
+namespace
+{
+
+TEST(Lexer, TokenizesOperatorsAndNumbers)
+{
+    auto toks = id::lex("x <- 3 + 4.5 <= 2 <> 1 -- comment\n y");
+    std::vector<id::Tok> kinds;
+    for (auto &t : toks)
+        kinds.push_back(t.kind);
+    using id::Tok;
+    EXPECT_EQ(kinds,
+              (std::vector<id::Tok>{Tok::Ident, Tok::Assign, Tok::Int,
+                                    Tok::Plus, Tok::Real, Tok::Le,
+                                    Tok::Int, Tok::Ne, Tok::Int,
+                                    Tok::Ident, Tok::End}));
+    EXPECT_EQ(toks[2].intValue, 3);
+    EXPECT_DOUBLE_EQ(toks[4].realValue, 4.5);
+}
+
+TEST(Lexer, KeywordsRecognized)
+{
+    auto toks = id::lex("def initial for from to do new return if "
+                        "then else let in array store and or not");
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i)
+        EXPECT_NE(toks[i].kind, id::Tok::Ident)
+            << "token " << i << " should be a keyword";
+}
+
+TEST(Lexer, TracksLineNumbers)
+{
+    auto toks = id::lex("a\nbb\n  c");
+    EXPECT_EQ(toks[0].line, 1);
+    EXPECT_EQ(toks[1].line, 2);
+    EXPECT_EQ(toks[2].line, 3);
+    EXPECT_EQ(toks[2].col, 3);
+}
+
+TEST(Lexer, RejectsStrayCharacters)
+{
+    EXPECT_THROW(id::lex("a # b"), id::CompileError);
+}
+
+TEST(Parser, ParsesFunctionDef)
+{
+    auto mod = id::parse("def add1(x) = x + 1;");
+    ASSERT_EQ(mod.defs.size(), 1u);
+    EXPECT_EQ(mod.defs[0].name, "add1");
+    ASSERT_EQ(mod.defs[0].params.size(), 1u);
+    EXPECT_EQ(mod.defs[0].body->kind, id::Expr::Kind::Binary);
+}
+
+TEST(Parser, PrecedenceMulOverAdd)
+{
+    auto mod = id::parse("def f(x) = x + 2 * 3;");
+    const auto &body = *mod.defs[0].body;
+    ASSERT_EQ(body.kind, id::Expr::Kind::Binary);
+    EXPECT_EQ(body.bin, id::BinOp::Add);
+    EXPECT_EQ(body.kids[1]->bin, id::BinOp::Mul);
+}
+
+TEST(Parser, ParsesLoopExpression)
+{
+    auto mod = id::parse(
+        "def f(n) = (initial s <- 0 for i from 1 to n do "
+        "new s <- s + i return s);");
+    const auto &body = *mod.defs[0].body;
+    ASSERT_EQ(body.kind, id::Expr::Kind::Loop);
+    EXPECT_EQ(body.counter, "i");
+    ASSERT_EQ(body.initials.size(), 1u);
+    EXPECT_EQ(body.initials[0].name, "s");
+    ASSERT_EQ(body.updates.size(), 1u);
+}
+
+TEST(Parser, ParsesIfLetSelect)
+{
+    auto mod = id::parse(
+        "def f(a, i) = let v = a[i] in if v > 0 then v else -v;");
+    const auto &body = *mod.defs[0].body;
+    EXPECT_EQ(body.kind, id::Expr::Kind::Let);
+    EXPECT_EQ(body.initials[0].init->kind, id::Expr::Kind::Select);
+    EXPECT_EQ(body.kids[0]->kind, id::Expr::Kind::If);
+}
+
+TEST(Parser, SyntaxErrorsHaveLocations)
+{
+    try {
+        id::parse("def f(x) = \n x +;");
+        FAIL() << "expected CompileError";
+    } catch (const id::CompileError &err) {
+        EXPECT_NE(std::string(err.what()).find("2:"),
+                  std::string::npos)
+            << err.what();
+    }
+}
+
+TEST(Parser, RejectsMissingSemicolon)
+{
+    EXPECT_THROW(id::parse("def f(x) = x"), id::CompileError);
+}
+
+} // namespace

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Determinacy stress matrix — the foundational property of the
+ * architecture (paper Section 2.3: "no time-ordering ambiguities can
+ * arise"). One program, many adversarial machine configurations:
+ * every topology, heavy jitter, bounded waiting-matching store,
+ * multi-cycle stages, narrow output sections, every mapping policy.
+ * All runs must produce the bit-identical result and the exact same
+ * activity count.
+ */
+
+#include <gtest/gtest.h>
+
+#include "id/codegen.hh"
+#include "ttda/emulator.hh"
+#include "ttda/machine.hh"
+#include "workloads/id_sources.hh"
+
+namespace
+{
+
+using graph::Value;
+
+struct Adversary
+{
+    const char *name;
+    ttda::MachineConfig cfg;
+};
+
+std::vector<Adversary>
+adversaries()
+{
+    std::vector<Adversary> out;
+    {
+        ttda::MachineConfig c;
+        c.numPEs = 1;
+        out.push_back({"1 PE", c});
+    }
+    {
+        ttda::MachineConfig c;
+        c.numPEs = 8;
+        c.netJitter = 97;
+        c.seed = 424242;
+        out.push_back({"8 PEs, jitter 97", c});
+    }
+    {
+        ttda::MachineConfig c;
+        c.numPEs = 8;
+        c.topology = ttda::MachineConfig::Topology::Hypercube;
+        out.push_back({"hypercube", c});
+    }
+    {
+        ttda::MachineConfig c;
+        c.numPEs = 8;
+        c.topology = ttda::MachineConfig::Topology::Omega;
+        out.push_back({"omega", c});
+    }
+    {
+        ttda::MachineConfig c;
+        c.numPEs = 8;
+        c.topology = ttda::MachineConfig::Topology::Hierarchical;
+        c.clusterSize = 4;
+        out.push_back({"hierarchical", c});
+    }
+    {
+        ttda::MachineConfig c;
+        c.numPEs = 6;
+        c.matchCapacity = 6;
+        c.matchOverflowPenalty = 7;
+        out.push_back({"tiny WM store", c});
+    }
+    {
+        ttda::MachineConfig c;
+        c.numPEs = 4;
+        c.matchCycles = 3;
+        c.aluCycles = 2;
+        c.isWriteCycles = 5;
+        c.outputBandwidth = 1;
+        c.opLatency[graph::Opcode::Div] = 9;
+        c.opLatency[graph::Opcode::Apply] = 3;
+        out.push_back({"slow stages, narrow output", c});
+    }
+    {
+        ttda::MachineConfig c;
+        c.numPEs = 8;
+        c.mapping = ttda::MachineConfig::Mapping::ByContext;
+        c.netJitter = 13;
+        out.push_back({"by-context + jitter", c});
+    }
+    {
+        ttda::MachineConfig c;
+        c.numPEs = 8;
+        c.mapping = ttda::MachineConfig::Mapping::ByIteration;
+        c.localBypass = false;
+        out.push_back({"by-iteration, no bypass", c});
+    }
+    return out;
+}
+
+struct ProgramCase
+{
+    const char *name;
+    const char *source;
+    std::vector<Value> inputs;
+};
+
+class DeterminacyMatrix : public ::testing::TestWithParam<int>
+{
+  public:
+    static ProgramCase
+    program(int which)
+    {
+        switch (which) {
+          case 0:
+            return {"trapezoid", workloads::src::trapezoid,
+                    {Value{0.25}, Value{1.75},
+                     Value{std::int64_t{30}}}};
+          case 1:
+            return {"mergesort", workloads::src::mergesort,
+                    {Value{std::int64_t{16}}}};
+          case 2:
+            return {"wavefront", workloads::src::wavefront,
+                    {Value{std::int64_t{5}}}};
+          default:
+            return {"treesum", workloads::src::treeSum,
+                    {Value{std::int64_t{24}}}};
+        }
+    }
+};
+
+TEST_P(DeterminacyMatrix, IdenticalUnderEveryAdversary)
+{
+    const auto pc = program(GetParam());
+    const id::Compiled compiled = id::compile(pc.source);
+
+    // Reference: the untimed emulator.
+    ttda::Emulator emu(compiled.program);
+    for (std::size_t p = 0; p < pc.inputs.size(); ++p)
+        emu.input(compiled.startCb, static_cast<std::uint16_t>(p),
+                  pc.inputs[p]);
+    auto ref = emu.run();
+    ASSERT_EQ(ref.size(), 1u);
+    const std::uint64_t ref_fired = emu.stats().fired;
+
+    for (const auto &adv : adversaries()) {
+        ttda::Machine m(compiled.program, adv.cfg);
+        for (std::size_t p = 0; p < pc.inputs.size(); ++p)
+            m.input(compiled.startCb, static_cast<std::uint16_t>(p),
+                    pc.inputs[p]);
+        auto out = m.run();
+        ASSERT_EQ(out.size(), 1u)
+            << pc.name << " under " << adv.name;
+        EXPECT_FALSE(m.deadlocked())
+            << pc.name << " under " << adv.name;
+        EXPECT_EQ(out[0].value, ref[0].value)
+            << pc.name << " under " << adv.name;
+        EXPECT_EQ(m.totalFired(), ref_fired)
+            << pc.name << " under " << adv.name;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Programs, DeterminacyMatrix,
+                         ::testing::Range(0, 4));
+
+} // namespace

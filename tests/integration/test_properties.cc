@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Randomized property tests over the substrate modules:
+ *  - coherence: under random traffic, an invalidating cache system
+ *    never returns a stale value (Censier & Feautrier's definition);
+ *  - combining omega: any mix of FETCH-AND-ADDs is serializable — the
+ *    final memory image equals the sum of increments, and per-address
+ *    tickets are exactly the prefix sums in *some* order;
+ *  - hypercube: random traffic under random link failures is still
+ *    delivered exactly once;
+ *  - von Neumann machine: concurrent FAA ticket draws are globally
+ *    unique across cores.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/random.hh"
+#include "mem/coherence.hh"
+#include "net/combining_omega.hh"
+#include "net/hypercube.hh"
+#include "vn/machine.hh"
+
+namespace
+{
+
+class CoherenceRandomTraffic : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(CoherenceRandomTraffic, InvalidatingSystemNeverReadsStale)
+{
+    const int seed = GetParam();
+    sim::Rng rng(seed);
+    mem::CoherentCacheSystem::Config cfg;
+    cfg.processors = 4;
+    cfg.linesPerCache = 8; // tiny, to force evictions
+    cfg.wordsPerBlock = 2;
+    cfg.storeThrough = (seed % 2) == 0;
+    cfg.invalidate = true;
+    mem::CoherentCacheSystem sys(cfg, 256);
+
+    for (int i = 0; i < 5000; ++i) {
+        const auto proc =
+            static_cast<std::uint32_t>(rng.below(cfg.processors));
+        const std::uint64_t addr = rng.below(64); // dense sharing
+        if (rng.chance(0.4)) {
+            sys.write(proc, addr, static_cast<mem::Word>(i));
+        } else {
+            auto r = sys.read(proc, addr);
+            ASSERT_EQ(r.value, sys.latest(addr))
+                << "stale read at step " << i;
+        }
+    }
+    EXPECT_EQ(sys.stats().staleReads.value(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoherenceRandomTraffic,
+                         ::testing::Range(0, 6));
+
+class FaaSerializability : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(FaaSerializability, RandomMixIsSerializable)
+{
+    const int seed = GetParam();
+    sim::Rng rng(seed * 7 + 1);
+    const sim::NodeId n = 16;
+    net::CombiningOmega sys(n, /*combining=*/true);
+
+    // Random increments to a few hot addresses, issued over time.
+    std::map<std::uint64_t, std::int64_t> total;
+    std::map<std::uint64_t, std::multiset<std::int64_t>> tickets;
+    int outstanding = 0;
+    for (int step = 0; step < 2000; ++step) {
+        if (rng.chance(0.5)) {
+            const auto proc = static_cast<sim::NodeId>(rng.below(n));
+            const std::uint64_t addr = rng.below(3);
+            const auto inc =
+                static_cast<std::int64_t>(rng.below(5)) + 1;
+            sys.issueFaa(proc, addr, inc);
+            total[addr] += inc;
+            ++outstanding;
+        }
+        sys.step();
+        for (sim::NodeId p = 0; p < n; ++p) {
+            while (auto r = sys.pollResult(p)) {
+                tickets[r->address].insert(r->oldValue);
+                --outstanding;
+            }
+        }
+    }
+    while (!sys.idle()) {
+        sys.step();
+        for (sim::NodeId p = 0; p < n; ++p)
+            while (auto r = sys.pollResult(p)) {
+                tickets[r->address].insert(r->oldValue);
+                --outstanding;
+            }
+    }
+    EXPECT_EQ(outstanding, 0);
+
+    // Final memory equals the total of all increments, and the
+    // returned old values per address are distinct partial sums
+    // forming a valid serial order: sorted, they must be strictly
+    // increasing and start at 0.
+    for (auto &[addr, sum] : total) {
+        EXPECT_EQ(sys.peekMemory(addr), sum) << "addr " << addr;
+        const auto &ts = tickets[addr];
+        ASSERT_FALSE(ts.empty());
+        EXPECT_EQ(*ts.begin(), 0) << "addr " << addr;
+        std::int64_t prev = -1;
+        for (auto v : ts) {
+            EXPECT_GT(v, prev) << "duplicate ticket at addr " << addr;
+            prev = v;
+        }
+        EXPECT_LT(prev, sum);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaaSerializability,
+                         ::testing::Range(0, 5));
+
+class HypercubeFaults : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(HypercubeFaults, RandomTrafficSurvivesRandomFailures)
+{
+    const std::uint32_t failures = GetParam();
+    net::Hypercube<std::uint64_t> nw(6);
+    sim::Rng rng(failures * 11 + 3);
+    for (std::uint32_t f = 0; f < failures; ++f)
+        nw.failLink(static_cast<sim::NodeId>(rng.below(64)),
+                    static_cast<std::uint32_t>(rng.below(6)));
+
+    // Only exercise (src, dst) pairs that are still connected: the
+    // emulation facility treated a partitioned cube as a
+    // configuration fault, not a routing problem.
+    auto alive = [&](sim::NodeId a, std::uint32_t d) {
+        // Recompute the live-link predicate the model uses.
+        return !nw.linkFailed(a, d);
+    };
+    std::vector<int> component(64, -1);
+    for (sim::NodeId start = 0; start < 64; ++start) {
+        if (component[start] != -1)
+            continue;
+        std::vector<sim::NodeId> stack{start};
+        component[start] = static_cast<int>(start);
+        while (!stack.empty()) {
+            const sim::NodeId v = stack.back();
+            stack.pop_back();
+            for (std::uint32_t d = 0; d < 6; ++d) {
+                const sim::NodeId w = v ^ (1u << d);
+                if (alive(v, d) && component[w] == -1) {
+                    component[w] = static_cast<int>(start);
+                    stack.push_back(w);
+                }
+            }
+        }
+    }
+
+    std::map<std::uint64_t, sim::NodeId> expected;
+    for (std::uint64_t i = 0; i < 300; ++i) {
+        const auto src = static_cast<sim::NodeId>(rng.below(64));
+        const auto dst = static_cast<sim::NodeId>(rng.below(64));
+        if (component[src] != component[dst])
+            continue; // partitioned: out of scope
+        expected[i] = dst;
+        nw.send(src, dst, i);
+    }
+    std::map<std::uint64_t, int> seen;
+    sim::Cycle cycle = 0;
+    while (!nw.idle() && cycle < 100000) {
+        nw.step(cycle);
+        ++cycle;
+        for (sim::NodeId p = 0; p < 64; ++p)
+            while (auto v = nw.receive(p)) {
+                EXPECT_EQ(expected[*v], p);
+                seen[*v] += 1;
+            }
+    }
+    EXPECT_EQ(seen.size(), expected.size());
+    for (auto &[v, count] : seen)
+        EXPECT_EQ(count, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Failures, HypercubeFaults,
+                         ::testing::Values(0u, 5u, 15u, 30u));
+
+TEST(VnFaaProperty, ConcurrentTicketsAreGloballyUnique)
+{
+    // 8 cores each draw 20 tickets from one shared counter with
+    // FETCH-AND-ADD; all 160 observed values must be distinct and
+    // cover [0, 160).
+    vn::VnMachineConfig cfg;
+    cfg.numCores = 8;
+    cfg.topology = vn::VnMachineConfig::Topology::Omega;
+    cfg.wordsPerModule = 256;
+    vn::VnMachine m(cfg);
+
+    // Each core: r2 = counter addr, r3 = 1, writes its tickets to its
+    // own scratch area at 8*1? Keep them in registers: accumulate a
+    // checksum of distinctness instead — store each ticket to memory
+    // at base + ticket (so duplicates would collide).
+    vn::VnAsm a;
+    a.li(2, 0);    // counter address
+    a.li(3, 1);    // increment
+    a.li(5, 0);    // i
+    a.li(6, 20);   // draws per core
+    a.li(8, 32);   // tickets area base
+    a.label("loop");
+    a.slt(7, 5, 6);
+    a.beqz(7, "done");
+    a.faa(4, 2, 0, 3);     // r4 = ticket
+    a.add(9, 8, 4);        // &area[ticket]
+    a.li(10, 1);
+    a.store(9, 0, 10);     // mark it
+    a.addi(5, 5, 1);
+    a.jmp("loop");
+    a.label("done");
+    a.halt();
+    auto prog = a.assemble();
+    for (std::uint32_t c = 0; c < 8; ++c)
+        m.core(c).attachProgram(&prog);
+    m.run();
+
+    EXPECT_EQ(mem::toInt(m.peek(0)), 160);
+    for (std::uint64_t t = 0; t < 160; ++t)
+        EXPECT_EQ(mem::toInt(m.peek(32 + t)), 1)
+            << "ticket " << t << " missing or duplicated";
+}
+
+} // namespace

@@ -1,0 +1,334 @@
+/**
+ * @file
+ * Integration and property tests over the canonical ID workloads:
+ * every program runs on both engines, across machine shapes, against
+ * closed-form references.
+ */
+
+#include <gtest/gtest.h>
+
+#include "id/codegen.hh"
+#include "ttda/emulator.hh"
+#include "ttda/machine.hh"
+#include "workloads/id_sources.hh"
+
+namespace
+{
+
+using graph::Value;
+
+graph::Value
+emulate(const char *source, std::vector<Value> inputs,
+        std::uint64_t *fired = nullptr)
+{
+    id::Compiled c = id::compile(source);
+    ttda::Emulator emu(c.program);
+    for (std::size_t p = 0; p < inputs.size(); ++p)
+        emu.input(c.startCb, static_cast<std::uint16_t>(p), inputs[p]);
+    auto out = emu.run();
+    EXPECT_EQ(out.size(), 1u);
+    EXPECT_EQ(emu.outstandingReads(), 0u) << "deadlock";
+    if (fired)
+        *fired = emu.stats().fired;
+    return out.empty() ? Value{} : out[0].value;
+}
+
+graph::Value
+simulate(const char *source, std::vector<Value> inputs,
+         ttda::MachineConfig cfg, std::uint64_t *fired = nullptr)
+{
+    id::Compiled c = id::compile(source);
+    ttda::Machine m(c.program, cfg);
+    for (std::size_t p = 0; p < inputs.size(); ++p)
+        m.input(c.startCb, static_cast<std::uint16_t>(p), inputs[p]);
+    auto out = m.run();
+    EXPECT_EQ(out.size(), 1u);
+    EXPECT_FALSE(m.deadlocked());
+    if (fired)
+        *fired = m.totalFired();
+    return out.empty() ? Value{} : out[0].value;
+}
+
+std::int64_t
+binomial(std::int64_t n, std::int64_t k)
+{
+    std::int64_t r = 1;
+    for (std::int64_t i = 1; i <= k; ++i)
+        r = r * (n - k + i) / i;
+    return r;
+}
+
+std::int64_t
+takRef(std::int64_t x, std::int64_t y, std::int64_t z)
+{
+    if (!(y < x))
+        return z;
+    return takRef(takRef(x - 1, y, z), takRef(y - 1, z, x),
+                  takRef(z - 1, x, y));
+}
+
+TEST(Workloads, WavefrontComputesBinomial)
+{
+    // w[n-1][n-1] counts lattice paths: C(2(n-1), n-1).
+    for (std::int64_t n : {2, 3, 5, 8}) {
+        auto v = emulate(workloads::src::wavefront, {Value{n}});
+        EXPECT_EQ(v.asInt(), binomial(2 * (n - 1), n - 1))
+            << "n=" << n;
+    }
+}
+
+TEST(Workloads, WavefrontDefersAcrossTheDiagonal)
+{
+    // Out-of-order cell computation must park reads on deferred lists
+    // (the whole point of the workload).
+    id::Compiled c = id::compile(workloads::src::wavefront);
+    ttda::MachineConfig cfg;
+    cfg.numPEs = 8;
+    ttda::Machine m(c.program, cfg);
+    m.input(c.startCb, 0, Value{std::int64_t{8}});
+    auto out = m.run();
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].value.asInt(), binomial(14, 7));
+    EXPECT_GT(m.istructureTotals().fetchesDeferred.value(), 0u);
+}
+
+TEST(Workloads, TakDeepRecursion)
+{
+    const std::int64_t x = 8, y = 4, z = 2;
+    std::uint64_t fired = 0;
+    auto v = emulate(workloads::src::tak,
+                     {Value{x}, Value{y}, Value{z}}, &fired);
+    EXPECT_EQ(v.asInt(), takRef(x, y, z));
+    EXPECT_GT(fired, 1000u); // genuinely call-heavy
+}
+
+TEST(Workloads, TakOnMachineMatchesEmulator)
+{
+    std::uint64_t emu_fired = 0, sim_fired = 0;
+    auto ve = emulate(workloads::src::tak,
+                      {Value{std::int64_t{6}}, Value{std::int64_t{3}},
+                       Value{std::int64_t{1}}},
+                      &emu_fired);
+    ttda::MachineConfig cfg;
+    cfg.numPEs = 4;
+    auto vs = simulate(workloads::src::tak,
+                       {Value{std::int64_t{6}}, Value{std::int64_t{3}},
+                        Value{std::int64_t{1}}},
+                       cfg, &sim_fired);
+    EXPECT_EQ(ve.asInt(), vs.asInt());
+    EXPECT_EQ(emu_fired, sim_fired);
+}
+
+TEST(Workloads, PipelineSum)
+{
+    const std::int64_t m = 16;
+    auto v = emulate(workloads::src::pipeline, {Value{m}});
+    EXPECT_EQ(v.asInt(), m * (m - 1));
+}
+
+class CrossEngineSweep
+    : public ::testing::TestWithParam<std::tuple<int, std::uint32_t>>
+{
+  public:
+    static const char *
+    source(int which)
+    {
+        switch (which) {
+          case 0: return workloads::src::trapezoid;
+          case 1: return workloads::src::fib;
+          case 2: return workloads::src::matmul;
+          default: return workloads::src::wavefront;
+        }
+    }
+
+    static std::vector<Value>
+    inputs(int which)
+    {
+        switch (which) {
+          case 0:
+            return {Value{0.0}, Value{1.0}, Value{std::int64_t{24}}};
+          case 1: return {Value{std::int64_t{10}}};
+          case 2: return {Value{std::int64_t{5}}};
+          default: return {Value{std::int64_t{6}}};
+        }
+    }
+};
+
+TEST_P(CrossEngineSweep, MachineMatchesEmulatorExactly)
+{
+    const auto [which, pes] = GetParam();
+    std::uint64_t emu_fired = 0, sim_fired = 0;
+    auto ve = emulate(source(which), inputs(which), &emu_fired);
+    ttda::MachineConfig cfg;
+    cfg.numPEs = pes;
+    cfg.netJitter = 7; // stress reordering too
+    cfg.seed = pes * 31 + which;
+    auto vs = simulate(source(which), inputs(which), cfg, &sim_fired);
+    EXPECT_EQ(ve, vs);
+    EXPECT_EQ(emu_fired, sim_fired);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Programs, CrossEngineSweep,
+    ::testing::Combine(::testing::Range(0, 4),
+                       ::testing::Values(1u, 3u, 8u)));
+
+TEST(Workloads, BoundedMatchStoreStillCorrect)
+{
+    // A tiny waiting-matching store forces overflow spills; results
+    // must be unchanged, only slower.
+    id::Compiled c = id::compile(workloads::src::matmul);
+    ttda::MachineConfig fast;
+    fast.numPEs = 4;
+    ttda::Machine m_fast(c.program, fast);
+    m_fast.input(c.startCb, 0, Value{std::int64_t{5}});
+    auto out_fast = m_fast.run();
+
+    ttda::MachineConfig tiny = fast;
+    tiny.matchCapacity = 4;
+    tiny.matchOverflowPenalty = 10;
+    ttda::Machine m_tiny(c.program, tiny);
+    m_tiny.input(c.startCb, 0, Value{std::int64_t{5}});
+    auto out_tiny = m_tiny.run();
+
+    ASSERT_EQ(out_fast.size(), 1u);
+    ASSERT_EQ(out_tiny.size(), 1u);
+    EXPECT_EQ(out_fast[0].value, out_tiny[0].value);
+    EXPECT_GT(m_tiny.cycles(), m_fast.cycles());
+    std::uint64_t spills = 0;
+    for (std::uint32_t p = 0; p < 4; ++p)
+        spills += m_tiny.peStats(p).matchOverflows.value();
+    EXPECT_GT(spills, 0u);
+}
+
+TEST(Workloads, TreeSumLogDepthParallelism)
+{
+    // Divide-and-conquer sum: correct value, and the emulator's ideal
+    // depth grows like log n while total work grows like n.
+    const std::int64_t n = 64;
+    id::Compiled c = id::compile(workloads::src::treeSum);
+    ttda::Emulator emu(c.program);
+    emu.input(c.startCb, 0, Value{n});
+    auto out = emu.run();
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].value.asInt(), n * (n - 1) / 2);
+    EXPECT_GT(emu.stats().maxWaveWidth, 16u); // wide fan-out
+    // Depth is far below the serial chain's ~n.
+    EXPECT_LT(emu.stats().waves, 600u);
+}
+
+TEST(Workloads, TreeSumOnMachineAllTopologies)
+{
+    id::Compiled c = id::compile(workloads::src::treeSum);
+    for (auto topo : {ttda::MachineConfig::Topology::Ideal,
+                      ttda::MachineConfig::Topology::Hypercube}) {
+        ttda::MachineConfig cfg;
+        cfg.numPEs = 8;
+        cfg.topology = topo;
+        ttda::Machine m(c.program, cfg);
+        m.input(c.startCb, 0, Value{std::int64_t{48}});
+        auto out = m.run();
+        ASSERT_EQ(out.size(), 1u);
+        EXPECT_FALSE(m.deadlocked());
+        EXPECT_EQ(out[0].value.asInt(), 48 * 47 / 2);
+    }
+}
+
+TEST(Workloads, ContextTableDrainsAfterRun)
+{
+    // Every APPLY context is released by its RETURN and every loop
+    // context by its last L⁻¹, so the finite context namespace is
+    // reusable — only the root context survives a trapezoid run.
+    id::Compiled c = id::compile(workloads::src::trapezoid);
+    ttda::Emulator emu(c.program);
+    emu.input(c.startCb, 0, Value{0.0});
+    emu.input(c.startCb, 1, Value{2.0});
+    emu.input(c.startCb, 2, Value{std::int64_t{64}});
+    emu.run();
+    EXPECT_GT(emu.contexts().totalCreated(), 60u);
+    EXPECT_EQ(emu.contexts().totalReleased(),
+              emu.contexts().totalCreated());
+    EXPECT_EQ(emu.contexts().liveContexts(), 1u); // just the root
+}
+
+TEST(Workloads, ExitlessProducerLoopContextPersists)
+{
+    // A pure producer loop returns nothing; its context has no exit
+    // to count and is (documentedly) never reclaimed.
+    id::Compiled c = id::compile(R"(
+        def fill(a, n) =
+          (initial t <- a
+           for i from 0 to n - 1 do
+             new t <- store(t, i, i)
+           return t);
+        def main(n) =
+          let a = array(n) in
+          let d = fill(a, n) in
+          a[n - 1];
+    )");
+    ttda::Emulator emu(c.program);
+    emu.input(c.startCb, 0, Value{std::int64_t{8}});
+    auto out = emu.run();
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].value.asInt(), 7);
+    // fill's loop *does* exit (returns t), so in this program all
+    // loop contexts still drain; main/fill APPLY contexts released.
+    EXPECT_LE(emu.contexts().liveContexts(), 2u);
+}
+
+TEST(Workloads, MergeSortSortsOnBothEngines)
+{
+    const std::int64_t n = 24;
+    std::int64_t expect_sum = 0;
+    for (std::int64_t i = 0; i < n; ++i)
+        expect_sum += (i * 37 + 11) % 101;
+
+    auto v = emulate(workloads::src::mergesort, {Value{n}});
+    EXPECT_EQ(v.asInt(), expect_sum) << "disorder must be zero";
+
+    ttda::MachineConfig cfg;
+    cfg.numPEs = 8;
+    auto vs = simulate(workloads::src::mergesort, {Value{n}}, cfg);
+    EXPECT_EQ(vs.asInt(), expect_sum);
+}
+
+TEST(Workloads, MergeSortRecursionIsConcurrent)
+{
+    // The two half-sorts of each level are independent APPLYs; the
+    // ideal parallelism profile must be wider than a serial sorter's.
+    id::Compiled c = id::compile(workloads::src::mergesort);
+    ttda::Emulator emu(c.program);
+    emu.input(c.startCb, 0, Value{std::int64_t{32}});
+    emu.run();
+    EXPECT_GT(emu.stats().maxWaveWidth, 8u);
+}
+
+TEST(Workloads, TrapezoidDeterministicAcrossSeeds)
+{
+    // With jitter, different seeds give different schedules but must
+    // give identical answers and activity counts.
+    id::Compiled c = id::compile(workloads::src::trapezoid);
+    std::optional<double> reference;
+    std::optional<std::uint64_t> ref_fired;
+    for (std::uint64_t seed : {1u, 99u, 12345u}) {
+        ttda::MachineConfig cfg;
+        cfg.numPEs = 8;
+        cfg.netJitter = 23;
+        cfg.seed = seed;
+        ttda::Machine m(c.program, cfg);
+        m.input(c.startCb, 0, Value{0.0});
+        m.input(c.startCb, 1, Value{3.0});
+        m.input(c.startCb, 2, Value{std::int64_t{40}});
+        auto out = m.run();
+        ASSERT_EQ(out.size(), 1u);
+        if (!reference) {
+            reference = out[0].value.asReal();
+            ref_fired = m.totalFired();
+        } else {
+            EXPECT_DOUBLE_EQ(out[0].value.asReal(), *reference);
+            EXPECT_EQ(m.totalFired(), *ref_fired);
+        }
+    }
+}
+
+} // namespace

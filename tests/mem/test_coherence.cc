@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Tests for the snooping cache system: MSI transitions, the cost of
+ * invalidation, and the paper's two-processor incoherence scenario.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/coherence.hh"
+
+namespace
+{
+
+mem::CoherentCacheSystem::Config
+baseConfig(std::uint32_t procs)
+{
+    mem::CoherentCacheSystem::Config cfg;
+    cfg.processors = procs;
+    cfg.linesPerCache = 16;
+    cfg.wordsPerBlock = 4;
+    cfg.hitLatency = 1;
+    cfg.busLatency = 3;
+    cfg.memoryLatency = 10;
+    return cfg;
+}
+
+TEST(Coherence, ReadMissThenHit)
+{
+    mem::CoherentCacheSystem sys(baseConfig(1), 256);
+    auto first = sys.read(0, 8);
+    auto second = sys.read(0, 9); // same block
+    EXPECT_GT(first.cycles, second.cycles);
+    EXPECT_EQ(second.cycles, 1u);
+    EXPECT_EQ(sys.stats().readMisses.value(), 1u);
+    EXPECT_EQ(sys.stats().readHits.value(), 1u);
+}
+
+TEST(Coherence, WriteReadRoundTrip)
+{
+    mem::CoherentCacheSystem sys(baseConfig(1), 256);
+    sys.write(0, 5, 1234);
+    EXPECT_EQ(sys.read(0, 5).value, 1234u);
+    EXPECT_EQ(sys.stateOf(0, 5), mem::LineState::Modified);
+}
+
+TEST(Coherence, RemoteWriteInvalidatesSharers)
+{
+    mem::CoherentCacheSystem sys(baseConfig(2), 256);
+    sys.read(0, 0);
+    sys.read(1, 0);
+    EXPECT_EQ(sys.stateOf(0, 0), mem::LineState::Shared);
+    EXPECT_EQ(sys.stateOf(1, 0), mem::LineState::Shared);
+    sys.write(1, 0, 42);
+    EXPECT_EQ(sys.stateOf(0, 0), mem::LineState::Invalid);
+    EXPECT_EQ(sys.stateOf(1, 0), mem::LineState::Modified);
+    EXPECT_EQ(sys.stats().invalidationsSent.value(), 1u);
+    // Processor 0 re-reads and sees the new value (coherent).
+    EXPECT_EQ(sys.read(0, 0).value, 42u);
+    EXPECT_EQ(sys.stats().staleReads.value(), 0u);
+}
+
+TEST(Coherence, DirtyRemoteCopyWrittenBackOnFill)
+{
+    mem::CoherentCacheSystem sys(baseConfig(2), 256);
+    sys.write(0, 0, 7); // P0 holds Modified
+    auto r = sys.read(1, 0);
+    EXPECT_EQ(r.value, 7u);
+    EXPECT_GE(sys.stats().writebacks.value(), 1u);
+    EXPECT_EQ(sys.stateOf(0, 0), mem::LineState::Shared);
+}
+
+TEST(Coherence, PaperScenarioStoreThroughWithoutInvalidationIsStale)
+{
+    // Paper Section 1.1: "if it so happens that the shared address is
+    // present in both caches, the individual processors can read and
+    // write the address and never see any changes caused by the other
+    // processor" — and "using a store-through design instead of a
+    // store-in design does not completely solve the problem either".
+    auto cfg = baseConfig(2);
+    cfg.storeThrough = true;
+    cfg.invalidate = false; // no invalidation mechanism
+    mem::CoherentCacheSystem sys(cfg, 256);
+
+    // Both processors cache the shared cell.
+    sys.read(0, 0);
+    sys.read(1, 0);
+    // P1 stores through to memory...
+    sys.write(1, 0, 99);
+    // ...but P0 still hits its own cached (stale) copy.
+    auto r = sys.read(0, 0);
+    EXPECT_NE(r.value, 99u);
+    EXPECT_EQ(sys.latest(0), 99u);
+    EXPECT_GE(sys.stats().staleReads.value(), 1u);
+}
+
+TEST(Coherence, StoreThroughWithInvalidationIsCoherent)
+{
+    auto cfg = baseConfig(2);
+    cfg.storeThrough = true;
+    cfg.invalidate = true;
+    mem::CoherentCacheSystem sys(cfg, 256);
+    sys.read(0, 0);
+    sys.read(1, 0);
+    sys.write(1, 0, 99);
+    EXPECT_EQ(sys.read(0, 0).value, 99u);
+    EXPECT_EQ(sys.stats().staleReads.value(), 0u);
+}
+
+TEST(Coherence, EvictionWritesBackDirtyLine)
+{
+    auto cfg = baseConfig(1);
+    cfg.linesPerCache = 2;
+    cfg.wordsPerBlock = 1;
+    mem::CoherentCacheSystem sys(cfg, 256);
+    sys.write(0, 0, 5);  // index 0, dirty
+    sys.read(0, 2);      // conflicts with index 0 -> eviction
+    EXPECT_GE(sys.stats().writebacks.value(), 1u);
+    EXPECT_EQ(sys.read(0, 0).value, 5u); // survives via memory
+}
+
+class SharingCostSweep : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(SharingCostSweep, PingPongWriteCostGrowsWithSharers)
+{
+    // All p processors read a shared cell, then one writes: the write
+    // must invalidate p-1 copies; coherence overhead scales with the
+    // degree of sharing.
+    const std::uint32_t p = GetParam();
+    mem::CoherentCacheSystem sys(baseConfig(p), 256);
+    for (std::uint32_t i = 0; i < p; ++i)
+        sys.read(i, 0);
+    sys.write(0, 0, 1);
+    EXPECT_EQ(sys.stats().invalidationsSent.value(), p - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Procs, SharingCostSweep,
+                         ::testing::Values(2u, 4u, 8u, 16u));
+
+} // namespace

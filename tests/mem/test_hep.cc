@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Tests for the HEP-style full/empty memory (paper footnote 2): NACK
+ * semantics, busy-wait retry accounting, and the contrast with
+ * I-structure deferred reads.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/hep.hh"
+#include "mem/istructure.hh"
+
+namespace
+{
+
+TEST(HepMemory, ReadOfEmptyCellNacks)
+{
+    mem::HepMemory m(8);
+    EXPECT_FALSE(m.readFull(0).has_value());
+    EXPECT_EQ(m.stats().nackedReads.value(), 1u);
+}
+
+TEST(HepMemory, WriteThenReadSucceeds)
+{
+    mem::HepMemory m(8);
+    EXPECT_TRUE(m.writeEmpty(2, 99));
+    auto v = m.readFull(2);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, 99u);
+    EXPECT_TRUE(m.isFull(2)); // non-consuming read leaves it full
+}
+
+TEST(HepMemory, ConsumingReadEmptiesCell)
+{
+    mem::HepMemory m(8);
+    m.writeEmpty(1, 5);
+    auto v = m.readFull(1, /*consume=*/true);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_FALSE(m.isFull(1));
+    EXPECT_FALSE(m.readFull(1).has_value()); // now empty again
+}
+
+TEST(HepMemory, WriteToFullCellNacks)
+{
+    mem::HepMemory m(8);
+    EXPECT_TRUE(m.writeEmpty(0, 1));
+    EXPECT_FALSE(m.writeEmpty(0, 2));
+    EXPECT_EQ(m.read(0), 1u);
+    EXPECT_EQ(m.stats().nackedWrites.value(), 1u);
+}
+
+TEST(HepMemory, ProducerConsumerHandoff)
+{
+    // The HEP idiom: consumer's consuming reads alternate with
+    // producer's writes through one cell.
+    mem::HepMemory m(4);
+    for (mem::Word i = 0; i < 10; ++i) {
+        EXPECT_TRUE(m.writeEmpty(0, i));
+        auto v = m.readFull(0, true);
+        ASSERT_TRUE(v.has_value());
+        EXPECT_EQ(*v, i);
+    }
+}
+
+TEST(HepVsIStructure, BusyWaitGeneratesRetryTrafficDeferredDoesNot)
+{
+    // Footnote 2's contrast, measured. A consumer polls a cell that the
+    // producer writes only after `delay` attempts. The HEP memory sees
+    // one NACKed transaction per retry; the I-structure sees exactly
+    // one fetch, parked on the deferred list.
+    const int delay = 50;
+
+    mem::HepMemory hep(4);
+    int hep_transactions = 0;
+    for (int t = 0; t < delay; ++t) {
+        ++hep_transactions;
+        EXPECT_FALSE(hep.readFull(0).has_value());
+    }
+    hep.writeEmpty(0, 7);
+    ++hep_transactions;
+    EXPECT_TRUE(hep.readFull(0).has_value());
+    ++hep_transactions;
+    EXPECT_EQ(hep.stats().nackedReads.value(),
+              static_cast<std::uint64_t>(delay));
+
+    mem::IStructure<int> is(4);
+    std::vector<std::pair<int, mem::Word>> out;
+    is.fetch(0, 1, out); // one transaction, then the reader sleeps
+    is.store(0, 7, out); // the write wakes it
+    ASSERT_EQ(out.size(), 1u);
+    const int istructure_transactions = 2;
+    EXPECT_LT(istructure_transactions, hep_transactions);
+}
+
+} // namespace

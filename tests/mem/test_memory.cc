@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Tests for the plain banked memory module.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mem/memory.hh"
+
+namespace
+{
+
+using mem::MemRequest;
+using mem::MemResponse;
+
+std::vector<MemResponse>
+drain(mem::MemoryModule &m, sim::Cycle max_cycles = 10000)
+{
+    std::vector<MemResponse> got;
+    sim::Cycle cycle = 0;
+    while (!m.idle() && cycle < max_cycles) {
+        m.step(cycle);
+        ++cycle;
+        while (auto r = m.pollResponse())
+            got.push_back(*r);
+    }
+    EXPECT_TRUE(m.idle());
+    return got;
+}
+
+TEST(MemoryModule, WriteThenReadRoundTrips)
+{
+    mem::MemoryModule m(64, 3);
+    m.request({MemRequest::Kind::Write, 10, 0xdeadbeef, 1});
+    m.request({MemRequest::Kind::Read, 10, 0, 2});
+    auto got = drain(m);
+    ASSERT_EQ(got.size(), 2u);
+    EXPECT_EQ(got[1].cookie, 2u);
+    EXPECT_EQ(got[1].data, 0xdeadbeefu);
+    EXPECT_EQ(m.peek(10), 0xdeadbeefu);
+}
+
+TEST(MemoryModule, LatencyIsRespected)
+{
+    mem::MemoryModule m(16, 7);
+    m.request({MemRequest::Kind::Read, 0, 0, 1});
+    sim::Cycle cycle = 0;
+    std::optional<MemResponse> rsp;
+    while (!rsp && cycle < 100) {
+        m.step(cycle);
+        ++cycle;
+        rsp = m.pollResponse();
+    }
+    ASSERT_TRUE(rsp.has_value());
+    EXPECT_EQ(cycle, 7u);
+}
+
+TEST(MemoryModule, SingleBankSerializes)
+{
+    // 8 requests to one bank: responses spread over >= 8 cycles.
+    mem::MemoryModule m(16, 1, 1);
+    for (std::uint64_t i = 0; i < 8; ++i)
+        m.request({MemRequest::Kind::Read, i, 0, i});
+    sim::Cycle cycle = 0;
+    std::size_t arrived = 0;
+    while (arrived < 8 && cycle < 100) {
+        m.step(cycle);
+        ++cycle;
+        while (m.pollResponse())
+            ++arrived;
+    }
+    EXPECT_GE(cycle, 8u);
+}
+
+TEST(MemoryModule, BanksServeInParallel)
+{
+    mem::MemoryModule m(16, 1, 8);
+    for (std::uint64_t i = 0; i < 8; ++i)
+        m.request({MemRequest::Kind::Read, i, 0, i});
+    m.step(0);
+    std::size_t arrived = 0;
+    while (m.pollResponse())
+        ++arrived;
+    EXPECT_EQ(arrived, 8u);
+}
+
+TEST(MemoryModule, FetchAndAddReturnsOldValue)
+{
+    mem::MemoryModule m(8, 1);
+    m.poke(3, mem::fromInt(100));
+    m.request({MemRequest::Kind::FetchAndAdd, 3, mem::fromInt(5), 1});
+    auto got = drain(m);
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(mem::toInt(got[0].data), 100);
+    EXPECT_EQ(mem::toInt(m.peek(3)), 105);
+}
+
+TEST(MemoryModule, OutOfRangeRequestPanics)
+{
+    mem::MemoryModule m(8, 1);
+    EXPECT_DEATH(m.request({MemRequest::Kind::Read, 8, 0, 0}), "beyond");
+}
+
+TEST(WordConversions, RoundTrip)
+{
+    EXPECT_DOUBLE_EQ(mem::toDouble(mem::fromDouble(3.25)), 3.25);
+    EXPECT_EQ(mem::toInt(mem::fromInt(-42)), -42);
+}
+
+} // namespace

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Contention behaviour of the Cm*-style hierarchical network: the
+ * single intercluster bus is the machine-wide serialization point the
+ * paper's Cm* analysis turns on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/hierarchical.hh"
+
+namespace
+{
+
+using Payload = std::uint64_t;
+
+/** Deliver all packets; returns total cycles. */
+sim::Cycle
+drain(net::HierarchicalNet<Payload> &nw, std::size_t expected)
+{
+    sim::Cycle cycle = 0;
+    std::size_t arrived = 0;
+    while (arrived < expected && cycle < 100000) {
+        nw.step(cycle);
+        ++cycle;
+        for (sim::NodeId p = 0; p < nw.numPorts(); ++p)
+            while (nw.receive(p))
+                ++arrived;
+    }
+    EXPECT_EQ(arrived, expected);
+    return cycle;
+}
+
+TEST(HierarchicalContention, IntraClusterTrafficScalesAcrossClusters)
+{
+    // One packet inside each of 4 clusters: local buses work in
+    // parallel, so 4 packets cost barely more than 1.
+    net::HierarchicalNet<Payload> one(16, 4, 2, 8);
+    one.send(0, 1, 0);
+    const auto t1 = drain(one, 1);
+
+    net::HierarchicalNet<Payload> four(16, 4, 2, 8);
+    for (sim::NodeId c = 0; c < 4; ++c)
+        four.send(c * 4, c * 4 + 1, c);
+    const auto t4 = drain(four, 4);
+    EXPECT_LE(t4, t1 + 2);
+}
+
+TEST(HierarchicalContention, GlobalBusSerializesInterClusterTraffic)
+{
+    // One inter-cluster packet per cluster: every one must cross the
+    // single global bus, so time grows ~linearly with cluster count.
+    auto run = [&](sim::NodeId clusters) {
+        net::HierarchicalNet<Payload> nw(clusters * 4, 4, 2, 8);
+        for (sim::NodeId c = 0; c < clusters; ++c)
+            nw.send(c * 4, ((c + 1) % clusters) * 4, c);
+        return drain(nw, clusters);
+    };
+    const auto t2 = run(2);
+    const auto t8 = run(8);
+    // The intercluster bus is pipelined (8-cycle latency, one packet
+    // per cycle), so each extra packet adds about one cycle of
+    // serialization on top of the shared latency.
+    EXPECT_GE(t8, t2 + 5);
+}
+
+TEST(HierarchicalContention, LocalBusSharedByThroughTraffic)
+{
+    // A cluster's bus serves both its own traffic and inbound
+    // intercluster packets; the blockedCycles stat must register.
+    net::HierarchicalNet<Payload> nw(8, 4, 2, 4);
+    for (int k = 0; k < 6; ++k) {
+        nw.send(4, 0, 100 + k); // remote into cluster 0
+        nw.send(1, 2, 200 + k); // local within cluster 0
+    }
+    drain(nw, 12);
+    EXPECT_GT(nw.stats().blockedCycles.value(), 0u);
+}
+
+} // namespace

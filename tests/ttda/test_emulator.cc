@@ -1,0 +1,178 @@
+/**
+ * @file
+ * End-to-end tests of the untimed emulator on the paper's example
+ * programs: the Figure 2-2 trapezoidal-rule loop, the Issue-2
+ * producer/consumer, recursion through APPLY/RETURN, and deadlock
+ * detection on a read-before-write that is never satisfied.
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hh"
+#include "ttda/emulator.hh"
+#include "workloads/dfg_programs.hh"
+
+namespace
+{
+
+using graph::Opcode;
+using graph::Value;
+
+TEST(Emulator, TrapezoidMatchesReference)
+{
+    graph::Program program;
+    const auto main_cb = workloads::buildTrapezoid(program);
+    ttda::Emulator emu(program);
+    emu.input(main_cb, 0, Value{0.0});   // a
+    emu.input(main_cb, 1, Value{2.0});   // b
+    emu.input(main_cb, 2, Value{std::int64_t{64}}); // n
+    auto out = emu.run();
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_NEAR(out[0].value.asReal(),
+                workloads::trapezoidReference(0.0, 2.0, 64), 1e-9);
+    // The trapezoid rule for x^2 on [0,2] approaches 8/3.
+    EXPECT_NEAR(out[0].value.asReal(), 8.0 / 3.0, 1e-2);
+}
+
+TEST(Emulator, TrapezoidSingleInterval)
+{
+    graph::Program program;
+    const auto main_cb = workloads::buildTrapezoid(program);
+    ttda::Emulator emu(program);
+    emu.input(main_cb, 0, Value{0.0});
+    emu.input(main_cb, 1, Value{2.0});
+    emu.input(main_cb, 2, Value{std::int64_t{1}}); // loop body never runs
+    auto out = emu.run();
+    ASSERT_EQ(out.size(), 1u);
+    // (f(0)+f(2))/2 * 2 = 4.
+    EXPECT_NEAR(out[0].value.asReal(), 4.0, 1e-9);
+}
+
+TEST(Emulator, ProducerConsumerOverlapsThroughIStructures)
+{
+    graph::Program program;
+    const auto main_cb = workloads::buildProducerConsumer(program);
+    ttda::Emulator emu(program);
+    const std::int64_t n = 50;
+    emu.input(main_cb, 0, Value{n});
+    auto out = emu.run();
+    ASSERT_EQ(out.size(), 1u);
+    // sum of 2*i for i in [0,n) = n*(n-1).
+    EXPECT_NEAR(out[0].value.asReal(),
+                static_cast<double>(n * (n - 1)), 1e-9);
+    EXPECT_EQ(emu.outstandingReads(), 0u);
+    EXPECT_EQ(emu.istructureStats().multipleWrites.value(), 0u);
+}
+
+TEST(Emulator, SlowProducerForcesDeferredReads)
+{
+    // With a delayed producer, the consumer races ahead and parks on
+    // the deferred lists — synchronization still succeeds with no loss
+    // of parallelism (Issue 2 resolved).
+    graph::Program program;
+    const auto main_cb =
+        workloads::buildProducerConsumerDelayed(program, 8);
+    ttda::Emulator emu(program);
+    const std::int64_t n = 40;
+    emu.input(main_cb, 0, Value{n});
+    auto out = emu.run();
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_NEAR(out[0].value.asReal(),
+                static_cast<double>(n * (n - 1)), 1e-9);
+    EXPECT_GT(emu.istructureStats().fetchesDeferred.value(), 0u);
+    EXPECT_EQ(emu.outstandingReads(), 0u);
+}
+
+TEST(Emulator, FibRecursionThroughApplyReturn)
+{
+    graph::Program program;
+    const auto main_cb = workloads::buildFib(program);
+    ttda::Emulator emu(program);
+    emu.input(main_cb, 0, Value{std::int64_t{12}});
+    auto out = emu.run();
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].value.asInt(), 144);
+    // Doubly recursive fib creates a context per call.
+    EXPECT_GT(emu.contexts().totalCreated(), 100u);
+}
+
+TEST(Emulator, VectorSum)
+{
+    graph::Program program;
+    const auto main_cb = workloads::buildVectorSum(program);
+    ttda::Emulator emu(program);
+    const std::int64_t n = 30;
+    emu.input(main_cb, 0, Value{n});
+    auto out = emu.run();
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].value.asInt(), n * (n - 1) / 2);
+}
+
+TEST(Emulator, WaveProfileShowsLoopParallelism)
+{
+    // Ideal parallelism of the producer/consumer program: concurrent
+    // loops mean some wave fires several activities at once.
+    graph::Program program;
+    const auto main_cb = workloads::buildProducerConsumer(program);
+    ttda::Emulator emu(program);
+    emu.input(main_cb, 0, Value{std::int64_t{32}});
+    emu.run();
+    EXPECT_GT(emu.stats().maxWaveWidth, 4u);
+    EXPECT_GT(emu.stats().waves, 10u);
+    EXPECT_GT(emu.stats().avgParallelism, 1.0);
+}
+
+TEST(Emulator, ReadOfNeverWrittenCellDeadlocks)
+{
+    // A consumer with no producer: the fetch parks forever. The
+    // emulator quiesces with outstanding deferred reads — the dataflow
+    // analogue of a lost-wakeup deadlock, and detectable.
+    graph::Program program;
+    graph::BlockBuilder main(program, "main", 1);
+    const auto alloc = main.add(Opcode::Alloc, 1);
+    main.to(0, alloc, 0);
+    const auto fetch = main.add(Opcode::IFetch, 1, "arr[0]");
+    main.constant(fetch, Value{std::int64_t{0}});
+    main.to(alloc, fetch, 0);
+    const auto out = main.add(Opcode::Output, 1);
+    main.to(fetch, out, 0);
+    const auto main_cb = main.build();
+
+    ttda::Emulator emu(program);
+    emu.input(main_cb, 0, Value{std::int64_t{4}});
+    auto outputs = emu.run();
+    EXPECT_TRUE(outputs.empty());
+    EXPECT_EQ(emu.outstandingReads(), 1u);
+}
+
+TEST(Emulator, HigherOrderApply)
+{
+    // Dynamic APPLY: the function arrives as a value on port 0.
+    graph::Program program;
+
+    graph::BlockBuilder sq(program, "sq", 1);
+    const auto mul = sq.add(Opcode::Mul, 2);
+    sq.to(0, mul, 0).to(0, mul, 1);
+    const auto ret = sq.add(Opcode::Return, 1);
+    sq.to(mul, ret, 0);
+    const auto sq_cb = sq.build();
+
+    graph::BlockBuilder main(program, "main", 1);
+    const auto fn = main.add(Opcode::Lit, 1, "fn=sq");
+    main.constant(fn, Value{graph::FnRef{sq_cb}});
+    main.to(0, fn, 0);
+    const auto call = main.add(Opcode::Apply, 2, "apply fn x");
+    main.to(fn, call, 0);
+    main.to(0, call, 1);
+    const auto out = main.add(Opcode::Output, 1);
+    main.to(call, out, 0);
+    const auto main_cb = main.build();
+
+    ttda::Emulator emu(program);
+    emu.input(main_cb, 0, Value{std::int64_t{9}});
+    auto outputs = emu.run();
+    ASSERT_EQ(outputs.size(), 1u);
+    EXPECT_EQ(outputs[0].value.asInt(), 81);
+}
+
+} // namespace

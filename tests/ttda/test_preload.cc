@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Tests for workload-setup surfaces: Machine::preload (pre-initialized
+ * I-structures passed as program inputs), emulator setup via
+ * istructureRaw(), and the emulator's wave-profile bookkeeping.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "id/codegen.hh"
+#include "ttda/emulator.hh"
+#include "ttda/machine.hh"
+
+namespace
+{
+
+using graph::Value;
+
+const char *kSumSource = R"(
+    def main(a, n) =
+      (initial s <- 0
+       for i from 0 to n - 1 do
+         new s <- s + a[i]
+       return s);
+)";
+
+TEST(Preload, MachineReadsPreloadedArray)
+{
+    id::Compiled c = id::compile(kSumSource);
+    ttda::MachineConfig cfg;
+    cfg.numPEs = 4;
+    ttda::Machine m(c.program, cfg);
+
+    std::vector<Value> values;
+    for (int i = 0; i < 20; ++i)
+        values.emplace_back(std::int64_t{i * i});
+    const graph::IPtr arr = m.preload(values);
+    EXPECT_EQ(arr.length, 20u);
+
+    m.input(c.startCb, 0, Value{arr});
+    m.input(c.startCb, 1, Value{std::int64_t{20}});
+    auto out = m.run();
+    ASSERT_EQ(out.size(), 1u);
+    std::int64_t expect = 0;
+    for (int i = 0; i < 20; ++i)
+        expect += i * i;
+    EXPECT_EQ(out[0].value.asInt(), expect);
+    // No deferrals: everything was already Present.
+    EXPECT_EQ(m.istructureTotals().fetchesDeferred.value(), 0u);
+}
+
+TEST(Preload, MultiplePreloadsDoNotOverlap)
+{
+    id::Compiled c = id::compile(kSumSource);
+    ttda::MachineConfig cfg;
+    cfg.numPEs = 3;
+    ttda::Machine m(c.program, cfg);
+    const auto a = m.preload({Value{std::int64_t{1}},
+                              Value{std::int64_t{2}}});
+    const auto b = m.preload({Value{std::int64_t{10}},
+                              Value{std::int64_t{20}},
+                              Value{std::int64_t{30}}});
+    EXPECT_NE(a.base, b.base);
+    m.input(c.startCb, 0, Value{b});
+    m.input(c.startCb, 1, Value{std::int64_t{3}});
+    auto out = m.run();
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].value.asInt(), 60);
+}
+
+TEST(Preload, EmulatorSetupViaRawStorage)
+{
+    id::Compiled c = id::compile(kSumSource);
+    ttda::Emulator emu(c.program);
+    auto &is = emu.istructureRaw();
+    const std::uint64_t base = is.allocate(5);
+    std::vector<std::pair<graph::IsCont, Value>> out;
+    for (std::uint64_t i = 0; i < 5; ++i)
+        is.store(base + i, Value{std::int64_t{7}}, out);
+    emu.input(c.startCb, 0,
+              Value{graph::IPtr{base, 5}});
+    emu.input(c.startCb, 1, Value{std::int64_t{5}});
+    auto results = emu.run();
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].value.asInt(), 35);
+}
+
+TEST(WaveProfile, SumsToTotalAndEndsNonzero)
+{
+    id::Compiled c = id::compile(kSumSource);
+    ttda::Emulator emu(c.program);
+    auto &is = emu.istructureRaw();
+    const std::uint64_t base = is.allocate(4);
+    std::vector<std::pair<graph::IsCont, Value>> sink;
+    for (std::uint64_t i = 0; i < 4; ++i)
+        is.store(base + i, Value{std::int64_t{1}}, sink);
+    emu.input(c.startCb, 0, Value{graph::IPtr{base, 4}});
+    emu.input(c.startCb, 1, Value{std::int64_t{4}});
+    emu.run();
+
+    const auto &profile = emu.stats().profile;
+    ASSERT_EQ(profile.size(), emu.stats().waves);
+    const std::uint64_t total = std::accumulate(
+        profile.begin(), profile.end(), std::uint64_t{0});
+    EXPECT_EQ(total, emu.stats().fired);
+    EXPECT_GT(profile.front(), 0u);
+    const std::uint64_t peak =
+        *std::max_element(profile.begin(), profile.end());
+    EXPECT_EQ(peak, emu.stats().maxWaveWidth);
+}
+
+TEST(DotExport, SwitchFalseEdgesAreDashed)
+{
+    id::Compiled c = id::compile(
+        "def main(x) = if x > 0 then x else -x;");
+    const std::string dot = c.program.toDot(c.mainCb);
+    EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+    EXPECT_NE(dot.find("(F)"), std::string::npos);
+}
+
+} // namespace

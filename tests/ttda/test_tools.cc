@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Tests for the tooling surfaces: the program disassembler, the
+ * machine's statistics dump, and failure-injection behaviour
+ * (livelock guard, storage exhaustion, input validation).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "id/codegen.hh"
+#include "ttda/emulator.hh"
+#include "ttda/machine.hh"
+#include "workloads/id_sources.hh"
+
+namespace
+{
+
+using graph::Value;
+
+TEST(Disassemble, ListsInstructionsAndEdges)
+{
+    id::Compiled c = id::compile(workloads::src::trapezoid);
+    const std::string all = c.program.disassemble();
+    EXPECT_NE(all.find("code block"), std::string::npos);
+    EXPECT_NE(all.find("APPLY"), std::string::npos);
+    EXPECT_NE(all.find("SWITCH"), std::string::npos);
+    EXPECT_NE(all.find("L-1"), std::string::npos);
+    EXPECT_NE(all.find("->"), std::string::npos);
+    EXPECT_NE(all.find("caller:"), std::string::npos);
+
+    // Single-block listing is a strict subset.
+    const std::string one = c.program.disassemble(c.mainCb);
+    EXPECT_NE(one.find("'main'"), std::string::npos);
+    EXPECT_LT(one.size(), all.size());
+}
+
+TEST(StatsDump, ContainsMachineAndPeGroups)
+{
+    id::Compiled c = id::compile(workloads::src::fib);
+    ttda::MachineConfig cfg;
+    cfg.numPEs = 2;
+    ttda::Machine m(c.program, cfg);
+    m.input(c.startCb, 0, Value{std::int64_t{8}});
+    m.run();
+
+    std::ostringstream os;
+    m.dumpStats(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("machine.cycles"), std::string::npos);
+    EXPECT_NE(out.find("machine.activities"), std::string::npos);
+    EXPECT_NE(out.find("pe0.fired"), std::string::npos);
+    EXPECT_NE(out.find("pe1.fired"), std::string::npos);
+    EXPECT_NE(out.find("machine.contextsCreated"), std::string::npos);
+}
+
+TEST(Trace, EventStreamContainsLifecycle)
+{
+    id::Compiled c = id::compile("def main(x) = x * 2 + 1;");
+    std::ostringstream trace;
+    ttda::MachineConfig cfg;
+    cfg.numPEs = 2;
+    cfg.trace = &trace;
+    ttda::Machine m(c.program, cfg);
+    m.input(c.startCb, 0, Value{std::int64_t{4}});
+    auto out = m.run();
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].value.asInt(), 9);
+
+    const std::string t = trace.str();
+    EXPECT_NE(t.find(" in    "), std::string::npos);
+    EXPECT_NE(t.find(" fire  "), std::string::npos);
+    EXPECT_NE(t.find("APPLY"), std::string::npos);
+    EXPECT_NE(t.find("RETURN"), std::string::npos);
+    EXPECT_NE(t.find("OUTPUT 9"), std::string::npos);
+}
+
+TEST(DeadlockReport, NamesTheUnwrittenCell)
+{
+    id::Compiled c = id::compile(R"(
+        def main(n) =
+          let a = array(4) in
+          a[2];   -- never written
+    )");
+    ttda::MachineConfig cfg;
+    cfg.numPEs = 2;
+    ttda::Machine m(c.program, cfg);
+    m.input(c.startCb, 0, Value{std::int64_t{0}});
+    m.run();
+    ASSERT_TRUE(m.deadlocked());
+    const std::string report = m.deadlockReport();
+    EXPECT_NE(report.find("1 parked reads"), std::string::npos)
+        << report;
+    EXPECT_NE(report.find("i-structure cell 2"), std::string::npos)
+        << report;
+    EXPECT_NE(report.find("never written"), std::string::npos);
+}
+
+TEST(FailureInjection, IStructureExhaustionPanics)
+{
+    id::Compiled c = id::compile(R"(
+        def main(n) = array(n)[0];
+    )");
+    ttda::Emulator emu(c.program, /*is_words=*/16);
+    emu.input(c.startCb, 0, Value{std::int64_t{1000}});
+    EXPECT_DEATH(emu.run(), "exhausted");
+}
+
+TEST(FailureInjection, MachineStorageExhaustionPanics)
+{
+    id::Compiled c = id::compile(R"(
+        def main(n) = array(n)[0];
+    )");
+    ttda::MachineConfig cfg;
+    cfg.numPEs = 2;
+    cfg.isWordsPerPe = 8; // 16 words total
+    ttda::Machine m(c.program, cfg);
+    m.input(c.startCb, 0, Value{std::int64_t{1000}});
+    EXPECT_DEATH(m.run(), "exhausted");
+}
+
+TEST(FailureInjection, RunawayEmulatorGuard)
+{
+    // An infinite loop (predicate never false) trips the activity
+    // bound instead of hanging.
+    id::Compiled c = id::compile(R"(
+        def main(n) =
+          (initial s <- 0
+           for i from 1 to n do
+             new s <- s + 0 * (i - i)  -- body fine...
+           return s);
+    )");
+    ttda::Emulator emu(c.program);
+    emu.input(c.startCb, 0, Value{std::int64_t{1'000'000'000}});
+    EXPECT_DEATH(emu.run(/*max_fired=*/10'000), "runaway");
+}
+
+TEST(FailureInjection, BadInputParamPanics)
+{
+    id::Compiled c = id::compile("def main(x) = x;");
+    ttda::Emulator emu(c.program);
+    EXPECT_DEATH(emu.input(c.startCb, 3, Value{std::int64_t{1}}),
+                 "beyond");
+}
+
+} // namespace

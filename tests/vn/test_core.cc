@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Tests for the von Neumann ISA and core timing model: instruction
+ * semantics, blocking loads, and hardware-context switching.
+ */
+
+#include <gtest/gtest.h>
+
+#include "vn/core.hh"
+#include "vn/isa.hh"
+#include "workloads/vn_programs.hh"
+
+namespace
+{
+
+using vn::MemAccess;
+using vn::VnCore;
+using vn::VnCoreConfig;
+
+/** Run a pure-register program (no memory) to completion. */
+sim::Cycle
+runPure(VnCore &core, sim::Cycle limit = 100000)
+{
+    sim::Cycle t = 0;
+    while (!core.halted() && t < limit) {
+        auto acc = core.step(t);
+        EXPECT_FALSE(acc.has_value()) << "unexpected memory access";
+        ++t;
+    }
+    EXPECT_TRUE(core.halted());
+    return t;
+}
+
+TEST(VnAsm, LabelsResolve)
+{
+    vn::VnAsm a;
+    a.li(2, 5);
+    a.label("top");
+    a.addi(2, 2, -1);
+    a.bnez(2, "top");
+    a.halt();
+    auto prog = a.assemble();
+    ASSERT_EQ(prog.size(), 4u);
+    EXPECT_EQ(prog[2].imm, 1); // branch to "top"
+}
+
+TEST(VnAsm, UndefinedLabelFatals)
+{
+    vn::VnAsm a;
+    a.jmp("nowhere");
+    EXPECT_DEATH(a.assemble(), "undefined label");
+}
+
+TEST(VnCore, ArithmeticAndBranches)
+{
+    vn::VnAsm a;
+    a.li(2, 6).li(3, 7);
+    a.mul(4, 2, 3);       // 42
+    a.addi(5, 4, -2);     // 40
+    a.li(8, 2);
+    a.divi(6, 5, 8);      // 20
+    a.sub(7, 6, 3);       // 13
+    a.halt();
+    auto prog = a.assemble();
+    VnCore core(0, VnCoreConfig{});
+    core.attachProgram(&prog);
+    runPure(core);
+    EXPECT_EQ(mem::toInt(core.reg(0, 7)), 13);
+}
+
+TEST(VnCore, FloatingPoint)
+{
+    vn::VnAsm a;
+    a.lid(2, 1.5).lid(3, 2.0);
+    a.fmul(4, 2, 3);
+    a.fadd(5, 4, 2);
+    a.li(6, 9);
+    a.itof(7, 6);
+    a.fdiv(8, 5, 7);
+    a.halt();
+    auto prog = a.assemble();
+    VnCore core(0, VnCoreConfig{});
+    core.attachProgram(&prog);
+    runPure(core);
+    EXPECT_DOUBLE_EQ(mem::toDouble(core.reg(0, 8)), 4.5 / 9.0);
+}
+
+TEST(VnCore, RegisterZeroIsHardwiredZero)
+{
+    vn::VnAsm a;
+    a.li(2, 7);
+    a.add(3, 0, 2); // r0 reads as 0
+    a.halt();
+    auto prog = a.assemble();
+    VnCore core(0, VnCoreConfig{});
+    core.attachProgram(&prog);
+    runPure(core);
+    EXPECT_EQ(mem::toInt(core.reg(0, 3)), 7);
+}
+
+TEST(VnCore, TrapezoidProgramMatchesReference)
+{
+    auto prog = workloads::buildTrapezoidVn();
+    VnCore core(0, VnCoreConfig{});
+    core.attachProgram(&prog);
+    core.setReg(0, 10, mem::fromDouble(0.0));
+    core.setReg(0, 11, mem::fromDouble(2.0));
+    core.setReg(0, 12, mem::fromInt(64));
+    runPure(core);
+    // The dataflow version's reference applies here too.
+    const double expect = [] {
+        const double a = 0, b = 2;
+        const std::int64_t n = 64;
+        const double h = (b - a) / n;
+        double s = (a * a + b * b) / 2, x = a;
+        for (std::int64_t i = 1; i <= n - 1; ++i) {
+            x += h;
+            s += x * x;
+        }
+        return s * h;
+    }();
+    EXPECT_NEAR(
+        mem::toDouble(core.reg(0, workloads::trapezoidVnResultReg)),
+        expect, 1e-12);
+}
+
+TEST(VnCore, BlockingLoadStallsUntilResponse)
+{
+    vn::VnAsm a;
+    a.li(2, 100);
+    a.load(3, 2, 0);
+    a.addi(4, 3, 1);
+    a.halt();
+    auto prog = a.assemble();
+    VnCore core(0, VnCoreConfig{});
+    core.attachProgram(&prog);
+
+    sim::Cycle t = 0;
+    std::optional<MemAccess> pending;
+    while (!(pending = core.step(t++)).has_value()) {}
+    EXPECT_EQ(pending->addr, 100u);
+
+    // The core now stalls; 10 cycles of memory latency are all stalls.
+    for (int i = 0; i < 10; ++i)
+        EXPECT_FALSE(core.step(t++).has_value());
+    EXPECT_EQ(core.stats().stallCycles.value(), 10u);
+
+    MemAccess rsp = *pending;
+    rsp.data = mem::fromInt(41);
+    core.complete(rsp);
+    while (!core.halted())
+        core.step(t++);
+    EXPECT_EQ(mem::toInt(core.reg(0, 4)), 42);
+}
+
+TEST(VnCore, UtilizationDropsWithLatency)
+{
+    // utilization ~ busy/(busy+stall): a blocking core with L-cycle
+    // memory and c compute ops per load has utilization c'/(c'+L).
+    auto run_with = [&](sim::Cycle latency) {
+        VnCore core(0, VnCoreConfig{});
+        workloads::TraceConfig tc;
+        tc.references = 200;
+        tc.computePerRef = 4;
+        core.attachTrace(workloads::makeUniformTrace(tc));
+        sim::Cycle t = 0;
+        std::optional<MemAccess> pending;
+        sim::Cycle respond_at = 0;
+        while (!core.halted() && t < 100000) {
+            if (pending && t >= respond_at) {
+                core.complete(*pending);
+                pending.reset();
+            }
+            if (auto acc = core.step(t)) {
+                pending = acc;
+                respond_at = t + latency;
+            }
+            ++t;
+        }
+        return core.utilization();
+    };
+    const double u2 = run_with(2);
+    const double u20 = run_with(20);
+    EXPECT_GT(u2, u20);
+    EXPECT_NEAR(u20, 5.0 / 25.0, 0.05); // 5 busy (4 compute + load
+                                        // issue) per 20-cycle stall
+}
+
+TEST(VnCore, MultipleContextsHideLatency)
+{
+    // The HEP-style mitigation: with enough contexts the core stays
+    // busy during memory waits.
+    auto run_with = [&](std::uint32_t contexts) {
+        VnCoreConfig cfg;
+        cfg.numContexts = contexts;
+        VnCore core(0, cfg);
+        workloads::TraceConfig tc;
+        tc.references = 100;
+        tc.computePerRef = 2;
+        core.attachTrace(workloads::makeUniformTrace(tc));
+        const sim::Cycle latency = 12;
+        sim::Cycle t = 0;
+        std::vector<std::pair<sim::Cycle, MemAccess>> inflight;
+        while (!core.halted() && t < 1000000) {
+            for (auto it = inflight.begin(); it != inflight.end();) {
+                if (t >= it->first) {
+                    core.complete(it->second);
+                    it = inflight.erase(it);
+                } else {
+                    ++it;
+                }
+            }
+            if (auto acc = core.step(t))
+                inflight.emplace_back(t + latency, *acc);
+            ++t;
+        }
+        return core.utilization();
+    };
+    const double u1 = run_with(1);
+    const double u8 = run_with(8);
+    EXPECT_GT(u8, u1 * 2.0);
+    EXPECT_GT(u8, 0.8);
+}
+
+TEST(VnCore, ContextSwitchCostCharged)
+{
+    VnCoreConfig cfg;
+    cfg.numContexts = 2;
+    cfg.switchCost = 3;
+    VnCore core(0, cfg);
+    workloads::TraceConfig tc;
+    tc.references = 10;
+    tc.computePerRef = 1;
+    core.attachTrace(workloads::makeUniformTrace(tc));
+    sim::Cycle t = 0;
+    std::vector<std::pair<sim::Cycle, MemAccess>> inflight;
+    while (!core.halted() && t < 100000) {
+        for (auto it = inflight.begin(); it != inflight.end();) {
+            if (t >= it->first) {
+                core.complete(it->second);
+                it = inflight.erase(it);
+            } else {
+                ++it;
+            }
+        }
+        if (auto acc = core.step(t))
+            inflight.emplace_back(t + 6, *acc);
+        ++t;
+    }
+    EXPECT_GT(core.stats().switchCycles.value(), 0u);
+}
+
+} // namespace

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Tests for the SIMD lockstep machine: compute/communicate accounting,
+ * the global-flag barrier semantics, and the grid shift patterns.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/grid.hh"
+#include "net/hypercube.hh"
+#include "vn/simd.hh"
+
+namespace
+{
+
+std::unique_ptr<vn::SimdMachine>
+grid8()
+{
+    return std::make_unique<vn::SimdMachine>(
+        std::make_unique<net::GridNet<std::uint64_t>>(8));
+}
+
+TEST(Simd, ComputeStepsAccumulate)
+{
+    auto m = grid8();
+    m->run({vn::SimdStep::compute(3), vn::SimdStep::compute(5)});
+    EXPECT_EQ(m->stats().computeCycles, 8u);
+    EXPECT_EQ(m->stats().commCycles, 0u);
+}
+
+TEST(Simd, UniformShiftCostsOneHop)
+{
+    auto m = grid8();
+    const auto c =
+        m->execute(vn::SimdStep::communicate(vn::gridShift(8, 0)));
+    EXPECT_EQ(c, 1u); // all 64 messages move one link in parallel
+    EXPECT_EQ(m->stats().messages.value(), 64u);
+}
+
+TEST(Simd, AllShiftDirectionsDeliver)
+{
+    for (std::uint32_t dir = 0; dir < 4; ++dir) {
+        auto m = grid8();
+        const auto c = m->execute(
+            vn::SimdStep::communicate(vn::gridShift(8, dir)));
+        EXPECT_EQ(c, 1u) << "direction " << dir;
+    }
+}
+
+TEST(Simd, StragglerStallsEveryone)
+{
+    // One message across the torus costs the whole machine the full
+    // transit time, even though 63 processors sent nothing.
+    auto m = grid8();
+    // (0,0) -> (4,4): the torus antipode, 4 + 4 hops.
+    const auto c = m->execute(vn::SimdStep::communicate(
+        vn::singleMessage(0, 4 * 8 + 4)));
+    EXPECT_GE(c, 8u);
+    EXPECT_EQ(m->stats().messages.value(), 1u);
+}
+
+TEST(Simd, HypercubePermutationWithinDiameterPlusConflicts)
+{
+    vn::SimdMachine m(
+        std::make_unique<net::Hypercube<std::uint64_t>>(6));
+    // Bit-reversal permutation: a classic all-distinct pattern.
+    auto pattern = [](sim::NodeId p) -> sim::NodeId {
+        sim::NodeId r = 0;
+        for (int b = 0; b < 6; ++b)
+            if (p >> b & 1u)
+                r |= 1u << (5 - b);
+        return r;
+    };
+    const auto c = m.execute(vn::SimdStep::communicate(pattern));
+    EXPECT_GE(c, 1u);
+    EXPECT_LE(c, 64u); // bounded well past the ideal 6 under conflicts
+}
+
+TEST(Simd, CommFractionReflectsWorkMix)
+{
+    auto cheap_compute = grid8();
+    cheap_compute->run({vn::SimdStep::compute(1),
+                        vn::SimdStep::communicate(vn::gridShift(8, 0))});
+    auto heavy_compute = grid8();
+    heavy_compute->run({vn::SimdStep::compute(100),
+                        vn::SimdStep::communicate(vn::gridShift(8, 0))});
+    EXPECT_GT(cheap_compute->stats().commFraction(),
+              heavy_compute->stats().commFraction());
+}
+
+TEST(Simd, SilentProcessorsSendNothing)
+{
+    auto m = grid8();
+    const auto c = m->execute(vn::SimdStep::communicate(
+        [](sim::NodeId) { return sim::invalidNode; }));
+    EXPECT_EQ(c, 0u);
+    EXPECT_EQ(m->stats().messages.value(), 0u);
+}
+
+} // namespace
