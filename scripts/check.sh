@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Sanitizer gate: build the whole tree with AddressSanitizer +
+# UndefinedBehaviorSanitizer and run the full test suite under it.
+# Catches the bugs the zero-allocation fire path is most at risk of
+# (use-after-recycle, buffer reuse across fires, stale references).
+#
+# Usage: scripts/check.sh [build-dir]   (default: build-asan)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-asan}"
+SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
+
+cmake -B "$BUILD_DIR" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="$SAN_FLAGS" \
+    -DCMAKE_EXE_LINKER_FLAGS="$SAN_FLAGS"
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure
+echo "check.sh: sanitizer build + tests passed"

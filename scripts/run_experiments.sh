@@ -1,7 +1,11 @@
 #!/usr/bin/env bash
 # Build, test, and regenerate every experiment table (E1-E15).
+# Set CHECK=1 to first run the ASan/UBSan gate (scripts/check.sh).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+if [ "${CHECK:-0}" = "1" ]; then
+    scripts/check.sh
+fi
 cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build --output-on-failure

@@ -53,6 +53,23 @@ class Accumulator
         max_ = std::max(max_, v);
     }
 
+    /**
+     * Record `n` identical samples of `v` in one call (the event-driven
+     * schedulers batch the samples of skipped cycles). For the
+     * integer-valued quantities the machines sample, the result is
+     * bit-identical to calling sample(v) n times.
+     */
+    void
+    sample(double v, std::uint64_t n)
+    {
+        if (n == 0)
+            return;
+        sum_ += v * static_cast<double>(n);
+        count_ += n;
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+
     double sum() const { return sum_; }
     std::uint64_t count() const { return count_; }
     double mean() const { return count_ ? sum_ / count_ : 0.0; }
@@ -94,12 +111,21 @@ class Histogram
     void
     sample(double v)
     {
-        acc_.sample(v);
+        sample(v, 1);
+    }
+
+    /** Record `n` identical samples of `v` (batched skip-ahead). */
+    void
+    sample(double v, std::uint64_t n)
+    {
+        if (n == 0)
+            return;
+        acc_.sample(v, n);
         std::size_t idx = v <= 0.0
                               ? 0
                               : static_cast<std::size_t>(v / binWidth_);
         idx = std::min(idx, bins_.size() - 1);
-        bins_[idx] += 1;
+        bins_[idx] += n;
     }
 
     const std::vector<std::uint64_t> &bins() const { return bins_; }

@@ -18,6 +18,9 @@ namespace sim
 /** Simulated time, measured in machine cycles since reset. */
 using Cycle = std::uint64_t;
 
+/** Sentinel for "no pending event" in event-driven schedulers. */
+inline constexpr Cycle neverCycle = ~Cycle{0};
+
 /** Identifier of a node (processing element, memory module, switch port)
  *  on an interconnection network. Dense, zero-based. */
 using NodeId = std::uint32_t;

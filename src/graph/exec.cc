@@ -85,8 +85,9 @@ Executor::makeToken(const Tag &tag, std::uint16_t cb, const Dest &d,
     return t;
 }
 
-std::vector<Token>
-Executor::execute(const EnabledInstruction &enabled)
+void
+Executor::execute(const EnabledInstruction &enabled,
+                  std::vector<Token> &out)
 {
     const Tag &tag = enabled.tag;
     const Instruction &in = program_.instruction(tag.codeBlock, tag.stmt);
@@ -98,7 +99,6 @@ Executor::execute(const EnabledInstruction &enabled)
                    ops.size(), expected);
     ++fired_;
 
-    std::vector<Token> out;
     auto emit_all = [&](const std::vector<Dest> &dests, const Value &v) {
         for (const Dest &d : dests)
             out.push_back(makeToken(tag, tag.codeBlock, d, v));
@@ -314,7 +314,6 @@ Executor::execute(const EnabledInstruction &enabled)
         break;
       }
     }
-    return out;
 }
 
 } // namespace graph

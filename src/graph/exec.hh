@@ -44,10 +44,22 @@ class Executor
     }
 
     /**
-     * Fire one activity. @return the produced tokens (Normal tokens
-     * have pe unset; the caller's output section assigns it).
+     * Fire one activity, appending the produced tokens to `out`
+     * (Normal tokens have pe unset; the caller's output section
+     * assigns it). `out` is not cleared, so a caller on the hot path
+     * can reuse one buffer across fires without reallocating.
      */
-    std::vector<Token> execute(const EnabledInstruction &enabled);
+    void execute(const EnabledInstruction &enabled,
+                 std::vector<Token> &out);
+
+    /** Convenience wrapper that returns a fresh token vector. */
+    std::vector<Token>
+    execute(const EnabledInstruction &enabled)
+    {
+        std::vector<Token> out;
+        execute(enabled, out);
+        return out;
+    }
 
     const Program &program() const { return program_; }
     ContextManager &contexts() { return contexts_; }

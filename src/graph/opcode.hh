@@ -15,6 +15,7 @@
 #ifndef TTDA_GRAPH_OPCODE_HH
 #define TTDA_GRAPH_OPCODE_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <string_view>
 
@@ -58,6 +59,10 @@ enum class Opcode : std::uint8_t
     Append,  //!< functional update: copy the structure, replace one
              //!< element, yield the new IPtr (paper Section 2.2.4)
 };
+
+/** Number of opcodes, for dense per-opcode tables. */
+inline constexpr std::size_t numOpcodes =
+    static_cast<std::size_t>(Opcode::Append) + 1;
 
 /** Mnemonic used in dumps and DOT output. */
 std::string_view opcodeName(Opcode op);

@@ -79,6 +79,27 @@ class MemoryModule
 
     bool idle() const;
 
+    /**
+     * Earliest cycle at which step() must next be called so no bank
+     * service or completion is missed (event-driven scheduling; same
+     * contract as net::Network::nextDelivery). Returns the current
+     * cycle while any bank queue or completed response is pending,
+     * (min in-service ready key) - 1 otherwise, sim::neverCycle when
+     * idle.
+     */
+    sim::Cycle
+    nextEvent() const
+    {
+        if (!completed_.empty())
+            return now_;
+        for (const auto &q : bankQueues_)
+            if (!q.empty())
+                return now_;
+        if (!inService_.empty())
+            return inService_.begin()->first - 1;
+        return sim::neverCycle;
+    }
+
     /** Debug/workload access without timing. */
     Word peek(std::uint64_t addr) const;
     void poke(std::uint64_t addr, Word value);

@@ -121,6 +121,21 @@ class Crossbar : public Network<Payload>
         return inFlight_.empty() && arrivals_.empty();
     }
 
+    sim::Cycle
+    nextDelivery() const override
+    {
+        // Queued packets need per-cycle arbitration (and accrue
+        // blockedCycles), so no skipping while any input queue is live.
+        for (const auto &q : inputQueues_)
+            if (!q.empty())
+                return now_;
+        if (!arrivals_.empty())
+            return now_;
+        if (!inFlight_.empty())
+            return inFlight_.begin()->first - 1;
+        return sim::neverCycle;
+    }
+
   private:
     sim::NodeId ports_;
     sim::Cycle latency_;

@@ -13,6 +13,7 @@
 #ifndef TTDA_NET_GRID_HH
 #define TTDA_NET_GRID_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <utility>
@@ -117,6 +118,20 @@ class GridNet : public Network<Payload>
             if (!q.empty())
                 return false;
         return transiting_.empty() && arrivals_.empty();
+    }
+
+    sim::Cycle
+    nextDelivery() const override
+    {
+        for (const auto &q : linkQueues_)
+            if (!q.empty())
+                return now_;
+        if (!arrivals_.empty())
+            return now_;
+        sim::Cycle next = sim::neverCycle;
+        for (const auto &t : transiting_)
+            next = std::min(next, t.readyAt - 1);
+        return next;
     }
 
   private:

@@ -162,6 +162,20 @@ class HierarchicalNet : public Network<Payload>
                arrivals_.empty();
     }
 
+    sim::Cycle
+    nextDelivery() const override
+    {
+        // Bus queues arbitrate (and accrue blockedCycles) every cycle.
+        for (const auto &q : clusterQueues_)
+            if (!q.empty())
+                return now_;
+        if (!globalQueue_.empty() || !arrivals_.empty())
+            return now_;
+        if (!busTransit_.empty())
+            return busTransit_.begin()->first - 1;
+        return sim::neverCycle;
+    }
+
   private:
     enum class Leg { SourceBus, GlobalBus, DestBus };
 

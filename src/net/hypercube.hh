@@ -16,6 +16,7 @@
 #ifndef TTDA_NET_HYPERCUBE_HH
 #define TTDA_NET_HYPERCUBE_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <set>
@@ -156,6 +157,22 @@ class Hypercube : public Network<Payload>
             if (!q.empty())
                 return false;
         return transiting_.empty() && arrivals_.empty();
+    }
+
+    sim::Cycle
+    nextDelivery() const override
+    {
+        // A queued packet contends for its link every cycle, so the
+        // model must not skip while any link queue is live.
+        for (const auto &q : linkQueues_)
+            if (!q.empty())
+                return now_;
+        if (!arrivals_.empty())
+            return now_;
+        sim::Cycle next = sim::neverCycle;
+        for (const auto &f : transiting_)
+            next = std::min(next, f.readyAt - 1);
+        return next;
     }
 
   private:

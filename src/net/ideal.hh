@@ -91,6 +91,16 @@ class IdealNetwork : public Network<Payload>
         return inFlight_.empty() && arrivals_.empty();
     }
 
+    sim::Cycle
+    nextDelivery() const override
+    {
+        if (!arrivals_.empty())
+            return now_;
+        if (!inFlight_.empty())
+            return inFlight_.begin()->first - 1;
+        return sim::neverCycle;
+    }
+
   private:
     sim::NodeId ports_;
     sim::Cycle latency_;

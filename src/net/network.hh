@@ -83,6 +83,28 @@ class Network
     /** True when no packets are queued or in flight anywhere. */
     virtual bool idle() const = 0;
 
+    /**
+     * Earliest cycle at which step() must next be called so no packet
+     * movement is missed — the hook that lets an event-driven scheduler
+     * skip dead cycles.
+     *
+     * Contract (where `now` is the machine cycle about to execute, i.e.
+     * the argument the machine would pass to the next step() call):
+     *
+     *  - returns `now` when any internal service/arbitration queue or
+     *    undrained arrival backlog exists (the network needs every
+     *    cycle to arbitrate — no skipping);
+     *  - otherwise returns (min in-flight ready key) - 1, because a
+     *    packet scheduled to materialise at cycle key is retired by
+     *    step(key - 1) and consumed by the machine at cycle key;
+     *  - returns sim::neverCycle when completely idle.
+     *
+     * Skipping straight to the returned cycle and calling step() there
+     * is guaranteed to produce bit-identical deliveries and statistics
+     * to stepping every intervening cycle.
+     */
+    virtual sim::Cycle nextDelivery() const = 0;
+
     const NetStats &stats() const { return stats_; }
 
   protected:

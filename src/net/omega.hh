@@ -154,6 +154,20 @@ class OmegaNet : public Network<Payload>
         return arrivals_.empty();
     }
 
+    sim::Cycle
+    nextDelivery() const override
+    {
+        // Packets advance exactly one stage per step(), so any queued
+        // packet means the network needs every cycle.
+        for (const auto &stage : stageQueues_)
+            for (const auto &q : stage)
+                if (!q.empty())
+                    return now_;
+        if (!arrivals_.empty())
+            return now_;
+        return sim::neverCycle;
+    }
+
   private:
     /** The two input lines of switch sw at a stage are the pre-shuffle
      *  lines that shuffle onto lines 2*sw and 2*sw + 1. */

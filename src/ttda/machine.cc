@@ -27,16 +27,13 @@ makeNetwork(const MachineConfig &cfg)
       case Topology::Crossbar:
         return std::make_unique<net::Crossbar<graph::Token>>(
             cfg.numPEs, cfg.netLatency);
-      case Topology::Hypercube: {
-        SIM_ASSERT_MSG(net::detail::isPow2(cfg.numPEs),
-                       "hypercube machine needs 2^d PEs, got {}",
+      case Topology::Hypercube:
+        SIM_ASSERT_MSG(net::detail::isPow2(cfg.numPEs) &&
+                           cfg.numPEs >= 2,
+                       "hypercube machine needs 2^d >= 2 PEs, got {}",
                        cfg.numPEs);
-        const std::uint32_t dim =
-            cfg.numPEs == 1 ? 1 : net::detail::log2(cfg.numPEs);
-        SIM_ASSERT_MSG(cfg.numPEs >= 2, "hypercube needs >= 2 PEs");
         return std::make_unique<net::Hypercube<graph::Token>>(
-            dim, cfg.hopLatency);
-      }
+            net::detail::log2(cfg.numPEs), cfg.hopLatency);
       case Topology::Omega:
         SIM_ASSERT_MSG(net::detail::isPow2(cfg.numPEs) &&
                            cfg.numPEs >= 2,
@@ -63,6 +60,16 @@ Machine::Machine(const graph::Program &program, MachineConfig config)
     pes_.reserve(cfg_.numPEs);
     for (std::uint32_t p = 0; p < cfg_.numPEs; ++p)
         pes_.push_back(std::make_unique<Pe>(cfg_.isWordsPerPe));
+
+    // Resolve the per-opcode ALU latency map into a flat table once;
+    // the fire path then never touches the std::map.
+    SIM_ASSERT_MSG(cfg_.aluCycles >= 1, "aluCycles must be >= 1");
+    aluLatency_.fill(cfg_.aluCycles);
+    for (const auto &[op, latency] : cfg_.opLatency) {
+        SIM_ASSERT_MSG(latency >= 1, "opLatency[{}] must be >= 1",
+                       graph::opcodeName(op));
+        aluLatency_[static_cast<std::size_t>(op)] = latency;
+    }
 }
 
 Machine::~Machine() = default;
@@ -130,6 +137,7 @@ Machine::route(sim::NodeId src, graph::Token t)
     if (cfg_.localBypass && dst == src) {
         pes_[src]->stats.bypassTokens.inc();
         pes_[src]->inQ.push_back(std::move(t));
+        ++activeItems_;
     } else {
         net_->send(src, dst, std::move(t));
     }
@@ -151,6 +159,7 @@ Machine::input(std::uint16_t cb, std::uint16_t param, graph::Value v)
     const sim::NodeId dst = mapToken(t);
     t.pe = dst;
     pes_[dst]->inQ.push_back(std::move(t));
+    ++activeItems_;
 }
 
 graph::IPtr
@@ -172,15 +181,13 @@ Machine::stepInput(Pe &pe, sim::NodeId)
 {
     // The waiting-matching section accepts one token per cycle; a
     // multi-cycle match holds the stage busy.
-    if (pe.matchBusy > 0) {
-        pe.stats.matchBusyCycles.inc();
-        --pe.matchBusy;
+    if (tickBusy(pe.matchBusy, pe.stats.matchBusyCycles))
         return;
-    }
     if (pe.inQ.empty())
         return;
     graph::Token tok = std::move(pe.inQ.front());
     pe.inQ.pop_front();
+    --activeItems_;
     pe.stats.tokensIn.inc();
     if (cfg_.trace) {
         *cfg_.trace << now_ << " pe" << tok.pe << " in    " << tok
@@ -192,41 +199,58 @@ Machine::stepInput(Pe &pe, sim::NodeId)
       case TokenKind::Normal: {
         if (tok.nt == 1) {
             // Monadic tokens go straight to instruction fetch.
+            std::vector<graph::Value> ops = takeSlots(1);
+            ops[0] = std::move(tok.data);
             pe.fetchQ.push_back(ReadyOp{
-                graph::EnabledInstruction{tok.tag,
-                                          {std::move(tok.data)}},
+                graph::EnabledInstruction{tok.tag, std::move(ops)},
                 now_ + cfg_.fetchCycles});
+            ++activeItems_;
             break;
         }
         pe.stats.matchBusyCycles.inc();
-        pe.matchBusy = cfg_.matchCycles - 1;
-        if (cfg_.matchCapacity != 0 &&
-            pe.waitStore.size() >= cfg_.matchCapacity &&
-            !pe.waitStore.contains(tok.tag))
-        {
-            // Associative store full: the entry spills to overflow
-            // memory; the section stalls for the slow access.
-            pe.stats.matchOverflows.inc();
-            pe.matchBusy += cfg_.matchOverflowPenalty;
+        sim::Cycle busy = cfg_.matchCycles - 1;
+        auto [it, inserted] = pe.waitStore.try_emplace(tok.tag);
+        if (inserted) {
+            ++wmTotal_;
+            if (cfg_.matchCapacity != 0 &&
+                pe.waitStore.size() > cfg_.matchCapacity)
+            {
+                // Associative store full: the entry spills to overflow
+                // memory; the section stalls for the slow access.
+                pe.stats.matchOverflows.inc();
+                busy += cfg_.matchOverflowPenalty;
+            }
         }
-        Waiting &w = pe.waitStore[tok.tag];
+        setBusy(pe.matchBusy, busy);
+        Waiting &w = it->second;
         if (w.expected == 0) {
+            SIM_ASSERT_MSG(tok.nt <= 64,
+                           "instruction with {} input ports exceeds "
+                           "the matching bitmask", tok.nt);
             w.expected = tok.nt;
-            w.slots.resize(tok.nt);
+            w.slots = takeSlots(tok.nt);
+            w.filled = 0;
         }
         SIM_ASSERT_MSG(tok.port < w.expected,
                        "token port {} out of range (nt {})", tok.port,
                        w.expected);
+        SIM_ASSERT_MSG(!(w.filled >> tok.port & 1u),
+                       "duplicate token for activity {} port {}: slot "
+                       "already filled (non-deterministic graph?)",
+                       tok.tag, tok.port);
+        w.filled |= std::uint64_t{1} << tok.port;
         w.slots[tok.port] = std::move(tok.data);
         w.arrived += 1;
         pe.stats.waitStorePeak = std::max<std::uint64_t>(
             pe.stats.waitStorePeak, pe.waitStore.size());
         if (w.arrived == w.expected) {
-            auto node = pe.waitStore.extract(tok.tag);
+            auto node = pe.waitStore.extract(it);
+            --wmTotal_;
             pe.fetchQ.push_back(ReadyOp{
                 graph::EnabledInstruction{
                     tok.tag, std::move(node.mapped().slots)},
                 now_ + cfg_.fetchCycles});
+            ++activeItems_;
         }
         break;
       }
@@ -236,6 +260,7 @@ Machine::stepInput(Pe &pe, sim::NodeId)
       case TokenKind::IsAlloc:
       case TokenKind::IsAppend:
         pe.isQ.push_back(std::move(tok));
+        ++activeItems_;
         break;
 
       case TokenKind::Output:
@@ -250,15 +275,13 @@ Machine::stepInput(Pe &pe, sim::NodeId)
 void
 Machine::stepAlu(Pe &pe)
 {
-    if (pe.aluBusy > 0) {
-        pe.stats.aluBusyCycles.inc();
-        --pe.aluBusy;
+    if (tickBusy(pe.aluBusy, pe.stats.aluBusyCycles))
         return;
-    }
     if (pe.fetchQ.empty() || pe.fetchQ.front().readyAt > now_)
         return;
     ReadyOp op = std::move(pe.fetchQ.front());
     pe.fetchQ.pop_front();
+    --activeItems_;
 
     // Append the compile-time constant, if any, as the last operand.
     const graph::Instruction &in = program_.instruction(
@@ -270,32 +293,29 @@ Machine::stepAlu(Pe &pe)
         *cfg_.trace << now_ << " fire  " << op.enabled.tag << " "
                     << graph::opcodeName(in.op) << "\n";
     }
-    std::vector<graph::Token> produced = executor_.execute(op.enabled);
+    fireBuf_.clear();
+    executor_.execute(op.enabled, fireBuf_);
+    recycleSlots(std::move(op.enabled.operands));
     pe.stats.fired.inc();
     pe.stats.aluBusyCycles.inc();
-    sim::Cycle latency = cfg_.aluCycles;
-    if (auto it = cfg_.opLatency.find(in.op);
-        it != cfg_.opLatency.end())
-    {
-        latency = it->second;
-    }
-    pe.aluBusy = latency - 1;
-    for (auto &t : produced)
+    setBusy(pe.aluBusy,
+            aluLatency_[static_cast<std::size_t>(in.op)] - 1);
+    for (auto &t : fireBuf_) {
         pe.outQ.push_back(std::move(t));
+        ++activeItems_;
+    }
 }
 
 void
 Machine::stepIs(Pe &pe, sim::NodeId id)
 {
-    if (pe.isBusy > 0) {
-        pe.stats.isBusyCycles.inc();
-        --pe.isBusy;
+    if (tickBusy(pe.isBusy, pe.stats.isBusyCycles))
         return;
-    }
     if (pe.isQ.empty())
         return;
     graph::Token tok = std::move(pe.isQ.front());
     pe.isQ.pop_front();
+    --activeItems_;
     pe.stats.isBusyCycles.inc();
 
     std::vector<std::pair<graph::IsCont, graph::Value>> served;
@@ -305,7 +325,7 @@ Machine::stepIs(Pe &pe, sim::NodeId id)
         SIM_ASSERT_MSG(tok.addr % cfg_.numPEs == id,
                        "i-structure fetch for word {} misrouted to PE "
                        "{}", tok.addr, id);
-        pe.isBusy = cfg_.isReadCycles - 1;
+        setBusy(pe.isBusy, cfg_.isReadCycles - 1);
         pe.isStore.fetch(tok.addr / cfg_.numPEs,
                          graph::IsCont{false, tok.reply, 0}, served);
         break;
@@ -314,7 +334,7 @@ Machine::stepIs(Pe &pe, sim::NodeId id)
         SIM_ASSERT_MSG(tok.addr % cfg_.numPEs == id,
                        "i-structure store for word {} misrouted to PE "
                        "{}", tok.addr, id);
-        pe.isBusy = cfg_.isWriteCycles - 1;
+        setBusy(pe.isBusy, cfg_.isWriteCycles - 1);
         if (!pe.isStore.store(tok.addr / cfg_.numPEs, tok.data,
                               served))
         {
@@ -324,7 +344,7 @@ Machine::stepIs(Pe &pe, sim::NodeId id)
         break;
       }
       case TokenKind::IsAlloc: {
-        pe.isBusy = cfg_.isReadCycles - 1;
+        setBusy(pe.isBusy, cfg_.isReadCycles - 1);
         const auto n = static_cast<std::uint64_t>(tok.data.asInt());
         const std::uint64_t base = allocateGlobal(n);
         graph::Token reply;
@@ -335,6 +355,7 @@ Machine::stepIs(Pe &pe, sim::NodeId id)
         reply.data = graph::Value{
             graph::IPtr{base, static_cast<std::uint32_t>(n)}};
         pe.outQ.push_back(std::move(reply));
+        ++activeItems_;
         break;
       }
       case TokenKind::IsAppend: {
@@ -347,10 +368,11 @@ Machine::stepIs(Pe &pe, sim::NodeId id)
         // when the producer's write lands.
         const auto len = static_cast<std::uint32_t>(tok.aux >> 32);
         const std::uint64_t idx = tok.aux & 0xffffffffu;
-        pe.isBusy = len > 0
-            ? static_cast<sim::Cycle>(len) *
-                  (cfg_.isReadCycles + cfg_.isWriteCycles) - 1
-            : cfg_.isReadCycles - 1;
+        setBusy(pe.isBusy,
+                len > 0 ? static_cast<sim::Cycle>(len) *
+                              (cfg_.isReadCycles + cfg_.isWriteCycles) -
+                              1
+                        : cfg_.isReadCycles - 1);
         const std::uint64_t base = allocateGlobal(len);
         for (std::uint32_t k = 0; k < len; ++k) {
             const std::uint64_t dst = base + k;
@@ -377,6 +399,7 @@ Machine::stepIs(Pe &pe, sim::NodeId id)
         reply.nt = tok.reply.nt;
         reply.data = graph::Value{graph::IPtr{base, len}};
         pe.outQ.push_back(std::move(reply));
+        ++activeItems_;
         break;
       }
       default:
@@ -399,6 +422,7 @@ Machine::stepIs(Pe &pe, sim::NodeId id)
             t.data = value;
         }
         pe.outQ.push_back(std::move(t));
+        ++activeItems_;
     }
 }
 
@@ -410,6 +434,7 @@ Machine::stepOutput(Pe &pe, sim::NodeId id)
     {
         graph::Token t = std::move(pe.outQ.front());
         pe.outQ.pop_front();
+        --activeItems_;
         pe.stats.outputTokens.inc();
         route(id, std::move(t));
     }
@@ -418,21 +443,76 @@ Machine::stepOutput(Pe &pe, sim::NodeId id)
 bool
 Machine::idle() const
 {
-    for (const auto &pe : pes_) {
-        if (!pe->inQ.empty() || !pe->fetchQ.empty() ||
-            !pe->outQ.empty() || !pe->isQ.empty() ||
-            pe->matchBusy > 0 || pe->aluBusy > 0 || pe->isBusy > 0)
-        {
-            return false;
+    // activeItems_ and busyStages_ are maintained incrementally at
+    // every queue push/pop and busy-countdown transition, so going
+    // idle is a constant-time check instead of an O(numPEs) sweep.
+    return activeItems_ == 0 && busyStages_ == 0 && net_->idle();
+}
+
+void
+Machine::skipAhead()
+{
+    // Earliest cycle at which any pipeline stage or the network can
+    // act. A stage draining a busy countdown next acts when the
+    // countdown expires; a non-empty queue behind an idle stage acts
+    // now; the fetch pipeline also waits for the head's readyAt.
+    sim::Cycle next = sim::neverCycle;
+    for (const auto &pe_ptr : pes_) {
+        const Pe &pe = *pe_ptr;
+        if (pe.matchBusy > 0 || !pe.inQ.empty())
+            next = std::min(next, now_ + pe.matchBusy);
+        if (pe.aluBusy > 0 || !pe.fetchQ.empty()) {
+            sim::Cycle c = now_ + pe.aluBusy;
+            if (!pe.fetchQ.empty())
+                c = std::max(c, pe.fetchQ.front().readyAt);
+            next = std::min(next, c);
         }
+        if (pe.isBusy > 0 || !pe.isQ.empty())
+            next = std::min(next, now_ + pe.isBusy);
+        if (!pe.outQ.empty())
+            next = std::min(next, now_);
+        if (next <= now_)
+            return; // something is due this very cycle
     }
-    return net_->idle();
+    next = std::min(next, net_->nextDelivery());
+    if (next <= now_)
+        return;
+    SIM_ASSERT_MSG(next != sim::neverCycle,
+                   "skip-ahead with no pending event (idle() bug)");
+
+    // Jump. Batch-account what the skipped cycles would have done one
+    // by one: drain busy countdowns into their busy-cycle counters and
+    // take one wm-residency sample per skipped cycle (the residency
+    // cannot change while every matching section is stalled or empty).
+    const sim::Cycle delta = next - now_;
+    for (const auto &pe_ptr : pes_) {
+        Pe &pe = *pe_ptr;
+        batchBusy(pe.matchBusy, pe.stats.matchBusyCycles, delta);
+        batchBusy(pe.aluBusy, pe.stats.aluBusyCycles, delta);
+        batchBusy(pe.isBusy, pe.stats.isBusyCycles, delta);
+    }
+    wmResidency_.sample(static_cast<double>(wmTotal_), delta);
+    // Resynchronize the network's internal clock so tokens sent in the
+    // first iteration after the jump get the correct issue stamp. By
+    // the nextDelivery() contract nothing can retire before `next`, so
+    // one step() call reproduces the skipped cycles' no-op steps.
+    net_->step(next - 1);
+    now_ = next;
+    SIM_ASSERT_MSG(now_ < cfg_.maxCycles,
+                   "machine exceeded {} cycles; livelock?",
+                   cfg_.maxCycles);
 }
 
 std::vector<OutputRecord>
 Machine::run()
 {
     while (!idle()) {
+        // Jump over cycles in which nothing can happen. The jump may
+        // drain the last busy countdowns and reach quiescence exactly
+        // where the naive per-cycle loop would have stopped.
+        skipAhead();
+        if (idle())
+            break;
         for (std::uint32_t p = 0; p < cfg_.numPEs; ++p) {
             Pe &pe = *pes_[p];
             stepInput(pe, p);
@@ -442,13 +522,13 @@ Machine::run()
         }
         net_->step(now_);
         ++now_;
-        std::size_t wm_total = 0;
         for (std::uint32_t p = 0; p < cfg_.numPEs; ++p) {
-            if (auto tok = net_->receive(p))
+            if (auto tok = net_->receive(p)) {
                 pes_[p]->inQ.push_back(std::move(*tok));
-            wm_total += pes_[p]->waitStore.size();
+                ++activeItems_;
+            }
         }
-        wmResidency_.sample(static_cast<double>(wm_total));
+        wmResidency_.sample(static_cast<double>(wmTotal_));
         SIM_ASSERT_MSG(now_ < cfg_.maxCycles,
                        "machine exceeded {} cycles; livelock?",
                        cfg_.maxCycles);

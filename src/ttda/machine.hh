@@ -27,6 +27,8 @@
 #ifndef TTDA_TTDA_MACHINE_HH
 #define TTDA_TTDA_MACHINE_HH
 
+#include <algorithm>
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -185,6 +187,7 @@ class Machine
     struct Waiting
     {
         std::vector<graph::Value> slots;
+        std::uint64_t filled = 0; //!< bitmask of ports already arrived
         std::uint8_t arrived = 0;
         std::uint8_t expected = 0;
     };
@@ -224,6 +227,75 @@ class Machine
 
     bool idle() const;
 
+    // ---- event-driven scheduler ------------------------------------
+    // The run() loop skips stretches of cycles in which no stage can
+    // make progress; these helpers keep the counters that make the
+    // skip decision O(1)-ish and the batch accounting exact (see
+    // docs/ARCHITECTURE.md, "Event-driven core").
+
+    /** Jump now_ to the next cycle at which any stage or the network
+     *  can act, batch-accounting busy counters and wm residency. */
+    void skipAhead();
+
+    /** Load a stage's busy countdown (cycles *beyond* the current
+     *  one), maintaining busyStages_. */
+    void
+    setBusy(sim::Cycle &slot, sim::Cycle extra)
+    {
+        if (extra > 0 && slot == 0)
+            ++busyStages_;
+        slot = extra;
+    }
+
+    /** One-cycle busy decrement at the top of a stage step. @return
+     *  true when the stage spent this cycle draining its countdown. */
+    bool
+    tickBusy(sim::Cycle &slot, sim::Counter &counter)
+    {
+        if (slot == 0)
+            return false;
+        counter.inc();
+        if (--slot == 0)
+            --busyStages_;
+        return true;
+    }
+
+    /** Batch-account `delta` skipped cycles against one busy slot. */
+    void
+    batchBusy(sim::Cycle &slot, sim::Counter &counter, sim::Cycle delta)
+    {
+        if (slot == 0)
+            return;
+        const sim::Cycle n = std::min(slot, delta);
+        counter.inc(n);
+        slot -= n;
+        if (slot == 0)
+            --busyStages_;
+    }
+
+    // ---- zero-allocation fire path ---------------------------------
+
+    /** Operand vector of n default values, reusing pooled storage. */
+    std::vector<graph::Value>
+    takeSlots(std::size_t n)
+    {
+        if (slotPool_.empty())
+            return std::vector<graph::Value>(n);
+        std::vector<graph::Value> v = std::move(slotPool_.back());
+        slotPool_.pop_back();
+        v.clear();
+        v.resize(n);
+        return v;
+    }
+
+    /** Return an operand vector's storage to the pool. */
+    void
+    recycleSlots(std::vector<graph::Value> &&v)
+    {
+        if (slotPool_.size() < 1024)
+            slotPool_.push_back(std::move(v));
+    }
+
     const graph::Program &program_;
     MachineConfig cfg_;
     graph::ContextManager contexts_;
@@ -235,6 +307,21 @@ class Machine
     sim::Cycle now_ = 0;
     bool deadlocked_ = false;
     sim::Histogram wmResidency_{4.0, 128};
+
+    /** ALU service time per opcode (cfg.aluCycles with cfg.opLatency
+     *  overrides), resolved once so the fire path is a table load. */
+    std::array<sim::Cycle, graph::numOpcodes> aluLatency_{};
+
+    /** Reused output buffer for Executor::execute (fire path). */
+    std::vector<graph::Token> fireBuf_;
+    /** Free list recycling Waiting::slots / operand vector storage. */
+    std::vector<std::vector<graph::Value>> slotPool_;
+
+    // Incrementally maintained occupancy counters (replace the
+    // O(numPEs) idle() sweep and the per-cycle waitStore summation).
+    std::uint64_t activeItems_ = 0; //!< items in all inQ/fetchQ/outQ/isQ
+    std::uint32_t busyStages_ = 0;  //!< stages with a busy countdown
+    std::uint64_t wmTotal_ = 0;     //!< waiting-matching entries, all PEs
 };
 
 } // namespace ttda

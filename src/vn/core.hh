@@ -108,6 +108,28 @@ class VnCore
     /** All contexts halted (program) or exhausted (trace). */
     bool halted() const;
 
+    /**
+     * True when step() would only record a stall this cycle: the core
+     * is not halted, no context switch is charging, and every context
+     * is blocked on memory. While this holds, the machine's
+     * event-driven scheduler may skip the core's cycles wholesale and
+     * account them via addStallCycles().
+     */
+    bool
+    stalledOnMemory() const
+    {
+        if (halted() || switchPenalty_ > 0)
+            return false;
+        for (const auto &ctx : contexts_)
+            if (ctx.state == CtxState::Ready)
+                return false;
+        return true;
+    }
+
+    /** Batch-account `n` skipped all-blocked cycles (exactly what n
+     *  consecutive step() calls would have recorded). */
+    void addStallCycles(sim::Cycle n) { stats_.stallCycles.inc(n); }
+
     /** Register file access for tests/result extraction. */
     mem::Word reg(std::uint32_t ctx, Reg r) const;
     void setReg(std::uint32_t ctx, Reg r, mem::Word v);

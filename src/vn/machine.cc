@@ -196,6 +196,38 @@ VnMachine::allHalted() const
     return true;
 }
 
+void
+VnMachine::skipAhead()
+{
+    // Skippable only when no core can retire work this cycle: each is
+    // either halted or has every context parked on a memory response.
+    for (const auto &core : cores_)
+        if (!core->halted() && !core->stalledOnMemory())
+            return;
+
+    sim::Cycle next = net_->nextDelivery();
+    for (const auto &m : modules_)
+        next = std::min(next, m->nextEvent());
+    // neverCycle with stalled cores is a deadlock; fall back to
+    // per-cycle stepping so the maxCycles diagnostics fire unchanged.
+    if (next == sim::neverCycle || next <= now_)
+        return;
+
+    const sim::Cycle delta = next - now_;
+    for (const auto &core : cores_)
+        if (!core->halted())
+            core->addStallCycles(delta);
+    // Resynchronize internal clocks (no-op steps by construction: the
+    // next*() contracts guarantee nothing retires before `next`).
+    net_->step(next - 1);
+    for (const auto &m : modules_)
+        m->step(next - 1);
+    now_ = next;
+    SIM_ASSERT_MSG(now_ < cfg_.maxCycles,
+                   "vn machine exceeded {} cycles; livelock?",
+                   cfg_.maxCycles);
+}
+
 sim::Cycle
 VnMachine::run()
 {
@@ -208,6 +240,7 @@ VnMachine::run()
         return true;
     };
     while (!(allHalted() && drained())) {
+        skipAhead();
         step();
         SIM_ASSERT_MSG(now_ < cfg_.maxCycles,
                        "vn machine exceeded {} cycles; livelock?",

@@ -119,6 +119,11 @@ class VnMachine
     void issue(std::uint32_t core_id, MemAccess acc);
     void respond(std::uint32_t module, const mem::MemResponse &rsp);
 
+    /** Event-driven skip used by run(): when every core is halted or
+     *  blocked on memory, jump now_ to the next network delivery or
+     *  memory completion, batch-accounting the cores' stall cycles. */
+    void skipAhead();
+
     VnMachineConfig cfg_;
     std::vector<std::unique_ptr<VnCore>> cores_;
     std::vector<std::unique_ptr<mem::MemoryModule>> modules_;
