@@ -47,19 +47,23 @@ def main(n) =
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::SimOptions opts(argc, argv);
     const id::Compiled compiled = id::compile(kSource);
     const std::int64_t n = 6;
 
-    // (a) Stage occupancy on 4 PEs.
+    // (a) Stage occupancy on 4 PEs. --trace / --stats-json capture
+    // this run.
     {
         ttda::MachineConfig cfg;
         cfg.numPEs = 4;
         cfg.netLatency = 2;
+        opts.apply(cfg);
         ttda::Machine m(compiled.program, cfg);
         m.input(compiled.startCb, 0, graph::Value{n});
         m.run();
+        opts.writeStatsJson(m);
 
         sim::Table t("E8a: per-PE stage occupancy, 6x6 matmul, 4 PEs "
                      "(fraction of cycles busy)");

@@ -8,10 +8,15 @@
 #ifndef TTDA_BENCH_BENCH_UTIL_HH
 #define TTDA_BENCH_BENCH_UTIL_HH
 
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <string_view>
+#include <vector>
 
+#include "common/logging.hh"
 #include "common/table.hh"
+#include "common/trace.hh"
 #include "id/codegen.hh"
 #include "ttda/machine.hh"
 #include "vn/machine.hh"
@@ -19,6 +24,84 @@
 
 namespace bench
 {
+
+/**
+ * Observability flags shared by every experiment and example binary:
+ *
+ *   --trace=FILE        write a Chrome trace-event JSON trace of the
+ *                       run (open in Perfetto / chrome://tracing)
+ *   --trace-cats=LIST   comma-separated categories to record
+ *                       (wm,fire,net,mem,istr,sched; default all)
+ *   --stats-json=FILE   write the machine's statistics as one JSON
+ *                       document
+ *
+ * Recognised flags are consumed; everything else (argv[0] first) stays
+ * in `args`, so a binary's positional-argument parsing is unchanged.
+ */
+class SimOptions
+{
+  public:
+    SimOptions(int argc, char **argv)
+    {
+        std::uint32_t mask = sim::Tracer::All;
+        if (argc > 0)
+            args.push_back(argv[0]);
+        for (int i = 1; i < argc; ++i) {
+            const std::string_view arg = argv[i];
+            if (arg.rfind("--trace=", 0) == 0) {
+                tracePath_ = std::string(arg.substr(8));
+            } else if (arg.rfind("--trace-cats=", 0) == 0) {
+                mask = sim::Tracer::parseCategories(
+                    std::string(arg.substr(13)));
+            } else if (arg.rfind("--stats-json=", 0) == 0) {
+                statsPath_ = std::string(arg.substr(13));
+            } else {
+                args.push_back(argv[i]);
+            }
+        }
+        if (!tracePath_.empty())
+            tracer.open(tracePath_, mask);
+    }
+
+    /** Hand the tracer to a machine about to be constructed. */
+    void
+    apply(ttda::MachineConfig &cfg)
+    {
+        if (tracer.active())
+            cfg.tracer = &tracer;
+        // A stats dump should include the latency histograms even
+        // when no trace file was requested.
+        if (!statsPath_.empty())
+            cfg.latencyStats = true;
+    }
+
+    void
+    apply(vn::VnMachineConfig &cfg)
+    {
+        if (tracer.active())
+            cfg.tracer = &tracer;
+    }
+
+    /** Write the machine's statistics to --stats-json, if given. */
+    template <typename MachineT>
+    void
+    writeStatsJson(const MachineT &machine)
+    {
+        if (statsPath_.empty())
+            return;
+        std::ofstream os(statsPath_);
+        if (!os)
+            sim::fatal("cannot open stats output '{}'", statsPath_);
+        machine.dumpStatsJson(os);
+    }
+
+    sim::Tracer tracer;
+    std::vector<char *> args; //!< argv[0] plus unconsumed arguments
+
+  private:
+    std::string tracePath_;
+    std::string statsPath_;
+};
 
 /** Summary of one tagged-token machine run. */
 struct TtdaRun
@@ -32,16 +115,22 @@ struct TtdaRun
     bool deadlocked = false;
 };
 
-/** Compile-once cache is the caller's job; this runs one config. */
+/** Compile-once cache is the caller's job; this runs one config.
+ *  When `opts` is given, its tracer / --stats-json settings apply. */
 inline TtdaRun
 runTtda(const id::Compiled &compiled, ttda::MachineConfig cfg,
-        const std::vector<graph::Value> &inputs)
+        const std::vector<graph::Value> &inputs,
+        SimOptions *opts = nullptr)
 {
+    if (opts)
+        opts->apply(cfg);
     ttda::Machine m(compiled.program, cfg);
     for (std::size_t p = 0; p < inputs.size(); ++p)
         m.input(compiled.startCb, static_cast<std::uint16_t>(p),
                 inputs[p]);
     auto out = m.run();
+    if (opts)
+        opts->writeStatsJson(m);
     TtdaRun r;
     if (!out.empty())
         r.value = out[0].value.isReal() ? out[0].value.asReal()

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Deadlock forensics demo: a program that reads an I-structure cell
+ * nobody ever writes. The machine quiesces with the read parked on
+ * the cell's deferred list, and deadlockReport() names the stranded
+ * reader — the forensic dump scripts/check.sh gates on.
+ *
+ * Usage: deadlock_demo [index]   (default 2; must be < 4)
+ * Observability flags: --trace=FILE --trace-cats=LIST
+ * --stats-json=FILE (see bench::SimOptions).
+ *
+ * Exits 0 when the expected deadlock is detected, 1 otherwise.
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "bench_util.hh"
+#include "id/codegen.hh"
+#include "ttda/machine.hh"
+
+namespace
+{
+
+// array(4) allocates four Empty cells; a[n] parks a read on one of
+// them. No store ever follows, so the read waits forever.
+const char *kSource = R"(
+def main(n) =
+  let a = array(4) in
+  a[n];
+)";
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::SimOptions opts(argc, argv);
+    std::int64_t index = 2;
+    if (opts.args.size() == 2)
+        index = std::atoll(opts.args[1]);
+
+    id::Compiled compiled = id::compile(kSource);
+    ttda::MachineConfig cfg;
+    cfg.numPEs = 4;
+    cfg.netLatency = 2;
+    opts.apply(cfg);
+    ttda::Machine m(compiled.program, cfg);
+    m.input(compiled.startCb, 0, graph::Value{index});
+    auto out = m.run();
+    opts.writeStatsJson(m);
+
+    if (!m.deadlocked()) {
+        std::cerr << "expected a deadlock, but the run completed with "
+                  << out.size() << " output(s)\n";
+        return 1;
+    }
+    std::cout << "machine quiesced after " << m.cycles()
+              << " cycles without producing a result\n\n"
+              << m.deadlockReport();
+    return 0;
+}

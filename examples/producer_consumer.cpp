@@ -21,6 +21,7 @@
 
 #include <iostream>
 
+#include "bench_util.hh"
 #include "common/table.hh"
 #include "id/codegen.hh"
 #include "ttda/machine.hh"
@@ -103,15 +104,20 @@ struct RunResult
 };
 
 RunResult
-run(const std::string &source, std::int64_t n)
+run(const std::string &source, std::int64_t n,
+    bench::SimOptions *opts = nullptr)
 {
     id::Compiled c = id::compile(source);
     ttda::MachineConfig cfg;
     cfg.numPEs = 16;
     cfg.netLatency = 2;
+    if (opts)
+        opts->apply(cfg);
     ttda::Machine m(c.program, cfg);
     m.input(c.startCb, 0, graph::Value{n});
     auto out = m.run();
+    if (opts)
+        opts->writeStatsJson(m);
     RunResult r;
     r.value = out.at(0).value.asReal();
     r.cycles = m.cycles();
@@ -122,13 +128,16 @@ run(const std::string &source, std::int64_t n)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::SimOptions opts(argc, argv);
     const std::int64_t m = 24; // elements (4 chunks of 6)
     const double expect =
         static_cast<double>(m * (m - 1)); // sum of 2*i for i < m
 
-    auto element = run(kElement, m);
+    // Trace/stats capture the element-synchronized run — the one whose
+    // defer/serve traffic the trace is meant to show.
+    auto element = run(kElement, m, &opts);
     auto per_row = run(kPerRow, m);
     auto barrier = run(kBarrier, m);
 

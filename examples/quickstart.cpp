@@ -5,11 +5,14 @@
  * print what the tagged-token machine did.
  *
  * Usage: quickstart [a b n numPEs]     (defaults: 0 2 128 8)
+ * Observability flags: --trace=FILE --trace-cats=LIST
+ * --stats-json=FILE (see bench::SimOptions).
  */
 
 #include <cstdlib>
 #include <iostream>
 
+#include "bench_util.hh"
 #include "common/table.hh"
 #include "id/codegen.hh"
 #include "ttda/emulator.hh"
@@ -37,14 +40,15 @@ def main(a, b, n) =
 int
 main(int argc, char **argv)
 {
+    bench::SimOptions opts(argc, argv);
     double a = 0.0, b = 2.0;
     std::int64_t n = 128;
     std::uint32_t pes = 8;
-    if (argc == 5) {
-        a = std::atof(argv[1]);
-        b = std::atof(argv[2]);
-        n = std::atoll(argv[3]);
-        pes = static_cast<std::uint32_t>(std::atoi(argv[4]));
+    if (opts.args.size() == 5) {
+        a = std::atof(opts.args[1]);
+        b = std::atof(opts.args[2]);
+        n = std::atoll(opts.args[3]);
+        pes = static_cast<std::uint32_t>(std::atoi(opts.args[4]));
     }
 
     std::cout << "Compiling mini-ID source...\n" << kSource << "\n";
@@ -65,11 +69,13 @@ main(int argc, char **argv)
     ttda::MachineConfig cfg;
     cfg.numPEs = pes;
     cfg.netLatency = 2;
+    opts.apply(cfg);
     ttda::Machine machine(compiled.program, cfg);
     machine.input(compiled.startCb, 0, graph::Value{a});
     machine.input(compiled.startCb, 1, graph::Value{b});
     machine.input(compiled.startCb, 2, graph::Value{n});
     auto sim_out = machine.run();
+    opts.writeStatsJson(machine);
 
     sim::Table t("Trapezoidal rule on the Tagged-Token Dataflow "
                  "Machine");

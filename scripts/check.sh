@@ -3,6 +3,8 @@
 # UndefinedBehaviorSanitizer and run the full test suite under it.
 # Catches the bugs the zero-allocation fire path is most at risk of
 # (use-after-recycle, buffer reuse across fires, stale references).
+# Then smoke-tests the observability stack: traced runs must emit
+# parseable JSON and the deadlock demo must name its stranded reader.
 #
 # Usage: scripts/check.sh [build-dir]   (default: build-asan)
 set -euo pipefail
@@ -17,4 +19,33 @@ cmake -B "$BUILD_DIR" -S . \
     -DCMAKE_EXE_LINKER_FLAGS="$SAN_FLAGS"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure
-echo "check.sh: sanitizer build + tests passed"
+
+# --- Observability smoke gates -------------------------------------
+# The tracer and stats exporter emit JSON consumed by external tools
+# (Perfetto, python); gate on real runs producing parseable output.
+OBS_DIR="$(mktemp -d)"
+trap 'rm -rf "$OBS_DIR"' EXIT
+
+# 1. A small TTDA workload traced with every category enabled must
+#    produce well-formed trace and stats JSON.
+"$BUILD_DIR/examples/quickstart" \
+    --trace="$OBS_DIR/quickstart.trace.json" --trace-cats=all \
+    --stats-json="$OBS_DIR/quickstart.stats.json" 2 4 64 4 > /dev/null
+python3 -m json.tool "$OBS_DIR/quickstart.trace.json" > /dev/null
+python3 -m json.tool "$OBS_DIR/quickstart.stats.json" > /dev/null
+
+# 2. The I-structure producer/consumer demo must show the deferred-
+#    read story: FETCHes parking (defer) and later satisfied (serve).
+"$BUILD_DIR/examples/producer_consumer" \
+    --trace="$OBS_DIR/pc.trace.json" > /dev/null
+python3 -m json.tool "$OBS_DIR/pc.trace.json" > /dev/null
+grep -q '"name":"defer"' "$OBS_DIR/pc.trace.json"
+grep -q '"name":"serve"' "$OBS_DIR/pc.trace.json"
+
+# 3. The intentionally-deadlocking workload must be diagnosed: the
+#    forensic report names the stranded reader's tag.
+DEADLOCK_OUT="$("$BUILD_DIR/examples/deadlock_demo")"
+echo "$DEADLOCK_OUT" | grep -q 'parked reader'
+echo "$DEADLOCK_OUT" | grep -q 'reader <u'
+
+echo "check.sh: sanitizer build + tests + observability gates passed"

@@ -16,7 +16,9 @@
 #define TTDA_COMMON_STATS_HH
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <limits>
 #include <map>
 #include <ostream>
@@ -27,6 +29,25 @@
 
 namespace sim
 {
+
+namespace detail
+{
+
+/** Write a double as a JSON number: full round-trip precision,
+ *  non-finite values as null (JSON has no NaN/Infinity). */
+inline void
+jsonNumber(std::ostream &os, double v)
+{
+    if (!std::isfinite(v)) {
+        os << "null";
+        return;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    os << buf;
+}
+
+} // namespace detail
 
 /** A monotonically increasing event counter. */
 class Counter
@@ -102,7 +123,8 @@ class Histogram
      *                  land in the final bin
      */
     explicit Histogram(double bin_width = 1.0, std::size_t num_bins = 64)
-        : binWidth_(bin_width), bins_(num_bins, 0)
+        : binWidth_(bin_width), invBinWidth_(1.0 / bin_width),
+          bins_(num_bins, 0)
     {
         SIM_ASSERT(bin_width > 0.0);
         SIM_ASSERT(num_bins > 0);
@@ -114,21 +136,30 @@ class Histogram
         sample(v, 1);
     }
 
-    /** Record `n` identical samples of `v` (batched skip-ahead). */
+    /** Record `n` identical samples of `v` (batched skip-ahead).
+     *  Negative samples are counted as underflow, not folded into
+     *  bin 0 (they would silently distort the distribution). They
+     *  still contribute to summary(). */
     void
     sample(double v, std::uint64_t n)
     {
         if (n == 0)
             return;
         acc_.sample(v, n);
-        std::size_t idx = v <= 0.0
-                              ? 0
-                              : static_cast<std::size_t>(v / binWidth_);
+        if (v < 0.0) {
+            underflow_ += n;
+            return;
+        }
+        // Multiply by the precomputed reciprocal: sample() sits on the
+        // machines' per-fire path and a divide would dominate it.
+        std::size_t idx = static_cast<std::size_t>(v * invBinWidth_);
         idx = std::min(idx, bins_.size() - 1);
         bins_[idx] += n;
     }
 
     const std::vector<std::uint64_t> &bins() const { return bins_; }
+    /** Samples below 0, kept out of the bins. */
+    std::uint64_t underflow() const { return underflow_; }
     double binWidth() const { return binWidth_; }
     const Accumulator &summary() const { return acc_; }
 
@@ -142,7 +173,11 @@ class Histogram
         if (total == 0)
             return 0.0;
         const double target = q * static_cast<double>(total);
-        double running = 0.0;
+        // Underflow samples are the lowest-valued mass; they count
+        // toward the target before bin 0 is reached.
+        double running = static_cast<double>(underflow_);
+        if (running >= target)
+            return 0.0;
         for (std::size_t i = 0; i < bins_.size(); ++i) {
             running += static_cast<double>(bins_[i]);
             if (running >= target)
@@ -151,9 +186,34 @@ class Histogram
         return static_cast<double>(bins_.size()) * binWidth_;
     }
 
+    /** One JSON object: bin array, underflow, and summary moments. */
+    void
+    dumpJson(std::ostream &os) const
+    {
+        os << "{\"binWidth\":";
+        detail::jsonNumber(os, binWidth_);
+        os << ",\"underflow\":" << underflow_ << ",\"count\":"
+           << acc_.count() << ",\"mean\":";
+        detail::jsonNumber(os, acc_.mean());
+        os << ",\"min\":";
+        detail::jsonNumber(os, acc_.min());
+        os << ",\"max\":";
+        detail::jsonNumber(os, acc_.max());
+        os << ",\"p50\":";
+        detail::jsonNumber(os, quantile(0.5));
+        os << ",\"p99\":";
+        detail::jsonNumber(os, quantile(0.99));
+        os << ",\"bins\":[";
+        for (std::size_t i = 0; i < bins_.size(); ++i)
+            os << (i ? "," : "") << bins_[i];
+        os << "]}";
+    }
+
   private:
     double binWidth_;
+    double invBinWidth_;
     std::vector<std::uint64_t> bins_;
+    std::uint64_t underflow_ = 0;
     Accumulator acc_;
 };
 
@@ -165,11 +225,24 @@ class StatGroup
 
     void set(const std::string &key, double v) { scalars_[key] = v; }
 
+    /** Whether a statistic named `key` has been set. */
+    bool
+    has(const std::string &key) const
+    {
+        return scalars_.find(key) != scalars_.end();
+    }
+
+    /** Value of an existing statistic. Asking for a key that was never
+     *  set is a report bug (most often a typo) and panics with the
+     *  offending name rather than silently reading 0. */
     double
     get(const std::string &key) const
     {
         auto it = scalars_.find(key);
-        return it == scalars_.end() ? 0.0 : it->second;
+        SIM_ASSERT_MSG(it != scalars_.end(),
+                       "stat group '{}' has no statistic named '{}'",
+                       name_, key);
+        return it->second;
     }
 
     const std::string &name() const { return name_; }
@@ -180,6 +253,20 @@ class StatGroup
     {
         for (const auto &[key, value] : scalars_)
             os << name_ << "." << key << " = " << value << "\n";
+    }
+
+    /** One JSON object mapping each statistic name to its value. */
+    void
+    dumpJson(std::ostream &os) const
+    {
+        os << '{';
+        bool first = true;
+        for (const auto &[key, value] : scalars_) {
+            os << (first ? "" : ",") << '"' << key << "\":";
+            detail::jsonNumber(os, value);
+            first = false;
+        }
+        os << '}';
     }
 
   private:

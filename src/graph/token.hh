@@ -55,6 +55,14 @@ struct Token
     //! IsAppend: packed (source length << 32) | element index.
     std::uint64_t aux = 0;
     Continuation reply; //!< IsFetch/IsAlloc/IsAppend: reply target
+
+    // Lifecycle bookkeeping (observability only — never consulted by
+    // firing semantics or routing). Deliberately 32-bit: the stamps
+    // are read back only as short deltas (now - born) and trace
+    // labels, and tokens are copied on the fire hot path — these two
+    // fields must not grow the struct past one extra word.
+    std::uint32_t seq = 0;  //!< machine-wide creation sequence number
+    std::uint32_t born = 0; //!< cycle (low bits) the stage emitted it
 };
 
 std::ostream &operator<<(std::ostream &os, const Token &t);
@@ -69,6 +77,8 @@ std::ostream &operator<<(std::ostream &os, const Token &t);
 struct IsCont
 {
     bool toCell = false;
+    std::uint32_t born = 0;       //!< cycle (low bits) the read was
+                                  //!< issued (read-latency stat)
     Continuation cont{};          //!< !toCell: the reader instruction
     std::uint64_t cellAddr = 0;   //!< toCell: global target cell
 };

@@ -179,6 +179,14 @@ class IStructure
         return n;
     }
 
+    /** The continuations parked on one cell's deferred-read list
+     *  (deadlock forensics: *who* is waiting, not just how many). */
+    const std::vector<Cont> &
+    deferredList(std::uint64_t addr) const
+    {
+        return at(addr).deferred;
+    }
+
     /** Local addresses that still have parked readers (diagnosis of
      *  read-never-written deadlocks), capped at `limit` entries. */
     std::vector<std::uint64_t>

@@ -1,9 +1,26 @@
 #include "mem/memory.hh"
 
+#include "common/format.hh"
 #include "common/logging.hh"
 
 namespace mem
 {
+
+namespace
+{
+
+const char *
+requestName(MemRequest::Kind kind)
+{
+    switch (kind) {
+      case MemRequest::Kind::Read: return "read";
+      case MemRequest::Kind::Write: return "write";
+      case MemRequest::Kind::FetchAndAdd: return "faa";
+    }
+    return "?";
+}
+
+} // namespace
 
 MemoryModule::MemoryModule(std::size_t words, sim::Cycle access_latency,
                            std::uint32_t banks)
@@ -36,6 +53,10 @@ MemoryModule::step(sim::Cycle now)
         q.pop_front();
         stats_.busyBankCycles.inc();
         stats_.queueDelay.sample(static_cast<double>(now_ - p.enqueued));
+        SIM_TRACE(tracer_, Mem, complete, tracePid_, traceTid_,
+                  requestName(p.req.kind), now_, accessLatency_,
+                  sim::format("\"addr\":{},\"qdelay\":{}", p.req.addr,
+                              now_ - p.enqueued));
 
         MemResponse rsp;
         rsp.kind = p.req.kind;

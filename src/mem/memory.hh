@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/stats.hh"
+#include "common/trace.hh"
 #include "common/types.hh"
 #include "mem/word.hh"
 
@@ -104,6 +105,16 @@ class MemoryModule
     Word peek(std::uint64_t addr) const;
     void poke(std::uint64_t addr, Word value);
 
+    /** Emit one `mem`-category span per serviced request onto trace
+     *  track (pid, tid). Null detaches. */
+    void
+    setTracer(sim::Tracer *tracer, std::uint32_t pid, std::uint32_t tid)
+    {
+        tracer_ = tracer;
+        tracePid_ = pid;
+        traceTid_ = tid;
+    }
+
     const Stats &stats() const { return stats_; }
 
   private:
@@ -121,6 +132,9 @@ class MemoryModule
     std::multimap<sim::Cycle, MemResponse> inService_;
     std::deque<MemResponse> completed_;
     Stats stats_;
+    sim::Tracer *tracer_ = nullptr;
+    std::uint32_t tracePid_ = 0;
+    std::uint32_t traceTid_ = 0;
 };
 
 } // namespace mem

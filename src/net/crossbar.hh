@@ -59,8 +59,8 @@ class Crossbar : public Network<Payload>
         pkt.dst = dst;
         pkt.issued = now_;
         pkt.payload = std::move(payload);
+        this->noteSend(pkt);
         inputQueues_[src].push_back(std::move(pkt));
-        this->stats_.sent.inc();
     }
 
     void
@@ -105,10 +105,7 @@ class Crossbar : public Network<Payload>
         auto pkt = arrivals_.pop(dst);
         if (!pkt)
             return std::nullopt;
-        this->stats_.delivered.inc();
-        this->stats_.latency.sample(
-            static_cast<double>(now_ - pkt->issued));
-        this->stats_.hops.sample(static_cast<double>(pkt->hops));
+        this->noteDeliver(*pkt, now_);
         return std::move(pkt->payload);
     }
 

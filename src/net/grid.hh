@@ -59,7 +59,7 @@ class GridNet : public Network<Payload>
         pkt.dst = dst;
         pkt.issued = now_;
         pkt.payload = std::move(payload);
-        this->stats_.sent.inc();
+        this->noteSend(pkt);
         route(src, std::move(pkt));
     }
 
@@ -104,10 +104,7 @@ class GridNet : public Network<Payload>
         auto pkt = arrivals_.pop(dst);
         if (!pkt)
             return std::nullopt;
-        this->stats_.delivered.inc();
-        this->stats_.latency.sample(
-            static_cast<double>(now_ - pkt->issued));
-        this->stats_.hops.sample(static_cast<double>(pkt->hops));
+        this->noteDeliver(*pkt, now_);
         return std::move(pkt->payload);
     }
 

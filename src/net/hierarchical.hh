@@ -74,8 +74,8 @@ class HierarchicalNet : public Network<Payload>
         t.pkt.issued = now_;
         t.pkt.payload = std::move(payload);
         t.leg = Leg::SourceBus;
+        this->noteSend(t.pkt);
         clusterQueues_[clusterOf(src)].push_back(std::move(t));
-        this->stats_.sent.inc();
     }
 
     void
@@ -145,10 +145,7 @@ class HierarchicalNet : public Network<Payload>
         auto pkt = arrivals_.pop(dst);
         if (!pkt)
             return std::nullopt;
-        this->stats_.delivered.inc();
-        this->stats_.latency.sample(
-            static_cast<double>(now_ - pkt->issued));
-        this->stats_.hops.sample(static_cast<double>(pkt->hops));
+        this->noteDeliver(*pkt, now_);
         return std::move(pkt->payload);
     }
 

@@ -54,10 +54,10 @@ class IdealNetwork : public Network<Payload>
         pkt.dst = dst;
         pkt.issued = now_;
         pkt.payload = std::move(payload);
+        this->noteSend(pkt);
         const sim::Cycle delay =
             latency_ + (jitter_ ? rng_.delay(0, jitter_) : 0);
         inFlight_.emplace(now_ + delay, std::move(pkt));
-        this->stats_.sent.inc();
     }
 
     void
@@ -78,10 +78,7 @@ class IdealNetwork : public Network<Payload>
         auto pkt = arrivals_.pop(dst);
         if (!pkt)
             return std::nullopt;
-        this->stats_.delivered.inc();
-        this->stats_.latency.sample(
-            static_cast<double>(now_ - pkt->issued));
-        this->stats_.hops.sample(1.0);
+        this->noteDeliver(*pkt, now_);
         return std::move(pkt->payload);
     }
 

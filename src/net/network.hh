@@ -25,7 +25,9 @@
 #include <optional>
 #include <vector>
 
+#include "common/format.hh"
 #include "common/stats.hh"
+#include "common/trace.hh"
 #include "common/types.hh"
 
 namespace net
@@ -107,8 +109,48 @@ class Network
 
     const NetStats &stats() const { return stats_; }
 
+    /** Enable `net` trace events. `pid` is the Chrome-trace process
+     *  the network's tracks live under; ports become its threads. */
+    void
+    setTracer(sim::Tracer *tracer, std::uint32_t pid)
+    {
+        tracer_ = tracer;
+        tracePid_ = pid;
+    }
+
   protected:
+    /**
+     * Shared injection hook: every topology's send() calls this once
+     * per packet (after filling in the packet header) so the `sent`
+     * counter and the `inj` trace event are emitted uniformly.
+     */
+    void
+    noteSend(const Packet<Payload> &pkt)
+    {
+        stats_.sent.inc();
+        SIM_TRACE(tracer_, Net, instant, tracePid_, pkt.src, "inj",
+                  pkt.issued, sim::format("\"dst\":{}", pkt.dst));
+    }
+
+    /**
+     * Shared delivery hook: every topology's receive() calls this for
+     * the packet it pops, centralizing the delivered/latency/hops
+     * statistics and the `dlv` trace event.
+     */
+    void
+    noteDeliver(const Packet<Payload> &pkt, sim::Cycle now)
+    {
+        stats_.delivered.inc();
+        stats_.latency.sample(static_cast<double>(now - pkt.issued));
+        stats_.hops.sample(static_cast<double>(pkt.hops));
+        SIM_TRACE(tracer_, Net, instant, tracePid_, pkt.dst, "dlv", now,
+                  sim::format("\"src\":{},\"lat\":{},\"hops\":{}",
+                              pkt.src, now - pkt.issued, pkt.hops));
+    }
+
     NetStats stats_;
+    sim::Tracer *tracer_ = nullptr;
+    std::uint32_t tracePid_ = 0;
 };
 
 namespace detail

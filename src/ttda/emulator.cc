@@ -99,7 +99,7 @@ Emulator::deliver(graph::Token tok, std::deque<graph::Token> &next)
       case TokenKind::IsFetch: {
         std::vector<std::pair<graph::IsCont, graph::Value>> out;
         istructure_.fetch(tok.addr,
-                          graph::IsCont{false, tok.reply, 0}, out);
+                          graph::IsCont{.cont = tok.reply}, out);
         for (auto &[cont, value] : out)
             next.push_back(forwardServed(cont, value));
         break;
@@ -152,8 +152,10 @@ Emulator::deliver(graph::Token tok, std::deque<graph::Token> &next)
                 istructure_.store(base + k, tok.data, out);
                 continue;
             }
-            istructure_.fetch(tok.addr + k,
-                              graph::IsCont{true, {}, base + k}, out);
+            istructure_.fetch(
+                tok.addr + k,
+                graph::IsCont{.toCell = true, .cellAddr = base + k},
+                out);
         }
         for (auto &[cont, value] : out)
             next.push_back(forwardServed(cont, value));

@@ -3,6 +3,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "common/format.hh"
 #include "common/logging.hh"
 #include "net/crossbar.hh"
 #include "net/hierarchical.hh"
@@ -15,6 +16,21 @@ namespace ttda
 
 namespace
 {
+
+/** Token::born keeps only the low 32 bits of the cycle; deltas
+ *  computed in 32-bit arithmetic stay exact for any latency < 2^32
+ *  cycles even across a wrap. */
+std::uint32_t
+stamp(sim::Cycle c)
+{
+    return static_cast<std::uint32_t>(c);
+}
+
+std::uint32_t
+sinceStamp(sim::Cycle now, std::uint32_t born)
+{
+    return static_cast<std::uint32_t>(now) - born;
+}
 
 std::unique_ptr<net::Network<graph::Token>>
 makeNetwork(const MachineConfig &cfg)
@@ -70,6 +86,30 @@ Machine::Machine(const graph::Program &program, MachineConfig config)
                        graph::opcodeName(op));
         aluLatency_[static_cast<std::size_t>(op)] = latency;
     }
+
+    observing_ = cfg_.latencyStats;
+    if (cfg_.tracer && cfg_.tracer->active()) {
+        observing_ = true;
+        nameTraceTracks();
+        net_->setTracer(cfg_.tracer, cfg_.numPEs);
+    }
+}
+
+void
+Machine::nameTraceTracks()
+{
+    sim::Tracer &t = *cfg_.tracer;
+    for (std::uint32_t p = 0; p < cfg_.numPEs; ++p) {
+        t.processName(p, sim::format("pe{}", p));
+        t.threadName(p, kTidWm, "wait-match");
+        t.threadName(p, kTidFetch, "fetch");
+        t.threadName(p, kTidAlu, "alu");
+        t.threadName(p, kTidOutput, "output");
+        t.threadName(p, kTidIstr, "istructure");
+    }
+    t.processName(cfg_.numPEs, "network");
+    for (std::uint32_t p = 0; p < cfg_.numPEs; ++p)
+        t.threadName(cfg_.numPEs, p, sim::format("port{}", p));
 }
 
 Machine::~Machine() = default;
@@ -156,6 +196,8 @@ Machine::input(std::uint16_t cb, std::uint16_t param, graph::Value v)
     t.port = 0;
     t.nt = block.at(param).nt;
     t.data = std::move(v);
+    if (observing_)
+        t.seq = tokenSeq_++;
     const sim::NodeId dst = mapToken(t);
     t.pe = dst;
     pes_[dst]->inQ.push_back(std::move(t));
@@ -177,7 +219,7 @@ Machine::preload(const std::vector<graph::Value> &values)
 }
 
 void
-Machine::stepInput(Pe &pe, sim::NodeId)
+Machine::stepInput(Pe &pe, sim::NodeId id)
 {
     // The waiting-matching section accepts one token per cycle; a
     // multi-cycle match holds the stage busy.
@@ -199,11 +241,15 @@ Machine::stepInput(Pe &pe, sim::NodeId)
       case TokenKind::Normal: {
         if (tok.nt == 1) {
             // Monadic tokens go straight to instruction fetch.
+            SIM_TRACE(cfg_.tracer, Fire, complete, id, kTidFetch,
+                      "fetch", now_, cfg_.fetchCycles,
+                      sim::format("\"tag\":\"{}\",\"seq\":{}", tok.tag,
+                                  tok.seq));
             std::vector<graph::Value> ops = takeSlots(1);
             ops[0] = std::move(tok.data);
             pe.fetchQ.push_back(ReadyOp{
                 graph::EnabledInstruction{tok.tag, std::move(ops)},
-                now_ + cfg_.fetchCycles});
+                now_ + cfg_.fetchCycles, tok.born});
             ++activeItems_;
             break;
         }
@@ -244,13 +290,29 @@ Machine::stepInput(Pe &pe, sim::NodeId)
         pe.stats.waitStorePeak = std::max<std::uint64_t>(
             pe.stats.waitStorePeak, pe.waitStore.size());
         if (w.arrived == w.expected) {
+            SIM_TRACE(cfg_.tracer, Wm, complete, id, kTidWm, "match",
+                      now_, busy + 1,
+                      sim::format("\"tag\":\"{}\",\"seq\":{}", tok.tag,
+                                  tok.seq));
+            SIM_TRACE(cfg_.tracer, Fire, complete, id, kTidFetch,
+                      "fetch", now_, cfg_.fetchCycles,
+                      sim::format("\"tag\":\"{}\"", tok.tag));
             auto node = pe.waitStore.extract(it);
             --wmTotal_;
             pe.fetchQ.push_back(ReadyOp{
                 graph::EnabledInstruction{
                     tok.tag, std::move(node.mapped().slots)},
-                now_ + cfg_.fetchCycles});
+                now_ + cfg_.fetchCycles, tok.born});
             ++activeItems_;
+        } else {
+            SIM_TRACE(cfg_.tracer, Wm, instant, id, kTidWm, "enq",
+                      now_,
+                      sim::format("\"tag\":\"{}\",\"port\":{},"
+                                  "\"arrived\":{},\"expected\":{}",
+                                  tok.tag,
+                                  static_cast<unsigned>(tok.port),
+                                  static_cast<unsigned>(w.arrived),
+                                  static_cast<unsigned>(w.expected)));
         }
         break;
       }
@@ -267,13 +329,17 @@ Machine::stepInput(Pe &pe, sim::NodeId)
         if (cfg_.trace) {
             *cfg_.trace << now_ << " OUTPUT " << tok.data << "\n";
         }
+        SIM_TRACE(cfg_.tracer, Sched, instant, id, kTidWm, "result",
+                  now_,
+                  sim::format("\"value\":\"{}\",\"seq\":{}", tok.data,
+                              tok.seq));
         outputs_.push_back(OutputRecord{tok.tag, std::move(tok.data)});
         break;
     }
 }
 
 void
-Machine::stepAlu(Pe &pe)
+Machine::stepAlu(Pe &pe, sim::NodeId id)
 {
     if (tickBusy(pe.aluBusy, pe.stats.aluBusyCycles))
         return;
@@ -293,14 +359,24 @@ Machine::stepAlu(Pe &pe)
         *cfg_.trace << now_ << " fire  " << op.enabled.tag << " "
                     << graph::opcodeName(in.op) << "\n";
     }
+    const sim::Cycle lat = aluLatency_[static_cast<std::size_t>(in.op)];
+    if (observing_)
+        birthToFire_.sample(sinceStamp(now_, op.born));
+    SIM_TRACE(cfg_.tracer, Fire, complete, id, kTidAlu,
+              graph::opcodeName(in.op), now_, lat,
+              sim::format("\"tag\":\"{}\",\"wait\":{}", op.enabled.tag,
+                          sinceStamp(now_, op.born)));
     fireBuf_.clear();
     executor_.execute(op.enabled, fireBuf_);
     recycleSlots(std::move(op.enabled.operands));
     pe.stats.fired.inc();
     pe.stats.aluBusyCycles.inc();
-    setBusy(pe.aluBusy,
-            aluLatency_[static_cast<std::size_t>(in.op)] - 1);
+    setBusy(pe.aluBusy, lat - 1);
     for (auto &t : fireBuf_) {
+        if (observing_) {
+            t.seq = tokenSeq_++;
+            t.born = stamp(now_);
+        }
         pe.outQ.push_back(std::move(t));
         ++activeItems_;
     }
@@ -326,8 +402,24 @@ Machine::stepIs(Pe &pe, sim::NodeId id)
                        "i-structure fetch for word {} misrouted to PE "
                        "{}", tok.addr, id);
         setBusy(pe.isBusy, cfg_.isReadCycles - 1);
-        pe.isStore.fetch(tok.addr / cfg_.numPEs,
-                         graph::IsCont{false, tok.reply, 0}, served);
+        SIM_TRACE(cfg_.tracer, Istr, complete, id, kTidIstr, "read",
+                  now_, cfg_.isReadCycles,
+                  sim::format("\"addr\":{}", tok.addr));
+        // Without lifecycle stamping the token's born field is 0; use
+        // the controller arrival cycle so the deadlock report still
+        // dates parked reads.
+        if (!pe.isStore.fetch(tok.addr / cfg_.numPEs,
+                              graph::IsCont{.born = observing_
+                                                ? tok.born
+                                                : stamp(now_),
+                                            .cont = tok.reply},
+                              served))
+        {
+            SIM_TRACE(cfg_.tracer, Istr, instant, id, kTidIstr,
+                      "defer", now_,
+                      sim::format("\"addr\":{},\"reader\":\"{}\"",
+                                  tok.addr, tok.reply.tag));
+        }
         break;
       }
       case TokenKind::IsStore: {
@@ -335,6 +427,9 @@ Machine::stepIs(Pe &pe, sim::NodeId id)
                        "i-structure store for word {} misrouted to PE "
                        "{}", tok.addr, id);
         setBusy(pe.isBusy, cfg_.isWriteCycles - 1);
+        SIM_TRACE(cfg_.tracer, Istr, complete, id, kTidIstr, "write",
+                  now_, cfg_.isWriteCycles,
+                  sim::format("\"addr\":{}", tok.addr));
         if (!pe.isStore.store(tok.addr / cfg_.numPEs, tok.data,
                               served))
         {
@@ -347,6 +442,9 @@ Machine::stepIs(Pe &pe, sim::NodeId id)
         setBusy(pe.isBusy, cfg_.isReadCycles - 1);
         const auto n = static_cast<std::uint64_t>(tok.data.asInt());
         const std::uint64_t base = allocateGlobal(n);
+        SIM_TRACE(cfg_.tracer, Istr, complete, id, kTidIstr, "alloc",
+                  now_, cfg_.isReadCycles,
+                  sim::format("\"base\":{},\"words\":{}", base, n));
         graph::Token reply;
         reply.kind = TokenKind::Normal;
         reply.tag = tok.reply.tag;
@@ -354,6 +452,10 @@ Machine::stepIs(Pe &pe, sim::NodeId id)
         reply.nt = tok.reply.nt;
         reply.data = graph::Value{
             graph::IPtr{base, static_cast<std::uint32_t>(n)}};
+        if (observing_) {
+            reply.seq = tokenSeq_++;
+            reply.born = stamp(now_);
+        }
         pe.outQ.push_back(std::move(reply));
         ++activeItems_;
         break;
@@ -368,12 +470,16 @@ Machine::stepIs(Pe &pe, sim::NodeId id)
         // when the producer's write lands.
         const auto len = static_cast<std::uint32_t>(tok.aux >> 32);
         const std::uint64_t idx = tok.aux & 0xffffffffu;
-        setBusy(pe.isBusy,
-                len > 0 ? static_cast<sim::Cycle>(len) *
-                              (cfg_.isReadCycles + cfg_.isWriteCycles) -
-                              1
-                        : cfg_.isReadCycles - 1);
+        const sim::Cycle appendCost =
+            len > 0 ? static_cast<sim::Cycle>(len) *
+                          (cfg_.isReadCycles + cfg_.isWriteCycles)
+                    : cfg_.isReadCycles;
+        setBusy(pe.isBusy, appendCost - 1);
         const std::uint64_t base = allocateGlobal(len);
+        SIM_TRACE(cfg_.tracer, Istr, complete, id, kTidIstr, "append",
+                  now_, appendCost,
+                  sim::format("\"src\":{},\"dst\":{},\"len\":{}",
+                              tok.addr, base, len));
         for (std::uint32_t k = 0; k < len; ++k) {
             const std::uint64_t dst = base + k;
             if (k == idx) {
@@ -386,7 +492,8 @@ Machine::stepIs(Pe &pe, sim::NodeId id)
             // controller; its wake-up is emitted from that PE.
             std::vector<std::pair<graph::IsCont, graph::Value>> now;
             pes_[src % cfg_.numPEs]->isStore.fetch(
-                src / cfg_.numPEs, graph::IsCont{true, {}, dst}, now);
+                src / cfg_.numPEs,
+                graph::IsCont{.toCell = true, .cellAddr = dst}, now);
             for (auto &[cont, value] : now) {
                 pes_[dst % cfg_.numPEs]->isStore.store(
                     dst / cfg_.numPEs, value, served);
@@ -398,6 +505,10 @@ Machine::stepIs(Pe &pe, sim::NodeId id)
         reply.port = tok.reply.port;
         reply.nt = tok.reply.nt;
         reply.data = graph::Value{graph::IPtr{base, len}};
+        if (observing_) {
+            reply.seq = tokenSeq_++;
+            reply.born = stamp(now_);
+        }
         pe.outQ.push_back(std::move(reply));
         ++activeItems_;
         break;
@@ -420,6 +531,21 @@ Machine::stepIs(Pe &pe, sim::NodeId id)
             t.port = cont.cont.port;
             t.nt = cont.cont.nt;
             t.data = value;
+            // Read-issue-to-response latency; a response emitted by a
+            // STORE (or a copy's write) is a read that sat deferred.
+            if (observing_)
+                readLatency_.sample(sinceStamp(now_, cont.born));
+            if (tok.kind != TokenKind::IsFetch) {
+                SIM_TRACE(cfg_.tracer, Istr, instant, id, kTidIstr,
+                          "serve", now_,
+                          sim::format("\"reader\":\"{}\",\"lat\":{}",
+                                      cont.cont.tag,
+                                      sinceStamp(now_, cont.born)));
+            }
+        }
+        if (observing_) {
+            t.seq = tokenSeq_++;
+            t.born = stamp(now_);
         }
         pe.outQ.push_back(std::move(t));
         ++activeItems_;
@@ -436,6 +562,8 @@ Machine::stepOutput(Pe &pe, sim::NodeId id)
         pe.outQ.pop_front();
         --activeItems_;
         pe.stats.outputTokens.inc();
+        SIM_TRACE(cfg_.tracer, Sched, instant, id, kTidOutput, "out",
+                  now_, sim::format("\"seq\":{}", t.seq));
         route(id, std::move(t));
     }
 }
@@ -516,7 +644,7 @@ Machine::run()
         for (std::uint32_t p = 0; p < cfg_.numPEs; ++p) {
             Pe &pe = *pes_[p];
             stepInput(pe, p);
-            stepAlu(pe);
+            stepAlu(pe, p);
             stepIs(pe, p);
             stepOutput(pe, p);
         }
@@ -545,20 +673,82 @@ Machine::run()
 std::string
 Machine::deadlockReport() const
 {
+    // Per-section caps keep a pathological run's report readable.
+    constexpr std::size_t kMaxPerSection = 16;
+
+    std::size_t stranded = 0;
+    for (const auto &pe : pes_)
+        stranded += pe->waitStore.size();
+
     std::ostringstream os;
     os << "deadlock report: " << outstandingReads()
-       << " parked reads\n";
+       << " parked reads, " << stranded
+       << " stranded activities\n";
+
+    // 1. I-structure cells that were never written, and who waits.
     for (std::uint32_t p = 0; p < cfg_.numPEs; ++p) {
-        for (auto local : pes_[p]->isStore.deferredAddresses()) {
-            os << "  i-structure cell "
-               << local * cfg_.numPEs + p
-               << " (PE " << p << ") was never written; "
-               << "readers are parked on it\n";
+        const auto &store = pes_[p]->isStore;
+        for (auto local : store.deferredAddresses(kMaxPerSection)) {
+            const auto &readers = store.deferredList(local);
+            os << "  i-structure cell " << local * cfg_.numPEs + p
+               << " (PE " << p << ", local " << local
+               << ") was never written; " << readers.size()
+               << " parked reader(s):\n";
+            std::size_t shown = 0;
+            for (const auto &cont : readers) {
+                if (++shown > kMaxPerSection) {
+                    os << "    ... " << readers.size() - kMaxPerSection
+                       << " more\n";
+                    break;
+                }
+                if (cont.toCell) {
+                    os << "    copy into cell " << cont.cellAddr
+                       << " (APPEND in progress)\n";
+                } else {
+                    os << "    reader " << cont.cont.tag << " port "
+                       << static_cast<unsigned>(cont.cont.port)
+                       << " (read issued cycle " << cont.born << ")\n";
+                }
+            }
         }
-        if (!pes_[p]->waitStore.empty()) {
-            os << "  PE " << p << ": " << pes_[p]->waitStore.size()
-               << " activities still waiting for partner tokens\n";
+    }
+
+    // 2. Waiting-matching entries still holding partial operand sets.
+    for (std::uint32_t p = 0; p < cfg_.numPEs; ++p) {
+        const auto &ws = pes_[p]->waitStore;
+        if (ws.empty())
+            continue;
+        os << "  PE " << p << ": " << ws.size()
+           << " activities still waiting for partner tokens:\n";
+        std::size_t shown = 0;
+        for (const auto &[tag, w] : ws) {
+            if (++shown > kMaxPerSection) {
+                os << "    ... " << ws.size() - kMaxPerSection
+                   << " more\n";
+                break;
+            }
+            os << "    " << tag << ": "
+               << static_cast<unsigned>(w.arrived) << "/"
+               << static_cast<unsigned>(w.expected)
+               << " ports filled (mask 0x" << std::hex << w.filled
+               << std::dec << "), missing port(s)";
+            for (std::uint8_t port = 0; port < w.expected; ++port) {
+                if (!(w.filled >> port & 1u))
+                    os << " " << static_cast<unsigned>(port);
+            }
+            os << "\n";
         }
+    }
+
+    // 3. Packets the network accepted but never delivered (should be
+    // zero at quiescence; nonzero means the run stopped mid-flight).
+    const auto &ns = net_->stats();
+    const std::uint64_t inFlight =
+        ns.sent.value() - ns.delivered.value();
+    if (inFlight != 0) {
+        os << "  network: " << inFlight << " packet(s) in flight ("
+           << ns.sent.value() << " sent, " << ns.delivered.value()
+           << " delivered)\n";
     }
     return os.str();
 }
@@ -612,9 +802,10 @@ Machine::netStats() const
     return net_->stats();
 }
 
-void
-Machine::dumpStats(std::ostream &os) const
+std::vector<sim::StatGroup>
+Machine::statGroups() const
 {
+    std::vector<sim::StatGroup> groups;
     sim::StatGroup machine("machine");
     machine.set("cycles", static_cast<double>(now_));
     machine.set("activities", static_cast<double>(totalFired()));
@@ -630,7 +821,7 @@ Machine::dumpStats(std::ostream &os) const
     machine.set("isFetchesDeferred",
                 static_cast<double>(is.fetchesDeferred.value()));
     machine.set("isStores", static_cast<double>(is.stores.value()));
-    machine.dump(os);
+    groups.push_back(std::move(machine));
 
     for (std::uint32_t p = 0; p < cfg_.numPEs; ++p) {
         const PeStats &st = pes_[p]->stats;
@@ -650,8 +841,34 @@ Machine::dumpStats(std::ostream &os) const
         pe.set("matchOverflows",
                static_cast<double>(st.matchOverflows.value()));
         pe.set("waitStorePeak", static_cast<double>(st.waitStorePeak));
-        pe.dump(os);
+        groups.push_back(std::move(pe));
     }
+    return groups;
+}
+
+void
+Machine::dumpStats(std::ostream &os) const
+{
+    for (const auto &group : statGroups())
+        group.dump(os);
+}
+
+void
+Machine::dumpStatsJson(std::ostream &os) const
+{
+    os << '{';
+    for (const auto &group : statGroups()) {
+        os << '"' << group.name() << "\":";
+        group.dumpJson(os);
+        os << ',';
+    }
+    os << "\"histograms\":{\"wmResidency\":";
+    wmResidency_.dumpJson(os);
+    os << ",\"birthToFire\":";
+    birthToFire_.dumpJson(os);
+    os << ",\"readLatency\":";
+    readLatency_.dumpJson(os);
+    os << "}}\n";
 }
 
 mem::IStructureStats

@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "common/stats.hh"
+#include "common/trace.hh"
 #include "common/types.hh"
 #include "graph/context.hh"
 #include "graph/exec.hh"
@@ -116,6 +117,20 @@ struct MachineConfig
      *  activity fired, structure operation, output) is written here —
      *  the simulator's debug trace. Hot path cost is a null check. */
     std::ostream *trace = nullptr;
+
+    /** When set, token-lifecycle events (waiting-matching, fires,
+     *  network transit, I-structure traffic) are emitted as Chrome
+     *  trace-event JSON: one process per PE plus one for the network,
+     *  one thread per pipeline stage. Must be open()ed/attach()ed by
+     *  the caller before run(). Hot path cost when null is a single
+     *  branch per SIM_TRACE site. */
+    sim::Tracer *tracer = nullptr;
+
+    /** Stamp tokens with seq/birth-cycle and sample the birth-to-fire
+     *  and read-latency histograms. Implied by an active tracer;
+     *  enabled by --stats-json. Off by default so the per-fire path
+     *  pays nothing for lifecycle accounting nobody will read. */
+    bool latencyStats = false;
 };
 
 /** Per-PE statistics (stage occupancy for experiment E8). */
@@ -175,12 +190,31 @@ class Machine
         return wmResidency_;
     }
 
+    /** Cycles from a token's creation to the fire of the activity it
+     *  enabled (token-lifecycle latency; one sample per fire).
+     *  Populated only when MachineConfig::latencyStats is set or a
+     *  tracer is active. */
+    const sim::Histogram &birthToFireLatency() const
+    {
+        return birthToFire_;
+    }
+
+    /** Cycles from an I-structure FETCH's issue to its response being
+     *  emitted by the controller (includes deferral time). */
+    const sim::Histogram &readLatency() const { return readLatency_; }
+
     /** gem5-style statistics listing (machine and per-PE groups). */
     void dumpStats(std::ostream &os) const;
 
-    /** Human-readable diagnosis after a deadlocked run: which global
-     *  I-structure cells still have parked readers, and how many
-     *  unmatched partner tokens remain per PE. */
+    /** The same statistics as one machine-readable JSON document:
+     *  each group keyed by name, plus a "histograms" object with the
+     *  wm-residency / birth-to-fire / read-latency distributions. */
+    void dumpStatsJson(std::ostream &os) const;
+
+    /** Structured diagnosis after a deadlocked run: every stranded
+     *  waiting-matching entry (tag, filled-port bitmask, missing
+     *  ports), every I-structure cell with parked readers (and who
+     *  the readers are), and any packets still inside the network. */
     std::string deadlockReport() const;
 
   private:
@@ -196,6 +230,7 @@ class Machine
     {
         graph::EnabledInstruction enabled;
         sim::Cycle readyAt = 0;
+        std::uint32_t born = 0; //!< birth of the enabling (last) token
     };
 
     struct Pe
@@ -220,8 +255,21 @@ class Machine
     std::uint64_t allocateGlobal(std::uint64_t n);
     void route(sim::NodeId src, graph::Token t);
 
+    // Chrome-trace track layout: process = PE (or numPEs for the
+    // network), thread = pipeline stage within the PE.
+    enum TraceTid : std::uint32_t
+    {
+        kTidWm = 0,     //!< waiting-matching section
+        kTidFetch = 1,  //!< instruction fetch
+        kTidAlu = 2,    //!< ALU
+        kTidOutput = 3, //!< output section
+        kTidIstr = 4,   //!< I-structure controller
+    };
+    void nameTraceTracks();
+    std::vector<sim::StatGroup> statGroups() const;
+
     void stepInput(Pe &pe, sim::NodeId id);
-    void stepAlu(Pe &pe);
+    void stepAlu(Pe &pe, sim::NodeId id);
     void stepIs(Pe &pe, sim::NodeId id);
     void stepOutput(Pe &pe, sim::NodeId id);
 
@@ -307,6 +355,10 @@ class Machine
     sim::Cycle now_ = 0;
     bool deadlocked_ = false;
     sim::Histogram wmResidency_{4.0, 128};
+    sim::Histogram birthToFire_{4.0, 128};
+    sim::Histogram readLatency_{4.0, 128};
+    std::uint32_t tokenSeq_ = 0; //!< next Token::seq to hand out
+    bool observing_ = false; //!< latencyStats requested or tracing on
 
     /** ALU service time per opcode (cfg.aluCycles with cfg.opLatency
      *  overrides), resolved once so the fire path is a table load. */

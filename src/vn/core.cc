@@ -1,5 +1,6 @@
 #include "vn/core.hh"
 
+#include "common/format.hh"
 #include "common/logging.hh"
 
 namespace vn
@@ -85,8 +86,9 @@ VnCore::selectContext()
 }
 
 std::optional<MemAccess>
-VnCore::step(sim::Cycle)
+VnCore::step(sim::Cycle now)
 {
+    nowCache_ = now;
     if (halted())
         return std::nullopt;
 
@@ -111,7 +113,19 @@ VnCore::step(sim::Cycle)
 
     Context &ctx = contexts_[current_];
     stats_.busyCycles.inc();
-    return program_ ? execInstr(ctx, current_) : execTrace(ctx, current_);
+    auto access =
+        program_ ? execInstr(ctx, current_) : execTrace(ctx, current_);
+    if (access && ctx.state == CtxState::WaitingMem) {
+        // A blocking reference left the core; remember when, so the
+        // blocked interval can be measured at completion.
+        ctx.blockedAt = now;
+        SIM_TRACE(tracer_, Mem, instant, id_, 0,
+                  access->kind == MemAccess::Kind::Faa ? "faa" : "load",
+                  now,
+                  sim::format("\"ctx\":{},\"addr\":{}", current_,
+                              access->addr));
+    }
+    return access;
 }
 
 std::optional<MemAccess>
@@ -278,6 +292,15 @@ VnCore::complete(const MemAccess &response)
     if (response.kind != MemAccess::Kind::Store && response.reg != 0)
         ctx.regs[response.reg] = response.data;
     ctx.state = CtxState::Ready;
+    // Issue-to-response latency of the blocking reference. Guarded for
+    // test harnesses that call complete() without ever stepping.
+    const sim::Cycle blocked =
+        nowCache_ >= ctx.blockedAt ? nowCache_ - ctx.blockedAt : 0;
+    stats_.memLatency.sample(static_cast<double>(blocked));
+    SIM_TRACE(tracer_, Mem, complete, id_, 0, "blocked", ctx.blockedAt,
+              blocked,
+              sim::format("\"ctx\":{},\"addr\":{}", response.ctx,
+                          response.addr));
 }
 
 } // namespace vn

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "common/stats.hh"
+#include "common/trace.hh"
 #include "common/types.hh"
 #include "mem/word.hh"
 #include "vn/isa.hh"
@@ -84,6 +85,10 @@ class VnCore
         sim::Counter switchCycles; //!< cycles burnt switching contexts
         sim::Counter loads;
         sim::Counter stores;
+        /** Issue-to-response cycles of each blocking reference (LOAD /
+         *  FETCH-AND-ADD) — the remote-reference latency the paper's
+         *  Issue 1 is about. */
+        sim::Histogram memLatency{4.0, 64};
     };
 
     VnCore(std::uint32_t core_id, VnCoreConfig cfg);
@@ -137,6 +142,10 @@ class VnCore
     std::uint32_t id() const { return id_; }
     const Stats &stats() const { return stats_; }
 
+    /** Emit lifecycle events (blocking issue, blocked span) onto the
+     *  core's trace track (pid = core id, tid 0). Null detaches. */
+    void setTracer(sim::Tracer *tracer) { tracer_ = tracer; }
+
     /** busy / (busy + stall + switch): the paper's ALU utilization
      *  figure of merit. */
     double utilization() const;
@@ -150,6 +159,7 @@ class VnCore
         std::uint64_t pc = 0;
         std::array<mem::Word, 32> regs{};
         sim::Cycle computeLeft = 0; //!< trace mode: busy remainder
+        sim::Cycle blockedAt = 0;   //!< cycle the blocking ref issued
     };
 
     /** Select the next Ready context (round robin); returns false if
@@ -171,6 +181,8 @@ class VnCore
     std::uint32_t current_ = 0;
     sim::Cycle switchPenalty_ = 0; //!< cycles of switch stall pending
     Stats stats_;
+    sim::Tracer *tracer_ = nullptr;
+    sim::Cycle nowCache_ = 0; //!< last cycle seen by step()
 };
 
 } // namespace vn

@@ -76,6 +76,21 @@ VnMachine::VnMachine(VnMachineConfig cfg) : cfg_(cfg)
         modules_.push_back(std::make_unique<mem::MemoryModule>(
             cfg_.wordsPerModule, cfg_.memLatency, cfg_.banksPerModule));
     }
+
+    if (cfg_.tracer && cfg_.tracer->active()) {
+        sim::Tracer &t = *cfg_.tracer;
+        for (std::uint32_t c = 0; c < cfg_.numCores; ++c) {
+            t.processName(c, sim::format("core{}", c));
+            t.threadName(c, 0, "cpu");
+            t.threadName(c, 1, "mem");
+            cores_[c]->setTracer(&t);
+            modules_[c]->setTracer(&t, c, 1);
+        }
+        t.processName(cfg_.numCores, "network");
+        for (std::uint32_t c = 0; c < cfg_.numCores; ++c)
+            t.threadName(cfg_.numCores, c, sim::format("port{}", c));
+        net_->setTracer(&t, cfg_.numCores);
+    }
 }
 
 VnMachine::VnMachine(VnMachine &&) noexcept = default;
@@ -258,16 +273,17 @@ VnMachine::meanUtilization() const
     return cores_.empty() ? 0.0 : sum / cores_.size();
 }
 
-void
-VnMachine::dumpStats(std::ostream &os) const
+std::vector<sim::StatGroup>
+VnMachine::statGroups() const
 {
+    std::vector<sim::StatGroup> groups;
     sim::StatGroup machine("vnmachine");
     machine.set("cycles", static_cast<double>(now_));
     machine.set("meanUtilization", meanUtilization());
     machine.set("netPacketsSent",
                 static_cast<double>(net_->stats().sent.value()));
     machine.set("netMeanLatency", net_->stats().latency.mean());
-    machine.dump(os);
+    groups.push_back(std::move(machine));
     for (std::uint32_t c = 0; c < cfg_.numCores; ++c) {
         const auto &st = cores_[c]->stats();
         sim::StatGroup core(sim::format("core{}", c));
@@ -282,8 +298,35 @@ VnMachine::dumpStats(std::ostream &os) const
         core.set("loads", static_cast<double>(st.loads.value()));
         core.set("stores", static_cast<double>(st.stores.value()));
         core.set("utilization", cores_[c]->utilization());
-        core.dump(os);
+        core.set("memLatencyMean", st.memLatency.summary().mean());
+        groups.push_back(std::move(core));
     }
+    return groups;
+}
+
+void
+VnMachine::dumpStats(std::ostream &os) const
+{
+    for (const auto &group : statGroups())
+        group.dump(os);
+}
+
+void
+VnMachine::dumpStatsJson(std::ostream &os) const
+{
+    os << '{';
+    for (const auto &group : statGroups()) {
+        os << '"' << group.name() << "\":";
+        group.dumpJson(os);
+        os << ',';
+    }
+    os << "\"histograms\":{\"memLatency\":[";
+    for (std::uint32_t c = 0; c < cfg_.numCores; ++c) {
+        if (c)
+            os << ',';
+        cores_[c]->stats().memLatency.dumpJson(os);
+    }
+    os << "]}}\n";
 }
 
 const net::NetStats &

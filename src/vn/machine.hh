@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "common/stats.hh"
+#include "common/trace.hh"
 #include "common/types.hh"
 #include "mem/memory.hh"
 #include "net/network.hh"
@@ -65,6 +66,12 @@ struct VnMachineConfig
 
     std::uint64_t seed = 1;
     std::uint64_t maxCycles = 50'000'000;
+
+    /** When set, core/memory/network lifecycle events are emitted as
+     *  Chrome trace-event JSON: one process per core (tid 0 = cpu,
+     *  tid 1 = the colocated memory module) plus one for the network.
+     *  Must be open()ed/attach()ed before run(). */
+    sim::Tracer *tracer = nullptr;
 };
 
 /** The multiprocessor. */
@@ -103,6 +110,11 @@ class VnMachine
     /** gem5-style statistics listing (machine and per-core groups). */
     void dumpStats(std::ostream &os) const;
 
+    /** The same statistics as one machine-readable JSON document:
+     *  each group keyed by name, plus per-core blocking-reference
+     *  latency histograms. */
+    void dumpStatsJson(std::ostream &os) const;
+
     /** The module owning a word under the configured addressing. */
     std::uint32_t moduleOf(std::uint64_t addr) const;
     /** Word offset within its module. */
@@ -118,6 +130,7 @@ class VnMachine
 
     void issue(std::uint32_t core_id, MemAccess acc);
     void respond(std::uint32_t module, const mem::MemResponse &rsp);
+    std::vector<sim::StatGroup> statGroups() const;
 
     /** Event-driven skip used by run(): when every core is halted or
      *  blocked on memory, jump now_ to the next network delivery or

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * A minimal recursive-descent JSON validator for tests.
+ *
+ * The observability features emit JSON (Chrome trace-event files,
+ * StatGroup/Histogram stats dumps); tests need to assert the output is
+ * well-formed without depending on an external parser. This checks
+ * syntax per RFC 8259 — it does not build a document tree.
+ */
+
+#ifndef TTDA_TESTS_COMMON_JSON_CHECK_HH
+#define TTDA_TESTS_COMMON_JSON_CHECK_HH
+
+#include <cctype>
+#include <string>
+#include <string_view>
+
+namespace testutil
+{
+
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(std::string_view text) : text_(text) {}
+
+    /** True when the whole input is exactly one valid JSON value. */
+    bool
+    valid()
+    {
+        pos_ = 0;
+        skipWs();
+        if (!value())
+            return false;
+        skipWs();
+        return pos_ == text_.size();
+    }
+
+  private:
+    bool atEnd() const { return pos_ >= text_.size(); }
+    char peek() const { return text_[pos_]; }
+
+    void
+    skipWs()
+    {
+        while (!atEnd() && (peek() == ' ' || peek() == '\t' ||
+                            peek() == '\n' || peek() == '\r'))
+            ++pos_;
+    }
+
+    bool
+    literal(std::string_view word)
+    {
+        if (text_.substr(pos_, word.size()) != word)
+            return false;
+        pos_ += word.size();
+        return true;
+    }
+
+    bool
+    value()
+    {
+        if (atEnd())
+            return false;
+        switch (peek()) {
+        case '{':
+            return object();
+        case '[':
+            return array();
+        case '"':
+            return string();
+        case 't':
+            return literal("true");
+        case 'f':
+            return literal("false");
+        case 'n':
+            return literal("null");
+        default:
+            return number();
+        }
+    }
+
+    bool
+    object()
+    {
+        ++pos_; // '{'
+        skipWs();
+        if (!atEnd() && peek() == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (atEnd() || peek() != '"' || !string())
+                return false;
+            skipWs();
+            if (atEnd() || peek() != ':')
+                return false;
+            ++pos_;
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (atEnd())
+                return false;
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == '}') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    array()
+    {
+        ++pos_; // '['
+        skipWs();
+        if (!atEnd() && peek() == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (atEnd())
+                return false;
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == ']') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    string()
+    {
+        ++pos_; // '"'
+        while (!atEnd()) {
+            const unsigned char c = static_cast<unsigned char>(peek());
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (c < 0x20) // raw control characters are illegal
+                return false;
+            if (c == '\\') {
+                ++pos_;
+                if (atEnd())
+                    return false;
+                const char esc = peek();
+                if (esc == 'u') {
+                    ++pos_;
+                    for (int i = 0; i < 4; ++i, ++pos_)
+                        if (atEnd() ||
+                            !std::isxdigit(
+                                static_cast<unsigned char>(peek())))
+                            return false;
+                    continue;
+                }
+                if (esc != '"' && esc != '\\' && esc != '/' &&
+                    esc != 'b' && esc != 'f' && esc != 'n' &&
+                    esc != 'r' && esc != 't')
+                    return false;
+            }
+            ++pos_;
+        }
+        return false; // unterminated
+    }
+
+    bool
+    digits()
+    {
+        if (atEnd() || !std::isdigit(static_cast<unsigned char>(peek())))
+            return false;
+        while (!atEnd() &&
+               std::isdigit(static_cast<unsigned char>(peek())))
+            ++pos_;
+        return true;
+    }
+
+    bool
+    number()
+    {
+        if (peek() == '-')
+            ++pos_;
+        if (atEnd())
+            return false;
+        if (peek() == '0') {
+            ++pos_; // no leading zeros
+        } else if (!digits()) {
+            return false;
+        }
+        if (!atEnd() && peek() == '.') {
+            ++pos_;
+            if (!digits())
+                return false;
+        }
+        if (!atEnd() && (peek() == 'e' || peek() == 'E')) {
+            ++pos_;
+            if (!atEnd() && (peek() == '+' || peek() == '-'))
+                ++pos_;
+            if (!digits())
+                return false;
+        }
+        return true;
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+/** Convenience wrapper: is `text` one well-formed JSON document? */
+inline bool
+isValidJson(std::string_view text)
+{
+    return JsonChecker(text).valid();
+}
+
+} // namespace testutil
+
+#endif // TTDA_TESTS_COMMON_JSON_CHECK_HH

@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "common/stats.hh"
+#include "json_check.hh"
 
 namespace
 {
@@ -61,11 +62,19 @@ TEST(Histogram, BinsAndSaturates)
     EXPECT_EQ(h.summary().count(), 5u);
 }
 
-TEST(Histogram, NegativeSamplesClampToFirstBin)
+TEST(Histogram, NegativeSamplesCountAsUnderflow)
 {
     sim::Histogram h(1.0, 8);
     h.sample(-5.0);
+    h.sample(-0.5, 2);
+    EXPECT_EQ(h.underflow(), 3u);
+    EXPECT_EQ(h.bins()[0], 0u); // not folded into the first bin
+    // Underflow still participates in the summary moments.
+    EXPECT_EQ(h.summary().count(), 3u);
+    EXPECT_DOUBLE_EQ(h.summary().min(), -5.0);
+    h.sample(0.0);
     EXPECT_EQ(h.bins()[0], 1u);
+    EXPECT_EQ(h.underflow(), 3u);
 }
 
 TEST(Histogram, QuantileEstimates)
@@ -78,17 +87,108 @@ TEST(Histogram, QuantileEstimates)
     EXPECT_NEAR(h.quantile(0.0), 0.0, 1.0);
 }
 
+TEST(Histogram, QuantileBoundaries)
+{
+    sim::Histogram empty(1.0, 4);
+    EXPECT_DOUBLE_EQ(empty.quantile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(empty.quantile(1.0), 0.0);
+
+    sim::Histogram h(10.0, 4); // bins [0,10) [10,20) [20,30) [30,inf)
+    h.sample(5.0);
+    h.sample(15.0);
+    h.sample(25.0);
+    h.sample(95.0); // saturates into the last bin
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+    // q=1 must cover every sample, including the saturated one: the
+    // answer is the upper edge of the final bin, never beyond it.
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 40.0);
+    // 25% of the mass sits in the first bin.
+    EXPECT_DOUBLE_EQ(h.quantile(0.25), 10.0);
+
+    // All-underflow mass: every quantile collapses to 0.
+    sim::Histogram neg(1.0, 4);
+    neg.sample(-1.0, 10);
+    EXPECT_DOUBLE_EQ(neg.quantile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(neg.quantile(1.0), 0.0);
+}
+
+TEST(Histogram, BatchedSampleMatchesRepeatedSample)
+{
+    sim::Histogram a(4.0, 16);
+    sim::Histogram b(4.0, 16);
+    const double values[] = {-3.0, 0.0, 7.5, 31.0, 100.0};
+    for (double v : values) {
+        a.sample(v, 5);
+        for (int i = 0; i < 5; ++i)
+            b.sample(v);
+    }
+    EXPECT_EQ(a.bins(), b.bins());
+    EXPECT_EQ(a.underflow(), b.underflow());
+    EXPECT_EQ(a.summary().count(), b.summary().count());
+    EXPECT_DOUBLE_EQ(a.summary().sum(), b.summary().sum());
+    EXPECT_DOUBLE_EQ(a.summary().min(), b.summary().min());
+    EXPECT_DOUBLE_EQ(a.summary().max(), b.summary().max());
+    EXPECT_DOUBLE_EQ(a.quantile(0.5), b.quantile(0.5));
+
+    // n == 0 is a no-op, not a zero-width sample.
+    a.sample(123.0, 0);
+    EXPECT_EQ(a.summary().count(), b.summary().count());
+}
+
+TEST(Histogram, DumpJsonIsWellFormed)
+{
+    sim::Histogram h(2.0, 8);
+    h.sample(-1.0);
+    h.sample(3.0, 4);
+    h.sample(100.0);
+    std::ostringstream os;
+    h.dumpJson(os);
+    const std::string json = os.str();
+    EXPECT_TRUE(testutil::isValidJson(json)) << json;
+    EXPECT_NE(json.find("\"underflow\":1"), std::string::npos);
+    EXPECT_NE(json.find("\"count\":6"), std::string::npos);
+}
+
 TEST(StatGroup, SetGetDump)
 {
     sim::StatGroup g("pe0");
     g.set("utilization", 0.75);
     g.set("tokens", 123);
     EXPECT_DOUBLE_EQ(g.get("utilization"), 0.75);
-    EXPECT_DOUBLE_EQ(g.get("missing"), 0.0);
+    EXPECT_TRUE(g.has("utilization"));
+    EXPECT_FALSE(g.has("missing"));
     std::ostringstream os;
     g.dump(os);
     EXPECT_NE(os.str().find("pe0.utilization = 0.75"), std::string::npos);
     EXPECT_NE(os.str().find("pe0.tokens = 123"), std::string::npos);
+}
+
+TEST(StatGroupDeathTest, GetOfAbsentKeyNamesTheKey)
+{
+    sim::StatGroup g("pe0");
+    g.set("utilization", 0.75);
+    // The report must name both the group and the offending key so a
+    // typo in a benchmark points straight at itself.
+    EXPECT_DEATH(g.get("utilzation"), "pe0.*utilzation");
+}
+
+TEST(StatGroup, DumpJsonIsWellFormed)
+{
+    sim::StatGroup g("machine");
+    g.set("cycles", 1234);
+    g.set("speedup", 3.5);
+    g.set("nan", std::nan("")); // non-finite must become null
+    std::ostringstream os;
+    g.dumpJson(os);
+    const std::string json = os.str();
+    EXPECT_TRUE(testutil::isValidJson(json)) << json;
+    EXPECT_NE(json.find("\"cycles\":1234"), std::string::npos);
+    EXPECT_NE(json.find("\"nan\":null"), std::string::npos);
+
+    sim::StatGroup empty("empty");
+    std::ostringstream os2;
+    empty.dumpJson(os2);
+    EXPECT_EQ(os2.str(), "{}");
 }
 
 } // namespace
