@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cmmp_crossbar.dir/bench_cmmp_crossbar.cpp.o"
+  "CMakeFiles/bench_cmmp_crossbar.dir/bench_cmmp_crossbar.cpp.o.d"
+  "bench_cmmp_crossbar"
+  "bench_cmmp_crossbar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cmmp_crossbar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cmstar.dir/bench_cmstar.cpp.o"
+  "CMakeFiles/bench_cmstar.dir/bench_cmstar.cpp.o.d"
+  "bench_cmstar"
+  "bench_cmstar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cmstar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fetch_and_add.dir/bench_fetch_and_add.cpp.o"
+  "CMakeFiles/bench_fetch_and_add.dir/bench_fetch_and_add.cpp.o.d"
+  "bench_fetch_and_add"
+  "bench_fetch_and_add.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fetch_and_add.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

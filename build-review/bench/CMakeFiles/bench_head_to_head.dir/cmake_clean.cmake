@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_head_to_head.dir/bench_head_to_head.cpp.o"
+  "CMakeFiles/bench_head_to_head.dir/bench_head_to_head.cpp.o.d"
+  "bench_head_to_head"
+  "bench_head_to_head.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_head_to_head.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hypercube_routing.dir/bench_hypercube_routing.cpp.o"
+  "CMakeFiles/bench_hypercube_routing.dir/bench_hypercube_routing.cpp.o.d"
+  "bench_hypercube_routing"
+  "bench_hypercube_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hypercube_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

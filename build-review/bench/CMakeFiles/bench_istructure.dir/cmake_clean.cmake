@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_istructure.dir/bench_istructure.cpp.o"
+  "CMakeFiles/bench_istructure.dir/bench_istructure.cpp.o.d"
+  "bench_istructure"
+  "bench_istructure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_istructure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_latency_tolerance.dir/bench_latency_tolerance.cpp.o"
+  "CMakeFiles/bench_latency_tolerance.dir/bench_latency_tolerance.cpp.o.d"
+  "bench_latency_tolerance"
+  "bench_latency_tolerance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_latency_tolerance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

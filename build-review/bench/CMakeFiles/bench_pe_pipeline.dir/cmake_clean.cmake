@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pe_pipeline.dir/bench_pe_pipeline.cpp.o"
+  "CMakeFiles/bench_pe_pipeline.dir/bench_pe_pipeline.cpp.o.d"
+  "bench_pe_pipeline"
+  "bench_pe_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pe_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

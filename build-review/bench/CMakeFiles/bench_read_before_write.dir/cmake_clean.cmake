@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_read_before_write.dir/bench_read_before_write.cpp.o"
+  "CMakeFiles/bench_read_before_write.dir/bench_read_before_write.cpp.o.d"
+  "bench_read_before_write"
+  "bench_read_before_write.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_read_before_write.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

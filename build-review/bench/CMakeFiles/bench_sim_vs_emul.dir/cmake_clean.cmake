@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sim_vs_emul.dir/bench_sim_vs_emul.cpp.o"
+  "CMakeFiles/bench_sim_vs_emul.dir/bench_sim_vs_emul.cpp.o.d"
+  "bench_sim_vs_emul"
+  "bench_sim_vs_emul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sim_vs_emul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

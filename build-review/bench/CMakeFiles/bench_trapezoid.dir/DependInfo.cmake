@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_trapezoid.cpp" "bench/CMakeFiles/bench_trapezoid.dir/bench_trapezoid.cpp.o" "gcc" "bench/CMakeFiles/bench_trapezoid.dir/bench_trapezoid.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/id/CMakeFiles/ttda_id.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ttda/CMakeFiles/ttda_ttda.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/vn/CMakeFiles/ttda_vn.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/workloads/CMakeFiles/ttda_workloads.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/mem/CMakeFiles/ttda_mem.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/net/CMakeFiles/ttda_net.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/graph/CMakeFiles/ttda_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/ttda_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_trapezoid.dir/bench_trapezoid.cpp.o"
+  "CMakeFiles/bench_trapezoid.dir/bench_trapezoid.cpp.o.d"
+  "bench_trapezoid"
+  "bench_trapezoid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_trapezoid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

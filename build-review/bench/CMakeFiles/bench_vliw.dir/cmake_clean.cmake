@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vliw.dir/bench_vliw.cpp.o"
+  "CMakeFiles/bench_vliw.dir/bench_vliw.cpp.o.d"
+  "bench_vliw"
+  "bench_vliw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vliw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idc.dir/idc.cpp.o"
+  "CMakeFiles/idc.dir/idc.cpp.o.d"
+  "idc"
+  "idc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

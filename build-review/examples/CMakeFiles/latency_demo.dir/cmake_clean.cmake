@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency_demo.dir/latency_demo.cpp.o"
+  "CMakeFiles/latency_demo.dir/latency_demo.cpp.o.d"
+  "latency_demo"
+  "latency_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matmul.dir/matmul.cpp.o"
+  "CMakeFiles/matmul.dir/matmul.cpp.o.d"
+  "matmul"
+  "matmul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matmul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

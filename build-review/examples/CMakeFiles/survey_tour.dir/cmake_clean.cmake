@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/survey_tour.dir/survey_tour.cpp.o"
+  "CMakeFiles/survey_tour.dir/survey_tour.cpp.o.d"
+  "survey_tour"
+  "survey_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/survey_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavefront.dir/wavefront.cpp.o"
+  "CMakeFiles/wavefront.dir/wavefront.cpp.o.d"
+  "wavefront"
+  "wavefront.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavefront.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

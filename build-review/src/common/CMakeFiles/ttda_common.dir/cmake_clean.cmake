@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ttda_common.dir/trace.cc.o"
+  "CMakeFiles/ttda_common.dir/trace.cc.o.d"
+  "libttda_common.a"
+  "libttda_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ttda_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/context.cc" "src/graph/CMakeFiles/ttda_graph.dir/context.cc.o" "gcc" "src/graph/CMakeFiles/ttda_graph.dir/context.cc.o.d"
+  "/root/repo/src/graph/exec.cc" "src/graph/CMakeFiles/ttda_graph.dir/exec.cc.o" "gcc" "src/graph/CMakeFiles/ttda_graph.dir/exec.cc.o.d"
+  "/root/repo/src/graph/opcode.cc" "src/graph/CMakeFiles/ttda_graph.dir/opcode.cc.o" "gcc" "src/graph/CMakeFiles/ttda_graph.dir/opcode.cc.o.d"
+  "/root/repo/src/graph/program.cc" "src/graph/CMakeFiles/ttda_graph.dir/program.cc.o" "gcc" "src/graph/CMakeFiles/ttda_graph.dir/program.cc.o.d"
+  "/root/repo/src/graph/token.cc" "src/graph/CMakeFiles/ttda_graph.dir/token.cc.o" "gcc" "src/graph/CMakeFiles/ttda_graph.dir/token.cc.o.d"
+  "/root/repo/src/graph/value.cc" "src/graph/CMakeFiles/ttda_graph.dir/value.cc.o" "gcc" "src/graph/CMakeFiles/ttda_graph.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/ttda_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ttda_graph.dir/context.cc.o"
+  "CMakeFiles/ttda_graph.dir/context.cc.o.d"
+  "CMakeFiles/ttda_graph.dir/exec.cc.o"
+  "CMakeFiles/ttda_graph.dir/exec.cc.o.d"
+  "CMakeFiles/ttda_graph.dir/opcode.cc.o"
+  "CMakeFiles/ttda_graph.dir/opcode.cc.o.d"
+  "CMakeFiles/ttda_graph.dir/program.cc.o"
+  "CMakeFiles/ttda_graph.dir/program.cc.o.d"
+  "CMakeFiles/ttda_graph.dir/token.cc.o"
+  "CMakeFiles/ttda_graph.dir/token.cc.o.d"
+  "CMakeFiles/ttda_graph.dir/value.cc.o"
+  "CMakeFiles/ttda_graph.dir/value.cc.o.d"
+  "libttda_graph.a"
+  "libttda_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ttda_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

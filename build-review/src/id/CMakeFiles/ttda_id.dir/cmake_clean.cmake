@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ttda_id.dir/codegen.cc.o"
+  "CMakeFiles/ttda_id.dir/codegen.cc.o.d"
+  "CMakeFiles/ttda_id.dir/lexer.cc.o"
+  "CMakeFiles/ttda_id.dir/lexer.cc.o.d"
+  "CMakeFiles/ttda_id.dir/parser.cc.o"
+  "CMakeFiles/ttda_id.dir/parser.cc.o.d"
+  "libttda_id.a"
+  "libttda_id.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ttda_id.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

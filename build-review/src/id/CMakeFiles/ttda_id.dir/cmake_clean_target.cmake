@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libttda_id.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ttda_mem.dir/coherence.cc.o"
+  "CMakeFiles/ttda_mem.dir/coherence.cc.o.d"
+  "CMakeFiles/ttda_mem.dir/directory.cc.o"
+  "CMakeFiles/ttda_mem.dir/directory.cc.o.d"
+  "CMakeFiles/ttda_mem.dir/memory.cc.o"
+  "CMakeFiles/ttda_mem.dir/memory.cc.o.d"
+  "libttda_mem.a"
+  "libttda_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ttda_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ttda_net.dir/combining_omega.cc.o"
+  "CMakeFiles/ttda_net.dir/combining_omega.cc.o.d"
+  "libttda_net.a"
+  "libttda_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ttda_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

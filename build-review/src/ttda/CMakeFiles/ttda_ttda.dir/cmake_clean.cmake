@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ttda_ttda.dir/emulator.cc.o"
+  "CMakeFiles/ttda_ttda.dir/emulator.cc.o.d"
+  "CMakeFiles/ttda_ttda.dir/machine.cc.o"
+  "CMakeFiles/ttda_ttda.dir/machine.cc.o.d"
+  "libttda_ttda.a"
+  "libttda_ttda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ttda_ttda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ttda_ttda.
+# This may be replaced when dependencies are built.

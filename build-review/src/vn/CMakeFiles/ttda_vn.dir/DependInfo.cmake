@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vn/core.cc" "src/vn/CMakeFiles/ttda_vn.dir/core.cc.o" "gcc" "src/vn/CMakeFiles/ttda_vn.dir/core.cc.o.d"
+  "/root/repo/src/vn/machine.cc" "src/vn/CMakeFiles/ttda_vn.dir/machine.cc.o" "gcc" "src/vn/CMakeFiles/ttda_vn.dir/machine.cc.o.d"
+  "/root/repo/src/vn/simd.cc" "src/vn/CMakeFiles/ttda_vn.dir/simd.cc.o" "gcc" "src/vn/CMakeFiles/ttda_vn.dir/simd.cc.o.d"
+  "/root/repo/src/vn/vliw.cc" "src/vn/CMakeFiles/ttda_vn.dir/vliw.cc.o" "gcc" "src/vn/CMakeFiles/ttda_vn.dir/vliw.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/ttda_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/mem/CMakeFiles/ttda_mem.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/net/CMakeFiles/ttda_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

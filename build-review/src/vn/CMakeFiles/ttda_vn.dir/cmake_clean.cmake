@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ttda_vn.dir/core.cc.o"
+  "CMakeFiles/ttda_vn.dir/core.cc.o.d"
+  "CMakeFiles/ttda_vn.dir/machine.cc.o"
+  "CMakeFiles/ttda_vn.dir/machine.cc.o.d"
+  "CMakeFiles/ttda_vn.dir/simd.cc.o"
+  "CMakeFiles/ttda_vn.dir/simd.cc.o.d"
+  "CMakeFiles/ttda_vn.dir/vliw.cc.o"
+  "CMakeFiles/ttda_vn.dir/vliw.cc.o.d"
+  "libttda_vn.a"
+  "libttda_vn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ttda_vn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

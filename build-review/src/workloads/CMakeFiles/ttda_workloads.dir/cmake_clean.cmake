@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ttda_workloads.dir/dfg_programs.cc.o"
+  "CMakeFiles/ttda_workloads.dir/dfg_programs.cc.o.d"
+  "CMakeFiles/ttda_workloads.dir/rowsum.cc.o"
+  "CMakeFiles/ttda_workloads.dir/rowsum.cc.o.d"
+  "CMakeFiles/ttda_workloads.dir/vn_programs.cc.o"
+  "CMakeFiles/ttda_workloads.dir/vn_programs.cc.o.d"
+  "libttda_workloads.a"
+  "libttda_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ttda_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/graph/test_loop_schema.cc" "tests/CMakeFiles/test_graph_loops.dir/graph/test_loop_schema.cc.o" "gcc" "tests/CMakeFiles/test_graph_loops.dir/graph/test_loop_schema.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/graph/CMakeFiles/ttda_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ttda/CMakeFiles/ttda_ttda.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/mem/CMakeFiles/ttda_mem.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/net/CMakeFiles/ttda_net.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/ttda_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph_loops.dir/graph/test_loop_schema.cc.o"
+  "CMakeFiles/test_graph_loops.dir/graph/test_loop_schema.cc.o.d"
+  "test_graph_loops"
+  "test_graph_loops.pdb"
+  "test_graph_loops[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph_loops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_id.dir/id/test_append.cc.o"
+  "CMakeFiles/test_id.dir/id/test_append.cc.o.d"
+  "CMakeFiles/test_id.dir/id/test_compile.cc.o"
+  "CMakeFiles/test_id.dir/id/test_compile.cc.o.d"
+  "CMakeFiles/test_id.dir/id/test_frontend.cc.o"
+  "CMakeFiles/test_id.dir/id/test_frontend.cc.o.d"
+  "CMakeFiles/test_id.dir/id/test_semantics.cc.o"
+  "CMakeFiles/test_id.dir/id/test_semantics.cc.o.d"
+  "test_id"
+  "test_id.pdb"
+  "test_id[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_id.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

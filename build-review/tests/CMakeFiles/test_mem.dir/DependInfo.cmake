@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mem/test_coherence.cc" "tests/CMakeFiles/test_mem.dir/mem/test_coherence.cc.o" "gcc" "tests/CMakeFiles/test_mem.dir/mem/test_coherence.cc.o.d"
+  "/root/repo/tests/mem/test_directory.cc" "tests/CMakeFiles/test_mem.dir/mem/test_directory.cc.o" "gcc" "tests/CMakeFiles/test_mem.dir/mem/test_directory.cc.o.d"
+  "/root/repo/tests/mem/test_hep.cc" "tests/CMakeFiles/test_mem.dir/mem/test_hep.cc.o" "gcc" "tests/CMakeFiles/test_mem.dir/mem/test_hep.cc.o.d"
+  "/root/repo/tests/mem/test_istructure.cc" "tests/CMakeFiles/test_mem.dir/mem/test_istructure.cc.o" "gcc" "tests/CMakeFiles/test_mem.dir/mem/test_istructure.cc.o.d"
+  "/root/repo/tests/mem/test_memory.cc" "tests/CMakeFiles/test_mem.dir/mem/test_memory.cc.o" "gcc" "tests/CMakeFiles/test_mem.dir/mem/test_memory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/mem/CMakeFiles/ttda_mem.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/ttda_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

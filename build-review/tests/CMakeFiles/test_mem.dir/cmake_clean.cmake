@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mem.dir/mem/test_coherence.cc.o"
+  "CMakeFiles/test_mem.dir/mem/test_coherence.cc.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_directory.cc.o"
+  "CMakeFiles/test_mem.dir/mem/test_directory.cc.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_hep.cc.o"
+  "CMakeFiles/test_mem.dir/mem/test_hep.cc.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_istructure.cc.o"
+  "CMakeFiles/test_mem.dir/mem/test_istructure.cc.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_memory.cc.o"
+  "CMakeFiles/test_mem.dir/mem/test_memory.cc.o.d"
+  "test_mem"
+  "test_mem.pdb"
+  "test_mem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/net/test_blocking.cc" "tests/CMakeFiles/test_net.dir/net/test_blocking.cc.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_blocking.cc.o.d"
+  "/root/repo/tests/net/test_combining_omega.cc" "tests/CMakeFiles/test_net.dir/net/test_combining_omega.cc.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_combining_omega.cc.o.d"
+  "/root/repo/tests/net/test_hierarchical_contention.cc" "tests/CMakeFiles/test_net.dir/net/test_hierarchical_contention.cc.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_hierarchical_contention.cc.o.d"
+  "/root/repo/tests/net/test_topologies.cc" "tests/CMakeFiles/test_net.dir/net/test_topologies.cc.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_topologies.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/net/CMakeFiles/ttda_net.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/ttda_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net.dir/net/test_blocking.cc.o"
+  "CMakeFiles/test_net.dir/net/test_blocking.cc.o.d"
+  "CMakeFiles/test_net.dir/net/test_combining_omega.cc.o"
+  "CMakeFiles/test_net.dir/net/test_combining_omega.cc.o.d"
+  "CMakeFiles/test_net.dir/net/test_hierarchical_contention.cc.o"
+  "CMakeFiles/test_net.dir/net/test_hierarchical_contention.cc.o.d"
+  "CMakeFiles/test_net.dir/net/test_topologies.cc.o"
+  "CMakeFiles/test_net.dir/net/test_topologies.cc.o.d"
+  "test_net"
+  "test_net.pdb"
+  "test_net[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

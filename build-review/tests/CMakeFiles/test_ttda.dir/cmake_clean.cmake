@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ttda.dir/ttda/test_emulator.cc.o"
+  "CMakeFiles/test_ttda.dir/ttda/test_emulator.cc.o.d"
+  "CMakeFiles/test_ttda.dir/ttda/test_golden_cycles.cc.o"
+  "CMakeFiles/test_ttda.dir/ttda/test_golden_cycles.cc.o.d"
+  "CMakeFiles/test_ttda.dir/ttda/test_machine.cc.o"
+  "CMakeFiles/test_ttda.dir/ttda/test_machine.cc.o.d"
+  "CMakeFiles/test_ttda.dir/ttda/test_machine_config.cc.o"
+  "CMakeFiles/test_ttda.dir/ttda/test_machine_config.cc.o.d"
+  "CMakeFiles/test_ttda.dir/ttda/test_observability.cc.o"
+  "CMakeFiles/test_ttda.dir/ttda/test_observability.cc.o.d"
+  "CMakeFiles/test_ttda.dir/ttda/test_preload.cc.o"
+  "CMakeFiles/test_ttda.dir/ttda/test_preload.cc.o.d"
+  "CMakeFiles/test_ttda.dir/ttda/test_tools.cc.o"
+  "CMakeFiles/test_ttda.dir/ttda/test_tools.cc.o.d"
+  "test_ttda"
+  "test_ttda.pdb"
+  "test_ttda[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ttda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

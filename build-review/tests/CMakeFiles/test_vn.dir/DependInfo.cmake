@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/vn/test_core.cc" "tests/CMakeFiles/test_vn.dir/vn/test_core.cc.o" "gcc" "tests/CMakeFiles/test_vn.dir/vn/test_core.cc.o.d"
+  "/root/repo/tests/vn/test_machine.cc" "tests/CMakeFiles/test_vn.dir/vn/test_machine.cc.o" "gcc" "tests/CMakeFiles/test_vn.dir/vn/test_machine.cc.o.d"
+  "/root/repo/tests/vn/test_machine_more.cc" "tests/CMakeFiles/test_vn.dir/vn/test_machine_more.cc.o" "gcc" "tests/CMakeFiles/test_vn.dir/vn/test_machine_more.cc.o.d"
+  "/root/repo/tests/vn/test_simd.cc" "tests/CMakeFiles/test_vn.dir/vn/test_simd.cc.o" "gcc" "tests/CMakeFiles/test_vn.dir/vn/test_simd.cc.o.d"
+  "/root/repo/tests/vn/test_vliw.cc" "tests/CMakeFiles/test_vn.dir/vn/test_vliw.cc.o" "gcc" "tests/CMakeFiles/test_vn.dir/vn/test_vliw.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/vn/CMakeFiles/ttda_vn.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/workloads/CMakeFiles/ttda_workloads.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/mem/CMakeFiles/ttda_mem.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/net/CMakeFiles/ttda_net.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/graph/CMakeFiles/ttda_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/ttda_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vn.dir/vn/test_core.cc.o"
+  "CMakeFiles/test_vn.dir/vn/test_core.cc.o.d"
+  "CMakeFiles/test_vn.dir/vn/test_machine.cc.o"
+  "CMakeFiles/test_vn.dir/vn/test_machine.cc.o.d"
+  "CMakeFiles/test_vn.dir/vn/test_machine_more.cc.o"
+  "CMakeFiles/test_vn.dir/vn/test_machine_more.cc.o.d"
+  "CMakeFiles/test_vn.dir/vn/test_simd.cc.o"
+  "CMakeFiles/test_vn.dir/vn/test_simd.cc.o.d"
+  "CMakeFiles/test_vn.dir/vn/test_vliw.cc.o"
+  "CMakeFiles/test_vn.dir/vn/test_vliw.cc.o.d"
+  "test_vn"
+  "test_vn.pdb"
+  "test_vn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

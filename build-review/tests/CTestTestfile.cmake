@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-review/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/tests/test_common[1]_include.cmake")
+include("/root/repo/build-review/tests/test_net[1]_include.cmake")
+include("/root/repo/build-review/tests/test_mem[1]_include.cmake")
+include("/root/repo/build-review/tests/test_graph[1]_include.cmake")
+include("/root/repo/build-review/tests/test_graph_loops[1]_include.cmake")
+include("/root/repo/build-review/tests/test_ttda[1]_include.cmake")
+include("/root/repo/build-review/tests/test_vn[1]_include.cmake")
+include("/root/repo/build-review/tests/test_id[1]_include.cmake")
+include("/root/repo/build-review/tests/test_integration[1]_include.cmake")
