@@ -70,13 +70,18 @@ finish(std::string name, std::uint64_t cycles, std::uint64_t items,
     return r;
 }
 
-/** One TTDA run of the E1 row-pipeline workload at a given latency. */
+/** One TTDA run of the E1 row-pipeline workload at a given latency.
+ *  `pes`/`threads` select the machine width and the parallel engine's
+ *  shard count (simCycles is identical at any thread count — the
+ *  engine is deterministic; only hostMs varies). */
 Result
 ttdaConfig(const id::Compiled &compiled, const std::string &name,
-           sim::Cycle net_latency, std::int64_t n)
+           sim::Cycle net_latency, std::int64_t n,
+           std::uint32_t pes = 4, std::uint32_t threads = 1)
 {
     ttda::MachineConfig cfg;
-    cfg.numPEs = 4;
+    cfg.numPEs = pes;
+    cfg.threads = threads;
     cfg.netLatency = net_latency;
     std::uint64_t cycles = 0;
     std::uint64_t fired = 0;
@@ -192,6 +197,22 @@ main(int argc, char **argv)
     results.push_back(vnConfig("vn_blocking_net64", 1, 64, 2000));
     results.push_back(vnConfig("vn_blocking_net256", 1, 256, 2000));
     results.push_back(vnConfig("vn_k8_net64", 8, 64, 2000));
+
+    // Thread-scaling sweep for the deterministic parallel engine: a
+    // 64-PE machine sharded over 1/2/4/8 host threads at each network
+    // latency. simCycles must be identical within a latency row (the
+    // determinism contract); hostMs shows the scaling — or, on a
+    // single-CPU host, the two-phase tick's overhead.
+    for (const sim::Cycle lat : {sim::Cycle{2}, sim::Cycle{64},
+                                 sim::Cycle{256}}) {
+        for (const std::uint32_t t : {1u, 2u, 4u, 8u}) {
+            results.push_back(ttdaConfig(
+                compiled,
+                "ttda_pe64_net" + std::to_string(lat) + "_t" +
+                    std::to_string(t),
+                lat, 24, 64, t));
+        }
+    }
 
     sim::Table t("Simulator core throughput (best of " +
                  std::to_string(kReps) + " runs)");

@@ -34,6 +34,8 @@ namespace bench
  *                       (wm,fire,net,mem,istr,sched; default all)
  *   --stats-json=FILE   write the machine's statistics as one JSON
  *                       document
+ *   --threads=N         host threads for the deterministic parallel
+ *                       engine (results identical to --threads=1)
  *
  * Recognised flags are consumed; everything else (argv[0] first) stays
  * in `args`, so a binary's positional-argument parsing is unchanged.
@@ -55,6 +57,12 @@ class SimOptions
                     std::string(arg.substr(13)));
             } else if (arg.rfind("--stats-json=", 0) == 0) {
                 statsPath_ = std::string(arg.substr(13));
+            } else if (arg.rfind("--threads=", 0) == 0) {
+                threads_ = static_cast<std::uint32_t>(
+                    std::stoul(std::string(arg.substr(10))));
+                if (threads_ == 0)
+                    sim::fatal("--threads must be >= 1");
+                threadsSet_ = true;
             } else {
                 args.push_back(argv[i]);
             }
@@ -73,6 +81,8 @@ class SimOptions
         // when no trace file was requested.
         if (!statsPath_.empty())
             cfg.latencyStats = true;
+        if (threadsSet_)
+            cfg.threads = threads_;
     }
 
     void
@@ -80,7 +90,11 @@ class SimOptions
     {
         if (tracer.active())
             cfg.tracer = &tracer;
+        if (threadsSet_)
+            cfg.threads = threads_;
     }
+
+    std::uint32_t threads() const { return threads_; }
 
     /** Write the machine's statistics to --stats-json, if given. */
     template <typename MachineT>
@@ -101,6 +115,8 @@ class SimOptions
   private:
     std::string tracePath_;
     std::string statsPath_;
+    std::uint32_t threads_ = 1;
+    bool threadsSet_ = false;
 };
 
 /** Summary of one tagged-token machine run. */

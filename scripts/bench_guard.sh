@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Throughput regression guard: run bench_core from a plain
+# (non-sanitized) build and compare each config's hostMs against the
+# checked-in BENCH_core.json baseline. Fails when any config regresses
+# by more than the threshold (default 25%), so an accidental slowdown
+# of the simulator core cannot land silently.
+#
+# Configs present in only one of the two files (new benchmarks, or a
+# renamed baseline entry) are reported but do not fail the guard.
+#
+# Usage: scripts/bench_guard.sh [build-dir] [threshold-pct]
+#   build-dir      default: build-bench (created if needed)
+#   threshold-pct  default: 25
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-bench}"
+THRESHOLD="${2:-25}"
+BASELINE="BENCH_core.json"
+
+if [[ ! -f "$BASELINE" ]]; then
+    echo "bench_guard: no baseline $BASELINE; nothing to guard" >&2
+    exit 1
+fi
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_core > /dev/null
+
+OUT_DIR="$(mktemp -d)"
+trap 'rm -rf "$OUT_DIR"' EXIT
+"$BUILD_DIR/bench/bench_core" "$OUT_DIR/current.json" > /dev/null
+
+python3 - "$BASELINE" "$OUT_DIR/current.json" "$THRESHOLD" <<'EOF'
+import json, sys
+
+baseline_path, current_path, threshold = sys.argv[1], sys.argv[2], float(sys.argv[3])
+baseline = {r["name"]: r for r in json.load(open(baseline_path))["runs"]}
+current = {r["name"]: r for r in json.load(open(current_path))["runs"]}
+
+failed = []
+for name, base in sorted(baseline.items()):
+    cur = current.get(name)
+    if cur is None:
+        print(f"bench_guard: note: baseline config '{name}' not in current run")
+        continue
+    if cur["simCycles"] != base["simCycles"]:
+        # A simCycles change is a timing-model change, not a perf
+        # regression; the golden-cycle tests are the gate for that.
+        print(f"bench_guard: note: {name} simCycles changed "
+              f"{base['simCycles']} -> {cur['simCycles']} (model change?)")
+    ratio = cur["hostMs"] / base["hostMs"] if base["hostMs"] > 0 else 1.0
+    verdict = "FAIL" if ratio > 1 + threshold / 100 else "ok"
+    print(f"bench_guard: {verdict:4} {name:24} "
+          f"{base['hostMs']:9.2f}ms -> {cur['hostMs']:9.2f}ms  ({ratio:5.2f}x)")
+    if verdict == "FAIL":
+        failed.append(name)
+
+for name in sorted(set(current) - set(baseline)):
+    print(f"bench_guard: note: new config '{name}' has no baseline")
+
+if failed:
+    print(f"bench_guard: {len(failed)} config(s) regressed more than "
+          f"{threshold:.0f}% vs {baseline_path}: {', '.join(failed)}")
+    sys.exit(1)
+print("bench_guard: all configs within threshold")
+EOF

@@ -48,4 +48,11 @@ DEADLOCK_OUT="$("$BUILD_DIR/examples/deadlock_demo")"
 echo "$DEADLOCK_OUT" | grep -q 'parked reader'
 echo "$DEADLOCK_OUT" | grep -q 'reader <u'
 
+# --- Optional throughput guard -------------------------------------
+# CHECK=1 also runs the bench_core regression guard (a separate
+# non-sanitized build; sanitizer overhead would swamp the timings).
+if [[ "${CHECK:-0}" == "1" ]]; then
+    scripts/bench_guard.sh
+fi
+
 echo "check.sh: sanitizer build + tests + observability gates passed"

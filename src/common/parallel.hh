@@ -1,0 +1,92 @@
+/**
+ * @file
+ * A persistent worker pool for deterministic parallel simulation.
+ *
+ * The machines shard their processing elements across host threads and
+ * run each simulated cycle as a two-phase tick: phase A computes every
+ * shard's cycle into thread-local staging buffers, then — after the
+ * pool's barrier — phase B commits the buffered effects in shard-index
+ * order on the caller's thread. The pool provides exactly the primitive
+ * that shape needs: run(fn) executes fn(shard) once per shard, with the
+ * caller participating as shard 0, and returns only when every shard
+ * has finished.
+ *
+ * Design points:
+ *  - Workers are created once and parked between ticks; a tick costs
+ *    two generation-counted barrier crossings, not thread creation.
+ *  - Waiting spins briefly and then yields; the pool targets machines
+ *    where every hardware thread is running a shard, so sleeping on a
+ *    condition variable per tick would dominate short cycles.
+ *  - Exceptions thrown by shard functions are captured and the
+ *    lowest-indexed shard's exception is rethrown from run() after the
+ *    barrier, so a failing cycle cannot leave workers running.
+ *  - The destructor joins all workers; it must not be called from a
+ *    shard function.
+ */
+
+#ifndef TTDA_COMMON_PARALLEL_HH
+#define TTDA_COMMON_PARALLEL_HH
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace sim
+{
+
+/** Persistent thread team executing one function per shard. */
+class WorkerPool
+{
+  public:
+    /**
+     * @param threads total shard count, including the calling thread;
+     *                clamped below by 1. `threads - 1` host threads are
+     *                spawned.
+     */
+    explicit WorkerPool(unsigned threads);
+
+    WorkerPool(const WorkerPool &) = delete;
+    WorkerPool &operator=(const WorkerPool &) = delete;
+
+    ~WorkerPool();
+
+    /** Shard count (spawned workers + the caller). */
+    unsigned size() const { return threads_; }
+
+    /**
+     * Run fn(shard) for every shard in [0, size()), the caller
+     * executing shard 0, and block until all shards complete. If any
+     * invocation threw, the exception of the lowest-indexed throwing
+     * shard is rethrown here (the others are discarded).
+     *
+     * Not reentrant: must not be called from inside a shard function.
+     */
+    void run(const std::function<void(unsigned)> &fn);
+
+  private:
+    void workerLoop(unsigned shard);
+    void runShard(unsigned shard);
+
+    /** Spin-then-yield wait until `flag` reaches `target`. */
+    static void await(const std::atomic<std::uint64_t> &flag,
+                      std::uint64_t target);
+
+    unsigned threads_;
+    std::vector<std::thread> workers_;
+
+    // Barrier state: epoch_ advances to publish a new task to the
+    // workers; done_ counts shards that finished the current epoch.
+    std::atomic<std::uint64_t> epoch_{0};
+    std::atomic<std::uint64_t> done_{0};
+    std::atomic<bool> stop_{false};
+    const std::function<void(unsigned)> *task_ = nullptr;
+
+    std::vector<std::exception_ptr> errors_;
+};
+
+} // namespace sim
+
+#endif // TTDA_COMMON_PARALLEL_HH

@@ -91,6 +91,19 @@ class Accumulator
         max_ = std::max(max_, v);
     }
 
+    /** Fold another accumulator's samples into this one. Exact for the
+     *  integer-valued quantities the machines sample (sums stay below
+     *  2^53), so merging per-shard accumulators in any order matches
+     *  sequential sampling bit-for-bit. */
+    void
+    merge(const Accumulator &other)
+    {
+        sum_ += other.sum_;
+        count_ += other.count_;
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+
     double sum() const { return sum_; }
     std::uint64_t count() const { return count_; }
     double mean() const { return count_ ? sum_ / count_ : 0.0; }
@@ -155,6 +168,20 @@ class Histogram
         std::size_t idx = static_cast<std::size_t>(v * invBinWidth_);
         idx = std::min(idx, bins_.size() - 1);
         bins_[idx] += n;
+    }
+
+    /** Fold another histogram (same geometry) into this one; used to
+     *  combine per-shard histograms after a parallel run. */
+    void
+    merge(const Histogram &other)
+    {
+        SIM_ASSERT_MSG(other.bins_.size() == bins_.size() &&
+                           other.binWidth_ == binWidth_,
+                       "merging histograms with different geometry");
+        for (std::size_t i = 0; i < bins_.size(); ++i)
+            bins_[i] += other.bins_[i];
+        underflow_ += other.underflow_;
+        acc_.merge(other.acc_);
     }
 
     const std::vector<std::uint64_t> &bins() const { return bins_; }

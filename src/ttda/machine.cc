@@ -32,6 +32,24 @@ sinceStamp(sim::Cycle now, std::uint32_t born)
     return static_cast<std::uint32_t>(now) - born;
 }
 
+/** Opcodes whose firing reads or mutates the shared ContextManager.
+ *  Context ids are interned in arrival order, and that order leaks
+ *  into tag hashes and thus PE mapping, so these fires must execute
+ *  in the serial phase to stay bit-identical across thread counts. */
+bool
+touchesContext(graph::Opcode op)
+{
+    switch (op) {
+      case graph::Opcode::LoopEntry:
+      case graph::Opcode::LoopExit:
+      case graph::Opcode::Apply:
+      case graph::Opcode::Return:
+        return true;
+      default:
+        return false;
+    }
+}
+
 std::unique_ptr<net::Network<graph::Token>>
 makeNetwork(const MachineConfig &cfg)
 {
@@ -68,7 +86,7 @@ makeNetwork(const MachineConfig &cfg)
 } // namespace
 
 Machine::Machine(const graph::Program &program, MachineConfig config)
-    : program_(program), cfg_(config), executor_(program, contexts_)
+    : program_(program), cfg_(config)
 {
     SIM_ASSERT_MSG(cfg_.numPEs >= 1, "machine needs at least one PE");
     program_.validate();
@@ -92,6 +110,41 @@ Machine::Machine(const graph::Program &program, MachineConfig config)
         observing_ = true;
         nameTraceTracks();
         net_->setTracer(cfg_.tracer, cfg_.numPEs);
+    }
+
+    // Shard the PEs across host threads: contiguous, near-equal
+    // ranges, so one shard's phase A walks its PEs in machine order.
+    threads_ = cfg_.threads == 0 ? 1 : cfg_.threads;
+    threads_ = std::min<std::uint32_t>(threads_, cfg_.numPEs);
+    shards_.reserve(threads_);
+    for (std::uint32_t s = 0; s < threads_; ++s) {
+        shards_.emplace_back(program_, contexts_);
+        shards_.back().first = s * cfg_.numPEs / threads_;
+        shards_.back().last = (s + 1) * cfg_.numPEs / threads_;
+    }
+    shardIdx_.resize(cfg_.numPEs);
+    for (std::uint32_t s = 0; s < threads_; ++s)
+        for (std::uint32_t p = shards_[s].first; p < shards_[s].last;
+             ++p)
+            shardIdx_[p] = s;
+    if (threads_ > 1) {
+        pool_ = std::make_unique<sim::WorkerPool>(threads_);
+        scanTask_ = [this](unsigned s) { scanShard(shards_[s]); };
+        cycleTask_ = [this](unsigned s) { shardCycle(shards_[s]); };
+    }
+    const bool tracing = cfg_.tracer && cfg_.tracer->active();
+    for (Shard &sh : shards_) {
+        if (tracing) {
+            // Pass-through when sequential (byte-identical traces),
+            // buffered when workers emit off the committing thread.
+            sh.trc.bind(cfg_.tracer, threads_ > 1);
+            sh.trcp = &sh.trc;
+        }
+        if (cfg_.trace) {
+            sh.dbg = threads_ > 1
+                         ? static_cast<std::ostream *>(&sh.dbgBuf)
+                         : cfg_.trace;
+        }
     }
 }
 
@@ -170,14 +223,13 @@ Machine::allocateGlobal(std::uint64_t n)
 }
 
 void
-Machine::route(sim::NodeId src, graph::Token t)
+Machine::route(Shard &sh, sim::NodeId src, graph::Token t)
 {
     const sim::NodeId dst = mapToken(t);
     t.pe = dst;
     if (cfg_.localBypass && dst == src) {
         pes_[src]->stats.bypassTokens.inc();
-        pes_[src]->inQ.push_back(std::move(t));
-        ++activeItems_;
+        pushInQ(sh, *pes_[src], std::move(t));
     } else {
         net_->send(src, dst, std::move(t));
     }
@@ -200,8 +252,7 @@ Machine::input(std::uint16_t cb, std::uint16_t param, graph::Value v)
         t.seq = tokenSeq_++;
     const sim::NodeId dst = mapToken(t);
     t.pe = dst;
-    pes_[dst]->inQ.push_back(std::move(t));
-    ++activeItems_;
+    pushInQ(shardOf(dst), *pes_[dst], std::move(t));
 }
 
 graph::IPtr
@@ -219,21 +270,21 @@ Machine::preload(const std::vector<graph::Value> &values)
 }
 
 void
-Machine::stepInput(Pe &pe, sim::NodeId id)
+Machine::stepInput(Shard &sh, Pe &pe, sim::NodeId id, bool defer)
 {
     // The waiting-matching section accepts one token per cycle; a
     // multi-cycle match holds the stage busy.
-    if (tickBusy(pe.matchBusy, pe.stats.matchBusyCycles))
+    if (tickBusy(sh, pe.matchBusy, pe.stats.matchBusyCycles))
         return;
     if (pe.inQ.empty())
         return;
     graph::Token tok = std::move(pe.inQ.front());
     pe.inQ.pop_front();
-    --activeItems_;
+    --sh.activeItems;
     pe.stats.tokensIn.inc();
-    if (cfg_.trace) {
-        *cfg_.trace << now_ << " pe" << tok.pe << " in    " << tok
-                    << "\n";
+    if (sh.dbg) {
+        *sh.dbg << now_ << " pe" << tok.pe << " in    " << tok
+                << "\n";
     }
 
     using graph::TokenKind;
@@ -241,23 +292,23 @@ Machine::stepInput(Pe &pe, sim::NodeId id)
       case TokenKind::Normal: {
         if (tok.nt == 1) {
             // Monadic tokens go straight to instruction fetch.
-            SIM_TRACE(cfg_.tracer, Fire, complete, id, kTidFetch,
+            SIM_TRACE(sh.trcp, Fire, complete, id, kTidFetch,
                       "fetch", now_, cfg_.fetchCycles,
                       sim::format("\"tag\":\"{}\",\"seq\":{}", tok.tag,
                                   tok.seq));
-            std::vector<graph::Value> ops = takeSlots(1);
+            std::vector<graph::Value> ops = takeSlots(sh, 1);
             ops[0] = std::move(tok.data);
             pe.fetchQ.push_back(ReadyOp{
                 graph::EnabledInstruction{tok.tag, std::move(ops)},
                 now_ + cfg_.fetchCycles, tok.born});
-            ++activeItems_;
+            ++sh.activeItems;
             break;
         }
         pe.stats.matchBusyCycles.inc();
         sim::Cycle busy = cfg_.matchCycles - 1;
         auto [it, inserted] = pe.waitStore.try_emplace(tok.tag);
         if (inserted) {
-            ++wmTotal_;
+            ++sh.wmEntries;
             if (cfg_.matchCapacity != 0 &&
                 pe.waitStore.size() > cfg_.matchCapacity)
             {
@@ -267,14 +318,14 @@ Machine::stepInput(Pe &pe, sim::NodeId id)
                 busy += cfg_.matchOverflowPenalty;
             }
         }
-        setBusy(pe.matchBusy, busy);
+        setBusy(sh, pe.matchBusy, busy);
         Waiting &w = it->second;
         if (w.expected == 0) {
             SIM_ASSERT_MSG(tok.nt <= 64,
                            "instruction with {} input ports exceeds "
                            "the matching bitmask", tok.nt);
             w.expected = tok.nt;
-            w.slots = takeSlots(tok.nt);
+            w.slots = takeSlots(sh, tok.nt);
             w.filled = 0;
         }
         SIM_ASSERT_MSG(tok.port < w.expected,
@@ -290,22 +341,22 @@ Machine::stepInput(Pe &pe, sim::NodeId id)
         pe.stats.waitStorePeak = std::max<std::uint64_t>(
             pe.stats.waitStorePeak, pe.waitStore.size());
         if (w.arrived == w.expected) {
-            SIM_TRACE(cfg_.tracer, Wm, complete, id, kTidWm, "match",
+            SIM_TRACE(sh.trcp, Wm, complete, id, kTidWm, "match",
                       now_, busy + 1,
                       sim::format("\"tag\":\"{}\",\"seq\":{}", tok.tag,
                                   tok.seq));
-            SIM_TRACE(cfg_.tracer, Fire, complete, id, kTidFetch,
+            SIM_TRACE(sh.trcp, Fire, complete, id, kTidFetch,
                       "fetch", now_, cfg_.fetchCycles,
                       sim::format("\"tag\":\"{}\"", tok.tag));
             auto node = pe.waitStore.extract(it);
-            --wmTotal_;
+            --sh.wmEntries;
             pe.fetchQ.push_back(ReadyOp{
                 graph::EnabledInstruction{
                     tok.tag, std::move(node.mapped().slots)},
                 now_ + cfg_.fetchCycles, tok.born});
-            ++activeItems_;
+            ++sh.activeItems;
         } else {
-            SIM_TRACE(cfg_.tracer, Wm, instant, id, kTidWm, "enq",
+            SIM_TRACE(sh.trcp, Wm, instant, id, kTidWm, "enq",
                       now_,
                       sim::format("\"tag\":\"{}\",\"port\":{},"
                                   "\"arrived\":{},\"expected\":{}",
@@ -322,32 +373,58 @@ Machine::stepInput(Pe &pe, sim::NodeId id)
       case TokenKind::IsAlloc:
       case TokenKind::IsAppend:
         pe.isQ.push_back(std::move(tok));
-        ++activeItems_;
+        ++sh.activeItems;
         break;
 
       case TokenKind::Output:
-        if (cfg_.trace) {
-            *cfg_.trace << now_ << " OUTPUT " << tok.data << "\n";
+        if (sh.dbg) {
+            *sh.dbg << now_ << " OUTPUT " << tok.data << "\n";
         }
-        SIM_TRACE(cfg_.tracer, Sched, instant, id, kTidWm, "result",
+        SIM_TRACE(sh.trcp, Sched, instant, id, kTidWm, "result",
                   now_,
                   sim::format("\"value\":\"{}\",\"seq\":{}", tok.data,
                               tok.seq));
-        outputs_.push_back(OutputRecord{tok.tag, std::move(tok.data)});
+        if (defer) {
+            // The host list is shared; append at commit, in PE order.
+            pe.stage.output =
+                OutputRecord{tok.tag, std::move(tok.data)};
+            pe.stage.hasOutput = true;
+        } else {
+            outputs_.push_back(
+                OutputRecord{tok.tag, std::move(tok.data)});
+        }
         break;
     }
 }
 
 void
-Machine::stepAlu(Pe &pe, sim::NodeId id)
+Machine::emitNew(Shard &sh, Pe &pe, std::vector<graph::Token> *staged,
+                 graph::Token &&t)
 {
-    if (tickBusy(pe.aluBusy, pe.stats.aluBusyCycles))
+    if (observing_)
+        t.born = stamp(now_);
+    if (staged) {
+        // Token::seq is a global creation sequence; the commit phase
+        // stamps staged tokens in PE-index order.
+        staged->push_back(std::move(t));
+        return;
+    }
+    if (observing_)
+        t.seq = tokenSeq_++;
+    pe.outQ.push_back(std::move(t));
+    ++sh.activeItems;
+}
+
+void
+Machine::stepAlu(Shard &sh, Pe &pe, sim::NodeId id, bool defer)
+{
+    if (tickBusy(sh, pe.aluBusy, pe.stats.aluBusyCycles))
         return;
     if (pe.fetchQ.empty() || pe.fetchQ.front().readyAt > now_)
         return;
     ReadyOp op = std::move(pe.fetchQ.front());
     pe.fetchQ.pop_front();
-    --activeItems_;
+    --sh.activeItems;
 
     // Append the compile-time constant, if any, as the last operand.
     const graph::Instruction &in = program_.instruction(
@@ -355,94 +432,84 @@ Machine::stepAlu(Pe &pe, sim::NodeId id)
     if (in.constant)
         op.enabled.operands.push_back(*in.constant);
 
-    if (cfg_.trace) {
-        *cfg_.trace << now_ << " fire  " << op.enabled.tag << " "
-                    << graph::opcodeName(in.op) << "\n";
+    if (sh.dbg) {
+        *sh.dbg << now_ << " fire  " << op.enabled.tag << " "
+                << graph::opcodeName(in.op) << "\n";
     }
     const sim::Cycle lat = aluLatency_[static_cast<std::size_t>(in.op)];
     if (observing_)
-        birthToFire_.sample(sinceStamp(now_, op.born));
-    SIM_TRACE(cfg_.tracer, Fire, complete, id, kTidAlu,
+        sh.birthToFire.sample(sinceStamp(now_, op.born));
+    SIM_TRACE(sh.trcp, Fire, complete, id, kTidAlu,
               graph::opcodeName(in.op), now_, lat,
               sim::format("\"tag\":\"{}\",\"wait\":{}", op.enabled.tag,
                           sinceStamp(now_, op.born)));
-    fireBuf_.clear();
-    executor_.execute(op.enabled, fireBuf_);
-    recycleSlots(std::move(op.enabled.operands));
     pe.stats.fired.inc();
     pe.stats.aluBusyCycles.inc();
-    setBusy(pe.aluBusy, lat - 1);
-    for (auto &t : fireBuf_) {
-        if (observing_) {
-            t.seq = tokenSeq_++;
-            t.born = stamp(now_);
+    setBusy(sh, pe.aluBusy, lat - 1);
+
+    if (defer && touchesContext(in.op)) {
+        // Context interning/release is order-sensitive shared state;
+        // run this fire in the commit phase (timing is already done —
+        // only the token product moves).
+        pe.stage.pendingFire = std::move(op);
+        pe.stage.fireDeferred = true;
+        return;
+    }
+    sh.fireBuf.clear();
+    sh.exec.execute(op.enabled, sh.fireBuf);
+    recycleSlots(sh, std::move(op.enabled.operands));
+    for (auto &t : sh.fireBuf)
+        emitNew(sh, pe, defer ? &pe.stage.emitFire : nullptr,
+                std::move(t));
+}
+
+void
+Machine::serveDeferred(
+    Shard &sh, Pe &pe, sim::NodeId id, graph::TokenKind cause,
+    std::vector<std::pair<graph::IsCont, graph::Value>> &served,
+    std::vector<graph::Token> *staged)
+{
+    using graph::TokenKind;
+    for (auto &[cont, value] : served) {
+        graph::Token t;
+        if (cont.toCell) {
+            // A copy target: forward the datum as a store to the new
+            // structure's cell (routed to its controller).
+            t.kind = TokenKind::IsStore;
+            t.addr = cont.cellAddr;
+            t.data = value;
+        } else {
+            t.kind = TokenKind::Normal;
+            t.tag = cont.cont.tag;
+            t.port = cont.cont.port;
+            t.nt = cont.cont.nt;
+            t.data = value;
+            // Read-issue-to-response latency; a response emitted by a
+            // STORE (or a copy's write) is a read that sat deferred.
+            if (observing_)
+                sh.readLatency.sample(sinceStamp(now_, cont.born));
+            if (cause != TokenKind::IsFetch) {
+                SIM_TRACE(sh.trcp, Istr, instant, id, kTidIstr,
+                          "serve", now_,
+                          sim::format("\"reader\":\"{}\",\"lat\":{}",
+                                      cont.cont.tag,
+                                      sinceStamp(now_, cont.born)));
+            }
         }
-        pe.outQ.push_back(std::move(t));
-        ++activeItems_;
+        emitNew(sh, pe, staged, std::move(t));
     }
 }
 
 void
-Machine::stepIs(Pe &pe, sim::NodeId id)
+Machine::applyAllocAppend(Shard &sh, Pe &pe, sim::NodeId id,
+                          graph::Token tok)
 {
-    if (tickBusy(pe.isBusy, pe.stats.isBusyCycles))
-        return;
-    if (pe.isQ.empty())
-        return;
-    graph::Token tok = std::move(pe.isQ.front());
-    pe.isQ.pop_front();
-    --activeItems_;
-    pe.stats.isBusyCycles.inc();
-
     std::vector<std::pair<graph::IsCont, graph::Value>> served;
     using graph::TokenKind;
-    switch (tok.kind) {
-      case TokenKind::IsFetch: {
-        SIM_ASSERT_MSG(tok.addr % cfg_.numPEs == id,
-                       "i-structure fetch for word {} misrouted to PE "
-                       "{}", tok.addr, id);
-        setBusy(pe.isBusy, cfg_.isReadCycles - 1);
-        SIM_TRACE(cfg_.tracer, Istr, complete, id, kTidIstr, "read",
-                  now_, cfg_.isReadCycles,
-                  sim::format("\"addr\":{}", tok.addr));
-        // Without lifecycle stamping the token's born field is 0; use
-        // the controller arrival cycle so the deadlock report still
-        // dates parked reads.
-        if (!pe.isStore.fetch(tok.addr / cfg_.numPEs,
-                              graph::IsCont{.born = observing_
-                                                ? tok.born
-                                                : stamp(now_),
-                                            .cont = tok.reply},
-                              served))
-        {
-            SIM_TRACE(cfg_.tracer, Istr, instant, id, kTidIstr,
-                      "defer", now_,
-                      sim::format("\"addr\":{},\"reader\":\"{}\"",
-                                  tok.addr, tok.reply.tag));
-        }
-        break;
-      }
-      case TokenKind::IsStore: {
-        SIM_ASSERT_MSG(tok.addr % cfg_.numPEs == id,
-                       "i-structure store for word {} misrouted to PE "
-                       "{}", tok.addr, id);
-        setBusy(pe.isBusy, cfg_.isWriteCycles - 1);
-        SIM_TRACE(cfg_.tracer, Istr, complete, id, kTidIstr, "write",
-                  now_, cfg_.isWriteCycles,
-                  sim::format("\"addr\":{}", tok.addr));
-        if (!pe.isStore.store(tok.addr / cfg_.numPEs, tok.data,
-                              served))
-        {
-            sim::warn("machine: multiple write to i-structure cell {}",
-                      tok.addr);
-        }
-        break;
-      }
-      case TokenKind::IsAlloc: {
-        setBusy(pe.isBusy, cfg_.isReadCycles - 1);
+    if (tok.kind == TokenKind::IsAlloc) {
         const auto n = static_cast<std::uint64_t>(tok.data.asInt());
         const std::uint64_t base = allocateGlobal(n);
-        SIM_TRACE(cfg_.tracer, Istr, complete, id, kTidIstr, "alloc",
+        SIM_TRACE(sh.trcp, Istr, complete, id, kTidIstr, "alloc",
                   now_, cfg_.isReadCycles,
                   sim::format("\"base\":{},\"words\":{}", base, n));
         graph::Token reply;
@@ -452,15 +519,8 @@ Machine::stepIs(Pe &pe, sim::NodeId id)
         reply.nt = tok.reply.nt;
         reply.data = graph::Value{
             graph::IPtr{base, static_cast<std::uint32_t>(n)}};
-        if (observing_) {
-            reply.seq = tokenSeq_++;
-            reply.born = stamp(now_);
-        }
-        pe.outQ.push_back(std::move(reply));
-        ++activeItems_;
-        break;
-      }
-      case TokenKind::IsAppend: {
+        emitNew(sh, pe, nullptr, std::move(reply));
+    } else {
         // Functional update: allocate and copy. The copy touches
         // cells on every PE; it is modelled as a block operation of
         // this controller charged read+write time per element (the
@@ -474,9 +534,8 @@ Machine::stepIs(Pe &pe, sim::NodeId id)
             len > 0 ? static_cast<sim::Cycle>(len) *
                           (cfg_.isReadCycles + cfg_.isWriteCycles)
                     : cfg_.isReadCycles;
-        setBusy(pe.isBusy, appendCost - 1);
         const std::uint64_t base = allocateGlobal(len);
-        SIM_TRACE(cfg_.tracer, Istr, complete, id, kTidIstr, "append",
+        SIM_TRACE(sh.trcp, Istr, complete, id, kTidIstr, "append",
                   now_, appendCost,
                   sim::format("\"src\":{},\"dst\":{},\"len\":{}",
                               tok.addr, base, len));
@@ -505,88 +564,193 @@ Machine::stepIs(Pe &pe, sim::NodeId id)
         reply.port = tok.reply.port;
         reply.nt = tok.reply.nt;
         reply.data = graph::Value{graph::IPtr{base, len}};
-        if (observing_) {
-            reply.seq = tokenSeq_++;
-            reply.born = stamp(now_);
+        emitNew(sh, pe, nullptr, std::move(reply));
+    }
+    serveDeferred(sh, pe, id, tok.kind, served, nullptr);
+}
+
+void
+Machine::stepIs(Shard &sh, Pe &pe, sim::NodeId id, bool defer)
+{
+    if (tickBusy(sh, pe.isBusy, pe.stats.isBusyCycles))
+        return;
+    if (pe.isQ.empty())
+        return;
+    graph::Token tok = std::move(pe.isQ.front());
+    pe.isQ.pop_front();
+    --sh.activeItems;
+    pe.stats.isBusyCycles.inc();
+
+    std::vector<std::pair<graph::IsCont, graph::Value>> served;
+    using graph::TokenKind;
+    switch (tok.kind) {
+      case TokenKind::IsFetch: {
+        SIM_ASSERT_MSG(tok.addr % cfg_.numPEs == id,
+                       "i-structure fetch for word {} misrouted to PE "
+                       "{}", tok.addr, id);
+        setBusy(sh, pe.isBusy, cfg_.isReadCycles - 1);
+        SIM_TRACE(sh.trcp, Istr, complete, id, kTidIstr, "read",
+                  now_, cfg_.isReadCycles,
+                  sim::format("\"addr\":{}", tok.addr));
+        // Without lifecycle stamping the token's born field is 0; use
+        // the controller arrival cycle so the deadlock report still
+        // dates parked reads.
+        if (!pe.isStore.fetch(tok.addr / cfg_.numPEs,
+                              graph::IsCont{.born = observing_
+                                                ? tok.born
+                                                : stamp(now_),
+                                            .cont = tok.reply},
+                              served))
+        {
+            SIM_TRACE(sh.trcp, Istr, instant, id, kTidIstr,
+                      "defer", now_,
+                      sim::format("\"addr\":{},\"reader\":\"{}\"",
+                                  tok.addr, tok.reply.tag));
         }
-        pe.outQ.push_back(std::move(reply));
-        ++activeItems_;
         break;
+      }
+      case TokenKind::IsStore: {
+        SIM_ASSERT_MSG(tok.addr % cfg_.numPEs == id,
+                       "i-structure store for word {} misrouted to PE "
+                       "{}", tok.addr, id);
+        setBusy(sh, pe.isBusy, cfg_.isWriteCycles - 1);
+        SIM_TRACE(sh.trcp, Istr, complete, id, kTidIstr, "write",
+                  now_, cfg_.isWriteCycles,
+                  sim::format("\"addr\":{}", tok.addr));
+        if (!pe.isStore.store(tok.addr / cfg_.numPEs, tok.data,
+                              served))
+        {
+            sim::warn("machine: multiple write to i-structure cell {}",
+                      tok.addr);
+        }
+        break;
+      }
+      case TokenKind::IsAlloc: {
+        setBusy(sh, pe.isBusy, cfg_.isReadCycles - 1);
+        if (defer) {
+            // Global allocation is a shared bump pointer; apply the
+            // effects at commit (timing is already charged).
+            pe.stage.pendingIs = std::move(tok);
+            pe.stage.isDeferred = true;
+            return;
+        }
+        applyAllocAppend(sh, pe, id, std::move(tok));
+        return;
+      }
+      case TokenKind::IsAppend: {
+        SIM_ASSERT_MSG(!defer,
+                       "APPEND reached a phase-A I-structure step; "
+                       "the serial-IS fallback should have fired");
+        SIM_ASSERT(sh.pendingAppends > 0);
+        --sh.pendingAppends;
+        const auto len = static_cast<std::uint32_t>(tok.aux >> 32);
+        const sim::Cycle appendCost =
+            len > 0 ? static_cast<sim::Cycle>(len) *
+                          (cfg_.isReadCycles + cfg_.isWriteCycles)
+                    : cfg_.isReadCycles;
+        setBusy(sh, pe.isBusy, appendCost - 1);
+        applyAllocAppend(sh, pe, id, std::move(tok));
+        return;
       }
       default:
         sim::panic("non-structure token in i-structure queue");
     }
 
-    for (auto &[cont, value] : served) {
-        graph::Token t;
-        if (cont.toCell) {
-            // A copy target: forward the datum as a store to the new
-            // structure's cell (routed to its controller).
-            t.kind = TokenKind::IsStore;
-            t.addr = cont.cellAddr;
-            t.data = value;
-        } else {
-            t.kind = TokenKind::Normal;
-            t.tag = cont.cont.tag;
-            t.port = cont.cont.port;
-            t.nt = cont.cont.nt;
-            t.data = value;
-            // Read-issue-to-response latency; a response emitted by a
-            // STORE (or a copy's write) is a read that sat deferred.
-            if (observing_)
-                readLatency_.sample(sinceStamp(now_, cont.born));
-            if (tok.kind != TokenKind::IsFetch) {
-                SIM_TRACE(cfg_.tracer, Istr, instant, id, kTidIstr,
-                          "serve", now_,
-                          sim::format("\"reader\":\"{}\",\"lat\":{}",
-                                      cont.cont.tag,
-                                      sinceStamp(now_, cont.born)));
-            }
-        }
-        if (observing_) {
-            t.seq = tokenSeq_++;
-            t.born = stamp(now_);
-        }
-        pe.outQ.push_back(std::move(t));
-        ++activeItems_;
-    }
+    serveDeferred(sh, pe, id, tok.kind, served,
+                  defer ? &pe.stage.emitIs : nullptr);
 }
 
 void
-Machine::stepOutput(Pe &pe, sim::NodeId id)
+Machine::stepOutput(Shard &sh, Pe &pe, sim::NodeId id, bool defer)
 {
-    for (std::uint32_t k = 0;
-         k < cfg_.outputBandwidth && !pe.outQ.empty(); ++k)
-    {
-        graph::Token t = std::move(pe.outQ.front());
-        pe.outQ.pop_front();
-        --activeItems_;
+    if (!defer) {
+        for (std::uint32_t k = 0;
+             k < cfg_.outputBandwidth && !pe.outQ.empty(); ++k)
+        {
+            graph::Token t = std::move(pe.outQ.front());
+            pe.outQ.pop_front();
+            --sh.activeItems;
+            pe.stats.outputTokens.inc();
+            SIM_TRACE(sh.trcp, Sched, instant, id, kTidOutput, "out",
+                      now_, sim::format("\"seq\":{}", t.seq));
+            route(sh, id, std::move(t));
+        }
+        return;
+    }
+
+    // Phase A: decide the pop order (carried-over outQ tokens first,
+    // then this cycle's fires, then structure responses — exactly the
+    // order the sequential engine sees in outQ) and precompute each
+    // token's destination. Routing happens at commit so network
+    // injection order is PE-index order.
+    Staging &st = pe.stage;
+    for (std::uint32_t k = 0; k < cfg_.outputBandwidth; ++k) {
+        graph::Token t;
+        bool fresh;
+        if (!pe.outQ.empty()) {
+            t = std::move(pe.outQ.front());
+            pe.outQ.pop_front();
+            --sh.activeItems;
+            fresh = false;
+        } else if (st.fireUsed < st.emitFire.size()) {
+            t = std::move(st.emitFire[st.fireUsed++]);
+            fresh = true;
+        } else if (st.isUsed < st.emitIs.size()) {
+            t = std::move(st.emitIs[st.isUsed++]);
+            fresh = true;
+        } else {
+            break;
+        }
         pe.stats.outputTokens.inc();
-        SIM_TRACE(cfg_.tracer, Sched, instant, id, kTidOutput, "out",
-                  now_, sim::format("\"seq\":{}", t.seq));
-        route(id, std::move(t));
+        t.pe = mapToken(t);
+        st.outPlan.push_back(std::move(t));
+        st.outFresh.push_back(fresh ? 1 : 0);
     }
 }
 
 bool
 Machine::idle() const
 {
-    // activeItems_ and busyStages_ are maintained incrementally at
-    // every queue push/pop and busy-countdown transition, so going
-    // idle is a constant-time check instead of an O(numPEs) sweep.
-    return activeItems_ == 0 && busyStages_ == 0 && net_->idle();
+    // Occupancy is maintained incrementally, per shard, at every queue
+    // push/pop and busy-countdown transition; going idle is a sum over
+    // a handful of shards instead of an O(numPEs) sweep.
+    std::uint64_t items = 0;
+    std::uint32_t busy = 0;
+    for (const Shard &sh : shards_) {
+        items += sh.activeItems;
+        busy += sh.busyStages;
+    }
+    return items == 0 && busy == 0 && net_->idle();
+}
+
+std::uint64_t
+Machine::wmTotal() const
+{
+    std::uint64_t n = 0;
+    for (const Shard &sh : shards_)
+        n += sh.wmEntries;
+    return n;
+}
+
+std::uint64_t
+Machine::pendingAppendsTotal() const
+{
+    std::uint64_t n = 0;
+    for (const Shard &sh : shards_)
+        n += sh.pendingAppends;
+    return n;
 }
 
 void
-Machine::skipAhead()
+Machine::scanShard(Shard &sh)
 {
-    // Earliest cycle at which any pipeline stage or the network can
-    // act. A stage draining a busy countdown next acts when the
-    // countdown expires; a non-empty queue behind an idle stage acts
-    // now; the fetch pipeline also waits for the head's readyAt.
+    // Earliest cycle at which any owned pipeline stage can act. A
+    // stage draining a busy countdown next acts when the countdown
+    // expires; a non-empty queue behind an idle stage acts now; the
+    // fetch pipeline also waits for the head's readyAt.
     sim::Cycle next = sim::neverCycle;
-    for (const auto &pe_ptr : pes_) {
-        const Pe &pe = *pe_ptr;
+    for (std::uint32_t p = sh.first; p < sh.last; ++p) {
+        const Pe &pe = *pes_[p];
         if (pe.matchBusy > 0 || !pe.inQ.empty())
             next = std::min(next, now_ + pe.matchBusy);
         if (pe.aluBusy > 0 || !pe.fetchQ.empty()) {
@@ -600,9 +764,17 @@ Machine::skipAhead()
         if (!pe.outQ.empty())
             next = std::min(next, now_);
         if (next <= now_)
-            return; // something is due this very cycle
+            break; // something is due this very cycle
     }
-    next = std::min(next, net_->nextDelivery());
+    sh.next = next;
+}
+
+void
+Machine::skipAhead()
+{
+    Shard &sh = shards_.front();
+    scanShard(sh);
+    const sim::Cycle next = std::min(sh.next, net_->nextDelivery());
     if (next <= now_)
         return;
     SIM_ASSERT_MSG(next != sim::neverCycle,
@@ -615,11 +787,11 @@ Machine::skipAhead()
     const sim::Cycle delta = next - now_;
     for (const auto &pe_ptr : pes_) {
         Pe &pe = *pe_ptr;
-        batchBusy(pe.matchBusy, pe.stats.matchBusyCycles, delta);
-        batchBusy(pe.aluBusy, pe.stats.aluBusyCycles, delta);
-        batchBusy(pe.isBusy, pe.stats.isBusyCycles, delta);
+        batchBusy(sh, pe.matchBusy, pe.stats.matchBusyCycles, delta);
+        batchBusy(sh, pe.aluBusy, pe.stats.aluBusyCycles, delta);
+        batchBusy(sh, pe.isBusy, pe.stats.isBusyCycles, delta);
     }
-    wmResidency_.sample(static_cast<double>(wmTotal_), delta);
+    wmResidency_.sample(static_cast<double>(wmTotal()), delta);
     // Resynchronize the network's internal clock so tokens sent in the
     // first iteration after the jump get the correct issue stamp. By
     // the nextDelivery() contract nothing can retire before `next`, so
@@ -631,9 +803,188 @@ Machine::skipAhead()
                    cfg_.maxCycles);
 }
 
-std::vector<OutputRecord>
-Machine::run()
+void
+Machine::skipParallel()
 {
+    // The per-shard scans run in parallel; the min-reduction over
+    // shard results and the network query stay on the calling thread.
+    pool_->run(scanTask_);
+    sim::Cycle next = net_->nextDelivery();
+    for (const Shard &sh : shards_)
+        next = std::min(next, sh.next);
+    if (next <= now_)
+        return;
+    SIM_ASSERT_MSG(next != sim::neverCycle,
+                   "skip-ahead with no pending event (idle() bug)");
+
+    const sim::Cycle delta = next - now_;
+    for (std::uint32_t p = 0; p < cfg_.numPEs; ++p) {
+        Shard &sh = shardOf(p);
+        Pe &pe = *pes_[p];
+        batchBusy(sh, pe.matchBusy, pe.stats.matchBusyCycles, delta);
+        batchBusy(sh, pe.aluBusy, pe.stats.aluBusyCycles, delta);
+        batchBusy(sh, pe.isBusy, pe.stats.isBusyCycles, delta);
+    }
+    wmResidency_.sample(static_cast<double>(wmTotal()), delta);
+    net_->step(next - 1);
+    now_ = next;
+    SIM_ASSERT_MSG(now_ < cfg_.maxCycles,
+                   "machine exceeded {} cycles; livelock?",
+                   cfg_.maxCycles);
+}
+
+void
+Machine::shardCycle(Shard &sh)
+{
+    const bool serialIs = serialIsCycle_;
+    for (std::uint32_t p = sh.first; p < sh.last; ++p) {
+        Pe &pe = *pes_[p];
+        Staging &st = pe.stage;
+        st.emitFire.clear();
+        st.emitIs.clear();
+        st.fireUsed = 0;
+        st.isUsed = 0;
+        st.outPlan.clear();
+        st.outFresh.clear();
+        st.fireDeferred = false;
+        st.isDeferred = false;
+        st.hasOutput = false;
+
+        stepInput(sh, pe, p, true);
+        stepAlu(sh, pe, p, true);
+        if (!serialIs)
+            stepIs(sh, pe, p, true);
+        st.tailDeferred =
+            serialIs || st.fireDeferred || st.isDeferred;
+        if (!st.tailDeferred)
+            stepOutput(sh, pe, p, true);
+    }
+}
+
+void
+Machine::commitFire(Shard &sh, Pe &pe)
+{
+    Staging &st = pe.stage;
+    if (st.fireDeferred) {
+        st.fireDeferred = false;
+        ReadyOp op = std::move(st.pendingFire);
+        sh.fireBuf.clear();
+        sh.exec.execute(op.enabled, sh.fireBuf);
+        recycleSlots(sh, std::move(op.enabled.operands));
+        for (auto &t : sh.fireBuf)
+            emitNew(sh, pe, nullptr, std::move(t));
+        return;
+    }
+    commitEmit(sh, pe, st.emitFire, 0);
+}
+
+void
+Machine::commitEmit(Shard &sh, Pe &pe, std::vector<graph::Token> &vec,
+                    std::size_t used)
+{
+    for (std::size_t i = used; i < vec.size(); ++i) {
+        graph::Token &t = vec[i];
+        if (observing_)
+            t.seq = tokenSeq_++;
+        pe.outQ.push_back(std::move(t));
+        ++sh.activeItems;
+    }
+    vec.clear();
+}
+
+void
+Machine::commitStagedOutput(Shard &sh, Pe &pe, sim::NodeId id)
+{
+    Staging &st = pe.stage;
+    if (observing_) {
+        // Global sequence stamps in creation order: the consumed
+        // prefix first (pop order equals creation order for fresh
+        // tokens: outQ drains before emitFire, emitFire before
+        // emitIs), then the leftovers.
+        for (std::size_t i = 0; i < st.outPlan.size(); ++i)
+            if (st.outFresh[i])
+                st.outPlan[i].seq = tokenSeq_++;
+        for (std::size_t i = st.fireUsed; i < st.emitFire.size(); ++i)
+            st.emitFire[i].seq = tokenSeq_++;
+        for (std::size_t i = st.isUsed; i < st.emitIs.size(); ++i)
+            st.emitIs[i].seq = tokenSeq_++;
+    }
+    for (auto &t : st.outPlan) {
+        SIM_TRACE(sh.trcp, Sched, instant, id, kTidOutput, "out",
+                  now_, sim::format("\"seq\":{}", t.seq));
+        const sim::NodeId dst = t.pe;
+        if (cfg_.localBypass && dst == id) {
+            pe.stats.bypassTokens.inc();
+            pushInQ(sh, pe, std::move(t));
+        } else {
+            net_->send(id, dst, std::move(t));
+        }
+    }
+    st.outPlan.clear();
+    st.outFresh.clear();
+    // Tokens the bandwidth-limited output section did not take stay
+    // queued for later cycles.
+    for (std::size_t i = st.fireUsed; i < st.emitFire.size(); ++i) {
+        pe.outQ.push_back(std::move(st.emitFire[i]));
+        ++sh.activeItems;
+    }
+    st.emitFire.clear();
+    for (std::size_t i = st.isUsed; i < st.emitIs.size(); ++i) {
+        pe.outQ.push_back(std::move(st.emitIs[i]));
+        ++sh.activeItems;
+    }
+    st.emitIs.clear();
+}
+
+void
+Machine::commitCycle()
+{
+    for (std::uint32_t p = 0; p < cfg_.numPEs; ++p) {
+        Shard &sh = shardOf(p);
+        Pe &pe = *pes_[p];
+        Staging &st = pe.stage;
+        if (st.hasOutput) {
+            st.hasOutput = false;
+            outputs_.push_back(std::move(st.output));
+        }
+        if (serialIsCycle_) {
+            // An APPEND may touch every controller: replay the whole
+            // I-structure step (and the tail) serially this cycle.
+            commitFire(sh, pe);
+            stepIs(sh, pe, p, false);
+            stepOutput(sh, pe, p, false);
+        } else if (st.tailDeferred) {
+            commitFire(sh, pe);
+            if (st.isDeferred) {
+                st.isDeferred = false;
+                applyAllocAppend(sh, pe, p, std::move(st.pendingIs));
+            } else {
+                commitEmit(sh, pe, st.emitIs, 0);
+            }
+            stepOutput(sh, pe, p, false);
+        } else {
+            commitStagedOutput(sh, pe, p);
+        }
+    }
+}
+
+void
+Machine::flushShardLogs()
+{
+    for (Shard &sh : shards_) {
+        if (sh.trcp)
+            sh.trc.flush();
+        if (cfg_.trace && sh.dbg == &sh.dbgBuf) {
+            *cfg_.trace << sh.dbgBuf.str();
+            sh.dbgBuf.str(std::string());
+        }
+    }
+}
+
+void
+Machine::runSequential()
+{
+    Shard &sh = shards_.front();
     while (!idle()) {
         // Jump over cycles in which nothing can happen. The jump may
         // drain the last busy countdowns and reach quiescence exactly
@@ -643,23 +994,67 @@ Machine::run()
             break;
         for (std::uint32_t p = 0; p < cfg_.numPEs; ++p) {
             Pe &pe = *pes_[p];
-            stepInput(pe, p);
-            stepAlu(pe, p);
-            stepIs(pe, p);
-            stepOutput(pe, p);
+            stepInput(sh, pe, p, false);
+            stepAlu(sh, pe, p, false);
+            stepIs(sh, pe, p, false);
+            stepOutput(sh, pe, p, false);
         }
         net_->step(now_);
         ++now_;
         for (std::uint32_t p = 0; p < cfg_.numPEs; ++p) {
-            if (auto tok = net_->receive(p)) {
-                pes_[p]->inQ.push_back(std::move(*tok));
-                ++activeItems_;
-            }
+            if (auto tok = net_->receive(p))
+                pushInQ(sh, *pes_[p], std::move(*tok));
         }
-        wmResidency_.sample(static_cast<double>(wmTotal_));
+        wmResidency_.sample(static_cast<double>(wmTotal()));
         SIM_ASSERT_MSG(now_ < cfg_.maxCycles,
                        "machine exceeded {} cycles; livelock?",
                        cfg_.maxCycles);
+    }
+}
+
+void
+Machine::runParallel()
+{
+    while (!idle()) {
+        skipParallel();
+        if (idle())
+            break;
+        // The serial-IS fallback: while any APPEND is in flight in an
+        // input or structure queue, this cycle's I-structure steps
+        // (whose copy loops touch other PEs' stores) run in phase B.
+        serialIsCycle_ = pendingAppendsTotal() > 0;
+        pool_->run(cycleTask_);  // phase A
+        flushShardLogs();        // phase-A events, in shard order
+        commitCycle();           // phase B, in PE-index order
+        flushShardLogs();        // commit-phase events
+        net_->step(now_);
+        ++now_;
+        for (std::uint32_t p = 0; p < cfg_.numPEs; ++p) {
+            if (auto tok = net_->receive(p))
+                pushInQ(shardOf(p), *pes_[p], std::move(*tok));
+        }
+        wmResidency_.sample(static_cast<double>(wmTotal()));
+        SIM_ASSERT_MSG(now_ < cfg_.maxCycles,
+                       "machine exceeded {} cycles; livelock?",
+                       cfg_.maxCycles);
+    }
+}
+
+std::vector<OutputRecord>
+Machine::run()
+{
+    if (threads_ > 1)
+        runParallel();
+    else
+        runSequential();
+
+    // Merge the shard-local latency histograms into the machine-level
+    // ones, in shard order. Exact: the samples are integer-valued, so
+    // per-shard partial sums match sequential accumulation bit for
+    // bit.
+    for (Shard &sh : shards_) {
+        birthToFire_.merge(sh.birthToFire);
+        readLatency_.merge(sh.readLatency);
     }
 
     // Quiescent. Unmatched partners or parked reads mean deadlock.

@@ -22,6 +22,17 @@
  *
  * Global I-structure addresses interleave across PEs: word g lives on
  * PE (g mod numPEs) at local offset (g div numPEs).
+ *
+ * Parallel engine (MachineConfig::threads > 1): the PEs are sharded
+ * across host threads and each simulated cycle runs as a two-phase
+ * tick — phase A computes every PE's stage steps into per-PE staging
+ * buffers in parallel, phase B commits the staged effects in PE-index
+ * order on the calling thread. Anything whose sequential outcome
+ * depends on cross-PE ordering (context interning, global structure
+ * allocation, token sequence stamping, network injection) happens in
+ * phase B, so the results are bit-identical to the sequential engine
+ * for any thread count (see docs/ARCHITECTURE.md, "Deterministic
+ * parallel engine").
  */
 
 #ifndef TTDA_TTDA_MACHINE_HH
@@ -30,13 +41,16 @@
 #include <algorithm>
 #include <array>
 #include <cstdint>
-#include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <ostream>
+#include <sstream>
 #include <unordered_map>
 #include <vector>
 
+#include "common/parallel.hh"
+#include "common/ringqueue.hh"
 #include "common/stats.hh"
 #include "common/trace.hh"
 #include "common/types.hh"
@@ -112,6 +126,14 @@ struct MachineConfig
 
     std::uint64_t seed = 1;
     std::uint64_t maxCycles = 50'000'000;
+
+    /** Host threads for the parallel engine: the PEs are split into
+     *  `threads` contiguous shards stepped concurrently under the
+     *  two-phase tick. Results (cycle counts, statistics, outputs,
+     *  traces modulo event file order) are bit-identical to the
+     *  sequential engine. Clamped to numPEs; 0 or 1 selects the plain
+     *  sequential engine. */
+    std::uint32_t threads = 1;
 
     /** When set, one line per machine event (token classified,
      *  activity fired, structure operation, output) is written here —
@@ -193,7 +215,8 @@ class Machine
     /** Cycles from a token's creation to the fire of the activity it
      *  enabled (token-lifecycle latency; one sample per fire).
      *  Populated only when MachineConfig::latencyStats is set or a
-     *  tracer is active. */
+     *  tracer is active. Complete after run() returns (per-shard
+     *  samples are merged there). */
     const sim::Histogram &birthToFireLatency() const
     {
         return birthToFire_;
@@ -233,27 +256,122 @@ class Machine
         std::uint32_t born = 0; //!< birth of the enabling (last) token
     };
 
+    /**
+     * Per-PE staging for the two-phase tick. Phase A never mutates
+     * state another shard can read, so everything a stage would have
+     * pushed beyond its own PE — or whose value depends on a shared
+     * counter — lands here, and phase B replays it in PE-index order:
+     *
+     *  - emitFire/emitIs: tokens created this cycle (ALU fires, then
+     *    structure replies/serves), in creation order, without their
+     *    Token::seq stamp (the global sequence is assigned at commit).
+     *  - pendingFire: a context-touching fire (LoopEntry/LoopExit/
+     *    Apply/Return) whose execution must wait for the serial phase
+     *    because context interning is order-sensitive.
+     *  - pendingIs: an ALLOC/APPEND whose global-allocation side
+     *    effects run at commit.
+     *  - outPlan/outFresh: the output section's pop order with dst
+     *    precomputed into Token::pe; routing (bypass push or network
+     *    send) happens at commit so injection order is PE order.
+     *  - output: an OUTPUT token absorbed by the PE controller this
+     *    cycle (appended to the host list at commit).
+     */
+    struct Staging
+    {
+        std::vector<graph::Token> emitFire;
+        std::vector<graph::Token> emitIs;
+        std::size_t fireUsed = 0; //!< emitFire prefix moved to outPlan
+        std::size_t isUsed = 0;   //!< emitIs prefix moved to outPlan
+        std::vector<graph::Token> outPlan;
+        std::vector<std::uint8_t> outFresh;
+        ReadyOp pendingFire;
+        graph::Token pendingIs;
+        OutputRecord output;
+        bool fireDeferred = false;
+        bool isDeferred = false;
+        bool tailDeferred = false; //!< output section left to phase B
+        bool hasOutput = false;
+    };
+
     struct Pe
     {
         explicit Pe(std::size_t is_words) : isStore(is_words) {}
 
-        std::deque<graph::Token> inQ;
+        sim::RingQueue<graph::Token> inQ;
         std::unordered_map<graph::Tag, Waiting, graph::TagHash>
             waitStore;
         sim::Cycle matchBusy = 0;
-        std::deque<ReadyOp> fetchQ;
+        sim::RingQueue<ReadyOp> fetchQ;
         sim::Cycle aluBusy = 0;
-        std::deque<graph::Token> outQ;
-        std::deque<graph::Token> isQ;
+        sim::RingQueue<graph::Token> outQ;
+        sim::RingQueue<graph::Token> isQ;
         sim::Cycle isBusy = 0;
         mem::IStructure<graph::IsCont, graph::Value> isStore;
         PeStats stats;
+        Staging stage;
+    };
+
+    /**
+     * One host thread's slice of the machine: a contiguous PE range
+     * plus every accumulator a phase-A step may touch, so workers
+     * never contend. Shard-local statistics (histograms) are merged
+     * into the machine-level ones, in shard order, when run() returns;
+     * occupancy counters are summed on demand (idle() etc.).
+     */
+    struct Shard
+    {
+        Shard(const graph::Program &program,
+              graph::ContextManager &contexts)
+            : exec(program, contexts)
+        {
+        }
+
+        std::uint32_t first = 0; //!< owned PE range [first, last)
+        std::uint32_t last = 0;
+
+        /** Thread-local firing engine. Phase A only executes opcodes
+         *  that never touch the shared ContextManager; fires that do
+         *  are deferred to phase B (still run through this shard's
+         *  executor, serially). */
+        graph::Executor exec;
+
+        // Incrementally maintained occupancy for the owned PEs.
+        std::uint64_t activeItems = 0; //!< items in owned pipeline queues
+        std::uint32_t busyStages = 0;  //!< owned stages with a countdown
+        std::uint64_t wmEntries = 0;   //!< waiting-matching entries
+        std::uint64_t pendingAppends = 0; //!< APPEND tokens in owned inQ/isQ
+
+        sim::Cycle next = 0; //!< skip-ahead scan result for this shard
+
+        sim::Histogram birthToFire{4.0, 128};
+        sim::Histogram readLatency{4.0, 128};
+
+        /** Reused output buffer for Executor::execute (fire path). */
+        std::vector<graph::Token> fireBuf;
+        /** Free list recycling Waiting::slots / operand storage. */
+        std::vector<std::vector<graph::Value>> slotPool;
+
+        sim::TraceShard trc;
+        sim::TraceShard *trcp = nullptr; //!< null when not tracing
+        std::ostringstream dbgBuf; //!< parallel debug-trace staging
+        std::ostream *dbg = nullptr; //!< debug-trace sink, may be null
     };
 
     sim::NodeId mapTag(const graph::Tag &tag) const;
     sim::NodeId mapToken(const graph::Token &t) const;
     std::uint64_t allocateGlobal(std::uint64_t n);
-    void route(sim::NodeId src, graph::Token t);
+    void route(Shard &sh, sim::NodeId src, graph::Token t);
+
+    /** All tokens enter a PE's input queue through here: keeps the
+     *  owning shard's item count and APPEND-in-flight count right. */
+    void
+    pushInQ(Shard &sh, Pe &pe, graph::Token &&t)
+    {
+        if (t.kind == graph::TokenKind::IsAppend)
+            ++sh.pendingAppends;
+        pe.inQ.push_back(std::move(t));
+        ++sh.activeItems;
+    }
 
     // Chrome-trace track layout: process = PE (or numPEs for the
     // network), thread = pipeline stage within the PE.
@@ -268,10 +386,30 @@ class Machine
     void nameTraceTracks();
     std::vector<sim::StatGroup> statGroups() const;
 
-    void stepInput(Pe &pe, sim::NodeId id);
-    void stepAlu(Pe &pe, sim::NodeId id);
-    void stepIs(Pe &pe, sim::NodeId id);
-    void stepOutput(Pe &pe, sim::NodeId id);
+    // Stage steps. With defer=false they apply every effect directly
+    // (the sequential engine and phase B); with defer=true (phase A)
+    // order-sensitive effects land in the PE's Staging instead.
+    void stepInput(Shard &sh, Pe &pe, sim::NodeId id, bool defer);
+    void stepAlu(Shard &sh, Pe &pe, sim::NodeId id, bool defer);
+    void stepIs(Shard &sh, Pe &pe, sim::NodeId id, bool defer);
+    void stepOutput(Shard &sh, Pe &pe, sim::NodeId id, bool defer);
+
+    /** Queue a freshly created token for the output section: staged
+     *  (seq assigned later) or stamped and pushed straight to outQ. */
+    void emitNew(Shard &sh, Pe &pe, std::vector<graph::Token> *staged,
+                 graph::Token &&t);
+
+    /** Turn an I-structure controller's served continuations into
+     *  response/store tokens (shared by every stepIs flavour). */
+    void serveDeferred(
+        Shard &sh, Pe &pe, sim::NodeId id, graph::TokenKind cause,
+        std::vector<std::pair<graph::IsCont, graph::Value>> &served,
+        std::vector<graph::Token> *staged);
+
+    /** ALLOC/APPEND effects: global allocation, copy traffic, reply.
+     *  Runs in stepIs (sequential) or phase B (parallel). */
+    void applyAllocAppend(Shard &sh, Pe &pe, sim::NodeId id,
+                          graph::Token tok);
 
     bool idle() const;
 
@@ -285,32 +423,37 @@ class Machine
      *  can act, batch-accounting busy counters and wm residency. */
     void skipAhead();
 
+    /** Per-shard part of the skip decision: earliest cycle at which
+     *  any owned PE can act, written to Shard::next. */
+    void scanShard(Shard &sh);
+
     /** Load a stage's busy countdown (cycles *beyond* the current
-     *  one), maintaining busyStages_. */
+     *  one), maintaining the shard's busy-stage count. */
     void
-    setBusy(sim::Cycle &slot, sim::Cycle extra)
+    setBusy(Shard &sh, sim::Cycle &slot, sim::Cycle extra)
     {
         if (extra > 0 && slot == 0)
-            ++busyStages_;
+            ++sh.busyStages;
         slot = extra;
     }
 
     /** One-cycle busy decrement at the top of a stage step. @return
      *  true when the stage spent this cycle draining its countdown. */
     bool
-    tickBusy(sim::Cycle &slot, sim::Counter &counter)
+    tickBusy(Shard &sh, sim::Cycle &slot, sim::Counter &counter)
     {
         if (slot == 0)
             return false;
         counter.inc();
         if (--slot == 0)
-            --busyStages_;
+            --sh.busyStages;
         return true;
     }
 
     /** Batch-account `delta` skipped cycles against one busy slot. */
     void
-    batchBusy(sim::Cycle &slot, sim::Counter &counter, sim::Cycle delta)
+    batchBusy(Shard &sh, sim::Cycle &slot, sim::Counter &counter,
+              sim::Cycle delta)
     {
         if (slot == 0)
             return;
@@ -318,19 +461,19 @@ class Machine
         counter.inc(n);
         slot -= n;
         if (slot == 0)
-            --busyStages_;
+            --sh.busyStages;
     }
 
     // ---- zero-allocation fire path ---------------------------------
 
     /** Operand vector of n default values, reusing pooled storage. */
     std::vector<graph::Value>
-    takeSlots(std::size_t n)
+    takeSlots(Shard &sh, std::size_t n)
     {
-        if (slotPool_.empty())
+        if (sh.slotPool.empty())
             return std::vector<graph::Value>(n);
-        std::vector<graph::Value> v = std::move(slotPool_.back());
-        slotPool_.pop_back();
+        std::vector<graph::Value> v = std::move(sh.slotPool.back());
+        sh.slotPool.pop_back();
         v.clear();
         v.resize(n);
         return v;
@@ -338,16 +481,52 @@ class Machine
 
     /** Return an operand vector's storage to the pool. */
     void
-    recycleSlots(std::vector<graph::Value> &&v)
+    recycleSlots(Shard &sh, std::vector<graph::Value> &&v)
     {
-        if (slotPool_.size() < 1024)
-            slotPool_.push_back(std::move(v));
+        if (sh.slotPool.size() < 1024)
+            sh.slotPool.push_back(std::move(v));
     }
+
+    // ---- parallel engine -------------------------------------------
+
+    Shard &shardOf(std::uint32_t p) { return shards_[shardIdx_[p]]; }
+
+    std::uint64_t wmTotal() const;
+    std::uint64_t pendingAppendsTotal() const;
+
+    void runSequential();
+    void runParallel();
+
+    /** Phase A for one shard: stage steps for the owned PEs, staging
+     *  order-sensitive effects. */
+    void shardCycle(Shard &sh);
+
+    /** Phase B: replay every PE's staged effects in PE-index order. */
+    void commitCycle();
+
+    /** Execute/flush the cycle's ALU product for one PE: run a
+     *  deferred context-touching fire, or stamp the staged fire
+     *  tokens, pushing all of them to outQ. */
+    void commitFire(Shard &sh, Pe &pe);
+
+    /** Stamp a staged token list (from `used` on) into outQ. */
+    void commitEmit(Shard &sh, Pe &pe, std::vector<graph::Token> &vec,
+                    std::size_t used);
+
+    /** Stamp and route the staged output-section plan of one PE. */
+    void commitStagedOutput(Shard &sh, Pe &pe, sim::NodeId id);
+
+    /** skip-ahead for the parallel engine: parallel per-shard scans,
+     *  serial min-reduction and batch accounting. */
+    void skipParallel();
+
+    /** Splice per-shard trace and debug-log buffers into their sinks,
+     *  in shard order. */
+    void flushShardLogs();
 
     const graph::Program &program_;
     MachineConfig cfg_;
     graph::ContextManager contexts_;
-    graph::Executor executor_;
     std::unique_ptr<net::Network<graph::Token>> net_;
     std::vector<std::unique_ptr<Pe>> pes_;
     std::vector<OutputRecord> outputs_;
@@ -364,16 +543,17 @@ class Machine
      *  overrides), resolved once so the fire path is a table load. */
     std::array<sim::Cycle, graph::numOpcodes> aluLatency_{};
 
-    /** Reused output buffer for Executor::execute (fire path). */
-    std::vector<graph::Token> fireBuf_;
-    /** Free list recycling Waiting::slots / operand vector storage. */
-    std::vector<std::vector<graph::Value>> slotPool_;
+    std::uint32_t threads_ = 1; //!< resolved shard count
+    std::vector<Shard> shards_;
+    std::vector<std::uint32_t> shardIdx_; //!< owning shard per PE
+    std::unique_ptr<sim::WorkerPool> pool_;
+    std::function<void(unsigned)> scanTask_;
+    std::function<void(unsigned)> cycleTask_;
 
-    // Incrementally maintained occupancy counters (replace the
-    // O(numPEs) idle() sweep and the per-cycle waitStore summation).
-    std::uint64_t activeItems_ = 0; //!< items in all inQ/fetchQ/outQ/isQ
-    std::uint32_t busyStages_ = 0;  //!< stages with a busy countdown
-    std::uint64_t wmTotal_ = 0;     //!< waiting-matching entries, all PEs
+    /** An APPEND is in flight somewhere: its copy loop touches other
+     *  PEs' structure stores, so this cycle's I-structure steps run
+     *  entirely in phase B (the "serial-IS cycle" fallback). */
+    bool serialIsCycle_ = false;
 };
 
 } // namespace ttda

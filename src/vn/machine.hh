@@ -23,9 +23,11 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <ostream>
 #include <vector>
 
+#include "common/parallel.hh"
 #include "common/stats.hh"
 #include "common/trace.hh"
 #include "common/types.hh"
@@ -66,6 +68,15 @@ struct VnMachineConfig
 
     std::uint64_t seed = 1;
     std::uint64_t maxCycles = 50'000'000;
+
+    /** Host threads stepping the cores: each cycle, the independent
+     *  per-core compute runs sharded across threads into per-core
+     *  outboxes, and the shared phases (memory issue, network, module
+     *  stepping) replay the outboxes in core-index order — results
+     *  are bit-identical to sequential for any value. Clamped to
+     *  numCores; forced to 1 while a tracer is active (cores emit
+     *  trace events mid-step). */
+    std::uint32_t threads = 1;
 
     /** When set, core/memory/network lifecycle events are emitted as
      *  Chrome trace-event JSON: one process per core (tid 0 = cpu,
@@ -142,6 +153,12 @@ class VnMachine
     std::vector<std::unique_ptr<mem::MemoryModule>> modules_;
     std::unique_ptr<net::Network<NetMsg>> net_;
     sim::Cycle now_ = 0;
+
+    std::uint32_t threads_ = 1; //!< resolved shard count
+    std::unique_ptr<sim::WorkerPool> pool_;
+    /** Per-core staging for the parallel step: the access (if any)
+     *  each core issued this cycle, consumed in core-index order. */
+    std::vector<std::optional<MemAccess>> outbox_;
 };
 
 } // namespace vn

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * The parallel engine's determinism contract, checked wholesale: for
+ * every network topology and a context-heavy workload, a run at
+ * threads = 2, 3, and 4 must reproduce the threads = 1 run exactly —
+ * same cycle count, same outputs, and the same complete statistics
+ * document (dumpStatsJson covers every counter, per-PE group, and
+ * histogram the machine exposes, so one string compare locks all of
+ * it).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "id/codegen.hh"
+#include "ttda/machine.hh"
+#include "workloads/dfg_programs.hh"
+
+namespace
+{
+
+using graph::Value;
+
+struct RunResult
+{
+    sim::Cycle cycles;
+    bool deadlocked;
+    std::string outputs;
+    std::string statsJson;
+};
+
+RunResult
+runOnce(const graph::Program &program, const ttda::MachineConfig &cfg,
+        std::uint16_t cb, const std::vector<Value> &inputs)
+{
+    ttda::Machine m(program, cfg);
+    for (std::uint16_t i = 0; i < inputs.size(); ++i)
+        m.input(cb, i, inputs[i]);
+    auto out = m.run();
+    RunResult r;
+    r.cycles = m.cycles();
+    r.deadlocked = m.deadlocked();
+    std::ostringstream os;
+    for (const auto &rec : out)
+        os << rec.value.toString() << ";";
+    r.outputs = os.str();
+    std::ostringstream js;
+    m.dumpStatsJson(js);
+    r.statsJson = js.str();
+    return r;
+}
+
+void
+expectDeterministic(const graph::Program &program,
+                    ttda::MachineConfig cfg, std::uint16_t cb,
+                    const std::vector<Value> &inputs)
+{
+    // latencyStats exercises the token-sequence / birth-stamp
+    // machinery, the part of the commit phase most sensitive to
+    // ordering mistakes.
+    cfg.latencyStats = true;
+    cfg.threads = 1;
+    const RunResult base = runOnce(program, cfg, cb, inputs);
+    for (const std::uint32_t threads : {2u, 3u, 4u}) {
+        cfg.threads = threads;
+        const RunResult r = runOnce(program, cfg, cb, inputs);
+        EXPECT_EQ(r.cycles, base.cycles) << "threads=" << threads;
+        EXPECT_EQ(r.deadlocked, base.deadlocked)
+            << "threads=" << threads;
+        EXPECT_EQ(r.outputs, base.outputs) << "threads=" << threads;
+        EXPECT_EQ(r.statsJson, base.statsJson)
+            << "threads=" << threads;
+    }
+}
+
+ttda::MachineConfig
+baseConfig(std::uint32_t pes, ttda::MachineConfig::Topology topo)
+{
+    ttda::MachineConfig cfg;
+    cfg.numPEs = pes;
+    cfg.topology = topo;
+    return cfg;
+}
+
+// --- one case per topology, mixing workload families ----------------
+
+TEST(ParallelDeterminism, IdealTrapezoid)
+{
+    graph::Program program;
+    const auto cb = workloads::buildTrapezoid(program);
+    auto cfg =
+        baseConfig(8, ttda::MachineConfig::Topology::Ideal);
+    cfg.netLatency = 2;
+    expectDeterministic(program, cfg, cb,
+                        {Value{0.0}, Value{2.0},
+                         Value{std::int64_t{48}}});
+}
+
+TEST(ParallelDeterminism, CrossbarProducerConsumer)
+{
+    // Producer/consumer drives ALLOC/FETCH/STORE traffic: the global
+    // allocation pointer and deferred-read serves cross the commit
+    // boundary.
+    graph::Program program;
+    const auto cb = workloads::buildProducerConsumer(program);
+    auto cfg =
+        baseConfig(8, ttda::MachineConfig::Topology::Crossbar);
+    cfg.netLatency = 3;
+    expectDeterministic(program, cfg, cb, {Value{std::int64_t{32}}});
+}
+
+TEST(ParallelDeterminism, OmegaFib)
+{
+    // Fib is the context-churn stress: APPLY/RETURN intern and release
+    // contexts every few fires, the shared service most sensitive to
+    // execution order.
+    graph::Program program;
+    const auto cb = workloads::buildFib(program);
+    auto cfg = baseConfig(8, ttda::MachineConfig::Topology::Omega);
+    expectDeterministic(program, cfg, cb, {Value{std::int64_t{12}}});
+}
+
+TEST(ParallelDeterminism, HypercubeFibByContext)
+{
+    graph::Program program;
+    const auto cb = workloads::buildFib(program);
+    auto cfg =
+        baseConfig(8, ttda::MachineConfig::Topology::Hypercube);
+    cfg.hopLatency = 2;
+    cfg.mapping = ttda::MachineConfig::Mapping::ByContext;
+    expectDeterministic(program, cfg, cb, {Value{std::int64_t{11}}});
+}
+
+TEST(ParallelDeterminism, HierarchicalTrapezoidSlowStages)
+{
+    graph::Program program;
+    const auto cb = workloads::buildTrapezoid(program);
+    auto cfg =
+        baseConfig(8, ttda::MachineConfig::Topology::Hierarchical);
+    cfg.clusterSize = 4;
+    cfg.localLatency = 2;
+    cfg.globalLatency = 8;
+    cfg.matchCycles = 2;
+    cfg.aluCycles = 2;
+    expectDeterministic(program, cfg, cb,
+                        {Value{1.0}, Value{3.0},
+                         Value{std::int64_t{40}}});
+}
+
+// --- edge shapes -----------------------------------------------------
+
+TEST(ParallelDeterminism, ThreadsClampToPeCount)
+{
+    // threads > numPEs must clamp (empty shards would be pointless);
+    // the clamped machine still matches sequential.
+    graph::Program program;
+    const auto cb = workloads::buildTrapezoid(program);
+    auto cfg = baseConfig(2, ttda::MachineConfig::Topology::Ideal);
+    cfg.latencyStats = true;
+    cfg.threads = 1;
+    const RunResult base = runOnce(
+        program, cfg, cb,
+        {Value{0.0}, Value{1.0}, Value{std::int64_t{16}}});
+    cfg.threads = 16; // clamps to 2
+    const RunResult r = runOnce(
+        program, cfg, cb,
+        {Value{0.0}, Value{1.0}, Value{std::int64_t{16}}});
+    EXPECT_EQ(r.cycles, base.cycles);
+    EXPECT_EQ(r.statsJson, base.statsJson);
+}
+
+TEST(ParallelDeterminism, AppendWorkloadSerialIsFallback)
+{
+    // APPEND's copy loop touches cells on every PE; any cycle with an
+    // APPEND in flight takes the serial-IS fallback. A loop of chained
+    // functional updates makes the fallback fire many times, on
+    // arrays long enough to spread their cells over all PEs.
+    id::Compiled c = id::compile(R"(
+        def main(n) =
+          let a = store(store(store(array(6), 0, 1), 2, 5), 4, 7) in
+          let b = append(a, 1, 10) in
+          let d = append(b, 3, 20) in
+          let e = append(d, 5, 30) in
+          e[0] + e[1] + e[2] + e[3] + e[4] + e[5] + n;
+    )");
+    auto cfg = baseConfig(4, ttda::MachineConfig::Topology::Ideal);
+    expectDeterministic(c.program, cfg, c.startCb,
+                        {Value{std::int64_t{4}}});
+}
+
+} // namespace

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Determinism of the von Neumann machine's parallel core stepping: a
+ * run at threads = 2 and 4 must reproduce the threads = 1 run exactly
+ * — same cycle count and the same full statistics document. The
+ * machine's shared phases (memory issue, network, module stepping)
+ * replay the per-core outboxes in core-index order, so the request
+ * stream the memory system sees is identical to sequential.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "vn/machine.hh"
+#include "workloads/vn_programs.hh"
+
+namespace
+{
+
+struct RunResult
+{
+    sim::Cycle cycles;
+    std::string statsJson;
+};
+
+/** 8 trace-driven cores with heavy cross-module traffic and context
+ *  switching — every shared-phase interaction exercised. */
+RunResult
+runTraced(vn::VnMachineConfig cfg, double remote_fraction)
+{
+    constexpr std::uint32_t kCores = 8;
+    cfg.numCores = kCores;
+    cfg.wordsPerModule = 1024;
+    vn::VnMachine m(cfg);
+    for (std::uint32_t c = 0; c < kCores; ++c) {
+        workloads::TraceConfig tc;
+        tc.coreId = c;
+        tc.numCores = kCores;
+        tc.wordsPerModule = 1024;
+        tc.references = 250;
+        tc.computePerRef = 3;
+        tc.remoteFraction = remote_fraction;
+        tc.seed = 7 + c;
+        m.core(c).attachTrace(workloads::makeUniformTrace(tc));
+    }
+    RunResult r;
+    r.cycles = m.run();
+    std::ostringstream js;
+    m.dumpStatsJson(js);
+    r.statsJson = js.str();
+    return r;
+}
+
+void
+expectDeterministic(const vn::VnMachineConfig &cfg,
+                    double remote_fraction)
+{
+    vn::VnMachineConfig c1 = cfg;
+    c1.threads = 1;
+    const RunResult base = runTraced(c1, remote_fraction);
+    for (const std::uint32_t threads : {2u, 4u}) {
+        vn::VnMachineConfig cn = cfg;
+        cn.threads = threads;
+        const RunResult r = runTraced(cn, remote_fraction);
+        EXPECT_EQ(r.cycles, base.cycles) << "threads=" << threads;
+        EXPECT_EQ(r.statsJson, base.statsJson)
+            << "threads=" << threads;
+    }
+}
+
+TEST(VnParallelDeterminism, OmegaInterleavedRemoteHeavy)
+{
+    vn::VnMachineConfig cfg;
+    cfg.topology = vn::VnMachineConfig::Topology::Omega;
+    cfg.blockedAddressing = false;
+    cfg.colocated = false;
+    expectDeterministic(cfg, 0.8);
+}
+
+TEST(VnParallelDeterminism, HierarchicalMultiContext)
+{
+    vn::VnMachineConfig cfg;
+    cfg.topology = vn::VnMachineConfig::Topology::Hierarchical;
+    cfg.clusterSize = 4;
+    cfg.localLatency = 2;
+    cfg.globalLatency = 8;
+    cfg.core.numContexts = 4;
+    cfg.core.switchCost = 1;
+    expectDeterministic(cfg, 0.5);
+}
+
+TEST(VnParallelDeterminism, CrossbarBankedModules)
+{
+    vn::VnMachineConfig cfg;
+    cfg.topology = vn::VnMachineConfig::Topology::Crossbar;
+    cfg.netLatency = 3;
+    cfg.memLatency = 4;
+    cfg.banksPerModule = 2;
+    expectDeterministic(cfg, 0.6);
+}
+
+TEST(VnParallelDeterminism, ProgramDrivenCoresMatch)
+{
+    // Every core runs the trapezoid program on its own registers —
+    // the instruction-driven (not trace-driven) front end under the
+    // parallel stepper.
+    auto run = [](std::uint32_t threads) {
+        vn::VnMachineConfig cfg;
+        cfg.numCores = 4;
+        cfg.threads = threads;
+        vn::VnMachine m(cfg);
+        auto prog = workloads::buildTrapezoidVn();
+        for (std::uint32_t c = 0; c < 4; ++c) {
+            m.core(c).attachProgram(&prog);
+            m.core(c).setReg(0, 10, mem::fromDouble(0.0));
+            m.core(c).setReg(0, 11, mem::fromDouble(2.0));
+            m.core(c).setReg(0, 12, mem::fromInt(32 + 8 * c));
+        }
+        const sim::Cycle cycles = m.run();
+        std::ostringstream os;
+        os << cycles;
+        for (std::uint32_t c = 0; c < 4; ++c)
+            os << ";"
+               << mem::toDouble(
+                      m.core(c).reg(0, workloads::trapezoidVnResultReg));
+        return os.str();
+    };
+    const std::string base = run(1);
+    EXPECT_EQ(run(2), base);
+    EXPECT_EQ(run(4), base);
+}
+
+} // namespace
