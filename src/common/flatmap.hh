@@ -1,0 +1,373 @@
+/**
+ * @file
+ * FlatHashMap: an open-addressing hash table on flat storage.
+ *
+ * Built for the waiting-matching store, the simulator's hottest
+ * associative structure: token partners rendezvous by full tag, so
+ * every token that is not monadic costs one probe (and half of them a
+ * probe + erase). std::unordered_map serves that pattern with one
+ * node allocation per entry and a pointer chase per probe; this table
+ * keeps key/value pairs in a single power-of-two array and resolves
+ * collisions by linear probing, so a probe is a masked index plus a
+ * short contiguous scan.
+ *
+ * Deletion is tombstone-free: erasing an entry backward-shifts the
+ * remainder of its probe cluster, so the table never degrades with
+ * insert/erase cycling (the WM store's steady state) and never needs
+ * a cleanup rehash.
+ *
+ * Growth is incremental. When the load factor crosses 3/4 the table
+ * allocates a double-size successor and migrates a bounded number of
+ * probe clusters per subsequent operation, so no single operation —
+ * and therefore no single simulated cycle — absorbs a full-table
+ * rehash. Lookups consult the successor first, then the draining
+ * predecessor; clusters move atomically, preserving the
+ * probe-path-intact invariant both tables rely on.
+ */
+
+#ifndef TTDA_COMMON_FLATMAP_HH
+#define TTDA_COMMON_FLATMAP_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace sim
+{
+
+/**
+ * Open-addressing hash map: power-of-two capacity, linear probing,
+ * backward-shift deletion, incremental (amortized) rehash.
+ *
+ * Requirements: Key and Value default-constructible and movable; Key
+ * equality-comparable; Hash stateless. Pointers returned by insert()
+ * and find() stay valid until the next non-const operation on the
+ * map (any operation may advance an in-progress migration).
+ */
+template <typename Key, typename Value, typename Hash>
+class FlatHashMap
+{
+  public:
+    /** @param initial_capacity rounded up to a power of two (min 8). */
+    explicit FlatHashMap(std::size_t initial_capacity = 16)
+    {
+        std::size_t cap = kMinCapacity;
+        while (cap < initial_capacity)
+            cap <<= 1;
+        cur_.init(cap);
+    }
+
+    std::size_t size() const { return cur_.count + old_.count; }
+    bool empty() const { return size() == 0; }
+
+    /** Slots allocated across the live table(s) (diagnostics). */
+    std::size_t
+    capacity() const
+    {
+        return cur_.slots.size() + old_.slots.size();
+    }
+
+    /** True while an incremental rehash is draining the old table. */
+    bool rehashing() const { return old_.live(); }
+
+    /**
+     * Find `key`, default-constructing its value if absent —
+     * std::unordered_map::try_emplace semantics. Returns the value
+     * and whether it was inserted.
+     */
+    std::pair<Value *, bool>
+    insert(const Key &key)
+    {
+        migrateStep();
+        maybeGrow();
+        const std::size_t h = Hash{}(key);
+        if (Value *v = probe(cur_, key, h))
+            return {v, false};
+        if (old_.live()) {
+            if (Value *v = probe(old_, key, h))
+                return {v, false};
+        }
+        return {place(cur_, key, h), true};
+    }
+
+    /** Pointer to the value mapped to `key`, or nullptr. */
+    Value *
+    find(const Key &key)
+    {
+        migrateStep();
+        const std::size_t h = Hash{}(key);
+        if (Value *v = probe(cur_, key, h))
+            return v;
+        if (old_.live())
+            return probe(old_, key, h);
+        return nullptr;
+    }
+
+    /** Erase `key`; returns whether it was present. */
+    bool
+    erase(const Key &key)
+    {
+        migrateStep();
+        const std::size_t h = Hash{}(key);
+        if (eraseIn(cur_, key, h))
+            return true;
+        if (old_.live() && eraseIn(old_, key, h)) {
+            if (old_.count == 0)
+                old_.release();
+            return true;
+        }
+        return false;
+    }
+
+    /** Visit every entry as f(const Key &, Value &). Order is
+     *  unspecified (storage order, successor table first). */
+    template <typename F>
+    void
+    forEach(F &&f)
+    {
+        visit(cur_, f);
+        visit(old_, f);
+    }
+
+    template <typename F>
+    void
+    forEach(F &&f) const
+    {
+        visit(cur_, f);
+        visit(old_, f);
+    }
+
+    void
+    clear()
+    {
+        old_.release();
+        const std::size_t cap = cur_.slots.size();
+        cur_.release();
+        cur_.init(cap);
+    }
+
+  private:
+    static constexpr std::size_t kMinCapacity = 8;
+    /** Entries migrated per operation while a rehash is draining.
+     *  With growth triggered at 3/4 load into a 2x table, draining
+     *  >= 2 entries per insert retires the old table well before the
+     *  new one can reach its own threshold; 8 keeps the drain short
+     *  without making any single operation expensive. */
+    static constexpr std::size_t kMigrateChunk = 8;
+
+    struct Slot
+    {
+        Key key{};
+        Value val{};
+    };
+
+    struct Table
+    {
+        std::vector<Slot> slots;
+        std::vector<std::uint8_t> used;
+        std::size_t mask = 0;
+        std::size_t count = 0;
+
+        bool live() const { return !slots.empty(); }
+
+        void
+        init(std::size_t cap)
+        {
+            slots.assign(cap, Slot{});
+            used.assign(cap, 0);
+            mask = cap - 1;
+            count = 0;
+        }
+
+        void
+        release()
+        {
+            slots.clear();
+            slots.shrink_to_fit();
+            used.clear();
+            used.shrink_to_fit();
+            mask = 0;
+            count = 0;
+        }
+    };
+
+    /** Linear probe for `key` in `t`; nullptr when absent. Probe
+     *  paths are empty-terminated: both tables keep every entry's
+     *  home-to-slot run fully occupied (backward-shift deletion,
+     *  cluster-atomic migration). */
+    static Value *
+    probe(Table &t, const Key &key, std::size_t h)
+    {
+        if (!t.live())
+            return nullptr;
+        std::size_t i = h & t.mask;
+        while (t.used[i]) {
+            if (t.slots[i].key == key)
+                return &t.slots[i].val;
+            i = (i + 1) & t.mask;
+        }
+        return nullptr;
+    }
+
+    static const Value *
+    probe(const Table &t, const Key &key, std::size_t h)
+    {
+        return probe(const_cast<Table &>(t), key, h);
+    }
+
+    /** Insert a key known to be absent; returns its value slot. */
+    static Value *
+    place(Table &t, const Key &key, std::size_t h)
+    {
+        SIM_ASSERT_MSG(t.count < t.slots.size(),
+                       "FlatHashMap table overfull (migration fell "
+                       "behind?)");
+        std::size_t i = h & t.mask;
+        while (t.used[i])
+            i = (i + 1) & t.mask;
+        t.used[i] = 1;
+        t.slots[i].key = key;
+        ++t.count;
+        return &t.slots[i].val;
+    }
+
+    bool
+    eraseIn(Table &t, const Key &key, std::size_t h)
+    {
+        if (!t.live())
+            return false;
+        std::size_t i = h & t.mask;
+        while (t.used[i]) {
+            if (t.slots[i].key == key) {
+                eraseSlot(t, i);
+                return true;
+            }
+            i = (i + 1) & t.mask;
+        }
+        return false;
+    }
+
+    /**
+     * Backward-shift deletion: close the hole at `i` by shifting back
+     * every later cluster member whose probe path crosses `i`, then
+     * clear the final vacated slot. Leaves all probe paths intact
+     * with no tombstones.
+     */
+    static void
+    eraseSlot(Table &t, std::size_t i)
+    {
+        const std::size_t mask = t.mask;
+        std::size_t j = i;
+        for (;;) {
+            j = (j + 1) & mask;
+            if (!t.used[j])
+                break;
+            const std::size_t home = Hash{}(t.slots[j].key) & mask;
+            // Entry j may fill the hole iff the hole lies on its
+            // probe path, i.e. home .. i .. j in cyclic probe order.
+            if (((j - home) & mask) >= ((j - i) & mask)) {
+                t.slots[i] = std::move(t.slots[j]);
+                i = j;
+            }
+        }
+        t.slots[i] = Slot{};
+        t.used[i] = 0;
+        --t.count;
+    }
+
+    void
+    maybeGrow()
+    {
+        // Trigger at 3/4 load on the insert target. If a previous
+        // migration is somehow still draining (cannot happen at the
+        // normal chunk pace), finish it first so at most two tables
+        // ever exist.
+        if ((cur_.count + 1) * 4 <= cur_.slots.size() * 3)
+            return;
+        if (old_.live())
+            drainAll();
+        Table grown;
+        grown.init(cur_.slots.size() * 2);
+        old_ = std::move(cur_);
+        cur_ = std::move(grown);
+        // Start the drain cursor at a cluster boundary: the first
+        // free slot (one exists — the old table was below full).
+        migratePos_ = 0;
+        while (old_.used[migratePos_])
+            migratePos_ = (migratePos_ + 1) & old_.mask;
+        migrateLeft_ = old_.slots.size();
+    }
+
+    /** Move one maximal probe cluster starting at the cursor (which
+     *  always rests on an empty slot or cluster head). */
+    void
+    migrateStep()
+    {
+        if (!old_.live())
+            return;
+        std::size_t moved = 0;
+        while (old_.count > 0 && moved < kMigrateChunk) {
+            // Skip free slots to the next cluster head.
+            while (migrateLeft_ > 0 && !old_.used[migratePos_]) {
+                migratePos_ = (migratePos_ + 1) & old_.mask;
+                --migrateLeft_;
+            }
+            if (migrateLeft_ == 0)
+                break;
+            // Move the whole cluster: partial moves would break the
+            // empty-terminated probe paths of the entries left behind.
+            while (old_.used[migratePos_]) {
+                Slot &s = old_.slots[migratePos_];
+                Value *v =
+                    place(cur_, s.key, Hash{}(s.key));
+                *v = std::move(s.val);
+                s = Slot{};
+                old_.used[migratePos_] = 0;
+                --old_.count;
+                ++moved;
+                migratePos_ = (migratePos_ + 1) & old_.mask;
+                SIM_ASSERT(migrateLeft_ > 0);
+                --migrateLeft_;
+            }
+        }
+        if (old_.count == 0)
+            old_.release();
+    }
+
+    void
+    drainAll()
+    {
+        while (old_.live())
+            migrateStep();
+    }
+
+    template <typename F>
+    static void
+    visit(Table &t, F &&f)
+    {
+        for (std::size_t i = 0; i < t.slots.size(); ++i)
+            if (t.used[i])
+                f(t.slots[i].key, t.slots[i].val);
+    }
+
+    template <typename F>
+    static void
+    visit(const Table &t, F &&f)
+    {
+        for (std::size_t i = 0; i < t.slots.size(); ++i)
+            if (t.used[i])
+                f(t.slots[i].key, t.slots[i].val);
+    }
+
+    Table cur_; //!< insert target (the only table when not rehashing)
+    Table old_; //!< draining predecessor during incremental rehash
+    std::size_t migratePos_ = 0;  //!< drain cursor into old_
+    std::size_t migrateLeft_ = 0; //!< old_ slots not yet visited
+};
+
+} // namespace sim
+
+#endif // TTDA_COMMON_FLATMAP_HH

@@ -30,11 +30,12 @@
 #define TTDA_MEM_ISTRUCTURE_HH
 
 #include <cstdint>
-#include <deque>
+#include <memory>
 #include <optional>
 #include <utility>
 #include <vector>
 
+#include "common/ringqueue.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "mem/word.hh"
@@ -66,11 +67,12 @@ class IStructure
     using ValueType = ValueT;
 
     explicit IStructure(std::size_t words)
-        : cells_(words)
+        : words_(words),
+          chunks_((words + kChunkWords - 1) / kChunkWords)
     {
     }
 
-    std::size_t size() const { return cells_.size(); }
+    std::size_t size() const { return words_; }
 
     /**
      * Allocate `n` fresh (Empty) words; returns the base address.
@@ -81,14 +83,14 @@ class IStructure
     allocate(std::size_t n)
     {
         const std::uint64_t base = allocPtr_;
-        if (allocPtr_ + n > cells_.size())
+        if (allocPtr_ + n > words_)
             return ~std::uint64_t{0}; // out of storage; caller checks
         allocPtr_ += n;
         return base;
     }
 
     /** Remaining unallocated words. */
-    std::size_t freeWords() const { return cells_.size() - allocPtr_; }
+    std::size_t freeWords() const { return words_ - allocPtr_; }
 
     /**
      * Process a read request for `addr` on behalf of continuation `c`.
@@ -161,11 +163,20 @@ class IStructure
     void
     clear(std::uint64_t addr, std::size_t n)
     {
-        for (std::size_t i = 0; i < n; ++i) {
-            Cell &cell = at(addr + i);
+        SIM_ASSERT(addr + n <= words_);
+        std::uint64_t a = addr;
+        const std::uint64_t end = addr + n;
+        while (a < end) {
+            if (!chunks_[a / kChunkWords]) {
+                // An unmaterialized chunk is already all-Empty.
+                a = (a / kChunkWords + 1) * kChunkWords;
+                continue;
+            }
+            Cell &cell = at(a);
             cell.presence = Presence::Empty;
             cell.value = ValueT{};
             cell.deferred.clear();
+            ++a;
         }
     }
 
@@ -174,8 +185,12 @@ class IStructure
     outstandingReads() const
     {
         std::size_t n = 0;
-        for (const auto &cell : cells_)
-            n += cell.deferred.size();
+        for (const auto &chunk : chunks_) {
+            if (!chunk)
+                continue;
+            for (std::size_t i = 0; i < kChunkWords; ++i)
+                n += chunk[i].deferred.size();
+        }
         return n;
     }
 
@@ -193,11 +208,17 @@ class IStructure
     deferredAddresses(std::size_t limit = 16) const
     {
         std::vector<std::uint64_t> out;
-        for (std::size_t a = 0; a < cells_.size() && out.size() < limit;
-             ++a)
+        for (std::size_t c = 0;
+             c < chunks_.size() && out.size() < limit; ++c)
         {
-            if (!cells_[a].deferred.empty())
-                out.push_back(a);
+            if (!chunks_[c])
+                continue;
+            for (std::size_t i = 0;
+                 i < kChunkWords && out.size() < limit; ++i)
+            {
+                if (!chunks_[c][i].deferred.empty())
+                    out.push_back(c * kChunkWords + i);
+            }
         }
         return out;
     }
@@ -212,25 +233,44 @@ class IStructure
         std::vector<Cont> deferred;
     };
 
+    /**
+     * Cells live in fixed-size chunks materialized on first write-side
+     * touch. The bump-pointer allocator means a run addresses only a
+     * prefix of the configured words, so eagerly constructing (and
+     * later destructing) every cell — each holding a deferred-list
+     * vector — used to dominate Machine construction time. A null
+     * chunk reads as all-Empty.
+     */
+    static constexpr std::size_t kChunkWords = 4096;
+
     Cell &
     at(std::uint64_t addr)
     {
-        SIM_ASSERT_MSG(addr < cells_.size(),
+        SIM_ASSERT_MSG(addr < words_,
                        "i-structure address {} beyond size {}", addr,
-                       cells_.size());
-        return cells_[addr];
+                       words_);
+        auto &chunk = chunks_[addr / kChunkWords];
+        if (!chunk)
+            chunk = std::make_unique<Cell[]>(kChunkWords);
+        return chunk[addr % kChunkWords];
     }
 
     const Cell &
     at(std::uint64_t addr) const
     {
-        SIM_ASSERT_MSG(addr < cells_.size(),
+        SIM_ASSERT_MSG(addr < words_,
                        "i-structure address {} beyond size {}", addr,
-                       cells_.size());
-        return cells_[addr];
+                       words_);
+        const auto &chunk = chunks_[addr / kChunkWords];
+        if (!chunk) {
+            static const Cell kEmpty{};
+            return kEmpty;
+        }
+        return chunk[addr % kChunkWords];
     }
 
-    std::vector<Cell> cells_;
+    std::size_t words_;
+    std::vector<std::unique_ptr<Cell[]>> chunks_;
     std::uint64_t allocPtr_ = 0;
     IStructureStats stats_;
 };
@@ -324,8 +364,8 @@ class IStructureController
     sim::Cycle readCost_;
     sim::Cycle writeCost_;
     sim::Cycle busy_ = 0;
-    std::deque<Request> queue_;
-    std::deque<std::pair<Cont, ValueT>> responses_;
+    sim::RingQueue<Request> queue_;
+    sim::RingQueue<std::pair<Cont, ValueT>> responses_;
 };
 
 } // namespace mem

@@ -79,13 +79,11 @@ MemoryModule::step(sim::Cycle now)
             cell = fromInt(toInt(cell) + toInt(p.req.data));
             break;
         }
-        inService_.emplace(now_ + accessLatency_ - 1, rsp);
+        inService_.push(now_ + accessLatency_ - 1, rsp);
     }
 
-    while (!inService_.empty() && inService_.begin()->first <= now_) {
-        completed_.push_back(inService_.begin()->second);
-        inService_.erase(inService_.begin());
-    }
+    while (!inService_.empty() && inService_.minKey() <= now_)
+        completed_.push_back(inService_.pop());
 }
 
 std::optional<MemResponse>

@@ -13,11 +13,11 @@
 #define TTDA_MEM_MEMORY_HH
 
 #include <cstdint>
-#include <deque>
-#include <map>
 #include <optional>
 #include <vector>
 
+#include "common/eventheap.hh"
+#include "common/ringqueue.hh"
 #include "common/stats.hh"
 #include "common/trace.hh"
 #include "common/types.hh"
@@ -97,7 +97,7 @@ class MemoryModule
             if (!q.empty())
                 return now_;
         if (!inService_.empty())
-            return inService_.begin()->first - 1;
+            return inService_.minKey() - 1;
         return sim::neverCycle;
     }
 
@@ -128,9 +128,9 @@ class MemoryModule
     sim::Cycle accessLatency_;
     std::uint32_t banks_;
     sim::Cycle now_ = 0;
-    std::vector<std::deque<Pending>> bankQueues_;
-    std::multimap<sim::Cycle, MemResponse> inService_;
-    std::deque<MemResponse> completed_;
+    std::vector<sim::RingQueue<Pending>> bankQueues_;
+    sim::EventHeap<MemResponse> inService_;
+    sim::RingQueue<MemResponse> completed_;
     Stats stats_;
     sim::Tracer *tracer_ = nullptr;
     std::uint32_t tracePid_ = 0;

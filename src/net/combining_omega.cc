@@ -14,8 +14,8 @@ CombiningOmega::CombiningOmega(sim::NodeId ports, bool combining)
     SIM_ASSERT_MSG(detail::isPow2(ports) && ports >= 2,
                    "combining omega needs a power-of-two port count, "
                    "got {}", ports);
-    stageQueues_.assign(stages_,
-                        std::vector<std::deque<Request>>(ports_));
+    stageQueues_.assign(
+        stages_, std::vector<sim::RingQueue<Request>>(ports_));
     rr_.assign(stages_, std::vector<std::uint8_t>(ports_ / 2, 0));
     memQueues_.resize(ports_);
     results_.resize(ports_);

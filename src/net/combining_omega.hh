@@ -24,11 +24,11 @@
 #define TTDA_NET_COMBINING_OMEGA_HH
 
 #include <cstdint>
-#include <deque>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
+#include "common/ringqueue.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -144,15 +144,15 @@ class CombiningOmega
     std::uint64_t nextId_ = 1;
 
     // stageQueues_[s][line]: requests queued at the input of stage s.
-    std::vector<std::vector<std::deque<Request>>> stageQueues_;
+    std::vector<std::vector<sim::RingQueue<Request>>> stageQueues_;
     std::vector<std::vector<std::uint8_t>> rr_;
     // Per-memory-port input queue (one service per cycle).
-    std::vector<std::deque<Request>> memQueues_;
+    std::vector<sim::RingQueue<Request>> memQueues_;
     // Wait buffers: request id -> combine record.
     std::unordered_map<std::uint64_t, WaitEntry> waitBuffer_;
     // Responses in flight (contention-free pipeline back to the CPUs).
     std::vector<Response> responses_;
-    std::vector<std::deque<FaaResult>> results_;
+    std::vector<sim::RingQueue<FaaResult>> results_;
     std::unordered_map<std::uint64_t, std::int64_t> memory_;
     Stats stats_;
 };

@@ -12,11 +12,10 @@
 #ifndef TTDA_NET_CROSSBAR_HH
 #define TTDA_NET_CROSSBAR_HH
 
-#include <deque>
-#include <map>
 #include <utility>
 #include <vector>
 
+#include "common/eventheap.hh"
 #include "common/logging.hh"
 #include "net/network.hh"
 
@@ -81,7 +80,7 @@ class Crossbar : public Network<Payload>
                 Packet<Payload> pkt = std::move(q.front());
                 q.pop_front();
                 pkt.hops = 1;
-                inFlight_.emplace(now_ + latency_ - 1, std::move(pkt));
+                inFlight_.push(now_ + latency_ - 1, std::move(pkt));
                 output_granted[out] = true;
                 rrPointer_[out] = (in + 1) % ports_;
                 break;
@@ -93,9 +92,9 @@ class Crossbar : public Network<Payload>
         for (const auto &q : inputQueues_)
             this->stats_.blockedCycles.inc(q.size());
 
-        while (!inFlight_.empty() && inFlight_.begin()->first <= now_) {
-            auto node = inFlight_.extract(inFlight_.begin());
-            arrivals_.push(node.mapped().dst, std::move(node.mapped()));
+        while (!inFlight_.empty() && inFlight_.minKey() <= now_) {
+            Packet<Payload> pkt = inFlight_.pop();
+            arrivals_.push(pkt.dst, std::move(pkt));
         }
     }
 
@@ -129,7 +128,7 @@ class Crossbar : public Network<Payload>
         if (!arrivals_.empty())
             return now_;
         if (!inFlight_.empty())
-            return inFlight_.begin()->first - 1;
+            return inFlight_.minKey() - 1;
         return sim::neverCycle;
     }
 
@@ -137,9 +136,9 @@ class Crossbar : public Network<Payload>
     sim::NodeId ports_;
     sim::Cycle latency_;
     sim::Cycle now_ = 0;
-    std::vector<std::deque<Packet<Payload>>> inputQueues_;
+    std::vector<sim::RingQueue<Packet<Payload>>> inputQueues_;
     std::vector<sim::NodeId> rrPointer_;
-    std::multimap<sim::Cycle, Packet<Payload>> inFlight_;
+    sim::EventHeap<Packet<Payload>> inFlight_;
     detail::ArrivalQueues<Payload> arrivals_;
 };
 

@@ -15,7 +15,6 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <deque>
 #include <utility>
 #include <vector>
 
@@ -37,7 +36,7 @@ class GridNet : public Network<Payload>
     {
         SIM_ASSERT(side >= 2);
         SIM_ASSERT(hop_latency >= 1);
-        linkQueues_.assign(static_cast<std::size_t>(ports_) * 4, {});
+        linkQueues_.resize(static_cast<std::size_t>(ports_) * 4);
     }
 
     sim::NodeId numPorts() const override { return ports_; }
@@ -177,7 +176,7 @@ class GridNet : public Network<Payload>
     sim::NodeId ports_;
     sim::Cycle hopLatency_;
     sim::Cycle now_ = 0;
-    std::vector<std::deque<Packet<Payload>>> linkQueues_;
+    std::vector<sim::RingQueue<Packet<Payload>>> linkQueues_;
     std::vector<Transit> transiting_;
     detail::ArrivalQueues<Payload> arrivals_;
 };

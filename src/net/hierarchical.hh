@@ -19,11 +19,10 @@
 #ifndef TTDA_NET_HIERARCHICAL_HH
 #define TTDA_NET_HIERARCHICAL_HH
 
-#include <deque>
-#include <map>
 #include <utility>
 #include <vector>
 
+#include "common/eventheap.hh"
 #include "common/logging.hh"
 #include "net/network.hh"
 
@@ -92,7 +91,7 @@ class HierarchicalNet : public Network<Payload>
             q.pop_front();
             t.pkt.hops += 1;
             t.readyAt = now_ + localLatency_ - 1;
-            busTransit_.emplace(t.readyAt, std::move(t));
+            busTransit_.push(t.readyAt, std::move(t));
             this->stats_.blockedCycles.inc(q.size());
         }
 
@@ -103,14 +102,13 @@ class HierarchicalNet : public Network<Payload>
             t.pkt.hops += 1;
             t.leg = Leg::DestBus;
             t.readyAt = now_ + globalLatency_ - 1;
-            busTransit_.emplace(t.readyAt, std::move(t));
+            busTransit_.push(t.readyAt, std::move(t));
             this->stats_.blockedCycles.inc(globalQueue_.size());
         }
 
         // Retire bus traversals that complete this cycle.
-        while (!busTransit_.empty() && busTransit_.begin()->first <= now_) {
-            auto node = busTransit_.extract(busTransit_.begin());
-            Transit &t = node.mapped();
+        while (!busTransit_.empty() && busTransit_.minKey() <= now_) {
+            Transit t = busTransit_.pop();
             switch (t.leg) {
               case Leg::SourceBus:
                 if (clusterOf(t.pkt.src) == clusterOf(t.pkt.dst)) {
@@ -169,7 +167,7 @@ class HierarchicalNet : public Network<Payload>
         if (!globalQueue_.empty() || !arrivals_.empty())
             return now_;
         if (!busTransit_.empty())
-            return busTransit_.begin()->first - 1;
+            return busTransit_.minKey() - 1;
         return sim::neverCycle;
     }
 
@@ -189,9 +187,9 @@ class HierarchicalNet : public Network<Payload>
     sim::Cycle localLatency_;
     sim::Cycle globalLatency_;
     sim::Cycle now_ = 0;
-    std::vector<std::deque<Transit>> clusterQueues_;
-    std::deque<Transit> globalQueue_;
-    std::multimap<sim::Cycle, Transit> busTransit_;
+    std::vector<sim::RingQueue<Transit>> clusterQueues_;
+    sim::RingQueue<Transit> globalQueue_;
+    sim::EventHeap<Transit> busTransit_;
     detail::ArrivalQueues<Payload> arrivals_;
 };
 

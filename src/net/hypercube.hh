@@ -18,7 +18,6 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <deque>
 #include <set>
 #include <utility>
 #include <vector>
@@ -45,7 +44,7 @@ class Hypercube : public Network<Payload>
     {
         SIM_ASSERT(dim >= 1 && dim <= 20);
         SIM_ASSERT(hop_latency >= 1);
-        linkQueues_.assign(static_cast<std::size_t>(ports_) * dim_, {});
+        linkQueues_.resize(static_cast<std::size_t>(ports_) * dim_);
         routingTable_.resize(ports_);
         for (sim::NodeId i = 0; i < ports_; ++i)
             routingTable_[i] = i;
@@ -282,7 +281,7 @@ class Hypercube : public Network<Payload>
     sim::Cycle now_ = 0;
     bool tablesDirty_ = false;
     std::vector<std::uint8_t> faultNext_; //!< [dst*ports + node]
-    std::vector<std::deque<InFlight>> linkQueues_;
+    std::vector<sim::RingQueue<InFlight>> linkQueues_;
     std::vector<InFlight> transiting_;
     std::set<std::pair<sim::NodeId, std::uint32_t>> deadLinks_;
     std::vector<sim::NodeId> routingTable_;

@@ -12,10 +12,10 @@
 #ifndef TTDA_NET_IDEAL_HH
 #define TTDA_NET_IDEAL_HH
 
-#include <map>
 #include <utility>
 #include <vector>
 
+#include "common/eventheap.hh"
 #include "common/logging.hh"
 #include "common/random.hh"
 #include "net/network.hh"
@@ -57,16 +57,15 @@ class IdealNetwork : public Network<Payload>
         this->noteSend(pkt);
         const sim::Cycle delay =
             latency_ + (jitter_ ? rng_.delay(0, jitter_) : 0);
-        inFlight_.emplace(now_ + delay, std::move(pkt));
+        inFlight_.push(now_ + delay, std::move(pkt));
     }
 
     void
     step(sim::Cycle now) override
     {
         now_ = now + 1;
-        while (!inFlight_.empty() && inFlight_.begin()->first <= now_) {
-            auto node = inFlight_.extract(inFlight_.begin());
-            Packet<Payload> &pkt = node.mapped();
+        while (!inFlight_.empty() && inFlight_.minKey() <= now_) {
+            Packet<Payload> pkt = inFlight_.pop();
             pkt.hops = 1;
             arrivals_.push(pkt.dst, std::move(pkt));
         }
@@ -94,7 +93,7 @@ class IdealNetwork : public Network<Payload>
         if (!arrivals_.empty())
             return now_;
         if (!inFlight_.empty())
-            return inFlight_.begin()->first - 1;
+            return inFlight_.minKey() - 1;
         return sim::neverCycle;
     }
 
@@ -104,7 +103,7 @@ class IdealNetwork : public Network<Payload>
     sim::Cycle jitter_;
     sim::Rng rng_;
     sim::Cycle now_ = 0;
-    std::multimap<sim::Cycle, Packet<Payload>> inFlight_;
+    sim::EventHeap<Packet<Payload>> inFlight_;
     detail::ArrivalQueues<Payload> arrivals_;
 };
 

@@ -21,11 +21,11 @@
 #define TTDA_NET_NETWORK_HH
 
 #include <cstdint>
-#include <deque>
 #include <optional>
 #include <vector>
 
 #include "common/format.hh"
+#include "common/ringqueue.hh"
 #include "common/stats.hh"
 #include "common/trace.hh"
 #include "common/types.hh"
@@ -199,7 +199,7 @@ class ArrivalQueues
     }
 
   private:
-    std::vector<std::deque<Packet<Payload>>> queues_;
+    std::vector<sim::RingQueue<Packet<Payload>>> queues_;
 };
 
 } // namespace detail

@@ -17,7 +17,6 @@
 #define TTDA_NET_OMEGA_HH
 
 #include <cstdint>
-#include <deque>
 #include <utility>
 #include <vector>
 
@@ -93,8 +92,8 @@ class OmegaNet : public Network<Payload>
                        "got {}", ports);
         // stageQueues_[s][line]: packets waiting on `line` at the input
         // of stage s (line numbering is pre-shuffle for that stage).
-        stageQueues_.assign(k_, std::vector<std::deque<Packet<Payload>>>(
-                                    ports_));
+        stageQueues_.assign(
+            k_, std::vector<sim::RingQueue<Packet<Payload>>>(ports_));
         rr_.assign(k_, std::vector<std::uint8_t>(ports_ / 2, 0));
     }
 
@@ -179,7 +178,7 @@ class OmegaNet : public Network<Payload>
 
     void
     serveSwitch(std::uint32_t s, std::uint32_t sw,
-                std::vector<std::deque<Packet<Payload>>> &lines)
+                std::vector<sim::RingQueue<Packet<Payload>>> &lines)
     {
         const std::uint32_t in0 = inputLine(sw, 0);
         const std::uint32_t in1 = inputLine(sw, 1);
@@ -219,7 +218,8 @@ class OmegaNet : public Network<Payload>
     std::uint32_t k_;
     sim::Cycle now_ = 0;
     // stageQueues_[s][line]: queue at the input side of stage s.
-    std::vector<std::vector<std::deque<Packet<Payload>>>> stageQueues_;
+    std::vector<std::vector<sim::RingQueue<Packet<Payload>>>>
+        stageQueues_;
     std::vector<std::vector<std::uint8_t>> rr_;
     detail::ArrivalQueues<Payload> arrivals_;
 };

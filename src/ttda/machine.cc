@@ -130,7 +130,16 @@ Machine::Machine(const graph::Program &program, MachineConfig config)
     if (threads_ > 1) {
         pool_ = std::make_unique<sim::WorkerPool>(threads_);
         scanTask_ = [this](unsigned s) { scanShard(shards_[s]); };
-        cycleTask_ = [this](unsigned s) { shardCycle(shards_[s]); };
+        // observing_ is final by now; bind the matching phase-A
+        // instantiation so workers never test the flag per token.
+        if (observing_)
+            cycleTask_ = [this](unsigned s) {
+                shardCycle<true>(shards_[s]);
+            };
+        else
+            cycleTask_ = [this](unsigned s) {
+                shardCycle<false>(shards_[s]);
+            };
     }
     const bool tracing = cfg_.tracer && cfg_.tracer->active();
     for (Shard &sh : shards_) {
@@ -269,6 +278,7 @@ Machine::preload(const std::vector<graph::Value> &values)
     return graph::IPtr{base, static_cast<std::uint32_t>(values.size())};
 }
 
+template <bool Obs>
 void
 Machine::stepInput(Shard &sh, Pe &pe, sim::NodeId id, bool defer)
 {
@@ -292,10 +302,12 @@ Machine::stepInput(Shard &sh, Pe &pe, sim::NodeId id, bool defer)
       case TokenKind::Normal: {
         if (tok.nt == 1) {
             // Monadic tokens go straight to instruction fetch.
-            SIM_TRACE(sh.trcp, Fire, complete, id, kTidFetch,
-                      "fetch", now_, cfg_.fetchCycles,
-                      sim::format("\"tag\":\"{}\",\"seq\":{}", tok.tag,
-                                  tok.seq));
+            if constexpr (Obs) {
+                SIM_TRACE(sh.trcp, Fire, complete, id, kTidFetch,
+                          "fetch", now_, cfg_.fetchCycles,
+                          sim::format("\"tag\":\"{}\",\"seq\":{}",
+                                      tok.tag, tok.seq));
+            }
             std::vector<graph::Value> ops = takeSlots(sh, 1);
             ops[0] = std::move(tok.data);
             pe.fetchQ.push_back(ReadyOp{
@@ -306,7 +318,7 @@ Machine::stepInput(Shard &sh, Pe &pe, sim::NodeId id, bool defer)
         }
         pe.stats.matchBusyCycles.inc();
         sim::Cycle busy = cfg_.matchCycles - 1;
-        auto [it, inserted] = pe.waitStore.try_emplace(tok.tag);
+        auto [wp, inserted] = pe.waitStore.insert(tok.tag);
         if (inserted) {
             ++sh.wmEntries;
             if (cfg_.matchCapacity != 0 &&
@@ -319,7 +331,7 @@ Machine::stepInput(Shard &sh, Pe &pe, sim::NodeId id, bool defer)
             }
         }
         setBusy(sh, pe.matchBusy, busy);
-        Waiting &w = it->second;
+        Waiting &w = *wp;
         if (w.expected == 0) {
             SIM_ASSERT_MSG(tok.nt <= 64,
                            "instruction with {} input ports exceeds "
@@ -341,29 +353,36 @@ Machine::stepInput(Shard &sh, Pe &pe, sim::NodeId id, bool defer)
         pe.stats.waitStorePeak = std::max<std::uint64_t>(
             pe.stats.waitStorePeak, pe.waitStore.size());
         if (w.arrived == w.expected) {
-            SIM_TRACE(sh.trcp, Wm, complete, id, kTidWm, "match",
-                      now_, busy + 1,
-                      sim::format("\"tag\":\"{}\",\"seq\":{}", tok.tag,
-                                  tok.seq));
-            SIM_TRACE(sh.trcp, Fire, complete, id, kTidFetch,
-                      "fetch", now_, cfg_.fetchCycles,
-                      sim::format("\"tag\":\"{}\"", tok.tag));
-            auto node = pe.waitStore.extract(it);
+            if constexpr (Obs) {
+                SIM_TRACE(sh.trcp, Wm, complete, id, kTidWm, "match",
+                          now_, busy + 1,
+                          sim::format("\"tag\":\"{}\",\"seq\":{}",
+                                      tok.tag, tok.seq));
+                SIM_TRACE(sh.trcp, Fire, complete, id, kTidFetch,
+                          "fetch", now_, cfg_.fetchCycles,
+                          sim::format("\"tag\":\"{}\"", tok.tag));
+            }
+            // Move the operand set out, then release the entry; the
+            // backward-shift erase may relocate other entries but
+            // never touches the moved-from vector.
+            std::vector<graph::Value> ops = std::move(w.slots);
+            pe.waitStore.erase(tok.tag);
             --sh.wmEntries;
             pe.fetchQ.push_back(ReadyOp{
-                graph::EnabledInstruction{
-                    tok.tag, std::move(node.mapped().slots)},
+                graph::EnabledInstruction{tok.tag, std::move(ops)},
                 now_ + cfg_.fetchCycles, tok.born});
             ++sh.activeItems;
         } else {
-            SIM_TRACE(sh.trcp, Wm, instant, id, kTidWm, "enq",
-                      now_,
-                      sim::format("\"tag\":\"{}\",\"port\":{},"
-                                  "\"arrived\":{},\"expected\":{}",
-                                  tok.tag,
-                                  static_cast<unsigned>(tok.port),
-                                  static_cast<unsigned>(w.arrived),
-                                  static_cast<unsigned>(w.expected)));
+            if constexpr (Obs) {
+                SIM_TRACE(
+                    sh.trcp, Wm, instant, id, kTidWm, "enq", now_,
+                    sim::format("\"tag\":\"{}\",\"port\":{},"
+                                "\"arrived\":{},\"expected\":{}",
+                                tok.tag,
+                                static_cast<unsigned>(tok.port),
+                                static_cast<unsigned>(w.arrived),
+                                static_cast<unsigned>(w.expected)));
+            }
         }
         break;
       }
@@ -380,10 +399,12 @@ Machine::stepInput(Shard &sh, Pe &pe, sim::NodeId id, bool defer)
         if (sh.dbg) {
             *sh.dbg << now_ << " OUTPUT " << tok.data << "\n";
         }
-        SIM_TRACE(sh.trcp, Sched, instant, id, kTidWm, "result",
-                  now_,
-                  sim::format("\"value\":\"{}\",\"seq\":{}", tok.data,
-                              tok.seq));
+        if constexpr (Obs) {
+            SIM_TRACE(sh.trcp, Sched, instant, id, kTidWm, "result",
+                      now_,
+                      sim::format("\"value\":\"{}\",\"seq\":{}",
+                                  tok.data, tok.seq));
+        }
         if (defer) {
             // The host list is shared; append at commit, in PE order.
             pe.stage.output =
@@ -397,11 +418,12 @@ Machine::stepInput(Shard &sh, Pe &pe, sim::NodeId id, bool defer)
     }
 }
 
+template <bool Obs>
 void
 Machine::emitNew(Shard &sh, Pe &pe, std::vector<graph::Token> *staged,
                  graph::Token &&t)
 {
-    if (observing_)
+    if constexpr (Obs)
         t.born = stamp(now_);
     if (staged) {
         // Token::seq is a global creation sequence; the commit phase
@@ -409,12 +431,13 @@ Machine::emitNew(Shard &sh, Pe &pe, std::vector<graph::Token> *staged,
         staged->push_back(std::move(t));
         return;
     }
-    if (observing_)
+    if constexpr (Obs)
         t.seq = tokenSeq_++;
     pe.outQ.push_back(std::move(t));
     ++sh.activeItems;
 }
 
+template <bool Obs>
 void
 Machine::stepAlu(Shard &sh, Pe &pe, sim::NodeId id, bool defer)
 {
@@ -437,12 +460,14 @@ Machine::stepAlu(Shard &sh, Pe &pe, sim::NodeId id, bool defer)
                 << graph::opcodeName(in.op) << "\n";
     }
     const sim::Cycle lat = aluLatency_[static_cast<std::size_t>(in.op)];
-    if (observing_)
+    if constexpr (Obs) {
         sh.birthToFire.sample(sinceStamp(now_, op.born));
-    SIM_TRACE(sh.trcp, Fire, complete, id, kTidAlu,
-              graph::opcodeName(in.op), now_, lat,
-              sim::format("\"tag\":\"{}\",\"wait\":{}", op.enabled.tag,
-                          sinceStamp(now_, op.born)));
+        SIM_TRACE(sh.trcp, Fire, complete, id, kTidAlu,
+                  graph::opcodeName(in.op), now_, lat,
+                  sim::format("\"tag\":\"{}\",\"wait\":{}",
+                              op.enabled.tag,
+                              sinceStamp(now_, op.born)));
+    }
     pe.stats.fired.inc();
     pe.stats.aluBusyCycles.inc();
     setBusy(sh, pe.aluBusy, lat - 1);
@@ -459,10 +484,11 @@ Machine::stepAlu(Shard &sh, Pe &pe, sim::NodeId id, bool defer)
     sh.exec.execute(op.enabled, sh.fireBuf);
     recycleSlots(sh, std::move(op.enabled.operands));
     for (auto &t : sh.fireBuf)
-        emitNew(sh, pe, defer ? &pe.stage.emitFire : nullptr,
-                std::move(t));
+        emitNew<Obs>(sh, pe, defer ? &pe.stage.emitFire : nullptr,
+                     std::move(t));
 }
 
+template <bool Obs>
 void
 Machine::serveDeferred(
     Shard &sh, Pe &pe, sim::NodeId id, graph::TokenKind cause,
@@ -486,20 +512,23 @@ Machine::serveDeferred(
             t.data = value;
             // Read-issue-to-response latency; a response emitted by a
             // STORE (or a copy's write) is a read that sat deferred.
-            if (observing_)
+            if constexpr (Obs) {
                 sh.readLatency.sample(sinceStamp(now_, cont.born));
-            if (cause != TokenKind::IsFetch) {
-                SIM_TRACE(sh.trcp, Istr, instant, id, kTidIstr,
-                          "serve", now_,
-                          sim::format("\"reader\":\"{}\",\"lat\":{}",
-                                      cont.cont.tag,
-                                      sinceStamp(now_, cont.born)));
+                if (cause != TokenKind::IsFetch) {
+                    SIM_TRACE(
+                        sh.trcp, Istr, instant, id, kTidIstr, "serve",
+                        now_,
+                        sim::format("\"reader\":\"{}\",\"lat\":{}",
+                                    cont.cont.tag,
+                                    sinceStamp(now_, cont.born)));
+                }
             }
         }
-        emitNew(sh, pe, staged, std::move(t));
+        emitNew<Obs>(sh, pe, staged, std::move(t));
     }
 }
 
+template <bool Obs>
 void
 Machine::applyAllocAppend(Shard &sh, Pe &pe, sim::NodeId id,
                           graph::Token tok)
@@ -509,9 +538,12 @@ Machine::applyAllocAppend(Shard &sh, Pe &pe, sim::NodeId id,
     if (tok.kind == TokenKind::IsAlloc) {
         const auto n = static_cast<std::uint64_t>(tok.data.asInt());
         const std::uint64_t base = allocateGlobal(n);
-        SIM_TRACE(sh.trcp, Istr, complete, id, kTidIstr, "alloc",
-                  now_, cfg_.isReadCycles,
-                  sim::format("\"base\":{},\"words\":{}", base, n));
+        if constexpr (Obs) {
+            SIM_TRACE(sh.trcp, Istr, complete, id, kTidIstr, "alloc",
+                      now_, cfg_.isReadCycles,
+                      sim::format("\"base\":{},\"words\":{}", base,
+                                  n));
+        }
         graph::Token reply;
         reply.kind = TokenKind::Normal;
         reply.tag = tok.reply.tag;
@@ -519,7 +551,7 @@ Machine::applyAllocAppend(Shard &sh, Pe &pe, sim::NodeId id,
         reply.nt = tok.reply.nt;
         reply.data = graph::Value{
             graph::IPtr{base, static_cast<std::uint32_t>(n)}};
-        emitNew(sh, pe, nullptr, std::move(reply));
+        emitNew<Obs>(sh, pe, nullptr, std::move(reply));
     } else {
         // Functional update: allocate and copy. The copy touches
         // cells on every PE; it is modelled as a block operation of
@@ -535,10 +567,12 @@ Machine::applyAllocAppend(Shard &sh, Pe &pe, sim::NodeId id,
                           (cfg_.isReadCycles + cfg_.isWriteCycles)
                     : cfg_.isReadCycles;
         const std::uint64_t base = allocateGlobal(len);
-        SIM_TRACE(sh.trcp, Istr, complete, id, kTidIstr, "append",
-                  now_, appendCost,
-                  sim::format("\"src\":{},\"dst\":{},\"len\":{}",
-                              tok.addr, base, len));
+        if constexpr (Obs) {
+            SIM_TRACE(sh.trcp, Istr, complete, id, kTidIstr, "append",
+                      now_, appendCost,
+                      sim::format("\"src\":{},\"dst\":{},\"len\":{}",
+                                  tok.addr, base, len));
+        }
         for (std::uint32_t k = 0; k < len; ++k) {
             const std::uint64_t dst = base + k;
             if (k == idx) {
@@ -564,11 +598,12 @@ Machine::applyAllocAppend(Shard &sh, Pe &pe, sim::NodeId id,
         reply.port = tok.reply.port;
         reply.nt = tok.reply.nt;
         reply.data = graph::Value{graph::IPtr{base, len}};
-        emitNew(sh, pe, nullptr, std::move(reply));
+        emitNew<Obs>(sh, pe, nullptr, std::move(reply));
     }
-    serveDeferred(sh, pe, id, tok.kind, served, nullptr);
+    serveDeferred<Obs>(sh, pe, id, tok.kind, served, nullptr);
 }
 
+template <bool Obs>
 void
 Machine::stepIs(Shard &sh, Pe &pe, sim::NodeId id, bool defer)
 {
@@ -589,23 +624,27 @@ Machine::stepIs(Shard &sh, Pe &pe, sim::NodeId id, bool defer)
                        "i-structure fetch for word {} misrouted to PE "
                        "{}", tok.addr, id);
         setBusy(sh, pe.isBusy, cfg_.isReadCycles - 1);
-        SIM_TRACE(sh.trcp, Istr, complete, id, kTidIstr, "read",
-                  now_, cfg_.isReadCycles,
-                  sim::format("\"addr\":{}", tok.addr));
+        if constexpr (Obs) {
+            SIM_TRACE(sh.trcp, Istr, complete, id, kTidIstr, "read",
+                      now_, cfg_.isReadCycles,
+                      sim::format("\"addr\":{}", tok.addr));
+        }
         // Without lifecycle stamping the token's born field is 0; use
         // the controller arrival cycle so the deadlock report still
         // dates parked reads.
         if (!pe.isStore.fetch(tok.addr / cfg_.numPEs,
-                              graph::IsCont{.born = observing_
+                              graph::IsCont{.born = Obs
                                                 ? tok.born
                                                 : stamp(now_),
                                             .cont = tok.reply},
                               served))
         {
-            SIM_TRACE(sh.trcp, Istr, instant, id, kTidIstr,
-                      "defer", now_,
-                      sim::format("\"addr\":{},\"reader\":\"{}\"",
-                                  tok.addr, tok.reply.tag));
+            if constexpr (Obs) {
+                SIM_TRACE(sh.trcp, Istr, instant, id, kTidIstr,
+                          "defer", now_,
+                          sim::format("\"addr\":{},\"reader\":\"{}\"",
+                                      tok.addr, tok.reply.tag));
+            }
         }
         break;
       }
@@ -614,9 +653,11 @@ Machine::stepIs(Shard &sh, Pe &pe, sim::NodeId id, bool defer)
                        "i-structure store for word {} misrouted to PE "
                        "{}", tok.addr, id);
         setBusy(sh, pe.isBusy, cfg_.isWriteCycles - 1);
-        SIM_TRACE(sh.trcp, Istr, complete, id, kTidIstr, "write",
-                  now_, cfg_.isWriteCycles,
-                  sim::format("\"addr\":{}", tok.addr));
+        if constexpr (Obs) {
+            SIM_TRACE(sh.trcp, Istr, complete, id, kTidIstr, "write",
+                      now_, cfg_.isWriteCycles,
+                      sim::format("\"addr\":{}", tok.addr));
+        }
         if (!pe.isStore.store(tok.addr / cfg_.numPEs, tok.data,
                               served))
         {
@@ -634,7 +675,7 @@ Machine::stepIs(Shard &sh, Pe &pe, sim::NodeId id, bool defer)
             pe.stage.isDeferred = true;
             return;
         }
-        applyAllocAppend(sh, pe, id, std::move(tok));
+        applyAllocAppend<Obs>(sh, pe, id, std::move(tok));
         return;
       }
       case TokenKind::IsAppend: {
@@ -649,17 +690,18 @@ Machine::stepIs(Shard &sh, Pe &pe, sim::NodeId id, bool defer)
                           (cfg_.isReadCycles + cfg_.isWriteCycles)
                     : cfg_.isReadCycles;
         setBusy(sh, pe.isBusy, appendCost - 1);
-        applyAllocAppend(sh, pe, id, std::move(tok));
+        applyAllocAppend<Obs>(sh, pe, id, std::move(tok));
         return;
       }
       default:
         sim::panic("non-structure token in i-structure queue");
     }
 
-    serveDeferred(sh, pe, id, tok.kind, served,
-                  defer ? &pe.stage.emitIs : nullptr);
+    serveDeferred<Obs>(sh, pe, id, tok.kind, served,
+                       defer ? &pe.stage.emitIs : nullptr);
 }
 
+template <bool Obs>
 void
 Machine::stepOutput(Shard &sh, Pe &pe, sim::NodeId id, bool defer)
 {
@@ -671,8 +713,11 @@ Machine::stepOutput(Shard &sh, Pe &pe, sim::NodeId id, bool defer)
             pe.outQ.pop_front();
             --sh.activeItems;
             pe.stats.outputTokens.inc();
-            SIM_TRACE(sh.trcp, Sched, instant, id, kTidOutput, "out",
-                      now_, sim::format("\"seq\":{}", t.seq));
+            if constexpr (Obs) {
+                SIM_TRACE(sh.trcp, Sched, instant, id, kTidOutput,
+                          "out", now_,
+                          sim::format("\"seq\":{}", t.seq));
+            }
             route(sh, id, std::move(t));
         }
         return;
@@ -833,6 +878,7 @@ Machine::skipParallel()
                    cfg_.maxCycles);
 }
 
+template <bool Obs>
 void
 Machine::shardCycle(Shard &sh)
 {
@@ -850,17 +896,18 @@ Machine::shardCycle(Shard &sh)
         st.isDeferred = false;
         st.hasOutput = false;
 
-        stepInput(sh, pe, p, true);
-        stepAlu(sh, pe, p, true);
+        stepInput<Obs>(sh, pe, p, true);
+        stepAlu<Obs>(sh, pe, p, true);
         if (!serialIs)
-            stepIs(sh, pe, p, true);
+            stepIs<Obs>(sh, pe, p, true);
         st.tailDeferred =
             serialIs || st.fireDeferred || st.isDeferred;
         if (!st.tailDeferred)
-            stepOutput(sh, pe, p, true);
+            stepOutput<Obs>(sh, pe, p, true);
     }
 }
 
+template <bool Obs>
 void
 Machine::commitFire(Shard &sh, Pe &pe)
 {
@@ -872,19 +919,20 @@ Machine::commitFire(Shard &sh, Pe &pe)
         sh.exec.execute(op.enabled, sh.fireBuf);
         recycleSlots(sh, std::move(op.enabled.operands));
         for (auto &t : sh.fireBuf)
-            emitNew(sh, pe, nullptr, std::move(t));
+            emitNew<Obs>(sh, pe, nullptr, std::move(t));
         return;
     }
-    commitEmit(sh, pe, st.emitFire, 0);
+    commitEmit<Obs>(sh, pe, st.emitFire, 0);
 }
 
+template <bool Obs>
 void
 Machine::commitEmit(Shard &sh, Pe &pe, std::vector<graph::Token> &vec,
                     std::size_t used)
 {
     for (std::size_t i = used; i < vec.size(); ++i) {
         graph::Token &t = vec[i];
-        if (observing_)
+        if constexpr (Obs)
             t.seq = tokenSeq_++;
         pe.outQ.push_back(std::move(t));
         ++sh.activeItems;
@@ -892,11 +940,12 @@ Machine::commitEmit(Shard &sh, Pe &pe, std::vector<graph::Token> &vec,
     vec.clear();
 }
 
+template <bool Obs>
 void
 Machine::commitStagedOutput(Shard &sh, Pe &pe, sim::NodeId id)
 {
     Staging &st = pe.stage;
-    if (observing_) {
+    if constexpr (Obs) {
         // Global sequence stamps in creation order: the consumed
         // prefix first (pop order equals creation order for fresh
         // tokens: outQ drains before emitFire, emitFire before
@@ -910,8 +959,10 @@ Machine::commitStagedOutput(Shard &sh, Pe &pe, sim::NodeId id)
             st.emitIs[i].seq = tokenSeq_++;
     }
     for (auto &t : st.outPlan) {
-        SIM_TRACE(sh.trcp, Sched, instant, id, kTidOutput, "out",
-                  now_, sim::format("\"seq\":{}", t.seq));
+        if constexpr (Obs) {
+            SIM_TRACE(sh.trcp, Sched, instant, id, kTidOutput, "out",
+                      now_, sim::format("\"seq\":{}", t.seq));
+        }
         const sim::NodeId dst = t.pe;
         if (cfg_.localBypass && dst == id) {
             pe.stats.bypassTokens.inc();
@@ -936,6 +987,7 @@ Machine::commitStagedOutput(Shard &sh, Pe &pe, sim::NodeId id)
     st.emitIs.clear();
 }
 
+template <bool Obs>
 void
 Machine::commitCycle()
 {
@@ -950,20 +1002,21 @@ Machine::commitCycle()
         if (serialIsCycle_) {
             // An APPEND may touch every controller: replay the whole
             // I-structure step (and the tail) serially this cycle.
-            commitFire(sh, pe);
-            stepIs(sh, pe, p, false);
-            stepOutput(sh, pe, p, false);
+            commitFire<Obs>(sh, pe);
+            stepIs<Obs>(sh, pe, p, false);
+            stepOutput<Obs>(sh, pe, p, false);
         } else if (st.tailDeferred) {
-            commitFire(sh, pe);
+            commitFire<Obs>(sh, pe);
             if (st.isDeferred) {
                 st.isDeferred = false;
-                applyAllocAppend(sh, pe, p, std::move(st.pendingIs));
+                applyAllocAppend<Obs>(sh, pe, p,
+                                      std::move(st.pendingIs));
             } else {
-                commitEmit(sh, pe, st.emitIs, 0);
+                commitEmit<Obs>(sh, pe, st.emitIs, 0);
             }
-            stepOutput(sh, pe, p, false);
+            stepOutput<Obs>(sh, pe, p, false);
         } else {
-            commitStagedOutput(sh, pe, p);
+            commitStagedOutput<Obs>(sh, pe, p);
         }
     }
 }
@@ -981,6 +1034,7 @@ Machine::flushShardLogs()
     }
 }
 
+template <bool Obs>
 void
 Machine::runSequential()
 {
@@ -994,10 +1048,10 @@ Machine::runSequential()
             break;
         for (std::uint32_t p = 0; p < cfg_.numPEs; ++p) {
             Pe &pe = *pes_[p];
-            stepInput(sh, pe, p, false);
-            stepAlu(sh, pe, p, false);
-            stepIs(sh, pe, p, false);
-            stepOutput(sh, pe, p, false);
+            stepInput<Obs>(sh, pe, p, false);
+            stepAlu<Obs>(sh, pe, p, false);
+            stepIs<Obs>(sh, pe, p, false);
+            stepOutput<Obs>(sh, pe, p, false);
         }
         net_->step(now_);
         ++now_;
@@ -1012,6 +1066,7 @@ Machine::runSequential()
     }
 }
 
+template <bool Obs>
 void
 Machine::runParallel()
 {
@@ -1025,7 +1080,7 @@ Machine::runParallel()
         serialIsCycle_ = pendingAppendsTotal() > 0;
         pool_->run(cycleTask_);  // phase A
         flushShardLogs();        // phase-A events, in shard order
-        commitCycle();           // phase B, in PE-index order
+        commitCycle<Obs>();      // phase B, in PE-index order
         flushShardLogs();        // commit-phase events
         net_->step(now_);
         ++now_;
@@ -1043,10 +1098,12 @@ Machine::runParallel()
 std::vector<OutputRecord>
 Machine::run()
 {
+    // Select the observability instantiation once: the Obs=false
+    // bodies contain no stamping, sampling, or trace code at all.
     if (threads_ > 1)
-        runParallel();
+        observing_ ? runParallel<true>() : runParallel<false>();
     else
-        runSequential();
+        observing_ ? runSequential<true>() : runSequential<false>();
 
     // Merge the shard-local latency histograms into the machine-level
     // ones, in shard order. Exact: the samples are integer-valued, so
@@ -1116,11 +1173,12 @@ Machine::deadlockReport() const
         os << "  PE " << p << ": " << ws.size()
            << " activities still waiting for partner tokens:\n";
         std::size_t shown = 0;
-        for (const auto &[tag, w] : ws) {
+        ws.forEach([&](const graph::Tag &tag, const Waiting &w) {
             if (++shown > kMaxPerSection) {
-                os << "    ... " << ws.size() - kMaxPerSection
-                   << " more\n";
-                break;
+                if (shown == kMaxPerSection + 1)
+                    os << "    ... " << ws.size() - kMaxPerSection
+                       << " more\n";
+                return;
             }
             os << "    " << tag << ": "
                << static_cast<unsigned>(w.arrived) << "/"
@@ -1132,7 +1190,7 @@ Machine::deadlockReport() const
                     os << " " << static_cast<unsigned>(port);
             }
             os << "\n";
-        }
+        });
     }
 
     // 3. Packets the network accepted but never delivered (should be

@@ -46,9 +46,9 @@
 #include <memory>
 #include <ostream>
 #include <sstream>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flatmap.hh"
 #include "common/parallel.hh"
 #include "common/ringqueue.hh"
 #include "common/stats.hh"
@@ -298,8 +298,12 @@ class Machine
         explicit Pe(std::size_t is_words) : isStore(is_words) {}
 
         sim::RingQueue<graph::Token> inQ;
-        std::unordered_map<graph::Tag, Waiting, graph::TagHash>
-            waitStore;
+        /** The waiting-matching associative store: flat
+         *  open-addressed, keyed on the full tag (hashed through its
+         *  stable 64-bit packing), tombstone-free erases, rehash
+         *  amortized across ticks — see docs/ARCHITECTURE.md, "The
+         *  flat waiting-matching store". */
+        sim::FlatHashMap<graph::Tag, Waiting, graph::TagHash> waitStore;
         sim::Cycle matchBusy = 0;
         sim::RingQueue<ReadyOp> fetchQ;
         sim::Cycle aluBusy = 0;
@@ -389,18 +393,31 @@ class Machine
     // Stage steps. With defer=false they apply every effect directly
     // (the sequential engine and phase B); with defer=true (phase A)
     // order-sensitive effects land in the PE's Staging instead.
+    //
+    // The whole step/emit path is templated on Obs — whether the
+    // machine is observing token lifecycles (latencyStats or an
+    // active tracer). The Obs=false instantiation compiles out every
+    // seq/born stamp, histogram sample, and SIM_TRACE site, so runs
+    // without observability pay literally nothing for it; run()
+    // selects the instantiation once.
+    template <bool Obs>
     void stepInput(Shard &sh, Pe &pe, sim::NodeId id, bool defer);
+    template <bool Obs>
     void stepAlu(Shard &sh, Pe &pe, sim::NodeId id, bool defer);
+    template <bool Obs>
     void stepIs(Shard &sh, Pe &pe, sim::NodeId id, bool defer);
+    template <bool Obs>
     void stepOutput(Shard &sh, Pe &pe, sim::NodeId id, bool defer);
 
     /** Queue a freshly created token for the output section: staged
      *  (seq assigned later) or stamped and pushed straight to outQ. */
+    template <bool Obs>
     void emitNew(Shard &sh, Pe &pe, std::vector<graph::Token> *staged,
                  graph::Token &&t);
 
     /** Turn an I-structure controller's served continuations into
      *  response/store tokens (shared by every stepIs flavour). */
+    template <bool Obs>
     void serveDeferred(
         Shard &sh, Pe &pe, sim::NodeId id, graph::TokenKind cause,
         std::vector<std::pair<graph::IsCont, graph::Value>> &served,
@@ -408,6 +425,7 @@ class Machine
 
     /** ALLOC/APPEND effects: global allocation, copy traffic, reply.
      *  Runs in stepIs (sequential) or phase B (parallel). */
+    template <bool Obs>
     void applyAllocAppend(Shard &sh, Pe &pe, sim::NodeId id,
                           graph::Token tok);
 
@@ -494,26 +512,33 @@ class Machine
     std::uint64_t wmTotal() const;
     std::uint64_t pendingAppendsTotal() const;
 
+    template <bool Obs>
     void runSequential();
+    template <bool Obs>
     void runParallel();
 
     /** Phase A for one shard: stage steps for the owned PEs, staging
      *  order-sensitive effects. */
+    template <bool Obs>
     void shardCycle(Shard &sh);
 
     /** Phase B: replay every PE's staged effects in PE-index order. */
+    template <bool Obs>
     void commitCycle();
 
     /** Execute/flush the cycle's ALU product for one PE: run a
      *  deferred context-touching fire, or stamp the staged fire
      *  tokens, pushing all of them to outQ. */
+    template <bool Obs>
     void commitFire(Shard &sh, Pe &pe);
 
     /** Stamp a staged token list (from `used` on) into outQ. */
+    template <bool Obs>
     void commitEmit(Shard &sh, Pe &pe, std::vector<graph::Token> &vec,
                     std::size_t used);
 
     /** Stamp and route the staged output-section plan of one PE. */
+    template <bool Obs>
     void commitStagedOutput(Shard &sh, Pe &pe, sim::NodeId id);
 
     /** skip-ahead for the parallel engine: parallel per-shard scans,

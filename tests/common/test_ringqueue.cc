@@ -81,6 +81,36 @@ TEST(RingQueue, GrowthRelocatesWrappedWindow)
     }
 }
 
+TEST(RingQueue, GrowthAtExactCapacityWithWrappedHead)
+{
+    // The worst-case growth trigger: the push that finds size ==
+    // capacity while the window is wrapped at every possible head
+    // offset. The relocated window must preserve FIFO order and the
+    // vacated ring must keep working through further churn.
+    for (std::size_t headOff = 0; headOff < 4; ++headOff) {
+        sim::RingQueue<int> q(4);
+        for (std::size_t i = 0; i < headOff; ++i) {
+            q.push_back(-1);
+            q.pop_front();
+        }
+        for (int i = 0; i < 4; ++i)
+            q.push_back(i); // exactly full, window wraps for headOff>0
+        EXPECT_EQ(q.size(), q.capacity());
+        q.push_back(4); // the growing push
+        EXPECT_EQ(q.capacity(), 8u);
+        for (int i = 0; i < 5; ++i) {
+            EXPECT_EQ(q.front(), i) << "headOff=" << headOff;
+            q.pop_front();
+            q.push_back(100 + i); // churn across the new boundary
+        }
+        for (int i = 0; i < 5; ++i) {
+            EXPECT_EQ(q.front(), 100 + i) << "headOff=" << headOff;
+            q.pop_front();
+        }
+        EXPECT_TRUE(q.empty());
+    }
+}
+
 TEST(RingQueue, AtIndexesFromFront)
 {
     sim::RingQueue<int> q(4);
