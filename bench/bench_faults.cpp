@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Degradation-under-loss benchmark (the resilience experiment).
+ *
+ * Sweeps the fault injector's packet-drop rate (with proportional
+ * duplicate/corrupt/delay rates) over both machine styles, bare and
+ * wrapped in net::ReliableNet, under one fixed fault seed:
+ *
+ *   rate in {0, 0.1%, 1%, 5%}
+ *     x {ttda, ttda+reliable, vn, vn+reliable}
+ *
+ * The paper's Issue 1 claim needs faults to be *survivable*, not just
+ * injectable: the reliable variants must finish every point (slower —
+ * that slowdown is the degradation curve recorded in EXPERIMENTS.md),
+ * while the bare variants strand tokens/contexts at nonzero loss and
+ * quiesce incomplete, classified by the deadlock forensics.
+ *
+ * Results are written as machine-readable JSON (BENCH_faults.json by
+ * default, or argv[1]) in the BENCH_core.json style; the zero-fault
+ * configs feed scripts/bench_guard.sh's regression check.
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util.hh"
+
+namespace
+{
+
+struct Result
+{
+    std::string name;
+    double dropRate = 0.0;
+    bool completed = false;      //!< run finished without stranding
+    std::uint64_t simCycles = 0;
+    std::uint64_t workItems = 0; //!< tokens fired / instructions retired
+    std::uint64_t destroyed = 0; //!< packets killed by the injector
+    std::uint64_t retransmits = 0;
+    double hostMs = 0.0;         //!< best-of-reps wall time
+    double slowdown = 0.0;       //!< simCycles / same variant at rate 0
+};
+
+constexpr int kReps = 3;
+constexpr std::uint64_t kFaultSeed = 0xFA17;
+
+/** Time `body` kReps times; returns the best wall-clock milliseconds. */
+template <typename F>
+double
+bestMs(F &&body)
+{
+    double best = 0.0;
+    for (int r = 0; r < kReps; ++r) {
+        const auto t0 = std::chrono::steady_clock::now();
+        body();
+        const auto t1 = std::chrono::steady_clock::now();
+        const double ms =
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        if (r == 0 || ms < best)
+            best = ms;
+    }
+    return best;
+}
+
+/** The sweep's plan at one drop rate: duplicates at half the drop
+ *  rate, detected corruption at a tenth, delay spikes at the drop
+ *  rate. Rate 0 disables injection entirely (bit-identical to the
+ *  fault-free build — the acceptance gate bench_guard checks). */
+sim::fault::FaultPlan
+planAt(double rate)
+{
+    sim::fault::FaultPlan plan;
+    plan.seed = kFaultSeed;
+    plan.dropRate = rate;
+    plan.dupRate = rate / 2.0;
+    plan.corruptRate = rate / 10.0;
+    plan.delayRate = rate;
+    plan.delaySpike = 16;
+    return plan;
+}
+
+Result
+ttdaConfig(const id::Compiled &compiled, const std::string &name,
+           double rate, bool reliable, std::int64_t n)
+{
+    ttda::MachineConfig cfg;
+    cfg.numPEs = 4;
+    cfg.netLatency = 2;
+    cfg.faults = planAt(rate);
+    cfg.reliableNet = reliable;
+
+    Result r;
+    r.name = name;
+    r.dropRate = rate;
+    r.hostMs = bestMs([&] {
+        ttda::Machine m(compiled.program, cfg);
+        m.input(compiled.startCb, 0, graph::Value{n});
+        m.run();
+        r.completed = !m.deadlocked();
+        r.simCycles = m.cycles();
+        r.workItems = m.totalFired();
+        if (const auto *f = m.faultInjector())
+            r.destroyed = f->stats().destroyed();
+        if (const auto *rel = m.reliableNet())
+            r.retransmits = rel->relStats().retransmits.value();
+        if (m.deadlocked())
+            std::cout << m.deadlockReport();
+    });
+    return r;
+}
+
+Result
+vnConfig(const std::string &name, double rate, bool reliable,
+         std::uint64_t references)
+{
+    vn::VnMachineConfig cfg;
+    cfg.numCores = 4;
+    cfg.topology = vn::VnMachineConfig::Topology::Ideal;
+    cfg.netLatency = 8;
+    cfg.core.numContexts = 1;
+    cfg.wordsPerModule = 4096;
+    cfg.faults = planAt(rate);
+    cfg.reliableNet = reliable;
+
+    Result r;
+    r.name = name;
+    r.dropRate = rate;
+    r.hostMs = bestMs([&] {
+        auto m = bench::runVnTrace(cfg, references, 3, 1.0);
+        r.completed = !m.deadlocked();
+        r.simCycles = m.cycles();
+        r.workItems = 0;
+        for (std::uint32_t c = 0; c < m.numCores(); ++c)
+            r.workItems += m.core(c).stats().instructions.value();
+        if (const auto *f = m.faultInjector())
+            r.destroyed = f->stats().destroyed();
+        if (const auto *rs = m.relStats())
+            r.retransmits = rs->retransmits.value();
+        if (m.deadlocked())
+            std::cout << m.deadlockReport();
+    });
+    return r;
+}
+
+bool
+writeJson(const std::vector<Result> &results, const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os) {
+        std::cerr << "bench_faults: cannot open " << path
+                  << " for writing\n";
+        return false;
+    }
+    os << "{\n  \"benchmark\": \"bench_faults\",\n  \"faultSeed\": "
+       << kFaultSeed << ",\n  \"unit_note\": \"hostMs is best-of-"
+       << kReps
+       << " wall time; slowdown is simCycles vs the same variant at "
+          "dropRate 0\",\n  \"runs\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const Result &r = results[i];
+        os << "    {\n"
+           << "      \"name\": \"" << r.name << "\",\n"
+           << "      \"dropRate\": " << r.dropRate << ",\n"
+           << "      \"completed\": " << (r.completed ? "true" : "false")
+           << ",\n"
+           << "      \"simCycles\": " << r.simCycles << ",\n"
+           << "      \"workItems\": " << r.workItems << ",\n"
+           << "      \"destroyed\": " << r.destroyed << ",\n"
+           << "      \"retransmits\": " << r.retransmits << ",\n"
+           << "      \"slowdown\": " << r.slowdown << ",\n"
+           << "      \"hostMs\": " << r.hostMs << "\n"
+           << "    }" << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+    return os.good();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string out = argc > 1 ? argv[1] : "BENCH_faults.json";
+
+    // The bench_core row-pipeline workload at a size where a single
+    // lost token is overwhelmingly likely to strand a pipeline.
+    const id::Compiled compiled = id::compile(R"(
+        def fillrow(a, n, r) =
+          (initial t <- a
+           for j from 0 to n - 1 do
+             new t <- store(t, r * n + j, 2 * (r * n + j))
+           return t);
+        def sumrow(a, n, r) =
+          (initial s <- 0
+           for j from 0 to n - 1 do
+             new s <- s + a[r * n + j]
+           return s);
+        def main(n) =
+          let a = array(n * n) in
+          let launch = (initial z <- 0
+                        for r from 0 to n - 1 do
+                          new z <- z + 0 * fillrow(a, n, r)[r * n]
+                        return z) in
+          (initial s <- 0
+           for r from 0 to n - 1 do
+             new s <- s + sumrow(a, n, r)
+           return s);
+    )");
+
+    const std::vector<std::pair<double, std::string>> rates = {
+        {0.0, "0"}, {0.001, "0.1pct"}, {0.01, "1pct"}, {0.05, "5pct"}};
+    std::vector<Result> results;
+    for (const auto &[rate, tag] : rates) {
+        results.push_back(ttdaConfig(
+            compiled, "ttda_drop" + tag, rate, false, 12));
+        results.push_back(ttdaConfig(
+            compiled, "ttda_rel_drop" + tag, rate, true, 12));
+        results.push_back(vnConfig("vn_drop" + tag, rate, false, 500));
+        results.push_back(
+            vnConfig("vn_rel_drop" + tag, rate, true, 500));
+    }
+
+    // Slowdown relative to the same variant's zero-fault run (the
+    // first four entries, in the same variant order per rate).
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const Result &base = results[i % 4];
+        if (results[i].completed && base.simCycles > 0)
+            results[i].slowdown =
+                static_cast<double>(results[i].simCycles) /
+                static_cast<double>(base.simCycles);
+    }
+
+    sim::Table t("Degradation under injected loss (fault seed " +
+                 std::to_string(kFaultSeed) + ")");
+    t.header({"config", "drop", "done", "sim cycles", "destroyed",
+              "retransmits", "slowdown", "host ms"});
+    for (const Result &r : results)
+        t.addRow({r.name, sim::Table::num(r.dropRate, 3),
+                  r.completed ? "yes" : "STRANDED",
+                  sim::Table::num(r.simCycles),
+                  sim::Table::num(r.destroyed),
+                  sim::Table::num(r.retransmits),
+                  sim::Table::num(r.slowdown, 3),
+                  sim::Table::num(r.hostMs, 3)});
+    t.print(std::cout);
+
+    if (!writeJson(results, out))
+        return 1;
+    std::cout << "\nwrote " << out << "\n";
+    return 0;
+}

@@ -14,6 +14,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/fault.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "common/trace.hh"
@@ -36,6 +37,18 @@ namespace bench
  *                       document
  *   --threads=N         host threads for the deterministic parallel
  *                       engine (results identical to --threads=1)
+ *   --seed=N            machine root seed (stats JSON records it in
+ *                       the "meta" group, so any run is replayable)
+ *   --fault-seed=N      enable fault injection with the canonical
+ *                       lossy plan (FaultPlan::defaultLossy) under
+ *                       seed N
+ *   --fault-plan=SPEC   enable fault injection with a full plan spec
+ *                       (see sim::fault::FaultPlan::parse); combines
+ *                       with --fault-seed, which overrides the spec's
+ *                       seed
+ *   --reliable          wrap the fabric in net::ReliableNet (timeout
+ *                       retransmission + dedup) so the machine
+ *                       finishes despite injected loss
  *
  * Recognised flags are consumed; everything else (argv[0] first) stays
  * in `args`, so a binary's positional-argument parsing is unchanged.
@@ -63,6 +76,18 @@ class SimOptions
                 if (threads_ == 0)
                     sim::fatal("--threads must be >= 1");
                 threadsSet_ = true;
+            } else if (arg.rfind("--seed=", 0) == 0) {
+                seed_ = std::stoull(std::string(arg.substr(7)));
+                seedSet_ = true;
+            } else if (arg.rfind("--fault-seed=", 0) == 0) {
+                faultSeed_ = std::stoull(std::string(arg.substr(13)));
+                faultSeedSet_ = true;
+            } else if (arg.rfind("--fault-plan=", 0) == 0) {
+                faults_ = sim::fault::FaultPlan::parse(
+                    std::string(arg.substr(13)));
+                faultPlanSet_ = true;
+            } else if (arg == "--reliable") {
+                reliable_ = true;
             } else {
                 args.push_back(argv[i]);
             }
@@ -83,6 +108,7 @@ class SimOptions
             cfg.latencyStats = true;
         if (threadsSet_)
             cfg.threads = threads_;
+        applyCommon(cfg);
     }
 
     void
@@ -92,9 +118,12 @@ class SimOptions
             cfg.tracer = &tracer;
         if (threadsSet_)
             cfg.threads = threads_;
+        applyCommon(cfg);
     }
 
     std::uint32_t threads() const { return threads_; }
+    bool faultsRequested() const { return faultPlanSet_ || faultSeedSet_; }
+    bool reliable() const { return reliable_; }
 
     /** Write the machine's statistics to --stats-json, if given. */
     template <typename MachineT>
@@ -113,10 +142,36 @@ class SimOptions
     std::vector<char *> args; //!< argv[0] plus unconsumed arguments
 
   private:
+    /** The config fields that exist (with the same names) in both
+     *  machine configs. */
+    template <typename Config>
+    void
+    applyCommon(Config &cfg)
+    {
+        if (seedSet_)
+            cfg.seed = seed_;
+        if (faultPlanSet_) {
+            cfg.faults = faults_;
+            if (faultSeedSet_)
+                cfg.faults.seed = faultSeed_;
+        } else if (faultSeedSet_) {
+            cfg.faults = sim::fault::FaultPlan::defaultLossy(faultSeed_);
+        }
+        if (reliable_)
+            cfg.reliableNet = true;
+    }
+
     std::string tracePath_;
     std::string statsPath_;
     std::uint32_t threads_ = 1;
     bool threadsSet_ = false;
+    std::uint64_t seed_ = 0;
+    bool seedSet_ = false;
+    std::uint64_t faultSeed_ = 0;
+    bool faultSeedSet_ = false;
+    sim::fault::FaultPlan faults_;
+    bool faultPlanSet_ = false;
+    bool reliable_ = false;
 };
 
 /** Summary of one tagged-token machine run. */

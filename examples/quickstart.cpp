@@ -77,6 +77,14 @@ main(int argc, char **argv)
     auto sim_out = machine.run();
     opts.writeStatsJson(machine);
 
+    // A --fault-seed/--fault-plan run on the bare machine can strand
+    // its tokens: no result to tabulate, but the forensics say why.
+    if (sim_out.empty()) {
+        std::cout << "\nMachine produced no result — stranded run:\n"
+                  << machine.deadlockReport();
+        return 1;
+    }
+
     sim::Table t("Trapezoidal rule on the Tagged-Token Dataflow "
                  "Machine");
     t.header({"engine", "result", "activities", "cycles",

@@ -17,6 +17,7 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-bench}"
 THRESHOLD="${2:-25}"
 BASELINE="BENCH_core.json"
+FAULTS_BASELINE="BENCH_faults.json"
 
 if [[ ! -f "$BASELINE" ]]; then
     echo "bench_guard: no baseline $BASELINE; nothing to guard" >&2
@@ -24,18 +25,37 @@ if [[ ! -f "$BASELINE" ]]; then
 fi
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
-cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_core > /dev/null
+cmake --build "$BUILD_DIR" -j "$(nproc)" \
+    --target bench_core --target bench_faults > /dev/null
 
 OUT_DIR="$(mktemp -d)"
 trap 'rm -rf "$OUT_DIR"' EXIT
 "$BUILD_DIR/bench/bench_core" "$OUT_DIR/current.json" > /dev/null
+"$BUILD_DIR/bench/bench_faults" "$OUT_DIR/faults.json" > /dev/null
 
-python3 - "$BASELINE" "$OUT_DIR/current.json" "$THRESHOLD" <<'EOF'
+python3 - "$BASELINE" "$OUT_DIR/current.json" "$THRESHOLD" \
+    "$FAULTS_BASELINE" "$OUT_DIR/faults.json" <<'EOF'
 import json, sys
 
 baseline_path, current_path, threshold = sys.argv[1], sys.argv[2], float(sys.argv[3])
 baseline = {r["name"]: r for r in json.load(open(baseline_path))["runs"]}
 current = {r["name"]: r for r in json.load(open(current_path))["runs"]}
+
+# The fault sweep's zero-fault configs guard the subsystem's
+# faults-disabled overhead: a drop-rate-0 run must stay as cheap as a
+# build without the subsystem. Nonzero-rate rows are excluded — they
+# are degradation measurements, not throughput baselines.
+if len(sys.argv) > 5:
+    faults_baseline_path, faults_current_path = sys.argv[4], sys.argv[5]
+    try:
+        fb = json.load(open(faults_baseline_path))["runs"]
+    except FileNotFoundError:
+        print(f"bench_guard: note: no {faults_baseline_path}; "
+              "skipping fault-bench guard")
+        fb = []
+    fc = json.load(open(faults_current_path))["runs"]
+    baseline.update({r["name"]: r for r in fb if r["dropRate"] == 0})
+    current.update({r["name"]: r for r in fc if r["dropRate"] == 0})
 
 failed = []
 for name, base in sorted(baseline.items()):

@@ -48,6 +48,29 @@ DEADLOCK_OUT="$("$BUILD_DIR/examples/deadlock_demo")"
 echo "$DEADLOCK_OUT" | grep -q 'parked reader'
 echo "$DEADLOCK_OUT" | grep -q 'reader <u'
 
+# --- Fault-injection smoke -----------------------------------------
+# 4. The degradation sweep under the sanitizers: seeded drops,
+#    duplicates, corrupts and delay spikes through the retransmit
+#    timers and dedup windows with ASan watching every envelope. The
+#    bare variants must strand (and be classified as loss, not true
+#    deadlock), the ReliableNet variants must complete every point,
+#    and the results JSON must parse.
+FAULTS_OUT="$("$BUILD_DIR/bench/bench_faults" "$OBS_DIR/faults.json")"
+python3 -m json.tool "$OBS_DIR/faults.json" > /dev/null
+echo "$FAULTS_OUT" | grep -q 'stranded by loss'
+echo "$FAULTS_OUT" | grep -q 'STRANDED'
+python3 - "$OBS_DIR/faults.json" <<'EOF'
+import json, sys
+runs = json.load(open(sys.argv[1]))["runs"]
+# Reliable variants and zero-fault runs complete; bare lossy runs
+# strand.
+bad = [r["name"] for r in runs
+       if ("_rel_" in r["name"] or r["dropRate"] == 0)
+          != r["completed"]]
+if bad:
+    sys.exit(f"fault smoke: wrong completion for {', '.join(bad)}")
+EOF
+
 # --- Optional throughput guard -------------------------------------
 # CHECK=1 also runs the bench_core regression guard (a separate
 # non-sanitized build; sanitizer overhead would swamp the timings).

@@ -166,27 +166,52 @@ class Histogram
         // Multiply by the precomputed reciprocal: sample() sits on the
         // machines' per-fire path and a divide would dominate it.
         std::size_t idx = static_cast<std::size_t>(v * invBinWidth_);
-        idx = std::min(idx, bins_.size() - 1);
+        if (idx >= bins_.size()) {
+            // Saturating into the last bin keeps the bin array and the
+            // quantile estimate unchanged, but the saturation count is
+            // tracked so merges and dumps never silently launder
+            // out-of-range mass into an ordinary bin.
+            idx = bins_.size() - 1;
+            overflow_ += n;
+        }
         bins_[idx] += n;
     }
 
-    /** Fold another histogram (same geometry) into this one; used to
-     *  combine per-shard histograms after a parallel run. */
+    /** Fold another histogram into this one; used to combine per-shard
+     *  histograms after a parallel run. An empty `other` merges as a
+     *  no-op whatever its geometry; merging real mass into an empty
+     *  histogram adopts the source geometry (a default-constructed
+     *  shard histogram must not assert away — or drop — the
+     *  underflow/overflow counts of the populated side). */
     void
     merge(const Histogram &other)
     {
+        if (other.acc_.count() == 0)
+            return;
+        if (acc_.count() == 0 &&
+            (other.bins_.size() != bins_.size() ||
+             other.binWidth_ != binWidth_))
+        {
+            binWidth_ = other.binWidth_;
+            invBinWidth_ = other.invBinWidth_;
+            bins_.assign(other.bins_.size(), 0);
+        }
         SIM_ASSERT_MSG(other.bins_.size() == bins_.size() &&
                            other.binWidth_ == binWidth_,
                        "merging histograms with different geometry");
         for (std::size_t i = 0; i < bins_.size(); ++i)
             bins_[i] += other.bins_[i];
         underflow_ += other.underflow_;
+        overflow_ += other.overflow_;
         acc_.merge(other.acc_);
     }
 
     const std::vector<std::uint64_t> &bins() const { return bins_; }
     /** Samples below 0, kept out of the bins. */
     std::uint64_t underflow() const { return underflow_; }
+    /** Samples at/beyond the last bin edge (folded into the last bin
+     *  for the quantile estimate, but counted here). */
+    std::uint64_t overflow() const { return overflow_; }
     double binWidth() const { return binWidth_; }
     const Accumulator &summary() const { return acc_; }
 
@@ -219,7 +244,8 @@ class Histogram
     {
         os << "{\"binWidth\":";
         detail::jsonNumber(os, binWidth_);
-        os << ",\"underflow\":" << underflow_ << ",\"count\":"
+        os << ",\"underflow\":" << underflow_
+           << ",\"overflow\":" << overflow_ << ",\"count\":"
            << acc_.count() << ",\"mean\":";
         detail::jsonNumber(os, acc_.mean());
         os << ",\"min\":";
@@ -241,6 +267,7 @@ class Histogram
     double invBinWidth_;
     std::vector<std::uint64_t> bins_;
     std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
     Accumulator acc_;
 };
 

@@ -311,6 +311,19 @@ class IStructureController
     IStructure<Cont, ValueT> &storage() { return storage_; }
     const IStructure<Cont, ValueT> &storage() const { return storage_; }
 
+    /**
+     * Treat a repeated store of the *same value* into a Present cell as
+     * a deduplicated retransmission rather than a single-assignment
+     * violation. Lossy fabrics (sim::fault) can duplicate packets, so a
+     * machine running under fault injection turns this on; the store is
+     * absorbed (it still occupies the controller for writeCost cycles)
+     * and counted in dupStores() instead of multipleWrites.
+     */
+    void enableDedup() { dedup_ = true; }
+
+    /** Duplicate stores absorbed since construction (dedup mode). */
+    std::uint64_t dupStores() const { return dupStores_.value(); }
+
     void
     request(Request req)
     {
@@ -333,6 +346,11 @@ class IStructureController
         if (req.kind == Request::Kind::Fetch) {
             storage_.fetch(req.addr, std::move(req.cont), out);
             busy_ = readCost_ - 1;
+        } else if (dedup_ &&
+                   storage_.presence(req.addr) == Presence::Present &&
+                   storage_.peek(req.addr) == req.value) {
+            dupStores_.inc();
+            busy_ = writeCost_ - 1;
         } else {
             storage_.store(req.addr, req.value, out);
             busy_ = writeCost_ - 1;
@@ -364,6 +382,8 @@ class IStructureController
     sim::Cycle readCost_;
     sim::Cycle writeCost_;
     sim::Cycle busy_ = 0;
+    bool dedup_ = false;
+    sim::Counter dupStores_;
     sim::RingQueue<Request> queue_;
     sim::RingQueue<std::pair<Cont, ValueT>> responses_;
 };

@@ -46,7 +46,13 @@ MemoryModule::step(sim::Cycle now)
 {
     now_ = now + 1;
 
+    // A memstall window freezes bank acceptance; accesses already in
+    // service still retire on time.
+    const bool stalled = faults_ && faults_->memStalled(now_, faultId_);
+
     for (auto &q : bankQueues_) {
+        if (stalled)
+            break;
         if (q.empty())
             continue;
         Pending p = std::move(q.front());
@@ -62,22 +68,53 @@ MemoryModule::step(sim::Cycle now)
         rsp.kind = p.req.kind;
         rsp.addr = p.req.addr;
         rsp.cookie = p.req.cookie;
+        rsp.seq = p.req.seq;
         Word &cell = cells_[p.req.addr];
-        switch (p.req.kind) {
-          case MemRequest::Kind::Read:
-            stats_.reads.inc();
-            rsp.data = cell;
-            break;
-          case MemRequest::Kind::Write:
-            stats_.writes.inc();
-            cell = p.req.data;
-            rsp.data = p.req.data;
-            break;
-          case MemRequest::Kind::FetchAndAdd:
-            stats_.fetchAndAdds.inc();
-            rsp.data = cell;
-            cell = fromInt(toInt(cell) + toInt(p.req.data));
-            break;
+
+        const auto seenIt = dedup_ && p.req.seq != 0
+                                ? dedupSeen_.find(p.req.seq)
+                                : dedupSeen_.end();
+        if (seenIt != dedupSeen_.end()) {
+            // A replayed request: respond (the original response, or
+            // the ACK for it, may have been lost) without re-applying
+            // any side effect.
+            stats_.dupsSuppressed.inc();
+            switch (p.req.kind) {
+              case MemRequest::Kind::Read:
+                rsp.data = cell; // re-reads are idempotent
+                break;
+              case MemRequest::Kind::Write:
+                rsp.data = p.req.data;
+                break;
+              case MemRequest::Kind::FetchAndAdd:
+                rsp.data = seenIt->second; // original old value
+                break;
+            }
+        } else {
+            switch (p.req.kind) {
+              case MemRequest::Kind::Read:
+                stats_.reads.inc();
+                rsp.data = cell;
+                break;
+              case MemRequest::Kind::Write:
+                stats_.writes.inc();
+                cell = p.req.data;
+                rsp.data = p.req.data;
+                break;
+              case MemRequest::Kind::FetchAndAdd:
+                stats_.fetchAndAdds.inc();
+                rsp.data = cell;
+                cell = fromInt(toInt(cell) + toInt(p.req.data));
+                break;
+            }
+            if (dedup_ && p.req.seq != 0) {
+                dedupSeen_.emplace(p.req.seq, rsp.data);
+                dedupFifo_.push_back(p.req.seq);
+                if (dedupFifo_.size() > dedupWindow_) {
+                    dedupSeen_.erase(dedupFifo_.front());
+                    dedupFifo_.pop_front();
+                }
+            }
         }
         inService_.push(now_ + accessLatency_ - 1, rsp);
     }

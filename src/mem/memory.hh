@@ -13,10 +13,13 @@
 #define TTDA_MEM_MEMORY_HH
 
 #include <cstdint>
+#include <deque>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "common/eventheap.hh"
+#include "common/fault.hh"
 #include "common/ringqueue.hh"
 #include "common/stats.hh"
 #include "common/trace.hh"
@@ -35,6 +38,12 @@ struct MemRequest
     std::uint64_t addr = 0;
     Word data = 0;           //!< write value / FAA increment
     std::uint64_t cookie = 0; //!< opaque requester tag, echoed back
+    /** Duplicate-detection tag, unique per *logical* request; 0 means
+     *  unsequenced (no dedup). A lossy fabric can deliver the same
+     *  request twice — dedup keeps the replay from re-applying
+     *  non-idempotent operations (FETCH-AND-ADD, and writes racing
+     *  with other writers). */
+    std::uint64_t seq = 0;
 };
 
 /** The completion of a MemRequest. */
@@ -44,6 +53,7 @@ struct MemResponse
     std::uint64_t addr = 0;
     Word data = 0;            //!< read value / FAA old value
     std::uint64_t cookie = 0;
+    std::uint64_t seq = 0;    //!< echoed MemRequest::seq
 };
 
 /** Banked, fixed-latency random access memory. */
@@ -56,6 +66,7 @@ class MemoryModule
         sim::Counter writes;
         sim::Counter fetchAndAdds;
         sim::Counter busyBankCycles;
+        sim::Counter dupsSuppressed; //!< sequenced duplicates absorbed
         sim::Accumulator queueDelay; //!< cycles spent waiting for a bank
     };
 
@@ -93,12 +104,50 @@ class MemoryModule
     {
         if (!completed_.empty())
             return now_;
-        for (const auto &q : bankQueues_)
-            if (!q.empty())
-                return now_;
+        sim::Cycle next = sim::neverCycle;
+        for (const auto &q : bankQueues_) {
+            if (q.empty())
+                continue;
+            next = now_;
+            if (faults_) {
+                // Queued work waits out a memstall window: banks next
+                // serve at the resume cycle, so step() is needed one
+                // cycle before it.
+                const sim::Cycle resume =
+                    faults_->memResume(now_, faultId_);
+                if (resume > now_)
+                    next = resume - 1;
+            }
+            break;
+        }
         if (!inService_.empty())
-            return inService_.minKey() - 1;
-        return sim::neverCycle;
+            next = std::min(next, inService_.minKey() - 1);
+        return next;
+    }
+
+    /**
+     * Remember the last `window` serviced sequence numbers and absorb
+     * replays: a duplicate Read is re-served (idempotent), a duplicate
+     * Write or FETCH-AND-ADD responds without touching the cell again
+     * (FAA replays return the original old value). Used by machines
+     * running under sim::fault plans that can duplicate packets.
+     */
+    void
+    enableDedup(std::size_t window = 1024)
+    {
+        SIM_ASSERT(window >= 1);
+        dedup_ = true;
+        dedupWindow_ = window;
+    }
+
+    /** Attach the machine's fault injector; this module observes
+     *  MemStall windows for module id `fault_id`. */
+    void
+    setFaultInjector(const sim::fault::FaultInjector *faults,
+                     std::uint32_t fault_id)
+    {
+        faults_ = faults;
+        faultId_ = fault_id;
     }
 
     /** Debug/workload access without timing. */
@@ -131,6 +180,14 @@ class MemoryModule
     std::vector<sim::RingQueue<Pending>> bankQueues_;
     sim::EventHeap<MemResponse> inService_;
     sim::RingQueue<MemResponse> completed_;
+    bool dedup_ = false;
+    std::size_t dedupWindow_ = 0;
+    /** seq -> FAA old value (the only response a replay can't
+     *  recompute); presence alone marks Read/Write dups. */
+    std::unordered_map<std::uint64_t, Word> dedupSeen_;
+    std::deque<std::uint64_t> dedupFifo_;
+    const sim::fault::FaultInjector *faults_ = nullptr;
+    std::uint32_t faultId_ = 0;
     Stats stats_;
     sim::Tracer *tracer_ = nullptr;
     std::uint32_t tracePid_ = 0;

@@ -94,8 +94,9 @@ class Crossbar : public Network<Payload>
 
         while (!inFlight_.empty() && inFlight_.minKey() <= now_) {
             Packet<Payload> pkt = inFlight_.pop();
-            arrivals_.push(pkt.dst, std::move(pkt));
+            this->deliver(arrivals_, std::move(pkt), now_);
         }
+        this->flushFaultDelayed(arrivals_, now_);
     }
 
     std::optional<Payload>
@@ -114,7 +115,8 @@ class Crossbar : public Network<Payload>
         for (const auto &q : inputQueues_)
             if (!q.empty())
                 return false;
-        return inFlight_.empty() && arrivals_.empty();
+        return inFlight_.empty() && arrivals_.empty() &&
+               this->faultIdle();
     }
 
     sim::Cycle
@@ -127,9 +129,10 @@ class Crossbar : public Network<Payload>
                 return now_;
         if (!arrivals_.empty())
             return now_;
+        sim::Cycle next = sim::neverCycle;
         if (!inFlight_.empty())
-            return inFlight_.minKey() - 1;
-        return sim::neverCycle;
+            next = inFlight_.minKey() - 1;
+        return this->faultClamp(next);
     }
 
   private:

@@ -90,11 +90,12 @@ class GridNet : public Network<Payload>
             }
             t.pkt.hops += 1;
             if (t.nextNode == t.pkt.dst)
-                arrivals_.push(t.pkt.dst, std::move(t.pkt));
+                this->deliver(arrivals_, std::move(t.pkt), now_);
             else
                 route(t.nextNode, std::move(t.pkt));
         }
         transiting_ = std::move(still);
+        this->flushFaultDelayed(arrivals_, now_);
     }
 
     std::optional<Payload>
@@ -113,7 +114,8 @@ class GridNet : public Network<Payload>
         for (const auto &q : linkQueues_)
             if (!q.empty())
                 return false;
-        return transiting_.empty() && arrivals_.empty();
+        return transiting_.empty() && arrivals_.empty() &&
+               this->faultIdle();
     }
 
     sim::Cycle
@@ -127,7 +129,7 @@ class GridNet : public Network<Payload>
         sim::Cycle next = sim::neverCycle;
         for (const auto &t : transiting_)
             next = std::min(next, t.readyAt - 1);
-        return next;
+        return this->faultClamp(next);
     }
 
   private:
@@ -156,7 +158,7 @@ class GridNet : public Network<Payload>
     route(sim::NodeId node, Packet<Payload> pkt)
     {
         if (node == pkt.dst) {
-            arrivals_.push(pkt.dst, std::move(pkt));
+            this->deliver(arrivals_, std::move(pkt), now_);
             return;
         }
         const std::uint32_t x = node % side_, dx = pkt.dst % side_;

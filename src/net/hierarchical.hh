@@ -112,7 +112,7 @@ class HierarchicalNet : public Network<Payload>
             switch (t.leg) {
               case Leg::SourceBus:
                 if (clusterOf(t.pkt.src) == clusterOf(t.pkt.dst)) {
-                    arrivals_.push(t.pkt.dst, std::move(t.pkt));
+                    this->deliver(arrivals_, std::move(t.pkt), now_);
                 } else {
                     t.leg = Leg::GlobalBus;
                     globalQueue_.push_back(std::move(t));
@@ -126,7 +126,7 @@ class HierarchicalNet : public Network<Payload>
                 // Completed the intercluster hop: needs the destination
                 // cluster bus next, then arrives.
                 if (t.enteredDestBus) {
-                    arrivals_.push(t.pkt.dst, std::move(t.pkt));
+                    this->deliver(arrivals_, std::move(t.pkt), now_);
                 } else {
                     t.enteredDestBus = true;
                     clusterQueues_[clusterOf(t.pkt.dst)]
@@ -135,6 +135,7 @@ class HierarchicalNet : public Network<Payload>
                 break;
             }
         }
+        this->flushFaultDelayed(arrivals_, now_);
     }
 
     std::optional<Payload>
@@ -154,7 +155,7 @@ class HierarchicalNet : public Network<Payload>
             if (!q.empty())
                 return false;
         return globalQueue_.empty() && busTransit_.empty() &&
-               arrivals_.empty();
+               arrivals_.empty() && this->faultIdle();
     }
 
     sim::Cycle
@@ -166,9 +167,10 @@ class HierarchicalNet : public Network<Payload>
                 return now_;
         if (!globalQueue_.empty() || !arrivals_.empty())
             return now_;
+        sim::Cycle next = sim::neverCycle;
         if (!busTransit_.empty())
-            return busTransit_.minKey() - 1;
-        return sim::neverCycle;
+            next = busTransit_.minKey() - 1;
+        return this->faultClamp(next);
     }
 
   private:

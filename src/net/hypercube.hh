@@ -128,12 +128,13 @@ class Hypercube : public Network<Payload>
             }
             f.pkt.hops += 1;
             if (f.nextNode == f.pkt.dst) {
-                arrivals_.push(f.pkt.dst, std::move(f.pkt));
+                this->deliver(arrivals_, std::move(f.pkt), now_);
             } else {
                 route(f.nextNode, std::move(f.pkt), f.misroutes);
             }
         }
         transiting_ = std::move(still);
+        this->flushFaultDelayed(arrivals_, now_);
     }
 
     std::optional<Payload>
@@ -152,7 +153,8 @@ class Hypercube : public Network<Payload>
         for (const auto &q : linkQueues_)
             if (!q.empty())
                 return false;
-        return transiting_.empty() && arrivals_.empty();
+        return transiting_.empty() && arrivals_.empty() &&
+               this->faultIdle();
     }
 
     sim::Cycle
@@ -168,7 +170,7 @@ class Hypercube : public Network<Payload>
         sim::Cycle next = sim::neverCycle;
         for (const auto &f : transiting_)
             next = std::min(next, f.readyAt - 1);
-        return next;
+        return this->faultClamp(next);
     }
 
   private:
@@ -207,7 +209,7 @@ class Hypercube : public Network<Payload>
     route(sim::NodeId node, Packet<Payload> pkt, std::uint32_t misroutes)
     {
         if (node == pkt.dst) {
-            arrivals_.push(pkt.dst, std::move(pkt));
+            this->deliver(arrivals_, std::move(pkt), now_);
             return;
         }
         if (deadLinks_.empty()) {

@@ -67,8 +67,9 @@ class IdealNetwork : public Network<Payload>
         while (!inFlight_.empty() && inFlight_.minKey() <= now_) {
             Packet<Payload> pkt = inFlight_.pop();
             pkt.hops = 1;
-            arrivals_.push(pkt.dst, std::move(pkt));
+            this->deliver(arrivals_, std::move(pkt), now_);
         }
+        this->flushFaultDelayed(arrivals_, now_);
     }
 
     std::optional<Payload>
@@ -84,7 +85,8 @@ class IdealNetwork : public Network<Payload>
     bool
     idle() const override
     {
-        return inFlight_.empty() && arrivals_.empty();
+        return inFlight_.empty() && arrivals_.empty() &&
+               this->faultIdle();
     }
 
     sim::Cycle
@@ -92,9 +94,10 @@ class IdealNetwork : public Network<Payload>
     {
         if (!arrivals_.empty())
             return now_;
+        sim::Cycle next = sim::neverCycle;
         if (!inFlight_.empty())
-            return inFlight_.minKey() - 1;
-        return sim::neverCycle;
+            next = inFlight_.minKey() - 1;
+        return this->faultClamp(next);
     }
 
   private:

@@ -20,10 +20,13 @@
 #ifndef TTDA_NET_NETWORK_HH
 #define TTDA_NET_NETWORK_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <vector>
 
+#include "common/eventheap.hh"
+#include "common/fault.hh"
 #include "common/format.hh"
 #include "common/ringqueue.hh"
 #include "common/stats.hh"
@@ -32,6 +35,12 @@
 
 namespace net
 {
+
+namespace detail
+{
+template <typename Payload>
+class ArrivalQueues;
+} // namespace detail
 
 /** Aggregate traffic statistics kept by every network model. */
 struct NetStats
@@ -110,12 +119,22 @@ class Network
     const NetStats &stats() const { return stats_; }
 
     /** Enable `net` trace events. `pid` is the Chrome-trace process
-     *  the network's tracks live under; ports become its threads. */
-    void
+     *  the network's tracks live under; ports become its threads.
+     *  Virtual so decorators (ReliableNet) can forward it inward. */
+    virtual void
     setTracer(sim::Tracer *tracer, std::uint32_t pid)
     {
         tracer_ = tracer;
         tracePid_ = pid;
+    }
+
+    /** Attach (or detach, with nullptr) a fault injector; every packet
+     *  reaching this network's delivery point is then submitted to it.
+     *  Virtual so decorators can choose which layer suffers faults. */
+    virtual void
+    setFaultInjector(sim::fault::FaultInjector *faults)
+    {
+        faults_ = faults;
     }
 
   protected:
@@ -148,9 +167,92 @@ class Network
                               pkt.src, now - pkt.issued, pkt.hops));
     }
 
+    /**
+     * Shared delivery hook: every topology pushes a completed packet
+     * into its arrival queues through here, which is therefore the one
+     * place fault injection acts. Without an injector this is exactly
+     * the old direct push (one null check). With one, the packet's
+     * fate is drawn from the injector's deterministic stream: dropped
+     * and detected-corrupt packets vanish (counted by the injector),
+     * duplicates are enqueued twice, and delay-spiked packets park in
+     * faultDelayed_ until flushFaultDelayed() releases them. A packet
+     * is judged exactly once — redelivery after a delay spike is not
+     * re-submitted.
+     */
+    void
+    deliver(detail::ArrivalQueues<Payload> &arrivals,
+            Packet<Payload> &&pkt, sim::Cycle now)
+    {
+        if (!faults_) {
+            arrivals.push(pkt.dst, std::move(pkt));
+            return;
+        }
+        const sim::fault::PacketFate fate =
+            faults_->onPacket(now, pkt.src, pkt.dst);
+        using Action = sim::fault::PacketFate::Action;
+        switch (fate.action) {
+          case Action::Deliver:
+            arrivals.push(pkt.dst, std::move(pkt));
+            break;
+          case Action::Drop:
+            SIM_TRACE(tracer_, Net, instant, tracePid_, pkt.dst,
+                      fate.scheduled ? "flinkdown" : "fdrop", now,
+                      sim::format("\"src\":{}", pkt.src));
+            break;
+          case Action::Duplicate: {
+            SIM_TRACE(tracer_, Net, instant, tracePid_, pkt.dst,
+                      "fdup", now, sim::format("\"src\":{}", pkt.src));
+            Packet<Payload> copy = pkt;
+            arrivals.push(pkt.dst, std::move(copy));
+            arrivals.push(pkt.dst, std::move(pkt));
+            break;
+          }
+          case Action::Corrupt:
+            SIM_TRACE(tracer_, Net, instant, tracePid_, pkt.dst,
+                      "fcorrupt", now,
+                      sim::format("\"src\":{}", pkt.src));
+            break;
+          case Action::Delay:
+            SIM_TRACE(tracer_, Net, instant, tracePid_, pkt.dst,
+                      "fdelay", now,
+                      sim::format("\"src\":{},\"extra\":{}", pkt.src,
+                                  fate.extraDelay));
+            faultDelayed_.push(now + fate.extraDelay, std::move(pkt));
+            break;
+        }
+    }
+
+    /** Release delay-spiked packets whose hold expired; topologies
+     *  call this from step() after their own arrival processing. */
+    void
+    flushFaultDelayed(detail::ArrivalQueues<Payload> &arrivals,
+                      sim::Cycle now)
+    {
+        while (!faultDelayed_.empty() && faultDelayed_.minKey() <= now)
+        {
+            Packet<Payload> pkt = faultDelayed_.pop();
+            arrivals.push(pkt.dst, std::move(pkt));
+        }
+    }
+
+    /** Fold the delayed-packet heap into a topology's idle() answer. */
+    bool faultIdle() const { return faultDelayed_.empty(); }
+
+    /** Fold the delayed-packet heap into nextDelivery(): a packet
+     *  releasing at cycle key is flushed by step(key - 1). */
+    sim::Cycle
+    faultClamp(sim::Cycle next) const
+    {
+        if (faultDelayed_.empty())
+            return next;
+        return std::min(next, faultDelayed_.minKey() - 1);
+    }
+
     NetStats stats_;
     sim::Tracer *tracer_ = nullptr;
     std::uint32_t tracePid_ = 0;
+    sim::fault::FaultInjector *faults_ = nullptr;
+    sim::EventHeap<Packet<Payload>> faultDelayed_;
 };
 
 namespace detail

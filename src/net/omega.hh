@@ -128,6 +128,7 @@ class OmegaNet : public Network<Payload>
             for (const auto &q : lines)
                 this->stats_.blockedCycles.inc(q.size());
         }
+        this->flushFaultDelayed(arrivals_, now_);
     }
 
     std::optional<Payload>
@@ -147,7 +148,7 @@ class OmegaNet : public Network<Payload>
             for (const auto &q : stage)
                 if (!q.empty())
                     return false;
-        return arrivals_.empty();
+        return arrivals_.empty() && this->faultIdle();
     }
 
     sim::Cycle
@@ -161,7 +162,7 @@ class OmegaNet : public Network<Payload>
                     return now_;
         if (!arrivals_.empty())
             return now_;
-        return sim::neverCycle;
+        return this->faultClamp(sim::neverCycle);
     }
 
   private:
@@ -207,7 +208,7 @@ class OmegaNet : public Network<Payload>
             const std::uint32_t out = 2 * sw + bit;
             if (s + 1 == k_) {
                 SIM_ASSERT(out == pkt.dst);
-                arrivals_.push(pkt.dst, std::move(pkt));
+                this->deliver(arrivals_, std::move(pkt), now_);
             } else {
                 stageQueues_[s + 1][out].push_back(std::move(pkt));
             }

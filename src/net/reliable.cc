@@ -1,0 +1,17 @@
+#include "net/reliable.hh"
+
+#include <algorithm>
+
+namespace net
+{
+
+sim::Cycle
+backoffDelay(const RetryConfig &cfg, std::uint32_t attempts)
+{
+    SIM_ASSERT(attempts >= 1);
+    const std::uint32_t doublings =
+        std::min(attempts - 1, cfg.backoffCap);
+    return cfg.timeout << doublings;
+}
+
+} // namespace net

@@ -50,37 +50,50 @@ touchesContext(graph::Opcode op)
     }
 }
 
-std::unique_ptr<net::Network<graph::Token>>
+/** Build the configured topology carrying payload P — the plain token
+ *  for an unprotected machine, Envelope<Token> under ReliableNet. */
+template <typename P>
+std::unique_ptr<net::Network<P>>
 makeNetwork(const MachineConfig &cfg)
 {
     using Topology = MachineConfig::Topology;
     switch (cfg.topology) {
       case Topology::Ideal:
-        return std::make_unique<net::IdealNetwork<graph::Token>>(
+        return std::make_unique<net::IdealNetwork<P>>(
             cfg.numPEs, cfg.netLatency, cfg.netJitter, cfg.seed);
       case Topology::Crossbar:
-        return std::make_unique<net::Crossbar<graph::Token>>(
-            cfg.numPEs, cfg.netLatency);
+        return std::make_unique<net::Crossbar<P>>(cfg.numPEs,
+                                                  cfg.netLatency);
       case Topology::Hypercube:
         SIM_ASSERT_MSG(net::detail::isPow2(cfg.numPEs) &&
                            cfg.numPEs >= 2,
                        "hypercube machine needs 2^d >= 2 PEs, got {}",
                        cfg.numPEs);
-        return std::make_unique<net::Hypercube<graph::Token>>(
+        return std::make_unique<net::Hypercube<P>>(
             net::detail::log2(cfg.numPEs), cfg.hopLatency);
       case Topology::Omega:
         SIM_ASSERT_MSG(net::detail::isPow2(cfg.numPEs) &&
                            cfg.numPEs >= 2,
                        "omega machine needs 2^k >= 2 PEs, got {}",
                        cfg.numPEs);
-        return std::make_unique<net::OmegaNet<graph::Token>>(
-            cfg.numPEs);
+        return std::make_unique<net::OmegaNet<P>>(cfg.numPEs);
       case Topology::Hierarchical:
-        return std::make_unique<net::HierarchicalNet<graph::Token>>(
+        return std::make_unique<net::HierarchicalNet<P>>(
             cfg.numPEs, cfg.clusterSize, cfg.localLatency,
             cfg.globalLatency);
     }
     sim::panic("unknown topology");
+}
+
+/** SplitMix64 finalizer: derive the fault stream's seed from the
+ *  machine's root seed when the plan leaves it 0. */
+std::uint64_t
+deriveFaultSeed(std::uint64_t root)
+{
+    std::uint64_t z = root + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
 }
 
 } // namespace
@@ -90,7 +103,23 @@ Machine::Machine(const graph::Program &program, MachineConfig config)
 {
     SIM_ASSERT_MSG(cfg_.numPEs >= 1, "machine needs at least one PE");
     program_.validate();
-    net_ = makeNetwork(cfg_);
+    if (cfg_.faults.enabled()) {
+        sim::fault::FaultPlan plan = cfg_.faults;
+        if (plan.seed == 0)
+            plan.seed = deriveFaultSeed(cfg_.seed);
+        faults_ = std::make_unique<sim::fault::FaultInjector>(plan);
+    }
+    if (cfg_.reliableNet) {
+        auto rel = std::make_unique<net::ReliableNet<graph::Token>>(
+            makeNetwork<net::Envelope<graph::Token>>(cfg_),
+            cfg_.retry);
+        rel_ = rel.get();
+        net_ = std::move(rel);
+    } else {
+        net_ = makeNetwork<graph::Token>(cfg_);
+    }
+    if (faults_)
+        net_->setFaultInjector(faults_.get());
     pes_.reserve(cfg_.numPEs);
     for (std::uint32_t p = 0; p < cfg_.numPEs; ++p)
         pes_.push_back(std::make_unique<Pe>(cfg_.isWordsPerPe));
@@ -343,10 +372,24 @@ Machine::stepInput(Shard &sh, Pe &pe, sim::NodeId id, bool defer)
         SIM_ASSERT_MSG(tok.port < w.expected,
                        "token port {} out of range (nt {})", tok.port,
                        w.expected);
-        SIM_ASSERT_MSG(!(w.filled >> tok.port & 1u),
-                       "duplicate token for activity {} port {}: slot "
-                       "already filled (non-deterministic graph?)",
-                       tok.tag, tok.port);
+        if (w.filled >> tok.port & 1u) {
+            // An already-filled slot is a graph bug on a reliable
+            // fabric; under fault injection it is a duplicated packet
+            // and the section discards it idempotently.
+            SIM_ASSERT_MSG(faults_ != nullptr,
+                           "duplicate token for activity {} port {}: "
+                           "slot already filled (non-deterministic "
+                           "graph?)", tok.tag, tok.port);
+            pe.stats.dupTokensDropped.inc();
+            if constexpr (Obs) {
+                SIM_TRACE(sh.trcp, Wm, instant, id, kTidWm, "fdupdrop",
+                          now_,
+                          sim::format("\"tag\":\"{}\",\"port\":{}",
+                                      tok.tag,
+                                      static_cast<unsigned>(tok.port)));
+            }
+            break;
+        }
         w.filled |= std::uint64_t{1} << tok.port;
         w.slots[tok.port] = std::move(tok.data);
         w.arrived += 1;
@@ -661,8 +704,23 @@ Machine::stepIs(Shard &sh, Pe &pe, sim::NodeId id, bool defer)
         if (!pe.isStore.store(tok.addr / cfg_.numPEs, tok.data,
                               served))
         {
-            sim::warn("machine: multiple write to i-structure cell {}",
-                      tok.addr);
+            // Single-assignment violation — unless fault injection is
+            // duplicating packets and this is a replayed STORE of the
+            // value already present, which is absorbed idempotently.
+            if (faults_ &&
+                pe.isStore.peek(tok.addr / cfg_.numPEs) == tok.data)
+            {
+                pe.stats.dupStoresSuppressed.inc();
+                if constexpr (Obs) {
+                    SIM_TRACE(sh.trcp, Istr, instant, id, kTidIstr,
+                              "fdupstore", now_,
+                              sim::format("\"addr\":{}", tok.addr));
+                }
+            } else {
+                sim::warn(
+                    "machine: multiple write to i-structure cell {}",
+                    tok.addr);
+            }
         }
         break;
       }
@@ -793,21 +851,45 @@ Machine::scanShard(Shard &sh)
     // stage draining a busy countdown next acts when the countdown
     // expires; a non-empty queue behind an idle stage acts now; the
     // fetch pipeline also waits for the head's readyAt.
+    //
+    // Under a PE-stall window, candidates that would *start* work
+    // (i.e. the stage has queued input) are pushed past the window's
+    // end — but pure busy-countdown expiries are not: a stalled PE's
+    // in-flight work keeps draining, and deferring those wakeups
+    // would move the machine's quiescence cycle relative to the
+    // per-cycle engine.
+    const bool stallable = faults_ && faults_->hasPeStalls();
     sim::Cycle next = sim::neverCycle;
     for (std::uint32_t p = sh.first; p < sh.last; ++p) {
         const Pe &pe = *pes_[p];
-        if (pe.matchBusy > 0 || !pe.inQ.empty())
-            next = std::min(next, now_ + pe.matchBusy);
+        sim::Cycle start = sim::neverCycle; //!< needs the PE unstalled
+        sim::Cycle drain = sim::neverCycle; //!< busy expiry only
+        if (pe.matchBusy > 0 || !pe.inQ.empty()) {
+            if (!pe.inQ.empty())
+                start = std::min(start, now_ + pe.matchBusy);
+            else
+                drain = std::min(drain, now_ + pe.matchBusy);
+        }
         if (pe.aluBusy > 0 || !pe.fetchQ.empty()) {
             sim::Cycle c = now_ + pe.aluBusy;
-            if (!pe.fetchQ.empty())
+            if (!pe.fetchQ.empty()) {
                 c = std::max(c, pe.fetchQ.front().readyAt);
-            next = std::min(next, c);
+                start = std::min(start, c);
+            } else {
+                drain = std::min(drain, c);
+            }
         }
-        if (pe.isBusy > 0 || !pe.isQ.empty())
-            next = std::min(next, now_ + pe.isBusy);
+        if (pe.isBusy > 0 || !pe.isQ.empty()) {
+            if (!pe.isQ.empty())
+                start = std::min(start, now_ + pe.isBusy);
+            else
+                drain = std::min(drain, now_ + pe.isBusy);
+        }
         if (!pe.outQ.empty())
-            next = std::min(next, now_);
+            start = std::min(start, now_);
+        if (stallable && start != sim::neverCycle)
+            start = faults_->peResume(start, p);
+        next = std::min(next, std::min(start, drain));
         if (next <= now_)
             break; // something is due this very cycle
     }
@@ -883,6 +965,7 @@ void
 Machine::shardCycle(Shard &sh)
 {
     const bool serialIs = serialIsCycle_;
+    const bool peStalls = faults_ && faults_->hasPeStalls();
     for (std::uint32_t p = sh.first; p < sh.last; ++p) {
         Pe &pe = *pes_[p];
         Staging &st = pe.stage;
@@ -896,6 +979,11 @@ Machine::shardCycle(Shard &sh)
         st.isDeferred = false;
         st.hasOutput = false;
 
+        if (peStalls && faults_->peStalled(now_, p)) {
+            st.tailDeferred = false;
+            tickStalled(sh, pe);
+            continue;
+        }
         stepInput<Obs>(sh, pe, p, true);
         stepAlu<Obs>(sh, pe, p, true);
         if (!serialIs)
@@ -991,10 +1079,13 @@ template <bool Obs>
 void
 Machine::commitCycle()
 {
+    const bool peStalls = faults_ && faults_->hasPeStalls();
     for (std::uint32_t p = 0; p < cfg_.numPEs; ++p) {
         Shard &sh = shardOf(p);
         Pe &pe = *pes_[p];
         Staging &st = pe.stage;
+        if (peStalls && faults_->peStalled(now_, p))
+            continue; // phase A already ticked the stalled PE
         if (st.hasOutput) {
             st.hasOutput = false;
             outputs_.push_back(std::move(st.output));
@@ -1039,6 +1130,7 @@ void
 Machine::runSequential()
 {
     Shard &sh = shards_.front();
+    const bool peStalls = faults_ && faults_->hasPeStalls();
     while (!idle()) {
         // Jump over cycles in which nothing can happen. The jump may
         // drain the last busy countdowns and reach quiescence exactly
@@ -1048,6 +1140,10 @@ Machine::runSequential()
             break;
         for (std::uint32_t p = 0; p < cfg_.numPEs; ++p) {
             Pe &pe = *pes_[p];
+            if (peStalls && faults_->peStalled(now_, p)) {
+                tickStalled(sh, pe);
+                continue;
+            }
             stepInput<Obs>(sh, pe, p, false);
             stepAlu<Obs>(sh, pe, p, false);
             stepIs<Obs>(sh, pe, p, false);
@@ -1137,6 +1233,29 @@ Machine::deadlockReport() const
        << " parked reads, " << stranded
        << " stranded activities\n";
 
+    // 0. When fault injection was active, say whether the quiescence
+    // can be blamed on destroyed traffic at all: a run that lost no
+    // packets deadlocked on its own merits.
+    if (faults_) {
+        const auto &fs = faults_->stats();
+        const std::uint64_t abandoned =
+            rel_ ? rel_->relStats().abandoned.value() : 0;
+        if (fs.destroyed() > 0 || abandoned > 0) {
+            os << "  classification: stranded by loss — "
+               << fs.destroyed()
+               << " packet(s) destroyed by fault injection";
+            if (rel_) {
+                os << ", " << abandoned
+                   << " send(s) abandoned after "
+                   << cfg_.retry.maxAttempts << " attempts";
+            }
+            os << "\n";
+        } else {
+            os << "  classification: true deadlock — no packets were "
+                  "lost\n";
+        }
+    }
+
     // 1. I-structure cells that were never written, and who waits.
     for (std::uint32_t p = 0; p < cfg_.numPEs; ++p) {
         const auto &store = pes_[p]->isStore;
@@ -1195,13 +1314,33 @@ Machine::deadlockReport() const
 
     // 3. Packets the network accepted but never delivered (should be
     // zero at quiescence; nonzero means the run stopped mid-flight).
+    // Under fault injection the conservation identity is
+    //   sent + duplicates = delivered + destroyed + stillInside,
+    // and with the reliability wrapper each abandoned send is a
+    // payload that left the books without being delivered.
     const auto &ns = net_->stats();
-    const std::uint64_t inFlight =
-        ns.sent.value() - ns.delivered.value();
-    if (inFlight != 0) {
-        os << "  network: " << inFlight << " packet(s) in flight ("
-           << ns.sent.value() << " sent, " << ns.delivered.value()
-           << " delivered)\n";
+    std::uint64_t credits = ns.sent.value();
+    std::uint64_t debits = ns.delivered.value();
+    if (rel_) {
+        debits += rel_->relStats().abandoned.value();
+    } else if (faults_) {
+        const auto &fs = faults_->stats();
+        credits += fs.duplicates;
+        debits += fs.destroyed();
+    }
+    if (credits != debits) {
+        os << "  network: " << credits - debits
+           << " packet(s) in flight (" << ns.sent.value() << " sent, "
+           << ns.delivered.value() << " delivered";
+        if (rel_) {
+            os << ", "
+               << rel_->relStats().abandoned.value() << " abandoned";
+        } else if (faults_) {
+            os << ", " << faults_->stats().duplicates
+               << " duplicated, " << faults_->stats().destroyed()
+               << " destroyed";
+        }
+        os << ")\n";
     }
     return os.str();
 }
@@ -1259,6 +1398,15 @@ std::vector<sim::StatGroup>
 Machine::statGroups() const
 {
     std::vector<sim::StatGroup> groups;
+    // Replay header: everything needed to reproduce this run.
+    sim::StatGroup meta("meta");
+    meta.set("seed", static_cast<double>(cfg_.seed));
+    if (faults_)
+        meta.set("faultSeed",
+                 static_cast<double>(faults_->plan().seed));
+    meta.set("reliable", rel_ ? 1.0 : 0.0);
+    groups.push_back(std::move(meta));
+
     sim::StatGroup machine("machine");
     machine.set("cycles", static_cast<double>(now_));
     machine.set("activities", static_cast<double>(totalFired()));
@@ -1275,6 +1423,46 @@ Machine::statGroups() const
                 static_cast<double>(is.fetchesDeferred.value()));
     machine.set("isStores", static_cast<double>(is.stores.value()));
     groups.push_back(std::move(machine));
+
+    if (faults_ || rel_) {
+        sim::StatGroup f("faults");
+        if (faults_) {
+            const auto &fs = faults_->stats();
+            f.set("decisions", static_cast<double>(fs.decisions));
+            f.set("drops", static_cast<double>(fs.drops));
+            f.set("duplicates", static_cast<double>(fs.duplicates));
+            f.set("corrupts", static_cast<double>(fs.corrupts));
+            f.set("delays", static_cast<double>(fs.delays));
+            f.set("linkDownDrops",
+                  static_cast<double>(fs.linkDownDrops));
+            f.set("destroyed", static_cast<double>(fs.destroyed()));
+            std::uint64_t dupTok = 0, dupStore = 0;
+            for (const auto &pe : pes_) {
+                dupTok += pe->stats.dupTokensDropped.value();
+                dupStore += pe->stats.dupStoresSuppressed.value();
+            }
+            f.set("dupTokensDropped", static_cast<double>(dupTok));
+            f.set("dupStoresSuppressed",
+                  static_cast<double>(dupStore));
+        }
+        if (rel_) {
+            const auto &rs = rel_->relStats();
+            f.set("retransmits",
+                  static_cast<double>(rs.retransmits.value()));
+            f.set("abandoned",
+                  static_cast<double>(rs.abandoned.value()));
+            f.set("rxDuplicates",
+                  static_cast<double>(rs.rxDuplicates.value()));
+            f.set("acksSent",
+                  static_cast<double>(rs.acksSent.value()));
+            f.set("staleAcks",
+                  static_cast<double>(rs.staleAcks.value()));
+            f.set("envelopesSent",
+                  static_cast<double>(
+                      rel_->innerStats().sent.value()));
+        }
+        groups.push_back(std::move(f));
+    }
 
     for (std::uint32_t p = 0; p < cfg_.numPEs; ++p) {
         const PeStats &st = pes_[p]->stats;

@@ -48,6 +48,7 @@
 #include <sstream>
 #include <vector>
 
+#include "common/fault.hh"
 #include "common/flatmap.hh"
 #include "common/parallel.hh"
 #include "common/ringqueue.hh"
@@ -60,6 +61,7 @@
 #include "graph/token.hh"
 #include "mem/istructure.hh"
 #include "net/network.hh"
+#include "net/reliable.hh"
 #include "ttda/emulator.hh" // OutputRecord
 
 namespace ttda
@@ -127,6 +129,20 @@ struct MachineConfig
     std::uint64_t seed = 1;
     std::uint64_t maxCycles = 50'000'000;
 
+    /** Fault-injection plan (see sim::fault). An empty plan (the
+     *  default) leaves every fault hook compiled in but disabled: the
+     *  machine is bit-identical to one built before the subsystem
+     *  existed. FaultPlan::seed == 0 derives the injector seed from
+     *  `seed` above, so replaying a run needs only the machine seed. */
+    sim::fault::FaultPlan faults;
+
+    /** Wrap the token network in net::ReliableNet: sequence-numbered
+     *  envelopes, ACKs, timeout retransmission and receive-side
+     *  dedup. The fault injector then acts on the envelope fabric and
+     *  the machine survives loss (until retries are exhausted). */
+    bool reliableNet = false;
+    net::RetryConfig retry; //!< retransmission policy when reliableNet
+
     /** Host threads for the parallel engine: the PEs are split into
      *  `threads` contiguous shards stepped concurrently under the
      *  two-phase tick. Results (cycle counts, statistics, outputs,
@@ -166,6 +182,12 @@ struct PeStats
     sim::Counter outputTokens;    //!< tokens through the output section
     sim::Counter bypassTokens;    //!< tokens short-circuited locally
     sim::Counter matchOverflows;  //!< inserts beyond the WM capacity
+    sim::Counter dupTokensDropped; //!< duplicate operands discarded at
+                                   //!< the waiting-matching section
+                                   //!< (fault injection only)
+    sim::Counter dupStoresSuppressed; //!< repeated writes of the same
+                                      //!< structure cell absorbed
+                                      //!< idempotently (faults only)
     std::uint64_t waitStorePeak = 0; //!< peak waiting-matching entries
 };
 
@@ -201,6 +223,19 @@ class Machine
     const net::NetStats &netStats() const;
     const MachineConfig &config() const { return cfg_; }
     graph::ContextManager &contexts() { return contexts_; }
+
+    /** The fault injector driving this run, or null when the plan is
+     *  empty. */
+    const sim::fault::FaultInjector *faultInjector() const
+    {
+        return faults_.get();
+    }
+
+    /** The reliability wrapper, or null when reliableNet is off. */
+    const net::ReliableNet<graph::Token> *reliableNet() const
+    {
+        return rel_;
+    }
 
     /** Aggregated I-structure statistics across all controllers. */
     mem::IStructureStats istructureTotals() const;
@@ -468,6 +503,17 @@ class Machine
         return true;
     }
 
+    /** One cycle of a fault-stalled PE: no stage starts new work, but
+     *  in-flight operations (busy countdowns) keep draining — a stall
+     *  freezes issue, not completion. */
+    void
+    tickStalled(Shard &sh, Pe &pe)
+    {
+        tickBusy(sh, pe.matchBusy, pe.stats.matchBusyCycles);
+        tickBusy(sh, pe.aluBusy, pe.stats.aluBusyCycles);
+        tickBusy(sh, pe.isBusy, pe.stats.isBusyCycles);
+    }
+
     /** Batch-account `delta` skipped cycles against one busy slot. */
     void
     batchBusy(Shard &sh, sim::Cycle &slot, sim::Counter &counter,
@@ -552,7 +598,9 @@ class Machine
     const graph::Program &program_;
     MachineConfig cfg_;
     graph::ContextManager contexts_;
+    std::unique_ptr<sim::fault::FaultInjector> faults_;
     std::unique_ptr<net::Network<graph::Token>> net_;
+    net::ReliableNet<graph::Token> *rel_ = nullptr; //!< net_ when wrapped
     std::vector<std::unique_ptr<Pe>> pes_;
     std::vector<OutputRecord> outputs_;
     std::uint64_t allocPtr_ = 0;

@@ -50,6 +50,9 @@ struct MemAccess
     Reg reg = 0;            //!< destination register (loads/FAA)
     std::uint64_t addr = 0;
     mem::Word data = 0;     //!< store value / FAA increment / response
+    /** Machine-stamped duplicate-detection tag (0 = unsequenced); the
+     *  core never sets or reads it. See mem::MemRequest::seq. */
+    std::uint64_t seq = 0;
 };
 
 /** One synthetic operation from a trace source. */
@@ -134,6 +137,15 @@ class VnCore
     /** Batch-account `n` skipped all-blocked cycles (exactly what n
      *  consecutive step() calls would have recorded). */
     void addStallCycles(sim::Cycle n) { stats_.stallCycles.inc(n); }
+
+    /** Context `ctx` is blocked awaiting a memory response. A lossy
+     *  fabric can deliver duplicate responses; the machine checks this
+     *  before complete(), which asserts on a non-waiting context. */
+    bool
+    waitingOnMem(std::uint32_t ctx) const
+    {
+        return contexts_[ctx].state == CtxState::WaitingMem;
+    }
 
     /** Register file access for tests/result extraction. */
     mem::Word reg(std::uint32_t ctx, Reg r) const;

@@ -1,6 +1,7 @@
 #include "vn/machine.hh"
 
 #include <algorithm>
+#include <sstream>
 
 #include "common/logging.hh"
 #include "net/crossbar.hh"
@@ -49,34 +50,77 @@ toMemKind(MemAccess::Kind k)
     sim::panic("unknown access kind");
 }
 
+/** The context-identity key of the awaiting_ map. */
+std::uint64_t
+awaitKey(std::uint32_t core, std::uint32_t ctx)
+{
+    return (static_cast<std::uint64_t>(core) << 32) | ctx;
+}
+
+/** Build the configured fabric carrying payload P — the plain message
+ *  for a bare machine, net::Envelope<NetMsg> under ReliableNet. */
+template <typename P>
+std::unique_ptr<net::Network<P>>
+makeVnNetwork(const VnMachineConfig &cfg)
+{
+    using Topology = VnMachineConfig::Topology;
+    switch (cfg.topology) {
+      case Topology::Ideal:
+        return std::make_unique<net::IdealNetwork<P>>(
+            cfg.numCores, cfg.netLatency, cfg.netJitter, cfg.seed);
+      case Topology::Crossbar:
+        return std::make_unique<net::Crossbar<P>>(cfg.numCores,
+                                                  cfg.netLatency);
+      case Topology::Omega:
+        return std::make_unique<net::OmegaNet<P>>(cfg.numCores);
+      case Topology::Hierarchical:
+        return std::make_unique<net::HierarchicalNet<P>>(
+            cfg.numCores, cfg.clusterSize, cfg.localLatency,
+            cfg.globalLatency);
+    }
+    sim::panic("unknown topology");
+}
+
+/** SplitMix64 finalizer: derive the fault stream's seed from the
+ *  machine's root seed when the plan leaves it 0. */
+std::uint64_t
+deriveFaultSeed(std::uint64_t root)
+{
+    std::uint64_t z = root + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
 } // namespace
 
 VnMachine::VnMachine(VnMachineConfig cfg) : cfg_(cfg)
 {
     SIM_ASSERT_MSG(cfg_.numCores >= 1, "machine needs at least 1 core");
-    using Topology = VnMachineConfig::Topology;
-    switch (cfg_.topology) {
-      case Topology::Ideal:
-        net_ = std::make_unique<net::IdealNetwork<NetMsg>>(
-            cfg_.numCores, cfg_.netLatency, cfg_.netJitter, cfg_.seed);
-        break;
-      case Topology::Crossbar:
-        net_ = std::make_unique<net::Crossbar<NetMsg>>(cfg_.numCores,
-                                                       cfg_.netLatency);
-        break;
-      case Topology::Omega:
-        net_ = std::make_unique<net::OmegaNet<NetMsg>>(cfg_.numCores);
-        break;
-      case Topology::Hierarchical:
-        net_ = std::make_unique<net::HierarchicalNet<NetMsg>>(
-            cfg_.numCores, cfg_.clusterSize, cfg_.localLatency,
-            cfg_.globalLatency);
-        break;
+    if (cfg_.faults.enabled()) {
+        sim::fault::FaultPlan plan = cfg_.faults;
+        if (plan.seed == 0)
+            plan.seed = deriveFaultSeed(cfg_.seed);
+        faults_ = std::make_unique<sim::fault::FaultInjector>(plan);
     }
+    if (cfg_.reliableNet) {
+        auto rel = std::make_unique<net::ReliableNet<NetMsg>>(
+            makeVnNetwork<net::Envelope<NetMsg>>(cfg_), cfg_.retry);
+        rel_ = rel.get();
+        net_ = std::move(rel);
+    } else {
+        net_ = makeVnNetwork<NetMsg>(cfg_);
+    }
+    if (faults_)
+        net_->setFaultInjector(faults_.get());
     for (std::uint32_t c = 0; c < cfg_.numCores; ++c) {
         cores_.push_back(std::make_unique<VnCore>(c, cfg_.core));
         modules_.push_back(std::make_unique<mem::MemoryModule>(
             cfg_.wordsPerModule, cfg_.memLatency, cfg_.banksPerModule));
+        if (faults_) {
+            modules_[c]->setFaultInjector(faults_.get(), c);
+            modules_[c]->enableDedup();
+        }
     }
 
     if (cfg_.tracer && cfg_.tracer->active()) {
@@ -157,6 +201,8 @@ VnMachine::issue(std::uint32_t core_id, MemAccess acc)
 {
     const std::uint32_t module = moduleOf(acc.addr);
     if (cfg_.colocated && module == core_id) {
+        // The local fast path never touches the fabric, so it needs no
+        // duplicate-detection sequencing (seq stays 0).
         mem::MemRequest req;
         req.kind = toMemKind(acc.kind);
         req.addr = offsetOf(acc.addr);
@@ -164,6 +210,11 @@ VnMachine::issue(std::uint32_t core_id, MemAccess acc)
         req.cookie = packCookie(acc);
         modules_[module]->request(req);
     } else {
+        if (faults_) {
+            acc.seq = ++memSeq_;
+            if (acc.kind != MemAccess::Kind::Store)
+                awaiting_[awaitKey(acc.core, acc.ctx)] = acc.seq;
+        }
         net_->send(core_id, module, NetMsg{false, acc});
     }
 }
@@ -174,11 +225,32 @@ VnMachine::respond(std::uint32_t module, const mem::MemResponse &rsp)
     if (rsp.kind == mem::MemRequest::Kind::Write)
         return; // stores are fire-and-forget
     MemAccess acc = unpackCookie(rsp.cookie, rsp.addr, rsp.data);
+    acc.seq = rsp.seq;
     if (cfg_.colocated && acc.core == module) {
         cores_[acc.core]->complete(acc);
     } else {
         net_->send(module, acc.core, NetMsg{true, acc});
     }
+}
+
+void
+VnMachine::deliverResponse(const MemAccess &acc)
+{
+    if (acc.seq != 0) {
+        // Sequenced (fault-era) response: the context accepts exactly
+        // the response it is waiting for. A duplicated request or a
+        // duplicated response NetMsg both surface here as a second
+        // copy after the first already unblocked the context.
+        const auto it = awaiting_.find(awaitKey(acc.core, acc.ctx));
+        if (it == awaiting_.end() || it->second != acc.seq ||
+            !cores_[acc.core]->waitingOnMem(acc.ctx))
+        {
+            staleResponses_.inc();
+            return;
+        }
+        awaiting_.erase(it);
+    }
+    cores_[acc.core]->complete(acc);
 }
 
 void
@@ -216,13 +288,14 @@ VnMachine::step()
     for (std::uint32_t p = 0; p < cfg_.numCores; ++p) {
         if (auto msg = net_->receive(p)) {
             if (msg->isResponse) {
-                cores_[p]->complete(msg->access);
+                deliverResponse(msg->access);
             } else {
                 mem::MemRequest req;
                 req.kind = toMemKind(msg->access.kind);
                 req.addr = offsetOf(msg->access.addr);
                 req.data = msg->access.data;
                 req.cookie = packCookie(msg->access);
+                req.seq = msg->access.seq;
                 modules_[p]->request(req);
             }
         }
@@ -288,7 +361,24 @@ VnMachine::run()
                 return false;
         return true;
     };
+    auto stranded = [&] {
+        // Quiescent-but-unfinished: nothing in flight anywhere (for a
+        // ReliableNet that includes unacknowledged sends, so this only
+        // becomes true after retransmission gives up) and every
+        // non-halted core has all contexts parked on a memory response
+        // that can no longer arrive.
+        if (!drained())
+            return false;
+        for (const auto &core : cores_)
+            if (!core->halted() && !core->stalledOnMemory())
+                return false;
+        return true;
+    };
     while (!(allHalted() && drained())) {
+        if (faults_ && stranded()) {
+            deadlocked_ = true;
+            break;
+        }
         skipAhead();
         step();
         SIM_ASSERT_MSG(now_ < cfg_.maxCycles,
@@ -296,6 +386,82 @@ VnMachine::run()
                        cfg_.maxCycles);
     }
     return now_;
+}
+
+std::string
+VnMachine::deadlockReport() const
+{
+    constexpr std::size_t kMaxPerSection = 16;
+
+    std::uint64_t blocked = 0;
+    for (std::uint32_t c = 0; c < cfg_.numCores; ++c)
+        for (std::uint32_t x = 0; x < cfg_.core.numContexts; ++x)
+            if (!cores_[c]->halted() && cores_[c]->waitingOnMem(x))
+                ++blocked;
+
+    std::ostringstream os;
+    os << "vn deadlock report: " << blocked
+       << " context(s) blocked on memory at cycle " << now_ << "\n";
+
+    if (faults_) {
+        const auto &fs = faults_->stats();
+        const std::uint64_t abandoned =
+            rel_ ? rel_->relStats().abandoned.value() : 0;
+        if (fs.destroyed() > 0 || abandoned > 0) {
+            os << "  classification: stranded by loss — "
+               << fs.destroyed()
+               << " packet(s) destroyed by fault injection";
+            if (rel_) {
+                os << ", " << abandoned
+                   << " send(s) abandoned after "
+                   << cfg_.retry.maxAttempts << " attempts";
+            }
+            os << "\n";
+        } else {
+            os << "  classification: true deadlock — no packets were "
+                  "lost\n";
+        }
+    }
+
+    std::size_t shown = 0;
+    for (std::uint32_t c = 0; c < cfg_.numCores && shown <= kMaxPerSection;
+         ++c)
+    {
+        if (cores_[c]->halted())
+            continue;
+        for (std::uint32_t x = 0; x < cfg_.core.numContexts; ++x) {
+            if (!cores_[c]->waitingOnMem(x))
+                continue;
+            if (++shown > kMaxPerSection) {
+                os << "  ... " << blocked - kMaxPerSection << " more\n";
+                break;
+            }
+            os << "  core " << c << " ctx " << x
+               << " blocked on memory";
+            const auto it = awaiting_.find(awaitKey(c, x));
+            if (it != awaiting_.end())
+                os << " (awaiting request seq " << it->second << ")";
+            os << "\n";
+        }
+    }
+    const auto &ns = rel_ ? rel_->innerStats() : net_->stats();
+    os << "  fabric traffic: " << ns.sent.value() << " sent, "
+       << ns.delivered.value() << " delivered";
+    if (faults_)
+        os << ", " << faults_->stats().destroyed() << " destroyed, "
+           << faults_->stats().duplicates << " duplicated";
+    if (rel_)
+        os << "; " << rel_->relStats().retransmits.value()
+           << " retransmit(s), " << rel_->pendingCount()
+           << " send(s) still pending";
+    os << "\n";
+    return os.str();
+}
+
+const net::RelStats *
+VnMachine::relStats() const
+{
+    return rel_ ? &rel_->relStats() : nullptr;
 }
 
 double
@@ -311,13 +477,60 @@ std::vector<sim::StatGroup>
 VnMachine::statGroups() const
 {
     std::vector<sim::StatGroup> groups;
+    // Replay header: everything needed to reproduce this run.
+    sim::StatGroup meta("meta");
+    meta.set("seed", static_cast<double>(cfg_.seed));
+    if (faults_)
+        meta.set("faultSeed",
+                 static_cast<double>(faults_->plan().seed));
+    meta.set("reliable", rel_ ? 1.0 : 0.0);
+    groups.push_back(std::move(meta));
+
     sim::StatGroup machine("vnmachine");
     machine.set("cycles", static_cast<double>(now_));
     machine.set("meanUtilization", meanUtilization());
     machine.set("netPacketsSent",
                 static_cast<double>(net_->stats().sent.value()));
     machine.set("netMeanLatency", net_->stats().latency.mean());
+    machine.set("deadlocked", deadlocked_ ? 1.0 : 0.0);
     groups.push_back(std::move(machine));
+
+    if (faults_ || rel_) {
+        sim::StatGroup f("faults");
+        if (faults_) {
+            const auto &fs = faults_->stats();
+            f.set("decisions", static_cast<double>(fs.decisions));
+            f.set("drops", static_cast<double>(fs.drops));
+            f.set("duplicates", static_cast<double>(fs.duplicates));
+            f.set("corrupts", static_cast<double>(fs.corrupts));
+            f.set("delays", static_cast<double>(fs.delays));
+            f.set("linkDownDrops",
+                  static_cast<double>(fs.linkDownDrops));
+            f.set("destroyed", static_cast<double>(fs.destroyed()));
+            std::uint64_t dups = 0;
+            for (const auto &m : modules_)
+                dups += m->stats().dupsSuppressed.value();
+            f.set("dupsSuppressed", static_cast<double>(dups));
+            f.set("staleResponses",
+                  static_cast<double>(staleResponses_.value()));
+        }
+        if (rel_) {
+            const auto &rs = rel_->relStats();
+            f.set("retransmits",
+                  static_cast<double>(rs.retransmits.value()));
+            f.set("abandoned",
+                  static_cast<double>(rs.abandoned.value()));
+            f.set("rxDuplicates",
+                  static_cast<double>(rs.rxDuplicates.value()));
+            f.set("acksSent",
+                  static_cast<double>(rs.acksSent.value()));
+            f.set("staleAcks",
+                  static_cast<double>(rs.staleAcks.value()));
+            f.set("envelopesSent",
+                  static_cast<double>(rel_->innerStats().sent.value()));
+        }
+        groups.push_back(std::move(f));
+    }
     for (std::uint32_t c = 0; c < cfg_.numCores; ++c) {
         const auto &st = cores_[c]->stats();
         sim::StatGroup core(sim::format("core{}", c));

@@ -25,14 +25,18 @@
 #include <memory>
 #include <optional>
 #include <ostream>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "common/fault.hh"
 #include "common/parallel.hh"
 #include "common/stats.hh"
 #include "common/trace.hh"
 #include "common/types.hh"
 #include "mem/memory.hh"
 #include "net/network.hh"
+#include "net/reliable.hh"
 #include "vn/core.hh"
 
 namespace vn
@@ -68,6 +72,18 @@ struct VnMachineConfig
 
     std::uint64_t seed = 1;
     std::uint64_t maxCycles = 50'000'000;
+
+    /** Fault-injection plan (see sim::fault). Leave default for a
+     *  perfectly reliable machine; plan.seed == 0 derives the fault
+     *  stream from `seed`. */
+    sim::fault::FaultPlan faults;
+
+    /** Wrap the fabric in net::ReliableNet: sequence-numbered
+     *  request/response envelopes with timeout retransmission — the
+     *  recovery layer that lets the machine finish on a lossy
+     *  fabric. */
+    bool reliableNet = false;
+    net::RetryConfig retry; //!< reliableNet retransmission policy
 
     /** Host threads stepping the cores: each cycle, the independent
      *  per-core compute runs sharded across threads into per-core
@@ -111,6 +127,28 @@ class VnMachine
     sim::Cycle cycles() const { return now_; }
     bool allHalted() const;
 
+    /**
+     * True when run() returned because the machine went quiescent with
+     * cores still blocked on memory: nothing in flight anywhere, but
+     * not every core halted. Only possible under fault injection —
+     * lost requests or responses strand their issuing contexts.
+     */
+    bool deadlocked() const { return deadlocked_; }
+
+    /** Forensics for a deadlocked() run: which cores/contexts are
+     *  stranded, and whether destroyed traffic explains it. */
+    std::string deadlockReport() const;
+
+    /** The active fault injector (null when cfg.faults is empty). */
+    const sim::fault::FaultInjector *
+    faultInjector() const
+    {
+        return faults_.get();
+    }
+
+    /** Reliability-protocol counters (null unless cfg.reliableNet). */
+    const net::RelStats *relStats() const;
+
     /** Mean core utilization (busy / total non-halted time). */
     double meanUtilization() const;
 
@@ -141,6 +179,10 @@ class VnMachine
 
     void issue(std::uint32_t core_id, MemAccess acc);
     void respond(std::uint32_t module, const mem::MemResponse &rsp);
+    /** Complete a response at its core, discarding stale duplicates
+     *  (a lossy fabric can replay a response the context no longer
+     *  expects). */
+    void deliverResponse(const MemAccess &acc);
     std::vector<sim::StatGroup> statGroups() const;
 
     /** Event-driven skip used by run(): when every core is halted or
@@ -151,8 +193,21 @@ class VnMachine
     VnMachineConfig cfg_;
     std::vector<std::unique_ptr<VnCore>> cores_;
     std::vector<std::unique_ptr<mem::MemoryModule>> modules_;
+    std::unique_ptr<sim::fault::FaultInjector> faults_;
     std::unique_ptr<net::Network<NetMsg>> net_;
+    /** Set iff cfg.reliableNet: the decorator net_ owns, for protocol
+     *  counters and pending-send forensics. */
+    net::ReliableNet<NetMsg> *rel_ = nullptr;
     sim::Cycle now_ = 0;
+    bool deadlocked_ = false;
+
+    /** Next MemAccess::seq; stamped on every networked request when
+     *  faults are active so modules and cores can deduplicate. */
+    std::uint64_t memSeq_ = 0;
+    /** (core << 32 | ctx) -> seq of the response the context awaits;
+     *  anything else arriving for it is a stale replay. */
+    std::unordered_map<std::uint64_t, std::uint64_t> awaiting_;
+    sim::Counter staleResponses_;
 
     std::uint32_t threads_ = 1; //!< resolved shard count
     std::unique_ptr<sim::WorkerPool> pool_;

@@ -149,6 +149,60 @@ TEST(Histogram, DumpJsonIsWellFormed)
     EXPECT_NE(json.find("\"count\":6"), std::string::npos);
 }
 
+TEST(Histogram, OverflowCountedAndDumped)
+{
+    sim::Histogram h(10.0, 4); // bins cover [0, 40)
+    h.sample(5.0);
+    h.sample(45.0);  // saturates into the last bin
+    h.sample(999.0); // ditto
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.bins().back(), 2u);
+    std::ostringstream os;
+    h.dumpJson(os);
+    EXPECT_TRUE(testutil::isValidJson(os.str())) << os.str();
+    EXPECT_NE(os.str().find("\"overflow\":2"), std::string::npos);
+}
+
+// Regression: merging per-shard histograms where some shards stayed
+// empty. An empty shard must merge as a no-op whatever its geometry,
+// and merging into an empty histogram must adopt the populated side's
+// geometry and keep its underflow/overflow counts — previously the
+// out-of-range mass was silently dropped.
+TEST(Histogram, MergeWithEmptyShardKeepsOutOfRangeCounts)
+{
+    sim::Histogram populated(10.0, 4);
+    populated.sample(-2.0);  // underflow
+    populated.sample(15.0);
+    populated.sample(500.0); // overflow
+
+    // Default-constructed shard (different geometry) merging in: no-op.
+    sim::Histogram emptyShard;
+    populated.merge(emptyShard);
+    EXPECT_EQ(populated.summary().count(), 3u);
+    EXPECT_EQ(populated.underflow(), 1u);
+    EXPECT_EQ(populated.overflow(), 1u);
+
+    // Merging the populated shard into a default-constructed
+    // accumulator: geometry is adopted, nothing is dropped.
+    sim::Histogram total;
+    total.merge(populated);
+    EXPECT_EQ(total.binWidth(), 10.0);
+    EXPECT_EQ(total.bins().size(), 4u);
+    EXPECT_EQ(total.summary().count(), 3u);
+    EXPECT_EQ(total.underflow(), 1u);
+    EXPECT_EQ(total.overflow(), 1u);
+    EXPECT_EQ(total.bins(), populated.bins());
+
+    // And a same-geometry merge still adds bin-wise.
+    sim::Histogram other(10.0, 4);
+    other.sample(15.0);
+    other.sample(40.0); // overflow
+    total.merge(other);
+    EXPECT_EQ(total.summary().count(), 5u);
+    EXPECT_EQ(total.overflow(), 2u);
+    EXPECT_EQ(total.bins()[1], 2u);
+}
+
 TEST(StatGroup, SetGetDump)
 {
     sim::StatGroup g("pe0");

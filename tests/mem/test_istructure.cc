@@ -193,4 +193,48 @@ TEST(IStructureController, DeferredReadParksWithoutBlockingQueue)
     EXPECT_EQ(served[1].second, 60u);
 }
 
+TEST(IStructureController, DedupAbsorbsReplayedIdenticalStore)
+{
+    // With a lossy fabric the same STORE can arrive twice (a retry
+    // whose original survived). Re-storing the *same* value into a
+    // Present cell is a replay, not a single-assignment violation —
+    // but only when dedup is on, and only for an identical value.
+    auto drain = [](mem::IStructureController<Cont> &ctl, Out &served) {
+        sim::Cycle cycle = 0;
+        while (!ctl.idle() && cycle < 100) {
+            ctl.step(cycle);
+            ++cycle;
+            while (auto r = ctl.pollResponse())
+                served.push_back(*r);
+        }
+    };
+
+    mem::IStructureController<Cont> ctl(16);
+    ctl.enableDedup();
+    Out served;
+    ctl.request({mem::IStructureRequest<Cont>::Kind::Store, 0, 11, 0});
+    ctl.request({mem::IStructureRequest<Cont>::Kind::Store, 0, 11, 0});
+    drain(ctl, served);
+    EXPECT_EQ(ctl.dupStores(), 1u);
+    EXPECT_EQ(ctl.storage().stats().multipleWrites.value(), 0u);
+    EXPECT_EQ(ctl.storage().peek(0), 11u);
+
+    // A *different* value is still a real violation.
+    ctl.request({mem::IStructureRequest<Cont>::Kind::Store, 0, 12, 0});
+    drain(ctl, served);
+    EXPECT_EQ(ctl.dupStores(), 1u);
+    EXPECT_EQ(ctl.storage().stats().multipleWrites.value(), 1u);
+    EXPECT_EQ(ctl.storage().peek(0), 11u);
+
+    // Without dedup, even an identical re-store counts as a violation
+    // (the fault-free semantics are unchanged).
+    mem::IStructureController<Cont> bare(16);
+    Out served2;
+    bare.request({mem::IStructureRequest<Cont>::Kind::Store, 0, 11, 0});
+    bare.request({mem::IStructureRequest<Cont>::Kind::Store, 0, 11, 0});
+    drain(bare, served2);
+    EXPECT_EQ(bare.dupStores(), 0u);
+    EXPECT_EQ(bare.storage().stats().multipleWrites.value(), 1u);
+}
+
 } // namespace
