@@ -8,6 +8,7 @@
 #ifndef TTDA_BENCH_BENCH_UTIL_HH
 #define TTDA_BENCH_BENCH_UTIL_HH
 
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -18,6 +19,8 @@
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "common/trace.hh"
+#include "emul/compile.hh"
+#include "emul/vm.hh"
 #include "id/codegen.hh"
 #include "ttda/machine.hh"
 #include "vn/machine.hh"
@@ -25,6 +28,25 @@
 
 namespace bench
 {
+
+/** Which emulation tier an experiment should exercise (--emul=). */
+enum class EmulMode
+{
+    Interp,   //!< token-at-a-time ttda::Emulator
+    Compiled, //!< threaded-code scalar VM (src/emul)
+    Lanes,    //!< threaded-code lane-batched VM
+};
+
+inline const char *
+emulModeName(EmulMode m)
+{
+    switch (m) {
+      case EmulMode::Interp: return "interp";
+      case EmulMode::Compiled: return "compiled";
+      case EmulMode::Lanes: return "lanes";
+    }
+    return "?";
+}
 
 /**
  * Observability flags shared by every experiment and example binary:
@@ -49,6 +71,12 @@ namespace bench
  *   --reliable          wrap the fabric in net::ReliableNet (timeout
  *                       retransmission + dedup) so the machine
  *                       finishes despite injected loss
+ *   --emul=MODE         emulation tier for experiments that run the
+ *                       fast (untimed) side: interp (token-at-a-time
+ *                       interpreter), compiled (threaded-code scalar
+ *                       VM), or lanes (lane-batched VM); benches that
+ *                       compare tiers run all three unless this
+ *                       restricts them
  *
  * Recognised flags are consumed; everything else (argv[0] first) stays
  * in `args`, so a binary's positional-argument parsing is unchanged.
@@ -88,6 +116,19 @@ class SimOptions
                 faultPlanSet_ = true;
             } else if (arg == "--reliable") {
                 reliable_ = true;
+            } else if (arg.rfind("--emul=", 0) == 0) {
+                const std::string_view mode = arg.substr(7);
+                if (mode == "interp")
+                    emulMode_ = EmulMode::Interp;
+                else if (mode == "compiled")
+                    emulMode_ = EmulMode::Compiled;
+                else if (mode == "lanes")
+                    emulMode_ = EmulMode::Lanes;
+                else
+                    sim::fatal("--emul must be interp, compiled, or "
+                               "lanes (got '{}')",
+                               std::string(mode));
+                emulModeSet_ = true;
             } else {
                 args.push_back(argv[i]);
             }
@@ -124,6 +165,18 @@ class SimOptions
     std::uint32_t threads() const { return threads_; }
     bool faultsRequested() const { return faultPlanSet_ || faultSeedSet_; }
     bool reliable() const { return reliable_; }
+    EmulMode emulMode() const { return emulMode_; }
+    bool emulModeSet() const { return emulModeSet_; }
+
+    /** The tiers a comparison bench should run: the selected one, or
+     *  all three when --emul was not given. */
+    std::vector<EmulMode>
+    emulModes() const
+    {
+        if (emulModeSet_)
+            return {emulMode_};
+        return {EmulMode::Interp, EmulMode::Compiled, EmulMode::Lanes};
+    }
 
     /** Write the machine's statistics to --stats-json, if given. */
     template <typename MachineT>
@@ -172,7 +225,89 @@ class SimOptions
     sim::fault::FaultPlan faults_;
     bool faultPlanSet_ = false;
     bool reliable_ = false;
+    EmulMode emulMode_ = EmulMode::Interp;
+    bool emulModeSet_ = false;
 };
+
+/**
+ * One-line replay header mirroring the stats JSON "meta" group, for
+ * the human-readable output path (the JSON-only placement meant a
+ * table reader had no way to reproduce a run without re-running with
+ * --stats-json).
+ */
+template <typename MachineT>
+std::string
+metaSummary(const MachineT &machine)
+{
+    std::string s =
+        sim::format("meta: seed={}", machine.config().seed);
+    if (machine.faultInjector())
+        s += sim::format(" faultSeed={}",
+                         machine.faultInjector()->plan().seed);
+    s += sim::format(" reliable={}",
+                     machine.reliableNet() ? "yes" : "no");
+    return s;
+}
+
+/** Summary of one fast-tier (untimed) run. */
+struct EmulTierRun
+{
+    std::vector<graph::Value> outputs; //!< one context's OUTPUTs
+    std::uint64_t fired = 0;           //!< firings of one context
+    double seconds = 0.0;              //!< host time per context
+    bool supported = true; //!< lanes mode on a non-laneable program?
+};
+
+/**
+ * Run `compiled`'s program through one emulation tier. Lanes mode
+ * runs `batch` identical contexts and reports per-context time and
+ * firings (falls back to supported=false when the program has
+ * residual calls).
+ */
+inline EmulTierRun
+runEmulTier(const id::Compiled &compiled, EmulMode mode,
+            const std::vector<graph::Value> &inputs,
+            std::size_t batch = 64)
+{
+    using Clock = std::chrono::steady_clock;
+    EmulTierRun r;
+    if (mode == EmulMode::Interp) {
+        const auto t0 = Clock::now();
+        ttda::Emulator emu(compiled.program);
+        for (std::size_t p = 0; p < inputs.size(); ++p)
+            emu.input(compiled.startCb,
+                      static_cast<std::uint16_t>(p), inputs[p]);
+        for (const auto &rec : emu.run())
+            r.outputs.push_back(rec.value);
+        r.fired = emu.stats().fired;
+        r.seconds =
+            std::chrono::duration<double>(Clock::now() - t0).count();
+        return r;
+    }
+
+    const auto prog =
+        emul::compile(compiled.program, compiled.startCb);
+    if (mode == EmulMode::Lanes && !prog.laneable()) {
+        r.supported = false;
+        return r;
+    }
+    const auto t0 = Clock::now();
+    if (mode == EmulMode::Compiled) {
+        auto rr = emul::run(prog, inputs);
+        r.outputs = std::move(rr.outputs);
+        r.fired = rr.fired;
+        r.seconds =
+            std::chrono::duration<double>(Clock::now() - t0).count();
+    } else {
+        auto br = prog.execute(batch, inputs, {});
+        r.outputs = std::move(br.outputs.at(0));
+        r.fired = br.fired / batch;
+        r.seconds =
+            std::chrono::duration<double>(Clock::now() - t0).count() /
+            static_cast<double>(batch);
+    }
+    return r;
+}
 
 /** Summary of one tagged-token machine run. */
 struct TtdaRun

@@ -102,6 +102,7 @@ main(int argc, char **argv)
               sim::Table::num(machine.opsPerCycle(), 2),
               sim::Table::num(machine.aluUtilization(), 2)});
     t.print(std::cout);
+    std::cout << bench::metaSummary(machine) << "\n";
 
     std::cout << "\nBoth engines interpret the same graph: results "
               << (emu_out[0].value == sim_out[0].value ? "MATCH"

@@ -5,6 +5,12 @@
 # by more than the threshold (default 25%), so an accidental slowdown
 # of the simulator core cannot land silently.
 #
+# Also guards the compiled emulation tier (BENCH_emul.json): each
+# compiled/lanes row's *speedup over the interpreter* must stay within
+# the threshold of the committed baseline. Speedup is a ratio of two
+# same-process measurements, so it is far less host-sensitive than raw
+# hostMs — a drop means the threaded-code tier itself got slower.
+#
 # Configs present in only one of the two files (new benchmarks, or a
 # renamed baseline entry) are reported but do not fail the guard.
 #
@@ -18,6 +24,7 @@ BUILD_DIR="${1:-build-bench}"
 THRESHOLD="${2:-25}"
 BASELINE="BENCH_core.json"
 FAULTS_BASELINE="BENCH_faults.json"
+EMUL_BASELINE="BENCH_emul.json"
 
 if [[ ! -f "$BASELINE" ]]; then
     echo "bench_guard: no baseline $BASELINE; nothing to guard" >&2
@@ -26,15 +33,18 @@ fi
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
-    --target bench_core --target bench_faults > /dev/null
+    --target bench_core --target bench_faults \
+    --target bench_emul > /dev/null
 
 OUT_DIR="$(mktemp -d)"
 trap 'rm -rf "$OUT_DIR"' EXIT
 "$BUILD_DIR/bench/bench_core" "$OUT_DIR/current.json" > /dev/null
 "$BUILD_DIR/bench/bench_faults" "$OUT_DIR/faults.json" > /dev/null
+"$BUILD_DIR/bench/bench_emul" "$OUT_DIR/emul.json" > /dev/null
 
 python3 - "$BASELINE" "$OUT_DIR/current.json" "$THRESHOLD" \
-    "$FAULTS_BASELINE" "$OUT_DIR/faults.json" <<'EOF'
+    "$FAULTS_BASELINE" "$OUT_DIR/faults.json" \
+    "$EMUL_BASELINE" "$OUT_DIR/emul.json" <<'EOF'
 import json, sys
 
 baseline_path, current_path, threshold = sys.argv[1], sys.argv[2], float(sys.argv[3])
@@ -58,6 +68,34 @@ if len(sys.argv) > 5:
     current.update({r["name"]: r for r in fc if r["dropRate"] == 0})
 
 failed = []
+
+# Emulation-tier guard: speedup (interp time / tier time, same
+# process) must not fall below baseline by more than the threshold.
+# Interp rows are the denominator, not a guarded quantity.
+if len(sys.argv) > 7:
+    emul_baseline_path, emul_current_path = sys.argv[6], sys.argv[7]
+    try:
+        eb = json.load(open(emul_baseline_path))["runs"]
+    except FileNotFoundError:
+        print(f"bench_guard: note: no {emul_baseline_path}; "
+              "skipping emul-tier guard")
+        eb = []
+    ec = {r["name"]: r for r in json.load(open(emul_current_path))["runs"]}
+    for base in sorted(eb, key=lambda r: r["name"]):
+        if base["mode"] == "interp":
+            continue
+        cur = ec.get(base["name"])
+        if cur is None:
+            print(f"bench_guard: note: emul baseline '{base['name']}' "
+                  "not in current run")
+            continue
+        ratio = cur["speedup"] / base["speedup"] if base["speedup"] > 0 else 1.0
+        verdict = "FAIL" if ratio < 1 - threshold / 100 else "ok"
+        print(f"bench_guard: {verdict:4} {base['name']:24} speedup "
+              f"{base['speedup']:7.1f}x -> {cur['speedup']:7.1f}x  ({ratio:5.2f}x)")
+        if verdict == "FAIL":
+            failed.append(base["name"])
+
 for name, base in sorted(baseline.items()):
     cur = current.get(name)
     if cur is None:

@@ -71,6 +71,17 @@ if bad:
     sys.exit(f"fault smoke: wrong completion for {', '.join(bad)}")
 EOF
 
+# --- Compiled-tier differential fuzz -------------------------------
+# 5. The emul test binary's randomized differential suite (interpreter
+#    vs threaded-code scalar VM vs 4-lane batched VM, bit-exact) runs
+#    again explicitly under ASan/UBSan: the lane VM's SoA register
+#    columns and mask juggling are exactly the kind of code the
+#    sanitizers exist for. ctest above already ran these; this gate
+#    keeps them from being filtered out quietly.
+"$BUILD_DIR/tests/test_emul" \
+    --gtest_filter='EmulFuzz.*:EmulWorkloads.*:EmulStructure.*' \
+    > /dev/null
+
 # --- Optional throughput guard -------------------------------------
 # CHECK=1 also runs the bench_core regression guard (a separate
 # non-sanitized build; sanitizer overhead would swamp the timings).

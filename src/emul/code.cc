@@ -1,0 +1,163 @@
+#include "emul/code.hh"
+
+#include <sstream>
+
+namespace emul
+{
+
+std::string_view
+opName(Op op)
+{
+    switch (op) {
+      case Op::Const: return "const";
+      case Op::Move: return "move";
+      case Op::Add: return "add";
+      case Op::Sub: return "sub";
+      case Op::Mul: return "mul";
+      case Op::Div: return "div";
+      case Op::Mod: return "mod";
+      case Op::Neg: return "neg";
+      case Op::Lt: return "lt";
+      case Op::Le: return "le";
+      case Op::Gt: return "gt";
+      case Op::Ge: return "ge";
+      case Op::Eq: return "eq";
+      case Op::Ne: return "ne";
+      case Op::And: return "and";
+      case Op::Or: return "or";
+      case Op::Not: return "not";
+      case Op::GuardBegin: return "guard.begin";
+      case Op::GuardEnd: return "guard.end";
+      case Op::LoopHead: return "loop.head";
+      case Op::LoopTest: return "loop.test";
+      case Op::LoopExitDone: return "loop.exitdone";
+      case Op::LoopBack: return "loop.back";
+      case Op::LoopEnd: return "loop.end";
+      case Op::Output: return "output";
+      case Op::SAlloc: return "s.alloc";
+      case Op::SFetch: return "s.fetch";
+      case Op::SStore: return "s.store";
+      case Op::SAppend: return "s.append";
+      case Op::Call: return "call";
+      case Op::CallDyn: return "call.dyn";
+      case Op::Ret: return "ret";
+      case Op::Count: return "count";
+      case Op::Halt: return "halt";
+    }
+    return "?";
+}
+
+namespace
+{
+
+bool
+hasDst(Op op)
+{
+    switch (op) {
+      case Op::Const:
+      case Op::Move:
+      case Op::Add: case Op::Sub: case Op::Mul: case Op::Div:
+      case Op::Mod: case Op::Neg:
+      case Op::Lt: case Op::Le: case Op::Gt: case Op::Ge:
+      case Op::Eq: case Op::Ne:
+      case Op::And: case Op::Or: case Op::Not:
+      case Op::SAlloc: case Op::SFetch: case Op::SAppend:
+      case Op::Call: case Op::CallDyn:
+        return true;
+      default:
+        return false;
+    }
+}
+
+int
+numSrcRegs(Op op)
+{
+    switch (op) {
+      case Op::Move: case Op::Neg: case Op::Not:
+      case Op::GuardBegin: case Op::LoopTest:
+      case Op::Output: case Op::SAlloc: case Op::Ret:
+        return 1;
+      case Op::Add: case Op::Sub: case Op::Mul: case Op::Div:
+      case Op::Mod:
+      case Op::Lt: case Op::Le: case Op::Gt: case Op::Ge:
+      case Op::Eq: case Op::Ne:
+      case Op::And: case Op::Or:
+      case Op::SFetch:
+        return 2;
+      case Op::SStore: case Op::SAppend:
+        return 3;
+      default:
+        return 0;
+    }
+}
+
+} // namespace
+
+std::string
+CompiledProgram::disassemble(std::int32_t block_idx) const
+{
+    std::ostringstream os;
+    auto one = [&](const CompiledBlock &b, std::uint32_t idx) {
+        os << "compiled block " << idx << " '" << b.name << "' ("
+           << b.numParams << " params, " << b.numRegs << " regs, "
+           << b.code.size() << " insts)\n";
+        for (std::size_t pc = 0; pc < b.code.size(); ++pc) {
+            const Inst &in = b.code[pc];
+            os << "  " << pc << ": " << opName(in.op);
+            if (hasDst(in.op))
+                os << " r" << in.dst << " <-";
+            const int nsrc = numSrcRegs(in.op);
+            if (nsrc >= 1)
+                os << " r" << in.a;
+            if (nsrc >= 2)
+                os << " r" << in.b;
+            if (nsrc >= 3)
+                os << " r" << in.c;
+            switch (in.op) {
+              case Op::Const:
+                os << " pool[" << in.imm << "]="
+                   << toValue(constPool_[in.imm]).toString();
+                break;
+              case Op::GuardBegin:
+                os << ((in.flags & kInvert) ? " unless" : " when")
+                   << " -> " << in.imm;
+                break;
+              case Op::LoopTest: case Op::LoopExitDone:
+              case Op::LoopBack:
+                os << " -> " << in.imm;
+                break;
+              case Op::Call:
+                os << " block " << in.imm << " args r" << in.a << "+"
+                   << in.b;
+                break;
+              case Op::CallDyn:
+                os << " args r" << in.b << "+" << in.c;
+                break;
+              default:
+                break;
+            }
+            if (in.flags & kCount)
+                os << "   ; fire src=" << in.src;
+            os << "\n";
+        }
+    };
+    if (block_idx < 0) {
+        for (std::uint32_t i = 0; i < blocks_.size(); ++i)
+            one(blocks_[i], i);
+    } else {
+        one(blocks_.at(static_cast<std::size_t>(block_idx)),
+            static_cast<std::uint32_t>(block_idx));
+    }
+    return os.str();
+}
+
+std::size_t
+CompiledProgram::totalCode() const
+{
+    std::size_t n = 0;
+    for (const auto &b : blocks_)
+        n += b.code.size();
+    return n;
+}
+
+} // namespace emul

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Threaded-code program representation for the compiled emulator.
+ *
+ * The compiler (compile.cc) lowers a graph::Program into flat arrays
+ * of fixed-width instructions whose operands are *register slots*
+ * instead of tagged tokens: every (consumer, port) pair of the source
+ * graph gets a register, producers write their consumers' operand
+ * registers directly, and waiting-matching disappears entirely. Loops
+ * and conditionals become structured control instructions that a
+ * scalar VM interprets as jumps and the lane VM interprets as
+ * active-mask operations (one mask word per lane), so the same code
+ * array drives both execution modes.
+ *
+ * Provenance: every instruction carries the dense global index (see
+ * graph::Program::instrIndexOffsets) of the source instruction it was
+ * derived from, and the kCount flag marks exactly one emitted
+ * instruction per source-instruction *firing* — summing executed
+ * kCount markers reproduces the interpreter's activity counts
+ * instruction-for-instruction.
+ */
+
+#ifndef TTDA_EMUL_CODE_HH
+#define TTDA_EMUL_CODE_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "emul/slot.hh"
+#include "graph/program.hh"
+
+namespace emul
+{
+
+enum class Op : std::uint8_t
+{
+    Const, //!< dst = pool[imm]
+    Move,  //!< dst = r[a]
+
+    // Arithmetic / relational / boolean (semantics = graph/arith.hh).
+    Add, Sub, Mul, Div, Mod, Neg,
+    Lt, Le, Gt, Ge, Eq, Ne,
+    And, Or, Not,
+
+    /** Begin a guarded region on condition r[a] (kInvert flag: region
+     *  runs when the condition is false). Scalar: jump to imm (the
+     *  matching GuardEnd) when untaken. Lanes: push the mask, narrow
+     *  it to the (un)taken lanes, jump to imm if none remain. */
+    GuardBegin,
+    GuardEnd, //!< close a guarded region (lanes: pop the mask)
+
+    /** Loop bracket. LoopHead marks the re-entry point (lanes: push a
+     *  loop mask frame). LoopTest on predicate r[a]: scalar jumps to
+     *  imm (the body) when true, else falls into the exit region;
+     *  lanes split the active mask into exiting and continuing lanes.
+     *  LoopExitDone ends the exit region (scalar: jump imm = LoopEnd;
+     *  lanes: continue with surviving lanes or jump out). LoopBack
+     *  jumps to imm = just after LoopHead. LoopEnd closes the loop
+     *  (lanes: pop the mask frame). */
+    LoopHead,
+    LoopTest,
+    LoopExitDone,
+    LoopBack,
+    LoopEnd,
+
+    Output, //!< record r[a] as a program output
+
+    // Structure operations (via the StructureEngine side queue).
+    SAlloc,  //!< dst = alloc(r[a] cells)
+    SFetch,  //!< dst = storage[r[a].base + r[b]]; may defer
+    SStore,  //!< storage[r[a].base + r[b]] = r[c]
+    SAppend, //!< dst = copy of r[a] with element r[b] replaced by r[c]
+
+    /** Invoke compiled block imm with args r[a]..r[a+b-1]; the result
+     *  arrives in r[dst] later (the register is marked pending).
+     *  CallDyn reads the callee from function value r[a], args
+     *  r[b]..r[b+c-1]. */
+    Call,
+    CallDyn,
+    Ret,   //!< deliver r[a] to the caller's pending result register
+
+    Count, //!< no-op carrying a kCount marker (empty SWITCH sides etc.)
+    Halt,  //!< end of the frame's code
+};
+
+std::string_view opName(Op op);
+
+/** Instruction flag bits. */
+inline constexpr std::uint8_t kCount = 1;  //!< fire-count marker
+inline constexpr std::uint8_t kInvert = 2; //!< GuardBegin: run on false
+
+/** Sentinel for "no source provenance". */
+inline constexpr std::uint32_t kNoSrc = 0xffffffffu;
+
+/** One fixed-width threaded-code instruction. */
+struct Inst
+{
+    Op op = Op::Halt;
+    std::uint8_t flags = 0;
+    std::uint32_t dst = 0;
+    std::uint32_t a = 0;
+    std::uint32_t b = 0;
+    std::uint32_t c = 0;
+    std::uint32_t imm = 0;
+    std::uint32_t src = kNoSrc; //!< global source-instruction index
+};
+
+/** One compiled code block (a callable unit: the entry block or a
+ *  residual — recursive or dynamically-applied — procedure). */
+struct CompiledBlock
+{
+    std::string name;
+    std::uint16_t sourceCb = 0; //!< graph code block it was lowered from
+    std::uint16_t numParams = 0;
+    std::uint32_t numRegs = 0; //!< registers 0..numParams-1 are the args
+    std::vector<Inst> code;
+};
+
+struct RunOptions;
+struct RunResult;
+struct BatchResult;
+struct VaryingInput;
+
+/** A graph::Program lowered to threaded code. */
+class CompiledProgram
+{
+  public:
+    const CompiledBlock &entry() const { return blocks_[entryIdx_]; }
+    std::uint32_t entryIndex() const { return entryIdx_; }
+    const std::vector<CompiledBlock> &blocks() const { return blocks_; }
+    const std::vector<Slot> &constPool() const { return constPool_; }
+
+    /** True when the entry block contains no residual calls, so the
+     *  whole program is one flat instruction array and eligible for
+     *  lane-batched execution. */
+    bool laneable() const { return laneable_; }
+
+    /** Size of the source program's dense instruction index space
+     *  (fire-count arrays are this long). */
+    std::size_t srcIndexSpace() const { return srcIndexSpace_; }
+
+    /** Compiled block index for a source code block id, or -1. */
+    std::int32_t
+    blockFor(std::uint16_t source_cb) const
+    {
+        auto it = blockOf_.find(source_cb);
+        return it == blockOf_.end() ? -1
+                                    : static_cast<std::int32_t>(it->second);
+    }
+
+    /** Human-readable listing (one block, or all with idx = -1). */
+    std::string disassemble(std::int32_t block_idx = -1) const;
+
+    /** Total emitted instructions across all blocks. */
+    std::size_t totalCode() const;
+
+    // Convenience execution entry points (vm.hh has the option and
+    // result types; implemented by the scalar and lane VMs).
+    RunResult run(const std::vector<graph::Value> &inputs) const;
+    RunResult run(const std::vector<graph::Value> &inputs,
+                  const RunOptions &opts) const;
+    BatchResult execute(std::size_t n,
+                        const std::vector<graph::Value> &uniforms,
+                        const std::vector<VaryingInput> &varying) const;
+    BatchResult execute(std::size_t n,
+                        const std::vector<graph::Value> &uniforms,
+                        const std::vector<VaryingInput> &varying,
+                        const RunOptions &opts) const;
+
+  private:
+    friend class Compiler;
+
+    std::vector<CompiledBlock> blocks_;
+    std::vector<Slot> constPool_;
+    std::unordered_map<std::uint16_t, std::uint32_t> blockOf_;
+    std::uint32_t entryIdx_ = 0;
+    bool laneable_ = false;
+    std::size_t srcIndexSpace_ = 0;
+};
+
+} // namespace emul
+
+#endif // TTDA_EMUL_CODE_HH

@@ -1,0 +1,1197 @@
+#include "emul/compile.hh"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace emul
+{
+
+namespace
+{
+
+/** Recoverable "outside the compilable subset" error; caught by
+ *  tryCompile and surfaced as a diagnostic. */
+struct CompileFail
+{
+    std::string reason;
+};
+
+template <typename... Args>
+[[noreturn]] void
+fail(std::string_view fmt, Args &&...args)
+{
+    throw CompileFail{sim::format(fmt, std::forward<Args>(args)...)};
+}
+
+constexpr std::uint32_t kNone = 0xffffffffu;
+
+/** One (switch-group, side) condition an instruction fires under. */
+struct Gate
+{
+    std::uint32_t group = 0;
+    bool side = false;
+
+    bool operator==(const Gate &) const = default;
+};
+
+/** A sorted set of Gates (the order is fixed per instance by group
+ *  rank, so sets compare lexicographically). */
+using GateSet = std::vector<Gate>;
+
+} // namespace
+
+/** Graph → threaded-code compiler. One Compiler instance per
+ *  tryCompile call; compiles the entry block plus every residual
+ *  (recursive or dynamically applicable) block transitively. */
+class Compiler
+{
+  public:
+    explicit Compiler(const graph::Program &program)
+        : prog_(program), offsets_(program.instrIndexOffsets())
+    {
+    }
+
+    CompiledProgram
+    compileFrom(std::uint16_t entry_cb)
+    {
+        result_.srcIndexSpace_ = prog_.totalInstructions();
+        scanFnConstants();
+        result_.entryIdx_ = residualIndex(entry_cb);
+        while (!worklist_.empty()) {
+            const std::uint16_t cb = worklist_.back();
+            worklist_.pop_back();
+            compileStandalone(cb, blockIdx_.at(cb));
+        }
+        bool laneable = true;
+        for (const Inst &in : result_.blocks_[result_.entryIdx_].code)
+            if (in.op == Op::Call || in.op == Op::CallDyn)
+                laneable = false;
+        result_.laneable_ = laneable;
+        return std::move(result_);
+    }
+
+  private:
+    // ----- per-inlining instance of a source code block --------------
+
+    struct Edge
+    {
+        std::uint16_t from = 0;
+        bool side = true; //!< producing side when `from` is a SWITCH
+    };
+
+    struct Group
+    {
+        std::vector<std::uint16_t> switches;
+        std::uint32_t condReg = kNone;
+        std::uint32_t rank = 0;
+    };
+
+    struct Instance
+    {
+        std::uint16_t cb = 0;
+        const graph::CodeBlock *blk = nullptr;
+        /** Register of (stmt, port); index nt holds the constant's
+         *  register when the instruction carries one. */
+        std::vector<std::vector<std::uint32_t>> portRegs;
+        std::vector<bool> hasConstReg;
+        std::vector<std::uint32_t> rank; //!< stmt -> topo position
+        std::vector<GateSet> gate;       //!< per stmt
+        std::vector<std::vector<std::vector<Edge>>> producers;
+        std::vector<Group> groups;
+        std::vector<std::uint32_t> groupOf; //!< switch stmt -> group
+        std::int32_t loopGroup = -1; //!< group of the schema switches
+
+        std::uint32_t
+        reg(std::uint16_t stmt, std::size_t port) const
+        {
+            const auto &in = blk->instrs[stmt];
+            if (port < in.nt)
+                return portRegs[stmt][port];
+            SIM_ASSERT_MSG(port == in.nt && hasConstReg[stmt],
+                           "no operand {} at {}:{}", port, cb, stmt);
+            return portRegs[stmt][in.nt];
+        }
+    };
+
+    /** How an instance delivers values that leave its block. */
+    struct Wiring
+    {
+        Instance *parent = nullptr; //!< resolves caller-side Dests
+        /** Inlined apply: RETURN moves into these caller dests.
+         *  Null: RETURN lowers to Ret (standalone block). */
+        const std::vector<graph::Dest> *returnDests = nullptr;
+    };
+
+    // ----- emission items (units of scheduling) ----------------------
+
+    struct Item
+    {
+        enum Kind : std::uint8_t
+        {
+            Plain,       //!< one instruction
+            SwitchSide,  //!< one side's forwarding moves
+            LoopUnit,    //!< a whole inlined loop (atomic)
+            ApplyInline, //!< a whole inlined procedure (atomic)
+        };
+
+        Kind kind = Plain;
+        std::uint16_t stmt = 0; //!< LoopUnit: representative L
+        bool side = false;
+        std::uint32_t rank = 0;
+        GateSet gate;
+        std::vector<std::uint32_t> succ;
+        std::vector<std::uint16_t> anchors; //!< LoopUnit: all L stmts
+        std::uint16_t targetCb = 0;
+    };
+
+    struct Items
+    {
+        std::vector<Item> items;
+        std::vector<std::uint32_t> plainItem;   //!< stmt -> item
+        std::vector<std::uint32_t> switchItemT; //!< stmt -> item
+        std::vector<std::uint32_t> switchItemF; //!< stmt -> item
+        std::vector<std::uint32_t> unitOfL;     //!< L stmt -> item
+    };
+
+    // ----- compiled-output state -------------------------------------
+
+    struct BlockEmit
+    {
+        CompiledBlock out;
+        std::uint32_t nextReg = 0;
+        std::uint32_t sinkReg = kNone;
+    };
+
+    std::uint32_t
+    allocReg()
+    {
+        return em_->nextReg++;
+    }
+
+    std::uint32_t
+    sinkReg()
+    {
+        if (em_->sinkReg == kNone)
+            em_->sinkReg = allocReg();
+        return em_->sinkReg;
+    }
+
+    std::uint32_t
+    addConst(const graph::Value &v)
+    {
+        const Slot s = fromValue(v);
+        auto &pool = result_.constPool_;
+        for (std::uint32_t i = 0; i < pool.size(); ++i)
+            if (pool[i].kind == s.kind && pool[i].lo == s.lo &&
+                pool[i].hi == s.hi)
+                return i;
+        pool.push_back(s);
+        return static_cast<std::uint32_t>(pool.size() - 1);
+    }
+
+    std::uint32_t
+    srcIdx(std::uint16_t cb, std::uint16_t stmt) const
+    {
+        return static_cast<std::uint32_t>(offsets_[cb] + stmt);
+    }
+
+    Inst &
+    emit(Inst in)
+    {
+        em_->out.code.push_back(in);
+        return em_->out.code.back();
+    }
+
+    std::uint32_t
+    pc() const
+    {
+        return static_cast<std::uint32_t>(em_->out.code.size());
+    }
+
+    // ----- residual block management ---------------------------------
+
+    std::uint32_t
+    residualIndex(std::uint16_t cb)
+    {
+        auto it = blockIdx_.find(cb);
+        if (it != blockIdx_.end())
+            return it->second;
+        const auto idx =
+            static_cast<std::uint32_t>(result_.blocks_.size());
+        result_.blocks_.emplace_back();
+        blockIdx_[cb] = idx;
+        result_.blockOf_[cb] = idx;
+        worklist_.push_back(cb);
+        return idx;
+    }
+
+    /** Function constants on non-APPLY instructions can flow anywhere
+     *  and be applied dynamically, so their targets must exist as
+     *  residual compiled blocks. */
+    void
+    scanFnConstants()
+    {
+        for (std::size_t cb = 0; cb < prog_.numCodeBlocks(); ++cb)
+            for (const auto &in : prog_.codeBlock(
+                     static_cast<std::uint16_t>(cb)).instrs)
+                if (in.constant && in.constant->isFn() &&
+                    in.op != graph::Opcode::Apply)
+                    residualIndex(in.constant->asFn().codeBlock);
+    }
+
+    // ----- instance construction -------------------------------------
+
+    Instance
+    makeInstance(std::uint16_t cb, bool params_first)
+    {
+        Instance inst;
+        inst.cb = cb;
+        inst.blk = &prog_.codeBlock(cb);
+        const auto &instrs = inst.blk->instrs;
+        const std::size_t n = instrs.size();
+        inst.portRegs.resize(n);
+        inst.hasConstReg.assign(n, false);
+
+        if (params_first) {
+            for (std::uint16_t p = 0; p < inst.blk->numParams; ++p) {
+                SIM_ASSERT_MSG(instrs[p].nt == 1,
+                               "receiver {}:{} has nt {}", cb, p,
+                               instrs[p].nt);
+                inst.portRegs[p].push_back(allocReg());
+            }
+        }
+        for (std::size_t s = 0; s < n; ++s) {
+            const auto &in = instrs[s];
+            if (inst.portRegs[s].empty())
+                for (std::uint8_t p = 0; p < in.nt; ++p)
+                    inst.portRegs[s].push_back(allocReg());
+            if (in.constant && in.op != graph::Opcode::Lit &&
+                in.op != graph::Opcode::Apply) {
+                inst.portRegs[s].push_back(allocReg());
+                inst.hasConstReg[s] = true;
+            }
+        }
+
+        const auto order = graph::topoOrder(prog_, cb);
+        inst.rank.assign(n, 0);
+        for (std::uint32_t i = 0; i < order.size(); ++i)
+            inst.rank[order[i]] = i;
+
+        buildProducers(inst);
+        buildGates(inst, order);
+        return inst;
+    }
+
+    void
+    buildProducers(Instance &inst)
+    {
+        const auto &instrs = inst.blk->instrs;
+        const std::size_t n = instrs.size();
+        inst.producers.resize(n);
+        for (std::size_t s = 0; s < n; ++s)
+            inst.producers[s].resize(instrs[s].nt);
+
+        auto addEdge = [&](const graph::Dest &d, std::uint16_t from,
+                           bool side) {
+            if (d.stmt >= n || d.port >= instrs[d.stmt].nt)
+                fail("{}: edge {} -> {}:{} is out of range",
+                     inst.blk->name, from, d.stmt, d.port);
+            inst.producers[d.stmt][d.port].push_back(Edge{from, side});
+        };
+
+        // Loop-entry groups (by site) contribute derived edges from a
+        // representative L to everything the loop's exits feed.
+        std::map<std::uint16_t, std::uint16_t> siteRep;
+        for (std::size_t s = 0; s < n; ++s) {
+            const auto &in = instrs[s];
+            switch (in.op) {
+              case graph::Opcode::LoopNext:
+              case graph::Opcode::LoopReset:
+                break; // back edges
+              case graph::Opcode::LoopExit:
+              case graph::Opcode::Return:
+                break; // caller-side edges
+              case graph::Opcode::LoopEntry: {
+                auto [it, fresh] = siteRep.emplace(
+                    in.site, static_cast<std::uint16_t>(s));
+                if (!fresh)
+                    break;
+                const auto &loop = prog_.codeBlock(in.targetCb);
+                for (const auto &lin : loop.instrs)
+                    if (lin.op == graph::Opcode::LoopExit)
+                        for (const auto &d : lin.dests)
+                            addEdge(d, static_cast<std::uint16_t>(s),
+                                    true);
+                break;
+              }
+              default:
+                for (const auto &d : in.dests)
+                    addEdge(d, static_cast<std::uint16_t>(s), true);
+                for (const auto &d : in.falseDests)
+                    addEdge(d, static_cast<std::uint16_t>(s), false);
+                break;
+            }
+        }
+
+        // Every token port must have a producer, except the receivers'
+        // port 0 (fed by the caller / the L and D operators).
+        for (std::size_t s = 0; s < n; ++s)
+            for (std::uint8_t p = 0; p < instrs[s].nt; ++p)
+                if (inst.producers[s][p].empty() &&
+                    !(s < inst.blk->numParams && p == 0))
+                    fail("{}: instruction {} port {} has no producer",
+                         inst.blk->name, s, static_cast<int>(p));
+    }
+
+    // ----- gate derivation -------------------------------------------
+
+    static bool
+    gateLess(const Instance &inst, const Gate &a, const Gate &b)
+    {
+        const auto ka = std::make_tuple(inst.groups[a.group].rank,
+                                        a.group, a.side);
+        const auto kb = std::make_tuple(inst.groups[b.group].rank,
+                                        b.group, b.side);
+        return ka < kb;
+    }
+
+    void
+    sortGates(const Instance &inst, GateSet &g) const
+    {
+        std::sort(g.begin(), g.end(), [&](const Gate &a, const Gate &b) {
+            return gateLess(inst, a, b);
+        });
+    }
+
+    GateSet
+    intersectGates(const GateSet &a, const GateSet &b) const
+    {
+        GateSet out;
+        for (const Gate &g : a)
+            if (std::find(b.begin(), b.end(), g) != b.end())
+                out.push_back(g);
+        return out;
+    }
+
+    void
+    unionGates(const Instance &inst, GateSet &dst,
+               const GateSet &src) const
+    {
+        for (const Gate &g : src) {
+            if (std::find(dst.begin(), dst.end(), g) != dst.end())
+                continue;
+            for (const Gate &h : dst)
+                if (h.group == g.group && h.side != g.side)
+                    fail("{}: value merges a SWITCH's two sides in an "
+                         "unstructured way",
+                         inst.blk->name);
+            dst.push_back(g);
+        }
+        sortGates(inst, dst);
+    }
+
+    /** Assign every SWITCH to a group (same control signature = same
+     *  group) and derive each instruction's gate, in topo order. */
+    void
+    buildGates(Instance &inst, const std::vector<std::uint16_t> &order)
+    {
+        const auto &instrs = inst.blk->instrs;
+        const std::size_t n = instrs.size();
+        inst.gate.resize(n);
+        inst.groupOf.assign(n, kNone);
+
+        std::map<std::vector<std::pair<std::uint16_t, bool>>,
+                 std::uint32_t> groupBySig;
+
+        auto edgeGate = [&](const Edge &e) {
+            GateSet g = inst.gate[e.from];
+            if (instrs[e.from].op == graph::Opcode::Switch) {
+                SIM_ASSERT(inst.groupOf[e.from] != kNone);
+                unionGates(inst, g,
+                           {Gate{inst.groupOf[e.from], e.side}});
+            }
+            return g;
+        };
+
+        for (const std::uint16_t s : order) {
+            const auto &in = instrs[s];
+            GateSet g;
+            bool first_port = true;
+            for (std::uint8_t p = 0; p < in.nt; ++p) {
+                const auto &edges = inst.producers[s][p];
+                if (edges.empty())
+                    continue; // receiver port: ungated
+                // A port with several producers is a structured
+                // merge: every pair must be mutually exclusive
+                // (opposite sides of some SWITCH group). Without
+                // that, the dataflow tiers would fire the consumer
+                // once per arriving token — a stream, which a
+                // register slot cannot represent.
+                for (std::size_t j = 0; j + 1 < edges.size(); ++j)
+                    for (std::size_t k = j + 1; k < edges.size();
+                         ++k) {
+                        const GateSet gj = edgeGate(edges[j]);
+                        const GateSet gk = edgeGate(edges[k]);
+                        bool exclusive = false;
+                        for (const Gate &x : gj)
+                            for (const Gate &y : gk)
+                                if (x.group == y.group &&
+                                    x.side != y.side)
+                                    exclusive = true;
+                        if (!exclusive)
+                            fail("{}: instruction {} port {} merges "
+                                 "producers {} and {} that can fire "
+                                 "together (a SWITCH must select "
+                                 "between them)",
+                                 inst.blk->name, s, p, edges[j].from,
+                                 edges[k].from);
+                    }
+                GateSet pg = edgeGate(edges[0]);
+                for (std::size_t k = 1; k < edges.size(); ++k)
+                    pg = intersectGates(pg, edgeGate(edges[k]));
+                unionGates(inst, g, pg);
+                (void)first_port;
+                first_port = false;
+            }
+            inst.gate[s] = std::move(g);
+
+            if (in.op != graph::Opcode::Switch)
+                continue;
+
+            // Group the switch by its control signature.
+            std::vector<std::pair<std::uint16_t, bool>> sig;
+            for (const Edge &e : inst.producers[s][1])
+                sig.emplace_back(e.from, e.side);
+            std::sort(sig.begin(), sig.end());
+            sig.erase(std::unique(sig.begin(), sig.end()), sig.end());
+            if (sig.empty()) // constant control: its own group
+                sig.emplace_back(s, true);
+            auto [it, fresh] = groupBySig.emplace(
+                std::move(sig),
+                static_cast<std::uint32_t>(inst.groups.size()));
+            if (fresh) {
+                inst.groups.push_back(Group{});
+                Group &grp = inst.groups.back();
+                grp.condReg = inst.reg(s, 1);
+                grp.rank = inst.rank[s];
+            }
+            Group &grp = inst.groups[it->second];
+            grp.switches.push_back(s);
+            grp.rank = std::min(grp.rank, inst.rank[s]);
+            inst.groupOf[s] = it->second;
+        }
+
+        // Identify the loop schema's switch group, if any.
+        if (inst.blk->hasLoopSchema()) {
+            const auto &sws = inst.blk->loopSwitches;
+            if (sws.empty())
+                fail("{}: loop schema with no switches",
+                     inst.blk->name);
+            std::uint32_t g = inst.groupOf[sws[0]];
+            for (const std::uint16_t sw : sws)
+                if (inst.groupOf[sw] != g)
+                    fail("{}: loop schema switches are not all driven "
+                         "by the loop predicate",
+                         inst.blk->name);
+            inst.loopGroup = static_cast<std::int32_t>(g);
+        }
+    }
+
+    const graph::Program &prog_;
+    std::vector<std::size_t> offsets_;
+    CompiledProgram result_;
+    std::map<std::uint16_t, std::uint32_t> blockIdx_;
+    std::vector<std::uint16_t> worklist_;
+    std::vector<std::uint16_t> inlineStack_;
+    BlockEmit *em_ = nullptr;
+
+  public:
+    // Implemented below (split for readability): item construction,
+    // scheduling, and lowering.
+    Items buildItems(Instance &inst);
+    void emitConsts(const Instance &inst);
+    void emitItems(Instance &inst, Items &items,
+                   const std::vector<std::uint32_t> &subset,
+                   const Wiring &wiring, std::int32_t strip_group);
+    void lowerItem(Instance &inst, Items &items, const Item &item,
+                   const Wiring &wiring);
+    void lowerPlain(Instance &inst, std::uint16_t s,
+                    const Wiring &wiring);
+    void lowerSwitchSide(Instance &inst, std::uint16_t s, bool side);
+    void lowerLoopUnit(Instance &parent, const Item &item);
+    void lowerApplyInline(Instance &parent, std::uint16_t s);
+    void lowerResidualApply(Instance &inst, std::uint16_t s);
+    void emitProcBody(Instance &inst, const Wiring &wiring);
+    void compileStandalone(std::uint16_t cb, std::uint32_t idx);
+    std::uint32_t moveChain(Instance &inst,
+                            const std::vector<graph::Dest> &dests,
+                            std::uint32_t value_reg, std::uint32_t src,
+                            bool mark_first, Instance *dest_inst);
+};
+
+// ===== emission items ==================================================
+
+Compiler::Items
+Compiler::buildItems(Instance &inst)
+{
+    const auto &instrs = inst.blk->instrs;
+    const std::size_t n = instrs.size();
+    Items out;
+    out.plainItem.assign(n, kNone);
+    out.switchItemT.assign(n, kNone);
+    out.switchItemF.assign(n, kNone);
+    out.unitOfL.assign(n, kNone);
+
+    // Loop units: every L sharing a site enters one loop invocation.
+    std::map<std::uint16_t, std::vector<std::uint16_t>> sites;
+    for (std::size_t s = 0; s < n; ++s)
+        if (instrs[s].op == graph::Opcode::LoopEntry)
+            sites[instrs[s].site].push_back(
+                static_cast<std::uint16_t>(s));
+    for (auto &[site, ls] : sites) {
+        Item it;
+        it.kind = Item::LoopUnit;
+        it.anchors = ls; // stmt order
+        it.stmt = ls[0];
+        it.targetCb = instrs[ls[0]].targetCb;
+        for (const std::uint16_t l : ls) {
+            if (instrs[l].targetCb != it.targetCb)
+                fail("{}: loop site {} enters two different blocks",
+                     inst.blk->name, site);
+            if (instrs[l].dests.size() != 1 ||
+                instrs[l].dests[0].port != 0)
+                fail("{}: L at {} must feed exactly one receiver "
+                     "port 0",
+                     inst.blk->name, l);
+            it.rank = std::max(it.rank, inst.rank[l]);
+            unionGates(inst, it.gate, inst.gate[l]);
+        }
+        const auto id = static_cast<std::uint32_t>(out.items.size());
+        out.items.push_back(std::move(it));
+        for (const std::uint16_t l : ls)
+            out.unitOfL[l] = id;
+    }
+
+    for (std::size_t s = 0; s < n; ++s) {
+        const auto &in = instrs[s];
+        if (in.op == graph::Opcode::LoopEntry)
+            continue;
+        if (in.op == graph::Opcode::Switch) {
+            for (const bool side : {true, false}) {
+                Item it;
+                it.kind = Item::SwitchSide;
+                it.stmt = static_cast<std::uint16_t>(s);
+                it.side = side;
+                it.rank = inst.rank[s];
+                it.gate = inst.gate[s];
+                unionGates(inst, it.gate,
+                           {Gate{inst.groupOf[s], side}});
+                (side ? out.switchItemT : out.switchItemF)[s] =
+                    static_cast<std::uint32_t>(out.items.size());
+                out.items.push_back(std::move(it));
+            }
+            continue;
+        }
+        Item it;
+        it.stmt = static_cast<std::uint16_t>(s);
+        it.rank = inst.rank[s];
+        it.gate = inst.gate[s];
+        it.kind = Item::Plain;
+        if (in.op == graph::Opcode::Apply && in.constant &&
+            in.constant->isFn()) {
+            const std::uint16_t fn = in.constant->asFn().codeBlock;
+            const bool recursive =
+                std::find(inlineStack_.begin(), inlineStack_.end(),
+                          fn) != inlineStack_.end();
+            if (!recursive &&
+                !prog_.codeBlock(fn).hasLoopSchema()) {
+                it.kind = Item::ApplyInline;
+                it.targetCb = fn;
+            }
+        }
+        out.plainItem[s] = static_cast<std::uint32_t>(out.items.size());
+        out.items.push_back(std::move(it));
+    }
+
+    auto producerItem = [&](const Edge &e) {
+        switch (instrs[e.from].op) {
+          case graph::Opcode::Switch:
+            return e.side ? out.switchItemT[e.from]
+                          : out.switchItemF[e.from];
+          case graph::Opcode::LoopEntry:
+            return out.unitOfL[e.from];
+          default:
+            return out.plainItem[e.from];
+        }
+    };
+    std::vector<std::uint32_t> cons;
+    for (std::size_t s = 0; s < n; ++s) {
+        cons.clear();
+        switch (instrs[s].op) {
+          case graph::Opcode::Switch:
+            cons = {out.switchItemT[s], out.switchItemF[s]};
+            break;
+          case graph::Opcode::LoopEntry:
+            cons = {out.unitOfL[s]};
+            break;
+          default:
+            cons = {out.plainItem[s]};
+            break;
+        }
+        for (const auto &edges : inst.producers[s])
+            for (const Edge &e : edges) {
+                const std::uint32_t p = producerItem(e);
+                for (const std::uint32_t c : cons)
+                    if (c != p)
+                        out.items[p].succ.push_back(c);
+            }
+    }
+    return out;
+}
+
+// ===== scheduling ======================================================
+
+void
+Compiler::emitConsts(const Instance &inst)
+{
+    const auto &instrs = inst.blk->instrs;
+    for (std::size_t s = 0; s < instrs.size(); ++s)
+        if (inst.hasConstReg[s])
+            emit(Inst{.op = Op::Const,
+                      .dst = inst.portRegs[s][instrs[s].nt],
+                      .imm = addConst(*instrs[s].constant)});
+}
+
+void
+Compiler::emitItems(Instance &inst, Items &items,
+                    const std::vector<std::uint32_t> &subset,
+                    const Wiring &wiring, std::int32_t strip_group)
+{
+    std::vector<std::uint8_t> inSub(items.items.size(), 0);
+    for (const std::uint32_t i : subset)
+        inSub[i] = 1;
+    std::vector<std::uint32_t> indeg(items.items.size(), 0);
+    for (const std::uint32_t i : subset)
+        for (const std::uint32_t j : items.items[i].succ)
+            if (inSub[j])
+                ++indeg[j];
+    std::vector<std::uint32_t> ready;
+    for (const std::uint32_t i : subset)
+        if (indeg[i] == 0)
+            ready.push_back(i);
+
+    auto stripped = [&](const GateSet &g) {
+        GateSet out;
+        for (const Gate &x : g)
+            if (strip_group < 0 ||
+                x.group != static_cast<std::uint32_t>(strip_group))
+                out.push_back(x);
+        return out;
+    };
+
+    struct OpenGuard
+    {
+        Gate g;
+        std::uint32_t beginPc;
+    };
+    std::vector<OpenGuard> open;
+    std::size_t emitted = 0;
+
+    while (!ready.empty()) {
+        // Prefer an item whose gate matches the currently open guard
+        // region exactly; break ties toward source (topo) order.
+        GateSet cur;
+        for (const auto &o : open)
+            cur.push_back(o.g);
+        std::size_t best = 0;
+        bool bestMatch = false;
+        std::uint32_t bestRank = 0;
+        for (std::size_t i = 0; i < ready.size(); ++i) {
+            const Item &it = items.items[ready[i]];
+            const bool match = stripped(it.gate) == cur;
+            if (i == 0 || (match && !bestMatch) ||
+                (match == bestMatch && it.rank < bestRank)) {
+                best = i;
+                bestMatch = match;
+                bestRank = it.rank;
+            }
+        }
+        const std::uint32_t id = ready[best];
+        ready.erase(ready.begin() +
+                    static_cast<std::ptrdiff_t>(best));
+        const Item &item = items.items[id];
+
+        const GateSet target = stripped(item.gate);
+        std::size_t common = 0;
+        while (common < open.size() && common < target.size() &&
+               open[common].g == target[common])
+            ++common;
+        while (open.size() > common) {
+            em_->out.code[open.back().beginPc].imm = pc();
+            emit(Inst{.op = Op::GuardEnd});
+            open.pop_back();
+        }
+        for (std::size_t k = common; k < target.size(); ++k) {
+            const Gate g = target[k];
+            emit(Inst{.op = Op::GuardBegin,
+                      .flags = static_cast<std::uint8_t>(
+                          g.side ? 0 : kInvert),
+                      .a = inst.groups[g.group].condReg});
+            open.push_back(OpenGuard{g, pc() - 1});
+        }
+
+        lowerItem(inst, items, item, wiring);
+        ++emitted;
+        for (const std::uint32_t j : item.succ)
+            if (inSub[j] && --indeg[j] == 0)
+                ready.push_back(j);
+    }
+    while (!open.empty()) {
+        em_->out.code[open.back().beginPc].imm = pc();
+        emit(Inst{.op = Op::GuardEnd});
+        open.pop_back();
+    }
+    if (emitted != subset.size())
+        fail("{}: cyclic dependency among emission items",
+             inst.blk->name);
+}
+
+// ===== lowering ========================================================
+
+std::uint32_t
+Compiler::moveChain(Instance &inst,
+                    const std::vector<graph::Dest> &dests,
+                    std::uint32_t value_reg, std::uint32_t src,
+                    bool mark_first, Instance *dest_inst)
+{
+    Instance &di = dest_inst ? *dest_inst : inst;
+    if (dests.empty()) {
+        if (mark_first)
+            emit(Inst{.op = Op::Count, .flags = kCount, .src = src});
+        return value_reg;
+    }
+    for (std::size_t i = 0; i < dests.size(); ++i) {
+        const graph::Dest &d = dests[i];
+        if (d.stmt >= di.blk->instrs.size())
+            fail("{}: destination {}:{} is out of range",
+                 di.blk->name, d.stmt, d.port);
+        emit(Inst{.op = Op::Move,
+                  .flags = static_cast<std::uint8_t>(
+                      i == 0 && mark_first ? kCount : 0),
+                  .dst = di.reg(d.stmt, d.port),
+                  .a = value_reg,
+                  .src = src});
+    }
+    return value_reg;
+}
+
+void
+Compiler::lowerItem(Instance &inst, Items &items, const Item &item,
+                    const Wiring &wiring)
+{
+    (void)items;
+    switch (item.kind) {
+      case Item::Plain:
+        lowerPlain(inst, item.stmt, wiring);
+        break;
+      case Item::SwitchSide:
+        lowerSwitchSide(inst, item.stmt, item.side);
+        break;
+      case Item::LoopUnit:
+        lowerLoopUnit(inst, item);
+        break;
+      case Item::ApplyInline:
+        lowerApplyInline(inst, item.stmt);
+        break;
+    }
+}
+
+void
+Compiler::lowerPlain(Instance &inst, std::uint16_t s,
+                     const Wiring &wiring)
+{
+    using graph::Opcode;
+    const auto &in = inst.blk->instrs[s];
+    const std::uint32_t src = srcIdx(inst.cb, s);
+    auto opnd = [&](std::size_t k) { return inst.reg(s, k); };
+
+    // Compute into the first consumer's register (fire marker on the
+    // computation), then forward to the remaining consumers.
+    auto resultOf = [&](Op op, std::uint32_t a, std::uint32_t b,
+                        std::uint32_t c, std::uint32_t imm) {
+        const auto &dests = in.dests;
+        const std::uint32_t primary =
+            dests.empty() ? sinkReg()
+                          : inst.reg(dests[0].stmt, dests[0].port);
+        emit(Inst{.op = op,
+                  .flags = kCount,
+                  .dst = primary,
+                  .a = a,
+                  .b = b,
+                  .c = c,
+                  .imm = imm,
+                  .src = src});
+        for (std::size_t i = 1; i < dests.size(); ++i)
+            emit(Inst{.op = Op::Move,
+                      .dst = inst.reg(dests[i].stmt, dests[i].port),
+                      .a = primary,
+                      .src = src});
+    };
+
+    switch (in.op) {
+      case Opcode::Ident:
+        moveChain(inst, in.dests, opnd(0), src, true, nullptr);
+        break;
+      case Opcode::Lit:
+        resultOf(Op::Const, 0, 0, 0, addConst(*in.constant));
+        break;
+      case Opcode::Output:
+        emit(Inst{.op = Op::Output,
+                  .flags = kCount,
+                  .a = opnd(0),
+                  .src = src});
+        break;
+
+      case Opcode::Add:
+        resultOf(Op::Add, opnd(0), opnd(1), 0, 0);
+        break;
+      case Opcode::Sub:
+        resultOf(Op::Sub, opnd(0), opnd(1), 0, 0);
+        break;
+      case Opcode::Mul:
+        resultOf(Op::Mul, opnd(0), opnd(1), 0, 0);
+        break;
+      case Opcode::Div:
+        resultOf(Op::Div, opnd(0), opnd(1), 0, 0);
+        break;
+      case Opcode::Mod:
+        resultOf(Op::Mod, opnd(0), opnd(1), 0, 0);
+        break;
+      case Opcode::Neg:
+        resultOf(Op::Neg, opnd(0), 0, 0, 0);
+        break;
+      case Opcode::Lt:
+        resultOf(Op::Lt, opnd(0), opnd(1), 0, 0);
+        break;
+      case Opcode::Le:
+        resultOf(Op::Le, opnd(0), opnd(1), 0, 0);
+        break;
+      case Opcode::Gt:
+        resultOf(Op::Gt, opnd(0), opnd(1), 0, 0);
+        break;
+      case Opcode::Ge:
+        resultOf(Op::Ge, opnd(0), opnd(1), 0, 0);
+        break;
+      case Opcode::Eq:
+        resultOf(Op::Eq, opnd(0), opnd(1), 0, 0);
+        break;
+      case Opcode::Ne:
+        resultOf(Op::Ne, opnd(0), opnd(1), 0, 0);
+        break;
+      case Opcode::And:
+        resultOf(Op::And, opnd(0), opnd(1), 0, 0);
+        break;
+      case Opcode::Or:
+        resultOf(Op::Or, opnd(0), opnd(1), 0, 0);
+        break;
+      case Opcode::Not:
+        resultOf(Op::Not, opnd(0), 0, 0, 0);
+        break;
+
+      // D and D⁻¹ write the next iteration's receiver registers. A
+      // compiled iteration runs to completion before the next begins,
+      // so D⁻¹'s "reset to iteration 1" collapses to the same move
+      // (see ARCHITECTURE.md §13).
+      case Opcode::LoopNext:
+      case Opcode::LoopReset:
+        moveChain(inst, in.dests, opnd(0), src, true, nullptr);
+        break;
+
+      case Opcode::LoopExit:
+        SIM_ASSERT_MSG(wiring.parent != nullptr,
+                       "{}: L⁻¹ outside a loop instance",
+                       inst.blk->name);
+        moveChain(inst, in.dests, opnd(0), src, true, wiring.parent);
+        break;
+
+      case Opcode::Apply:
+        lowerResidualApply(inst, s);
+        break;
+
+      case Opcode::Return:
+        if (wiring.returnDests) {
+            moveChain(inst, *wiring.returnDests, opnd(0), src, true,
+                      wiring.parent);
+        } else {
+            emit(Inst{.op = Op::Ret,
+                      .flags = kCount,
+                      .a = opnd(0),
+                      .src = src});
+        }
+        break;
+
+      case Opcode::Alloc:
+        resultOf(Op::SAlloc, opnd(0), 0, 0, 0);
+        break;
+      case Opcode::IFetch:
+        resultOf(Op::SFetch, opnd(0), opnd(1), 0, 0);
+        break;
+      case Opcode::IStore:
+        emit(Inst{.op = Op::SStore,
+                  .flags = kCount,
+                  .a = opnd(0),
+                  .b = opnd(1),
+                  .c = opnd(2),
+                  .src = src});
+        break;
+      case Opcode::Append:
+        resultOf(Op::SAppend, opnd(0), opnd(1), opnd(2), 0);
+        break;
+
+      case Opcode::Switch:
+      case Opcode::LoopEntry:
+        sim::panic("emul: {} lowered as a plain item",
+                   graph::opcodeName(in.op));
+    }
+}
+
+void
+Compiler::lowerSwitchSide(Instance &inst, std::uint16_t s, bool side)
+{
+    const auto &in = inst.blk->instrs[s];
+    moveChain(inst, side ? in.dests : in.falseDests, inst.reg(s, 0),
+              srcIdx(inst.cb, s), true, nullptr);
+}
+
+void
+Compiler::lowerResidualApply(Instance &inst, std::uint16_t s)
+{
+    const auto &in = inst.blk->instrs[s];
+    const std::uint32_t src = srcIdx(inst.cb, s);
+    const bool is_static = in.constant && in.constant->isFn();
+    const auto &dests = in.dests;
+    const std::uint32_t dst =
+        dests.empty() ? allocReg()
+                      : inst.reg(dests[0].stmt, dests[0].port);
+    if (is_static) {
+        const std::uint16_t fn = in.constant->asFn().codeBlock;
+        const auto &callee = prog_.codeBlock(fn);
+        if (in.nt != callee.numParams)
+            fail("APPLY of '{}' with {} args, expected {}",
+                 callee.name, in.nt, callee.numParams);
+        emit(Inst{.op = Op::Call,
+                  .flags = kCount,
+                  .dst = dst,
+                  .a = in.nt ? inst.reg(s, 0) : 0,
+                  .b = in.nt,
+                  .imm = residualIndex(fn),
+                  .src = src});
+    } else {
+        if (in.nt < 1)
+            fail("{}: dynamic APPLY at {} has no function operand",
+                 inst.blk->name, s);
+        emit(Inst{.op = Op::CallDyn,
+                  .flags = kCount,
+                  .dst = dst,
+                  .a = inst.reg(s, 0),
+                  .b = in.nt > 1 ? inst.reg(s, 1) : 0,
+                  .c = static_cast<std::uint32_t>(in.nt - 1),
+                  .src = src});
+    }
+    for (std::size_t i = 1; i < dests.size(); ++i)
+        emit(Inst{.op = Op::Move,
+                  .dst = inst.reg(dests[i].stmt, dests[i].port),
+                  .a = dst,
+                  .src = src});
+}
+
+void
+Compiler::lowerApplyInline(Instance &parent, std::uint16_t s)
+{
+    const auto &in = parent.blk->instrs[s];
+    const std::uint16_t fn = in.constant->asFn().codeBlock;
+    const auto &callee = prog_.codeBlock(fn);
+    if (in.nt != callee.numParams)
+        fail("APPLY of '{}' with {} args, expected {}", callee.name,
+             in.nt, callee.numParams);
+    if (inlineStack_.size() > 64)
+        fail("inlining depth exceeded at APPLY of '{}'", callee.name);
+    const std::uint32_t src = srcIdx(parent.cb, s);
+
+    inlineStack_.push_back(fn);
+    Instance child = makeInstance(fn, false);
+    for (std::uint8_t j = 0; j < in.nt; ++j)
+        emit(Inst{.op = Op::Move,
+                  .flags = static_cast<std::uint8_t>(
+                      j == 0 ? kCount : 0),
+                  .dst = child.reg(j, 0),
+                  .a = parent.reg(s, j),
+                  .src = src});
+    if (in.nt == 0)
+        emit(Inst{.op = Op::Count, .flags = kCount, .src = src});
+    emitConsts(child);
+    Wiring w;
+    w.parent = &parent;
+    w.returnDests = &in.dests;
+    emitProcBody(child, w);
+    inlineStack_.pop_back();
+}
+
+void
+Compiler::lowerLoopUnit(Instance &parent, const Item &item)
+{
+    const std::uint16_t target = item.targetCb;
+    const auto &loopBlk = prog_.codeBlock(target);
+    if (!loopBlk.hasLoopSchema())
+        fail("loop block '{}' lacks LoopBuilder schema metadata",
+             loopBlk.name);
+    if (std::find(inlineStack_.begin(), inlineStack_.end(), target) !=
+        inlineStack_.end())
+        fail("recursive loop entry of '{}'", loopBlk.name);
+    if (inlineStack_.size() > 64)
+        fail("inlining depth exceeded entering loop '{}'",
+             loopBlk.name);
+
+    inlineStack_.push_back(target);
+    Instance child = makeInstance(target, false);
+    SIM_ASSERT(child.loopGroup >= 0);
+
+    // L: move each loop variable into its receiver's register.
+    for (const std::uint16_t l : item.anchors) {
+        const auto &lin = parent.blk->instrs[l];
+        const graph::Dest d = lin.dests[0];
+        if (d.stmt >= loopBlk.numParams)
+            fail("{}: L at {} feeds non-receiver {}",
+                 parent.blk->name, l, d.stmt);
+        emit(Inst{.op = Op::Move,
+                  .flags = kCount,
+                  .dst = child.reg(d.stmt, 0),
+                  .a = parent.reg(l, 0),
+                  .src = srcIdx(parent.cb, l)});
+    }
+    emitConsts(child);
+
+    Items citems = buildItems(child);
+    const auto lg = static_cast<std::uint32_t>(child.loopGroup);
+    std::vector<std::uint32_t> pre, body, exit;
+    for (std::uint32_t i = 0; i < citems.items.size(); ++i) {
+        const GateSet &g = citems.items[i].gate;
+        bool inBody = false, inExit = false;
+        for (const Gate &x : g) {
+            if (x.group == lg)
+                (x.side ? inBody : inExit) = true;
+        }
+        SIM_ASSERT(!(inBody && inExit));
+        (inBody ? body : inExit ? exit : pre).push_back(i);
+    }
+    // The pre-stream runs every evaluation; nothing in it may depend
+    // on a gated (body/exit) item.
+    std::vector<std::uint8_t> isPre(citems.items.size(), 0);
+    for (const std::uint32_t i : pre)
+        isPre[i] = 1;
+    for (const std::uint32_t i : body)
+        for (const std::uint32_t j : citems.items[i].succ)
+            if (isPre[j])
+                fail("{}: a value merges across the loop boundary",
+                     loopBlk.name);
+    for (const std::uint32_t i : exit)
+        for (const std::uint32_t j : citems.items[i].succ)
+            if (isPre[j])
+                fail("{}: a value merges across the loop boundary",
+                     loopBlk.name);
+
+    Wiring w;
+    w.parent = &parent;
+
+    emit(Inst{.op = Op::LoopHead});
+    const std::uint32_t headPc = pc();
+    emitItems(child, citems, pre, w, child.loopGroup);
+    const std::uint32_t testPc = pc();
+    emit(Inst{.op = Op::LoopTest,
+              .a = child.groups[lg].condReg});
+    emitItems(child, citems, exit, w, child.loopGroup);
+    const std::uint32_t exitDonePc = pc();
+    emit(Inst{.op = Op::LoopExitDone});
+    em_->out.code[testPc].imm = pc(); // body begins here
+    emitItems(child, citems, body, w, child.loopGroup);
+    emit(Inst{.op = Op::LoopBack, .imm = headPc});
+    em_->out.code[exitDonePc].imm = pc(); // loop end
+    emit(Inst{.op = Op::LoopEnd});
+
+    inlineStack_.pop_back();
+}
+
+void
+Compiler::emitProcBody(Instance &inst, const Wiring &wiring)
+{
+    Items items = buildItems(inst);
+    std::vector<std::uint32_t> all(items.items.size());
+    for (std::uint32_t i = 0; i < all.size(); ++i)
+        all[i] = i;
+    emitItems(inst, items, all, wiring, -1);
+}
+
+void
+Compiler::compileStandalone(std::uint16_t cb, std::uint32_t idx)
+{
+    const auto &blk = prog_.codeBlock(cb);
+    if (blk.hasLoopSchema())
+        fail("loop body '{}' used as a procedure", blk.name);
+    for (const auto &in : blk.instrs)
+        if (in.op == graph::Opcode::LoopNext ||
+            in.op == graph::Opcode::LoopReset ||
+            in.op == graph::Opcode::LoopExit)
+            fail("'{}': loop operator outside a schema loop block",
+                 blk.name);
+
+    BlockEmit em;
+    em.out.name = blk.name;
+    em.out.sourceCb = cb;
+    em.out.numParams = blk.numParams;
+    em_ = &em;
+    inlineStack_.clear();
+    inlineStack_.push_back(cb);
+
+    Instance inst = makeInstance(cb, true);
+    emitConsts(inst);
+    Wiring w;
+    emitProcBody(inst, w);
+    emit(Inst{.op = Op::Halt});
+
+    em.out.numRegs = em.nextReg;
+    result_.blocks_[idx] = std::move(em.out);
+    em_ = nullptr;
+}
+
+// ===== entry points ====================================================
+
+std::optional<CompiledProgram>
+tryCompile(const graph::Program &program, std::uint16_t entry_cb,
+           std::string *why_not)
+{
+    try {
+        Compiler c(program);
+        return c.compileFrom(entry_cb);
+    } catch (const CompileFail &f) {
+        if (why_not)
+            *why_not = f.reason;
+        return std::nullopt;
+    }
+}
+
+CompiledProgram
+compile(const graph::Program &program, std::uint16_t entry_cb)
+{
+    std::string why;
+    auto out = tryCompile(program, entry_cb, &why);
+    if (!out)
+        sim::fatal("emul: cannot compile '{}': {}",
+                   program.codeBlock(entry_cb).name, why);
+    return std::move(*out);
+}
+
+} // namespace emul

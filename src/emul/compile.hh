@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The graph → threaded-code compiler (see code.hh for the output
+ * format and ARCHITECTURE.md §13 for the design).
+ *
+ * Lowering pipeline, per compiled block:
+ *
+ *  1. *Inlining.* Loop blocks (LoopEntry targets are compile-time
+ *     constants) and statically-applied non-recursive procedures are
+ *     instantiated inline, recursively; recursive or dynamic applies
+ *     remain as Call/CallDyn instructions against residual compiled
+ *     blocks.
+ *  2. *Register allocation.* Every (consumer, port) operand slot of
+ *     every instance gets a register; producers compute into their
+ *     first consumer's register and Move to the rest, so an if-
+ *     diamond's two arms naturally merge by writing the same
+ *     registers.
+ *  3. *Gating.* Each instruction's gate — the set of (switch-group,
+ *     side) conditions under which it fires — is derived from its
+ *     producers; gates lower to structured GuardBegin/GuardEnd
+ *     regions, and the loop schema recorded by LoopBuilder lowers to
+ *     the LoopHead/LoopTest/LoopExitDone/LoopBack/LoopEnd bracket.
+ *  4. *Scheduling.* Emission follows a stable dependency-respecting
+ *     order (Kahn's algorithm over emission items) that prefers to
+ *     stay inside the currently-open guard region, falling back to
+ *     source order.
+ *
+ * Compilation fixes one sequential (per lane) schedule, so programs
+ * whose I-structure producer/consumer dependencies contradict every
+ * static order (a consumer loop scheduled before its producer loop
+ * completes is fine — parked reads are served when the store
+ * arrives — but a producer that *depends on* its consumer is not)
+ * report a deadlock at run time rather than reordering dynamically.
+ */
+
+#ifndef TTDA_EMUL_COMPILE_HH
+#define TTDA_EMUL_COMPILE_HH
+
+#include <optional>
+#include <string>
+
+#include "emul/code.hh"
+#include "graph/program.hh"
+
+namespace emul
+{
+
+/**
+ * Compile `program` starting at entry block `entry_cb`.
+ *
+ * @param why_not  on failure, receives a diagnostic naming the
+ *                 unsupported construct
+ * @return the compiled program, or nullopt if the graph uses a
+ *         construct outside the compilable subset (hand-built loops
+ *         without LoopBuilder schema metadata, merges across a loop
+ *         switch's two sides, ...).
+ */
+std::optional<CompiledProgram>
+tryCompile(const graph::Program &program, std::uint16_t entry_cb,
+           std::string *why_not = nullptr);
+
+/** As tryCompile, but fatal on unsupported input (tests, benches). */
+CompiledProgram compile(const graph::Program &program,
+                        std::uint16_t entry_cb);
+
+} // namespace emul
+
+#endif // TTDA_EMUL_COMPILE_HH

@@ -1,0 +1,673 @@
+#include "emul/vm.hh"
+
+#include <optional>
+#include <utility>
+
+#include "common/logging.hh"
+#include "graph/arith.hh"
+
+namespace emul
+{
+
+namespace
+{
+
+/** N contexts executing one compiled entry block in lockstep over a
+ *  structure-of-arrays register file. Register r of lane l lives at
+ *  column offset r*n + l, so the arithmetic inner loops stride unit
+ *  distance across lanes and vectorize. */
+class LaneVm
+{
+  public:
+    LaneVm(const CompiledProgram &prog, std::size_t n,
+           const RunOptions &opts)
+        : prog_(prog), n_(n), opts_(opts)
+    {
+        if (opts.bridge)
+            engine_.emplace(*opts.bridge);
+        else
+            engine_.emplace(opts.isWords);
+        const CompiledBlock &e = prog.entry();
+        const std::size_t cells =
+            static_cast<std::size_t>(e.numRegs) * n;
+        kinds_.assign(cells, static_cast<std::uint8_t>(Kind::Unit));
+        lo_.assign(cells, 0);
+        hi_.assign(cells, 0);
+        mask_.assign(n, 1);
+        activeCount_ = n;
+        outputs_.resize(n);
+        if (opts.countFires)
+            fireCounts_.assign(prog.srcIndexSpace(), 0);
+    }
+
+    void
+    broadcast(std::uint32_t reg, const graph::Value &v)
+    {
+        const Slot s = fromValue(v);
+        for (std::size_t l = 0; l < n_; ++l)
+            setSlot(reg, l, s);
+    }
+
+    void
+    loadLane(std::uint32_t reg, std::size_t lane,
+             const graph::Value &v)
+    {
+        setSlot(reg, lane, fromValue(v));
+    }
+
+    BatchResult run();
+
+  private:
+    std::uint8_t *kcol(std::uint32_t r) { return kinds_.data() + std::size_t(r) * n_; }
+    std::uint64_t *locol(std::uint32_t r) { return lo_.data() + std::size_t(r) * n_; }
+    std::uint64_t *hicol(std::uint32_t r) { return hi_.data() + std::size_t(r) * n_; }
+
+    Slot
+    slotAt(std::uint32_t r, std::size_t l)
+    {
+        return Slot{static_cast<Kind>(kcol(r)[l]), locol(r)[l],
+                    hicol(r)[l]};
+    }
+
+    void
+    setSlot(std::uint32_t r, std::size_t l, const Slot &s)
+    {
+        kcol(r)[l] = static_cast<std::uint8_t>(s.kind);
+        locol(r)[l] = s.lo;
+        hicol(r)[l] = s.hi;
+    }
+
+    /** Kind shared by every active lane of register r, or -1. */
+    int
+    uniformKind(std::uint32_t r)
+    {
+        const std::uint8_t *k = kcol(r);
+        int found = -1;
+        if (activeCount_ == n_) {
+            found = k[0];
+            for (std::size_t l = 1; l < n_; ++l)
+                if (k[l] != found)
+                    return -1;
+            return found;
+        }
+        for (std::size_t l = 0; l < n_; ++l)
+            if (mask_[l]) {
+                if (found < 0)
+                    found = k[l];
+                else if (k[l] != found)
+                    return -1;
+            }
+        return found;
+    }
+
+    static bool
+    numericKind(int k)
+    {
+        return k == static_cast<int>(Kind::Int) ||
+               k == static_cast<int>(Kind::Real);
+    }
+
+    /** Int×Int -> Int inner loop (the explicit-SIMD path: with a full
+     *  mask this is a straight-line loop over contiguous columns). */
+    template <typename F>
+    void
+    intLoop(const Inst &I, F f)
+    {
+        const std::uint64_t *a = locol(I.a);
+        const std::uint64_t *b = locol(I.b);
+        std::uint64_t *d = locol(I.dst);
+        std::uint8_t *kd = kcol(I.dst);
+        constexpr auto ik = static_cast<std::uint8_t>(Kind::Int);
+        if (activeCount_ == n_) {
+            for (std::size_t l = 0; l < n_; ++l) {
+                d[l] = static_cast<std::uint64_t>(
+                    f(static_cast<std::int64_t>(a[l]),
+                      static_cast<std::int64_t>(b[l])));
+                kd[l] = ik;
+            }
+        } else {
+            for (std::size_t l = 0; l < n_; ++l)
+                if (mask_[l]) {
+                    d[l] = static_cast<std::uint64_t>(
+                        f(static_cast<std::int64_t>(a[l]),
+                          static_cast<std::int64_t>(b[l])));
+                    kd[l] = ik;
+                }
+        }
+    }
+
+    /** Numeric×Numeric -> double inner loop; operand int-ness is
+     *  uniform, so the conversions hoist out of the loop body. */
+    template <typename F>
+    void
+    realLoop(const Inst &I, bool a_int, bool b_int, bool to_bool, F f)
+    {
+        const std::uint64_t *a = locol(I.a);
+        const std::uint64_t *b = locol(I.b);
+        std::uint64_t *d = locol(I.dst);
+        std::uint8_t *kd = kcol(I.dst);
+        const auto rk = static_cast<std::uint8_t>(
+            to_bool ? Kind::Bool : Kind::Real);
+        auto at = [&](const std::uint64_t *col, bool isInt,
+                      std::size_t l) {
+            return isInt ? static_cast<double>(
+                               static_cast<std::int64_t>(col[l]))
+                         : std::bit_cast<double>(col[l]);
+        };
+        for (std::size_t l = 0; l < n_; ++l) {
+            if (activeCount_ != n_ && !mask_[l])
+                continue;
+            const double r = f(at(a, a_int, l), at(b, b_int, l));
+            d[l] = to_bool ? (r != 0.0 ? 1 : 0)
+                           : std::bit_cast<std::uint64_t>(r);
+            kd[l] = rk;
+        }
+    }
+
+    /** Per-lane fallback through the shared graph::Value semantics
+     *  (mixed kinds, or kinds the fast paths don't cover). */
+    template <typename F>
+    void
+    genericLoop(const Inst &I, std::uint32_t dst, F f)
+    {
+        for (std::size_t l = 0; l < n_; ++l)
+            if (mask_[l])
+                setSlot(dst, l, fromValue(f(l)));
+        (void)I;
+    }
+
+    bool
+    boolAt(std::uint32_t r, std::size_t l)
+    {
+        return slotAsBool(slotAt(r, l));
+    }
+
+    void
+    deliverServed()
+    {
+        for (auto &[target, value] : served_)
+            setSlot(target.reg, target.frame, fromValue(value));
+        served_.clear();
+    }
+
+    const CompiledProgram &prog_;
+    std::size_t n_;
+    RunOptions opts_;
+    std::optional<StructureEngine> engine_;
+    std::vector<std::uint8_t> kinds_;
+    std::vector<std::uint64_t> lo_;
+    std::vector<std::uint64_t> hi_;
+    std::vector<std::uint8_t> mask_;
+    std::vector<std::uint8_t> tmp_; //!< LoopTest's exiting-lanes mask
+    std::size_t activeCount_ = 0;
+    std::vector<std::vector<graph::Value>> outputs_;
+    std::vector<std::uint64_t> fireCounts_;
+    std::uint64_t fired_ = 0;
+    StructureEngine::Served served_;
+
+    struct GuardFrame
+    {
+        std::vector<std::uint8_t> mask;
+        std::size_t count;
+    };
+    struct LoopFrame
+    {
+        std::vector<std::uint8_t> outer;
+        std::size_t outerCount;
+        std::vector<std::uint8_t> active;
+        std::size_t activeCount;
+    };
+    std::vector<GuardFrame> guardStack_;
+    std::vector<LoopFrame> loopStack_;
+};
+
+BatchResult
+LaneVm::run()
+{
+    const std::vector<Inst> &code = prog_.entry().code;
+    std::uint32_t pc = 0;
+    std::uint64_t executed = 0;
+
+    for (;;) {
+        const Inst &I = code[pc];
+        if (++executed > opts_.maxExecuted)
+            sim::fatal("emul: lane execution exceeded {} instructions "
+                       "(missing loop exit?)",
+                       opts_.maxExecuted);
+        if (I.flags & kCount) {
+            fired_ += activeCount_;
+            if (!fireCounts_.empty()) {
+                SIM_ASSERT(I.src != kNoSrc);
+                fireCounts_[I.src] += activeCount_;
+            }
+        }
+
+        switch (I.op) {
+          case Op::Const: {
+            const Slot s = prog_.constPool()[I.imm];
+            for (std::size_t l = 0; l < n_; ++l)
+                if (activeCount_ == n_ || mask_[l])
+                    setSlot(I.dst, l, s);
+            break;
+          }
+          case Op::Move: {
+            const std::uint8_t *ka = kcol(I.a);
+            const std::uint64_t *la = locol(I.a);
+            const std::uint64_t *ha = hicol(I.a);
+            std::uint8_t *kd = kcol(I.dst);
+            std::uint64_t *ld = locol(I.dst);
+            std::uint64_t *hd = hicol(I.dst);
+            for (std::size_t l = 0; l < n_; ++l)
+                if (activeCount_ == n_ || mask_[l]) {
+                    kd[l] = ka[l];
+                    ld[l] = la[l];
+                    hd[l] = ha[l];
+                }
+            break;
+          }
+
+          case Op::Add: case Op::Sub: case Op::Mul: case Op::Div:
+          case Op::Mod: {
+            static constexpr graph::Opcode map[] = {
+                graph::Opcode::Add, graph::Opcode::Sub,
+                graph::Opcode::Mul, graph::Opcode::Div,
+                graph::Opcode::Mod};
+            const graph::Opcode gop =
+                map[static_cast<int>(I.op) -
+                    static_cast<int>(Op::Add)];
+            const int ka = uniformKind(I.a);
+            const int kb = uniformKind(I.b);
+            const bool bothInt =
+                ka == static_cast<int>(Kind::Int) &&
+                kb == static_cast<int>(Kind::Int);
+            if (bothInt) {
+                switch (gop) {
+                  case graph::Opcode::Add:
+                    intLoop(I, [](std::int64_t x, std::int64_t y) {
+                        return x + y;
+                    });
+                    break;
+                  case graph::Opcode::Sub:
+                    intLoop(I, [](std::int64_t x, std::int64_t y) {
+                        return x - y;
+                    });
+                    break;
+                  case graph::Opcode::Mul:
+                    intLoop(I, [](std::int64_t x, std::int64_t y) {
+                        return x * y;
+                    });
+                    break;
+                  case graph::Opcode::Div:
+                    intLoop(I, [](std::int64_t x, std::int64_t y) {
+                        SIM_ASSERT_MSG(y != 0,
+                                       "integer division by zero");
+                        return x / y;
+                    });
+                    break;
+                  default:
+                    intLoop(I, [](std::int64_t x, std::int64_t y) {
+                        SIM_ASSERT_MSG(y != 0, "modulo by zero");
+                        return x % y;
+                    });
+                    break;
+                }
+            } else if (numericKind(ka) && numericKind(kb) &&
+                       gop != graph::Opcode::Mod) {
+                const bool ai = ka == static_cast<int>(Kind::Int);
+                const bool bi = kb == static_cast<int>(Kind::Int);
+                switch (gop) {
+                  case graph::Opcode::Add:
+                    realLoop(I, ai, bi, false,
+                             [](double x, double y) { return x + y; });
+                    break;
+                  case graph::Opcode::Sub:
+                    realLoop(I, ai, bi, false,
+                             [](double x, double y) { return x - y; });
+                    break;
+                  case graph::Opcode::Mul:
+                    realLoop(I, ai, bi, false,
+                             [](double x, double y) { return x * y; });
+                    break;
+                  default:
+                    realLoop(I, ai, bi, false,
+                             [](double x, double y) { return x / y; });
+                    break;
+                }
+            } else {
+                genericLoop(I, I.dst, [&](std::size_t l) {
+                    return graph::arithValue(gop,
+                                             toValue(slotAt(I.a, l)),
+                                             toValue(slotAt(I.b, l)));
+                });
+            }
+            break;
+          }
+
+          case Op::Neg: {
+            const int ka = uniformKind(I.a);
+            if (ka == static_cast<int>(Kind::Int)) {
+                const std::uint64_t *a = locol(I.a);
+                std::uint64_t *d = locol(I.dst);
+                std::uint8_t *kd = kcol(I.dst);
+                for (std::size_t l = 0; l < n_; ++l)
+                    if (activeCount_ == n_ || mask_[l]) {
+                        d[l] = static_cast<std::uint64_t>(
+                            -static_cast<std::int64_t>(a[l]));
+                        kd[l] = static_cast<std::uint8_t>(Kind::Int);
+                    }
+            } else {
+                genericLoop(I, I.dst, [&](std::size_t l) {
+                    return graph::negValue(toValue(slotAt(I.a, l)));
+                });
+            }
+            break;
+          }
+
+          case Op::Lt: case Op::Le: case Op::Gt: case Op::Ge:
+          case Op::Eq: case Op::Ne: {
+            static constexpr graph::Opcode map[] = {
+                graph::Opcode::Lt, graph::Opcode::Le,
+                graph::Opcode::Gt, graph::Opcode::Ge,
+                graph::Opcode::Eq, graph::Opcode::Ne};
+            const graph::Opcode gop =
+                map[static_cast<int>(I.op) -
+                    static_cast<int>(Op::Lt)];
+            const int ka = uniformKind(I.a);
+            const int kb = uniformKind(I.b);
+            if (numericKind(ka) && numericKind(kb)) {
+                const bool ai = ka == static_cast<int>(Kind::Int);
+                const bool bi = kb == static_cast<int>(Kind::Int);
+                switch (gop) {
+                  case graph::Opcode::Lt:
+                    realLoop(I, ai, bi, true, [](double x, double y) {
+                        return x < y ? 1.0 : 0.0;
+                    });
+                    break;
+                  case graph::Opcode::Le:
+                    realLoop(I, ai, bi, true, [](double x, double y) {
+                        return x <= y ? 1.0 : 0.0;
+                    });
+                    break;
+                  case graph::Opcode::Gt:
+                    realLoop(I, ai, bi, true, [](double x, double y) {
+                        return x > y ? 1.0 : 0.0;
+                    });
+                    break;
+                  case graph::Opcode::Ge:
+                    realLoop(I, ai, bi, true, [](double x, double y) {
+                        return x >= y ? 1.0 : 0.0;
+                    });
+                    break;
+                  case graph::Opcode::Eq:
+                    realLoop(I, ai, bi, true, [](double x, double y) {
+                        return x == y ? 1.0 : 0.0;
+                    });
+                    break;
+                  default:
+                    realLoop(I, ai, bi, true, [](double x, double y) {
+                        return x != y ? 1.0 : 0.0;
+                    });
+                    break;
+                }
+            } else {
+                genericLoop(I, I.dst, [&](std::size_t l) {
+                    return graph::compareValue(
+                        gop, toValue(slotAt(I.a, l)),
+                        toValue(slotAt(I.b, l)));
+                });
+            }
+            break;
+          }
+
+          case Op::And: case Op::Or: {
+            const bool isAnd = I.op == Op::And;
+            genericLoop(I, I.dst, [&](std::size_t l) {
+                const bool x = boolAt(I.a, l);
+                const bool y = boolAt(I.b, l);
+                return graph::Value{isAnd ? (x && y) : (x || y)};
+            });
+            break;
+          }
+          case Op::Not:
+            genericLoop(I, I.dst, [&](std::size_t l) {
+                return graph::Value{!boolAt(I.a, l)};
+            });
+            break;
+
+          case Op::GuardBegin: {
+            guardStack_.push_back(GuardFrame{mask_, activeCount_});
+            const bool want = !(I.flags & kInvert);
+            std::size_t cnt = 0;
+            for (std::size_t l = 0; l < n_; ++l)
+                if (mask_[l]) {
+                    if (boolAt(I.a, l) == want)
+                        ++cnt;
+                    else
+                        mask_[l] = 0;
+                }
+            activeCount_ = cnt;
+            if (cnt == 0) {
+                pc = I.imm; // the GuardEnd pops the saved mask
+                continue;
+            }
+            break;
+          }
+          case Op::GuardEnd: {
+            SIM_ASSERT(!guardStack_.empty());
+            mask_ = std::move(guardStack_.back().mask);
+            activeCount_ = guardStack_.back().count;
+            guardStack_.pop_back();
+            break;
+          }
+
+          case Op::LoopHead:
+            loopStack_.push_back(
+                LoopFrame{mask_, activeCount_, mask_, activeCount_});
+            break;
+          case Op::LoopTest: {
+            LoopFrame &L = loopStack_.back();
+            tmp_.assign(n_, 0);
+            std::size_t ncont = 0, nexit = 0;
+            for (std::size_t l = 0; l < n_; ++l)
+                if (L.active[l]) {
+                    if (boolAt(I.a, l)) {
+                        ++ncont;
+                    } else {
+                        L.active[l] = 0;
+                        tmp_[l] = 1;
+                        ++nexit;
+                    }
+                }
+            L.activeCount = ncont;
+            if (nexit == 0) {
+                mask_ = L.active;
+                activeCount_ = ncont;
+                pc = I.imm; // straight to the body
+                continue;
+            }
+            mask_ = tmp_; // run the exit region for the leavers
+            activeCount_ = nexit;
+            break;
+          }
+          case Op::LoopExitDone: {
+            LoopFrame &L = loopStack_.back();
+            if (L.activeCount == 0) {
+                pc = I.imm; // every lane left: to LoopEnd
+                continue;
+            }
+            mask_ = L.active; // survivors fall into the body
+            activeCount_ = L.activeCount;
+            break;
+          }
+          case Op::LoopBack: {
+            LoopFrame &L = loopStack_.back();
+            mask_ = L.active;
+            activeCount_ = L.activeCount;
+            pc = I.imm;
+            continue;
+          }
+          case Op::LoopEnd: {
+            SIM_ASSERT(!loopStack_.empty());
+            mask_ = std::move(loopStack_.back().outer);
+            activeCount_ = loopStack_.back().outerCount;
+            loopStack_.pop_back();
+            break;
+          }
+
+          case Op::Output:
+            for (std::size_t l = 0; l < n_; ++l)
+                if (mask_[l])
+                    outputs_[l].push_back(toValue(slotAt(I.a, l)));
+            break;
+
+          case Op::SAlloc:
+            for (std::size_t l = 0; l < n_; ++l)
+                if (mask_[l]) {
+                    const std::int64_t m =
+                        toValue(slotAt(I.a, l)).asInt();
+                    SIM_ASSERT_MSG(m >= 0,
+                                   "ALLOC of negative size {}", m);
+                    setSlot(I.dst, l,
+                            ptrSlot(engine_->alloc(
+                                        static_cast<std::size_t>(m)),
+                                    static_cast<std::uint32_t>(m)));
+                }
+            break;
+          case Op::SFetch:
+            for (std::size_t l = 0; l < n_; ++l)
+                if (mask_[l]) {
+                    const graph::IPtr ptr =
+                        toValue(slotAt(I.a, l)).asPtr();
+                    const std::int64_t idx =
+                        toValue(slotAt(I.b, l)).asInt();
+                    SIM_ASSERT_MSG(
+                        idx >= 0 && idx < ptr.length,
+                        "I-FETCH index {} out of bounds [0,{})", idx,
+                        ptr.length);
+                    StructTarget t;
+                    t.frame = static_cast<std::uint32_t>(l);
+                    t.reg = I.dst;
+                    const std::uint64_t addr =
+                        ptr.base + static_cast<std::uint64_t>(idx);
+                    if (!engine_->fetch(addr, std::move(t), served_))
+                        sim::fatal(
+                            "emul: lane {} read of unwritten "
+                            "i-structure cell {} (lane-batched "
+                            "execution cannot suspend)",
+                            l, addr);
+                    deliverServed();
+                }
+            break;
+          case Op::SStore:
+            for (std::size_t l = 0; l < n_; ++l)
+                if (mask_[l]) {
+                    const graph::IPtr ptr =
+                        toValue(slotAt(I.a, l)).asPtr();
+                    const std::int64_t idx =
+                        toValue(slotAt(I.b, l)).asInt();
+                    SIM_ASSERT_MSG(
+                        idx >= 0 && idx < ptr.length,
+                        "I-STORE index {} out of bounds [0,{})", idx,
+                        ptr.length);
+                    engine_->store(
+                        ptr.base + static_cast<std::uint64_t>(idx),
+                        toValue(slotAt(I.c, l)), served_);
+                    deliverServed();
+                }
+            break;
+          case Op::SAppend:
+            for (std::size_t l = 0; l < n_; ++l)
+                if (mask_[l]) {
+                    const graph::IPtr ptr =
+                        toValue(slotAt(I.a, l)).asPtr();
+                    const std::int64_t idx =
+                        toValue(slotAt(I.b, l)).asInt();
+                    SIM_ASSERT_MSG(
+                        idx >= 0 && idx < ptr.length,
+                        "APPEND index {} out of bounds [0,{})", idx,
+                        ptr.length);
+                    const graph::IPtr np = engine_->append(
+                        ptr, static_cast<std::uint64_t>(idx),
+                        toValue(slotAt(I.c, l)), served_);
+                    setSlot(I.dst, l, ptrSlot(np.base, np.length));
+                    deliverServed();
+                }
+            break;
+
+          case Op::Call:
+          case Op::CallDyn:
+          case Op::Ret:
+            sim::panic("emul: residual call under lane-batched "
+                       "execution (laneable() was false)");
+
+          case Op::Count:
+            break;
+
+          case Op::Halt: {
+            BatchResult out;
+            out.outputs = std::move(outputs_);
+            out.fired = fired_;
+            out.executed = executed;
+            out.fireCounts = std::move(fireCounts_);
+            return out;
+          }
+        }
+        ++pc;
+    }
+}
+
+} // namespace
+
+BatchResult
+executeLanes(const CompiledProgram &prog, std::size_t n,
+             const std::vector<graph::Value> &uniforms,
+             const std::vector<VaryingInput> &varying,
+             const RunOptions &opts)
+{
+    SIM_ASSERT_MSG(prog.laneable(),
+                   "emul: '{}' has residual calls; lane-batched "
+                   "execution requires a fully inlined entry block",
+                   prog.entry().name);
+    const CompiledBlock &entry = prog.entry();
+    SIM_ASSERT_MSG(uniforms.size() == entry.numParams,
+                   "emul: '{}' takes {} inputs, got {} uniforms",
+                   entry.name, entry.numParams, uniforms.size());
+    BatchResult empty;
+    if (n == 0)
+        return empty;
+
+    LaneVm vm(prog, n, opts);
+    for (std::uint16_t p = 0; p < entry.numParams; ++p)
+        vm.broadcast(p, uniforms[p]);
+    for (const VaryingInput &v : varying) {
+        SIM_ASSERT_MSG(v.param < entry.numParams,
+                       "emul: varying input for parameter {} of {}",
+                       v.param, entry.numParams);
+        SIM_ASSERT_MSG(v.values.size() == n,
+                       "emul: varying input for parameter {} has {} "
+                       "values for {} lanes",
+                       v.param, v.values.size(), n);
+        for (std::size_t l = 0; l < n; ++l)
+            vm.loadLane(v.param, l, v.values[l]);
+    }
+    return vm.run();
+}
+
+BatchResult
+CompiledProgram::execute(std::size_t n,
+                         const std::vector<graph::Value> &uniforms,
+                         const std::vector<VaryingInput> &varying) const
+{
+    return executeLanes(*this, n, uniforms, varying, RunOptions{});
+}
+
+BatchResult
+CompiledProgram::execute(std::size_t n,
+                         const std::vector<graph::Value> &uniforms,
+                         const std::vector<VaryingInput> &varying,
+                         const RunOptions &opts) const
+{
+    return executeLanes(*this, n, uniforms, varying, opts);
+}
+
+} // namespace emul

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * The compiled emulator's value representation.
+ *
+ * A Slot is graph::Value flattened into a POD: a kind byte plus two
+ * 64-bit payload words. Registers, constant pools, and the lane VM's
+ * structure-of-arrays register file all store Slots (or their
+ * separated columns), so arithmetic fast paths can run over
+ * contiguous machine words instead of std::variant.
+ */
+
+#ifndef TTDA_EMUL_SLOT_HH
+#define TTDA_EMUL_SLOT_HH
+
+#include <bit>
+#include <cstdint>
+
+#include "graph/value.hh"
+
+namespace emul
+{
+
+/** Runtime type tag; the order mirrors graph::Value::Rep. */
+enum class Kind : std::uint8_t
+{
+    Unit = 0,
+    Bool,
+    Int,
+    Real,
+    Fn,
+    Ptr,
+};
+
+/** A flattened graph::Value. lo holds the payload (bool 0/1, int
+ *  bits, double bits, fn code block, ptr base); hi is the IPtr
+ *  length. */
+struct Slot
+{
+    Kind kind = Kind::Unit;
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+};
+
+inline Slot
+fromValue(const graph::Value &v)
+{
+    Slot s;
+    if (v.isInt()) {
+        s.kind = Kind::Int;
+        s.lo = static_cast<std::uint64_t>(v.asInt());
+    } else if (v.isReal()) {
+        s.kind = Kind::Real;
+        s.lo = std::bit_cast<std::uint64_t>(v.asReal());
+    } else if (v.isBool()) {
+        s.kind = Kind::Bool;
+        s.lo = v.asBool() ? 1 : 0;
+    } else if (v.isFn()) {
+        s.kind = Kind::Fn;
+        s.lo = v.asFn().codeBlock;
+    } else if (v.isPtr()) {
+        s.kind = Kind::Ptr;
+        s.lo = v.asPtr().base;
+        s.hi = v.asPtr().length;
+    } else {
+        s.kind = Kind::Unit;
+    }
+    return s;
+}
+
+inline graph::Value
+toValue(const Slot &s)
+{
+    switch (s.kind) {
+      case Kind::Unit: return graph::Value{};
+      case Kind::Bool: return graph::Value{s.lo != 0};
+      case Kind::Int:
+        return graph::Value{static_cast<std::int64_t>(s.lo)};
+      case Kind::Real:
+        return graph::Value{std::bit_cast<double>(s.lo)};
+      case Kind::Fn:
+        return graph::Value{
+            graph::FnRef{static_cast<std::uint16_t>(s.lo)}};
+      case Kind::Ptr:
+        return graph::Value{graph::IPtr{
+            s.lo, static_cast<std::uint32_t>(s.hi)}};
+    }
+    return graph::Value{};
+}
+
+inline std::int64_t asIntBits(const Slot &s)
+{
+    return static_cast<std::int64_t>(s.lo);
+}
+
+inline double asRealBits(const Slot &s)
+{
+    return std::bit_cast<double>(s.lo);
+}
+
+inline Slot
+intSlot(std::int64_t v)
+{
+    return Slot{Kind::Int, static_cast<std::uint64_t>(v), 0};
+}
+
+inline Slot
+realSlot(double v)
+{
+    return Slot{Kind::Real, std::bit_cast<std::uint64_t>(v), 0};
+}
+
+inline Slot
+boolSlot(bool v)
+{
+    return Slot{Kind::Bool, v ? 1u : 0u, 0};
+}
+
+inline Slot
+ptrSlot(std::uint64_t base, std::uint32_t length)
+{
+    return Slot{Kind::Ptr, base, length};
+}
+
+/** Numeric coercion matching Value::asReal (ints widen). */
+inline double
+slotAsReal(const Slot &s)
+{
+    if (s.kind == Kind::Int)
+        return static_cast<double>(asIntBits(s));
+    SIM_ASSERT_MSG(s.kind == Kind::Real, "value {} is not numeric",
+                   toValue(s).toString());
+    return asRealBits(s);
+}
+
+/** Boolean access matching Value::asBool. */
+inline bool
+slotAsBool(const Slot &s)
+{
+    SIM_ASSERT_MSG(s.kind == Kind::Bool, "value {} is not a boolean",
+                   toValue(s).toString());
+    return s.lo != 0;
+}
+
+} // namespace emul
+
+#endif // TTDA_EMUL_SLOT_HH

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Structure-operation engine for the compiled emulator.
+ *
+ * Compiled SAlloc/SFetch/SStore/SAppend instructions do not touch
+ * I-structure storage directly; they go through this engine, which
+ * runs in one of two modes sharing identical semantics:
+ *
+ *  - *standalone*: the engine owns a mem::IStructure and serves
+ *    operations immediately (pure emulation — the fast path);
+ *  - *bridged*: operations are queued as mem::IStructureRequests to a
+ *    caller-provided mem::IStructureController and the controller is
+ *    stepped to completion, so a compiled run exercises exactly the
+ *    controller protocol the cycle-level machine uses (semantics
+ *    parity testing).
+ *
+ * A fetch of an unwritten cell parks the requester's continuation
+ * (StructTarget) on the cell's deferred list, exactly like the
+ * interpreter tiers. Serving a write drains a *side queue*: the
+ * matching store may satisfy deferred reads whose targets are other
+ * cells (APPEND's non-strict copy), whose stores satisfy further
+ * reads, and so on; only deliveries to VM registers are returned to
+ * the caller.
+ */
+
+#ifndef TTDA_EMUL_STRUCTURE_HH
+#define TTDA_EMUL_STRUCTURE_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hh"
+#include "graph/value.hh"
+#include "mem/istructure.hh"
+
+namespace emul
+{
+
+/** Where a served I-structure read is delivered: either onward into
+ *  another cell (APPEND's copy) or into a VM register. `frame` is the
+ *  scalar VM's frame id (or the lane index under the lane VM). */
+struct StructTarget
+{
+    bool toCell = false;
+    std::uint64_t cellAddr = 0;
+    std::uint32_t frame = 0;
+    std::uint32_t reg = 0;
+};
+
+using StructStorage = mem::IStructure<StructTarget, graph::Value>;
+using StructController =
+    mem::IStructureController<StructTarget, graph::Value>;
+
+class StructureEngine
+{
+  public:
+    /** A register delivery: (frame/lane, register, value). */
+    using Served = std::vector<std::pair<StructTarget, graph::Value>>;
+
+    /** Standalone mode with `words` of storage. */
+    explicit StructureEngine(std::size_t words)
+        : owned_(words), storage_(&owned_)
+    {
+    }
+
+    /** Bridged mode: operate through `ctrl` (which owns the storage).
+     *  The controller must outlive the engine. */
+    explicit StructureEngine(StructController &ctrl)
+        : owned_(0), ctrl_(&ctrl), storage_(&ctrl.storage())
+    {
+    }
+
+    bool bridged() const { return ctrl_ != nullptr; }
+
+    std::uint64_t
+    alloc(std::size_t n)
+    {
+        const std::uint64_t base = storage_->allocate(n);
+        SIM_ASSERT_MSG(base != ~std::uint64_t{0},
+                       "i-structure storage exhausted allocating {}", n);
+        return base;
+    }
+
+    /**
+     * Read `addr` for target `t`.
+     * @return true if satisfied now (the delivery, and any cascaded
+     *         ones, are appended to `served`); false if `t` parked on
+     *         the cell's deferred list.
+     */
+    bool
+    fetch(std::uint64_t addr, StructTarget t, Served &served)
+    {
+        raw_.clear();
+        bool now;
+        if (ctrl_) {
+            ctrl_->request({StructRequest::Kind::Fetch, addr,
+                            graph::Value{}, std::move(t)});
+            now = drainController();
+        } else {
+            now = storage_->fetch(addr, std::move(t), raw_);
+        }
+        drainSideQueue(served);
+        return now;
+    }
+
+    /** Write `addr`; cascaded deliveries land in `served`. A repeated
+     *  write is reported and ignored (single assignment). */
+    void
+    store(std::uint64_t addr, const graph::Value &v, Served &served)
+    {
+        raw_.clear();
+        if (ctrl_) {
+            ctrl_->request({StructRequest::Kind::Store, addr, v, {}});
+            drainController();
+        } else if (!storage_->store(addr, v, raw_)) {
+            sim::warn("emul: multiple write to i-structure cell {}",
+                      addr);
+        }
+        drainSideQueue(served);
+    }
+
+    /**
+     * APPEND: allocate a copy of `src` with element `idx` replaced by
+     * `v`. Unwritten source cells are copied non-strictly: a deferred
+     * read parks on each, forwarding into the copy's cell when the
+     * producer's write arrives.
+     */
+    graph::IPtr
+    append(graph::IPtr src, std::uint64_t idx, const graph::Value &v,
+           Served &served)
+    {
+        const std::uint64_t base = alloc(src.length);
+        for (std::uint32_t k = 0; k < src.length; ++k) {
+            if (k == idx) {
+                store(base + k, v, served);
+                continue;
+            }
+            StructTarget t;
+            t.toCell = true;
+            t.cellAddr = base + k;
+            fetch(src.base + k, std::move(t), served);
+        }
+        return graph::IPtr{base, src.length};
+    }
+
+    std::size_t
+    outstandingReads() const
+    {
+        return storage_->outstandingReads();
+    }
+
+    std::vector<std::uint64_t>
+    deferredAddresses(std::size_t limit = 8) const
+    {
+        return storage_->deferredAddresses(limit);
+    }
+
+    const mem::IStructureStats &stats() const
+    {
+        return storage_->stats();
+    }
+
+  private:
+    using StructRequest =
+        mem::IStructureRequest<StructTarget, graph::Value>;
+
+    /** Step the bridged controller until quiescent, moving responses
+     *  into raw_. @return true if any response arrived (the request
+     *  was satisfiable now). */
+    bool
+    drainController()
+    {
+        bool any = false;
+        while (!ctrl_->idle()) {
+            ctrl_->step(0);
+            while (auto r = ctrl_->pollResponse()) {
+                raw_.push_back(std::move(*r));
+                any = true;
+            }
+        }
+        return any;
+    }
+
+    /** Resolve raw_ deliveries: cell-bound ones become further stores
+     *  (the side queue), register-bound ones are returned. */
+    void
+    drainSideQueue(Served &served)
+    {
+        while (!raw_.empty()) {
+            auto [target, value] = std::move(raw_.back());
+            raw_.pop_back();
+            if (!target.toCell) {
+                served.emplace_back(std::move(target),
+                                    std::move(value));
+                continue;
+            }
+            if (ctrl_) {
+                ctrl_->request({StructRequest::Kind::Store,
+                                target.cellAddr, value, {}});
+                drainController();
+            } else if (!storage_->store(target.cellAddr, value, raw_)) {
+                sim::warn("emul: multiple write to i-structure cell {}",
+                          target.cellAddr);
+            }
+        }
+    }
+
+    StructStorage owned_;
+    StructController *ctrl_ = nullptr;
+    StructStorage *storage_ = nullptr;
+    Served raw_;
+};
+
+} // namespace emul
+
+#endif // TTDA_EMUL_STRUCTURE_HH

@@ -1,0 +1,509 @@
+#include "emul/vm.hh"
+
+#include <optional>
+#include <sstream>
+#include <utility>
+
+#include "common/logging.hh"
+#include "graph/arith.hh"
+
+namespace emul
+{
+
+namespace
+{
+
+constexpr std::uint32_t kNoReg = 0xffffffffu;
+constexpr std::uint32_t kNoFrame = 0xffffffffu;
+
+/** One activation of a compiled block. */
+struct Frame
+{
+    std::uint32_t block = 0;
+    std::uint32_t pc = 0;
+    std::uint32_t parent = kNoFrame;
+    std::uint32_t parentReg = 0;
+    std::uint32_t waitReg = kNoReg;
+    /** Deliveries still expected (call results, parked fetches); a
+     *  halted frame is recycled only once this drops to zero. */
+    std::uint32_t inflight = 0;
+    bool live = false;
+    bool returned = false;
+    std::vector<Slot> regs;
+    std::vector<std::uint8_t> pending;
+};
+
+class ScalarVm
+{
+  public:
+    ScalarVm(const CompiledProgram &prog, const RunOptions &opts)
+        : prog_(prog), opts_(opts)
+    {
+        if (opts.bridge)
+            engine_.emplace(*opts.bridge);
+        else
+            engine_.emplace(opts.isWords);
+        if (opts.countFires)
+            res_.fireCounts.assign(prog.srcIndexSpace(), 0);
+    }
+
+    RunResult
+    run(const std::vector<graph::Value> &inputs)
+    {
+        const CompiledBlock &entry = prog_.entry();
+        SIM_ASSERT_MSG(inputs.size() == entry.numParams,
+                       "emul: '{}' takes {} inputs, got {}", entry.name,
+                       entry.numParams, inputs.size());
+        const std::uint32_t root = spawn(prog_.entryIndex());
+        Frame &fr = frames_[root];
+        for (std::size_t p = 0; p < inputs.size(); ++p)
+            fr.regs[p] = fromValue(inputs[p]);
+        ready_.push_back(root);
+
+        while (!ready_.empty()) {
+            const std::uint32_t fi = ready_.back();
+            ready_.pop_back();
+            exec(fi);
+        }
+
+        diagnoseStall();
+        return std::move(res_);
+    }
+
+  private:
+    std::uint32_t
+    spawn(std::uint32_t block)
+    {
+        const CompiledBlock &b = prog_.blocks()[block];
+        std::uint32_t fi;
+        if (!free_.empty()) {
+            fi = free_.back();
+            free_.pop_back();
+        } else {
+            fi = static_cast<std::uint32_t>(frames_.size());
+            frames_.emplace_back();
+        }
+        Frame &fr = frames_[fi];
+        fr.block = block;
+        fr.pc = 0;
+        fr.parent = kNoFrame;
+        fr.parentReg = 0;
+        fr.waitReg = kNoReg;
+        fr.inflight = 0;
+        fr.live = true;
+        fr.returned = false;
+        fr.regs.assign(b.numRegs, Slot{});
+        fr.pending.assign(b.numRegs, 0);
+        ++liveFrames_;
+        return fi;
+    }
+
+    void
+    recycleIfDone(std::uint32_t fi)
+    {
+        const Frame &fr = frames_[fi];
+        if (!fr.live && fr.inflight == 0)
+            free_.push_back(fi);
+    }
+
+    /** Write a value into (frame, reg): clear the pending bit, settle
+     *  one expected delivery, and wake the frame if it was stalled on
+     *  this register. */
+    void
+    deliver(std::uint32_t fi, std::uint32_t reg, const graph::Value &v)
+    {
+        Frame &fr = frames_[fi];
+        SIM_ASSERT(fr.inflight > 0);
+        --fr.inflight;
+        if (!fr.live) {
+            recycleIfDone(fi);
+            return;
+        }
+        fr.regs[reg] = fromValue(v);
+        fr.pending[reg] = 0;
+        if (fr.waitReg == reg) {
+            fr.waitReg = kNoReg;
+            ready_.push_back(fi);
+        }
+    }
+
+    void
+    deliverServed()
+    {
+        for (auto &[target, value] : served_)
+            deliver(target.frame, target.reg, value);
+        served_.clear();
+    }
+
+    void
+    countMarker(const Inst &I)
+    {
+        if (!(I.flags & kCount))
+            return;
+        ++res_.fired;
+        if (!res_.fireCounts.empty()) {
+            SIM_ASSERT(I.src != kNoSrc);
+            ++res_.fireCounts[I.src];
+        }
+    }
+
+    void exec(std::uint32_t fi);
+
+    void
+    halt(std::uint32_t fi)
+    {
+        frames_[fi].live = false;
+        --liveFrames_;
+        recycleIfDone(fi);
+    }
+
+    void
+    diagnoseStall()
+    {
+        if (liveFrames_ == 0)
+            return;
+        res_.deadlocked = true;
+        std::ostringstream os;
+        os << liveFrames_ << " frame(s) stalled:";
+        std::size_t shown = 0;
+        for (std::size_t fi = 0; fi < frames_.size() && shown < 8;
+             ++fi) {
+            const Frame &fr = frames_[fi];
+            if (!fr.live)
+                continue;
+            os << " [frame " << fi << " '"
+               << prog_.blocks()[fr.block].name << "' pc " << fr.pc;
+            if (fr.waitReg != kNoReg)
+                os << " waiting on r" << fr.waitReg;
+            os << "]";
+            ++shown;
+        }
+        os << "; " << engine_->outstandingReads()
+           << " deferred read(s)";
+        const auto addrs = engine_->deferredAddresses();
+        if (!addrs.empty()) {
+            os << " at";
+            for (const auto a : addrs)
+                os << " " << a;
+        }
+        res_.diagnostic = os.str();
+        sim::warn("emul: deadlock: {}", res_.diagnostic);
+    }
+
+    const CompiledProgram &prog_;
+    RunOptions opts_;
+    std::optional<StructureEngine> engine_;
+    RunResult res_;
+    std::vector<Frame> frames_;
+    std::vector<std::uint32_t> free_;
+    std::vector<std::uint32_t> ready_;
+    std::size_t liveFrames_ = 0;
+    StructureEngine::Served served_;
+};
+
+void
+ScalarVm::exec(std::uint32_t fi)
+{
+    Frame *fr = &frames_[fi];
+    const Inst *code = prog_.blocks()[fr->block].code.data();
+
+    auto pend = [&](std::uint32_t r) {
+        if (fr->pending[r]) {
+            fr->waitReg = r;
+            return true;
+        }
+        return false;
+    };
+
+    for (;;) {
+        const Inst &I = code[fr->pc];
+
+        // Stall if an operand register is still pending.
+        switch (I.op) {
+          case Op::Move: case Op::Neg: case Op::Not:
+          case Op::GuardBegin: case Op::LoopTest: case Op::Output:
+          case Op::SAlloc: case Op::Ret:
+            if (pend(I.a))
+                return;
+            break;
+          case Op::Add: case Op::Sub: case Op::Mul: case Op::Div:
+          case Op::Mod:
+          case Op::Lt: case Op::Le: case Op::Gt: case Op::Ge:
+          case Op::Eq: case Op::Ne:
+          case Op::And: case Op::Or:
+          case Op::SFetch:
+            if (pend(I.a) || pend(I.b))
+                return;
+            break;
+          case Op::SStore: case Op::SAppend:
+            if (pend(I.a) || pend(I.b) || pend(I.c))
+                return;
+            break;
+          case Op::Call:
+            for (std::uint32_t j = 0; j < I.b; ++j)
+                if (pend(I.a + j))
+                    return;
+            break;
+          case Op::CallDyn:
+            if (pend(I.a))
+                return;
+            for (std::uint32_t j = 0; j < I.c; ++j)
+                if (pend(I.b + j))
+                    return;
+            break;
+          default:
+            break;
+        }
+
+        if (++res_.executed > opts_.maxExecuted)
+            sim::fatal("emul: execution exceeded {} instructions "
+                       "(missing loop exit?)",
+                       opts_.maxExecuted);
+        countMarker(I);
+
+        Slot *regs = fr->regs.data();
+        switch (I.op) {
+          case Op::Const:
+            regs[I.dst] = prog_.constPool()[I.imm];
+            break;
+          case Op::Move:
+            regs[I.dst] = regs[I.a];
+            break;
+
+          case Op::Add: case Op::Sub: case Op::Mul: case Op::Div:
+          case Op::Mod: {
+            static constexpr graph::Opcode map[] = {
+                graph::Opcode::Add, graph::Opcode::Sub,
+                graph::Opcode::Mul, graph::Opcode::Div,
+                graph::Opcode::Mod};
+            const graph::Opcode gop =
+                map[static_cast<int>(I.op) -
+                    static_cast<int>(Op::Add)];
+            const Slot &x = regs[I.a];
+            const Slot &y = regs[I.b];
+            if (x.kind == Kind::Int && y.kind == Kind::Int)
+                regs[I.dst] = intSlot(graph::arithInt(
+                    gop, asIntBits(x), asIntBits(y)));
+            else
+                regs[I.dst] = realSlot(graph::arithReal(
+                    gop, slotAsReal(x), slotAsReal(y)));
+            break;
+          }
+          case Op::Neg: {
+            const Slot &x = regs[I.a];
+            if (x.kind == Kind::Int)
+                regs[I.dst] = intSlot(-asIntBits(x));
+            else
+                regs[I.dst] = realSlot(-slotAsReal(x));
+            break;
+          }
+
+          case Op::Lt: case Op::Le: case Op::Gt: case Op::Ge: {
+            static constexpr graph::Opcode map[] = {
+                graph::Opcode::Lt, graph::Opcode::Le,
+                graph::Opcode::Gt, graph::Opcode::Ge};
+            const graph::Opcode gop =
+                map[static_cast<int>(I.op) -
+                    static_cast<int>(Op::Lt)];
+            regs[I.dst] = boolSlot(graph::compareReal(
+                gop, slotAsReal(regs[I.a]), slotAsReal(regs[I.b])));
+            break;
+          }
+          case Op::Eq: case Op::Ne: {
+            const Slot &x = regs[I.a];
+            const Slot &y = regs[I.b];
+            bool eq;
+            const bool xnum =
+                x.kind == Kind::Int || x.kind == Kind::Real;
+            const bool ynum =
+                y.kind == Kind::Int || y.kind == Kind::Real;
+            if (xnum && ynum)
+                eq = slotAsReal(x) == slotAsReal(y);
+            else
+                eq = toValue(x) == toValue(y);
+            regs[I.dst] = boolSlot(I.op == Op::Eq ? eq : !eq);
+            break;
+          }
+
+          case Op::And:
+            regs[I.dst] = boolSlot(slotAsBool(regs[I.a]) &&
+                                   slotAsBool(regs[I.b]));
+            break;
+          case Op::Or:
+            regs[I.dst] = boolSlot(slotAsBool(regs[I.a]) ||
+                                   slotAsBool(regs[I.b]));
+            break;
+          case Op::Not:
+            regs[I.dst] = boolSlot(!slotAsBool(regs[I.a]));
+            break;
+
+          case Op::GuardBegin: {
+            const bool want = !(I.flags & kInvert);
+            if (slotAsBool(regs[I.a]) != want) {
+                fr->pc = I.imm; // the matching GuardEnd
+                continue;
+            }
+            break;
+          }
+          case Op::GuardEnd:
+          case Op::LoopHead:
+          case Op::LoopEnd:
+          case Op::Count:
+            break;
+
+          case Op::LoopTest:
+            if (slotAsBool(regs[I.a])) {
+                fr->pc = I.imm; // loop body
+                continue;
+            }
+            break; // fall into the exit region
+          case Op::LoopExitDone:
+          case Op::LoopBack:
+            fr->pc = I.imm;
+            continue;
+
+          case Op::Output:
+            res_.outputs.push_back(toValue(regs[I.a]));
+            break;
+
+          case Op::SAlloc: {
+            const std::int64_t nwords = toValue(regs[I.a]).asInt();
+            SIM_ASSERT_MSG(nwords >= 0, "ALLOC of negative size {}",
+                           nwords);
+            regs[I.dst] = ptrSlot(
+                engine_->alloc(static_cast<std::size_t>(nwords)),
+                static_cast<std::uint32_t>(nwords));
+            break;
+          }
+          case Op::SFetch: {
+            const graph::IPtr ptr = toValue(regs[I.a]).asPtr();
+            const std::int64_t idx = toValue(regs[I.b]).asInt();
+            SIM_ASSERT_MSG(idx >= 0 && idx < ptr.length,
+                           "I-FETCH index {} out of bounds [0,{})",
+                           idx, ptr.length);
+            StructTarget t;
+            t.frame = fi;
+            t.reg = I.dst;
+            ++fr->inflight;
+            const bool now = engine_->fetch(
+                ptr.base + static_cast<std::uint64_t>(idx),
+                std::move(t), served_);
+            if (!now)
+                fr->pending[I.dst] = 1;
+            deliverServed();
+            fr = &frames_[fi]; // deliveries never spawn, but be safe
+            regs = fr->regs.data();
+            break;
+          }
+          case Op::SStore: {
+            const graph::IPtr ptr = toValue(regs[I.a]).asPtr();
+            const std::int64_t idx = toValue(regs[I.b]).asInt();
+            SIM_ASSERT_MSG(idx >= 0 && idx < ptr.length,
+                           "I-STORE index {} out of bounds [0,{})",
+                           idx, ptr.length);
+            engine_->store(ptr.base + static_cast<std::uint64_t>(idx),
+                           toValue(regs[I.c]), served_);
+            deliverServed();
+            fr = &frames_[fi];
+            regs = fr->regs.data();
+            break;
+          }
+          case Op::SAppend: {
+            const graph::IPtr ptr = toValue(regs[I.a]).asPtr();
+            const std::int64_t idx = toValue(regs[I.b]).asInt();
+            SIM_ASSERT_MSG(idx >= 0 && idx < ptr.length,
+                           "APPEND index {} out of bounds [0,{})", idx,
+                           ptr.length);
+            // Parked copy reads are frame-independent (cell targets),
+            // so no inflight accounting is needed beyond the cascades
+            // deliverServed resolves now.
+            const graph::IPtr np = engine_->append(
+                ptr, static_cast<std::uint64_t>(idx),
+                toValue(regs[I.c]), served_);
+            regs[I.dst] = ptrSlot(np.base, np.length);
+            deliverServed();
+            fr = &frames_[fi];
+            regs = fr->regs.data();
+            break;
+          }
+
+          case Op::Call:
+          case Op::CallDyn: {
+            std::uint32_t blockIdx;
+            std::uint32_t argBase, nargs;
+            if (I.op == Op::Call) {
+                blockIdx = I.imm;
+                argBase = I.a;
+                nargs = I.b;
+            } else {
+                const graph::FnRef fn = toValue(regs[I.a]).asFn();
+                const std::int32_t bi = prog_.blockFor(fn.codeBlock);
+                if (bi < 0)
+                    sim::fatal("emul: dynamic APPLY of block {} which "
+                               "was not compiled",
+                               fn.codeBlock);
+                blockIdx = static_cast<std::uint32_t>(bi);
+                argBase = I.b;
+                nargs = I.c;
+            }
+            const CompiledBlock &callee = prog_.blocks()[blockIdx];
+            SIM_ASSERT_MSG(nargs == callee.numParams,
+                           "APPLY of '{}' with {} args, expected {}",
+                           callee.name, nargs, callee.numParams);
+            fr->pending[I.dst] = 1;
+            ++fr->inflight;
+            const std::uint32_t child = spawn(blockIdx);
+            fr = &frames_[fi]; // frames_ may have reallocated
+            regs = fr->regs.data();
+            Frame &cf = frames_[child];
+            for (std::uint32_t j = 0; j < nargs; ++j)
+                cf.regs[j] = regs[argBase + j];
+            cf.parent = fi;
+            cf.parentReg = I.dst;
+            ready_.push_back(child);
+            break;
+          }
+
+          case Op::Ret:
+            SIM_ASSERT_MSG(!fr->returned,
+                           "emul: double RETURN in '{}'",
+                           prog_.blocks()[fr->block].name);
+            fr->returned = true;
+            if (fr->parent != kNoFrame) {
+                deliver(fr->parent, fr->parentReg,
+                        toValue(regs[I.a]));
+            }
+            break;
+
+          case Op::Halt:
+            halt(fi);
+            return;
+        }
+        ++fr->pc;
+    }
+}
+
+} // namespace
+
+RunResult
+run(const CompiledProgram &prog, const std::vector<graph::Value> &inputs,
+    const RunOptions &opts)
+{
+    ScalarVm vm(prog, opts);
+    return vm.run(inputs);
+}
+
+RunResult
+CompiledProgram::run(const std::vector<graph::Value> &inputs) const
+{
+    return emul::run(*this, inputs, RunOptions{});
+}
+
+RunResult
+CompiledProgram::run(const std::vector<graph::Value> &inputs,
+                     const RunOptions &opts) const
+{
+    return emul::run(*this, inputs, opts);
+}
+
+} // namespace emul

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Execution engines for compiled threaded-code programs.
+ *
+ * Two VMs share one instruction set (code.hh):
+ *
+ *  - the *scalar* VM (vm.cc) runs one context through call frames,
+ *    with a pending-register scoreboard so deferred I-structure reads
+ *    and residual calls suspend the frame instead of busy-waiting;
+ *  - the *lane* VM (lanes.cc) runs N independent contexts over a
+ *    structure-of-arrays register file with an active-lane mask, so
+ *    the arithmetic inner loops vectorize across contexts
+ *    (batch-style emulation, twvm-fashion).
+ *
+ * Both report interpreter-compatible activity statistics: `fired`
+ * counts source-instruction firings via the kCount markers, and
+ * fireCounts (optional) breaks them down per source instruction in
+ * the graph::Program::instrIndexOffsets index space.
+ */
+
+#ifndef TTDA_EMUL_VM_HH
+#define TTDA_EMUL_VM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "emul/code.hh"
+#include "emul/structure.hh"
+#include "graph/value.hh"
+
+namespace emul
+{
+
+struct RunOptions
+{
+    /** Standalone-mode I-structure storage size (words). */
+    std::size_t isWords = 1u << 20;
+
+    /** Bridge every structure operation through this controller
+     *  instead of standalone storage (semantics-parity testing). */
+    StructController *bridge = nullptr;
+
+    /** Record per-source-instruction fire counts. */
+    bool countFires = false;
+
+    /** Runaway guard: fatal after this many executed instructions
+     *  (per lane for the lane VM). */
+    std::uint64_t maxExecuted = 1ull << 32;
+};
+
+struct RunResult
+{
+    std::vector<graph::Value> outputs;
+    std::uint64_t fired = 0;    //!< source-instruction firings
+    std::uint64_t executed = 0; //!< threaded-code instructions retired
+    bool deadlocked = false;
+    std::string diagnostic;
+    std::vector<std::uint64_t> fireCounts; //!< when opts.countFires
+};
+
+/** Per-lane values for one entry parameter. */
+struct VaryingInput
+{
+    std::uint16_t param = 0;
+    std::vector<graph::Value> values; //!< one per lane
+};
+
+struct BatchResult
+{
+    std::vector<std::vector<graph::Value>> outputs; //!< per lane
+    std::uint64_t fired = 0;
+    std::uint64_t executed = 0;
+    std::vector<std::uint64_t> fireCounts; //!< summed over lanes
+};
+
+/** Run one context through the scalar VM. */
+RunResult run(const CompiledProgram &prog,
+              const std::vector<graph::Value> &inputs,
+              const RunOptions &opts = {});
+
+/**
+ * Run `n` independent contexts in lanes. Parameters take the value
+ * from `uniforms` (size = entry numParams) unless a VaryingInput
+ * provides n per-lane values. Requires prog.laneable(); lane
+ * execution cannot suspend, so a read of a never-written cell is
+ * fatal rather than deferred.
+ */
+BatchResult executeLanes(const CompiledProgram &prog, std::size_t n,
+                         const std::vector<graph::Value> &uniforms,
+                         const std::vector<VaryingInput> &varying,
+                         const RunOptions &opts = {});
+
+} // namespace emul
+
+#endif // TTDA_EMUL_VM_HH

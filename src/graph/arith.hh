@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Scalar operator semantics shared by every execution tier.
+ *
+ * The firing rules for the arithmetic, relational, and boolean
+ * operators live here (not in exec.cc) so the token-at-a-time
+ * interpreter (graph::Executor) and the compiled emulator (src/emul)
+ * evaluate *the same expressions* — bit-exact agreement between the
+ * tiers is then a property of the code, not of two implementations
+ * kept in sync by hand.
+ *
+ * Semantics notes (inherited from the original Executor):
+ *  - int ∘ int stays int for ADD/SUB/MUL/MOD, and DIV of two ints is
+ *    integer division; any real operand promotes the whole operation
+ *    to double.
+ *  - the relational orderings always compare as double (ints widen),
+ *    and EQ/NE compare numerically when both sides are numeric, else
+ *    by exact (same-type) equality.
+ */
+
+#ifndef TTDA_GRAPH_ARITH_HH
+#define TTDA_GRAPH_ARITH_HH
+
+#include "common/logging.hh"
+#include "graph/opcode.hh"
+#include "graph/value.hh"
+
+namespace graph
+{
+
+/** ADD/SUB/MUL/MOD over machine integers. */
+inline std::int64_t
+arithInt(Opcode op, std::int64_t x, std::int64_t y)
+{
+    switch (op) {
+      case Opcode::Add: return x + y;
+      case Opcode::Sub: return x - y;
+      case Opcode::Mul: return x * y;
+      case Opcode::Div:
+        SIM_ASSERT_MSG(y != 0, "integer division by zero");
+        return x / y;
+      case Opcode::Mod:
+        SIM_ASSERT_MSG(y != 0, "modulo by zero");
+        return x % y;
+      default:
+        sim::panic("arithInt called with non-arithmetic opcode {}",
+                   opcodeName(op));
+    }
+}
+
+/** ADD/SUB/MUL/DIV over doubles (MOD requires integers). */
+inline double
+arithReal(Opcode op, double x, double y)
+{
+    switch (op) {
+      case Opcode::Add: return x + y;
+      case Opcode::Sub: return x - y;
+      case Opcode::Mul: return x * y;
+      case Opcode::Div: return x / y;
+      case Opcode::Mod:
+        sim::panic("MOD requires integer operands");
+      default:
+        sim::panic("arithReal called with non-arithmetic opcode {}",
+                   opcodeName(op));
+    }
+}
+
+/** The relational orderings, always evaluated over doubles. */
+inline bool
+compareReal(Opcode op, double x, double y)
+{
+    switch (op) {
+      case Opcode::Lt: return x < y;
+      case Opcode::Le: return x <= y;
+      case Opcode::Gt: return x > y;
+      case Opcode::Ge: return x >= y;
+      case Opcode::Eq: return x == y;
+      case Opcode::Ne: return x != y;
+      default:
+        sim::panic("compareReal called with non-relational opcode {}",
+                   opcodeName(op));
+    }
+}
+
+/** Full dynamically-typed ADD/SUB/MUL/DIV/MOD. */
+inline Value
+arithValue(Opcode op, const Value &a, const Value &b)
+{
+    if (a.isInt() && b.isInt())
+        return Value{arithInt(op, a.asInt(), b.asInt())};
+    return Value{arithReal(op, a.asReal(), b.asReal())};
+}
+
+/** Full dynamically-typed LT/LE/GT/GE/EQ/NE. */
+inline Value
+compareValue(Opcode op, const Value &a, const Value &b)
+{
+    // EQ/NE work on any same-typed pair; the orderings are numeric.
+    if (op == Opcode::Eq || op == Opcode::Ne) {
+        bool eq;
+        if (a.isNumeric() && b.isNumeric())
+            eq = a.asReal() == b.asReal();
+        else
+            eq = a == b;
+        return Value{op == Opcode::Eq ? eq : !eq};
+    }
+    return Value{compareReal(op, a.asReal(), b.asReal())};
+}
+
+/** Dynamically-typed NEG. */
+inline Value
+negValue(const Value &a)
+{
+    return a.isInt() ? Value{-a.asInt()} : Value{-a.asReal()};
+}
+
+} // namespace graph
+
+#endif // TTDA_GRAPH_ARITH_HH

@@ -109,6 +109,18 @@ class BlockBuilder
         return *this;
     }
 
+    /** Record the loop schema (predicate statement + per-variable
+     *  SWITCHes) on the block — the schedulable-form export consumed
+     *  by the compiled emulator (see CodeBlock::loopPredicate). */
+    BlockBuilder &
+    loopSchema(std::uint16_t pred_stmt,
+               std::vector<std::uint16_t> switches)
+    {
+        cb_.loopPredicate = pred_stmt;
+        cb_.loopSwitches = std::move(switches);
+        return *this;
+    }
+
     /** Relabel an already-added instruction. */
     BlockBuilder &
     label(std::uint16_t stmt, std::string text)

@@ -1,6 +1,7 @@
 #include "graph/exec.hh"
 
 #include "common/logging.hh"
+#include "graph/arith.hh"
 
 namespace graph
 {
@@ -11,64 +12,6 @@ namespace
 /** Apply-site ids live above the builder-assigned loop-site range so
  *  the two can never collide in the context intern table. */
 constexpr std::uint32_t applySiteBase = 0x10000;
-
-Value
-arith(Opcode op, const Value &a, const Value &b)
-{
-    if (a.isInt() && b.isInt() && op != Opcode::Div) {
-        const std::int64_t x = a.asInt(), y = b.asInt();
-        switch (op) {
-          case Opcode::Add: return Value{x + y};
-          case Opcode::Sub: return Value{x - y};
-          case Opcode::Mul: return Value{x * y};
-          case Opcode::Mod:
-            SIM_ASSERT_MSG(y != 0, "modulo by zero");
-            return Value{x % y};
-          default: break;
-        }
-    }
-    if (op == Opcode::Div && a.isInt() && b.isInt()) {
-        const std::int64_t y = b.asInt();
-        SIM_ASSERT_MSG(y != 0, "integer division by zero");
-        return Value{a.asInt() / y};
-    }
-    const double x = a.asReal(), y = b.asReal();
-    switch (op) {
-      case Opcode::Add: return Value{x + y};
-      case Opcode::Sub: return Value{x - y};
-      case Opcode::Mul: return Value{x * y};
-      case Opcode::Div: return Value{x / y};
-      case Opcode::Mod:
-        sim::panic("MOD requires integer operands");
-      default:
-        sim::panic("arith called with non-arithmetic opcode {}",
-                   opcodeName(op));
-    }
-}
-
-Value
-compare(Opcode op, const Value &a, const Value &b)
-{
-    // EQ/NE work on any same-typed pair; the orderings are numeric.
-    if (op == Opcode::Eq || op == Opcode::Ne) {
-        bool eq;
-        if (a.isNumeric() && b.isNumeric())
-            eq = a.asReal() == b.asReal();
-        else
-            eq = a == b;
-        return Value{op == Opcode::Eq ? eq : !eq};
-    }
-    const double x = a.asReal(), y = b.asReal();
-    switch (op) {
-      case Opcode::Lt: return Value{x < y};
-      case Opcode::Le: return Value{x <= y};
-      case Opcode::Gt: return Value{x > y};
-      case Opcode::Ge: return Value{x >= y};
-      default:
-        sim::panic("compare called with non-relational opcode {}",
-                   opcodeName(op));
-    }
-}
 
 } // namespace
 
@@ -129,12 +72,11 @@ Executor::execute(const EnabledInstruction &enabled,
       case Opcode::Mul:
       case Opcode::Div:
       case Opcode::Mod:
-        emit_all(in.dests, arith(in.op, ops[0], ops[1]));
+        emit_all(in.dests, arithValue(in.op, ops[0], ops[1]));
         break;
 
       case Opcode::Neg:
-        emit_all(in.dests, ops[0].isInt() ? Value{-ops[0].asInt()}
-                                          : Value{-ops[0].asReal()});
+        emit_all(in.dests, negValue(ops[0]));
         break;
 
       case Opcode::Lt:
@@ -143,7 +85,7 @@ Executor::execute(const EnabledInstruction &enabled,
       case Opcode::Ge:
       case Opcode::Eq:
       case Opcode::Ne:
-        emit_all(in.dests, compare(in.op, ops[0], ops[1]));
+        emit_all(in.dests, compareValue(in.op, ops[0], ops[1]));
         break;
 
       case Opcode::And:

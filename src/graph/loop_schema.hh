@@ -84,12 +84,14 @@ class LoopBuilder
     }
 
     /** Register the boolean predicate instruction: its output becomes
-     *  the control (port 1) of every variable's switch. */
+     *  the control (port 1) of every variable's switch. Also records
+     *  the schema on the block for schedulable-form export. */
     void
     setPredicate(std::uint16_t pred_stmt)
     {
         for (std::size_t j = 0; j < nvars_; ++j)
             builder_.to(pred_stmt, switches_[j], 1);
+        builder_.loopSchema(pred_stmt, switches_);
     }
 
     /** The D operator of variable j (created on first use). Wire the

@@ -1,5 +1,7 @@
 #include "graph/program.hh"
 
+#include <functional>
+#include <queue>
 #include <sstream>
 
 #include "common/logging.hh"
@@ -99,6 +101,78 @@ Program::totalInstructions() const
     for (const auto &cb : blocks_)
         n += cb.instrs.size();
     return n;
+}
+
+std::vector<std::size_t>
+Program::instrIndexOffsets() const
+{
+    std::vector<std::size_t> offsets;
+    offsets.reserve(blocks_.size());
+    std::size_t n = 0;
+    for (const auto &cb : blocks_) {
+        offsets.push_back(n);
+        n += cb.instrs.size();
+    }
+    return offsets;
+}
+
+std::vector<std::uint16_t>
+topoOrder(const Program &program, std::uint16_t cb_id)
+{
+    const CodeBlock &cb = program.codeBlock(cb_id);
+    const std::size_t n = cb.instrs.size();
+    std::vector<std::vector<std::uint16_t>> succs(n);
+    std::vector<std::uint32_t> indeg(n, 0);
+    auto edge = [&](std::uint16_t from, std::uint16_t to) {
+        succs[from].push_back(to);
+        indeg[to] += 1;
+    };
+    for (std::uint16_t s = 0; s < n; ++s) {
+        const Instruction &in = cb.instrs[s];
+        if (in.op == Opcode::LoopNext || in.op == Opcode::LoopReset)
+            continue; // back-edges to the receivers
+        if (in.destsInCaller || in.op == Opcode::Return)
+            continue; // cross-block
+        if (in.op == Opcode::LoopEntry) {
+            // Derived edges: this loop's exit values feed consumers in
+            // *this* block, so those consumers order after the entry.
+            const CodeBlock &loop = program.codeBlock(in.targetCb);
+            for (const Instruction &li : loop.instrs) {
+                if (li.op != Opcode::LoopExit || !li.destsInCaller)
+                    continue;
+                for (const Dest &d : li.dests)
+                    edge(s, d.stmt);
+            }
+            continue;
+        }
+        for (const Dest &d : in.dests)
+            edge(s, d.stmt);
+        for (const Dest &d : in.falseDests)
+            edge(s, d.stmt);
+    }
+
+    // Kahn's algorithm with a min-heap on statement number, so the
+    // order is stable and respects source order among ready nodes.
+    std::priority_queue<std::uint16_t, std::vector<std::uint16_t>,
+                        std::greater<>> ready;
+    for (std::uint16_t s = 0; s < n; ++s)
+        if (indeg[s] == 0)
+            ready.push(s);
+    std::vector<std::uint16_t> order;
+    order.reserve(n);
+    while (!ready.empty()) {
+        const std::uint16_t s = ready.top();
+        ready.pop();
+        order.push_back(s);
+        for (const std::uint16_t t : succs[s])
+            if (--indeg[t] == 0)
+                ready.push(t);
+    }
+    SIM_ASSERT_MSG(order.size() == n,
+                   "topoOrder: cycle among the forward edges of code "
+                   "block '{}' ({} of {} instructions ordered)",
+                   cb.name, order.size(), n);
+    return order;
 }
 
 void

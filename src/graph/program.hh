@@ -84,6 +84,17 @@ struct CodeBlock
      *  is never reclaimed, e.g. a pure producer loop). */
     std::uint16_t numExits = 0;
 
+    /** Schedulable-form export (recorded by LoopBuilder): the loop
+     *  predicate statement and the per-variable SWITCHes it gates.
+     *  Downstream compilers (src/emul) recover the Figure 2-2 loop
+     *  structure from these instead of pattern-matching the graph.
+     *  kNoLoopSchema = not a schema-built loop block. */
+    static constexpr std::uint16_t kNoLoopSchema = 0xffff;
+    std::uint16_t loopPredicate = kNoLoopSchema;
+    std::vector<std::uint16_t> loopSwitches;
+
+    bool hasLoopSchema() const { return loopPredicate != kNoLoopSchema; }
+
     std::vector<Instruction> instrs;
 
     const Instruction &
@@ -138,9 +149,29 @@ class Program
     /** Total instruction count across all code blocks. */
     std::size_t totalInstructions() const;
 
+    /**
+     * Per-block starting offsets into the dense instruction index
+     * space [0, totalInstructions()): global index of (cb, stmt) is
+     * offsets[cb] + stmt. The shared index space lets the execution
+     * tiers compare per-instruction activity counts directly.
+     */
+    std::vector<std::size_t> instrIndexOffsets() const;
+
   private:
     std::vector<CodeBlock> blocks_;
 };
+
+/**
+ * A stable topological order of one code block's instructions — the
+ * schedulable form of the graph. Edges considered are the intra-block
+ * data dependencies, minus the loop back-edges (LoopNext/LoopReset →
+ * receiver), plus derived edges from each LoopEntry to the consumers
+ * its loop's LoopExits feed (so work that consumes a loop's results
+ * orders after the loop's entries). Ties break toward lower statement
+ * numbers. Fatal if the remaining graph is cyclic.
+ */
+std::vector<std::uint16_t> topoOrder(const Program &program,
+                                     std::uint16_t cb);
 
 } // namespace graph
 

@@ -29,6 +29,13 @@ Emulator::input(std::uint16_t cb, std::uint16_t param, graph::Value v)
 }
 
 void
+Emulator::enableFireCounts()
+{
+    instrOffsets_ = program_.instrIndexOffsets();
+    fireCounts_.assign(program_.totalInstructions(), 0);
+}
+
+void
 Emulator::fire(const graph::Tag &tag, std::vector<graph::Value> operands,
                std::deque<graph::Token> &next)
 {
@@ -40,6 +47,8 @@ Emulator::fire(const graph::Tag &tag, std::vector<graph::Value> operands,
     std::vector<graph::Token> produced = executor_.execute(enabled);
     stats_.fired += 1;
     stats_.tokens += produced.size();
+    if (!fireCounts_.empty())
+        fireCounts_[instrOffsets_[tag.codeBlock] + tag.stmt] += 1;
     for (auto &t : produced)
         next.push_back(std::move(t));
 }

@@ -76,6 +76,19 @@ class Emulator
 
     const Stats &stats() const { return stats_; }
 
+    /** Opt into per-instruction activity counting: fireCounts()[i]
+     *  then holds the number of times the instruction with global
+     *  index i (see Program::instrIndexOffsets) fired. Off by default
+     *  (the counters cost a vector indexing per activity). Call
+     *  before run(). */
+    void enableFireCounts();
+
+    /** Per-instruction activity counts (empty unless enabled). */
+    const std::vector<std::uint64_t> &fireCounts() const
+    {
+        return fireCounts_;
+    }
+
     /** Deferred reads still parked after run(): nonzero means the
      *  program deadlocked on a never-written I-structure cell. */
     std::size_t outstandingReads() const
@@ -121,6 +134,8 @@ class Emulator
     std::deque<graph::Token> wave_;
     std::vector<OutputRecord> outputs_;
     Stats stats_;
+    std::vector<std::uint64_t> fireCounts_;
+    std::vector<std::size_t> instrOffsets_;
 };
 
 } // namespace ttda

@@ -1,0 +1,377 @@
+/**
+ * @file
+ * Loop-schema edge cases through the compiled tier — zero-trip loops,
+ * nested loops, switch-gated merges inside loop bodies — plus the lane
+ * VM's divergence semantics (per-lane trip counts, guard divergence,
+ * empty batches).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "emul/compile.hh"
+#include "emul/vm.hh"
+#include "graph/loop_schema.hh"
+#include "graph/program.hh"
+#include "ttda/emulator.hh"
+
+namespace
+{
+
+using graph::BlockBuilder;
+using graph::LoopBuilder;
+using graph::Opcode;
+using graph::Value;
+using std::int64_t;
+
+std::vector<Value>
+interpret(graph::Program &program, std::uint16_t cb,
+          const std::vector<Value> &inputs)
+{
+    ttda::Emulator interp(program);
+    for (std::uint16_t i = 0; i < inputs.size(); ++i)
+        interp.input(cb, i, inputs[i]);
+    std::vector<Value> out;
+    for (const auto &rec : interp.run())
+        out.push_back(rec.value);
+    return out;
+}
+
+/** main(n, acc0): sum k for k in [1, n] starting from acc0. */
+std::uint16_t
+buildSum(graph::Program &p)
+{
+    LoopBuilder loop(p, "sum", 3);
+    enum { K = 0, ACC = 1, HI = 2 };
+    const auto pred = loop.b().add(Opcode::Le, 2, "k<=hi");
+    loop.b().to(loop.recv(K), pred, 0).to(loop.recv(HI), pred, 1);
+    loop.setPredicate(pred);
+    const auto add = loop.b().add(Opcode::Add, 2);
+    loop.b().to(loop.sw(ACC), add, 0).to(loop.sw(K), add, 1);
+    loop.b().to(add, loop.next(ACC), 0);
+    const auto inc = loop.b().add(Opcode::Add, 1);
+    loop.b().constant(inc, Value{int64_t{1}});
+    loop.b().to(loop.sw(K), inc, 0);
+    loop.b().to(inc, loop.next(K), 0);
+    loop.circulateUnchanged(HI);
+
+    BlockBuilder main(p, "main", 2);
+    const auto sink = main.add(Opcode::Ident, 1);
+    const auto out = main.add(Opcode::Output, 1);
+    main.to(sink, out, 0);
+    loop.exitTo(ACC, sink, 0);
+    const auto loop_cb = loop.build();
+
+    const auto one = main.add(Opcode::Lit, 1);
+    main.constant(one, Value{int64_t{1}});
+    main.to(0, one, 0);
+    auto ls = LoopBuilder::entries(main, loop_cb, 1, 3);
+    main.to(one, ls[K], 0);
+    main.to(1, ls[ACC], 0);
+    main.to(0, ls[HI], 0);
+    return main.build();
+}
+
+TEST(EmulLoops, ZeroTripReturnsInitials)
+{
+    graph::Program p;
+    const auto cb = buildSum(p);
+    const auto compiled = emul::compile(p, cb);
+
+    const std::vector<Value> in{Value{int64_t{0}}, Value{int64_t{7}}};
+    const auto rr = emul::run(compiled, in);
+    ASSERT_FALSE(rr.deadlocked) << rr.diagnostic;
+    ASSERT_EQ(rr.outputs.size(), 1u);
+    EXPECT_EQ(rr.outputs[0], Value{int64_t{7}});
+    EXPECT_EQ(rr.outputs, interpret(p, cb, in));
+}
+
+TEST(EmulLoops, SingleAndManyTrips)
+{
+    graph::Program p;
+    const auto cb = buildSum(p);
+    const auto compiled = emul::compile(p, cb);
+    for (const int64_t n : {1, 2, 3, 17, 1000}) {
+        const std::vector<Value> in{Value{n}, Value{int64_t{0}}};
+        const auto rr = emul::run(compiled, in);
+        ASSERT_EQ(rr.outputs.size(), 1u) << n;
+        EXPECT_EQ(rr.outputs[0].asInt(), n * (n + 1) / 2) << n;
+    }
+}
+
+/** main(n, m): sum_{i=1..n} sum_{j=1..m} i*j, via nested loops. */
+std::uint16_t
+buildNested(graph::Program &p)
+{
+    // Inner: sum j*i for j in [1, m].
+    enum { J = 0, S = 1, M = 2, I = 3 };
+    enum { OI = 0, ACC = 1, N = 2, OM = 3 };
+    LoopBuilder inner(p, "inner", 4);
+    {
+        const auto pred = inner.b().add(Opcode::Le, 2, "j<=m");
+        inner.b().to(inner.recv(J), pred, 0);
+        inner.b().to(inner.recv(M), pred, 1);
+        inner.setPredicate(pred);
+        const auto mul = inner.b().add(Opcode::Mul, 2, "j*i");
+        inner.b().to(inner.sw(J), mul, 0).to(inner.sw(I), mul, 1);
+        const auto add = inner.b().add(Opcode::Add, 2);
+        inner.b().to(inner.sw(S), add, 0).to(mul, add, 1);
+        inner.b().to(add, inner.next(S), 0);
+        const auto inc = inner.b().add(Opcode::Add, 1);
+        inner.b().constant(inc, Value{int64_t{1}});
+        inner.b().to(inner.sw(J), inc, 0);
+        inner.b().to(inc, inner.next(J), 0);
+        inner.circulateUnchanged(M);
+        inner.circulateUnchanged(I);
+    }
+
+    // Outer: acc += inner(i) for i in [1, n].
+    LoopBuilder outer(p, "outer", 4);
+    const auto pred = outer.b().add(Opcode::Le, 2, "i<=n");
+    outer.b().to(outer.recv(OI), pred, 0);
+    outer.b().to(outer.recv(N), pred, 1);
+    outer.setPredicate(pred);
+
+    const auto sum_in = outer.b().add(Opcode::Ident, 1, "inner sum");
+    const auto add = outer.b().add(Opcode::Add, 2);
+    outer.b().to(outer.sw(ACC), add, 0).to(sum_in, add, 1);
+    outer.b().to(add, outer.next(ACC), 0);
+    const auto inc = outer.b().add(Opcode::Add, 1);
+    outer.b().constant(inc, Value{int64_t{1}});
+    outer.b().to(outer.sw(OI), inc, 0);
+    outer.b().to(inc, outer.next(OI), 0);
+    outer.circulateUnchanged(N);
+    outer.circulateUnchanged(OM);
+
+    inner.exitTo(S, sum_in, 0);
+    {
+        const auto j0 = outer.b().add(Opcode::Lit, 1);
+        outer.b().constant(j0, Value{int64_t{1}});
+        outer.b().to(outer.sw(OI), j0, 0);
+        const auto s0 = outer.b().add(Opcode::Lit, 1);
+        outer.b().constant(s0, Value{int64_t{0}});
+        outer.b().to(outer.sw(OI), s0, 0);
+        const auto inner_cb = inner.build();
+        auto ls = LoopBuilder::entries(outer.b(), inner_cb, 1, 4);
+        outer.b().to(j0, ls[J], 0);
+        outer.b().to(s0, ls[S], 0);
+        outer.b().to(outer.sw(OM), ls[M], 0);
+        outer.b().to(outer.sw(OI), ls[I], 0);
+    }
+
+    BlockBuilder main(p, "main", 2);
+    const auto sink = main.add(Opcode::Ident, 1);
+    const auto out = main.add(Opcode::Output, 1);
+    main.to(sink, out, 0);
+    outer.exitTo(ACC, sink, 0);
+    const auto outer_cb = outer.build();
+
+    const auto one = main.add(Opcode::Lit, 1);
+    main.constant(one, Value{int64_t{1}});
+    main.to(0, one, 0);
+    const auto zero = main.add(Opcode::Lit, 1);
+    main.constant(zero, Value{int64_t{0}});
+    main.to(0, zero, 0);
+    auto ls = LoopBuilder::entries(main, outer_cb, 1, 4);
+    main.to(one, ls[OI], 0);
+    main.to(zero, ls[ACC], 0);
+    main.to(0, ls[N], 0);
+    main.to(1, ls[OM], 0);
+    return main.build();
+}
+
+TEST(EmulLoops, NestedLoops)
+{
+    graph::Program p;
+    const auto cb = buildNested(p);
+    const auto compiled = emul::compile(p, cb);
+    // sum_{i<=n} sum_{j<=m} i*j = n(n+1)/2 * m(m+1)/2.
+    for (const auto [n, m] :
+         {std::pair<int64_t, int64_t>{0, 5}, {5, 0}, {1, 1}, {4, 7}}) {
+        const std::vector<Value> in{Value{n}, Value{m}};
+        const auto rr = emul::run(compiled, in);
+        ASSERT_EQ(rr.outputs.size(), 1u);
+        EXPECT_EQ(rr.outputs[0].asInt(),
+                  n * (n + 1) / 2 * (m * (m + 1) / 2))
+            << n << "," << m;
+        EXPECT_EQ(rr.outputs, interpret(p, cb, in)) << n << "," << m;
+    }
+}
+
+/** main(n): sum of (k even ? k/2 : 3k+1) for k in [1, n] — a SWITCH
+ *  diamond whose arms merge inside the loop body. */
+std::uint16_t
+buildGatedBody(graph::Program &p)
+{
+    LoopBuilder loop(p, "gated", 3);
+    enum { K = 0, ACC = 1, HI = 2 };
+    const auto pred = loop.b().add(Opcode::Le, 2);
+    loop.b().to(loop.recv(K), pred, 0).to(loop.recv(HI), pred, 1);
+    loop.setPredicate(pred);
+
+    const auto rem = loop.b().add(Opcode::Mod, 1, "k%2");
+    loop.b().constant(rem, Value{int64_t{2}});
+    loop.b().to(loop.sw(K), rem, 0);
+    const auto even = loop.b().add(Opcode::Eq, 1, "k%2==0");
+    loop.b().constant(even, Value{int64_t{0}});
+    loop.b().to(rem, even, 0);
+
+    const auto sw = loop.b().add(Opcode::Switch, 2);
+    loop.b().to(loop.sw(K), sw, 0).to(even, sw, 1);
+    const auto half = loop.b().add(Opcode::Div, 1, "k/2");
+    loop.b().constant(half, Value{int64_t{2}});
+    loop.b().to(sw, half, 0);
+    const auto triple = loop.b().add(Opcode::Mul, 1, "3k");
+    loop.b().constant(triple, Value{int64_t{3}});
+    loop.b().to(sw, triple, 0, /*on_false=*/true);
+    const auto collatz = loop.b().add(Opcode::Add, 1, "3k+1");
+    loop.b().constant(collatz, Value{int64_t{1}});
+    loop.b().to(triple, collatz, 0);
+
+    const auto add = loop.b().add(Opcode::Add, 2, "acc+sel");
+    loop.b().to(loop.sw(ACC), add, 0);
+    loop.b().to(half, add, 1);    // merged: true arm...
+    loop.b().to(collatz, add, 1); // ...and false arm
+    loop.b().to(add, loop.next(ACC), 0);
+
+    const auto inc = loop.b().add(Opcode::Add, 1);
+    loop.b().constant(inc, Value{int64_t{1}});
+    loop.b().to(loop.sw(K), inc, 0);
+    loop.b().to(inc, loop.next(K), 0);
+    loop.circulateUnchanged(HI);
+
+    BlockBuilder main(p, "main", 1);
+    const auto sink = main.add(Opcode::Ident, 1);
+    const auto out = main.add(Opcode::Output, 1);
+    main.to(sink, out, 0);
+    loop.exitTo(ACC, sink, 0);
+    const auto loop_cb = loop.build();
+
+    const auto one = main.add(Opcode::Lit, 1);
+    main.constant(one, Value{int64_t{1}});
+    main.to(0, one, 0);
+    const auto zero = main.add(Opcode::Lit, 1);
+    main.constant(zero, Value{int64_t{0}});
+    main.to(0, zero, 0);
+    auto ls = LoopBuilder::entries(main, loop_cb, 1, 3);
+    main.to(one, ls[K], 0);
+    main.to(zero, ls[ACC], 0);
+    main.to(0, ls[HI], 0);
+    return main.build();
+}
+
+TEST(EmulLoops, SwitchGatedMergeInBody)
+{
+    graph::Program p;
+    const auto cb = buildGatedBody(p);
+    const auto compiled = emul::compile(p, cb);
+    for (const int64_t n : {0, 1, 2, 9, 40}) {
+        int64_t want = 0;
+        for (int64_t k = 1; k <= n; ++k)
+            want += (k % 2 == 0) ? k / 2 : 3 * k + 1;
+        const std::vector<Value> in{Value{n}};
+        const auto rr = emul::run(compiled, in);
+        ASSERT_EQ(rr.outputs.size(), 1u) << n;
+        EXPECT_EQ(rr.outputs[0].asInt(), want) << n;
+        EXPECT_EQ(rr.outputs, interpret(p, cb, in)) << n;
+    }
+}
+
+// ----- lane semantics ---------------------------------------------------
+
+TEST(EmulLanes, DivergentTripCounts)
+{
+    graph::Program p;
+    const auto cb = buildSum(p);
+    const auto compiled = emul::compile(p, cb);
+    ASSERT_TRUE(compiled.laneable());
+
+    const std::vector<int64_t> ns{0, 1, 5, 100, 3, 0, 17, 64};
+    emul::VaryingInput vary;
+    vary.param = 0;
+    for (const int64_t n : ns)
+        vary.values.push_back(Value{n});
+    const auto br = compiled.execute(
+        ns.size(), {Value{int64_t{0}}, Value{int64_t{0}}}, {vary});
+
+    ASSERT_EQ(br.outputs.size(), ns.size());
+    std::uint64_t scalar_fired = 0;
+    for (std::size_t l = 0; l < ns.size(); ++l) {
+        ASSERT_EQ(br.outputs[l].size(), 1u) << l;
+        EXPECT_EQ(br.outputs[l][0].asInt(), ns[l] * (ns[l] + 1) / 2)
+            << l;
+        // Lane l must match a solo scalar run bit for bit.
+        const auto rr = emul::run(
+            compiled, {Value{ns[l]}, Value{int64_t{0}}});
+        EXPECT_EQ(rr.outputs, br.outputs[l]) << l;
+        scalar_fired += rr.fired;
+    }
+    EXPECT_EQ(br.fired, scalar_fired);
+}
+
+TEST(EmulLanes, GuardDivergence)
+{
+    graph::Program p;
+    const auto cb = buildGatedBody(p);
+    const auto compiled = emul::compile(p, cb);
+    ASSERT_TRUE(compiled.laneable());
+
+    emul::VaryingInput vary;
+    vary.param = 0;
+    for (const int64_t n : {0, 3, 4, 11})
+        vary.values.push_back(Value{n});
+    const auto br = compiled.execute(4, {Value{int64_t{0}}}, {vary});
+    ASSERT_EQ(br.outputs.size(), 4u);
+    std::size_t l = 0;
+    for (const int64_t n : {0, 3, 4, 11}) {
+        int64_t want = 0;
+        for (int64_t k = 1; k <= n; ++k)
+            want += (k % 2 == 0) ? k / 2 : 3 * k + 1;
+        ASSERT_EQ(br.outputs[l].size(), 1u) << l;
+        EXPECT_EQ(br.outputs[l][0].asInt(), want) << l;
+        ++l;
+    }
+}
+
+TEST(EmulLanes, FireCountsSumOverLanes)
+{
+    graph::Program p;
+    const auto cb = buildSum(p);
+    const auto compiled = emul::compile(p, cb);
+
+    emul::RunOptions opts;
+    opts.countFires = true;
+    emul::VaryingInput vary;
+    vary.param = 0;
+    for (const int64_t n : {2, 6})
+        vary.values.push_back(Value{n});
+    const auto br = compiled.execute(
+        2, {Value{int64_t{0}}, Value{int64_t{0}}}, {vary}, opts);
+
+    std::vector<std::uint64_t> want;
+    for (const int64_t n : {2, 6}) {
+        const auto rr = emul::run(
+            compiled, {Value{n}, Value{int64_t{0}}}, opts);
+        if (want.empty())
+            want = rr.fireCounts;
+        else
+            for (std::size_t i = 0; i < want.size(); ++i)
+                want[i] += rr.fireCounts[i];
+    }
+    EXPECT_EQ(br.fireCounts, want);
+}
+
+TEST(EmulLanes, EmptyBatch)
+{
+    graph::Program p;
+    const auto cb = buildSum(p);
+    const auto compiled = emul::compile(p, cb);
+    const auto br = compiled.execute(
+        0, {Value{int64_t{3}}, Value{int64_t{0}}}, {});
+    EXPECT_TRUE(br.outputs.empty());
+    EXPECT_EQ(br.fired, 0u);
+}
+
+} // namespace
