@@ -75,19 +75,26 @@ finish(std::string name, std::uint64_t cycles, std::uint64_t items,
  *  shard count (simCycles is identical at any thread count — the
  *  engine is deterministic; only hostMs varies). */
 Result
-ttdaConfig(const id::Compiled &compiled, const std::string &name,
-           sim::Cycle net_latency, std::int64_t n,
-           std::uint32_t pes = 4, std::uint32_t threads = 1)
+ttdaConfig(bench::SimOptions &opts, const id::Compiled &compiled,
+           const std::string &name, sim::Cycle net_latency,
+           std::int64_t n, std::uint32_t pes = 4,
+           std::uint32_t threads = 1,
+           sim::MetricsRecorder *metrics = nullptr)
 {
     ttda::MachineConfig cfg;
     cfg.numPEs = pes;
     cfg.threads = threads;
     cfg.netLatency = net_latency;
+    // The "_metrics" A/A overhead row's own recorder: sampled but
+    // never exported — the row exists to price the sampling itself.
+    cfg.metrics = metrics;
     std::uint64_t cycles = 0;
     std::uint64_t fired = 0;
     const double ms = bestMs([&] {
+        if (cfg.metrics)
+            cfg.metrics->reset(); // each rep restarts at cycle 0
         auto run = bench::runTtda(compiled, cfg,
-                                  {graph::Value{n}});
+                                  {graph::Value{n}}, &opts);
         cycles = run.cycles;
         fired = run.fired;
     });
@@ -96,8 +103,9 @@ ttdaConfig(const id::Compiled &compiled, const std::string &name,
 
 /** One blocking-vN trace run (k contexts) at a given latency. */
 Result
-vnConfig(const std::string &name, std::uint32_t contexts,
-         sim::Cycle net_latency, std::uint64_t references)
+vnConfig(bench::SimOptions &opts, const std::string &name,
+         std::uint32_t contexts, sim::Cycle net_latency,
+         std::uint64_t references)
 {
     vn::VnMachineConfig cfg;
     cfg.numCores = 4;
@@ -105,6 +113,7 @@ vnConfig(const std::string &name, std::uint32_t contexts,
     cfg.netLatency = net_latency;
     cfg.core.numContexts = contexts;
     cfg.wordsPerModule = 4096;
+    opts.apply(cfg);
     std::uint64_t cycles = 0;
     std::uint64_t instrs = 0;
     const double ms = bestMs([&] {
@@ -113,6 +122,8 @@ vnConfig(const std::string &name, std::uint32_t contexts,
         instrs = 0;
         for (std::uint32_t c = 0; c < m.numCores(); ++c)
             instrs += m.core(c).stats().instructions.value();
+        opts.writeStatsJson(m);
+        opts.writeMetrics(name);
     });
     return finish(name, cycles, instrs, ms);
 }
@@ -149,7 +160,9 @@ writeJson(const std::vector<Result> &results, const std::string &path)
 int
 main(int argc, char **argv)
 {
-    const std::string out = argc > 1 ? argv[1] : "BENCH_core.json";
+    bench::SimOptions opts(argc, argv);
+    const std::string out =
+        opts.args.size() > 1 ? opts.args[1] : "BENCH_core.json";
 
     // The E1 workload: 24 independent row pipelines over an
     // I-structure array — enough parallelism that the machine is never
@@ -190,13 +203,24 @@ main(int argc, char **argv)
     )");
 
     std::vector<Result> results;
-    results.push_back(ttdaConfig(compiled, "ttda_net2", 2, 24));
-    results.push_back(ttdaConfig(compiled, "ttda_net64", 64, 24));
-    results.push_back(ttdaConfig(compiled, "ttda_net256", 256, 24));
-    results.push_back(ttdaConfig(serial, "ttda_serial_net256", 256, 400));
-    results.push_back(vnConfig("vn_blocking_net64", 1, 64, 2000));
-    results.push_back(vnConfig("vn_blocking_net256", 1, 256, 2000));
-    results.push_back(vnConfig("vn_k8_net64", 8, 64, 2000));
+    results.push_back(ttdaConfig(opts, compiled, "ttda_net2", 2, 24));
+    results.push_back(ttdaConfig(opts, compiled, "ttda_net64", 64, 24));
+    results.push_back(
+        ttdaConfig(opts, compiled, "ttda_net256", 256, 24));
+    results.push_back(
+        ttdaConfig(opts, serial, "ttda_serial_net256", 256, 400));
+    results.push_back(vnConfig(opts, "vn_blocking_net64", 1, 64, 2000));
+    results.push_back(
+        vnConfig(opts, "vn_blocking_net256", 1, 256, 2000));
+    results.push_back(vnConfig(opts, "vn_k8_net64", 8, 64, 2000));
+
+    // A/A overhead row: ttda_net64's exact config with a metrics
+    // recorder sampling at the default interval. Compare against
+    // ttda_net64 to price the sampling; bench_guard.sh treats
+    // "_metrics"-suffixed rows as informational (no floor gating).
+    sim::MetricsRecorder aaRecorder;
+    results.push_back(ttdaConfig(opts, compiled, "ttda_net64_metrics",
+                                 64, 24, 4, 1, &aaRecorder));
 
     // Thread-scaling sweep for the deterministic parallel engine: a
     // 64-PE machine sharded over 1/2/4/8 host threads at each network
@@ -207,7 +231,7 @@ main(int argc, char **argv)
                                  sim::Cycle{256}}) {
         for (const std::uint32_t t : {1u, 2u, 4u, 8u}) {
             results.push_back(ttdaConfig(
-                compiled,
+                opts, compiled,
                 "ttda_pe64_net" + std::to_string(lat) + "_t" +
                     std::to_string(t),
                 lat, 24, 64, t));

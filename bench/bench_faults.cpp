@@ -85,12 +85,16 @@ planAt(double rate)
 }
 
 Result
-ttdaConfig(const id::Compiled &compiled, const std::string &name,
-           double rate, bool reliable, std::int64_t n)
+ttdaConfig(bench::SimOptions &opts, const id::Compiled &compiled,
+           const std::string &name, double rate, bool reliable,
+           std::int64_t n)
 {
     ttda::MachineConfig cfg;
     cfg.numPEs = 4;
     cfg.netLatency = 2;
+    opts.apply(cfg);
+    // The sweep's own fault matrix wins over --fault-seed/--reliable:
+    // the sweep *is* the benchmark.
     cfg.faults = planAt(rate);
     cfg.reliableNet = reliable;
 
@@ -110,13 +114,16 @@ ttdaConfig(const id::Compiled &compiled, const std::string &name,
             r.retransmits = rel->relStats().retransmits.value();
         if (m.deadlocked())
             std::cout << m.deadlockReport();
+        opts.writeStatsJson(m);
+        opts.writeProfile(m);
+        opts.writeMetrics(name); // resets for the next rep/row
     });
     return r;
 }
 
 Result
-vnConfig(const std::string &name, double rate, bool reliable,
-         std::uint64_t references)
+vnConfig(bench::SimOptions &opts, const std::string &name,
+         double rate, bool reliable, std::uint64_t references)
 {
     vn::VnMachineConfig cfg;
     cfg.numCores = 4;
@@ -124,6 +131,7 @@ vnConfig(const std::string &name, double rate, bool reliable,
     cfg.netLatency = 8;
     cfg.core.numContexts = 1;
     cfg.wordsPerModule = 4096;
+    opts.apply(cfg);
     cfg.faults = planAt(rate);
     cfg.reliableNet = reliable;
 
@@ -143,6 +151,8 @@ vnConfig(const std::string &name, double rate, bool reliable,
             r.retransmits = rs->retransmits.value();
         if (m.deadlocked())
             std::cout << m.deadlockReport();
+        opts.writeStatsJson(m);
+        opts.writeMetrics(name);
     });
     return r;
 }
@@ -185,7 +195,9 @@ writeJson(const std::vector<Result> &results, const std::string &path)
 int
 main(int argc, char **argv)
 {
-    const std::string out = argc > 1 ? argv[1] : "BENCH_faults.json";
+    bench::SimOptions opts(argc, argv);
+    const std::string out =
+        opts.args.size() > 1 ? opts.args[1] : "BENCH_faults.json";
 
     // The bench_core row-pipeline workload at a size where a single
     // lost token is overwhelmingly likely to strand a pipeline.
@@ -217,12 +229,13 @@ main(int argc, char **argv)
     std::vector<Result> results;
     for (const auto &[rate, tag] : rates) {
         results.push_back(ttdaConfig(
-            compiled, "ttda_drop" + tag, rate, false, 12));
+            opts, compiled, "ttda_drop" + tag, rate, false, 12));
         results.push_back(ttdaConfig(
-            compiled, "ttda_rel_drop" + tag, rate, true, 12));
-        results.push_back(vnConfig("vn_drop" + tag, rate, false, 500));
+            opts, compiled, "ttda_rel_drop" + tag, rate, true, 12));
         results.push_back(
-            vnConfig("vn_rel_drop" + tag, rate, true, 500));
+            vnConfig(opts, "vn_drop" + tag, rate, false, 500));
+        results.push_back(
+            vnConfig(opts, "vn_rel_drop" + tag, rate, true, 500));
     }
 
     // Slowdown relative to the same variant's zero-fault run (the

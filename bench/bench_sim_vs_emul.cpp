@@ -110,12 +110,17 @@ main(int argc, char **argv)
         const auto t0 = std::chrono::steady_clock::now();
         auto sim_out = m.run();
         const auto t1 = std::chrono::steady_clock::now();
+        // Flush (and reset) per-run observability now: the recorder
+        // is shared with the emulation tiers below, whose pseudo-time
+        // restarts from zero.
+        opts.writeProfile(m);
+        opts.writeMetrics(c.name);
         const double sim_rate = static_cast<double>(m.totalFired()) /
                                 std::max(seconds(t0, t1), 1e-9);
 
         for (const auto mode : opts.emulModes()) {
             const auto r = bench::runEmulTier(compiled, mode,
-                                              c.inputs);
+                                              c.inputs, 64, &opts);
             if (!r.supported) {
                 t.addRow({c.name, bench::emulModeName(mode),
                           "n/a (residual calls)", "-", "-", "-", "-"});

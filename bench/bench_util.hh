@@ -11,14 +11,18 @@
 #include <chrono>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/fault.hh"
 #include "common/logging.hh"
+#include "common/metrics.hh"
 #include "common/table.hh"
 #include "common/trace.hh"
+#include "graph/profile.hh"
 #include "emul/compile.hh"
 #include "emul/vm.hh"
 #include "id/codegen.hh"
@@ -77,9 +81,25 @@ emulModeName(EmulMode m)
  *                       VM), or lanes (lane-batched VM); benches that
  *                       compare tiers run all three unless this
  *                       restricts them
+ *   --metrics[=N]       sample a deterministic time series (per-PE /
+ *                       per-core activity, queue depths, backlogs)
+ *                       every N sim-cycles (default 1024); the series
+ *                       is bit-identical for any --threads value
+ *   --metrics-json=FILE write the time series as JSON (default:
+ *                       stdout when --metrics is given without a file)
+ *   --metrics-csv=FILE  also write the time series as CSV
+ *   --profile[=N]       attribute fires and cycles to source
+ *                       instructions and print the top N (default 20)
+ *                       hottest after the run
+ *   --profile-folded=FILE
+ *                       write the profile as collapsed stacks
+ *                       (flamegraph.pl / speedscope input), folding
+ *                       the static-call chain
  *
  * Recognised flags are consumed; everything else (argv[0] first) stays
  * in `args`, so a binary's positional-argument parsing is unchanged.
+ * Unknown `--flags` are rejected with a fatal diagnostic — a typo'd
+ * option must not silently become a positional argument.
  */
 class SimOptions
 {
@@ -129,12 +149,45 @@ class SimOptions
                                "lanes (got '{}')",
                                std::string(mode));
                 emulModeSet_ = true;
+            } else if (arg == "--metrics") {
+                metricsEnabled_ = true;
+            } else if (arg.rfind("--metrics=", 0) == 0) {
+                metricsEnabled_ = true;
+                metricsInterval_ = static_cast<sim::Cycle>(
+                    std::stoull(std::string(arg.substr(10))));
+                if (metricsInterval_ == 0)
+                    sim::fatal("--metrics interval must be >= 1");
+            } else if (arg.rfind("--metrics-json=", 0) == 0) {
+                metricsEnabled_ = true;
+                metricsJsonPath_ = std::string(arg.substr(15));
+            } else if (arg.rfind("--metrics-csv=", 0) == 0) {
+                metricsEnabled_ = true;
+                metricsCsvPath_ = std::string(arg.substr(14));
+            } else if (arg == "--profile") {
+                profile_ = true;
+            } else if (arg.rfind("--profile=", 0) == 0) {
+                profile_ = true;
+                profileTopN_ = static_cast<std::size_t>(
+                    std::stoull(std::string(arg.substr(10))));
+            } else if (arg.rfind("--profile-folded=", 0) == 0) {
+                profile_ = true;
+                profileFoldedPath_ = std::string(arg.substr(17));
+            } else if (arg.size() > 2 && arg.rfind("--", 0) == 0) {
+                sim::fatal("unknown flag '{}' (shared flags: --trace, "
+                           "--trace-cats, --stats-json, --threads, "
+                           "--seed, --fault-seed, --fault-plan, "
+                           "--reliable, --emul, --metrics, "
+                           "--metrics-json, --metrics-csv, --profile, "
+                           "--profile-folded)",
+                           std::string(arg));
             } else {
                 args.push_back(argv[i]);
             }
         }
         if (!tracePath_.empty())
             tracer.open(tracePath_, mask);
+        if (metricsEnabled_)
+            metrics_.emplace(metricsInterval_);
     }
 
     /** Hand the tracer to a machine about to be constructed. */
@@ -149,6 +202,10 @@ class SimOptions
             cfg.latencyStats = true;
         if (threadsSet_)
             cfg.threads = threads_;
+        if (metrics_)
+            cfg.metrics = &*metrics_;
+        if (profile_)
+            cfg.profile = true;
         applyCommon(cfg);
     }
 
@@ -159,6 +216,8 @@ class SimOptions
             cfg.tracer = &tracer;
         if (threadsSet_)
             cfg.threads = threads_;
+        if (metrics_)
+            cfg.metrics = &*metrics_;
         applyCommon(cfg);
     }
 
@@ -167,6 +226,16 @@ class SimOptions
     bool reliable() const { return reliable_; }
     EmulMode emulMode() const { return emulMode_; }
     bool emulModeSet() const { return emulModeSet_; }
+
+    bool metricsEnabled() const { return metrics_.has_value(); }
+    /** The recorder behind --metrics (null when not requested). */
+    sim::MetricsRecorder *
+    metrics()
+    {
+        return metrics_ ? &*metrics_ : nullptr;
+    }
+    bool profileRequested() const { return profile_; }
+    std::size_t profileTopN() const { return profileTopN_; }
 
     /** The tiers a comparison bench should run: the selected one, or
      *  all three when --emul was not given. */
@@ -189,6 +258,83 @@ class SimOptions
         if (!os)
             sim::fatal("cannot open stats output '{}'", statsPath_);
         machine.dumpStatsJson(os);
+    }
+
+    /** Dedicated Perfetto process for exportCounters tracks — far
+     *  above any per-PE/per-core pid a machine allocates. */
+    static constexpr std::uint32_t kMetricsPid = 9990;
+
+    /**
+     * Export the recorded time series: JSON to --metrics-json (stdout
+     * when --metrics was given without a file), CSV to --metrics-csv,
+     * and counter tracks into the active tracer; then reset the
+     * recorder so the next run in the same binary starts a fresh
+     * series. A multi-run bench writing to files should pass distinct
+     * paths or accept last-run-wins. No-op without --metrics.
+     */
+    void
+    writeMetrics(std::string_view runName = {})
+    {
+        if (!metrics_)
+            return;
+        if (!metricsJsonPath_.empty()) {
+            std::ofstream os(metricsJsonPath_);
+            if (!os)
+                sim::fatal("cannot open metrics output '{}'",
+                           metricsJsonPath_);
+            metrics_->dumpJson(os);
+        } else {
+            if (!runName.empty())
+                std::cout << "metrics (" << runName << "):\n";
+            metrics_->dumpJson(std::cout);
+        }
+        if (!metricsCsvPath_.empty()) {
+            std::ofstream os(metricsCsvPath_);
+            if (!os)
+                sim::fatal("cannot open metrics output '{}'",
+                           metricsCsvPath_);
+            metrics_->dumpCsv(os);
+        }
+        if (tracer.active()) {
+            tracer.processName(kMetricsPid, "metrics");
+            metrics_->exportCounters(tracer, kMetricsPid);
+        }
+        metrics_->reset();
+    }
+
+    /** Print the hot-instruction report and write the folded
+     *  (flamegraph) file for a machine run. No-op without --profile. */
+    void
+    writeProfile(const ttda::Machine &m)
+    {
+        if (!profile_)
+            return;
+        m.dumpProfile(std::cout, profileTopN_);
+        if (!profileFoldedPath_.empty()) {
+            std::ofstream os(profileFoldedPath_);
+            if (!os)
+                sim::fatal("cannot open profile output '{}'",
+                           profileFoldedPath_);
+            m.dumpFolded(os);
+        }
+    }
+
+    /** The same reports for an emulation tier's per-source fire
+     *  counts (see emul::toProfile). */
+    void
+    writeProfile(const graph::Program &program,
+                 const graph::InstrProfile &profile)
+    {
+        if (!profile_)
+            return;
+        graph::writeTopN(std::cout, program, profile, profileTopN_);
+        if (!profileFoldedPath_.empty()) {
+            std::ofstream os(profileFoldedPath_);
+            if (!os)
+                sim::fatal("cannot open profile output '{}'",
+                           profileFoldedPath_);
+            graph::writeFolded(os, program, profile);
+        }
     }
 
     sim::Tracer tracer;
@@ -227,6 +373,14 @@ class SimOptions
     bool reliable_ = false;
     EmulMode emulMode_ = EmulMode::Interp;
     bool emulModeSet_ = false;
+    bool metricsEnabled_ = false;
+    sim::Cycle metricsInterval_ = 1024;
+    std::string metricsJsonPath_;
+    std::string metricsCsvPath_;
+    std::optional<sim::MetricsRecorder> metrics_;
+    bool profile_ = false;
+    std::size_t profileTopN_ = 20;
+    std::string profileFoldedPath_;
 };
 
 /**
@@ -262,18 +416,23 @@ struct EmulTierRun
  * Run `compiled`'s program through one emulation tier. Lanes mode
  * runs `batch` identical contexts and reports per-context time and
  * firings (falls back to supported=false when the program has
- * residual calls).
+ * residual calls). When `opts` is given, --profile prints the tier's
+ * per-source fire attribution (cycles are zero — these tiers are
+ * untimed) and --metrics samples lane occupancy in lanes mode.
  */
 inline EmulTierRun
 runEmulTier(const id::Compiled &compiled, EmulMode mode,
             const std::vector<graph::Value> &inputs,
-            std::size_t batch = 64)
+            std::size_t batch = 64, SimOptions *opts = nullptr)
 {
     using Clock = std::chrono::steady_clock;
+    const bool profiling = opts && opts->profileRequested();
     EmulTierRun r;
     if (mode == EmulMode::Interp) {
         const auto t0 = Clock::now();
         ttda::Emulator emu(compiled.program);
+        if (profiling)
+            emu.enableFireCounts();
         for (std::size_t p = 0; p < inputs.size(); ++p)
             emu.input(compiled.startCb,
                       static_cast<std::uint16_t>(p), inputs[p]);
@@ -282,6 +441,9 @@ runEmulTier(const id::Compiled &compiled, EmulMode mode,
         r.fired = emu.stats().fired;
         r.seconds =
             std::chrono::duration<double>(Clock::now() - t0).count();
+        if (profiling)
+            opts->writeProfile(compiled.program,
+                               emul::toProfile(emu.fireCounts()));
         return r;
     }
 
@@ -291,20 +453,35 @@ runEmulTier(const id::Compiled &compiled, EmulMode mode,
         r.supported = false;
         return r;
     }
+    emul::RunOptions ropts;
+    ropts.countFires = profiling;
     const auto t0 = Clock::now();
     if (mode == EmulMode::Compiled) {
-        auto rr = emul::run(prog, inputs);
+        auto rr = emul::run(prog, inputs, ropts);
         r.outputs = std::move(rr.outputs);
         r.fired = rr.fired;
         r.seconds =
             std::chrono::duration<double>(Clock::now() - t0).count();
+        if (profiling)
+            opts->writeProfile(compiled.program,
+                               emul::toProfile(
+                                   std::move(rr.fireCounts)));
     } else {
-        auto br = prog.execute(batch, inputs, {});
+        if (opts)
+            ropts.metrics = opts->metrics();
+        auto br = prog.execute(batch, inputs, {}, ropts);
         r.outputs = std::move(br.outputs.at(0));
         r.fired = br.fired / batch;
         r.seconds =
             std::chrono::duration<double>(Clock::now() - t0).count() /
             static_cast<double>(batch);
+        if (profiling)
+            opts->writeProfile(compiled.program,
+                               emul::toProfile(
+                                   std::move(br.fireCounts)));
+        if (opts)
+            opts->writeMetrics(
+                sim::format("lanes x{}", batch));
     }
     return r;
 }
@@ -335,8 +512,11 @@ runTtda(const id::Compiled &compiled, ttda::MachineConfig cfg,
         m.input(compiled.startCb, static_cast<std::uint16_t>(p),
                 inputs[p]);
     auto out = m.run();
-    if (opts)
+    if (opts) {
         opts->writeStatsJson(m);
+        opts->writeProfile(m);
+        opts->writeMetrics();
+    }
     TtdaRun r;
     if (!out.empty())
         r.value = out[0].value.isReal() ? out[0].value.asReal()

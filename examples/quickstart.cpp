@@ -6,7 +6,8 @@
  *
  * Usage: quickstart [a b n numPEs]     (defaults: 0 2 128 8)
  * Observability flags: --trace=FILE --trace-cats=LIST
- * --stats-json=FILE (see bench::SimOptions).
+ * --stats-json=FILE --metrics[=N] --profile[=N]
+ * (see bench::SimOptions).
  */
 
 #include <cstdlib>
@@ -76,6 +77,8 @@ main(int argc, char **argv)
     machine.input(compiled.startCb, 2, graph::Value{n});
     auto sim_out = machine.run();
     opts.writeStatsJson(machine);
+    opts.writeProfile(machine);
+    opts.writeMetrics();
 
     // A --fault-seed/--fault-plan run on the bare machine can strand
     // its tokens: no result to tabulate, but the forensics say why.

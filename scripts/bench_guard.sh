@@ -13,6 +13,9 @@
 #
 # Configs present in only one of the two files (new benchmarks, or a
 # renamed baseline entry) are reported but do not fail the guard.
+# "_metrics"-suffixed rows (metrics-sampling A/A overhead twins) are
+# informational only; their metrics-off twin rows keep the gating
+# floor, so a metrics-off regression still fails.
 #
 # Usage: scripts/bench_guard.sh [build-dir] [threshold-pct]
 #   build-dir      default: build-bench (created if needed)
@@ -100,6 +103,14 @@ for name, base in sorted(baseline.items()):
     cur = current.get(name)
     if cur is None:
         print(f"bench_guard: note: baseline config '{name}' not in current run")
+        continue
+    if name.endswith("_metrics"):
+        # A/A observability rows measure the metrics recorder's
+        # sampling overhead against their metrics-off twin; they are
+        # informational, never gating — the twin row keeps the floor.
+        ratio = cur["hostMs"] / base["hostMs"] if base["hostMs"] > 0 else 1.0
+        print(f"bench_guard: info {name:24} "
+              f"{base['hostMs']:9.2f}ms -> {cur['hostMs']:9.2f}ms  ({ratio:5.2f}x)")
         continue
     if cur["simCycles"] != base["simCycles"]:
         # A simCycles change is a timing-model change, not a perf

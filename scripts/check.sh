@@ -71,15 +71,45 @@ if bad:
     sys.exit(f"fault smoke: wrong completion for {', '.join(bad)}")
 EOF
 
+# --- Metrics + profiler smoke --------------------------------------
+# 5. A quickstart run with time-series sampling and the hot-spot
+#    profiler on must emit a well-formed metrics document with
+#    nonzero samples, a parseable CSV, and a non-empty collapsed-
+#    stack (flamegraph) file whose every line ends in a weight.
+"$BUILD_DIR/examples/quickstart" \
+    --metrics=256 --metrics-json="$OBS_DIR/metrics.json" \
+    --metrics-csv="$OBS_DIR/metrics.csv" \
+    --profile --profile-folded="$OBS_DIR/profile.folded" > /dev/null
+python3 - "$OBS_DIR/metrics.json" "$OBS_DIR/metrics.csv" \
+    "$OBS_DIR/profile.folded" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["samplesRecorded"] > 0, "no metrics samples recorded"
+assert doc["cycles"], "empty cycle axis"
+assert doc["series"], "no series registered"
+for name, s in doc["series"].items():
+    assert len(s["values"]) == len(doc["cycles"]), f"ragged row: {name}"
+assert any(s["values"][-1] > 0 for s in doc["series"].values()), \
+    "every series is identically zero"
+header, *rows = open(sys.argv[2]).read().splitlines()
+assert header.startswith("cycle,"), header
+assert len(rows) == len(doc["cycles"]), "CSV rows != JSON rows"
+folded = open(sys.argv[3]).read().splitlines()
+assert folded, "empty folded profile"
+for line in folded:
+    stack, _, weight = line.rpartition(" ")
+    assert stack and weight.isdigit() and int(weight) > 0, line
+EOF
+
 # --- Compiled-tier differential fuzz -------------------------------
-# 5. The emul test binary's randomized differential suite (interpreter
+# 6. The emul test binary's randomized differential suite (interpreter
 #    vs threaded-code scalar VM vs 4-lane batched VM, bit-exact) runs
 #    again explicitly under ASan/UBSan: the lane VM's SoA register
 #    columns and mask juggling are exactly the kind of code the
 #    sanitizers exist for. ctest above already ran these; this gate
 #    keeps them from being filtered out quietly.
 "$BUILD_DIR/tests/test_emul" \
-    --gtest_filter='EmulFuzz.*:EmulWorkloads.*:EmulStructure.*' \
+    --gtest_filter='EmulFuzz.*:EmulWorkloads.*:EmulStructure.*:Profile.*' \
     > /dev/null
 
 # --- Optional throughput guard -------------------------------------

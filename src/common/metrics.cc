@@ -1,0 +1,184 @@
+#include "common/metrics.hh"
+
+#include "common/logging.hh"
+#include "common/stats.hh" // detail::jsonNumber
+#include "common/trace.hh"
+
+namespace sim
+{
+
+MetricsRecorder::MetricsRecorder(Cycle interval, std::size_t capacity)
+    : interval_(interval), effInterval_(interval), capacity_(capacity)
+{
+    SIM_ASSERT_MSG(interval >= 1, "metrics interval must be >= 1");
+    SIM_ASSERT_MSG(capacity >= 2, "metrics capacity must be >= 2");
+}
+
+MetricsRecorder::SeriesId
+MetricsRecorder::registerSeries(std::string_view name, Kind kind)
+{
+    for (SeriesId id = 0; id < series_.size(); ++id)
+        if (series_[id].name == name)
+            return id;
+    SIM_ASSERT_MSG(times_.empty(),
+                   "metrics series '{}' registered after sampling "
+                   "began; rows would be ragged",
+                   std::string(name));
+    Series s;
+    s.name = std::string(name);
+    s.kind = kind;
+    series_.push_back(std::move(s));
+    return static_cast<SeriesId>(series_.size() - 1);
+}
+
+MetricsRecorder::SeriesId
+MetricsRecorder::gauge(std::string_view name)
+{
+    return registerSeries(name, Kind::Gauge);
+}
+
+MetricsRecorder::SeriesId
+MetricsRecorder::rate(std::string_view name)
+{
+    return registerSeries(name, Kind::Rate);
+}
+
+void
+MetricsRecorder::record(Cycle now)
+{
+    SIM_ASSERT_MSG(times_.empty() || now >= times_.back(),
+                   "metrics rows must be recorded in cycle order");
+    times_.push_back(now);
+    for (Series &s : series_)
+        s.values.push_back(s.current);
+    ++samplesRecorded_;
+    // Next boundary on the interval grid strictly after `now`: the
+    // grid keeps timestamps aligned however many cycles the
+    // event-driven scheduler skipped past the previous boundary.
+    nextDue_ = (now / effInterval_ + 1) * effInterval_;
+    if (times_.size() >= capacity_)
+        decimate();
+}
+
+void
+MetricsRecorder::decimate()
+{
+    // Keep even-indexed rows: index 0 (the first sample) survives
+    // every halving. Rates stay exact because rows hold cumulative
+    // counter readings, which remain true at the surviving stamps.
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < times_.size(); i += 2, ++kept) {
+        times_[kept] = times_[i];
+        for (Series &s : series_)
+            s.values[kept] = s.values[i];
+    }
+    times_.resize(kept);
+    for (Series &s : series_)
+        s.values.resize(kept);
+    effInterval_ *= 2;
+    nextDue_ = (times_.back() / effInterval_ + 1) * effInterval_;
+}
+
+void
+MetricsRecorder::finalize(Cycle now)
+{
+    if (!times_.empty() && times_.back() == now)
+        return;
+    record(now);
+    if (times_.back() != now) {
+        // The append crossed capacity and decimation dropped the
+        // odd-indexed final row. The series must still end at the
+        // run's end state, so re-append it (already counted in
+        // samplesRecorded_ by record()).
+        times_.push_back(now);
+        for (Series &s : series_)
+            s.values.push_back(s.current);
+    }
+}
+
+void
+MetricsRecorder::reset()
+{
+    times_.clear();
+    for (Series &s : series_) {
+        s.values.clear();
+        s.current = 0.0;
+    }
+    effInterval_ = interval_;
+    nextDue_ = 0;
+    samplesRecorded_ = 0;
+}
+
+double
+MetricsRecorder::rateAt(const Series &s, std::size_t row) const
+{
+    if (row == 0) {
+        const Cycle dt = times_[0];
+        return dt ? s.values[0] / static_cast<double>(dt)
+                  : s.values[0];
+    }
+    const Cycle dt = times_[row] - times_[row - 1];
+    if (dt == 0)
+        return 0.0;
+    return (s.values[row] - s.values[row - 1]) /
+           static_cast<double>(dt);
+}
+
+void
+MetricsRecorder::dumpJson(std::ostream &os) const
+{
+    os << "{\"interval\":" << interval_
+       << ",\"effectiveInterval\":" << effInterval_
+       << ",\"samplesRecorded\":" << samplesRecorded_
+       << ",\"cycles\":[";
+    for (std::size_t i = 0; i < times_.size(); ++i)
+        os << (i ? "," : "") << times_[i];
+    os << "],\"series\":{";
+    for (std::size_t sidx = 0; sidx < series_.size(); ++sidx) {
+        const Series &s = series_[sidx];
+        os << (sidx ? "," : "") << '"' << s.name << "\":{\"kind\":\""
+           << (s.kind == Kind::Rate ? "rate" : "gauge")
+           << "\",\"values\":[";
+        for (std::size_t i = 0; i < s.values.size(); ++i) {
+            if (i)
+                os << ',';
+            detail::jsonNumber(os, s.values[i]);
+        }
+        os << "]}";
+    }
+    os << "}}\n";
+}
+
+void
+MetricsRecorder::dumpCsv(std::ostream &os) const
+{
+    os << "cycle";
+    for (const Series &s : series_)
+        os << ',' << s.name;
+    os << '\n';
+    for (std::size_t row = 0; row < times_.size(); ++row) {
+        os << times_[row];
+        for (const Series &s : series_) {
+            char buf[40];
+            std::snprintf(buf, sizeof buf, "%.17g", s.values[row]);
+            os << ',' << buf;
+        }
+        os << '\n';
+    }
+}
+
+void
+MetricsRecorder::exportCounters(Tracer &tracer,
+                                std::uint32_t pid) const
+{
+    for (std::size_t row = 0; row < times_.size(); ++row) {
+        for (const Series &s : series_) {
+            const double v = s.kind == Kind::Rate
+                                 ? rateAt(s, row)
+                                 : s.values[row];
+            tracer.counter(Tracer::Sched, pid, s.name, times_[row], v);
+        }
+    }
+}
+
+} // namespace sim

@@ -47,6 +47,20 @@ jsonNumber(std::ostream &os, double v)
     os << buf;
 }
 
+/** Conventional percentile key for a quantile: 0.5 -> "p50",
+ *  0.99 -> "p99", 0.999 -> "p999" (tenths fold into the digits). */
+inline std::string
+quantileKey(double q)
+{
+    char buf[16];
+    std::snprintf(buf, sizeof buf, "%g", q * 100.0);
+    std::string key = "p";
+    for (const char *c = buf; *c; ++c)
+        if (*c != '.')
+            key += *c;
+    return key;
+}
+
 } // namespace detail
 
 /** A monotonically increasing event counter. */
@@ -238,9 +252,19 @@ class Histogram
         return static_cast<double>(bins_.size()) * binWidth_;
     }
 
-    /** One JSON object: bin array, underflow, and summary moments. */
+    /** The quantiles dumpJson reports (tail-latency set by default).
+     *  Values must lie in [0, 1]; the keys follow the percentile
+     *  convention (0.999 -> "p999"). */
+    static constexpr double kDefaultQuantiles[] = {0.5, 0.9, 0.99,
+                                                   0.999};
+
+    /** One JSON object: bin array, underflow, summary moments, and
+     *  one "pNN" key per requested quantile. */
     void
-    dumpJson(std::ostream &os) const
+    dumpJson(std::ostream &os,
+             const std::vector<double> &quantiles = {
+                 std::begin(kDefaultQuantiles),
+                 std::end(kDefaultQuantiles)}) const
     {
         os << "{\"binWidth\":";
         detail::jsonNumber(os, binWidth_);
@@ -252,10 +276,10 @@ class Histogram
         detail::jsonNumber(os, acc_.min());
         os << ",\"max\":";
         detail::jsonNumber(os, acc_.max());
-        os << ",\"p50\":";
-        detail::jsonNumber(os, quantile(0.5));
-        os << ",\"p99\":";
-        detail::jsonNumber(os, quantile(0.99));
+        for (const double q : quantiles) {
+            os << ",\"" << detail::quantileKey(q) << "\":";
+            detail::jsonNumber(os, quantile(q));
+        }
         os << ",\"bins\":[";
         for (std::size_t i = 0; i < bins_.size(); ++i)
             os << (i ? "," : "") << bins_[i];

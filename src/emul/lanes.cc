@@ -38,6 +38,11 @@ class LaneVm
         outputs_.resize(n);
         if (opts.countFires)
             fireCounts_.assign(prog.srcIndexSpace(), 0);
+        if (opts.metrics) {
+            metrics_ = opts.metrics;
+            mActive_ = metrics_->gauge("lanes.active");
+            mUtil_ = metrics_->gauge("lanes.utilization");
+        }
     }
 
     void
@@ -205,6 +210,10 @@ class LaneVm
     std::uint64_t fired_ = 0;
     StructureEngine::Served served_;
 
+    sim::MetricsRecorder *metrics_ = nullptr;
+    sim::MetricsRecorder::SeriesId mActive_ = 0;
+    sim::MetricsRecorder::SeriesId mUtil_ = 0;
+
     struct GuardFrame
     {
         std::vector<std::uint8_t> mask;
@@ -240,6 +249,16 @@ LaneVm::run()
                 SIM_ASSERT(I.src != kNoSrc);
                 fireCounts_[I.src] += activeCount_;
             }
+        }
+        // Active-lane utilization over executed-instruction
+        // pseudo-time (the lane VM has no cycle clock). Deterministic:
+        // `executed` and the mask evolve identically run to run.
+        if (metrics_ && metrics_->due(executed)) {
+            metrics_->set(mActive_,
+                          static_cast<double>(activeCount_));
+            metrics_->set(mUtil_, static_cast<double>(activeCount_) /
+                                      static_cast<double>(n_));
+            metrics_->record(executed);
         }
 
         switch (I.op) {
@@ -604,6 +623,8 @@ LaneVm::run()
             break;
 
           case Op::Halt: {
+            if (metrics_)
+                metrics_->finalize(executed);
             BatchResult out;
             out.outputs = std::move(outputs_);
             out.fired = fired_;

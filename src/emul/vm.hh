@@ -23,10 +23,13 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/metrics.hh"
 #include "emul/code.hh"
 #include "emul/structure.hh"
+#include "graph/profile.hh"
 #include "graph/value.hh"
 
 namespace emul
@@ -43,6 +46,13 @@ struct RunOptions
 
     /** Record per-source-instruction fire counts. */
     bool countFires = false;
+
+    /** Lane VM only: sample `lanes.active` / `lanes.utilization`
+     *  gauges into this recorder on its interval, measured in
+     *  *executed threaded-code instructions* (the VM's pseudo-time —
+     *  it has no cycle clock). Null = no sampling; the scalar VM
+     *  ignores it. */
+    sim::MetricsRecorder *metrics = nullptr;
 
     /** Runaway guard: fatal after this many executed instructions
      *  (per lane for the lane VM). */
@@ -73,6 +83,20 @@ struct BatchResult
     std::uint64_t executed = 0;
     std::vector<std::uint64_t> fireCounts; //!< summed over lanes
 };
+
+/** View a per-source fireCounts vector (RunResult / BatchResult /
+ *  Emulator::fireCounts) as an InstrProfile over the same dense index
+ *  space, so the emulation tiers feed the same topN/flamegraph
+ *  reports as the cycle-level machine. Fires only — these tiers have
+ *  no cycle clock to attribute. */
+inline graph::InstrProfile
+toProfile(std::vector<std::uint64_t> fireCounts)
+{
+    graph::InstrProfile p;
+    p.cycles.assign(fireCounts.size(), 0);
+    p.fires = std::move(fireCounts);
+    return p;
+}
 
 /** Run one context through the scalar VM. */
 RunResult run(const CompiledProgram &prog,

@@ -1,0 +1,207 @@
+#include "graph/profile.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "common/logging.hh"
+#include "graph/program.hh"
+
+namespace graph
+{
+
+namespace
+{
+
+/** Resolve a dense global index back to its (cb, stmt) pair. */
+struct SiteIndex
+{
+    explicit SiteIndex(const Program &program)
+        : offsets(program.instrIndexOffsets())
+    {
+    }
+
+    std::pair<std::uint16_t, std::uint16_t>
+    site(std::size_t global) const
+    {
+        // offsets is nondecreasing; find the last block starting at or
+        // before `global`.
+        auto it = std::upper_bound(offsets.begin(), offsets.end(), global);
+        SIM_ASSERT(it != offsets.begin());
+        const std::size_t cb =
+            static_cast<std::size_t>(it - offsets.begin()) - 1;
+        return {static_cast<std::uint16_t>(cb),
+                static_cast<std::uint16_t>(global - offsets[cb])};
+    }
+
+    std::vector<std::size_t> offsets;
+};
+
+std::string
+instrLabel(const Program &program, std::uint16_t cb, std::uint16_t stmt)
+{
+    const Instruction &in = program.instruction(cb, stmt);
+    std::string label = program.codeBlock(cb).name;
+    label += ':';
+    label += std::to_string(stmt);
+    label += ' ';
+    label += opcodeName(in.op);
+    if (!in.label.empty()) {
+        label += " [";
+        label += in.label;
+        label += ']';
+    }
+    return label;
+}
+
+/**
+ * callers[cb] = the unique code block containing a LoopEntry or Apply
+ * that statically targets cb, or kNone when there is no such block or
+ * more than one (ambiguous — Apply's targetCb is only advisory, and a
+ * block invoked from several sites has no single static stack).
+ */
+constexpr std::uint16_t kNoCaller = 0xffff;
+constexpr std::uint16_t kManyCallers = 0xfffe;
+
+std::vector<std::uint16_t>
+staticCallers(const Program &program)
+{
+    std::vector<std::uint16_t> callers(program.numCodeBlocks(),
+                                       kNoCaller);
+    for (std::size_t cb = 0; cb < program.numCodeBlocks(); ++cb) {
+        for (const Instruction &in : program.codeBlock(
+                 static_cast<std::uint16_t>(cb)).instrs)
+        {
+            const bool isCall =
+                in.op == Opcode::LoopEntry ||
+                // Apply's targetCb is advisory and defaults to 0; a
+                // zero target is indistinguishable from "unknown"
+                // (block 0 is the entry block, never Apply-invoked).
+                (in.op == Opcode::Apply && in.targetCb != 0);
+            if (!isCall)
+                continue;
+            const std::uint16_t callee = in.targetCb;
+            if (callee >= callers.size() || callee == cb)
+                continue;
+            std::uint16_t &slot = callers[callee];
+            if (slot == kNoCaller)
+                slot = static_cast<std::uint16_t>(cb);
+            else if (slot != cb)
+                slot = kManyCallers;
+        }
+    }
+    return callers;
+}
+
+} // namespace
+
+void
+InstrProfile::merge(const InstrProfile &other)
+{
+    if (other.empty())
+        return;
+    if (empty())
+        resize(other.fires.size());
+    SIM_ASSERT_MSG(other.fires.size() == fires.size(),
+                   "merging profiles over different index spaces");
+    for (std::size_t i = 0; i < fires.size(); ++i) {
+        fires[i] += other.fires[i];
+        cycles[i] += other.cycles[i];
+    }
+}
+
+void
+writeTopN(std::ostream &os, const Program &program,
+          const InstrProfile &prof, std::size_t topN)
+{
+    struct Row
+    {
+        std::size_t global;
+        std::uint64_t fires;
+        std::uint64_t cycles;
+    };
+    std::vector<Row> rows;
+    for (std::size_t i = 0; i < prof.fires.size(); ++i) {
+        const std::uint64_t c =
+            i < prof.cycles.size() ? prof.cycles[i] : 0;
+        if (prof.fires[i] || c)
+            rows.push_back({i, prof.fires[i], c});
+    }
+    std::sort(rows.begin(), rows.end(), [](const Row &a, const Row &b) {
+        if (a.cycles != b.cycles)
+            return a.cycles > b.cycles;
+        if (a.fires != b.fires)
+            return a.fires > b.fires;
+        return a.global < b.global;
+    });
+    if (rows.size() > topN)
+        rows.resize(topN);
+
+    std::uint64_t totalCycles = 0, totalFires = 0;
+    for (std::size_t i = 0; i < prof.fires.size(); ++i) {
+        totalFires += prof.fires[i];
+        if (i < prof.cycles.size())
+            totalCycles += prof.cycles[i];
+    }
+
+    const SiteIndex sites(program);
+    os << "hot instructions (top " << rows.size() << " of "
+       << prof.fires.size() << " sites; total fires " << totalFires
+       << ", total cycles " << totalCycles << ")\n";
+    os << "  rank       cycles        fires  instruction\n";
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        const auto [cb, stmt] = sites.site(rows[r].global);
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "  %4zu %12llu %12llu  ", r + 1,
+                      static_cast<unsigned long long>(rows[r].cycles),
+                      static_cast<unsigned long long>(rows[r].fires));
+        os << buf << instrLabel(program, cb, stmt) << '\n';
+    }
+}
+
+void
+writeFolded(std::ostream &os, const Program &program,
+            const InstrProfile &prof)
+{
+    bool anyCycles = false;
+    for (std::uint64_t c : prof.cycles)
+        if (c) {
+            anyCycles = true;
+            break;
+        }
+
+    const SiteIndex sites(program);
+    const std::vector<std::uint16_t> callers = staticCallers(program);
+
+    for (std::size_t i = 0; i < prof.fires.size(); ++i) {
+        const std::uint64_t weight =
+            anyCycles ? (i < prof.cycles.size() ? prof.cycles[i] : 0)
+                      : prof.fires[i];
+        if (weight == 0)
+            continue;
+        const auto [cb, stmt] = sites.site(i);
+
+        // Walk the unique-caller chain outward, then emit it rootmost
+        // first. A visited guard cuts recursive chains at the repeat.
+        std::vector<std::uint16_t> chain{cb};
+        std::vector<bool> seen(program.numCodeBlocks(), false);
+        seen[cb] = true;
+        std::uint16_t cur = cb;
+        while (callers[cur] != kNoCaller &&
+               callers[cur] != kManyCallers && !seen[callers[cur]])
+        {
+            cur = callers[cur];
+            seen[cur] = true;
+            chain.push_back(cur);
+        }
+        for (std::size_t f = chain.size(); f-- > 0;)
+            os << program.codeBlock(chain[f]).name << ';';
+        // The collapsed format splits stack from weight on the last
+        // space, so the leaf frame must stay space-free.
+        const Instruction &in = program.instruction(cb, stmt);
+        os << program.codeBlock(cb).name << ':' << stmt << '('
+           << opcodeName(in.op) << ") " << weight << '\n';
+    }
+}
+
+} // namespace graph

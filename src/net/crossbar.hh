@@ -135,6 +135,17 @@ class Crossbar : public Network<Payload>
         return this->faultClamp(next);
     }
 
+    NetOccupancy
+    occupancy() const override
+    {
+        NetOccupancy occ;
+        for (const auto &q : inputQueues_)
+            occ.queued += q.size();
+        occ.queued += arrivals_.totalQueued();
+        occ.inFlight = inFlight_.size() + this->faultDelayedCount();
+        return occ;
+    }
+
   private:
     sim::NodeId ports_;
     sim::Cycle latency_;

@@ -132,6 +132,17 @@ class GridNet : public Network<Payload>
         return this->faultClamp(next);
     }
 
+    NetOccupancy
+    occupancy() const override
+    {
+        NetOccupancy occ;
+        for (const auto &q : linkQueues_)
+            occ.queued += q.size();
+        occ.queued += arrivals_.totalQueued();
+        occ.inFlight = transiting_.size() + this->faultDelayedCount();
+        return occ;
+    }
+
   private:
     struct Transit
     {

@@ -173,6 +173,17 @@ class HierarchicalNet : public Network<Payload>
         return this->faultClamp(next);
     }
 
+    NetOccupancy
+    occupancy() const override
+    {
+        NetOccupancy occ;
+        for (const auto &q : clusterQueues_)
+            occ.queued += q.size();
+        occ.queued += globalQueue_.size() + arrivals_.totalQueued();
+        occ.inFlight = busTransit_.size() + this->faultDelayedCount();
+        return occ;
+    }
+
   private:
     enum class Leg { SourceBus, GlobalBus, DestBus };
 

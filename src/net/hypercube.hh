@@ -173,6 +173,17 @@ class Hypercube : public Network<Payload>
         return this->faultClamp(next);
     }
 
+    NetOccupancy
+    occupancy() const override
+    {
+        NetOccupancy occ;
+        for (const auto &q : linkQueues_)
+            occ.queued += q.size();
+        occ.queued += arrivals_.totalQueued();
+        occ.inFlight = transiting_.size() + this->faultDelayedCount();
+        return occ;
+    }
+
   private:
     struct InFlight
     {

@@ -100,6 +100,15 @@ class IdealNetwork : public Network<Payload>
         return this->faultClamp(next);
     }
 
+    NetOccupancy
+    occupancy() const override
+    {
+        NetOccupancy occ;
+        occ.queued = arrivals_.totalQueued();
+        occ.inFlight = inFlight_.size() + this->faultDelayedCount();
+        return occ;
+    }
+
   private:
     sim::NodeId ports_;
     sim::Cycle latency_;

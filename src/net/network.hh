@@ -53,6 +53,18 @@ struct NetStats
 };
 
 /**
+ * Instantaneous occupancy snapshot of a network, for time-series
+ * metrics. `queued` counts packets sitting in any internal service
+ * queue or undrained arrival queue; `inFlight` counts packets in
+ * timed transit between switches (including fault-delayed holds).
+ */
+struct NetOccupancy
+{
+    std::size_t queued = 0;
+    std::size_t inFlight = 0;
+};
+
+/**
  * A packet in flight: payload plus the bookkeeping the timing models
  * need. The network never inspects the payload.
  */
@@ -115,6 +127,10 @@ class Network
      * to stepping every intervening cycle.
      */
     virtual sim::Cycle nextDelivery() const = 0;
+
+    /** Instantaneous queue depth and in-flight packet count; a cheap
+     *  O(ports) walk at most, safe to call every metrics sample. */
+    virtual NetOccupancy occupancy() const = 0;
 
     const NetStats &stats() const { return stats_; }
 
@@ -237,6 +253,10 @@ class Network
 
     /** Fold the delayed-packet heap into a topology's idle() answer. */
     bool faultIdle() const { return faultDelayed_.empty(); }
+
+    /** Delay-spiked packets still parked; occupancy() implementations
+     *  fold these into their in-flight count. */
+    std::size_t faultDelayedCount() const { return faultDelayed_.size(); }
 
     /** Fold the delayed-packet heap into nextDelivery(): a packet
      *  releasing at cycle key is flushed by step(key - 1). */

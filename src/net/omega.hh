@@ -165,6 +165,20 @@ class OmegaNet : public Network<Payload>
         return this->faultClamp(sim::neverCycle);
     }
 
+    NetOccupancy
+    occupancy() const override
+    {
+        // Stage queues are the in-flight population here: a packet in
+        // stage s has left its source and advances one stage per cycle.
+        NetOccupancy occ;
+        occ.queued = arrivals_.totalQueued();
+        for (const auto &stage : stageQueues_)
+            for (const auto &q : stage)
+                occ.inFlight += q.size();
+        occ.inFlight += this->faultDelayedCount();
+        return occ;
+    }
+
   private:
     /** The two input lines of switch sw at a stage are the pre-shuffle
      *  lines that shuffle onto lines 2*sw and 2*sw + 1. */

@@ -230,6 +230,15 @@ class ReliableNet : public Network<Payload>
         return next;
     }
 
+    /** Occupancy of the wrapped fabric, in envelopes (Data + Ack).
+     *  Unacked sends awaiting retransmission are a protocol-level
+     *  quantity, reported separately via pendingCount(). */
+    NetOccupancy
+    occupancy() const override
+    {
+        return inner_->occupancy();
+    }
+
     void
     setTracer(sim::Tracer *tracer, std::uint32_t pid) override
     {

@@ -140,6 +140,16 @@ Machine::Machine(const graph::Program &program, MachineConfig config)
         nameTraceTracks();
         net_->setTracer(cfg_.tracer, cfg_.numPEs);
     }
+    metrics_ = cfg_.metrics;
+    if (metrics_) {
+        observing_ = true;
+        initMetrics();
+    }
+    if (cfg_.profile) {
+        observing_ = true;
+        instrOffsets_ = program_.instrIndexOffsets();
+        profile_.resize(program_.totalInstructions());
+    }
 
     // Shard the PEs across host threads: contiguous, near-equal
     // ranges, so one shard's phase A walks its PEs in machine order.
@@ -156,6 +166,9 @@ Machine::Machine(const graph::Program &program, MachineConfig config)
         for (std::uint32_t p = shards_[s].first; p < shards_[s].last;
              ++p)
             shardIdx_[p] = s;
+    if (cfg_.profile)
+        for (Shard &sh : shards_)
+            sh.prof.resize(program_.totalInstructions());
     if (threads_ > 1) {
         pool_ = std::make_unique<sim::WorkerPool>(threads_);
         scanTask_ = [this](unsigned s) { scanShard(shards_[s]); };
@@ -204,6 +217,68 @@ Machine::nameTraceTracks()
 }
 
 Machine::~Machine() = default;
+
+void
+Machine::initMetrics()
+{
+    sim::MetricsRecorder &m = *metrics_;
+    mIds_.peFired.reserve(cfg_.numPEs);
+    mIds_.peAluBusy.reserve(cfg_.numPEs);
+    for (std::uint32_t p = 0; p < cfg_.numPEs; ++p) {
+        mIds_.peFired.push_back(m.rate(sim::format("pe{}.fired", p)));
+        mIds_.peAluBusy.push_back(
+            m.rate(sim::format("pe{}.aluBusyCycles", p)));
+    }
+    mIds_.wmEntries = m.gauge("wm.entries");
+    mIds_.activeItems = m.gauge("pipeline.activeItems");
+    mIds_.netQueued = m.gauge("net.queued");
+    mIds_.netInFlight = m.gauge("net.inFlight");
+    mIds_.isDeferred = m.gauge("is.deferredBacklog");
+    if (faults_)
+        mIds_.faultsDestroyed = m.rate("faults.destroyed");
+    if (rel_) {
+        mIds_.relRetransmits = m.rate("rel.retransmits");
+        mIds_.relPending = m.gauge("rel.pending");
+    }
+}
+
+void
+Machine::sampleMetrics()
+{
+    sim::MetricsRecorder &m = *metrics_;
+    for (std::uint32_t p = 0; p < cfg_.numPEs; ++p) {
+        const PeStats &st = pes_[p]->stats;
+        m.set(mIds_.peFired[p],
+              static_cast<double>(st.fired.value()));
+        m.set(mIds_.peAluBusy[p],
+              static_cast<double>(st.aluBusyCycles.value()));
+    }
+    m.set(mIds_.wmEntries, static_cast<double>(wmTotal()));
+    std::uint64_t items = 0;
+    for (const Shard &sh : shards_)
+        items += sh.activeItems;
+    m.set(mIds_.activeItems, static_cast<double>(items));
+    const net::NetOccupancy occ = net_->occupancy();
+    m.set(mIds_.netQueued, static_cast<double>(occ.queued));
+    m.set(mIds_.netInFlight, static_cast<double>(occ.inFlight));
+    // Deferred-read backlog from the cumulative controller counters:
+    // O(numPEs), unlike walking the structure store's chunks.
+    const mem::IStructureStats is = istructureTotals();
+    m.set(mIds_.isDeferred,
+          static_cast<double>(is.fetchesDeferred.value() -
+                              is.deferredServed.value()));
+    if (faults_)
+        m.set(mIds_.faultsDestroyed,
+              static_cast<double>(faults_->stats().destroyed()));
+    if (rel_) {
+        m.set(mIds_.relRetransmits,
+              static_cast<double>(
+                  rel_->relStats().retransmits.value()));
+        m.set(mIds_.relPending,
+              static_cast<double>(rel_->pendingCount()));
+    }
+    m.record(now_);
+}
 
 sim::NodeId
 Machine::mapTag(const graph::Tag &tag) const
@@ -504,6 +579,13 @@ Machine::stepAlu(Shard &sh, Pe &pe, sim::NodeId id, bool defer)
     }
     const sim::Cycle lat = aluLatency_[static_cast<std::size_t>(in.op)];
     if constexpr (Obs) {
+        if (!sh.prof.empty()) {
+            const std::size_t g =
+                instrOffsets_[op.enabled.tag.codeBlock] +
+                op.enabled.tag.stmt;
+            ++sh.prof.fires[g];
+            sh.prof.cycles[g] += lat;
+        }
         sh.birthToFire.sample(sinceStamp(now_, op.born));
         SIM_TRACE(sh.trcp, Fire, complete, id, kTidAlu,
                   graph::opcodeName(in.op), now_, lat,
@@ -1156,6 +1238,10 @@ Machine::runSequential()
                 pushInQ(sh, *pes_[p], std::move(*tok));
         }
         wmResidency_.sample(static_cast<double>(wmTotal()));
+        if constexpr (Obs) {
+            if (metrics_ && metrics_->due(now_))
+                sampleMetrics();
+        }
         SIM_ASSERT_MSG(now_ < cfg_.maxCycles,
                        "machine exceeded {} cycles; livelock?",
                        cfg_.maxCycles);
@@ -1185,6 +1271,13 @@ Machine::runParallel()
                 pushInQ(shardOf(p), *pes_[p], std::move(*tok));
         }
         wmResidency_.sample(static_cast<double>(wmTotal()));
+        // Identical serial sample point to the sequential engine
+        // (after phase-B commit and network receive), so the rows are
+        // bit-identical for any thread count.
+        if constexpr (Obs) {
+            if (metrics_ && metrics_->due(now_))
+                sampleMetrics();
+        }
         SIM_ASSERT_MSG(now_ < cfg_.maxCycles,
                        "machine exceeded {} cycles; livelock?",
                        cfg_.maxCycles);
@@ -1209,6 +1302,11 @@ Machine::run()
         birthToFire_.merge(sh.birthToFire);
         readLatency_.merge(sh.readLatency);
     }
+    if (cfg_.profile)
+        for (const Shard &sh : shards_)
+            profile_.merge(sh.prof);
+    if (metrics_)
+        metrics_->finalize(now_);
 
     // Quiescent. Unmatched partners or parked reads mean deadlock.
     deadlocked_ = outstandingReads() > 0;

@@ -50,6 +50,7 @@
 
 #include "common/fault.hh"
 #include "common/flatmap.hh"
+#include "common/metrics.hh"
 #include "common/parallel.hh"
 #include "common/ringqueue.hh"
 #include "common/stats.hh"
@@ -57,6 +58,7 @@
 #include "common/types.hh"
 #include "graph/context.hh"
 #include "graph/exec.hh"
+#include "graph/profile.hh"
 #include "graph/program.hh"
 #include "graph/token.hh"
 #include "mem/istructure.hh"
@@ -169,6 +171,18 @@ struct MachineConfig
      *  enabled by --stats-json. Off by default so the per-fire path
      *  pays nothing for lifecycle accounting nobody will read. */
     bool latencyStats = false;
+
+    /** When set, the machine samples a time-series row into this
+     *  recorder every recorder-interval cycles, at the serial point
+     *  of the tick (after network receive), so the series is
+     *  bit-identical for any `threads`. The machine registers its
+     *  series in the ctor; null = no sampling (and no cost). */
+    sim::MetricsRecorder *metrics = nullptr;
+
+    /** Attribute fires and ALU cycles to source instructions over the
+     *  dense Program::instrIndexOffsets index space (the cross-tier
+     *  hot-spot profiler). Rides the Obs path: off = zero cost. */
+    bool profile = false;
 };
 
 /** Per-PE statistics (stage occupancy for experiment E8). */
@@ -260,6 +274,24 @@ class Machine
     /** Cycles from an I-structure FETCH's issue to its response being
      *  emitted by the controller (includes deferral time). */
     const sim::Histogram &readLatency() const { return readLatency_; }
+
+    /** Per-source-instruction fire/cycle attribution (populated when
+     *  MachineConfig::profile; complete after run() merges shards). */
+    const graph::InstrProfile &profile() const { return profile_; }
+
+    /** Ranked hot-instruction report (MachineConfig::profile). */
+    void
+    dumpProfile(std::ostream &os, std::size_t topN) const
+    {
+        graph::writeTopN(os, program_, profile_, topN);
+    }
+
+    /** Collapsed-stack (flamegraph) export of the profile. */
+    void
+    dumpFolded(std::ostream &os) const
+    {
+        graph::writeFolded(os, program_, profile_);
+    }
 
     /** gem5-style statistics listing (machine and per-PE groups). */
     void dumpStats(std::ostream &os) const;
@@ -385,6 +417,10 @@ class Machine
         sim::Histogram birthToFire{4.0, 128};
         sim::Histogram readLatency{4.0, 128};
 
+        /** Per-shard profiler attribution (MachineConfig::profile);
+         *  merged into the machine-level profile after run(). */
+        graph::InstrProfile prof;
+
         /** Reused output buffer for Executor::execute (fire path). */
         std::vector<graph::Token> fireBuf;
         /** Free list recycling Waiting::slots / operand storage. */
@@ -424,6 +460,14 @@ class Machine
     };
     void nameTraceTracks();
     std::vector<sim::StatGroup> statGroups() const;
+
+    /** Register this machine's metrics series (ctor, when
+     *  cfg_.metrics is set) and cache their ids. */
+    void initMetrics();
+
+    /** Stage every series' current value and record one row stamped
+     *  now_. Called at the serial sample point of the run loops. */
+    void sampleMetrics();
 
     // Stage steps. With defer=false they apply every effect directly
     // (the sequential engine and phase B); with defer=true (phase A)
@@ -610,7 +654,30 @@ class Machine
     sim::Histogram birthToFire_{4.0, 128};
     sim::Histogram readLatency_{4.0, 128};
     std::uint32_t tokenSeq_ = 0; //!< next Token::seq to hand out
-    bool observing_ = false; //!< latencyStats requested or tracing on
+    bool observing_ = false; //!< latencyStats, tracing, metrics, or
+                             //!< profiling requested
+
+    // ---- time-series metrics (cfg_.metrics) ------------------------
+    sim::MetricsRecorder *metrics_ = nullptr;
+    struct MetricsIds
+    {
+        std::vector<sim::MetricsRecorder::SeriesId> peFired;
+        std::vector<sim::MetricsRecorder::SeriesId> peAluBusy;
+        sim::MetricsRecorder::SeriesId wmEntries = 0;
+        sim::MetricsRecorder::SeriesId activeItems = 0;
+        sim::MetricsRecorder::SeriesId netQueued = 0;
+        sim::MetricsRecorder::SeriesId netInFlight = 0;
+        sim::MetricsRecorder::SeriesId isDeferred = 0;
+        sim::MetricsRecorder::SeriesId faultsDestroyed = 0;
+        sim::MetricsRecorder::SeriesId relRetransmits = 0;
+        sim::MetricsRecorder::SeriesId relPending = 0;
+    };
+    MetricsIds mIds_;
+
+    // ---- hot-spot profiler (cfg_.profile) --------------------------
+    graph::InstrProfile profile_;
+    /** Global index of (cb, stmt) is instrOffsets_[cb] + stmt. */
+    std::vector<std::size_t> instrOffsets_;
 
     /** ALU service time per opcode (cfg.aluCycles with cfg.opLatency
      *  overrides), resolved once so the fire path is a table load. */

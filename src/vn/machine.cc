@@ -138,6 +138,10 @@ VnMachine::VnMachine(VnMachineConfig cfg) : cfg_(cfg)
         net_->setTracer(&t, cfg_.numCores);
     }
 
+    metrics_ = cfg_.metrics;
+    if (metrics_)
+        initMetrics();
+
     threads_ = cfg_.threads == 0 ? 1 : cfg_.threads;
     threads_ = std::min<std::uint32_t>(threads_, cfg_.numCores);
     if (cfg_.tracer && cfg_.tracer->active())
@@ -151,6 +155,44 @@ VnMachine::VnMachine(VnMachineConfig cfg) : cfg_(cfg)
 VnMachine::VnMachine(VnMachine &&) noexcept = default;
 VnMachine &VnMachine::operator=(VnMachine &&) noexcept = default;
 VnMachine::~VnMachine() = default;
+
+void
+VnMachine::initMetrics()
+{
+    sim::MetricsRecorder &m = *metrics_;
+    mIds_.coreBusy.reserve(cfg_.numCores);
+    mIds_.coreInstrs.reserve(cfg_.numCores);
+    for (std::uint32_t c = 0; c < cfg_.numCores; ++c) {
+        mIds_.coreBusy.push_back(
+            m.rate(sim::format("core{}.busyCycles", c)));
+        mIds_.coreInstrs.push_back(
+            m.rate(sim::format("core{}.instructions", c)));
+    }
+    mIds_.netQueued = m.gauge("net.queued");
+    mIds_.netInFlight = m.gauge("net.inFlight");
+    if (rel_)
+        mIds_.relPending = m.gauge("rel.pending");
+}
+
+void
+VnMachine::sampleMetrics()
+{
+    sim::MetricsRecorder &m = *metrics_;
+    for (std::uint32_t c = 0; c < cfg_.numCores; ++c) {
+        const VnCore::Stats &st = cores_[c]->stats();
+        m.set(mIds_.coreBusy[c],
+              static_cast<double>(st.busyCycles.value()));
+        m.set(mIds_.coreInstrs[c],
+              static_cast<double>(st.instructions.value()));
+    }
+    const net::NetOccupancy occ = net_->occupancy();
+    m.set(mIds_.netQueued, static_cast<double>(occ.queued));
+    m.set(mIds_.netInFlight, static_cast<double>(occ.inFlight));
+    if (rel_)
+        m.set(mIds_.relPending,
+              static_cast<double>(rel_->pendingCount()));
+    m.record(now_);
+}
 
 VnCore &
 VnMachine::core(std::uint32_t i)
@@ -381,10 +423,16 @@ VnMachine::run()
         }
         skipAhead();
         step();
+        // Serial sample point: after the cycle's issue/network/memory
+        // phases all committed, so the row is thread-count invariant.
+        if (metrics_ && metrics_->due(now_))
+            sampleMetrics();
         SIM_ASSERT_MSG(now_ < cfg_.maxCycles,
                        "vn machine exceeded {} cycles; livelock?",
                        cfg_.maxCycles);
     }
+    if (metrics_)
+        metrics_->finalize(now_);
     return now_;
 }
 

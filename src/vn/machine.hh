@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "common/fault.hh"
+#include "common/metrics.hh"
 #include "common/parallel.hh"
 #include "common/stats.hh"
 #include "common/trace.hh"
@@ -99,6 +100,12 @@ struct VnMachineConfig
      *  tid 1 = the colocated memory module) plus one for the network.
      *  Must be open()ed/attach()ed before run(). */
     sim::Tracer *tracer = nullptr;
+
+    /** When set, run() samples a time-series row (per-core busy and
+     *  instruction counters, network occupancy) into this recorder at
+     *  its interval, at the serial point after step(); bit-identical
+     *  for any `threads`. Null = no sampling. */
+    sim::MetricsRecorder *metrics = nullptr;
 };
 
 /** The multiprocessor. */
@@ -185,6 +192,11 @@ class VnMachine
     void deliverResponse(const MemAccess &acc);
     std::vector<sim::StatGroup> statGroups() const;
 
+    /** Register the machine's metrics series and cache their ids. */
+    void initMetrics();
+    /** Stage series values and record one row stamped now_. */
+    void sampleMetrics();
+
     /** Event-driven skip used by run(): when every core is halted or
      *  blocked on memory, jump now_ to the next network delivery or
      *  memory completion, batch-accounting the cores' stall cycles. */
@@ -208,6 +220,17 @@ class VnMachine
      *  anything else arriving for it is a stale replay. */
     std::unordered_map<std::uint64_t, std::uint64_t> awaiting_;
     sim::Counter staleResponses_;
+
+    sim::MetricsRecorder *metrics_ = nullptr;
+    struct MetricsIds
+    {
+        std::vector<sim::MetricsRecorder::SeriesId> coreBusy;
+        std::vector<sim::MetricsRecorder::SeriesId> coreInstrs;
+        sim::MetricsRecorder::SeriesId netQueued = 0;
+        sim::MetricsRecorder::SeriesId netInFlight = 0;
+        sim::MetricsRecorder::SeriesId relPending = 0;
+    };
+    MetricsIds mIds_;
 
     std::uint32_t threads_ = 1; //!< resolved shard count
     std::unique_ptr<sim::WorkerPool> pool_;

@@ -112,6 +112,65 @@ TEST(Histogram, QuantileBoundaries)
     EXPECT_DOUBLE_EQ(neg.quantile(1.0), 0.0);
 }
 
+TEST(Histogram, QuantileEdgeCases)
+{
+    // Empty: every quantile (including the extremes) reads 0, and
+    // the tail quantiles the default dump emits never divide by a
+    // zero count.
+    sim::Histogram empty(2.0, 8);
+    EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(empty.quantile(0.999), 0.0);
+
+    // Single sample: all the mass sits in one bin, so every nonzero
+    // quantile resolves to that bin's upper edge.
+    sim::Histogram one(2.0, 8);
+    one.sample(5.0); // bin [4, 6)
+    EXPECT_DOUBLE_EQ(one.quantile(0.001), 6.0);
+    EXPECT_DOUBLE_EQ(one.quantile(0.5), 6.0);
+    EXPECT_DOUBLE_EQ(one.quantile(1.0), 6.0);
+
+    // All-overflow mass: everything saturates into the final bin;
+    // quantiles answer its upper edge, never a value beyond the
+    // histogram's range.
+    sim::Histogram over(10.0, 4); // bins cover [0, 40)
+    over.sample(100.0, 7);
+    EXPECT_EQ(over.overflow(), 7u);
+    EXPECT_DOUBLE_EQ(over.quantile(0.5), 40.0);
+    EXPECT_DOUBLE_EQ(over.quantile(0.999), 40.0);
+    EXPECT_DOUBLE_EQ(over.quantile(1.0), 40.0);
+}
+
+TEST(Histogram, DumpJsonQuantileList)
+{
+    sim::Histogram h(1.0, 100);
+    for (int i = 0; i < 1000; ++i)
+        h.sample(static_cast<double>(i % 100) + 0.5);
+
+    // Default list: the tail-latency set.
+    std::ostringstream os;
+    h.dumpJson(os);
+    const std::string json = os.str();
+    EXPECT_TRUE(testutil::isValidJson(json)) << json;
+    for (const char *key : {"\"p50\":", "\"p90\":", "\"p99\":",
+                            "\"p999\":"})
+        EXPECT_NE(json.find(key), std::string::npos) << key;
+
+    // A caller-chosen list replaces it.
+    std::ostringstream os2;
+    h.dumpJson(os2, {0.25, 0.75});
+    const std::string json2 = os2.str();
+    EXPECT_TRUE(testutil::isValidJson(json2)) << json2;
+    EXPECT_NE(json2.find("\"p25\":"), std::string::npos);
+    EXPECT_NE(json2.find("\"p75\":"), std::string::npos);
+    EXPECT_EQ(json2.find("\"p999\":"), std::string::npos);
+
+    // Percentile keys fold tenths into the digits.
+    EXPECT_EQ(sim::detail::quantileKey(0.5), "p50");
+    EXPECT_EQ(sim::detail::quantileKey(0.9), "p90");
+    EXPECT_EQ(sim::detail::quantileKey(0.99), "p99");
+    EXPECT_EQ(sim::detail::quantileKey(0.999), "p999");
+}
+
 TEST(Histogram, BatchedSampleMatchesRepeatedSample)
 {
     sim::Histogram a(4.0, 16);

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Cross-tier profiler parity: the hot-spot profiler attributes every
+ * firing to its source instruction in the same dense index space on
+ * all four execution tiers. For any workload,
+ *
+ *   Machine profile fires == Emulator fireCounts
+ *                         == scalar VM fireCounts
+ *                         == lane VM fireCounts / lanes,
+ *
+ * and the machine additionally attributes >= 1 cycle per firing.
+ * Also smoke-checks the report writers (topN table, collapsed
+ * flamegraph stacks).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "emul/compile.hh"
+#include "emul/vm.hh"
+#include "graph/profile.hh"
+#include "graph/program.hh"
+#include "graph/value.hh"
+#include "ttda/emulator.hh"
+#include "ttda/machine.hh"
+#include "workloads/dfg_programs.hh"
+
+namespace
+{
+
+using graph::Value;
+using std::int64_t;
+
+struct WorkloadCase
+{
+    const char *name;
+    std::uint16_t (*build)(graph::Program &);
+    std::vector<Value> inputs;
+};
+
+std::vector<WorkloadCase>
+workloadCases()
+{
+    return {
+        {"trapezoid", workloads::buildTrapezoid,
+         {Value{0.0}, Value{1.0}, Value{int64_t{48}}}},
+        {"fib", workloads::buildFib, {Value{int64_t{10}}}},
+        {"prodcons", workloads::buildProducerConsumer,
+         {Value{int64_t{24}}}},
+        {"vecsum", workloads::buildVectorSum, {Value{int64_t{16}}}},
+    };
+}
+
+TEST(Profile, FireAttributionMatchesAcrossAllTiers)
+{
+    for (const auto &wc : workloadCases()) {
+        graph::Program p;
+        const auto cb = wc.build(p);
+
+        // Reference: the token-at-a-time interpreter's fire counts.
+        ttda::Emulator interp(p);
+        interp.enableFireCounts();
+        for (std::uint16_t i = 0; i < wc.inputs.size(); ++i)
+            interp.input(cb, i, wc.inputs[i]);
+        interp.run();
+        const auto &ref = interp.fireCounts();
+        ASSERT_EQ(ref.size(), p.totalInstructions()) << wc.name;
+
+        // Cycle-level machine with the profiler on.
+        ttda::MachineConfig cfg;
+        cfg.numPEs = 4;
+        cfg.netLatency = 2;
+        cfg.profile = true;
+        ttda::Machine m(p, cfg);
+        for (std::uint16_t i = 0; i < wc.inputs.size(); ++i)
+            m.input(cb, i, wc.inputs[i]);
+        m.run();
+        ASSERT_FALSE(m.deadlocked()) << wc.name;
+        const graph::InstrProfile &prof = m.profile();
+        EXPECT_EQ(prof.fires, ref) << wc.name;
+        for (std::size_t i = 0; i < ref.size(); ++i)
+            if (prof.fires[i])
+                EXPECT_GE(prof.cycles[i], prof.fires[i])
+                    << wc.name << " site " << i
+                    << ": every firing costs >= 1 ALU cycle";
+
+        // Threaded-code scalar VM.
+        std::string why;
+        const auto compiled = emul::tryCompile(p, cb, &why);
+        ASSERT_TRUE(compiled.has_value()) << wc.name << ": " << why;
+        emul::RunOptions opts;
+        opts.countFires = true;
+        const auto rr = emul::run(*compiled, wc.inputs, opts);
+        ASSERT_FALSE(rr.deadlocked) << wc.name;
+        EXPECT_EQ(rr.fireCounts, ref) << wc.name;
+
+        // Lane VM: n identical contexts fire each site n times.
+        if (!compiled->laneable())
+            continue;
+        const std::size_t n = 4;
+        const auto br = compiled->execute(n, wc.inputs, {}, opts);
+        ASSERT_EQ(br.fireCounts.size(), ref.size()) << wc.name;
+        for (std::size_t i = 0; i < ref.size(); ++i)
+            EXPECT_EQ(br.fireCounts[i], n * ref[i])
+                << wc.name << " site " << i;
+    }
+}
+
+TEST(Profile, MergeSumsShards)
+{
+    graph::InstrProfile a;
+    a.resize(3);
+    a.fires = {1, 2, 3};
+    a.cycles = {4, 5, 6};
+    graph::InstrProfile b;
+    b.resize(3);
+    b.fires = {10, 0, 1};
+    b.cycles = {20, 0, 2};
+    a.merge(b);
+    EXPECT_EQ(a.fires, (std::vector<std::uint64_t>{11, 2, 4}));
+    EXPECT_EQ(a.cycles, (std::vector<std::uint64_t>{24, 5, 8}));
+
+    graph::InstrProfile empty;
+    a.merge(empty); // merging nothing changes nothing
+    EXPECT_EQ(a.fires, (std::vector<std::uint64_t>{11, 2, 4}));
+    empty.merge(a); // an empty profile adopts the other's contents
+    EXPECT_EQ(empty.fires, a.fires);
+}
+
+TEST(Profile, ReportWriters)
+{
+    graph::Program p;
+    const auto cb = workloads::buildFib(p);
+    ttda::Emulator interp(p);
+    interp.enableFireCounts();
+    interp.input(cb, 0, Value{int64_t{8}});
+    interp.run();
+    const auto prof = emul::toProfile(interp.fireCounts());
+
+    std::ostringstream top;
+    graph::writeTopN(top, p, prof, 5);
+    EXPECT_NE(top.str().find("hot instructions (top"),
+              std::string::npos);
+    EXPECT_NE(top.str().find("fib"), std::string::npos);
+
+    std::ostringstream folded;
+    graph::writeFolded(folded, p, prof);
+    std::istringstream in(folded.str());
+    std::string line;
+    std::size_t lines = 0;
+    while (std::getline(in, line)) {
+        ++lines;
+        // collapsed-stack format: frames, then ' <weight>' — the
+        // weight after the LAST space must be a positive integer.
+        const auto sp = line.rfind(' ');
+        ASSERT_NE(sp, std::string::npos) << line;
+        const std::string weight = line.substr(sp + 1);
+        ASSERT_FALSE(weight.empty()) << line;
+        for (const char c : weight)
+            EXPECT_TRUE(c >= '0' && c <= '9') << line;
+        EXPECT_NE(line.substr(0, sp).find(';'), std::string::npos)
+            << "every stack has at least code-block;leaf: " << line;
+    }
+    EXPECT_GT(lines, 0u);
+}
+
+} // namespace
