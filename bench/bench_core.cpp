@@ -35,15 +35,20 @@ struct Result
     double itemsPerSec = 0.0;
 };
 
-constexpr int kReps = 3;
+// Set from --reps/--warmup in main before any config runs.
+std::uint32_t gReps = 3;
+std::uint32_t gWarmup = 1;
 
-/** Time `body` kReps times; returns the best wall-clock milliseconds. */
+/** Run `body` gWarmup untimed times, then gReps timed times; returns
+ *  the best wall-clock milliseconds (min is robust to host noise). */
 template <typename F>
 double
 bestMs(F &&body)
 {
+    for (std::uint32_t r = 0; r < gWarmup; ++r)
+        body();
     double best = 0.0;
-    for (int r = 0; r < kReps; ++r) {
+    for (std::uint32_t r = 0; r < gReps; ++r) {
         const auto t0 = std::chrono::steady_clock::now();
         body();
         const auto t1 = std::chrono::steady_clock::now();
@@ -139,7 +144,7 @@ writeJson(const std::vector<Result> &results, const std::string &path)
     }
     os << "{\n  \"benchmark\": \"bench_core\",\n  \"unit_note\": "
           "\"hostMs is best-of-"
-       << kReps << " wall time\",\n  \"runs\": [\n";
+       << gReps << " wall time\",\n  \"runs\": [\n";
     for (std::size_t i = 0; i < results.size(); ++i) {
         const Result &r = results[i];
         os << "    {\n"
@@ -161,6 +166,8 @@ int
 main(int argc, char **argv)
 {
     bench::SimOptions opts(argc, argv);
+    gReps = opts.reps();
+    gWarmup = opts.warmup();
     const std::string out =
         opts.args.size() > 1 ? opts.args[1] : "BENCH_core.json";
 
@@ -239,7 +246,7 @@ main(int argc, char **argv)
     }
 
     sim::Table t("Simulator core throughput (best of " +
-                 std::to_string(kReps) + " runs)");
+                 std::to_string(gReps) + " runs)");
     t.header({"config", "sim cycles", "work items", "host ms",
               "Mcycles/s", "Kitems/s"});
     for (const Result &r : results)

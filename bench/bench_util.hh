@@ -95,6 +95,11 @@ emulModeName(EmulMode m)
  *                       write the profile as collapsed stacks
  *                       (flamegraph.pl / speedscope input), folding
  *                       the static-call chain
+ *   --reps=N            timed repetitions per configuration in
+ *                       host-time benches (default 3; the best rep is
+ *                       reported — min is robust to scheduler noise)
+ *   --warmup=N          untimed warmup repetitions before the timed
+ *                       ones (default 1)
  *
  * Recognised flags are consumed; everything else (argv[0] first) stays
  * in `args`, so a binary's positional-argument parsing is unchanged.
@@ -172,13 +177,21 @@ class SimOptions
             } else if (arg.rfind("--profile-folded=", 0) == 0) {
                 profile_ = true;
                 profileFoldedPath_ = std::string(arg.substr(17));
+            } else if (arg.rfind("--reps=", 0) == 0) {
+                reps_ = static_cast<std::uint32_t>(
+                    std::stoul(std::string(arg.substr(7))));
+                if (reps_ == 0)
+                    sim::fatal("--reps must be >= 1");
+            } else if (arg.rfind("--warmup=", 0) == 0) {
+                warmup_ = static_cast<std::uint32_t>(
+                    std::stoul(std::string(arg.substr(9))));
             } else if (arg.size() > 2 && arg.rfind("--", 0) == 0) {
                 sim::fatal("unknown flag '{}' (shared flags: --trace, "
                            "--trace-cats, --stats-json, --threads, "
                            "--seed, --fault-seed, --fault-plan, "
                            "--reliable, --emul, --metrics, "
                            "--metrics-json, --metrics-csv, --profile, "
-                           "--profile-folded)",
+                           "--profile-folded, --reps, --warmup)",
                            std::string(arg));
             } else {
                 args.push_back(argv[i]);
@@ -236,6 +249,14 @@ class SimOptions
     }
     bool profileRequested() const { return profile_; }
     std::size_t profileTopN() const { return profileTopN_; }
+
+    /** Timed repetitions a hot-loop bench should run per configuration
+     *  (host-time measurements report the best rep). */
+    std::uint32_t reps() const { return reps_; }
+    /** Untimed warmup repetitions before the timed ones — fills
+     *  allocator pools, page-faults the working set, and (for a
+     *  reset()-reused machine) warms its hash stores. */
+    std::uint32_t warmup() const { return warmup_; }
 
     /** The tiers a comparison bench should run: the selected one, or
      *  all three when --emul was not given. */
@@ -381,6 +402,8 @@ class SimOptions
     bool profile_ = false;
     std::size_t profileTopN_ = 20;
     std::string profileFoldedPath_;
+    std::uint32_t reps_ = 3;
+    std::uint32_t warmup_ = 1;
 };
 
 /**

@@ -11,6 +11,13 @@
 # same-process measurements, so it is far less host-sensitive than raw
 # hostMs — a drop means the threaded-code tier itself got slower.
 #
+# The serving benchmark (BENCH_serve.json) is guarded too: zero-fault
+# serving rows are hostMs-gated like bench_core configs, the
+# reset-reuse row is gated on its fresh/reuse speedup ratio (a
+# same-process ratio, noise-tolerant like the emul speedups), and
+# brownout rows ("faulted": true) are degradation measurements —
+# informational only.
+#
 # Configs present in only one of the two files (new benchmarks, or a
 # renamed baseline entry) are reported but do not fail the guard.
 # "_metrics"-suffixed rows (metrics-sampling A/A overhead twins) are
@@ -28,6 +35,7 @@ THRESHOLD="${2:-25}"
 BASELINE="BENCH_core.json"
 FAULTS_BASELINE="BENCH_faults.json"
 EMUL_BASELINE="BENCH_emul.json"
+SERVE_BASELINE="BENCH_serve.json"
 
 if [[ ! -f "$BASELINE" ]]; then
     echo "bench_guard: no baseline $BASELINE; nothing to guard" >&2
@@ -37,17 +45,19 @@ fi
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
     --target bench_core --target bench_faults \
-    --target bench_emul > /dev/null
+    --target bench_emul --target bench_serve > /dev/null
 
 OUT_DIR="$(mktemp -d)"
 trap 'rm -rf "$OUT_DIR"' EXIT
 "$BUILD_DIR/bench/bench_core" "$OUT_DIR/current.json" > /dev/null
 "$BUILD_DIR/bench/bench_faults" "$OUT_DIR/faults.json" > /dev/null
 "$BUILD_DIR/bench/bench_emul" "$OUT_DIR/emul.json" > /dev/null
+"$BUILD_DIR/bench/bench_serve" "$OUT_DIR/serve.json" > /dev/null
 
 python3 - "$BASELINE" "$OUT_DIR/current.json" "$THRESHOLD" \
     "$FAULTS_BASELINE" "$OUT_DIR/faults.json" \
-    "$EMUL_BASELINE" "$OUT_DIR/emul.json" <<'EOF'
+    "$EMUL_BASELINE" "$OUT_DIR/emul.json" \
+    "$SERVE_BASELINE" "$OUT_DIR/serve.json" <<'EOF'
 import json, sys
 
 baseline_path, current_path, threshold = sys.argv[1], sys.argv[2], float(sys.argv[3])
@@ -98,6 +108,52 @@ if len(sys.argv) > 7:
               f"{base['speedup']:7.1f}x -> {cur['speedup']:7.1f}x  ({ratio:5.2f}x)")
         if verdict == "FAIL":
             failed.append(base["name"])
+
+# Serving guard: zero-fault serving rows are hostMs-gated like the
+# bench_core configs; the reset-reuse row is gated on its fresh/reuse
+# speedup ratio (same-process, so host-noise-tolerant); brownout rows
+# ("faulted": true) are degradation measurements, informational only.
+if len(sys.argv) > 9:
+    serve_baseline_path, serve_current_path = sys.argv[8], sys.argv[9]
+    try:
+        sb = json.load(open(serve_baseline_path))["runs"]
+    except FileNotFoundError:
+        print(f"bench_guard: note: no {serve_baseline_path}; "
+              "skipping serve guard")
+        sb = []
+    sc = {r["name"]: r for r in json.load(open(serve_current_path))["runs"]}
+    for base in sorted(sb, key=lambda r: r["name"]):
+        cur = sc.get(base["name"])
+        if cur is None:
+            print(f"bench_guard: note: serve baseline '{base['name']}' "
+                  "not in current run")
+            continue
+        if base["name"] == "ttda_reset_reuse":
+            ratio = (cur["resetSpeedup"] / base["resetSpeedup"]
+                     if base["resetSpeedup"] > 0 else 1.0)
+            verdict = "FAIL" if ratio < 1 - threshold / 100 else "ok"
+            print(f"bench_guard: {verdict:4} {base['name']:24} reset-reuse "
+                  f"{base['resetSpeedup']:8.2f}x -> {cur['resetSpeedup']:8.2f}x "
+                  f" ({ratio:5.2f}x)")
+            if verdict == "FAIL":
+                failed.append(base["name"])
+            continue
+        if base.get("faulted"):
+            ratio = cur["hostMs"] / base["hostMs"] if base["hostMs"] > 0 else 1.0
+            print(f"bench_guard: info {base['name']:24} "
+                  f"{base['hostMs']:9.2f}ms -> {cur['hostMs']:9.2f}ms  ({ratio:5.2f}x)")
+            continue
+        if cur["simCycles"] != base["simCycles"]:
+            print(f"bench_guard: note: {base['name']} simCycles changed "
+                  f"{base['simCycles']} -> {cur['simCycles']} (model change?)")
+        ratio = cur["hostMs"] / base["hostMs"] if base["hostMs"] > 0 else 1.0
+        verdict = "FAIL" if ratio > 1 + threshold / 100 else "ok"
+        print(f"bench_guard: {verdict:4} {base['name']:24} "
+              f"{base['hostMs']:9.2f}ms -> {cur['hostMs']:9.2f}ms  ({ratio:5.2f}x)")
+        if verdict == "FAIL":
+            failed.append(base["name"])
+    for name in sorted(set(sc) - {r["name"] for r in sb}):
+        print(f"bench_guard: note: new serve config '{name}' has no baseline")
 
 for name, base in sorted(baseline.items()):
     cur = current.get(name)

@@ -112,6 +112,30 @@ EOF
     --gtest_filter='EmulFuzz.*:EmulWorkloads.*:EmulStructure.*:Profile.*' \
     > /dev/null
 
+# --- Serving smoke -------------------------------------------------
+# 7. The steady-state serving path under the sanitizers: the
+#    submit()/serve()/reset() suites run explicitly (the reset-reuse
+#    path recycles warmed allocations — exactly where a stale pointer
+#    would hide), then one quick open-loop sweep must complete every
+#    request at every load point and emit parseable results. --reps=1
+#    --warmup=0 keeps the sanitized timing loops short; the guard
+#    ignores sanitized hostMs anyway.
+"$BUILD_DIR/tests/test_ttda" --gtest_filter='Serve.*' > /dev/null
+"$BUILD_DIR/tests/test_vn" --gtest_filter='VnServe.*:VnIdle.*' > /dev/null
+"$BUILD_DIR/tests/test_workloads" > /dev/null
+"$BUILD_DIR/bench/bench_serve" "$OBS_DIR/serve.json" \
+    --reps=1 --warmup=0 > /dev/null
+python3 - "$OBS_DIR/serve.json" <<'EOF'
+import json, sys
+runs = json.load(open(sys.argv[1]))["runs"]
+bad = [r["name"] for r in runs
+       if r["requests"] and r["completed"] != r["requests"]]
+if bad:
+    sys.exit(f"serve smoke: incomplete runs: {', '.join(bad)}")
+assert any(r["name"] == "ttda_reset_reuse" for r in runs)
+assert any(r.get("faulted") for r in runs), "no brownout row"
+EOF
+
 # --- Optional throughput guard -------------------------------------
 # CHECK=1 also runs the bench_core regression guard (a separate
 # non-sanitized build; sanitizer overhead would swamp the timings).

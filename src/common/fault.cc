@@ -1,5 +1,6 @@
 #include "common/fault.hh"
 
+#include <algorithm>
 #include <cstdlib>
 #include <sstream>
 
@@ -55,7 +56,8 @@ parseNode(const std::string &key, const std::string &text)
 }
 
 /** "linkdown@FROM-TO[:SRC>DST]" / "pestall@FROM-TO:PE" /
- *  "memstall@FROM-TO:MODULE" after the '@'. */
+ *  "memstall@FROM-TO:MODULE" / "dropspike@FROM-TO:RATE" after the
+ *  '@'. */
 Event
 parseWindow(Event::Kind kind, const std::string &key,
             const std::string &text)
@@ -87,6 +89,13 @@ parseWindow(Event::Kind kind, const std::string &key,
             ev.a = parseNode(key, target.substr(0, gt));
             ev.b = parseNode(key, target.substr(gt + 1));
         }
+    } else if (kind == Event::Kind::DropSpike) {
+        if (target.empty())
+            sim::panic("fault plan: {}@ needs a :RATE", key);
+        // The rate rides in the integer payload field, scaled by 1e6
+        // (micro-probability) so Event stays a plain value type.
+        ev.a = static_cast<std::uint32_t>(
+            parseRate(key, target) * 1e6 + 0.5);
     } else {
         if (target.empty())
             sim::panic("fault plan: {}@ needs a :TARGET", key);
@@ -138,6 +147,9 @@ FaultPlan::parse(const std::string &spec)
             else if (key == "memstall")
                 plan.events.push_back(
                     parseWindow(Event::Kind::MemStall, key, rest));
+            else if (key == "dropspike")
+                plan.events.push_back(
+                    parseWindow(Event::Kind::DropSpike, key, rest));
             else
                 sim::panic("fault plan: unknown event '{}'", key);
             continue;
@@ -199,6 +211,10 @@ FaultPlan::summary() const
             os << ",memstall@" << ev.from << "-" << ev.to << ":"
                << ev.a;
             break;
+          case Event::Kind::DropSpike:
+            os << ",dropspike@" << ev.from << "-" << ev.to << ":"
+               << ev.a / 1e6;
+            break;
         }
     }
     return os.str();
@@ -207,8 +223,6 @@ FaultPlan::summary() const
 FaultInjector::FaultInjector(const FaultPlan &plan)
     : plan_(plan), rng_(plan.seed)
 {
-    anyRate_ = plan_.dropRate > 0.0 || plan_.dupRate > 0.0 ||
-               plan_.corruptRate > 0.0 || plan_.delayRate > 0.0;
     for (const Event &ev : plan_.events) {
         switch (ev.kind) {
           case Event::Kind::LinkDown:
@@ -220,8 +234,27 @@ FaultInjector::FaultInjector(const FaultPlan &plan)
           case Event::Kind::MemStall:
             memStalls_.push_back(ev);
             break;
+          case Event::Kind::DropSpike:
+            dropSpikes_.push_back(ev);
+            break;
         }
     }
+    // A drop-spike window counts as a configured rate: the stream must
+    // advance once per packet even outside the window, or entering it
+    // would shift every later decision (the determinism contract).
+    anyRate_ = plan_.dropRate > 0.0 || plan_.dupRate > 0.0 ||
+               plan_.corruptRate > 0.0 || plan_.delayRate > 0.0 ||
+               !dropSpikes_.empty();
+}
+
+double
+FaultInjector::effectiveDropRate(sim::Cycle c) const
+{
+    double rate = plan_.dropRate;
+    for (const Event &ev : dropSpikes_)
+        if (covers(ev, c))
+            rate = std::max(rate, ev.a / 1e6);
+    return rate;
 }
 
 bool
@@ -258,7 +291,7 @@ FaultInjector::onPacket(sim::Cycle now, sim::NodeId src,
     // elsewhere in the window (the determinism contract).
     ++stats_.decisions;
     const double u = rng_.uniform();
-    double threshold = plan_.dropRate;
+    double threshold = effectiveDropRate(now);
     if (u < threshold) {
         fate.action = PacketFate::Action::Drop;
         ++stats_.drops;

@@ -48,9 +48,10 @@ struct Event
 {
     enum class Kind : std::uint8_t
     {
-        LinkDown, //!< packets src->dst are destroyed in [from, to]
-        PeStall,  //!< PE `a` starts no new stage work in [from, to]
-        MemStall, //!< memory module `a` serves no bank in [from, to]
+        LinkDown,  //!< packets src->dst are destroyed in [from, to]
+        PeStall,   //!< PE `a` starts no new stage work in [from, to]
+        MemStall,  //!< memory module `a` serves no bank in [from, to]
+        DropSpike, //!< drop rate boosted to a/1e6 in [from, to]
     };
 
     /** Wildcard for LinkDown endpoints: matches any node. */
@@ -59,7 +60,9 @@ struct Event
     Kind kind = Kind::LinkDown;
     sim::Cycle from = 0; //!< first affected cycle (inclusive)
     sim::Cycle to = 0;   //!< last affected cycle (inclusive)
-    std::uint32_t a = kAny; //!< LinkDown: src; PeStall: PE; MemStall: module
+    /** LinkDown: src; PeStall: PE; MemStall: module;
+     *  DropSpike: rate scaled by 1e6 (0.05 -> 50000). */
+    std::uint32_t a = kAny;
     std::uint32_t b = kAny; //!< LinkDown: dst
 };
 
@@ -103,8 +106,9 @@ struct FaultPlan
      *    linkdown@100-200:0>3,pestall@50-90:2,memstall@10-40:1"
      *
      * Window forms: `linkdown@FROM-TO[:SRC>DST]` (either endpoint may
-     * be `*`), `pestall@FROM-TO:PE`, `memstall@FROM-TO:MODULE`.
-     * Panics with a message on malformed input.
+     * be `*`), `pestall@FROM-TO:PE`, `memstall@FROM-TO:MODULE`,
+     * `dropspike@FROM-TO:RATE` (drop rate boosted to RATE inside the
+     * window — a brownout). Panics with a message on malformed input.
      */
     static FaultPlan parse(const std::string &spec);
 
@@ -184,8 +188,19 @@ class FaultInjector
     const FaultPlan &plan() const { return plan_; }
     const Stats &stats() const { return stats_; }
 
+    /** Rewind to the injector's initial state — reseed the
+     *  probabilistic stream and zero the totals — so a reused machine
+     *  replays the exact same fault sequence as a fresh one. */
+    void
+    reset()
+    {
+        rng_.reseed(plan_.seed);
+        stats_ = Stats{};
+    }
+
   private:
     bool linkDown(sim::Cycle c, sim::NodeId src, sim::NodeId dst) const;
+    double effectiveDropRate(sim::Cycle c) const;
 
     FaultPlan plan_;
     bool anyRate_ = false;
@@ -193,6 +208,7 @@ class FaultInjector
     std::vector<Event> linkDowns_;
     std::vector<Event> peStalls_;
     std::vector<Event> memStalls_;
+    std::vector<Event> dropSpikes_;
     Stats stats_;
 };
 

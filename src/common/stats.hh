@@ -286,6 +286,18 @@ class Histogram
         os << "]}";
     }
 
+    /** Drop all recorded samples, keeping the bin geometry (and the
+     *  bin array's storage) so a reused machine re-records into the
+     *  same shape it was constructed with. */
+    void
+    reset()
+    {
+        std::fill(bins_.begin(), bins_.end(), 0);
+        underflow_ = 0;
+        overflow_ = 0;
+        acc_.reset();
+    }
+
   private:
     double binWidth_;
     double invBinWidth_;

@@ -64,6 +64,20 @@ ContextManager::release(ContextId id)
     released_.inc();
 }
 
+std::uint32_t
+ContextManager::rootIter(ContextId id) const
+{
+    std::uint32_t iter = 1;
+    while (id != rootContext) {
+        auto it = live_.find(id);
+        if (it == live_.end())
+            return 0; // released along the chain: unattributable
+        iter = it->second.caller.iter;
+        id = it->second.caller.ctx;
+    }
+    return iter;
+}
+
 void
 ContextManager::reset()
 {
@@ -72,6 +86,10 @@ ContextManager::reset()
     live_.emplace(rootContext, ContextInfo{});
     next_ = rootContext + 1;
     peak_ = 1;
+    // The counters too: a reset machine's stats must be bit-identical
+    // to a freshly constructed one's.
+    created_.reset();
+    released_.reset();
 }
 
 } // namespace graph

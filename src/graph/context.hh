@@ -82,6 +82,16 @@ class ContextManager
     std::uint64_t peakContexts() const { return peak_; }
     std::uint64_t totalCreated() const { return created_.value(); }
 
+    /**
+     * The root-level initiation number a context descends from: walk
+     * the caller chain to the activity that runs directly in the root
+     * context and return its iter field. The serving fast path injects
+     * request r with iter r+1, so this attributes any context — however
+     * deeply nested its invocation — to the request that spawned it.
+     * Returns 0 when a context along the chain has been released.
+     */
+    std::uint32_t rootIter(ContextId id) const;
+
     /** Drop everything except the root context (between runs). */
     void reset();
 

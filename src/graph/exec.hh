@@ -67,6 +67,9 @@ class Executor
     /** Total activities fired through this executor. */
     std::uint64_t fired() const { return fired_; }
 
+    /** Zero the fire count (machine reset between runs). */
+    void resetFired() { fired_ = 0; }
+
   private:
     /** Build the Normal token for edge `d` of the firing instruction,
      *  staying in `tag`'s context. */

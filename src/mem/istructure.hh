@@ -180,6 +180,34 @@ class IStructure
         }
     }
 
+    /**
+     * Return the whole storage to its just-constructed state while
+     * keeping every materialized chunk (and each cell's deferred-list
+     * capacity) alive. The serving fast path resets a machine between
+     * epochs; re-deallocating and re-materializing the chunks was
+     * exactly the construction cost chunking removed.
+     */
+    void
+    reset()
+    {
+        for (auto &chunk : chunks_) {
+            if (!chunk)
+                continue;
+            for (std::size_t i = 0; i < kChunkWords; ++i) {
+                chunk[i].presence = Presence::Empty;
+                chunk[i].value = ValueT{};
+                chunk[i].deferred.clear();
+            }
+        }
+        allocPtr_ = 0;
+        stats_.fetches.reset();
+        stats_.fetchesDeferred.reset();
+        stats_.stores.reset();
+        stats_.deferredServed.reset();
+        stats_.multipleWrites.reset();
+        stats_.deferredListLen.reset();
+    }
+
     /** Number of reads currently parked on deferred lists. */
     std::size_t
     outstandingReads() const

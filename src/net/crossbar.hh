@@ -146,6 +146,18 @@ class Crossbar : public Network<Payload>
         return occ;
     }
 
+    void
+    reset() override
+    {
+        Network<Payload>::reset();
+        now_ = 0;
+        for (auto &q : inputQueues_)
+            q.clear();
+        std::fill(rrPointer_.begin(), rrPointer_.end(), 0);
+        inFlight_.clear();
+        arrivals_.clear();
+    }
+
   private:
     sim::NodeId ports_;
     sim::Cycle latency_;

@@ -184,6 +184,18 @@ class HierarchicalNet : public Network<Payload>
         return occ;
     }
 
+    void
+    reset() override
+    {
+        Network<Payload>::reset();
+        now_ = 0;
+        for (auto &q : clusterQueues_)
+            q.clear();
+        globalQueue_.clear();
+        busTransit_.clear();
+        arrivals_.clear();
+    }
+
   private:
     enum class Leg { SourceBus, GlobalBus, DestBus };
 

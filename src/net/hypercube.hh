@@ -184,6 +184,19 @@ class Hypercube : public Network<Payload>
         return occ;
     }
 
+    void
+    reset() override
+    {
+        // Run state only: failed links, routing tables and the fault
+        // next-hop cache are configuration and survive the reset.
+        Network<Payload>::reset();
+        now_ = 0;
+        for (auto &q : linkQueues_)
+            q.clear();
+        transiting_.clear();
+        arrivals_.clear();
+    }
+
   private:
     struct InFlight
     {

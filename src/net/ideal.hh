@@ -36,8 +36,8 @@ class IdealNetwork : public Network<Payload>
      */
     IdealNetwork(sim::NodeId ports, sim::Cycle latency,
                  sim::Cycle jitter = 0, std::uint64_t seed = 1)
-        : ports_(ports), latency_(latency), jitter_(jitter), rng_(seed),
-          arrivals_(ports)
+        : ports_(ports), latency_(latency), jitter_(jitter),
+          seed_(seed), rng_(seed), arrivals_(ports)
     {
         SIM_ASSERT(ports > 0);
         SIM_ASSERT(latency >= 1);
@@ -109,10 +109,21 @@ class IdealNetwork : public Network<Payload>
         return occ;
     }
 
+    void
+    reset() override
+    {
+        Network<Payload>::reset();
+        now_ = 0;
+        inFlight_.clear();
+        arrivals_.clear();
+        rng_.reseed(seed_); // jitter stream replays from the start
+    }
+
   private:
     sim::NodeId ports_;
     sim::Cycle latency_;
     sim::Cycle jitter_;
+    std::uint64_t seed_;
     sim::Rng rng_;
     sim::Cycle now_ = 0;
     sim::EventHeap<Packet<Payload>> inFlight_;

@@ -134,6 +134,26 @@ class Network
 
     const NetStats &stats() const { return stats_; }
 
+    /**
+     * Return the network to its just-constructed run state: every
+     * queue, in-flight schedule and traffic statistic cleared, while
+     * configuration (topology wiring, latency parameters, dead links,
+     * attached tracer/fault injector) survives. The serving fast path
+     * relies on this to reuse a machine's fabric across epochs instead
+     * of reconstructing it; overrides must leave the network
+     * bit-identical in behavior to a fresh instance.
+     */
+    virtual void
+    reset()
+    {
+        stats_.sent.reset();
+        stats_.delivered.reset();
+        stats_.latency.reset();
+        stats_.hops.reset();
+        stats_.blockedCycles.reset();
+        faultDelayed_.clear();
+    }
+
     /** Enable `net` trace events. `pid` is the Chrome-trace process
      *  the network's tracks live under; ports become its threads.
      *  Virtual so decorators (ReliableNet) can forward it inward. */
@@ -318,6 +338,14 @@ class ArrivalQueues
         for (const auto &q : queues_)
             n += q.size();
         return n;
+    }
+
+    /** Drop every queued arrival, keeping per-port ring capacity. */
+    void
+    clear()
+    {
+        for (auto &q : queues_)
+            q.clear();
     }
 
   private:

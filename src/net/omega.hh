@@ -179,6 +179,19 @@ class OmegaNet : public Network<Payload>
         return occ;
     }
 
+    void
+    reset() override
+    {
+        Network<Payload>::reset();
+        now_ = 0;
+        for (auto &stage : stageQueues_)
+            for (auto &q : stage)
+                q.clear();
+        for (auto &stage : rr_)
+            std::fill(stage.begin(), stage.end(), 0);
+        arrivals_.clear();
+    }
+
   private:
     /** The two input lines of switch sw at a stage are the pre-shuffle
      *  lines that shuffle onto lines 2*sw and 2*sw + 1. */

@@ -254,6 +254,23 @@ class ReliableNet : public Network<Payload>
         inner_->setFaultInjector(faults);
     }
 
+    void
+    reset() override
+    {
+        Network<Payload>::reset();
+        inner_->reset();
+        now_ = 0;
+        txSeq_.clear();
+        rxStreams_.clear();
+        pending_.clear();
+        timers_.clear();
+        relStats_.retransmits.reset();
+        relStats_.abandoned.reset();
+        relStats_.rxDuplicates.reset();
+        relStats_.acksSent.reset();
+        relStats_.staleAcks.reset();
+    }
+
     const RelStats &relStats() const { return relStats_; }
     /** Envelope-level traffic statistics of the wrapped fabric. */
     const NetStats &innerStats() const { return inner_->stats(); }

@@ -240,6 +240,12 @@ Machine::initMetrics()
         mIds_.relRetransmits = m.rate("rel.retransmits");
         mIds_.relPending = m.gauge("rel.pending");
     }
+    // Serving gauges are registered unconditionally (serve() may be
+    // called on any machine): every series then has one value per
+    // recorded row, and ragged rows can never reach the CSV writer.
+    mIds_.srvInFlight = m.gauge("srv.inFlight");
+    mIds_.srvAdmitQueue = m.gauge("srv.admitQueue");
+    mIds_.srvWatermarkHits = m.gauge("srv.watermarkHits");
 }
 
 void
@@ -277,6 +283,17 @@ Machine::sampleMetrics()
         m.set(mIds_.relPending,
               static_cast<double>(rel_->pendingCount()));
     }
+    m.set(mIds_.srvInFlight,
+          static_cast<double>(nextAdmit_ - reqCompleted_));
+    std::uint64_t due = 0;
+    for (std::size_t r = nextAdmit_; r < requests_.size(); ++r) {
+        if (requests_[r].arrival > now_)
+            break;
+        ++due;
+    }
+    m.set(mIds_.srvAdmitQueue, static_cast<double>(due));
+    m.set(mIds_.srvWatermarkHits,
+          static_cast<double>(watermarkHits_));
     m.record(now_);
 }
 
@@ -366,6 +383,141 @@ Machine::input(std::uint16_t cb, std::uint16_t param, graph::Value v)
     const sim::NodeId dst = mapToken(t);
     t.pe = dst;
     pushInQ(shardOf(dst), *pes_[dst], std::move(t));
+}
+
+std::uint32_t
+Machine::submit(std::uint16_t cb, std::vector<graph::Value> args,
+                sim::Cycle arrival)
+{
+    const graph::CodeBlock &block = program_.codeBlock(cb);
+    SIM_ASSERT_MSG(args.size() == block.numParams,
+                   "request for '{}' carries {} args; the block takes "
+                   "{}", block.name, args.size(), block.numParams);
+    SIM_ASSERT_MSG(requests_.empty() ||
+                       arrival >= requests_.back().arrival,
+                   "requests must be submitted in arrival order");
+    const auto rid = static_cast<std::uint32_t>(requests_.size());
+    requests_.push_back(
+        ServeRequest{cb, std::move(args), arrival, false});
+    return rid;
+}
+
+void
+Machine::injectRequest(std::uint32_t rid)
+{
+    // Mirrors input(), except the initiation number carries the
+    // request id: all of request r's root-context activity runs with
+    // iter == r + 1, which is what completion detection and deadlock
+    // attribution key on.
+    ServeRequest &r = requests_[rid];
+    const graph::CodeBlock &block = program_.codeBlock(r.cb);
+    for (std::uint16_t param = 0; param < r.args.size(); ++param) {
+        graph::Token t;
+        t.kind = graph::TokenKind::Normal;
+        t.tag = graph::Tag{graph::rootContext, r.cb, param, rid + 1};
+        t.port = 0;
+        t.nt = block.at(param).nt;
+        t.data = std::move(r.args[param]);
+        if (observing_)
+            t.seq = tokenSeq_++;
+        const sim::NodeId dst = mapToken(t);
+        t.pe = dst;
+        pushInQ(shardOf(dst), *pes_[dst], std::move(t));
+    }
+    r.args.clear();
+}
+
+void
+Machine::updateAdmissionGate()
+{
+    if (cfg_.wmHighWatermark == 0)
+        return; // admission control off: the gate never closes
+    const std::uint64_t wm = wmTotal();
+    if (!admitBlocked_) {
+        if (wm >= cfg_.wmHighWatermark) {
+            admitBlocked_ = true;
+            ++watermarkHits_;
+        }
+    } else {
+        const std::uint64_t low =
+            cfg_.wmLowWatermark != 0 ? cfg_.wmLowWatermark
+                                     : cfg_.wmHighWatermark / 2;
+        if (wm <= low)
+            admitBlocked_ = false;
+    }
+}
+
+void
+Machine::serveAdmit()
+{
+    updateAdmissionGate();
+    while (nextAdmit_ < requests_.size() &&
+           requests_[nextAdmit_].arrival <= now_)
+    {
+        if (admitBlocked_) {
+            // A quiescent machine can never drain the waiting-matching
+            // store any further, so a shut gate would hold its due
+            // requests forever: force exactly one through (the next
+            // iteration sees a non-quiescent machine and stops).
+            if (!idle())
+                break;
+        }
+        injectRequest(static_cast<std::uint32_t>(nextAdmit_++));
+        updateAdmissionGate();
+    }
+}
+
+bool
+Machine::serveAdvance()
+{
+    if (nextAdmit_ >= requests_.size())
+        return false;
+    const sim::Cycle arrival = requests_[nextAdmit_].arrival;
+    if (arrival > now_) {
+        // Quiescent between arrivals: jump straight to the next one,
+        // with the same batch accounting and fabric-clock resync as
+        // skipAhead (nothing can retire before `arrival` — the
+        // machine is idle — so one step() covers the gap).
+        wmResidency_.sample(static_cast<double>(wmTotal()),
+                            arrival - now_);
+        net_->step(arrival - 1);
+        now_ = arrival;
+        SIM_ASSERT_MSG(now_ < cfg_.maxCycles,
+                       "machine exceeded {} cycles; livelock?",
+                       cfg_.maxCycles);
+    }
+    serveAdmit();
+    return true;
+}
+
+void
+Machine::noteRequestOutput(const graph::Tag &tag)
+{
+    // Serving outputs normally fire in the root context carrying the
+    // request's initiation number directly; an OUTPUT inside a callee
+    // context is attributed through the caller chain (0 = a released
+    // context somewhere along it: unattributable, and ignored).
+    const std::uint32_t iter = tag.ctx == graph::rootContext
+                                   ? tag.iter
+                                   : contexts_.rootIter(tag.ctx);
+    if (iter == 0 || iter > requests_.size())
+        return;
+    ServeRequest &r = requests_[iter - 1];
+    if (r.done)
+        return;
+    r.done = true;
+    ++reqCompleted_;
+    reqLatency_.sample(static_cast<double>(now_ - r.arrival));
+}
+
+std::vector<OutputRecord>
+Machine::serve()
+{
+    SIM_ASSERT_MSG(!serving_, "serve() is not reentrant");
+    serving_ = true;
+    std::vector<OutputRecord> out = run();
+    serving_ = false;
+    return out;
 }
 
 graph::IPtr
@@ -529,6 +681,8 @@ Machine::stepInput(Shard &sh, Pe &pe, sim::NodeId id, bool defer)
                 OutputRecord{tok.tag, std::move(tok.data)};
             pe.stage.hasOutput = true;
         } else {
+            if (serving_)
+                noteRequestOutput(tok.tag);
             outputs_.push_back(
                 OutputRecord{tok.tag, std::move(tok.data)});
         }
@@ -983,7 +1137,12 @@ Machine::skipAhead()
 {
     Shard &sh = shards_.front();
     scanShard(sh);
-    const sim::Cycle next = std::min(sh.next, net_->nextDelivery());
+    sim::Cycle next = std::min(sh.next, net_->nextDelivery());
+    // Serving: never jump past the next admissible arrival (a shut
+    // gate cannot reopen without machine progress, which the scan
+    // already tracks, so blocked arrivals don't cap the jump).
+    if (serving_ && !admitBlocked_ && nextAdmit_ < requests_.size())
+        next = std::min(next, requests_[nextAdmit_].arrival);
     if (next <= now_)
         return;
     SIM_ASSERT_MSG(next != sim::neverCycle,
@@ -1021,6 +1180,9 @@ Machine::skipParallel()
     sim::Cycle next = net_->nextDelivery();
     for (const Shard &sh : shards_)
         next = std::min(next, sh.next);
+    // Same arrival clamp as skipAhead, for bit-identical serving.
+    if (serving_ && !admitBlocked_ && nextAdmit_ < requests_.size())
+        next = std::min(next, requests_[nextAdmit_].arrival);
     if (next <= now_)
         return;
     SIM_ASSERT_MSG(next != sim::neverCycle,
@@ -1170,6 +1332,8 @@ Machine::commitCycle()
             continue; // phase A already ticked the stalled PE
         if (st.hasOutput) {
             st.hasOutput = false;
+            if (serving_)
+                noteRequestOutput(st.output.tag);
             outputs_.push_back(std::move(st.output));
         }
         if (serialIsCycle_) {
@@ -1213,13 +1377,32 @@ Machine::runSequential()
 {
     Shard &sh = shards_.front();
     const bool peStalls = faults_ && faults_->hasPeStalls();
-    while (!idle()) {
+    for (;;) {
+        // Serving: admit due requests at the serial point of the tick.
+        if (serving_)
+            serveAdmit();
+        if (idle()) {
+            // Quiescent — done, unless the server still holds queued
+            // requests: jump to the next arrival and carry on.
+            if (!serving_ || !serveAdvance())
+                break;
+            if (idle())
+                continue;
+        }
         // Jump over cycles in which nothing can happen. The jump may
         // drain the last busy countdowns and reach quiescence exactly
         // where the naive per-cycle loop would have stopped.
         skipAhead();
-        if (idle())
-            break;
+        // A skip clamped to an arrival lands exactly on it: admit
+        // before stepping that cycle.
+        if (serving_)
+            serveAdmit();
+        if (idle()) {
+            if (!serving_ || !serveAdvance())
+                break;
+            if (idle())
+                continue;
+        }
         for (std::uint32_t p = 0; p < cfg_.numPEs; ++p) {
             Pe &pe = *pes_[p];
             if (peStalls && faults_->peStalled(now_, p)) {
@@ -1252,10 +1435,27 @@ template <bool Obs>
 void
 Machine::runParallel()
 {
-    while (!idle()) {
+    for (;;) {
+        // Identical serving structure to the sequential engine: both
+        // admission and the idle-time arrival jump run on the calling
+        // thread, at the same logical points, for any thread count.
+        if (serving_)
+            serveAdmit();
+        if (idle()) {
+            if (!serving_ || !serveAdvance())
+                break;
+            if (idle())
+                continue;
+        }
         skipParallel();
-        if (idle())
-            break;
+        if (serving_)
+            serveAdmit();
+        if (idle()) {
+            if (!serving_ || !serveAdvance())
+                break;
+            if (idle())
+                continue;
+        }
         // The serial-IS fallback: while any APPEND is in flight in an
         // input or structure queue, this cycle's I-structure steps
         // (whose copy loops touch other PEs' stores) run in phase B.
@@ -1316,6 +1516,76 @@ Machine::run()
     return outputs_;
 }
 
+void
+Machine::reset()
+{
+    // Run state only. Everything resolved at construction — wiring,
+    // shard layout, the ALU latency table, metrics series, the worker
+    // pool — survives, as do all the warmed allocations (hash-table
+    // capacity, ring buffers, structure chunks, the operand-slot
+    // pool): that reuse is the point of resetting over reconstructing.
+    for (auto &pe_ptr : pes_) {
+        Pe &pe = *pe_ptr;
+        pe.inQ.clear();
+        pe.waitStore.clear();
+        pe.matchBusy = 0;
+        pe.fetchQ.clear();
+        pe.aluBusy = 0;
+        pe.outQ.clear();
+        pe.isQ.clear();
+        pe.isBusy = 0;
+        pe.isStore.reset();
+        pe.stats = PeStats{};
+        Staging &st = pe.stage;
+        st.emitFire.clear();
+        st.emitIs.clear();
+        st.fireUsed = 0;
+        st.isUsed = 0;
+        st.outPlan.clear();
+        st.outFresh.clear();
+        st.fireDeferred = false;
+        st.isDeferred = false;
+        st.tailDeferred = false;
+        st.hasOutput = false;
+    }
+    for (Shard &sh : shards_) {
+        sh.exec.resetFired();
+        sh.activeItems = 0;
+        sh.busyStages = 0;
+        sh.wmEntries = 0;
+        sh.pendingAppends = 0;
+        sh.next = 0;
+        sh.birthToFire.reset();
+        sh.readLatency.reset();
+        if (!sh.prof.empty())
+            sh.prof.resize(program_.totalInstructions());
+        sh.fireBuf.clear();
+        sh.dbgBuf.str(std::string());
+    }
+    contexts_.reset();
+    if (faults_)
+        faults_->reset();
+    net_->reset();
+    outputs_.clear();
+    allocPtr_ = 0;
+    now_ = 0;
+    deadlocked_ = false;
+    wmResidency_.reset();
+    birthToFire_.reset();
+    readLatency_.reset();
+    tokenSeq_ = 0;
+    if (!profile_.empty())
+        profile_.resize(program_.totalInstructions());
+    serialIsCycle_ = false;
+    requests_.clear();
+    nextAdmit_ = 0;
+    reqCompleted_ = 0;
+    watermarkHits_ = 0;
+    admitBlocked_ = false;
+    serving_ = false;
+    reqLatency_.reset();
+}
+
 std::string
 Machine::deadlockReport() const
 {
@@ -1351,6 +1621,47 @@ Machine::deadlockReport() const
         } else {
             os << "  classification: true deadlock — no packets were "
                   "lost\n";
+        }
+    }
+
+    // 0b. Serving runs: attribute stranded activities to the requests
+    // that spawned them (root-context tags carry the request's
+    // initiation number directly; nested contexts resolve through the
+    // caller chain), so a brownout report names the lost requests.
+    if (!requests_.empty()) {
+        std::map<std::uint32_t, std::size_t> byRequest;
+        std::size_t unattributed = 0;
+        for (const auto &pe : pes_) {
+            pe->waitStore.forEach(
+                [&](const graph::Tag &tag, const Waiting &) {
+                    const std::uint32_t iter =
+                        tag.ctx == graph::rootContext
+                            ? tag.iter
+                            : contexts_.rootIter(tag.ctx);
+                    if (iter == 0 || iter > requests_.size())
+                        ++unattributed;
+                    else
+                        byRequest[iter - 1] += 1;
+                });
+        }
+        os << "  serving: " << nextAdmit_ << "/" << requests_.size()
+           << " requests injected, " << reqCompleted_
+           << " completed\n";
+        if (!byRequest.empty() || unattributed > 0) {
+            os << "  stranded activities by request:";
+            std::size_t shown = 0;
+            for (const auto &[rid, n] : byRequest) {
+                if (++shown > kMaxPerSection) {
+                    os << " ... "
+                       << byRequest.size() - kMaxPerSection
+                       << " more request(s)";
+                    break;
+                }
+                os << " r" << rid << ":" << n;
+            }
+            if (unattributed > 0)
+                os << " (+" << unattributed << " unattributed)";
+            os << "\n";
         }
     }
 
@@ -1560,6 +1871,20 @@ Machine::statGroups() const
                       rel_->innerStats().sent.value()));
         }
         groups.push_back(std::move(f));
+    }
+
+    if (!requests_.empty()) {
+        sim::StatGroup srv("serve");
+        srv.set("submitted", static_cast<double>(requests_.size()));
+        srv.set("injected", static_cast<double>(nextAdmit_));
+        srv.set("completed", static_cast<double>(reqCompleted_));
+        srv.set("watermarkHits",
+                static_cast<double>(watermarkHits_));
+        srv.set("latencyMean", reqLatency_.summary().mean());
+        srv.set("latencyP50", reqLatency_.quantile(0.5));
+        srv.set("latencyP99", reqLatency_.quantile(0.99));
+        srv.set("latencyP999", reqLatency_.quantile(0.999));
+        groups.push_back(std::move(srv));
     }
 
     for (std::uint32_t p = 0; p < cfg_.numPEs; ++p) {

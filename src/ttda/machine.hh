@@ -108,6 +108,14 @@ struct MachineConfig
     std::uint32_t matchCapacity = 0;
     sim::Cycle matchOverflowPenalty = 10;
 
+    /** Admission control for the serving fast path (serve()): stop
+     *  injecting queued requests once total waiting-matching occupancy
+     *  reaches the high watermark, and resume once it drains back to
+     *  the low watermark (0 = high/2). high == 0 disables the gate:
+     *  every request is injected the cycle it arrives. */
+    std::uint32_t wmHighWatermark = 0;
+    std::uint32_t wmLowWatermark = 0;
+
     // I-structure controller.
     sim::Cycle isReadCycles = 1;
     sim::Cycle isWriteCycles = 2;
@@ -223,6 +231,46 @@ class Machine
     /** Run to quiescence (or deadlock / maxCycles). */
     std::vector<OutputRecord> run();
 
+    // ---- steady-state serving fast path ----------------------------
+
+    /** Queue one request for serve(): a fresh root application of code
+     *  block `cb` with args[i] bound to parameter i, arriving
+     *  (open-loop) at cycle `arrival`. Requests must be submitted in
+     *  non-decreasing arrival order. @return the request id; tokens of
+     *  request r run in the root context with iter == r + 1, so its
+     *  OUTPUT records (and stranded activities in deadlockReport())
+     *  are attributable to it. */
+    std::uint32_t submit(std::uint16_t cb,
+                         std::vector<graph::Value> args,
+                         sim::Cycle arrival);
+
+    /** Run the machine as a server: inject every submitted request
+     *  into the running machine at its arrival cycle (subject to the
+     *  admission watermark), run to quiescence, and record each
+     *  request's arrival-to-completion latency into requestLatency().
+     *  Injection happens at the serial point of the tick, so serving
+     *  runs are bit-identical for any `threads`. */
+    std::vector<OutputRecord> serve();
+
+    /** Return the machine to its freshly-constructed state while
+     *  keeping every warmed allocation: the waiting-matching stores
+     *  keep their table capacity, structure storage its materialized
+     *  chunks, network queues and heaps their buffers, and the worker
+     *  pool its threads. A reset-then-run is bit-identical to a fresh
+     *  machine's run (cycle count, outputs, statistics). The external
+     *  MetricsRecorder, if any, is not rewound — reuse across resets
+     *  needs a fresh recorder per run. */
+    void reset();
+
+    /** Arrival-to-completion latency (cycles), one sample per
+     *  completed request; includes admission queueing delay. */
+    const sim::Histogram &requestLatency() const { return reqLatency_; }
+    std::uint64_t requestsSubmitted() const { return requests_.size(); }
+    std::uint64_t requestsCompleted() const { return reqCompleted_; }
+    /** Admission-gate closures: open -> blocked transitions at the
+     *  high watermark while serving. */
+    std::uint64_t watermarkHits() const { return watermarkHits_; }
+
     sim::Cycle cycles() const { return now_; }
     bool deadlocked() const { return deadlocked_; }
 
@@ -321,6 +369,17 @@ class Machine
         graph::EnabledInstruction enabled;
         sim::Cycle readyAt = 0;
         std::uint32_t born = 0; //!< birth of the enabling (last) token
+    };
+
+    /** One queued serving request: a root application injected into
+     *  the running machine when its arrival cycle is due and the
+     *  admission gate is open. */
+    struct ServeRequest
+    {
+        std::uint16_t cb = 0;
+        std::vector<graph::Value> args; //!< moved out on injection
+        sim::Cycle arrival = 0;
+        bool done = false; //!< first OUTPUT seen; latency recorded
     };
 
     /**
@@ -510,6 +569,32 @@ class Machine
 
     bool idle() const;
 
+    // ---- steady-state serving --------------------------------------
+    // All four run at serial points of the tick (top of the run-loop
+    // iteration or inside the serial output commit), so serving is
+    // bit-identical across thread counts.
+
+    /** Inject request `rid` as a fresh top-level context: one token
+     *  per parameter, tagged <root, cb, param, rid + 1>. */
+    void injectRequest(std::uint32_t rid);
+
+    /** Admission step: refresh the watermark gate and inject every
+     *  due request it admits — plus one forced through when the
+     *  machine is quiescent and the gate is wedged shut by stranded
+     *  waiting-matching entries (the gate cannot reopen on its own). */
+    void serveAdmit();
+
+    /** Hysteresis on wmTotal(): block at >= high, reopen at <= low. */
+    void updateAdmissionGate();
+
+    /** Jump a quiescent machine to the next arrival and admit there.
+     *  @return false when no requests remain to inject. */
+    bool serveAdvance();
+
+    /** The first OUTPUT carrying a request's initiation number
+     *  completes it (latency sample, completion count). */
+    void noteRequestOutput(const graph::Tag &tag);
+
     // ---- event-driven scheduler ------------------------------------
     // The run() loop skips stretches of cycles in which no stage can
     // make progress; these helpers keep the counters that make the
@@ -671,8 +756,20 @@ class Machine
         sim::MetricsRecorder::SeriesId faultsDestroyed = 0;
         sim::MetricsRecorder::SeriesId relRetransmits = 0;
         sim::MetricsRecorder::SeriesId relPending = 0;
+        sim::MetricsRecorder::SeriesId srvInFlight = 0;
+        sim::MetricsRecorder::SeriesId srvAdmitQueue = 0;
+        sim::MetricsRecorder::SeriesId srvWatermarkHits = 0;
     };
     MetricsIds mIds_;
+
+    // ---- steady-state serving (serve()) ----------------------------
+    std::vector<ServeRequest> requests_;
+    std::size_t nextAdmit_ = 0; //!< first request not yet injected
+    std::uint64_t reqCompleted_ = 0;
+    std::uint64_t watermarkHits_ = 0;
+    bool admitBlocked_ = false; //!< admission gate currently shut
+    bool serving_ = false;      //!< inside serve()
+    sim::Histogram reqLatency_{16.0, 4096};
 
     // ---- hot-spot profiler (cfg_.profile) --------------------------
     graph::InstrProfile profile_;

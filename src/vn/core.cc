@@ -71,12 +71,17 @@ VnCore::utilization() const
 bool
 VnCore::selectContext()
 {
-    if (contexts_[current_].state == CtxState::Ready)
+    // A context parked by an Idle trace op is Ready but not runnable
+    // until its deadline passes; it never charges a switch.
+    auto runnable = [&](const Context &c) {
+        return c.state == CtxState::Ready && c.idleUntil <= nowCache_;
+    };
+    if (runnable(contexts_[current_]))
         return true;
     for (std::uint32_t k = 1; k <= contexts_.size(); ++k) {
         const std::uint32_t c =
             (current_ + k) % static_cast<std::uint32_t>(contexts_.size());
-        if (contexts_[c].state == CtxState::Ready) {
+        if (runnable(contexts_[c])) {
             current_ = c;
             switchPenalty_ = cfg_.switchCost;
             return true;
@@ -140,6 +145,12 @@ VnCore::execTrace(Context &ctx, std::uint32_t ci)
         ctx.state = CtxState::Done;
         return std::nullopt;
     }
+    if (op->kind == TraceOp::Kind::Idle) {
+        // Not an instruction: the context parks until the absolute
+        // deadline and will ask the source again once it passes.
+        ctx.idleUntil = op->addr;
+        return std::nullopt;
+    }
     stats_.instructions.inc();
     switch (op->kind) {
       case TraceOp::Kind::Compute:
@@ -168,6 +179,8 @@ VnCore::execTrace(Context &ctx, std::uint32_t ci)
         acc.data = 0;
         return acc;
       }
+      case TraceOp::Kind::Idle:
+        break; // handled before the instruction count above
     }
     return std::nullopt;
 }

@@ -58,7 +58,16 @@ struct MemAccess
 /** One synthetic operation from a trace source. */
 struct TraceOp
 {
-    enum class Kind : std::uint8_t { Compute, Load, Store };
+    enum class Kind : std::uint8_t
+    {
+        Compute,
+        Load,
+        Store,
+        Idle, //!< sleep until the absolute cycle in `addr` (the serving
+              //!< driver's "no request due yet": the context is parked
+              //!< without blocking the core's other contexts, and asks
+              //!< the source again once the deadline passes)
+    };
 
     Kind kind = Kind::Compute;
     std::uint64_t addr = 0;
@@ -172,6 +181,7 @@ class VnCore
         std::array<mem::Word, 32> regs{};
         sim::Cycle computeLeft = 0; //!< trace mode: busy remainder
         sim::Cycle blockedAt = 0;   //!< cycle the blocking ref issued
+        sim::Cycle idleUntil = 0;   //!< trace mode: parked until here
     };
 
     /** Select the next Ready context (round robin); returns false if
