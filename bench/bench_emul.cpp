@@ -20,6 +20,7 @@
 
 #include "bench_util.hh"
 
+#include "common/fleet.hh"
 #include "ttda/emulator.hh"
 #include "workloads/id_sources.hh"
 #include "workloads/rowsum.hh"
@@ -35,9 +36,10 @@ struct Row
     std::string workload;
     std::string mode;
     std::size_t batch = 1;
-    double hostMs = 0;  //!< per context
-    double speedup = 1; //!< vs interp on the same workload
+    double hostMs = 0;  //!< per context (fleet rows: whole job set)
+    double speedup = 1; //!< vs interp; fleet rows: scaling vs w=1
     bool ok = true;     //!< outputs + firings match the interpreter
+    unsigned workers = 0; //!< fleet rows only
 };
 
 double
@@ -75,10 +77,13 @@ writeJson(const std::vector<Row> &rows, const std::string &path)
            << "      \"name\": \"" << r.workload << "/" << r.mode;
         if (r.mode == "lanes")
             os << "/b" << r.batch;
+        if (r.mode == "fleet")
+            os << "/w" << r.workers;
         os << "\",\n"
            << "      \"workload\": \"" << r.workload << "\",\n"
            << "      \"mode\": \"" << r.mode << "\",\n"
            << "      \"batch\": " << r.batch << ",\n"
+           << "      \"workers\": " << r.workers << ",\n"
            << "      \"hostMs\": " << r.hostMs << ",\n"
            << "      \"speedup\": " << r.speedup << "\n"
            << "    }" << (i + 1 < rows.size() ? "," : "") << "\n";
@@ -185,6 +190,65 @@ main(int argc, char **argv)
                           [&] { prog->execute(b, c.inputs, {}); }) /
                        static_cast<double>(b),
                    ok);
+        }
+
+        // ---- fleet of lane-VM contexts -------------------------
+        // K independent lane-batched jobs over ONE shared const
+        // CompiledProgram, pulled by W workers from the fleet's job
+        // queue. Every job's outputs are checked against the
+        // interpreter (bit-identity), and firing counts must match
+        // the W=1 run. speedup here is host-time *scaling* vs the
+        // 1-worker fleet — informational, ~1.0 on a 1-CPU host —
+        // and hostMs covers the whole job set.
+        {
+            constexpr std::size_t kFleetJobs = 8;
+            constexpr std::size_t kFleetLanes = 16;
+            std::vector<std::uint64_t> refFired;
+            double w1Ms = 0.0;
+            for (const unsigned w : {1u, 2u, 4u}) {
+                sim::Fleet::Config fc;
+                fc.workers = w;
+                sim::Fleet fleet(fc);
+                std::vector<std::uint64_t> fired(kFleetJobs, 0);
+                std::vector<char> jobOk(kFleetJobs, 0);
+                const double ms = bestMs(3, [&] {
+                    fleet.run(
+                        kFleetJobs, [&](unsigned, std::size_t j) {
+                            const auto br = prog->execute(
+                                kFleetLanes, c.inputs, {});
+                            fired[j] = br.fired;
+                            jobOk[j] =
+                                br.outputs.at(0) == want &&
+                                br.fired == wantFired * kFleetLanes;
+                        });
+                });
+                bool ok = true;
+                for (const char o : jobOk)
+                    ok = ok && o != 0;
+                if (w == 1) {
+                    refFired = fired;
+                    w1Ms = ms;
+                } else {
+                    ok = ok && fired == refFired;
+                }
+                Row row;
+                row.workload = c.name;
+                row.mode = "fleet";
+                row.batch = kFleetLanes;
+                row.workers = w;
+                row.hostMs = ms;
+                row.speedup = ms > 0.0 && w1Ms > 0.0 ? w1Ms / ms
+                                                     : 1.0;
+                row.ok = ok;
+                rows.push_back(row);
+                t.addRow({"", sim::format("fleet w{}", w),
+                          sim::Table::num(std::uint64_t{kFleetLanes}),
+                          sim::Table::num(
+                              ms * 1e3 / (kFleetJobs * kFleetLanes),
+                              2),
+                          sim::Table::num(row.speedup, 1) + "x",
+                          ok ? "ok" : "DIFFER"});
+            }
         }
     }
     t.print(std::cout);

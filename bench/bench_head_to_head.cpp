@@ -21,7 +21,7 @@ namespace
 
 sim::Cycle
 runVn(std::uint32_t cores, std::uint32_t contexts, std::int64_t n,
-      sim::Cycle latency)
+      sim::Cycle latency, bench::SimOptions &opts)
 {
     vn::VnMachineConfig cfg;
     cfg.numCores = cores;
@@ -32,6 +32,8 @@ runVn(std::uint32_t cores, std::uint32_t contexts, std::int64_t n,
     cfg.wordsPerModule = 4096;
     cfg.blockedAddressing = false; // interleave the array
     cfg.colocated = false;
+    opts.apply(cfg);
+    cfg.metrics = nullptr; // many runs per table: no shared series
     vn::VnMachine m(cfg);
 
     static const auto prog = workloads::buildRowSumVn();
@@ -67,8 +69,9 @@ runVn(std::uint32_t cores, std::uint32_t contexts, std::int64_t n,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::SimOptions opts(argc, argv);
     const std::int64_t n = 24;
     // Pure consumer version: the TTDA reads the same pre-initialized
     // array the vN machines do.
@@ -93,10 +96,10 @@ main()
         "completion cycles", n, n));
     t.header({"latency", "vN blocking (8 cores)",
               "vN 8 contexts (8 cores)", "TTDA (8 PEs)",
-              "blocking/TTDA"});
+              "blocking/TTDA", "ttda host ms"});
     for (sim::Cycle latency : {2u, 8u, 32u, 128u}) {
-        const auto vn_blocking = runVn(8, 1, n, latency);
-        const auto vn_ctx = runVn(8, 8, n, latency);
+        const auto vn_blocking = runVn(8, 1, n, latency, opts);
+        const auto vn_ctx = runVn(8, 8, n, latency, opts);
 
         ttda::MachineConfig cfg;
         cfg.numPEs = 8;
@@ -104,24 +107,47 @@ main()
         // Distribute work by invocation (one row's loop per PE), the
         // real TTDA's unit of work distribution.
         cfg.mapping = ttda::MachineConfig::Mapping::ByContext;
-        ttda::Machine m(compiled.program, cfg);
-        const graph::IPtr arr = m.preload(array_values);
-        m.input(compiled.startCb, 0, graph::Value{arr});
-        m.input(compiled.startCb, 1, graph::Value{n});
-        auto out = m.run();
-        SIM_ASSERT_MSG(!out.empty() &&
-                           out[0].value.asInt() ==
-                               workloads::rowSumExpected(n),
-                       "ttda row-sum produced the wrong total");
-        bench::TtdaRun ttda;
-        ttda.cycles = m.cycles();
+        opts.apply(cfg);
+        cfg.metrics = nullptr; // many runs per table: no shared series
+
+        // Best-of---reps host time (after --warmup untimed passes)
+        // for the TTDA run; the cycle counts are identical each rep.
+        sim::Cycle ttdaCycles = 0;
+        const auto runOnce = [&] {
+            ttda::Machine m(compiled.program, cfg);
+            const graph::IPtr arr = m.preload(array_values);
+            m.input(compiled.startCb, 0, graph::Value{arr});
+            m.input(compiled.startCb, 1, graph::Value{n});
+            auto out = m.run();
+            SIM_ASSERT_MSG(!out.empty() &&
+                               out[0].value.asInt() ==
+                                   workloads::rowSumExpected(n),
+                           "ttda row-sum produced the wrong total");
+            ttdaCycles = m.cycles();
+        };
+        for (std::uint32_t r = 0; r < opts.warmup(); ++r)
+            runOnce();
+        double bestMs = 0.0;
+        for (std::uint32_t r = 0; r < opts.reps(); ++r) {
+            const auto t0 = std::chrono::steady_clock::now();
+            runOnce();
+            const double ms =
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+            if (r == 0 || ms < bestMs)
+                bestMs = ms;
+        }
 
         t.addRow({sim::Table::num(std::uint64_t{latency}),
                   sim::Table::num(std::uint64_t{vn_blocking}),
                   sim::Table::num(std::uint64_t{vn_ctx}),
-                  sim::Table::num(ttda.cycles),
+                  sim::Table::num(ttdaCycles),
                   sim::Table::num(static_cast<double>(vn_blocking) /
-                                      ttda.cycles, 2) + "x"});
+                                      static_cast<double>(ttdaCycles),
+                                  2) +
+                      "x",
+                  sim::Table::num(bestMs, 2)});
     }
     t.print(std::cout);
 

@@ -3,9 +3,23 @@
  * Host-performance microbenchmarks (google-benchmark): throughput of
  * the simulator's hot paths. These are engineering benchmarks for the
  * simulator itself, complementing the E1-E11 experiment binaries.
+ *
+ * Arguments go through bench::SimOptions like every other bench:
+ * --threads/--seed/--fault-seed/--fault-plan/--reliable shape the
+ * machine configs below, and --reps=N forwards to google-benchmark as
+ * --benchmark_repetitions=N. Native --benchmark_* flags still work —
+ * they are split out before SimOptions sees (and would reject) them.
+ * Observability sinks (--trace/--metrics) are not wired in: machines
+ * constructed inside a timing loop run dark.
  */
 
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
 
 #include "common/random.hh"
 #include "id/codegen.hh"
@@ -17,6 +31,23 @@
 
 namespace
 {
+
+bench::SimOptions *gOpts = nullptr;
+
+/** Machine config for the cycle-level benches: shared flags applied,
+ *  observability sinks stripped (dark timing loop). */
+ttda::MachineConfig
+machineConfig(std::uint32_t pes)
+{
+    ttda::MachineConfig cfg;
+    cfg.numPEs = pes;
+    if (gOpts)
+        gOpts->apply(cfg);
+    cfg.trace = nullptr;
+    cfg.tracer = nullptr;
+    cfg.metrics = nullptr;
+    return cfg;
+}
 
 void
 BM_IStructureStoreFetch(benchmark::State &state)
@@ -84,8 +115,8 @@ BM_MachineFib(benchmark::State &state)
     const id::Compiled compiled = id::compile(kFibSource);
     std::uint64_t cycles = 0;
     for (auto _ : state) {
-        ttda::MachineConfig cfg;
-        cfg.numPEs = static_cast<std::uint32_t>(state.range(0));
+        const auto cfg = machineConfig(
+            static_cast<std::uint32_t>(state.range(0)));
         ttda::Machine m(compiled.program, cfg);
         m.input(compiled.startCb, 0, graph::Value{std::int64_t{12}});
         auto out = m.run();
@@ -104,8 +135,7 @@ BM_MachineWavefront(benchmark::State &state)
         id::compile(workloads::src::wavefront);
     std::uint64_t fired = 0;
     for (auto _ : state) {
-        ttda::MachineConfig cfg;
-        cfg.numPEs = 8;
+        const auto cfg = machineConfig(8);
         ttda::Machine m(compiled.program, cfg);
         m.input(compiled.startCb, 0, graph::Value{std::int64_t{8}});
         auto out = m.run();
@@ -158,4 +188,42 @@ BENCHMARK(BM_CompileTrapezoid);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Split argv: google-benchmark's own flags bypass SimOptions
+    // (which fatals on flags it doesn't know), everything else goes
+    // through the shared parser first.
+    std::vector<char *> bmArgs, simArgs;
+    if (argc > 0) {
+        bmArgs.push_back(argv[0]);
+        simArgs.push_back(argv[0]);
+    }
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--benchmark_", 12) == 0)
+            bmArgs.push_back(argv[i]);
+        else
+            simArgs.push_back(argv[i]);
+    }
+    int simArgc = static_cast<int>(simArgs.size());
+    static bench::SimOptions opts(simArgc, simArgs.data());
+    gOpts = &opts;
+
+    // --reps means "timed repetitions" everywhere else; forward it as
+    // google-benchmark's equivalent. (--warmup has no counterpart —
+    // the harness already runs untimed calibration iterations.)
+    std::string repsFlag;
+    if (opts.repsSet()) {
+        repsFlag = "--benchmark_repetitions=" +
+                   std::to_string(opts.reps());
+        bmArgs.push_back(repsFlag.data());
+    }
+
+    int bmArgc = static_cast<int>(bmArgs.size());
+    benchmark::Initialize(&bmArgc, bmArgs.data());
+    if (benchmark::ReportUnrecognizedArguments(bmArgc, bmArgs.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

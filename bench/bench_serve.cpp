@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "bench_util.hh"
+#include "serve/fleet.hh"
 #include "workloads/arrivals.hh"
 #include "workloads/dfg_programs.hh"
 #include "workloads/vn_serve.hh"
@@ -64,6 +65,11 @@ struct Row
     double hostMs = 0.0;
     // ttda_reset_reuse only:
     double freshMs = 0.0, reuseMs = 0.0, resetSpeedup = 0.0;
+    // fleet rows only:
+    std::uint32_t workers = 0; //!< 0 marks non-fleet rows
+    std::uint64_t jobs = 0;
+    double jobsPerSec = 0.0;  //!< host-time throughput (informational)
+    double fleetScaling = 0.0; //!< jobsPerSec / the w=1 row's
 };
 
 std::uint32_t gReps = 3;
@@ -180,6 +186,10 @@ writeJson(const std::vector<Row> &rows, const std::string &path)
            << "      \"freshMs\": " << r.freshMs << ",\n"
            << "      \"reuseMs\": " << r.reuseMs << ",\n"
            << "      \"resetSpeedup\": " << r.resetSpeedup << ",\n"
+           << "      \"workers\": " << r.workers << ",\n"
+           << "      \"jobs\": " << r.jobs << ",\n"
+           << "      \"jobsPerSec\": " << r.jobsPerSec << ",\n"
+           << "      \"fleetScaling\": " << r.fleetScaling << ",\n"
            << "      \"hostMs\": " << r.hostMs << "\n"
            << "    }" << (i + 1 < rows.size() ? "," : "") << "\n";
     }
@@ -422,6 +432,159 @@ main(int argc, char **argv)
                        row.completed, row.requests);
         opts.writeMetrics(row.name);
         rows.push_back(std::move(row));
+    }
+
+    // ---- fleet: job-level scale-out across warm replicas -----------
+    // M concurrent epochs (closed loop: all queued up front) pulled
+    // by W workers from the sharded job queue. Per-job results are
+    // bit-identical for every W — asserted against the W=1 run — so
+    // the only thing the worker count may change is hostMs. jobs/sec
+    // and the scaling ratio are host-time facts: informational, and
+    // ~1.0 scaling expected on a 1-CPU host.
+    {
+        constexpr std::size_t kFleetJobs = 16;
+        constexpr std::size_t kFleetReq = 32;
+        std::vector<serve::FleetJob> jobs(kFleetJobs);
+        for (std::size_t j = 0; j < kFleetJobs; ++j) {
+            workloads::ArrivalConfig ac;
+            ac.meanGap = svcGap / 0.8;
+            ac.seed = sim::deriveJobSeed(kSchedSeed, j);
+            const auto arrivals =
+                workloads::arrivalSchedule(ac, kFleetReq);
+            jobs[j].cb = cb;
+            for (const sim::Cycle at : arrivals)
+                jobs[j].requests.push_back(
+                    serve::FleetRequest{{graph::Value{kFibN}}, at});
+        }
+
+        std::vector<serve::FleetJobResult> ref;
+        double w1JobsPerSec = 0.0;
+        for (const unsigned w : {1u, 2u, 4u}) {
+            serve::FleetConfig fc;
+            fc.workers = w;
+            serve::TtdaFleet fleet(prog, serveCfg, fc);
+            std::vector<serve::FleetJobResult> results;
+            const double ms =
+                bestMs([&] { results = fleet.run(jobs); });
+
+            Row row;
+            row.name = sim::format("ttda_fleet_w{}", w);
+            row.tier = "fleet";
+            row.rho = 0.8;
+            row.workers = w;
+            row.jobs = kFleetJobs;
+            for (const auto &r : results) {
+                row.requests += r.submitted;
+                row.completed += r.completed;
+                row.simCycles += r.cycles;
+                row.watermarkHits += r.watermarkHits;
+                if (r.deadlocked)
+                    sim::fatal("{}: fleet job deadlocked", row.name);
+            }
+            if (row.completed != row.requests)
+                sim::fatal("{}: {} of {} requests completed",
+                           row.name, row.completed, row.requests);
+            row.offeredPerKcycle = 1000.0 * 0.8 / svcGap;
+            row.completedPerKcycle =
+                1000.0 * static_cast<double>(row.completed) /
+                static_cast<double>(row.simCycles);
+            fillLatency(row,
+                        serve::TtdaFleet::mergedLatency(results));
+            row.hostMs = ms;
+            row.jobsPerSec =
+                ms > 0.0 ? 1000.0 * kFleetJobs / ms : 0.0;
+            if (w == 1) {
+                ref = results;
+                w1JobsPerSec = row.jobsPerSec;
+                row.fleetScaling = 1.0;
+            } else {
+                row.fleetScaling = w1JobsPerSec > 0.0
+                                       ? row.jobsPerSec / w1JobsPerSec
+                                       : 0.0;
+                // The tentpole contract: worker count, replica
+                // assignment, and steal order must not reach results.
+                for (std::size_t j = 0; j < ref.size(); ++j) {
+                    const auto &a = ref[j];
+                    const auto &b = results[j];
+                    if (a.cycles != b.cycles ||
+                        a.outputs.size() != b.outputs.size() ||
+                        a.latency.bins() != b.latency.bins())
+                        sim::fatal("{}: job {} diverged from the "
+                                   "1-worker fleet (cycles {} vs {})",
+                                   row.name, j, b.cycles, a.cycles);
+                    for (std::size_t i = 0; i < a.outputs.size(); ++i)
+                        if (!(a.outputs[i].value == b.outputs[i].value))
+                            sim::fatal("{}: job {} output {} diverged",
+                                       row.name, j, i);
+                }
+            }
+            rows.push_back(std::move(row));
+        }
+    }
+
+    // The von Neumann tier's fleet: fresh machine per job (no warm
+    // reset path on that tier), same determinism assertion.
+    {
+        constexpr std::size_t kVnJobs = 8;
+        std::vector<serve::VnFleetJob> vnJobs(kVnJobs);
+        for (std::size_t j = 0; j < kVnJobs; ++j) {
+            workloads::ArrivalConfig ac;
+            ac.meanGap = vnSvcGap / 0.8;
+            ac.seed = sim::deriveJobSeed(kSchedSeed, j);
+            vnJobs[j].requests =
+                vnRequests(workloads::arrivalSchedule(ac, 64));
+        }
+        std::vector<serve::VnFleetJobResult> ref;
+        double w1JobsPerSec = 0.0;
+        for (const unsigned w : {1u, 2u, 4u}) {
+            serve::FleetConfig fc;
+            fc.workers = w;
+            serve::VnFleet fleet(vnCfg, fc);
+            std::vector<serve::VnFleetJobResult> results;
+            const double ms =
+                bestMs([&] { results = fleet.run(vnJobs); });
+
+            Row row;
+            row.name = sim::format("vn_fleet_w{}", w);
+            row.tier = "fleet";
+            row.rho = 0.8;
+            row.workers = w;
+            row.jobs = kVnJobs;
+            sim::Histogram lat;
+            for (const auto &r : results) {
+                row.requests += r.submitted;
+                row.completed += r.completed;
+                row.simCycles += r.cycles;
+                lat.merge(r.latency);
+            }
+            if (row.completed != row.requests)
+                sim::fatal("{}: {} of {} requests completed",
+                           row.name, row.completed, row.requests);
+            row.offeredPerKcycle = 1000.0 * 0.8 / vnSvcGap;
+            row.completedPerKcycle =
+                1000.0 * static_cast<double>(row.completed) /
+                static_cast<double>(row.simCycles);
+            fillLatency(row, lat);
+            row.hostMs = ms;
+            row.jobsPerSec = ms > 0.0 ? 1000.0 * kVnJobs / ms : 0.0;
+            if (w == 1) {
+                ref = results;
+                w1JobsPerSec = row.jobsPerSec;
+                row.fleetScaling = 1.0;
+            } else {
+                row.fleetScaling = w1JobsPerSec > 0.0
+                                       ? row.jobsPerSec / w1JobsPerSec
+                                       : 0.0;
+                for (std::size_t j = 0; j < ref.size(); ++j)
+                    if (ref[j].cycles != results[j].cycles ||
+                        ref[j].latency.bins() !=
+                            results[j].latency.bins())
+                        sim::fatal("{}: job {} diverged from the "
+                                   "1-worker fleet",
+                                   row.name, j);
+            }
+            rows.push_back(std::move(row));
+        }
     }
 
     sim::Table t(sim::format(

@@ -182,9 +182,11 @@ class SimOptions
                     std::stoul(std::string(arg.substr(7))));
                 if (reps_ == 0)
                     sim::fatal("--reps must be >= 1");
+                repsSet_ = true;
             } else if (arg.rfind("--warmup=", 0) == 0) {
                 warmup_ = static_cast<std::uint32_t>(
                     std::stoul(std::string(arg.substr(9))));
+                warmupSet_ = true;
             } else if (arg.size() > 2 && arg.rfind("--", 0) == 0) {
                 sim::fatal("unknown flag '{}' (shared flags: --trace, "
                            "--trace-cats, --stats-json, --threads, "
@@ -257,6 +259,11 @@ class SimOptions
      *  allocator pools, page-faults the working set, and (for a
      *  reset()-reused machine) warms its hash stores. */
     std::uint32_t warmup() const { return warmup_; }
+    /** Whether --reps / --warmup were given explicitly (harnesses
+     *  with their own repetition machinery, e.g. google-benchmark,
+     *  forward them only when the user asked). */
+    bool repsSet() const { return repsSet_; }
+    bool warmupSet() const { return warmupSet_; }
 
     /** The tiers a comparison bench should run: the selected one, or
      *  all three when --emul was not given. */
@@ -404,6 +411,8 @@ class SimOptions
     std::string profileFoldedPath_;
     std::uint32_t reps_ = 3;
     std::uint32_t warmup_ = 1;
+    bool repsSet_ = false;
+    bool warmupSet_ = false;
 };
 
 /**

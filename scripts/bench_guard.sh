@@ -16,7 +16,11 @@
 # reset-reuse row is gated on its fresh/reuse speedup ratio (a
 # same-process ratio, noise-tolerant like the emul speedups), and
 # brownout rows ("faulted": true) are degradation measurements —
-# informational only.
+# informational only. Fleet rows ("workers" > 1, and "mode": "fleet"
+# in BENCH_emul.json) measure host-parallel scaling — informational
+# (a 1-CPU runner scales at ~1.0x); their 1-worker twins keep the
+# hostMs floor and the bench binaries fatal on any cross-worker-count
+# result divergence.
 #
 # Configs present in only one of the two files (new benchmarks, or a
 # renamed baseline entry) are reported but do not fail the guard.
@@ -102,6 +106,14 @@ if len(sys.argv) > 7:
             print(f"bench_guard: note: emul baseline '{base['name']}' "
                   "not in current run")
             continue
+        if base["mode"] == "fleet":
+            # Fleet rows report host-time *scaling* vs the 1-worker
+            # fleet in "speedup" — a core-count fact of the host
+            # (~1.0 on a 1-CPU runner), never a gated quantity. The
+            # bit-identity assertion lives in the bench binary itself.
+            print(f"bench_guard: info {base['name']:24} scaling "
+                  f"{base['speedup']:7.2f}x -> {cur['speedup']:7.2f}x")
+            continue
         ratio = cur["speedup"] / base["speedup"] if base["speedup"] > 0 else 1.0
         verdict = "FAIL" if ratio < 1 - threshold / 100 else "ok"
         print(f"bench_guard: {verdict:4} {base['name']:24} speedup "
@@ -142,6 +154,16 @@ if len(sys.argv) > 9:
             ratio = cur["hostMs"] / base["hostMs"] if base["hostMs"] > 0 else 1.0
             print(f"bench_guard: info {base['name']:24} "
                   f"{base['hostMs']:9.2f}ms -> {cur['hostMs']:9.2f}ms  ({ratio:5.2f}x)")
+            continue
+        if base.get("workers", 0) > 1:
+            # Multi-worker fleet rows measure host-parallel scaling —
+            # a property of the runner's core count, ~1.0 on a 1-CPU
+            # host. Informational; the 1-worker fleet row keeps the
+            # hostMs gating floor, and the bench binary fatals if any
+            # worker count changes a result bit.
+            print(f"bench_guard: info {base['name']:24} "
+                  f"{base['hostMs']:9.2f}ms -> {cur['hostMs']:9.2f}ms  "
+                  f"scaling {cur.get('fleetScaling', 0):5.2f}x")
             continue
         if cur["simCycles"] != base["simCycles"]:
             print(f"bench_guard: note: {base['name']} simCycles changed "

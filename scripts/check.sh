@@ -136,6 +136,17 @@ assert any(r["name"] == "ttda_reset_reuse" for r in runs)
 assert any(r.get("faulted") for r in runs), "no brownout row"
 EOF
 
+# --- Fleet smoke ---------------------------------------------------
+# 8. The deterministic fleet under the sanitizers: job-queue /
+#    completion-ring unit suites, the spin-budget resolution tests,
+#    and the warm-replica fleets at workers {1,2,4} with their
+#    bit-identity asserts (worker-count independence, fleet ==
+#    single machine, replica reuse == pristine fleet). Warm replicas
+#    recycle served-on machines across jobs — the reuse path most at
+#    risk of a stale pointer, so it runs with ASan watching.
+"$BUILD_DIR/tests/test_fleet" > /dev/null
+"$BUILD_DIR/tests/test_common" --gtest_filter='WorkerPool*' > /dev/null
+
 # --- Optional throughput guard -------------------------------------
 # CHECK=1 also runs the bench_core regression guard (a separate
 # non-sanitized build; sanitizer overhead would swamp the timings).

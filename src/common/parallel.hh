@@ -17,6 +17,13 @@
  *  - Waiting spins briefly and then yields; the pool targets machines
  *    where every hardware thread is running a shard, so sleeping on a
  *    condition variable per tick would dominate short cycles.
+ *  - The spin budget adapts to the host: when the pool asks for more
+ *    shards than the machine has hardware threads (a fleet of
+ *    machines nesting intra-machine pools, or a CI container pinned
+ *    to one CPU), spinning only steals cycles from the thread that
+ *    would let the barrier complete, so oversubscribed pools go
+ *    yield-first. `SIM_SPIN_BUDGET` overrides the budget explicitly
+ *    (0 = always yield), for experiments and stubborn hosts.
  *  - Exceptions thrown by shard functions are captured and the
  *    lowest-indexed shard's exception is rethrown from run() after the
  *    barrier, so a failing cycle cannot leave workers running.
@@ -45,8 +52,23 @@ class WorkerPool
      * @param threads total shard count, including the calling thread;
      *                clamped below by 1. `threads - 1` host threads are
      *                spawned.
+     * @param spinBudget barrier spin iterations before falling back to
+     *                yielding; kSpinAuto (the default) resolves to the
+     *                SIM_SPIN_BUDGET environment variable when set,
+     *                otherwise to 0 (yield immediately) when `threads`
+     *                exceeds the hardware concurrency and to
+     *                kDefaultSpin on a machine with a core per shard.
      */
-    explicit WorkerPool(unsigned threads);
+    explicit WorkerPool(unsigned threads, int spinBudget = kSpinAuto);
+
+    /** Sentinel: resolve the spin budget from the environment and the
+     *  host's core count (see the constructor). */
+    static constexpr int kSpinAuto = -1;
+    /** Spin iterations used when every shard has a hardware thread. */
+    static constexpr int kDefaultSpin = 4096;
+
+    /** The budget this pool resolved to (tests and diagnostics). */
+    int spinBudget() const { return spin_; }
 
     WorkerPool(const WorkerPool &) = delete;
     WorkerPool &operator=(const WorkerPool &) = delete;
@@ -71,10 +93,11 @@ class WorkerPool
     void runShard(unsigned shard);
 
     /** Spin-then-yield wait until `flag` reaches `target`. */
-    static void await(const std::atomic<std::uint64_t> &flag,
-                      std::uint64_t target);
+    void await(const std::atomic<std::uint64_t> &flag,
+               std::uint64_t target) const;
 
     unsigned threads_;
+    int spin_ = kDefaultSpin;
     std::vector<std::thread> workers_;
 
     // Barrier state: epoch_ advances to publish a new task to the

@@ -1586,6 +1586,21 @@ Machine::reset()
     reqLatency_.reset();
 }
 
+void
+Machine::setFaultPlan(const sim::fault::FaultPlan &plan)
+{
+    cfg_.faults = plan;
+    if (cfg_.faults.enabled()) {
+        sim::fault::FaultPlan p = cfg_.faults;
+        if (p.seed == 0)
+            p.seed = deriveFaultSeed(cfg_.seed);
+        faults_ = std::make_unique<sim::fault::FaultInjector>(p);
+    } else {
+        faults_.reset();
+    }
+    net_->setFaultInjector(faults_.get());
+}
+
 std::string
 Machine::deadlockReport() const
 {

@@ -262,6 +262,17 @@ class Machine
      *  needs a fresh recorder per run. */
     void reset();
 
+    /**
+     * Replace the fault plan between runs (fleet replicas: each job
+     * carries its own plan). An enabled plan builds a fresh injector —
+     * seed 0 derives from the machine seed, as at construction — and
+     * an empty plan removes injection entirely. Call only while the
+     * machine is quiescent (typically right after reset()); a
+     * reset-then-setFaultPlan-then-run is bit-identical to a fresh
+     * machine constructed with that plan.
+     */
+    void setFaultPlan(const sim::fault::FaultPlan &plan);
+
     /** Arrival-to-completion latency (cycles), one sample per
      *  completed request; includes admission queueing delay. */
     const sim::Histogram &requestLatency() const { return reqLatency_; }

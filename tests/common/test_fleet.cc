@@ -1,0 +1,174 @@
+/**
+ * @file
+ * The generic fleet engine: queue exactly-once delivery, steal-order
+ * independence, completion-ring integrity, and deriveJobSeed's
+ * job-id-only dependence.
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/fleet.hh"
+
+namespace
+{
+
+TEST(JobQueue, DeliversEveryJobExactlyOnceSingleWorker)
+{
+    sim::JobQueue q(10, 3);
+    std::vector<std::size_t> got;
+    while (auto j = q.pop(0))
+        got.push_back(*j);
+    std::sort(got.begin(), got.end());
+    std::vector<std::size_t> want(10);
+    std::iota(want.begin(), want.end(), 0);
+    EXPECT_EQ(got, want);
+}
+
+TEST(JobQueue, HomeLaneDrainsInDealOrder)
+{
+    // Worker 1's home lane of a 3-lane deal over 10 jobs owns
+    // 1, 4, 7 — and hands them out in that order before stealing.
+    sim::JobQueue q(10, 3);
+    EXPECT_EQ(q.pop(1), std::optional<std::size_t>(1));
+    EXPECT_EQ(q.pop(1), std::optional<std::size_t>(4));
+    EXPECT_EQ(q.pop(1), std::optional<std::size_t>(7));
+    // Dry home lane: the next pop steals (from lane 2 first).
+    EXPECT_EQ(q.pop(1), std::optional<std::size_t>(2));
+    EXPECT_EQ(q.steals(), 1u);
+}
+
+TEST(JobQueue, ShardClampAndEmptyQueue)
+{
+    sim::JobQueue big(2, 64); // lanes clamp to the job count
+    EXPECT_EQ(big.shards(), 2u);
+    sim::JobQueue empty(0, 4);
+    EXPECT_EQ(empty.pop(0), std::nullopt);
+    EXPECT_EQ(empty.pop(3), std::nullopt);
+}
+
+TEST(JobQueue, ConcurrentPopsPartitionTheJobs)
+{
+    constexpr std::size_t kJobs = 2000;
+    constexpr unsigned kWorkers = 4;
+    sim::JobQueue q(kJobs, kWorkers);
+    std::vector<std::vector<std::size_t>> per(kWorkers);
+
+    sim::WorkerPool pool(kWorkers);
+    pool.run([&](unsigned w) {
+        while (auto j = q.pop(w))
+            per[w].push_back(*j);
+    });
+
+    std::vector<std::size_t> all;
+    for (const auto &v : per)
+        all.insert(all.end(), v.begin(), v.end());
+    EXPECT_EQ(all.size(), kJobs);
+    std::sort(all.begin(), all.end());
+    EXPECT_EQ(std::adjacent_find(all.begin(), all.end()), all.end())
+        << "a job index was delivered twice";
+    EXPECT_EQ(all.front(), 0u);
+    EXPECT_EQ(all.back(), kJobs - 1);
+}
+
+TEST(CompletionRing, RecordsEveryPushOnce)
+{
+    sim::CompletionRing ring(64);
+    for (std::uint32_t i = 0; i < 64; ++i)
+        ring.push(i, i % 4);
+    ASSERT_EQ(ring.size(), 64u);
+    std::set<std::uint32_t> jobs;
+    for (std::size_t i = 0; i < ring.size(); ++i)
+        jobs.insert(ring[i].job);
+    EXPECT_EQ(jobs.size(), 64u);
+    ring.clear();
+    EXPECT_EQ(ring.size(), 0u);
+}
+
+TEST(Fleet, RunsEveryJobExactlyOnce)
+{
+    for (const unsigned workers : {1u, 2u, 4u}) {
+        sim::Fleet::Config cfg;
+        cfg.workers = workers;
+        sim::Fleet fleet(cfg);
+        constexpr std::size_t kJobs = 37;
+        std::vector<std::atomic<int>> ran(kJobs);
+        fleet.run(kJobs, [&](unsigned, std::size_t j) {
+            ran[j].fetch_add(1, std::memory_order_relaxed);
+        });
+        for (std::size_t j = 0; j < kJobs; ++j)
+            EXPECT_EQ(ran[j].load(), 1) << "job " << j << " at "
+                                        << workers << " workers";
+        ASSERT_NE(fleet.completions(), nullptr);
+        EXPECT_EQ(fleet.completions()->size(), kJobs);
+        std::uint64_t total = 0;
+        for (const std::uint64_t n : fleet.jobsPerWorker())
+            total += n;
+        EXPECT_EQ(total, kJobs);
+    }
+}
+
+TEST(Fleet, ResultsIndependentOfWorkerCount)
+{
+    // Each job computes a pure function of its index; per-job result
+    // slots must match across worker counts (the determinism contract
+    // the machine fleets inherit).
+    const auto runAt = [](unsigned workers) {
+        sim::Fleet::Config cfg;
+        cfg.workers = workers;
+        sim::Fleet fleet(cfg);
+        std::vector<std::uint64_t> out(100);
+        fleet.run(out.size(), [&](unsigned, std::size_t j) {
+            out[j] = sim::deriveJobSeed(7, j);
+        });
+        return out;
+    };
+    const auto w1 = runAt(1);
+    EXPECT_EQ(w1, runAt(2));
+    EXPECT_EQ(w1, runAt(4));
+}
+
+TEST(Fleet, ReusableAcrossBatches)
+{
+    sim::Fleet::Config cfg;
+    cfg.workers = 2;
+    sim::Fleet fleet(cfg);
+    for (const std::size_t jobs : {5u, 0u, 11u}) {
+        std::vector<int> hit(jobs, 0);
+        fleet.run(jobs, [&](unsigned, std::size_t j) { hit[j] = 1; });
+        EXPECT_EQ(static_cast<std::size_t>(std::accumulate(
+                      hit.begin(), hit.end(), 0)),
+                  jobs);
+        EXPECT_EQ(fleet.completions()->size(), jobs);
+    }
+}
+
+TEST(Fleet, ExceptionsPropagate)
+{
+    sim::Fleet::Config cfg;
+    cfg.workers = 2;
+    sim::Fleet fleet(cfg);
+    EXPECT_THROW(fleet.run(8,
+                           [&](unsigned, std::size_t j) {
+                               if (j == 3)
+                                   throw std::runtime_error("job 3");
+                           }),
+                 std::runtime_error);
+}
+
+TEST(DeriveJobSeed, DependsOnJobIdNotCaller)
+{
+    EXPECT_EQ(sim::deriveJobSeed(1, 0), sim::deriveJobSeed(1, 0));
+    EXPECT_NE(sim::deriveJobSeed(1, 0), sim::deriveJobSeed(1, 1));
+    EXPECT_NE(sim::deriveJobSeed(1, 0), sim::deriveJobSeed(2, 0));
+    // Non-degenerate: job 0 of base 0 is still mixed.
+    EXPECT_NE(sim::deriveJobSeed(0, 0), 0u);
+}
+
+} // namespace

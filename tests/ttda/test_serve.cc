@@ -280,6 +280,123 @@ TEST(Serve, DeadlockReportGroupsStrandedWorkByRequest)
               std::string::npos);
 }
 
+TEST(Serve, ResetAfterAbandonedEpochMatchesFreshMachine)
+{
+    // The hardest reset: a lossy fabric under ReliableNet with a
+    // retry budget tight enough to *abandon* sends mid-epoch. The
+    // machine ends the epoch deadlocked, with retransmit timers,
+    // dedup windows, and pending-send state all exercised. reset()
+    // must clear every bit of it: a subsequent epoch on the dirty
+    // machine must be bit-identical to a fresh machine's.
+    graph::Program program;
+    const auto cb = workloads::buildFib(program);
+    auto cfg = serveConfig();
+    cfg.reliableNet = true;
+    cfg.retry.timeout = 16;
+    cfg.retry.maxAttempts = 2;
+    cfg.faults.seed = 5;
+    cfg.faults.dropRate = 0.3;
+
+    ttda::Machine dirty(program, cfg);
+    for (int i = 0; i < 4; ++i)
+        dirty.submit(cb, {Value{std::int64_t{9}}}, i * 8);
+    dirty.serve();
+    // The epoch must actually have been abandoned — otherwise this
+    // test degenerates into the plain reset test above.
+    ASSERT_NE(dirty.reliableNet(), nullptr);
+    ASSERT_GT(dirty.reliableNet()->relStats().abandoned.value(), 0u)
+        << "retry budget not exhausted; tighten the plan";
+    ASSERT_TRUE(dirty.deadlocked());
+
+    dirty.reset();
+    EXPECT_EQ(dirty.reliableNet()->relStats().abandoned.value(), 0u);
+    EXPECT_EQ(dirty.reliableNet()->relStats().retransmits.value(),
+              0u);
+    EXPECT_EQ(dirty.reliableNet()->pendingCount(), 0u);
+
+    // Epoch B: a different schedule on the dirty machine vs a fresh
+    // machine with the identical config (the injector reseeds from
+    // the plan on reset, so both draw the same fault stream).
+    workloads::ArrivalConfig ac;
+    ac.meanGap = 48.0;
+    ac.seed = 23;
+    const auto arrivals = workloads::arrivalSchedule(ac, 12);
+
+    submitFibs(dirty, cb, arrivals);
+    const auto dirtyOut = dirty.serve();
+    std::ostringstream dirtyStats;
+    dirty.dumpStatsJson(dirtyStats);
+
+    ttda::Machine fresh(program, cfg);
+    submitFibs(fresh, cb, arrivals);
+    const auto freshOut = fresh.serve();
+    std::ostringstream freshStats;
+    fresh.dumpStatsJson(freshStats);
+
+    EXPECT_EQ(dirty.cycles(), fresh.cycles());
+    EXPECT_EQ(dirty.deadlocked(), fresh.deadlocked());
+    ASSERT_EQ(dirtyOut.size(), freshOut.size());
+    for (std::size_t i = 0; i < freshOut.size(); ++i) {
+        EXPECT_EQ(dirtyOut[i].tag, freshOut[i].tag);
+        EXPECT_EQ(dirtyOut[i].value, freshOut[i].value);
+    }
+    EXPECT_EQ(dirtyStats.str(), freshStats.str());
+    EXPECT_EQ(dirty.reliableNet()->relStats().retransmits.value(),
+              fresh.reliableNet()->relStats().retransmits.value());
+    EXPECT_EQ(dirty.reliableNet()->relStats().rxDuplicates.value(),
+              fresh.reliableNet()->relStats().rxDuplicates.value());
+    EXPECT_EQ(dirty.reliableNet()->relStats().abandoned.value(),
+              fresh.reliableNet()->relStats().abandoned.value());
+}
+
+TEST(Serve, SetFaultPlanSwapsInjectionBetweenEpochs)
+{
+    // The fleet's per-job plan path: reset + setFaultPlan must be
+    // bit-identical to constructing the machine with that plan — in
+    // both directions (adding faults to a clean machine, removing
+    // them from a faulted one).
+    graph::Program program;
+    const auto cb = workloads::buildFib(program);
+    workloads::ArrivalConfig ac;
+    ac.meanGap = 48.0;
+    ac.seed = 29;
+    const auto arrivals = workloads::arrivalSchedule(ac, 10);
+
+    sim::fault::FaultPlan lossy;
+    lossy.seed = 7;
+    lossy.dropRate = 0.15;
+
+    auto relCfg = serveConfig();
+    relCfg.reliableNet = true; // recovery on, so epochs complete
+    auto faultedCfg = relCfg;
+    faultedCfg.faults = lossy;
+
+    const auto epoch = [&](ttda::Machine &m) {
+        submitFibs(m, cb, arrivals);
+        m.serve();
+        std::ostringstream os;
+        m.dumpStatsJson(os);
+        return os.str();
+    };
+
+    ttda::Machine faultedRef(program, faultedCfg);
+    const std::string faultedStats = epoch(faultedRef);
+    ttda::Machine cleanRef(program, relCfg);
+    const std::string cleanStats = epoch(cleanRef);
+    ASSERT_NE(faultedStats, cleanStats); // the plan must matter
+
+    // Clean machine gains the plan...
+    ttda::Machine m(program, relCfg);
+    epoch(m);
+    m.reset();
+    m.setFaultPlan(lossy);
+    EXPECT_EQ(epoch(m), faultedStats);
+    // ...then loses it again.
+    m.reset();
+    m.setFaultPlan(sim::fault::FaultPlan{});
+    EXPECT_EQ(epoch(m), cleanStats);
+}
+
 TEST(Serve, SubmitAfterServeViaResetRunsFreshEpoch)
 {
     graph::Program program;
