@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""simctl — client for the ttda_simd simulation daemon.
+
+Speaks the daemon's newline-delimited JSON protocol on 127.0.0.1.
+
+Examples:
+    simctl.py --port 7421 submit --workload fib --args 7 \\
+        --requests 8 --seed 3 --arrival poisson --mean-gap 64 \\
+        --drop-rate 0.01
+    simctl.py --port 7421 status
+    simctl.py --port 7421 result 1 --wait
+    simctl.py --port 7421 checkpoint state.snap
+    simctl.py --port 7421 restore state.snap
+    simctl.py --port 7421 watch
+    simctl.py --port 7421 shutdown
+
+Every command prints the daemon's JSON reply on stdout and exits 0 on
+{"ok":true}, 1 otherwise.
+"""
+
+import argparse
+import json
+import socket
+import sys
+import time
+
+
+class DaemonClient:
+    def __init__(self, host, port, timeout=300.0):
+        self.sock = socket.create_connection((host, port),
+                                             timeout=timeout)
+        self.buf = b""
+
+    def request(self, obj):
+        self.sock.sendall(json.dumps(obj).encode() + b"\n")
+        return json.loads(self.read_line())
+
+    def read_line(self):
+        while b"\n" not in self.buf:
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                raise ConnectionError("daemon closed the connection")
+            self.buf += chunk
+        line, self.buf = self.buf.split(b"\n", 1)
+        return line.decode()
+
+
+def cmd_submit(client, args):
+    req = {
+        "op": "submit",
+        "workload": args.workload,
+        "requests": args.requests,
+        "seed": args.seed,
+        "tier": args.tier,
+        "arrival": {"kind": args.arrival, "meanGap": args.mean_gap},
+    }
+    if args.args:
+        req["args"] = [int(a) if "." not in a and "e" not in a.lower()
+                       else float(a) for a in args.args]
+    faults = {}
+    if args.drop_rate:
+        faults["dropRate"] = args.drop_rate
+    if args.dup_rate:
+        faults["dupRate"] = args.dup_rate
+    if args.fault_seed:
+        faults["seed"] = args.fault_seed
+    if faults:
+        req["faults"] = faults
+    if args.tier == "vn":
+        req["loads"] = args.loads
+        req["computePerLoad"] = args.compute_per_load
+    return client.request(req)
+
+
+def cmd_result(client, args):
+    while True:
+        resp = client.request({"op": "result", "id": args.id})
+        if not args.wait or not resp.get("ok"):
+            return resp
+        if resp.get("state") in ("done", "failed"):
+            return resp
+        time.sleep(0.05)
+
+
+def cmd_watch(client, args):
+    resp = client.request({"op": "watch"})
+    print(json.dumps(resp))
+    if not resp.get("ok"):
+        return resp
+    seen = 0
+    while args.count == 0 or seen < args.count:
+        frame = json.loads(client.read_line())
+        print(json.dumps(frame), flush=True)
+        seen += 1
+    return resp
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--host", default="127.0.0.1")
+    ap.add_argument("--port", type=int, required=True)
+    ap.add_argument("--timeout", type=float, default=300.0)
+    sub = ap.add_subparsers(dest="cmd", required=True)
+
+    s = sub.add_parser("submit", help="submit a simulation job")
+    s.add_argument("--workload", default="fib",
+                   help="fib | trapezoid | producer-consumer | "
+                        "vector-sum")
+    s.add_argument("--args", nargs="*", default=[],
+                   help="per-request arguments (numbers)")
+    s.add_argument("--requests", type=int, default=1)
+    s.add_argument("--seed", type=int, default=1)
+    s.add_argument("--tier", default="ttda", choices=["ttda", "vn"])
+    s.add_argument("--arrival", default="poisson",
+                   choices=["poisson", "bursty", "diurnal"])
+    s.add_argument("--mean-gap", type=float, default=64.0)
+    s.add_argument("--drop-rate", type=float, default=0.0)
+    s.add_argument("--dup-rate", type=float, default=0.0)
+    s.add_argument("--fault-seed", type=int, default=0)
+    s.add_argument("--loads", type=int, default=4)
+    s.add_argument("--compute-per-load", type=int, default=8)
+
+    sub.add_parser("status", help="daemon gauges and fleet tallies")
+
+    r = sub.add_parser("result", help="fetch a job's result")
+    r.add_argument("id", type=int)
+    r.add_argument("--wait", action="store_true",
+                   help="poll until the job finishes")
+
+    w = sub.add_parser("watch", help="stream job-completion frames")
+    w.add_argument("--count", type=int, default=0,
+                   help="stop after N frames (0 = forever)")
+
+    c = sub.add_parser("checkpoint", help="persist the job table")
+    c.add_argument("path")
+
+    rs = sub.add_parser("restore", help="load a checkpoint")
+    rs.add_argument("path")
+
+    sub.add_parser("shutdown", help="drain all jobs and exit")
+
+    args = ap.parse_args()
+    client = DaemonClient(args.host, args.port, args.timeout)
+
+    if args.cmd == "submit":
+        resp = cmd_submit(client, args)
+    elif args.cmd == "status":
+        resp = client.request({"op": "status"})
+    elif args.cmd == "result":
+        resp = cmd_result(client, args)
+    elif args.cmd == "watch":
+        resp = cmd_watch(client, args)
+        return 0 if resp.get("ok") else 1
+    elif args.cmd == "checkpoint":
+        resp = client.request({"op": "checkpoint", "path": args.path})
+    elif args.cmd == "restore":
+        resp = client.request({"op": "restore", "path": args.path})
+    elif args.cmd == "shutdown":
+        resp = client.request({"op": "shutdown"})
+    else:  # unreachable; argparse enforces the choices
+        return 2
+
+    print(json.dumps(resp))
+    return 0 if resp.get("ok") else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -79,6 +79,31 @@ class EventHeap
         nextSeq_ = 0;
     }
 
+    /** Visit every node as (key, seq, value) in raw storage order —
+     *  appending them back in the same order via restoreNode()
+     *  reproduces the array (and thus the heap invariant and pop
+     *  order) exactly. For checkpointing only. */
+    template <typename F>
+    void
+    forEachNode(F &&f) const
+    {
+        for (const Node &n : heap_)
+            f(n.key, n.seq, n.val);
+    }
+
+    /** Append a node verbatim at the end of the storage array.
+     *  Only valid when replaying a forEachNode() dump in order onto a
+     *  cleared heap; nodes arrive already heap-ordered. */
+    void
+    restoreNode(Cycle key, std::uint64_t seq, T val)
+    {
+        heap_.push_back(Node{key, seq, std::move(val)});
+    }
+
+    /** FIFO tie-break counter, part of the checkpointed state. */
+    std::uint64_t nextSeq() const { return nextSeq_; }
+    void setNextSeq(std::uint64_t s) { nextSeq_ = s; }
+
   private:
     struct Node
     {
@@ -126,6 +151,39 @@ class EventHeap
     std::vector<Node> heap_;
     std::uint64_t nextSeq_ = 0;
 };
+
+/** Checkpoint codecs: dump the node array verbatim in storage order
+ *  (replaying it reproduces the heap, its tie-break order, and future
+ *  pop order exactly). Payloads go through their own ADL overloads. */
+template <typename W, typename T>
+void
+snapSave(W &w, const EventHeap<T> &h)
+{
+    w.u64(h.size());
+    h.forEachNode(
+        [&w](Cycle key, std::uint64_t seq, const T &val) {
+            w.u64(key);
+            w.u64(seq);
+            snapSave(w, val);
+        });
+    w.u64(h.nextSeq());
+}
+
+template <typename R, typename T>
+void
+snapLoad(R &r, EventHeap<T> &h)
+{
+    h.clear();
+    const std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const Cycle key = r.u64();
+        const std::uint64_t seq = r.u64();
+        T val{};
+        snapLoad(r, val);
+        h.restoreNode(key, seq, std::move(val));
+    }
+    h.setNextSeq(r.u64());
+}
 
 } // namespace sim
 

@@ -31,6 +31,7 @@
 #ifndef TTDA_COMMON_FAULT_HH
 #define TTDA_COMMON_FAULT_HH
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -196,6 +197,18 @@ class FaultInjector
     {
         rng_.reseed(plan_.seed);
         stats_ = Stats{};
+    }
+
+    /** Checkpoint access: the probabilistic stream mid-sequence and
+     *  the totals, so a restored machine replays the remainder of the
+     *  fault sequence exactly. */
+    const Rng &rng() const { return rng_; }
+    void
+    restore(const std::array<std::uint64_t, 4> &rngState,
+            const Stats &stats)
+    {
+        rng_.setState(rngState);
+        stats_ = stats;
     }
 
   private:

@@ -106,6 +106,20 @@ class Rng
         return min + below(max - min + 1);
     }
 
+    /** Raw generator state, for checkpointing mid-stream. */
+    const std::array<std::uint64_t, 4> &
+    state() const
+    {
+        return state_;
+    }
+
+    /** Resume a stream exactly where state() captured it. */
+    void
+    setState(const std::array<std::uint64_t, 4> &s)
+    {
+        state_ = s;
+    }
+
   private:
     std::array<std::uint64_t, 4> state_{};
 };

@@ -1,0 +1,134 @@
+#include "common/snapshot.hh"
+
+#include <algorithm>
+#include <array>
+#include <istream>
+#include <ostream>
+
+namespace sim::snapshot
+{
+
+namespace
+{
+
+std::array<std::uint32_t, 256>
+makeCrcTable()
+{
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+        t[i] = c;
+    }
+    return t;
+}
+
+void
+putU32le(std::ostream &os, std::uint32_t v)
+{
+    const char b[4] = {static_cast<char>(v),
+                       static_cast<char>(v >> 8),
+                       static_cast<char>(v >> 16),
+                       static_cast<char>(v >> 24)};
+    os.write(b, 4);
+}
+
+void
+putU64le(std::ostream &os, std::uint64_t v)
+{
+    putU32le(os, static_cast<std::uint32_t>(v));
+    putU32le(os, static_cast<std::uint32_t>(v >> 32));
+}
+
+} // namespace
+
+std::uint32_t
+crc32(const unsigned char *data, std::size_t n)
+{
+    static const std::array<std::uint32_t, 256> table =
+        makeCrcTable();
+    std::uint32_t c = 0xffffffffu;
+    for (std::size_t i = 0; i < n; ++i)
+        c = table[(c ^ data[i]) & 0xffu] ^ (c >> 8);
+    return c ^ 0xffffffffu;
+}
+
+void
+Writer::finish(std::ostream &os) const
+{
+    os.write(kMagic, sizeof kMagic);
+    putU32le(os, kVersion);
+    os.write(reinterpret_cast<const char *>(kEndianTag),
+             sizeof kEndianTag);
+    putU64le(os, buf_.size());
+    os.write(buf_.data(), static_cast<std::streamsize>(buf_.size()));
+    putU32le(os,
+             crc32(reinterpret_cast<const unsigned char *>(
+                       buf_.data()),
+                   buf_.size()));
+    if (!os)
+        throw Error("snapshot: stream write failed");
+}
+
+void
+Reader::fail(const char *what)
+{
+    throw Error(std::string("snapshot: ") + what);
+}
+
+Reader::Reader(std::istream &is)
+{
+    char head[22];
+    is.read(head, sizeof head);
+    if (is.gcount() != static_cast<std::streamsize>(sizeof head))
+        fail("truncated header");
+    if (std::memcmp(head, kMagic, sizeof kMagic) != 0)
+        fail("bad magic (not a snapshot)");
+    const auto *h = reinterpret_cast<const unsigned char *>(head);
+    const std::uint32_t version =
+        static_cast<std::uint32_t>(h[8]) |
+        (static_cast<std::uint32_t>(h[9]) << 8) |
+        (static_cast<std::uint32_t>(h[10]) << 16) |
+        (static_cast<std::uint32_t>(h[11]) << 24);
+    if (version != kVersion)
+        fail("unsupported snapshot version");
+    if (h[12] != kEndianTag[0] || h[13] != kEndianTag[1])
+        fail("unsupported endianness");
+    std::uint64_t len = 0;
+    for (int i = 7; i >= 0; --i)
+        len = (len << 8) | h[14 + i];
+
+    // Read the payload in bounded chunks so a corrupt length fails
+    // with "truncated" when the stream ends, instead of attempting a
+    // multi-exabyte allocation first.
+    constexpr std::uint64_t kChunk = 1u << 20;
+    while (buf_.size() < len) {
+        const std::uint64_t want =
+            std::min<std::uint64_t>(kChunk, len - buf_.size());
+        const std::size_t old = buf_.size();
+        buf_.resize(old + static_cast<std::size_t>(want));
+        is.read(buf_.data() + old,
+                static_cast<std::streamsize>(want));
+        if (is.gcount() != static_cast<std::streamsize>(want))
+            fail("truncated payload");
+    }
+
+    char tail[4];
+    is.read(tail, sizeof tail);
+    if (is.gcount() != static_cast<std::streamsize>(sizeof tail))
+        fail("truncated checksum");
+    const auto *t = reinterpret_cast<const unsigned char *>(tail);
+    const std::uint32_t stored =
+        static_cast<std::uint32_t>(t[0]) |
+        (static_cast<std::uint32_t>(t[1]) << 8) |
+        (static_cast<std::uint32_t>(t[2]) << 16) |
+        (static_cast<std::uint32_t>(t[3]) << 24);
+    const std::uint32_t actual = crc32(
+        reinterpret_cast<const unsigned char *>(buf_.data()),
+        buf_.size());
+    if (stored != actual)
+        fail("payload checksum mismatch (corrupted snapshot)");
+}
+
+} // namespace sim::snapshot

@@ -133,6 +133,21 @@ class Accumulator
         max_ = -std::numeric_limits<double>::infinity();
     }
 
+    /** Reinstate a checkpointed accumulator from its public getters.
+     *  An empty accumulator (count == 0) restores to the pristine
+     *  state, reinstating the min/max sentinels the getters hide. */
+    void
+    restore(double sum, std::uint64_t count, double min, double max)
+    {
+        reset();
+        if (count == 0)
+            return;
+        sum_ = sum;
+        count_ = count;
+        min_ = min;
+        max_ = max;
+    }
+
   private:
     double sum_ = 0.0;
     std::uint64_t count_ = 0;
@@ -298,6 +313,23 @@ class Histogram
         acc_.reset();
     }
 
+    /** Reinstate a checkpointed histogram. The geometry comes from
+     *  the constructor (it is configuration, not run state), so the
+     *  restored bin array must match the constructed shape — callers
+     *  validate counts read from untrusted bytes before this. */
+    void
+    restore(const std::vector<std::uint64_t> &bins,
+            std::uint64_t underflow, std::uint64_t overflow,
+            const Accumulator &acc)
+    {
+        SIM_ASSERT_MSG(bins.size() == bins_.size(),
+                       "histogram restore with mismatched geometry");
+        bins_ = bins;
+        underflow_ = underflow;
+        overflow_ = overflow;
+        acc_ = acc;
+    }
+
   private:
     double binWidth_;
     double invBinWidth_;
@@ -306,6 +338,76 @@ class Histogram
     std::uint64_t overflow_ = 0;
     Accumulator acc_;
 };
+
+/** Checkpoint codecs. W/R are snapshot writer/reader types (see
+ *  common/snapshot.hh); keeping these as templates means stats.hh
+ *  stays free of the snapshot dependency, and user-defined types
+ *  compose by providing their own ADL overloads. */
+template <typename W>
+void
+snapSave(W &w, const Counter &c)
+{
+    w.u64(c.value());
+}
+
+template <typename R>
+void
+snapLoad(R &r, Counter &c)
+{
+    c.reset();
+    c.inc(r.u64());
+}
+
+template <typename W>
+void
+snapSave(W &w, const Accumulator &a)
+{
+    w.f64(a.sum());
+    w.u64(a.count());
+    w.f64(a.min());
+    w.f64(a.max());
+}
+
+template <typename R>
+void
+snapLoad(R &r, Accumulator &a)
+{
+    const double sum = r.f64();
+    const std::uint64_t count = r.u64();
+    const double mn = r.f64();
+    const double mx = r.f64();
+    a.restore(sum, count, mn, mx);
+}
+
+template <typename W>
+void
+snapSave(W &w, const Histogram &h)
+{
+    snapSave(w, h.summary());
+    w.u64(h.underflow());
+    w.u64(h.overflow());
+    w.u64(h.bins().size());
+    for (const std::uint64_t b : h.bins())
+        w.u64(b);
+}
+
+template <typename R>
+void
+snapLoad(R &r, Histogram &h)
+{
+    Accumulator acc;
+    snapLoad(r, acc);
+    const std::uint64_t underflow = r.u64();
+    const std::uint64_t overflow = r.u64();
+    const std::uint64_t n = r.u64();
+    if (n != h.bins().size())
+        r.fail("histogram bin count does not match configuration");
+    std::vector<std::uint64_t> bins;
+    bins.reserve(h.bins().size());
+    for (std::uint64_t i = 0; i < n; ++i)
+        bins.push_back(r.u64());
+    h.restore(bins, underflow, overflow, acc);
+}
 
 /** A named bag of scalar statistics, dumpable for reports. */
 class StatGroup

@@ -95,6 +95,75 @@ class ContextManager
     /** Drop everything except the root context (between runs). */
     void reset();
 
+    /** Serialize the whole table for checkpointing. W is a snapshot
+     *  writer; tags and destinations go through ADL `snapSave`. */
+    template <typename W>
+    void
+    save(W &w) const
+    {
+        w.u64(interned_.size());
+        for (const auto &[key, id] : interned_) {
+            w.u32(key.ctx);
+            w.u32(key.iter);
+            w.u32(key.site);
+            w.u32(id);
+        }
+        w.u64(live_.size());
+        for (const auto &[id, info] : live_) {
+            w.u32(id);
+            snapSave(w, info.caller);
+            w.u16(info.targetCb);
+            w.u64(info.resultDests.size());
+            for (const Dest &d : info.resultDests)
+                snapSave(w, d);
+            w.u16(info.remainingExits);
+        }
+        w.u32(next_);
+        w.u64(peak_);
+        w.u64(created_.value());
+        w.u64(released_.value());
+    }
+
+    /** Rebuild the table from a save() stream. Hash-map iteration
+     *  order is rebuilt, not preserved — nothing behavioural reads
+     *  it (lookups are by key; only forensics iterate). */
+    template <typename R>
+    void
+    load(R &r)
+    {
+        interned_.clear();
+        live_.clear();
+        const std::uint64_t ni = r.u64();
+        for (std::uint64_t i = 0; i < ni; ++i) {
+            Key key{};
+            key.ctx = r.u32();
+            key.iter = r.u32();
+            key.site = r.u32();
+            interned_.emplace(key, r.u32());
+        }
+        const std::uint64_t nl = r.u64();
+        for (std::uint64_t i = 0; i < nl; ++i) {
+            const ContextId id = r.u32();
+            ContextInfo info;
+            snapLoad(r, info.caller);
+            info.targetCb = r.u16();
+            const std::uint64_t nd = r.u64();
+            for (std::uint64_t k = 0; k < nd; ++k) {
+                Dest d{};
+                snapLoad(r, d);
+                info.resultDests.push_back(d);
+            }
+            info.remainingExits = r.u16();
+            live_.emplace(id, std::move(info));
+        }
+        next_ = r.u32();
+        peak_ = r.u64();
+        created_.reset();
+        created_.inc(r.u64());
+        released_.reset();
+        released_.inc(r.u64());
+    }
+
   private:
     struct Key
     {

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Checkpoint codecs (`snapSave`/`snapLoad`) for the graph-layer value
+ * types that appear inside machine run state: tags, continuations,
+ * dynamically typed values, tokens, I-structure continuations and
+ * destination records.
+ *
+ * The functions are templates over the writer/reader type, found by
+ * argument-dependent lookup from the container codecs in
+ * common/{stats,eventheap,ringqueue}.hh and the templated save/load
+ * members of IStructure / ContextManager / the network topologies.
+ * Nothing here depends on common/snapshot.hh; the concrete W/R bind
+ * at instantiation inside ttda/snapshot.cc.
+ */
+
+#ifndef TTDA_GRAPH_SNAPCODEC_HH
+#define TTDA_GRAPH_SNAPCODEC_HH
+
+#include <cstdint>
+
+#include "graph/exec.hh"
+#include "graph/program.hh"
+#include "graph/tag.hh"
+#include "graph/token.hh"
+#include "graph/value.hh"
+
+namespace graph
+{
+
+template <typename W>
+void
+snapSave(W &w, const Tag &t)
+{
+    w.u32(t.ctx);
+    w.u16(t.codeBlock);
+    w.u16(t.stmt);
+    w.u32(t.iter);
+}
+
+template <typename R>
+void
+snapLoad(R &r, Tag &t)
+{
+    t.ctx = r.u32();
+    t.codeBlock = r.u16();
+    t.stmt = r.u16();
+    t.iter = r.u32();
+}
+
+template <typename W>
+void
+snapSave(W &w, const Continuation &c)
+{
+    snapSave(w, c.tag);
+    w.u8(c.port);
+    w.u8(c.nt);
+}
+
+template <typename R>
+void
+snapLoad(R &r, Continuation &c)
+{
+    snapLoad(r, c.tag);
+    c.port = r.u8();
+    c.nt = r.u8();
+}
+
+template <typename W>
+void
+snapSave(W &w, const Dest &d)
+{
+    w.u16(d.stmt);
+    w.u8(d.port);
+}
+
+template <typename R>
+void
+snapLoad(R &r, Dest &d)
+{
+    d.stmt = r.u16();
+    d.port = r.u8();
+}
+
+/** Values encode as the variant alternative index plus the payload of
+ *  that alternative. Reals round-trip as raw bit patterns. */
+template <typename W>
+void
+snapSave(W &w, const Value &v)
+{
+    w.u8(static_cast<std::uint8_t>(v.rep().index()));
+    if (v.isBool()) {
+        w.b(v.asBool());
+    } else if (v.isInt()) {
+        w.i64(v.asInt());
+    } else if (v.isReal()) {
+        w.f64(std::get<double>(v.rep()));
+    } else if (v.isFn()) {
+        w.u16(v.asFn().codeBlock);
+    } else if (v.isPtr()) {
+        w.u64(v.asPtr().base);
+        w.u32(v.asPtr().length);
+    }
+}
+
+template <typename R>
+void
+snapLoad(R &r, Value &v)
+{
+    switch (r.u8()) {
+      case 0:
+        v = Value{};
+        break;
+      case 1:
+        v = Value{r.b()};
+        break;
+      case 2:
+        v = Value{r.i64()};
+        break;
+      case 3:
+        v = Value{r.f64()};
+        break;
+      case 4:
+        v = Value{FnRef{r.u16()}};
+        break;
+      case 5: {
+        IPtr p;
+        p.base = r.u64();
+        p.length = r.u32();
+        v = Value{p};
+        break;
+      }
+      default:
+        r.fail("bad value alternative");
+    }
+}
+
+template <typename W>
+void
+snapSave(W &w, const Token &t)
+{
+    w.u8(static_cast<std::uint8_t>(t.kind));
+    w.u32(t.pe);
+    snapSave(w, t.tag);
+    w.u8(t.port);
+    w.u8(t.nt);
+    snapSave(w, t.data);
+    w.u64(t.addr);
+    w.u64(t.aux);
+    snapSave(w, t.reply);
+    w.u32(t.seq);
+    w.u32(t.born);
+}
+
+template <typename R>
+void
+snapLoad(R &r, Token &t)
+{
+    const std::uint8_t kind = r.u8();
+    if (kind > static_cast<std::uint8_t>(TokenKind::Output))
+        r.fail("bad token kind");
+    t.kind = static_cast<TokenKind>(kind);
+    t.pe = r.u32();
+    snapLoad(r, t.tag);
+    t.port = r.u8();
+    t.nt = r.u8();
+    snapLoad(r, t.data);
+    t.addr = r.u64();
+    t.aux = r.u64();
+    snapLoad(r, t.reply);
+    t.seq = r.u32();
+    t.born = r.u32();
+}
+
+template <typename W>
+void
+snapSave(W &w, const IsCont &c)
+{
+    w.b(c.toCell);
+    w.u32(c.born);
+    snapSave(w, c.cont);
+    w.u64(c.cellAddr);
+}
+
+template <typename R>
+void
+snapLoad(R &r, IsCont &c)
+{
+    c.toCell = r.b();
+    c.born = r.u32();
+    snapLoad(r, c.cont);
+    c.cellAddr = r.u64();
+}
+
+template <typename W>
+void
+snapSave(W &w, const EnabledInstruction &e)
+{
+    snapSave(w, e.tag);
+    w.u64(e.operands.size());
+    for (const Value &v : e.operands)
+        snapSave(w, v);
+}
+
+template <typename R>
+void
+snapLoad(R &r, EnabledInstruction &e)
+{
+    snapLoad(r, e.tag);
+    e.operands.clear();
+    const std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        Value v;
+        snapLoad(r, v);
+        e.operands.push_back(v);
+    }
+}
+
+} // namespace graph
+
+#endif // TTDA_GRAPH_SNAPCODEC_HH

@@ -253,6 +253,83 @@ class IStructure
 
     const IStructureStats &stats() const { return stats_; }
 
+    /** Serialize the run state — allocation pointer, stats, and every
+     *  non-Empty cell with its deferred-read list — for checkpointing.
+     *  W is a snapshot writer; cell values and continuations are
+     *  encoded by ADL `snapSave` overloads resolved at instantiation. */
+    template <typename W>
+    void
+    save(W &w) const
+    {
+        w.u64(allocPtr_);
+        w.u64(stats_.fetches.value());
+        w.u64(stats_.fetchesDeferred.value());
+        w.u64(stats_.stores.value());
+        w.u64(stats_.deferredServed.value());
+        w.u64(stats_.multipleWrites.value());
+        w.f64(stats_.deferredListLen.sum());
+        w.u64(stats_.deferredListLen.count());
+        w.f64(stats_.deferredListLen.min());
+        w.f64(stats_.deferredListLen.max());
+        std::uint64_t live = 0;
+        forEachLiveCell([&](std::uint64_t, const Cell &) { ++live; });
+        w.u64(live);
+        forEachLiveCell([&](std::uint64_t addr, const Cell &cell) {
+            w.u64(addr);
+            w.u8(static_cast<std::uint8_t>(cell.presence));
+            snapSave(w, cell.value);
+            w.u64(cell.deferred.size());
+            for (const Cont &c : cell.deferred)
+                snapSave(w, c);
+        });
+    }
+
+    /** Rebuild the run state from a save() stream onto a reset
+     *  storage. Unmaterialized chunks stay unmaterialized unless the
+     *  stream touches them; addresses are validated against the
+     *  configured size (the bytes are untrusted). */
+    template <typename R>
+    void
+    load(R &r)
+    {
+        reset();
+        allocPtr_ = r.u64();
+        if (allocPtr_ > words_)
+            r.fail("i-structure allocation pointer beyond size");
+        auto counter = [&r](sim::Counter &c) {
+            c.reset();
+            c.inc(r.u64());
+        };
+        counter(stats_.fetches);
+        counter(stats_.fetchesDeferred);
+        counter(stats_.stores);
+        counter(stats_.deferredServed);
+        counter(stats_.multipleWrites);
+        const double sum = r.f64();
+        const std::uint64_t count = r.u64();
+        const double mn = r.f64();
+        const double mx = r.f64();
+        stats_.deferredListLen.restore(sum, count, mn, mx);
+        const std::uint64_t live = r.u64();
+        for (std::uint64_t i = 0; i < live; ++i) {
+            const std::uint64_t addr = r.u64();
+            if (addr >= words_)
+                r.fail("i-structure cell address out of range");
+            Cell &cell = at(addr);
+            const std::uint8_t p = r.u8();
+            if (p > static_cast<std::uint8_t>(Presence::Present))
+                r.fail("bad i-structure presence state");
+            cell.presence = static_cast<Presence>(p);
+            snapLoad(r, cell.value);
+            const std::uint64_t nd = r.u64();
+            for (std::uint64_t k = 0; k < nd; ++k) {
+                Cont c{};
+                snapLoad(r, c);
+                cell.deferred.push_back(std::move(c));
+            }
+        }
+    }
+
   private:
     struct Cell
     {
@@ -270,6 +347,24 @@ class IStructure
      * chunk reads as all-Empty.
      */
     static constexpr std::size_t kChunkWords = 4096;
+
+    /** Visit every materialized cell that differs from the default
+     *  all-Empty state, in ascending address order. */
+    template <typename F>
+    void
+    forEachLiveCell(F &&f) const
+    {
+        for (std::size_t c = 0; c < chunks_.size(); ++c) {
+            if (!chunks_[c])
+                continue;
+            for (std::size_t i = 0; i < kChunkWords; ++i) {
+                const Cell &cell = chunks_[c][i];
+                if (cell.presence != Presence::Empty ||
+                    !cell.deferred.empty())
+                    f(c * kChunkWords + i, cell);
+            }
+        }
+    }
 
     Cell &
     at(std::uint64_t addr)

@@ -158,6 +158,35 @@ class Crossbar : public Network<Payload>
         arrivals_.clear();
     }
 
+    /** Checkpoint the run state; restore onto a reset() network. */
+    template <typename W>
+    void
+    saveState(W &w) const
+    {
+        this->saveBase(w);
+        w.u64(now_);
+        for (const auto &q : inputQueues_)
+            snapSave(w, q);
+        for (const sim::NodeId p : rrPointer_)
+            w.u32(p);
+        snapSave(w, inFlight_);
+        arrivals_.save(w);
+    }
+
+    template <typename R>
+    void
+    loadState(R &r)
+    {
+        this->loadBase(r);
+        now_ = r.u64();
+        for (auto &q : inputQueues_)
+            snapLoad(r, q);
+        for (sim::NodeId &p : rrPointer_)
+            p = r.u32();
+        snapLoad(r, inFlight_);
+        arrivals_.load(r);
+    }
+
   private:
     sim::NodeId ports_;
     sim::Cycle latency_;

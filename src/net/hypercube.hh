@@ -197,6 +197,61 @@ class Hypercube : public Network<Payload>
         arrivals_.clear();
     }
 
+    /** Checkpoint the run state; restore onto a reset() network.
+     *  (Failed links, routing tables and the fault next-hop cache are
+     *  configuration, reconstructed by the owner — not serialized.)
+     *  InFlight is private, so its fields are encoded inline here
+     *  rather than through a free codec. */
+    template <typename W>
+    void
+    saveState(W &w) const
+    {
+        this->saveBase(w);
+        w.u64(now_);
+        auto putInFlight = [&w](const InFlight &f) {
+            snapSave(w, f.pkt);
+            w.u32(f.nextNode);
+            w.u64(f.readyAt);
+            w.u32(f.misroutes);
+        };
+        for (const auto &q : linkQueues_) {
+            w.u64(q.size());
+            for (std::size_t i = 0; i < q.size(); ++i)
+                putInFlight(q.at(i));
+        }
+        w.u64(transiting_.size());
+        for (const InFlight &f : transiting_)
+            putInFlight(f);
+        arrivals_.save(w);
+    }
+
+    template <typename R>
+    void
+    loadState(R &r)
+    {
+        this->loadBase(r);
+        now_ = r.u64();
+        auto getInFlight = [&r]() {
+            InFlight f;
+            snapLoad(r, f.pkt);
+            f.nextNode = r.u32();
+            f.readyAt = r.u64();
+            f.misroutes = r.u32();
+            return f;
+        };
+        for (auto &q : linkQueues_) {
+            q.clear();
+            const std::uint64_t n = r.u64();
+            for (std::uint64_t i = 0; i < n; ++i)
+                q.push_back(getInFlight());
+        }
+        transiting_.clear();
+        const std::uint64_t nt = r.u64();
+        for (std::uint64_t i = 0; i < nt; ++i)
+            transiting_.push_back(getInFlight());
+        arrivals_.load(r);
+    }
+
   private:
     struct InFlight
     {

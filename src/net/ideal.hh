@@ -119,6 +119,34 @@ class IdealNetwork : public Network<Payload>
         rng_.reseed(seed_); // jitter stream replays from the start
     }
 
+    /** Checkpoint the run state (configuration is reconstructed by
+     *  the owner). Restore onto a freshly reset() network. */
+    template <typename W>
+    void
+    saveState(W &w) const
+    {
+        this->saveBase(w);
+        w.u64(now_);
+        for (const std::uint64_t word : rng_.state())
+            w.u64(word);
+        snapSave(w, inFlight_);
+        arrivals_.save(w);
+    }
+
+    template <typename R>
+    void
+    loadState(R &r)
+    {
+        this->loadBase(r);
+        now_ = r.u64();
+        std::array<std::uint64_t, 4> st;
+        for (auto &word : st)
+            word = r.u64();
+        rng_.setState(st);
+        snapLoad(r, inFlight_);
+        arrivals_.load(r);
+    }
+
   private:
     sim::NodeId ports_;
     sim::Cycle latency_;

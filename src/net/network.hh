@@ -78,6 +78,30 @@ struct Packet
     Payload payload{};
 };
 
+/** Checkpoint codecs for a packet header + payload; the payload's own
+ *  ADL `snapSave`/`snapLoad` overload is resolved at instantiation. */
+template <typename W, typename Payload>
+void
+snapSave(W &w, const Packet<Payload> &p)
+{
+    w.u32(p.src);
+    w.u32(p.dst);
+    w.u64(p.issued);
+    w.u32(p.hops);
+    snapSave(w, p.payload);
+}
+
+template <typename R, typename Payload>
+void
+snapLoad(R &r, Packet<Payload> &p)
+{
+    p.src = r.u32();
+    p.dst = r.u32();
+    p.issued = r.u64();
+    p.hops = r.u32();
+    snapLoad(r, p.payload);
+}
+
 /**
  * Interface shared by every topology model.
  *
@@ -171,6 +195,38 @@ class Network
     setFaultInjector(sim::fault::FaultInjector *faults)
     {
         faults_ = faults;
+    }
+
+    /**
+     * Checkpoint the state shared by every topology: the traffic
+     * statistics and the fault-delayed packet heap. Non-virtual
+     * template members (a virtual would force payload codecs to exist
+     * for every instantiated payload type); the machine dispatches to
+     * the concrete topology's saveState/loadState statically, which
+     * call these for the base slice.
+     */
+    template <typename W>
+    void
+    saveBase(W &w) const
+    {
+        snapSave(w, stats_.sent);
+        snapSave(w, stats_.delivered);
+        snapSave(w, stats_.latency);
+        snapSave(w, stats_.hops);
+        snapSave(w, stats_.blockedCycles);
+        snapSave(w, faultDelayed_);
+    }
+
+    template <typename R>
+    void
+    loadBase(R &r)
+    {
+        snapLoad(r, stats_.sent);
+        snapLoad(r, stats_.delivered);
+        snapLoad(r, stats_.latency);
+        snapLoad(r, stats_.hops);
+        snapLoad(r, stats_.blockedCycles);
+        snapLoad(r, faultDelayed_);
     }
 
   protected:
@@ -346,6 +402,23 @@ class ArrivalQueues
     {
         for (auto &q : queues_)
             q.clear();
+    }
+
+    /** Checkpoint every port's arrival FIFO, in port order. */
+    template <typename W>
+    void
+    save(W &w) const
+    {
+        for (const auto &q : queues_)
+            snapSave(w, q);
+    }
+
+    template <typename R>
+    void
+    load(R &r)
+    {
+        for (auto &q : queues_)
+            snapLoad(r, q);
     }
 
   private:

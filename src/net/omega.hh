@@ -192,6 +192,37 @@ class OmegaNet : public Network<Payload>
         arrivals_.clear();
     }
 
+    /** Checkpoint the run state; restore onto a reset() network. */
+    template <typename W>
+    void
+    saveState(W &w) const
+    {
+        this->saveBase(w);
+        w.u64(now_);
+        for (const auto &stage : stageQueues_)
+            for (const auto &q : stage)
+                snapSave(w, q);
+        for (const auto &stage : rr_)
+            for (const std::uint8_t v : stage)
+                w.u8(v);
+        arrivals_.save(w);
+    }
+
+    template <typename R>
+    void
+    loadState(R &r)
+    {
+        this->loadBase(r);
+        now_ = r.u64();
+        for (auto &stage : stageQueues_)
+            for (auto &q : stage)
+                snapLoad(r, q);
+        for (auto &stage : rr_)
+            for (std::uint8_t &v : stage)
+                v = r.u8();
+        arrivals_.load(r);
+    }
+
   private:
     /** The two input lines of switch sw at a stage are the pre-shuffle
      *  lines that shuffle onto lines 2*sw and 2*sw + 1. */

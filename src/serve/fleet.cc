@@ -68,6 +68,7 @@ TtdaFleet::run(const std::vector<FleetJob> &jobs)
             m.submit(job.cb, req.args, req.arrival);
 
         FleetJobResult &r = results[j];
+        r.worker = worker;
         r.outputs = m.serve();
         r.cycles = m.cycles();
         r.deadlocked = m.deadlocked();

@@ -88,6 +88,9 @@ struct FleetJobResult
     std::uint64_t watermarkHits = 0;
     sim::Histogram latency{16.0, 4096}; //!< Machine::requestLatency
     std::string statsJson; //!< when FleetConfig::captureStatsJson
+    /** Which worker served the job — host-order observability, never
+     *  part of the deterministic result fields above. */
+    unsigned worker = 0;
 };
 
 /**

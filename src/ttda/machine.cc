@@ -514,10 +514,20 @@ std::vector<OutputRecord>
 Machine::serve()
 {
     SIM_ASSERT_MSG(!serving_, "serve() is not reentrant");
+    serveUntil(sim::neverCycle);
+    return outputs_;
+}
+
+bool
+Machine::serveUntil(sim::Cycle stopAt)
+{
+    // No reentrancy assert: a machine restored from a mid-serve
+    // snapshot resumes with serving_ already set.
     serving_ = true;
-    std::vector<OutputRecord> out = run();
-    serving_ = false;
-    return out;
+    const bool paused = runUntil(stopAt);
+    if (!paused)
+        serving_ = false;
+    return paused;
 }
 
 graph::IPtr
@@ -1378,6 +1388,15 @@ Machine::runSequential()
     Shard &sh = shards_.front();
     const bool peStalls = faults_ && faults_->hasPeStalls();
     for (;;) {
+        // Pause point: checked at the serial top of the tick, before
+        // any admission or stage work, so a paused machine holds no
+        // mid-tick state. A skip/arrival jump may land past stopAt_;
+        // the landing cycle is a pure function of (program, config,
+        // stopAt), so the pause is deterministic at any thread count.
+        if (now_ >= stopAt_) {
+            paused_ = true;
+            break;
+        }
         // Serving: admit due requests at the serial point of the tick.
         if (serving_)
             serveAdmit();
@@ -1436,6 +1455,13 @@ void
 Machine::runParallel()
 {
     for (;;) {
+        // Same pause point as the sequential engine (serial top of
+        // the tick, phase B fully committed), so pausing never
+        // perturbs the two-phase determinism argument.
+        if (now_ >= stopAt_) {
+            paused_ = true;
+            break;
+        }
         // Identical serving structure to the sequential engine: both
         // admission and the idle-time arrival jump run on the calling
         // thread, at the same logical points, for any thread count.
@@ -1484,27 +1510,38 @@ Machine::runParallel()
     }
 }
 
-std::vector<OutputRecord>
-Machine::run()
+bool
+Machine::runUntil(sim::Cycle stopAt)
 {
+    stopAt_ = stopAt;
+    paused_ = false;
     // Select the observability instantiation once: the Obs=false
     // bodies contain no stamping, sampling, or trace code at all.
     if (threads_ > 1)
         observing_ ? runParallel<true>() : runParallel<false>();
     else
         observing_ ? runSequential<true>() : runSequential<false>();
+    stopAt_ = sim::neverCycle;
 
     // Merge the shard-local latency histograms into the machine-level
-    // ones, in shard order. Exact: the samples are integer-valued, so
-    // per-shard partial sums match sequential accumulation bit for
-    // bit.
+    // ones, in shard order, then reset the shard copies so a resumed
+    // run merges each sample exactly once. Exact: the samples are
+    // integer-valued, so per-shard partial sums (and re-merging after
+    // every pause) match sequential accumulation bit for bit.
     for (Shard &sh : shards_) {
         birthToFire_.merge(sh.birthToFire);
         readLatency_.merge(sh.readLatency);
+        sh.birthToFire.reset();
+        sh.readLatency.reset();
     }
     if (cfg_.profile)
-        for (const Shard &sh : shards_)
+        for (Shard &sh : shards_) {
             profile_.merge(sh.prof);
+            if (!sh.prof.empty())
+                sh.prof.resize(program_.totalInstructions());
+        }
+    if (paused_)
+        return true;
     if (metrics_)
         metrics_->finalize(now_);
 
@@ -1513,6 +1550,13 @@ Machine::run()
     for (const auto &pe : pes_)
         if (!pe->waitStore.empty())
             deadlocked_ = true;
+    return false;
+}
+
+std::vector<OutputRecord>
+Machine::run()
+{
+    runUntil(sim::neverCycle);
     return outputs_;
 }
 
@@ -1584,6 +1628,8 @@ Machine::reset()
     admitBlocked_ = false;
     serving_ = false;
     reqLatency_.reset();
+    stopAt_ = sim::neverCycle;
+    paused_ = false;
 }
 
 void

@@ -42,6 +42,7 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <istream>
 #include <map>
 #include <memory>
 #include <ostream>
@@ -231,6 +232,28 @@ class Machine
     /** Run to quiescence (or deadlock / maxCycles). */
     std::vector<OutputRecord> run();
 
+    /**
+     * Run until quiescence or until the simulated clock reaches
+     * `stopAt`, whichever comes first. @return true when the run
+     * paused at `stopAt` (resume with another runUntil/run call),
+     * false when it reached quiescence. The pause point is checked at
+     * the serial top of the tick — a paused machine has no staged
+     * (mid-tick) state, so it can be snapshotted — and the landing
+     * cycle depends only on (program, config, stopAt), never on the
+     * thread count. Latency histograms and profiles are complete at
+     * every pause; deadlock detection and metrics finalization run
+     * only when the run completes.
+     */
+    bool runUntil(sim::Cycle stopAt);
+
+    /** Whether the last runUntil/serveUntil paused at its stop cycle
+     *  rather than reaching quiescence. */
+    bool paused() const { return paused_; }
+
+    /** Output records accumulated so far (complete after run()/serve()
+     *  return; partial while paused). */
+    const std::vector<OutputRecord> &outputs() const { return outputs_; }
+
     // ---- steady-state serving fast path ----------------------------
 
     /** Queue one request for serve(): a fresh root application of code
@@ -251,6 +274,39 @@ class Machine
      *  Injection happens at the serial point of the tick, so serving
      *  runs are bit-identical for any `threads`. */
     std::vector<OutputRecord> serve();
+
+    /** serve() with a pause point: run the serving loop until
+     *  quiescence (all requests drained) or cycle `stopAt`. Unlike
+     *  serve() this is resumable — call it again (or on a machine
+     *  restored from a mid-serve snapshot) to continue the same
+     *  serving run. @return true when paused. */
+    bool serveUntil(sim::Cycle stopAt);
+
+    // ---- checkpoint / restore --------------------------------------
+
+    /**
+     * Serialize the complete run state — every field reset() clears:
+     * pipeline queues, waiting-matching stores, structure storage,
+     * contexts, network (including ReliableNet protocol state), fault
+     * -injector RNG, statistics, histograms, serving queue — into the
+     * versioned snapshot envelope (common/snapshot.hh). Call only
+     * while the machine is quiescent or paused (runUntil/serveUntil);
+     * never mid-run. Restore-then-run is bit-identical to the
+     * uninterrupted run, for any thread count on either side.
+     */
+    void saveSnapshot(std::ostream &os) const;
+
+    /**
+     * Restore a snapshot written by saveSnapshot onto this machine.
+     * The machine must have been constructed with the same program
+     * and an equivalent MachineConfig (numPEs, seed, topology,
+     * mapping, reliableNet, structure-store size and fault plan are
+     * fingerprinted and verified; stage latencies and the rest are
+     * trusted). The thread count may differ. Throws
+     * sim::snapshot::Error on a truncated, corrupt, or mismatched
+     * snapshot, leaving the machine reset.
+     */
+    void restoreSnapshot(std::istream &is);
 
     /** Return the machine to its freshly-constructed state while
      *  keeping every warmed allocation: the waiting-matching stores
@@ -752,6 +808,10 @@ class Machine
     std::uint32_t tokenSeq_ = 0; //!< next Token::seq to hand out
     bool observing_ = false; //!< latencyStats, tracing, metrics, or
                              //!< profiling requested
+
+    // ---- pause points (runUntil / serveUntil) ----------------------
+    sim::Cycle stopAt_ = sim::neverCycle; //!< current runUntil bound
+    bool paused_ = false; //!< last run stopped at stopAt_, not idle
 
     // ---- time-series metrics (cfg_.metrics) ------------------------
     sim::MetricsRecorder *metrics_ = nullptr;

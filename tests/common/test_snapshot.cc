@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Envelope-level tests of the snapshot serialization layer: primitive
+ * round-trips, the CRC-32 implementation against its published check
+ * value, and the reader's rejection of malformed envelopes.
+ */
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/snapshot.hh"
+
+namespace
+{
+
+using sim::snapshot::Error;
+using sim::snapshot::Reader;
+using sim::snapshot::Writer;
+
+std::string
+envelope(const Writer &w)
+{
+    std::ostringstream os;
+    w.finish(os);
+    return os.str();
+}
+
+TEST(Snapshot, PrimitivesRoundTrip)
+{
+    Writer w;
+    w.u8(0xab);
+    w.b(true);
+    w.b(false);
+    w.u16(0xbeef);
+    w.u32(0xdeadbeefu);
+    w.u64(0x0123456789abcdefULL);
+    w.i64(-42);
+    w.i64(std::numeric_limits<std::int64_t>::min());
+    w.f64(3.141592653589793);
+    w.f64(-0.0);
+    w.str("hello\0world"); // embedded NUL via char*... literal stops
+    w.str(std::string("a\0b", 3));
+    w.u64(std::numeric_limits<std::uint64_t>::max());
+
+    std::istringstream is(envelope(w));
+    Reader r(is);
+    EXPECT_EQ(r.u8(), 0xab);
+    EXPECT_TRUE(r.b());
+    EXPECT_FALSE(r.b());
+    EXPECT_EQ(r.u16(), 0xbeef);
+    EXPECT_EQ(r.u32(), 0xdeadbeefu);
+    EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+    EXPECT_EQ(r.i64(), -42);
+    EXPECT_EQ(r.i64(), std::numeric_limits<std::int64_t>::min());
+    EXPECT_EQ(r.f64(), 3.141592653589793);
+    const double negzero = r.f64();
+    EXPECT_EQ(negzero, 0.0);
+    EXPECT_TRUE(std::signbit(negzero));
+    EXPECT_EQ(r.str(), "hello");
+    EXPECT_EQ(r.str(), std::string("a\0b", 3));
+    EXPECT_EQ(r.u64(), std::numeric_limits<std::uint64_t>::max());
+    r.expectEnd();
+}
+
+TEST(Snapshot, Crc32MatchesPublishedCheckValue)
+{
+    // The IEEE CRC-32 check value: crc32("123456789") = 0xcbf43926.
+    const unsigned char data[] = "123456789";
+    EXPECT_EQ(sim::snapshot::crc32(data, 9), 0xcbf43926u);
+}
+
+TEST(Snapshot, EmptyPayloadRoundTrips)
+{
+    Writer w;
+    std::istringstream is(envelope(w));
+    Reader r(is);
+    EXPECT_EQ(r.remaining(), 0u);
+    r.expectEnd();
+}
+
+TEST(Snapshot, TrailingBytesRejected)
+{
+    Writer w;
+    w.u32(7);
+    std::istringstream is(envelope(w));
+    Reader r(is);
+    EXPECT_EQ(r.u16(), 7u); // reads only half the field
+    EXPECT_THROW(r.expectEnd(), Error);
+}
+
+TEST(Snapshot, ReadPastEndRejected)
+{
+    Writer w;
+    w.u32(7);
+    std::istringstream is(envelope(w));
+    Reader r(is);
+    r.u32();
+    EXPECT_THROW(r.u8(), Error);
+}
+
+TEST(Snapshot, BoolOutOfRangeRejected)
+{
+    Writer w;
+    w.u8(2);
+    std::istringstream is(envelope(w));
+    Reader r(is);
+    EXPECT_THROW(r.b(), Error);
+}
+
+TEST(Snapshot, StringLengthBeyondPayloadRejected)
+{
+    Writer w;
+    w.u64(1u << 20); // a length with no bytes behind it
+    std::istringstream is(envelope(w));
+    Reader r(is);
+    EXPECT_THROW(r.str(), Error);
+}
+
+TEST(Snapshot, EveryTruncationRejected)
+{
+    Writer w;
+    w.u64(0x1122334455667788ULL);
+    w.str("payload");
+    const std::string whole = envelope(w);
+    for (std::size_t keep = 0; keep < whole.size(); ++keep) {
+        std::istringstream is(whole.substr(0, keep));
+        EXPECT_THROW(Reader r(is), Error) << "kept " << keep;
+    }
+}
+
+TEST(Snapshot, EveryBitFlipInHeaderOrPayloadRejected)
+{
+    Writer w;
+    w.u64(42);
+    const std::string whole = envelope(w);
+    // Flipping any single bit anywhere in the envelope must be caught:
+    // magic/version/endian/length checks for the header, the CRC for
+    // the payload, and the CRC comparison itself for its own trailer.
+    for (std::size_t i = 0; i < whole.size(); ++i) {
+        for (int bit = 0; bit < 8; ++bit) {
+            std::string mutated = whole;
+            mutated[i] =
+                static_cast<char>(mutated[i] ^ (1 << bit));
+            std::istringstream is(mutated);
+            EXPECT_THROW(Reader r(is), Error)
+                << "byte " << i << " bit " << bit;
+        }
+    }
+}
+
+} // namespace
